@@ -1,0 +1,150 @@
+//! The benchmark abstraction shared by all ten algorithms.
+
+use pxl_arch::LiteDriver;
+use pxl_mem::Memory;
+use pxl_model::{ExecProfile, Task, Worker};
+
+/// One row of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Meta {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Provenance (In-house / Cilk apps / UTS / MachSuite).
+    pub source: &'static str,
+    /// Parallelization approach: "CP", "FJ" or "PF".
+    pub approach: &'static str,
+    /// Recursive or nested parallelism.
+    pub recursive_nested: bool,
+    /// Data-dependent parallelism.
+    pub data_dependent: bool,
+    /// Memory access pattern: "Regular" or "Irregular".
+    pub mem_pattern: &'static str,
+    /// Memory intensity: "Low", "Medium" or "High".
+    pub mem_intensity: &'static str,
+}
+
+/// Input-size presets. `Tiny` keeps unit tests fast; `Small` exercises some
+/// parallelism quickly; `Paper` is the size the benchmark harness uses for
+/// the evaluation figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Minimal inputs for fast unit tests.
+    Tiny,
+    /// Mid-size inputs for integration tests.
+    Small,
+    /// Evaluation-size inputs for the table/figure harness.
+    Paper,
+}
+
+/// An instantiated FlexArch/CPU run: worker, root task and footprint.
+pub struct Instance {
+    /// The application worker (shared by FlexArch, the CPU baseline and the
+    /// serial reference executor).
+    pub worker: Box<dyn Worker>,
+    /// The root task the host writes to the interface block.
+    pub root: Task,
+    /// Bytes of input/output data the host initializes — charged as
+    /// initialization time in whole-program comparisons.
+    pub footprint_bytes: u64,
+}
+
+impl std::fmt::Debug for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instance")
+            .field("root", &self.root)
+            .field("footprint_bytes", &self.footprint_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An instantiated LiteArch run: worker plus the host-side round driver.
+pub struct LiteInstance {
+    /// The (spawn-free) worker for LiteArch PEs.
+    pub worker: Box<dyn Worker>,
+    /// Host logic constructing each round of statically distributed tasks.
+    pub driver: Box<dyn LiteDriver>,
+    /// Bytes of input/output data the host initializes.
+    pub footprint_bytes: u64,
+}
+
+impl std::fmt::Debug for LiteInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiteInstance")
+            .field("footprint_bytes", &self.footprint_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A benchmark algorithm: metadata, HLS/CPU profile, instantiation and
+/// validation.
+pub trait Benchmark {
+    /// The benchmark's Table II row.
+    fn meta(&self) -> Meta;
+
+    /// Per-benchmark execution rates (HLS-optimized PE vs NEON-vectorized
+    /// core); see [`ExecProfile`].
+    fn profile(&self) -> ExecProfile;
+
+    /// Writes inputs into `mem` and returns the worker + root task used by
+    /// FlexArch, the CPU baseline and the serial reference.
+    fn flex(&self, mem: &mut Memory) -> Instance;
+
+    /// The LiteArch (parallel-for, multi-round) variant, or `None` if the
+    /// algorithm cannot be mapped (cilksort).
+    fn lite(&self, mem: &mut Memory) -> Option<LiteInstance>;
+
+    /// Validates outputs against a host-computed golden reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first mismatch.
+    fn check(&self, mem: &Memory, result: u64) -> Result<(), String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_rows_match_table2() {
+        let metas: Vec<Meta> = crate::suite(Scale::Tiny).iter().map(|b| b.meta()).collect();
+        assert_eq!(metas.len(), 10);
+        let names: Vec<&str> = metas.iter().map(|m| m.name).collect();
+        assert_eq!(
+            names,
+            [
+                "nw", "quicksort", "cilksort", "queens", "knapsack", "uts", "bbgemm",
+                "bfsqueue", "spmvcrs", "stencil2d"
+            ]
+        );
+        // Table II invariants.
+        let m = |n: &str| *metas.iter().find(|m| m.name == n).unwrap();
+        assert_eq!(m("nw").approach, "CP");
+        assert_eq!(m("quicksort").approach, "FJ");
+        assert_eq!(m("bbgemm").approach, "PF");
+        assert!(m("uts").recursive_nested);
+        assert!(!m("spmvcrs").recursive_nested);
+        assert_eq!(m("bfsqueue").mem_pattern, "Irregular");
+        assert_eq!(m("queens").mem_intensity, "Low");
+        assert_eq!(m("stencil2d").mem_intensity, "High");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(crate::by_name("uts", Scale::Tiny).is_some());
+        assert!(crate::by_name("nope", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn cilksort_has_no_lite_variant() {
+        let mut mem = Memory::new();
+        for b in crate::suite(Scale::Tiny) {
+            let lite = b.lite(&mut mem);
+            if b.meta().name == "cilksort" {
+                assert!(lite.is_none(), "paper: cilksort could not map to parallel-for");
+            } else {
+                assert!(lite.is_some(), "{} should have a Lite variant", b.meta().name);
+            }
+        }
+    }
+}

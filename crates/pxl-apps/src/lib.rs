@@ -1,0 +1,79 @@
+//! The ten benchmark algorithms of the paper's evaluation (Table II).
+//!
+//! | Name | From | PA | R/N | DP | MP | MI |
+//! |------|------|----|-----|----|----|----|
+//! | nw | In-house | CP | Yes | Yes | Regular | Medium |
+//! | quicksort | In-house | FJ | Yes | Yes | Regular | Medium |
+//! | cilksort | Cilk apps | FJ | Yes | Yes | Regular | Medium |
+//! | queens | Cilk apps | FJ | Yes | Yes | Regular | Low |
+//! | knapsack | Cilk apps | FJ | Yes | Yes | Regular | Low |
+//! | uts | UTS | FJ | Yes | Yes | Regular | Low |
+//! | bbgemm | MachSuite | PF | Yes | No | Regular | Medium |
+//! | bfsqueue | MachSuite | PF | No | No | Irregular | High |
+//! | spmvcrs | MachSuite | PF | No | No | Irregular | High |
+//! | stencil2d | MachSuite | PF | No | No | Regular | High |
+//!
+//! (PA: parallelization approach — PF = parallel-for, FJ = fork-join,
+//! CP = continuation passing. R/N: recursive/nested. DP: data-dependent
+//! parallelism. MP: memory pattern. MI: memory intensity.)
+//!
+//! Every benchmark implements [`Benchmark`]: it lays out its input in
+//! simulated memory, provides a [`pxl_model::Worker`] (the analogue of the
+//! paper's C++ worker description) plus a root task for FlexArch and the
+//! CPU baseline, optionally a LiteArch variant (a homogeneous-round
+//! reformulation per Section V-A — all benchmarks except `cilksort`, whose
+//! dynamic task graph the paper could not map to parallel-for), and a
+//! golden-reference checker.
+//!
+//! # Examples
+//!
+//! ```
+//! use pxl_apps::{suite, Benchmark};
+//! use pxl_model::SerialExecutor;
+//!
+//! // Run the smallest config of every benchmark on the serial reference
+//! // executor and validate its output.
+//! for bench in suite(pxl_apps::Scale::Tiny) {
+//!     let mut exec = SerialExecutor::new();
+//!     let inst = bench.flex(exec.mem_mut());
+//!     let mut worker = inst.worker;
+//!     let result = exec.run(worker.as_mut(), inst.root).unwrap();
+//!     bench.check(exec.memory(), result).unwrap();
+//! }
+//! ```
+
+pub mod bbgemm;
+pub mod bfsqueue;
+pub mod cilksort;
+pub mod common;
+pub mod knapsack;
+pub mod nw;
+pub mod queens;
+pub mod quicksort;
+pub mod spmvcrs;
+pub mod stencil2d;
+pub mod util;
+pub mod uts;
+
+pub use common::{Benchmark, Instance, LiteInstance, Meta, Scale};
+
+/// All ten benchmarks at the given scale, in the paper's Table II order.
+pub fn suite(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(nw::Nw::new(scale)),
+        Box::new(quicksort::Quicksort::new(scale)),
+        Box::new(cilksort::Cilksort::new(scale)),
+        Box::new(queens::Queens::new(scale)),
+        Box::new(knapsack::Knapsack::new(scale)),
+        Box::new(uts::Uts::new(scale)),
+        Box::new(bbgemm::Bbgemm::new(scale)),
+        Box::new(bfsqueue::BfsQueue::new(scale)),
+        Box::new(spmvcrs::SpmvCrs::new(scale)),
+        Box::new(stencil2d::Stencil2d::new(scale)),
+    ]
+}
+
+/// Looks a benchmark up by its Table II name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Benchmark>> {
+    suite(scale).into_iter().find(|b| b.meta().name == name)
+}

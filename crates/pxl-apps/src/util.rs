@@ -1,0 +1,94 @@
+//! Small shared utilities for the benchmark implementations.
+
+/// SplitMix64: a statistically strong 64-bit mixer used for deterministic
+/// per-node hashing (UTS node descriptors, input generation).
+///
+/// # Examples
+///
+/// ```
+/// use pxl_apps::util::splitmix64;
+///
+/// assert_ne!(splitmix64(1), splitmix64(2));
+/// assert_eq!(splitmix64(42), splitmix64(42));
+/// ```
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic pseudo-random `u32` stream for input generation.
+#[derive(Debug, Clone)]
+pub struct InputRng {
+    state: u64,
+}
+
+impl InputRng {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        InputRng {
+            state: splitmix64(seed ^ 0xDEAD_BEEF),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+
+    /// Next value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn next_in(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Packs two `u32` coordinates into one task-argument word.
+#[inline]
+pub fn pack2(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Inverse of [`pack2`].
+#[inline]
+pub fn unpack2(w: u64) -> (u32, u32) {
+    ((w >> 32) as u32, w as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_mixes() {
+        let a = splitmix64(0);
+        let b = splitmix64(1);
+        assert_ne!(a, b);
+        // Low bits should differ too.
+        assert_ne!(a & 0xFFFF, b & 0xFFFF);
+    }
+
+    #[test]
+    fn input_rng_deterministic() {
+        let mut a = InputRng::new(7);
+        let mut b = InputRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert!(a.next_in(10) < 10);
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        for (a, b) in [(0u32, 0u32), (1, 2), (u32::MAX, 7), (123_456, u32::MAX)] {
+            assert_eq!(unpack2(pack2(a, b)), (a, b));
+        }
+    }
+}

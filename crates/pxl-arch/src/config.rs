@@ -1,0 +1,334 @@
+//! Accelerator configuration: architecture choice, geometry, and
+//! microarchitectural costs.
+//!
+//! These are the knobs the paper's architectural template exposes
+//! (Section IV-A): "the designer can configure the architecture (FlexArch
+//! or LiteArch), the number of tiles and PEs, the number of entries of the
+//! task queue and P-Store, as well as the cache size."
+
+use pxl_sim::config::MemoryConfig;
+use pxl_sim::Clock;
+
+/// Which tile architecture to instantiate (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchKind {
+    /// Full continuation-passing support with work-stealing scheduling.
+    Flex,
+    /// Data-parallel only, with static task distribution.
+    Lite,
+}
+
+impl ArchKind {
+    /// Short display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchKind::Flex => "FlexArch",
+            ArchKind::Lite => "LiteArch",
+        }
+    }
+
+    /// The feature matrix row of Table I:
+    /// (data-parallel, fork-join, general task-parallel, scheduling).
+    pub fn features(self) -> (bool, bool, bool, &'static str) {
+        match self {
+            ArchKind::Flex => (true, true, true, "Work-Stealing"),
+            ArchKind::Lite => (true, false, false, "Static Distribution"),
+        }
+    }
+}
+
+impl std::fmt::Display for ArchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which memory path backs the accelerator's PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemBackendKind {
+    /// Coherent per-tile L1 caches over the shared L2 (the future SoC of
+    /// Table III).
+    Coherent,
+    /// Per-PE stream buffers over a single ACP port (the Zedboard prototype
+    /// of Section V-B).
+    Zedboard,
+}
+
+/// Cycle costs of the hardware task-management operations, in accelerator
+/// (200 MHz) cycles.
+///
+/// The defaults encode the paper's central efficiency claim: "a work
+/// stealing operation may require hundreds of instructions in software, but
+/// only needs several cycles on the accelerator" (Section V-D1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchCosts {
+    /// Dequeue a task from the local queue tail into the worker.
+    pub dispatch_cycles: u64,
+    /// Enqueue a spawned task at the local queue tail.
+    pub spawn_cycles: u64,
+    /// Issue an argument message (router + P-Store update, local tile).
+    pub send_arg_cycles: u64,
+    /// Allocate a P-Store entry and return a continuation.
+    pub successor_cycles: u64,
+    /// One-way latency of a message on the inter-tile crossbar.
+    pub net_hop_cycles: u64,
+    /// Victim-side service time of a steal request (head dequeue).
+    pub steal_service_cycles: u64,
+    /// Thief-side backoff between failed steal attempts.
+    pub steal_backoff_cycles: u64,
+    /// Host interface dispatch cost per task (LiteArch static distribution).
+    pub if_dispatch_cycles: u64,
+    /// Host-side cost to set up and launch one LiteArch round.
+    pub round_sync_cycles: u64,
+}
+
+impl Default for ArchCosts {
+    fn default() -> Self {
+        ArchCosts {
+            dispatch_cycles: 1,
+            spawn_cycles: 1,
+            send_arg_cycles: 2,
+            successor_cycles: 2,
+            net_hop_cycles: 4,
+            steal_service_cycles: 2,
+            steal_backoff_cycles: 4,
+            if_dispatch_cycles: 2,
+            round_sync_cycles: 200,
+        }
+    }
+}
+
+/// Which end of the local deque the worker operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalOrder {
+    /// Depth-first (the architecture's default; best task locality).
+    Lifo,
+    /// Breadth-first (ablation).
+    Fifo,
+}
+
+/// Which end of the victim's deque a thief steals from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealEnd {
+    /// The oldest task — closest to the root of the spawn tree, so each
+    /// steal transfers a large chunk of work (the default).
+    Head,
+    /// The newest task (ablation).
+    Tail,
+}
+
+/// How a thief picks its victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimSelect {
+    /// Random via the TMU's 16-bit LFSR (the default).
+    Lfsr,
+    /// Cyclic scan (ablation).
+    RoundRobin,
+}
+
+/// Scheduling-policy knobs for ablation studies of the paper's design
+/// choices (Section II-C / III-A). The defaults are the published
+/// architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedPolicy {
+    /// Worker-side deque discipline.
+    pub local_order: LocalOrder,
+    /// Thief-side steal end.
+    pub steal_end: StealEnd,
+    /// Victim selection.
+    pub victim_select: VictimSelect,
+    /// Route a task made ready by its last argument back to the producing
+    /// PE (required for the space bound).
+    pub greedy_routing: bool,
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        SchedPolicy {
+            local_order: LocalOrder::Lifo,
+            steal_end: StealEnd::Head,
+            victim_select: VictimSelect::Lfsr,
+            greedy_routing: true,
+        }
+    }
+}
+
+/// Full configuration of one accelerator instance.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_arch::{AccelConfig, ArchKind};
+///
+/// let cfg = AccelConfig::flex(4, 4); // 4 tiles x 4 PEs = 16 PEs
+/// assert_eq!(cfg.num_pes(), 16);
+/// assert_eq!(cfg.tile_of_pe(5), 1);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelConfig {
+    /// FlexArch or LiteArch.
+    pub arch: ArchKind,
+    /// Number of tiles.
+    pub tiles: usize,
+    /// PEs per tile (the paper's experiments use 4).
+    pub pes_per_tile: usize,
+    /// Capacity of each PE's task queue.
+    pub task_queue_entries: usize,
+    /// Capacity of each tile's P-Store.
+    pub pstore_entries: usize,
+    /// Microarchitectural costs.
+    pub costs: ArchCosts,
+    /// Scheduling-policy knobs (defaults = the published architecture).
+    pub policy: SchedPolicy,
+    /// Heterogeneous workers (the Section III-A extension): when set, one
+    /// bitmask per PE slot within a tile, bit `i` meaning the slot's worker
+    /// can process [`pxl_model::TaskTypeId`] `i`. `None` = homogeneous
+    /// workers (the paper's default).
+    pub pe_task_types: Option<Vec<u64>>,
+    /// Accelerator logic clock.
+    pub clock: Clock,
+    /// Memory system parameters (per-tile L1, shared L2, DRAM).
+    pub memory: MemoryConfig,
+    /// Which memory path to instantiate.
+    pub mem_backend: MemBackendKind,
+    /// Simulated-time safety limit; runs exceeding it abort with an error.
+    pub max_sim_time_us: u64,
+}
+
+impl AccelConfig {
+    /// A FlexArch accelerator with the paper's defaults (Table III platform,
+    /// 4 PEs per tile).
+    pub fn flex(tiles: usize, pes_per_tile: usize) -> Self {
+        AccelConfig {
+            arch: ArchKind::Flex,
+            tiles,
+            pes_per_tile,
+            task_queue_entries: 1024,
+            pstore_entries: 8192,
+            costs: ArchCosts::default(),
+            policy: SchedPolicy::default(),
+            pe_task_types: None,
+            clock: Clock::mhz200("accel"),
+            memory: MemoryConfig::micro2018(),
+            mem_backend: MemBackendKind::Coherent,
+            max_sim_time_us: 2_000_000,
+        }
+    }
+
+    /// A LiteArch accelerator with the paper's defaults.
+    pub fn lite(tiles: usize, pes_per_tile: usize) -> Self {
+        AccelConfig {
+            arch: ArchKind::Lite,
+            ..AccelConfig::flex(tiles, pes_per_tile)
+        }
+    }
+
+    /// Total number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.tiles * self.pes_per_tile
+    }
+
+    /// Tile index that PE `pe` belongs to.
+    pub fn tile_of_pe(&self, pe: usize) -> usize {
+        pe / self.pes_per_tile
+    }
+
+    /// Whether PE `pe`'s worker can process task type `ty` (always true for
+    /// homogeneous workers).
+    pub fn pe_supports(&self, pe: usize, ty: pxl_model::TaskTypeId) -> bool {
+        match &self.pe_task_types {
+            None => true,
+            Some(masks) => {
+                let slot = pe % self.pes_per_tile;
+                ty.0 < 64 && masks[slot] & (1u64 << ty.0) != 0
+            }
+        }
+    }
+
+    /// Checks that the configuration is realizable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tiles == 0 {
+            return Err("accelerator needs at least one tile".into());
+        }
+        if self.pes_per_tile == 0 {
+            return Err("tiles need at least one PE".into());
+        }
+        if self.task_queue_entries < 2 {
+            return Err("task queues need at least two entries".into());
+        }
+        if self.arch == ArchKind::Flex && self.pstore_entries < 1 {
+            return Err("FlexArch needs a non-empty P-Store".into());
+        }
+        if self.tiles > u16::MAX as usize {
+            return Err("tile index must fit the continuation encoding".into());
+        }
+        if let Some(masks) = &self.pe_task_types {
+            if masks.len() != self.pes_per_tile {
+                return Err(format!(
+                    "heterogeneous config needs one type mask per PE slot ({} != {})",
+                    masks.len(),
+                    self.pes_per_tile
+                ));
+            }
+            if masks.iter().any(|&m| m == 0) {
+                return Err("every heterogeneous PE slot must support some task type".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_feature_matrix() {
+        let (dp, fj, tp, sched) = ArchKind::Flex.features();
+        assert!(dp && fj && tp);
+        assert_eq!(sched, "Work-Stealing");
+        let (dp, fj, tp, sched) = ArchKind::Lite.features();
+        assert!(dp && !fj && !tp);
+        assert_eq!(sched, "Static Distribution");
+        assert_eq!(ArchKind::Flex.to_string(), "FlexArch");
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let cfg = AccelConfig::flex(8, 4);
+        assert_eq!(cfg.num_pes(), 32);
+        assert_eq!(cfg.tile_of_pe(0), 0);
+        assert_eq!(cfg.tile_of_pe(3), 0);
+        assert_eq!(cfg.tile_of_pe(4), 1);
+        assert_eq!(cfg.tile_of_pe(31), 7);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        assert!(AccelConfig::flex(1, 1).validate().is_ok());
+        assert!(AccelConfig::flex(0, 4).validate().is_err());
+        assert!(AccelConfig::flex(4, 0).validate().is_err());
+        let mut c = AccelConfig::flex(1, 1);
+        c.task_queue_entries = 1;
+        assert!(c.validate().is_err());
+        let mut c = AccelConfig::flex(1, 1);
+        c.pstore_entries = 0;
+        assert!(c.validate().is_err());
+        let mut c = AccelConfig::lite(1, 1);
+        c.pstore_entries = 0;
+        assert!(c.validate().is_ok(), "LiteArch has no P-Store");
+    }
+
+    #[test]
+    fn default_costs_are_a_few_cycles() {
+        let c = ArchCosts::default();
+        // The hardware steal path must be O(cycles), not O(hundreds).
+        let steal_round_trip = 2 * c.net_hop_cycles + c.steal_service_cycles;
+        assert!(steal_round_trip < 20);
+    }
+}

@@ -1,0 +1,1004 @@
+//! The FlexArch execution engine: a cycle-level simulator of the full
+//! continuation-passing accelerator.
+//!
+//! The engine models the paper's Fig. 3(b) tile microarchitecture:
+//!
+//! * Each PE is a worker plus a task-management unit (TMU) with a LIFO task
+//!   deque. An idle TMU first tries its local queue tail, then begins work
+//!   stealing: an LFSR picks a random victim (another PE or the host
+//!   interface block), a steal request crosses the work-stealing crossbar,
+//!   and the victim's TMU serves the *head* of its queue.
+//! * Each tile has a P-Store for pending tasks; continuations address
+//!   P-Store entries on any tile through the argument/task router, and
+//!   remote messages pay a crossbar hop.
+//! * **Greedy scheduling**: when an argument completes a pending task's
+//!   join, the ready task is routed back to the PE that produced that last
+//!   argument (Section III-A) — required for the work-stealing space bound.
+//!
+//! Simulation is event-driven over the global picosecond timebase. A
+//! dispatched task executes *functionally* against shared memory while its
+//! port operations advance a local timestamp through the memory hierarchy
+//! and the TMU cost model; spawned tasks enter the local deque with their
+//! spawn-time visibility, so a thief whose request arrives earlier cannot
+//! see them.
+
+use std::collections::VecDeque;
+
+use pxl_mem::zedboard::AcpParams;
+use pxl_mem::{AccessKind, Memory, MemorySystem, PortId, ZedboardMemory};
+use pxl_model::serial::HOST_SLOTS;
+use pxl_model::{Continuation, ExecProfile, PendingTask, Task, TaskContext, TaskTypeId, Worker};
+use pxl_sim::{EventQueue, Lfsr16, Stats, Time};
+
+use crate::config::{AccelConfig, ArchKind, LocalOrder, MemBackendKind, StealEnd, VictimSelect};
+use crate::deque::TaskDeque;
+use crate::pstore::PStore;
+
+/// Errors an accelerator simulation can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccelError {
+    /// A PE's task queue overflowed; the configuration violates the space
+    /// bound for this workload.
+    QueueFull {
+        /// The PE whose queue overflowed.
+        pe: usize,
+    },
+    /// Every tile's P-Store was full when a worker created a successor.
+    PStoreFull {
+        /// The tile that first rejected the allocation.
+        tile: usize,
+    },
+    /// Execution drained but pending tasks never became ready.
+    LeakedPending {
+        /// Pending tasks stranded across all P-Stores.
+        count: usize,
+    },
+    /// The root continuation's host register was never written.
+    NoResult {
+        /// Expected host result slot.
+        slot: u8,
+    },
+    /// Simulated time exceeded the configured safety limit.
+    TimedOut,
+    /// The configuration is invalid or the operation is unsupported by the
+    /// selected architecture (e.g. spawning on LiteArch).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for AccelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccelError::QueueFull { pe } => write!(f, "task queue of PE {pe} overflowed"),
+            AccelError::PStoreFull { tile } => {
+                write!(f, "all P-Stores full (first rejected by tile {tile})")
+            }
+            AccelError::LeakedPending { count } => {
+                write!(f, "computation leaked {count} pending task(s)")
+            }
+            AccelError::NoResult { slot } => write!(f, "no result in host slot {slot}"),
+            AccelError::TimedOut => write!(f, "simulation exceeded its time limit"),
+            AccelError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AccelError {}
+
+/// Outcome of a completed accelerator run.
+#[derive(Debug, Clone)]
+pub struct AccelResult {
+    /// Value delivered to the root continuation's host slot.
+    pub result: u64,
+    /// Simulated time from launch to the last useful event.
+    pub elapsed: Time,
+    /// Aggregated statistics (engine + memory system).
+    pub stats: Stats,
+}
+
+/// The memory path behind the PEs (coherent SoC caches or Zedboard stream
+/// buffers).
+#[derive(Debug)]
+// One instance per engine; the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum MemBackend {
+    Coherent(MemorySystem),
+    Zedboard(ZedboardMemory),
+}
+
+impl MemBackend {
+    pub(crate) fn for_config(cfg: &AccelConfig) -> Self {
+        match cfg.mem_backend {
+            MemBackendKind::Coherent => MemBackend::Coherent(MemorySystem::new(
+                vec![cfg.memory.accel_l1.clone(); cfg.tiles],
+                &cfg.memory,
+            )),
+            MemBackendKind::Zedboard => {
+                MemBackend::Zedboard(ZedboardMemory::new(cfg.num_pes(), AcpParams::default()))
+            }
+        }
+    }
+
+    /// Memory port used by PE `pe`: the tile L1 for the coherent system, a
+    /// per-PE stream-buffer group on the Zedboard.
+    pub(crate) fn port_of(&self, cfg: &AccelConfig, pe: usize) -> usize {
+        match self {
+            MemBackend::Coherent(_) => cfg.tile_of_pe(pe),
+            MemBackend::Zedboard(_) => pe,
+        }
+    }
+
+    pub(crate) fn access(&mut self, port: usize, addr: u64, kind: AccessKind, now: Time) -> Time {
+        match self {
+            MemBackend::Coherent(m) => m.access(PortId(port), addr, kind, now),
+            MemBackend::Zedboard(m) => m.access(port, addr, kind, now),
+        }
+    }
+
+    pub(crate) fn access_bytes(
+        &mut self,
+        port: usize,
+        addr: u64,
+        bytes: u64,
+        kind: AccessKind,
+        now: Time,
+    ) -> Time {
+        match self {
+            MemBackend::Coherent(m) => m.access_bytes(PortId(port), addr, bytes, kind, now),
+            MemBackend::Zedboard(m) => m.access_bytes(port, addr, bytes, kind, now),
+        }
+    }
+
+    pub(crate) fn take_stats(&mut self) -> Stats {
+        match self {
+            MemBackend::Coherent(m) => m.take_stats(),
+            MemBackend::Zedboard(m) => m.take_stats(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+// Task-carrying variants dominate the event mix; boxing them would trade
+// the size disparity for an allocation per event.
+#[allow(clippy::large_enum_variant)]
+enum Event {
+    /// PE finished its previous activity; look for work.
+    PeWake { pe: usize },
+    /// A steal request reaches the victim's TMU (victim == num_pes means the
+    /// host interface block).
+    StealArrive { thief: usize, victim: usize },
+    /// The steal response reaches the thief.
+    StealReply { thief: usize, task: Option<Task> },
+    /// An argument message reaches its destination P-Store or host register.
+    ArgArrive {
+        k: Continuation,
+        value: u64,
+        from_pe: usize,
+    },
+    /// A ready task (greedy-routed) reaches a PE.
+    TaskRun { pe: usize, task: Task },
+}
+
+/// The FlexArch accelerator simulator.
+///
+/// Typical use: build with [`FlexEngine::new`], lay out inputs through
+/// [`FlexEngine::mem_mut`], then [`FlexEngine::run`] a root task.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_arch::{AccelConfig, FlexEngine};
+/// use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
+///
+/// const FIB: TaskTypeId = TaskTypeId(0);
+/// const SUM: TaskTypeId = TaskTypeId(1);
+/// struct Fib;
+/// impl Worker for Fib {
+///     fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+///         let k = task.k;
+///         if task.ty == FIB {
+///             let n = task.args[0];
+///             ctx.compute(2);
+///             if n < 2 {
+///                 ctx.send_arg(k, n);
+///             } else {
+///                 let kk = ctx.make_successor(SUM, k, 2);
+///                 ctx.spawn(Task::new(FIB, kk.with_slot(1), &[n - 2]));
+///                 ctx.spawn(Task::new(FIB, kk.with_slot(0), &[n - 1]));
+///             }
+///         } else {
+///             ctx.send_arg(k, task.args[0] + task.args[1]);
+///         }
+///     }
+/// }
+///
+/// let mut engine = FlexEngine::new(AccelConfig::flex(2, 4), ExecProfile::scalar());
+/// let root = Task::new(FIB, Continuation::host(0), &[12]);
+/// let out = engine.run(&mut Fib, root).unwrap();
+/// assert_eq!(out.result, 144);
+/// ```
+#[derive(Debug)]
+pub struct FlexEngine {
+    cfg: AccelConfig,
+    profile: ExecProfile,
+    mem: Memory,
+    backend: MemBackend,
+    deques: Vec<TaskDeque>,
+    pstores: Vec<PStore>,
+    lfsrs: Vec<Lfsr16>,
+    steal_fails: Vec<u32>,
+    rr_victim: Vec<usize>,
+    hetero_rr: usize,
+    busy_until: Vec<Time>,
+    host_queue: VecDeque<Task>,
+    host: [Option<u64>; HOST_SLOTS],
+    events: EventQueue<Event>,
+    outstanding: u64,
+    inflight_args: u64,
+    last_useful: Time,
+    stats: Stats,
+    error: Option<AccelError>,
+}
+
+impl FlexEngine {
+    /// Creates an engine for `cfg` with the benchmark's execution profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`AccelConfig::validate`] or is not
+    /// a FlexArch configuration.
+    pub fn new(cfg: AccelConfig, profile: ExecProfile) -> Self {
+        cfg.validate().expect("invalid accelerator configuration");
+        assert_eq!(cfg.arch, ArchKind::Flex, "FlexEngine requires ArchKind::Flex");
+        let backend = MemBackend::for_config(&cfg);
+        let num_pes = cfg.num_pes();
+        FlexEngine {
+            deques: (0..num_pes)
+                .map(|_| TaskDeque::new(cfg.task_queue_entries))
+                .collect(),
+            pstores: (0..cfg.tiles).map(|_| PStore::new(cfg.pstore_entries)).collect(),
+            lfsrs: (0..num_pes)
+                .map(|i| Lfsr16::new(0xACE1 ^ (i as u16).wrapping_mul(0x9E37)))
+                .collect(),
+            steal_fails: vec![0; num_pes],
+            rr_victim: (0..num_pes).collect(),
+            hetero_rr: 0,
+            busy_until: vec![Time::ZERO; num_pes],
+            host_queue: VecDeque::new(),
+            host: [None; HOST_SLOTS],
+            events: EventQueue::new(),
+            outstanding: 0,
+            inflight_args: 0,
+            last_useful: Time::ZERO,
+            stats: Stats::new(),
+            error: None,
+            mem: Memory::new(),
+            backend,
+            cfg,
+            profile,
+        }
+    }
+
+    /// Mutable access to functional memory for input setup.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Shared access to functional memory for output checking.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &AccelConfig {
+        &self.cfg
+    }
+
+    fn cycles(&self, n: u64) -> Time {
+        self.cfg.clock.cycles_to_time(n)
+    }
+
+    /// Runs `root` to completion.
+    ///
+    /// The host writes the root task into the interface block; PEs acquire
+    /// it over the steal network, and the simulation proceeds until every
+    /// task has drained. Consumes the engine's launch state: call once per
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`AccelError`].
+    pub fn run<W: Worker + ?Sized>(
+        &mut self,
+        worker: &mut W,
+        root: Task,
+    ) -> Result<AccelResult, AccelError> {
+        let result_slot = match root.k {
+            Continuation::Host { slot } => Some(slot),
+            _ => None,
+        };
+        self.host_queue.push_back(root);
+        self.outstanding = 1;
+        for pe in 0..self.cfg.num_pes() {
+            self.events.push(Time::ZERO, Event::PeWake { pe });
+        }
+        let limit = Time::from_us(self.cfg.max_sim_time_us);
+
+        while let Some((now, event)) = self.events.pop() {
+            if self.outstanding == 0 && self.inflight_args == 0 {
+                break;
+            }
+            if now > limit {
+                return Err(AccelError::TimedOut);
+            }
+            self.handle(now, event, worker);
+            if let Some(err) = self.error.take() {
+                return Err(err);
+            }
+        }
+
+        let leaked: usize = self.pstores.iter().map(|p| p.occupancy()).sum();
+        if leaked > 0 {
+            return Err(AccelError::LeakedPending { count: leaked });
+        }
+        let result = match result_slot {
+            Some(slot) => self.host[slot as usize].ok_or(AccelError::NoResult { slot })?,
+            None => 0,
+        };
+        self.collect_stats();
+        Ok(AccelResult {
+            result,
+            elapsed: self.last_useful,
+            stats: std::mem::take(&mut self.stats),
+        })
+    }
+
+    /// Value delivered to a host result register, if any.
+    pub fn host_result(&self, slot: u8) -> Option<u64> {
+        self.host.get(slot as usize).copied().flatten()
+    }
+
+    fn collect_stats(&mut self) {
+        let queue_peak = self.deques.iter().map(TaskDeque::peak).max().unwrap_or(0);
+        let queue_peak_sum: usize = self.deques.iter().map(TaskDeque::peak).sum();
+        let pstore_peak: usize = self.pstores.iter().map(PStore::peak).sum();
+        self.stats.max("accel.queue_peak", queue_peak as u64);
+        self.stats.add("accel.queue_peak_sum", queue_peak_sum as u64);
+        self.stats.add("accel.pstore_peak", pstore_peak as u64);
+        let mem_stats = self.backend.take_stats();
+        self.stats.merge(&mem_stats);
+    }
+
+    fn handle<W: Worker + ?Sized>(&mut self, now: Time, event: Event, worker: &mut W) {
+        match event {
+            Event::PeWake { pe } => self.pe_wake(now, pe, worker),
+            Event::StealArrive { thief, victim } => self.steal_arrive(now, thief, victim),
+            Event::StealReply { thief, task } => self.steal_reply(now, thief, task, worker),
+            Event::ArgArrive { k, value, from_pe } => self.arg_arrive(now, k, value, from_pe),
+            Event::TaskRun { pe, task } => self.task_run(now, pe, task, worker),
+        }
+    }
+
+    fn is_busy(&self, pe: usize, now: Time) -> bool {
+        now < self.busy_until[pe]
+    }
+
+    fn pe_wake<W: Worker + ?Sized>(&mut self, now: Time, pe: usize, worker: &mut W) {
+        if self.is_busy(pe, now) {
+            return;
+        }
+        let popped = match self.cfg.policy.local_order {
+            LocalOrder::Lifo => self.deques[pe].pop_tail(now),
+            LocalOrder::Fifo => self.deques[pe].pop_head(now),
+        };
+        if let Some(task) = popped {
+            self.steal_fails[pe] = 0;
+            self.execute_task(now + self.cycles(self.cfg.costs.dispatch_cycles), pe, task, worker);
+        } else {
+            self.begin_steal(now, pe);
+        }
+    }
+
+    fn begin_steal(&mut self, now: Time, pe: usize) {
+        // Victim space: all other PEs plus the host interface block.
+        let num_pes = self.cfg.num_pes();
+        let victim = if num_pes == 1 {
+            num_pes // only the IF is stealable
+        } else {
+            match self.cfg.policy.victim_select {
+                VictimSelect::Lfsr => {
+                    let mut v = self.lfsrs[pe].next_in_range(num_pes + 1);
+                    if v == pe {
+                        v = num_pes;
+                    }
+                    v
+                }
+                VictimSelect::RoundRobin => {
+                    let mut v = (self.rr_victim[pe] + 1) % (num_pes + 1);
+                    if v == pe {
+                        v = (v + 1) % (num_pes + 1);
+                    }
+                    self.rr_victim[pe] = v;
+                    v
+                }
+            }
+        };
+        self.stats.incr("accel.steal_attempts");
+        self.events.push(
+            now + self.cycles(self.cfg.costs.net_hop_cycles),
+            Event::StealArrive { thief: pe, victim },
+        );
+    }
+
+    fn steal_arrive(&mut self, now: Time, thief: usize, victim: usize) {
+        let service = self.cycles(self.cfg.costs.steal_service_cycles);
+        let task = if victim == self.cfg.num_pes() {
+            // The interface block's task is taken only by a supporting PE.
+            match self.host_queue.front() {
+                Some(t) if self.cfg.pe_supports(thief, t.ty) => self.host_queue.pop_front(),
+                _ => None,
+            }
+        } else {
+            match self.cfg.policy.steal_end {
+                StealEnd::Head => self.deques[victim]
+                    .steal_head_if(now + service, |t| self.cfg.pe_supports(thief, t.ty)),
+                StealEnd::Tail => match self.deques[victim].pop_tail(now + service) {
+                    Some(t) if self.cfg.pe_supports(thief, t.ty) => Some(t),
+                    Some(t) => {
+                        // Put an unsupported task back (hardware would not
+                        // have offered it).
+                        let _ = self.deques[victim].push_tail(t, now + service);
+                        None
+                    }
+                    None => None,
+                },
+            }
+        };
+        if task.is_some() {
+            self.stats.incr("accel.steal_hits");
+        }
+        self.events.push(
+            now + service + self.cycles(self.cfg.costs.net_hop_cycles),
+            Event::StealReply { thief, task },
+        );
+    }
+
+    fn steal_reply<W: Worker + ?Sized>(
+        &mut self,
+        now: Time,
+        thief: usize,
+        task: Option<Task>,
+        worker: &mut W,
+    ) {
+        match task {
+            Some(t) => {
+                self.steal_fails[thief] = 0;
+                if self.is_busy(thief, now) {
+                    // The thief picked up greedy-routed work meanwhile; bank
+                    // the stolen task in its queue.
+                    self.push_local(thief, t, now);
+                } else {
+                    self.execute_task(now, thief, t, worker);
+                }
+            }
+            None => {
+                // Exponential backoff caps event churn while the accelerator
+                // is starved for parallelism (e.g. quicksort's serial
+                // partition phases).
+                let fails = self.steal_fails[thief].min(6);
+                self.steal_fails[thief] = self.steal_fails[thief].saturating_add(1);
+                let backoff = self.cfg.costs.steal_backoff_cycles << fails;
+                self.events.push(
+                    now + self.cycles(backoff),
+                    Event::PeWake { pe: thief },
+                );
+            }
+        }
+    }
+
+    fn push_local(&mut self, pe: usize, task: Task, at: Time) {
+        if let Err(_rejected) = self.deques[pe].push_tail(task, at) {
+            self.error = Some(AccelError::QueueFull { pe });
+        }
+    }
+
+    /// Picks a PE that can process `ty`, preferring `preferred` and then
+    /// its tile (round-robin among the tile's supporters), falling back to
+    /// any supporter in the accelerator.
+    fn supporter_for(&mut self, preferred: usize, ty: TaskTypeId) -> Option<usize> {
+        if self.cfg.pe_supports(preferred, ty) {
+            return Some(preferred);
+        }
+        let per_tile = self.cfg.pes_per_tile;
+        let tile_base = self.cfg.tile_of_pe(preferred) * per_tile;
+        self.hetero_rr = self.hetero_rr.wrapping_add(1);
+        for i in 0..per_tile {
+            let pe = tile_base + (self.hetero_rr + i) % per_tile;
+            if self.cfg.pe_supports(pe, ty) {
+                return Some(pe);
+            }
+        }
+        (0..self.cfg.num_pes()).find(|&pe| self.cfg.pe_supports(pe, ty))
+    }
+
+    fn arg_arrive(&mut self, now: Time, k: Continuation, value: u64, from_pe: usize) {
+        self.inflight_args -= 1;
+        self.last_useful = self.last_useful.max(now);
+        match k {
+            Continuation::Host { slot } => {
+                self.host[slot as usize] = Some(value);
+            }
+            Continuation::PStore { tile, entry, slot } => {
+                if let Some(ready) = self.pstores[tile as usize].fill(entry, slot, value) {
+                    self.outstanding += 1;
+                    // Greedy scheduling (default): the ready task returns to
+                    // the PE that produced the last argument. The ablation
+                    // instead leaves it with a PE of the P-Store's tile.
+                    let preferred = if self.cfg.policy.greedy_routing {
+                        from_pe
+                    } else {
+                        tile as usize * self.cfg.pes_per_tile
+                            + entry as usize % self.cfg.pes_per_tile
+                    };
+                    let Some(dest) = self.supporter_for(preferred, ready.ty) else {
+                        self.error = Some(AccelError::Unsupported(format!(
+                            "no PE supports task type {}",
+                            ready.ty
+                        )));
+                        return;
+                    };
+                    let hop = if self.cfg.tile_of_pe(dest) == tile as usize {
+                        Time::ZERO
+                    } else {
+                        self.cycles(self.cfg.costs.net_hop_cycles)
+                    };
+                    self.events.push(
+                        now + hop,
+                        Event::TaskRun {
+                            pe: dest,
+                            task: ready,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn task_run<W: Worker + ?Sized>(&mut self, now: Time, pe: usize, task: Task, worker: &mut W) {
+        if self.is_busy(pe, now) {
+            self.push_local(pe, task, now);
+        } else {
+            self.execute_task(now, pe, task, worker);
+        }
+    }
+
+    fn execute_task<W: Worker + ?Sized>(
+        &mut self,
+        start: Time,
+        pe: usize,
+        task: Task,
+        worker: &mut W,
+    ) {
+        let tile = self.cfg.tile_of_pe(pe);
+        let port = self.backend.port_of(&self.cfg, pe);
+        // Temporarily take the PE's deque so the context can push spawns
+        // with accurate visibility timestamps.
+        let mut deque = std::mem::replace(&mut self.deques[pe], TaskDeque::new(0));
+        let mut ctx = FlexCtx {
+            now: start,
+            pe,
+            tile,
+            port,
+            cfg: &self.cfg,
+            profile: self.profile,
+            mem: &mut self.mem,
+            backend: &mut self.backend,
+            pstores: &mut self.pstores,
+            deque: &mut deque,
+            out_args: Vec::new(),
+            out_spawns: Vec::new(),
+            spawned: 0,
+            successors: 0,
+            args_sent: 0,
+            ops: 0,
+            error: None,
+        };
+        worker.execute(&task, &mut ctx);
+        let end = ctx.now;
+        let out_args = std::mem::take(&mut ctx.out_args);
+        let out_spawns = std::mem::take(&mut ctx.out_spawns);
+        let (spawned, successors, args_sent, ops) =
+            (ctx.spawned, ctx.successors, ctx.args_sent, ctx.ops);
+        let ctx_error = ctx.error.take();
+        self.deques[pe] = deque;
+        if let Some(e) = ctx_error {
+            self.error = Some(e);
+            return;
+        }
+        for (at, task) in out_spawns {
+            let Some(dest) = self.supporter_for(pe, task.ty) else {
+                self.error = Some(AccelError::Unsupported(format!(
+                    "no PE supports task type {}",
+                    task.ty
+                )));
+                return;
+            };
+            self.push_local(dest, task, at);
+            self.events.push(at, Event::PeWake { pe: dest });
+        }
+        self.outstanding += spawned;
+        self.stats.add("accel.spawns", spawned);
+        self.stats.add("accel.successors", successors);
+        self.stats.add("accel.args", args_sent);
+        self.stats.add("accel.ops", ops);
+        self.stats.incr("accel.tasks");
+        self.stats.incr(&format!("pe{pe}.tasks"));
+        self.stats
+            .add(&format!("pe{pe}.busy_ps"), (end - start).as_ps());
+        for (at, k, value) in out_args {
+            self.inflight_args += 1;
+            self.events.push(at, Event::ArgArrive { k, value, from_pe: pe });
+        }
+        self.last_useful = self.last_useful.max(end);
+        self.outstanding -= 1;
+        // The PE stays busy (gating greedy routing and steal replies) until
+        // its completion wake fires at `end`.
+        self.busy_until[pe] = end;
+        self.events.push(end, Event::PeWake { pe });
+    }
+}
+
+/// The PE-side [`TaskContext`] used during FlexArch task execution.
+struct FlexCtx<'e> {
+    now: Time,
+    pe: usize,
+    tile: usize,
+    port: usize,
+    cfg: &'e AccelConfig,
+    profile: ExecProfile,
+    mem: &'e mut Memory,
+    backend: &'e mut MemBackend,
+    pstores: &'e mut Vec<PStore>,
+    deque: &'e mut TaskDeque,
+    out_args: Vec<(Time, Continuation, u64)>,
+    /// Spawns whose task type this PE's worker cannot process — routed to a
+    /// supporting PE over the intra-tile bus after execution.
+    out_spawns: Vec<(Time, Task)>,
+    spawned: u64,
+    successors: u64,
+    args_sent: u64,
+    ops: u64,
+    error: Option<AccelError>,
+}
+
+impl FlexCtx<'_> {
+    fn cycles(&self, n: u64) -> Time {
+        self.cfg.clock.cycles_to_time(n)
+    }
+}
+
+impl TaskContext for FlexCtx<'_> {
+    fn spawn(&mut self, task: Task) {
+        if self.error.is_some() {
+            return;
+        }
+        self.now += self.cycles(self.cfg.costs.spawn_cycles);
+        self.spawned += 1;
+        if self.cfg.pe_supports(self.pe, task.ty) {
+            if self.deque.push_tail(task, self.now).is_err() {
+                self.error = Some(AccelError::QueueFull { pe: self.pe });
+            }
+        } else {
+            // Heterogeneous workers: hand the task to a supporting PE over
+            // the intra-tile bus.
+            let at = self.now + self.cycles(self.cfg.costs.net_hop_cycles);
+            self.out_spawns.push((at, task));
+        }
+    }
+
+    fn send_arg(&mut self, k: Continuation, value: u64) {
+        if self.error.is_some() {
+            return;
+        }
+        self.now += self.cycles(self.cfg.costs.send_arg_cycles);
+        self.args_sent += 1;
+        let remote = match k {
+            Continuation::Host { .. } => true,
+            Continuation::PStore { tile, .. } => tile as usize != self.tile,
+        };
+        let deliver = if remote {
+            self.now + self.cycles(self.cfg.costs.net_hop_cycles)
+        } else {
+            self.now
+        };
+        self.out_args.push((deliver, k, value));
+    }
+
+    fn make_successor_with(
+        &mut self,
+        ty: TaskTypeId,
+        k: Continuation,
+        join: u8,
+        preset: &[(u8, u64)],
+    ) -> Continuation {
+        if self.error.is_some() {
+            return Continuation::host((HOST_SLOTS - 1) as u8);
+        }
+        self.now += self.cycles(self.cfg.costs.successor_cycles);
+        self.successors += 1;
+        let mut pending = PendingTask::new(ty, k, join);
+        for &(slot, value) in preset {
+            pending = pending.preset(slot, value);
+        }
+        // Allocate locally; overflow to other tiles over the network.
+        let tiles = self.pstores.len();
+        for probe in 0..tiles {
+            let t = (self.tile + probe) % tiles;
+            if let Some(entry) = self.pstores[t].alloc(pending) {
+                if probe > 0 {
+                    self.now += self.cycles(self.cfg.costs.net_hop_cycles);
+                }
+                return Continuation::pstore(t as u16, entry, 0);
+            }
+        }
+        self.error = Some(AccelError::PStoreFull { tile: self.tile });
+        Continuation::host((HOST_SLOTS - 1) as u8)
+    }
+
+    fn compute(&mut self, ops: u64) {
+        self.ops += ops;
+        let cycles = self.profile.accel_cycles(ops);
+        self.now += self.cycles(cycles);
+    }
+
+    fn load(&mut self, addr: u64, _bytes: u32) {
+        self.now = self.backend.access(self.port, addr, AccessKind::Read, self.now);
+    }
+
+    fn store(&mut self, addr: u64, _bytes: u32) {
+        self.now = self.backend.access(self.port, addr, AccessKind::Write, self.now);
+    }
+
+    fn amo(&mut self, addr: u64) {
+        self.now = self.backend.access(self.port, addr, AccessKind::Amo, self.now);
+    }
+
+    fn dma_read(&mut self, addr: u64, bytes: u64) {
+        self.now = self
+            .backend
+            .access_bytes(self.port, addr, bytes, AccessKind::Read, self.now);
+    }
+
+    fn dma_write(&mut self, addr: u64, bytes: u64) {
+        self.now = self
+            .backend
+            .access_bytes(self.port, addr, bytes, AccessKind::Write, self.now);
+    }
+
+    fn mem(&mut self) -> &mut Memory {
+        self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccelConfig;
+
+    const FIB: TaskTypeId = TaskTypeId(0);
+    const SUM: TaskTypeId = TaskTypeId(1);
+
+    struct FibWorker;
+    impl Worker for FibWorker {
+        fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+            let k = task.k;
+            if task.ty == FIB {
+                let n = task.args[0];
+                ctx.compute(2);
+                if n < 2 {
+                    ctx.send_arg(k, n);
+                } else {
+                    let kk = ctx.make_successor(SUM, k, 2);
+                    ctx.spawn(Task::new(FIB, kk.with_slot(1), &[n - 2]));
+                    ctx.spawn(Task::new(FIB, kk.with_slot(0), &[n - 1]));
+                }
+            } else {
+                ctx.compute(1);
+                ctx.send_arg(k, task.args[0] + task.args[1]);
+            }
+        }
+    }
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+
+    fn run_fib(tiles: usize, pes: usize, n: u64) -> AccelResult {
+        let mut engine = FlexEngine::new(AccelConfig::flex(tiles, pes), ExecProfile::scalar());
+        engine
+            .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[n]))
+            .expect("fib must complete")
+    }
+
+    #[test]
+    fn single_pe_computes_fib() {
+        let out = run_fib(1, 1, 12);
+        assert_eq!(out.result, fib(12));
+        assert!(out.elapsed > Time::ZERO);
+        assert!(out.stats.get("accel.tasks") > 100);
+    }
+
+    #[test]
+    fn multi_pe_same_answer_and_faster() {
+        let n = 16;
+        let t1 = run_fib(1, 1, n);
+        let t8 = run_fib(2, 4, n);
+        assert_eq!(t1.result, fib(n));
+        assert_eq!(t8.result, fib(n));
+        assert!(
+            t8.elapsed < t1.elapsed,
+            "8 PEs ({}) must beat 1 PE ({})",
+            t8.elapsed,
+            t1.elapsed
+        );
+        assert!(t8.stats.get("accel.steal_hits") > 0, "work must migrate");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_fib(2, 2, 14);
+        let b = run_fib(2, 2, 14);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.result, b.result);
+        assert_eq!(
+            a.stats.get("accel.steal_attempts"),
+            b.stats.get("accel.steal_attempts")
+        );
+    }
+
+    #[test]
+    fn space_bound_holds() {
+        // S_P <= S_1 * P (Section II-C): measure S_1 with the serial
+        // executor, then check the parallel queue peaks.
+        let n = 14;
+        let mut serial = pxl_model::SerialExecutor::new();
+        let _ = serial
+            .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[n]))
+            .unwrap();
+        let s1 = serial.stats().s1() as u64;
+        let p = 8u64;
+        let out = run_fib(2, 4, n);
+        let s_p = out.stats.get("accel.queue_peak_sum") + out.stats.get("accel.pstore_peak");
+        assert!(
+            s_p <= s1 * p,
+            "space bound violated: S_P={s_p} > S_1*P={}",
+            s1 * p
+        );
+    }
+
+    #[test]
+    fn queue_overflow_is_reported() {
+        let mut cfg = AccelConfig::flex(1, 1);
+        cfg.task_queue_entries = 2;
+        let mut engine = FlexEngine::new(cfg, ExecProfile::scalar());
+        // fib(16) needs more than 2 queue slots on one PE.
+        let err = engine
+            .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[16]))
+            .unwrap_err();
+        assert!(matches!(err, AccelError::QueueFull { .. }), "got {err}");
+    }
+
+    #[test]
+    fn pstore_overflow_is_reported() {
+        let mut cfg = AccelConfig::flex(1, 2);
+        cfg.pstore_entries = 2;
+        let mut engine = FlexEngine::new(cfg, ExecProfile::scalar());
+        let err = engine
+            .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[18]))
+            .unwrap_err();
+        assert!(matches!(err, AccelError::PStoreFull { .. }), "got {err}");
+    }
+
+    struct LeakyWorker;
+    impl Worker for LeakyWorker {
+        fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+            let _ = ctx.make_successor(SUM, task.k, 2);
+        }
+    }
+
+    #[test]
+    fn leaked_pending_is_reported() {
+        let mut engine = FlexEngine::new(AccelConfig::flex(1, 1), ExecProfile::scalar());
+        let err = engine
+            .run(&mut LeakyWorker, Task::new(FIB, Continuation::host(0), &[]))
+            .unwrap_err();
+        assert_eq!(err, AccelError::LeakedPending { count: 1 });
+    }
+
+    #[test]
+    fn memory_traffic_flows_through_hierarchy() {
+        struct MemWorker;
+        impl Worker for MemWorker {
+            fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+                let mut sum = 0u64;
+                for i in 0..64u64 {
+                    sum += ctx.read_u32(0x1000 + 4 * i) as u64;
+                }
+                ctx.send_arg(task.k, sum);
+            }
+        }
+        let mut engine = FlexEngine::new(AccelConfig::flex(1, 1), ExecProfile::scalar());
+        for i in 0..64u64 {
+            engine.mem_mut().write_u32(0x1000 + 4 * i, i as u32);
+        }
+        let out = engine
+            .run(&mut MemWorker, Task::new(FIB, Continuation::host(0), &[]))
+            .unwrap();
+        assert_eq!(out.result, (0..64).sum::<u64>());
+        assert!(out.stats.get("mem.l1_misses") >= 1);
+        assert!(out.stats.get("mem.l1_hits") > 32, "strided reads must hit");
+    }
+
+    #[test]
+    fn heterogeneous_workers_compute_fib() {
+        // The Section III-A extension: PE slots 0-2 process only FIB, slot 3
+        // only SUM. Tasks route to supporting PEs; results stay golden.
+        let mut cfg = AccelConfig::flex(2, 4);
+        cfg.pe_task_types = Some(vec![0b01, 0b01, 0b01, 0b10]);
+        let mut engine = FlexEngine::new(cfg, ExecProfile::scalar());
+        let out = engine
+            .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[14]))
+            .unwrap();
+        assert_eq!(out.result, fib(14));
+        // SUM-only PEs (slots 3 and 7) must have executed all the SUM tasks
+        // and FIB PEs none of them; per-PE counters let us check the split.
+        let sum_pe_tasks = out.stats.get("pe3.tasks") + out.stats.get("pe7.tasks");
+        assert!(sum_pe_tasks > 0, "SUM slots must execute the join tasks");
+    }
+
+    #[test]
+    fn heterogeneous_config_is_validated() {
+        let mut cfg = AccelConfig::flex(1, 4);
+        cfg.pe_task_types = Some(vec![0b01, 0b01]); // wrong length
+        assert!(cfg.validate().is_err());
+        let mut cfg = AccelConfig::flex(1, 2);
+        cfg.pe_task_types = Some(vec![0b01, 0]); // empty mask
+        assert!(cfg.validate().is_err());
+        let mut cfg = AccelConfig::flex(1, 2);
+        cfg.pe_task_types = Some(vec![0b01, 0b10]);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.pe_supports(0, FIB));
+        assert!(!cfg.pe_supports(0, SUM));
+        assert!(cfg.pe_supports(1, SUM));
+    }
+
+    #[test]
+    fn unsupported_task_type_is_an_error_not_a_hang() {
+        // No PE supports SUM: the first join completion must error out.
+        let mut cfg = AccelConfig::flex(1, 2);
+        cfg.pe_task_types = Some(vec![0b01, 0b01]);
+        let mut engine = FlexEngine::new(cfg, ExecProfile::scalar());
+        let err = engine
+            .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[6]))
+            .unwrap_err();
+        assert!(matches!(err, AccelError::Unsupported(_)), "got {err}");
+    }
+
+    #[test]
+    fn faster_profile_reduces_elapsed_time() {
+        let run = |accel_rate: f64| {
+            let mut engine = FlexEngine::new(
+                AccelConfig::flex(1, 1),
+                ExecProfile::new(accel_rate, 1.0),
+            );
+            engine
+                .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[14]))
+                .unwrap()
+                .elapsed
+        };
+        assert!(run(8.0) < run(1.0));
+    }
+}

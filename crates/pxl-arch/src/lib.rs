@@ -1,0 +1,39 @@
+//! The ParallelXL accelerator architecture (Section III of the paper).
+//!
+//! An accelerator is a set of **tiles** connected by argument and
+//! work-stealing networks; each tile contains several **processing
+//! elements** (worker + task-management unit), a shared **P-Store** for
+//! pending tasks, an argument/task **router**, and an L1 cache port into the
+//! coherent memory hierarchy. Two tile variants are provided, matching the
+//! paper's Table I:
+//!
+//! | Pattern               | [`ArchKind::Flex`] | [`ArchKind::Lite`] |
+//! |-----------------------|--------------------|--------------------|
+//! | Data-parallel         | yes                | yes                |
+//! | Fork-join             | yes                | no                 |
+//! | General task-parallel | yes                | no                 |
+//! | Task scheduling       | work stealing      | static distribution|
+//!
+//! The crate simulates both at cycle granularity on top of the
+//! [`pxl_sim`] event kernel and the [`pxl_mem`] hierarchy:
+//!
+//! * [`FlexEngine`] — the full continuation-passing machine: LIFO task
+//!   deques, LFSR victim selection, steal-from-head, distributed P-Stores,
+//!   greedy scheduling (a task made ready by the last arriving argument is
+//!   routed back to the PE that produced it), and a host interface block
+//!   that PEs steal root tasks from.
+//! * [`LiteEngine`] — the lightweight data-parallel machine: no P-Store, no
+//!   steal network; the host statically distributes range chunks round-robin
+//!   and synchronizes between rounds.
+
+pub mod config;
+pub mod deque;
+pub mod engine;
+pub mod lite;
+pub mod pstore;
+
+pub use config::{AccelConfig, ArchCosts, ArchKind, LocalOrder, MemBackendKind, SchedPolicy, StealEnd, VictimSelect};
+pub use deque::TaskDeque;
+pub use engine::{AccelError, AccelResult, FlexEngine};
+pub use lite::{LiteDriver, LiteEngine, RoundTasks};
+pub use pstore::PStore;

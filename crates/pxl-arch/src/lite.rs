@@ -1,0 +1,431 @@
+//! The LiteArch execution engine: static data-parallel distribution.
+//!
+//! A LiteArch tile (Fig. 3(c)) drops the P-Store, the argument/task router
+//! and all work-stealing hardware: "This architecture supports the
+//! data-parallel pattern with the host CPU splitting the range into smaller
+//! subranges, and enqueuing the tasks for execution on the PEs"
+//! (Section III-B). The interface block assigns tasks to PEs statically
+//! (round-robin) over the argument/task network.
+//!
+//! Algorithms with dynamic task graphs are mapped to LiteArch the way the
+//! paper describes (Section V-A): "use multiple rounds, with each round
+//! processing one level of the task graph using a parallel-for, and at the
+//! same time constructing the next level". The host-side logic that builds
+//! each round is a [`LiteDriver`].
+
+use pxl_mem::{AccessKind, Memory};
+use pxl_model::serial::HOST_SLOTS;
+use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
+use pxl_sim::{Stats, Time};
+
+use crate::config::{AccelConfig, ArchKind};
+use crate::engine::{AccelError, AccelResult, MemBackend};
+
+/// One round of statically distributed tasks.
+pub type RoundTasks = Vec<Task>;
+
+/// Host-side round constructor for LiteArch executions.
+///
+/// The engine calls [`LiteDriver::next_round`] repeatedly; each returned
+/// batch is distributed round-robin over the PEs and run to completion
+/// before the next round starts (a host-side barrier). Return `None` when
+/// the computation is finished.
+pub trait LiteDriver {
+    /// Builds the tasks of round `round`, inspecting `mem` for results of
+    /// previous rounds (e.g. the next BFS frontier). `None` ends the run.
+    fn next_round(&mut self, mem: &mut Memory, round: usize) -> Option<RoundTasks>;
+}
+
+/// Blanket impl so simple closures can drive single- or multi-round runs.
+impl<F> LiteDriver for F
+where
+    F: FnMut(&mut Memory, usize) -> Option<RoundTasks>,
+{
+    fn next_round(&mut self, mem: &mut Memory, round: usize) -> Option<RoundTasks> {
+        self(mem, round)
+    }
+}
+
+/// The LiteArch accelerator simulator.
+///
+/// Tasks may not spawn children or create successors — attempting either is
+/// an [`AccelError::Unsupported`], enforcing Table I in the simulator the
+/// way leaving out the P-Store enforces it in hardware. Arguments sent to a
+/// host slot are *accumulated* (summed) into that slot, which is how
+/// reductions (queens solution counts, knapsack best values) come back.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_arch::{AccelConfig, LiteEngine};
+/// use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
+///
+/// const LEAF: TaskTypeId = TaskTypeId(0);
+/// struct SumWorker;
+/// impl Worker for SumWorker {
+///     fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+///         let (lo, hi) = (task.args[0], task.args[1]);
+///         ctx.compute(hi - lo);
+///         ctx.send_arg(task.k, (lo..hi).sum::<u64>());
+///     }
+/// }
+///
+/// let mut engine = LiteEngine::new(AccelConfig::lite(1, 4), ExecProfile::scalar());
+/// let out = engine
+///     .run(&mut SumWorker, &mut |_mem: &mut pxl_mem::Memory, round: usize| {
+///         (round == 0).then(|| {
+///             (0..4u64)
+///                 .map(|i| Task::new(LEAF, Continuation::host(0), &[i * 25, (i + 1) * 25]))
+///                 .collect()
+///         })
+///     })
+///     .unwrap();
+/// assert_eq!(out.result, (0..100).sum::<u64>());
+/// ```
+#[derive(Debug)]
+pub struct LiteEngine {
+    cfg: AccelConfig,
+    profile: ExecProfile,
+    mem: Memory,
+    backend: MemBackend,
+    host: [u64; HOST_SLOTS],
+    host_written: [bool; HOST_SLOTS],
+    stats: Stats,
+}
+
+impl LiteEngine {
+    /// Creates an engine for `cfg` with the benchmark's execution profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`AccelConfig::validate`] or is not
+    /// a LiteArch configuration.
+    pub fn new(cfg: AccelConfig, profile: ExecProfile) -> Self {
+        cfg.validate().expect("invalid accelerator configuration");
+        assert_eq!(cfg.arch, ArchKind::Lite, "LiteEngine requires ArchKind::Lite");
+        let backend = MemBackend::for_config(&cfg);
+        LiteEngine {
+            profile,
+            mem: Memory::new(),
+            backend,
+            host: [0; HOST_SLOTS],
+            host_written: [false; HOST_SLOTS],
+            stats: Stats::new(),
+            cfg,
+        }
+    }
+
+    /// Mutable access to functional memory for input setup.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Shared access to functional memory for output checking.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &AccelConfig {
+        &self.cfg
+    }
+
+    /// Runs rounds from `driver` until it returns `None`.
+    ///
+    /// The result is the accumulated value of host slot 0.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::Unsupported`] if a task tries to spawn or create a
+    /// successor, [`AccelError::TimedOut`] past the configured limit.
+    pub fn run<W, D>(&mut self, worker: &mut W, driver: &mut D) -> Result<AccelResult, AccelError>
+    where
+        W: Worker + ?Sized,
+        D: LiteDriver + ?Sized,
+    {
+        let num_pes = self.cfg.num_pes();
+        let limit = Time::from_us(self.cfg.max_sim_time_us);
+        let mut now = Time::ZERO;
+        let mut round = 0usize;
+        while let Some(tasks) = driver.next_round(&mut self.mem, round) {
+            self.stats.incr("lite.rounds");
+            self.stats.add("lite.tasks", tasks.len() as u64);
+            now += self.cfg.clock.cycles_to_time(self.cfg.costs.round_sync_cycles);
+            // Static round-robin distribution by the interface block. The IF
+            // dispatches tasks serially over the argument/task network, so
+            // PE p's i-th task is available only after its dispatch slot.
+            let dispatch = self.cfg.clock.cycles_to_time(self.cfg.costs.if_dispatch_cycles);
+            let mut pe_time = vec![now; num_pes];
+            for (i, task) in tasks.into_iter().enumerate() {
+                let pe = i % num_pes;
+                let dispatched = now + Time::from_ps(dispatch.as_ps() * (i as u64 + 1));
+                let start = pe_time[pe].max(dispatched);
+                let end = self.execute_task(start, pe, task, worker)?;
+                pe_time[pe] = end;
+                if end > limit {
+                    return Err(AccelError::TimedOut);
+                }
+            }
+            // Host-side barrier: the round ends when the slowest PE drains.
+            now = pe_time.into_iter().max().unwrap_or(now);
+            round += 1;
+        }
+        let mem_stats = self.backend.take_stats();
+        self.stats.merge(&mem_stats);
+        Ok(AccelResult {
+            result: self.host[0],
+            elapsed: now,
+            stats: std::mem::take(&mut self.stats),
+        })
+    }
+
+    /// Accumulated value of a host result slot (zero if never written).
+    pub fn host_result(&self, slot: u8) -> Option<u64> {
+        self.host_written[slot as usize].then(|| self.host[slot as usize])
+    }
+
+    fn execute_task<W: Worker + ?Sized>(
+        &mut self,
+        start: Time,
+        pe: usize,
+        task: Task,
+        worker: &mut W,
+    ) -> Result<Time, AccelError> {
+        let start = start + self.cfg.clock.cycles_to_time(self.cfg.costs.dispatch_cycles);
+        let port = self.backend.port_of(&self.cfg, pe);
+        let mut ctx = LiteCtx {
+            now: start,
+            port,
+            cfg: &self.cfg,
+            profile: self.profile,
+            mem: &mut self.mem,
+            backend: &mut self.backend,
+            host: &mut self.host,
+            host_written: &mut self.host_written,
+            ops: 0,
+            error: None,
+        };
+        worker.execute(&task, &mut ctx);
+        let end = ctx.now;
+        let ops = ctx.ops;
+        let err = ctx.error.take();
+        if let Some(e) = err {
+            return Err(e);
+        }
+        self.stats.incr("accel.tasks");
+        self.stats.incr(&format!("pe{pe}.tasks"));
+        self.stats.add("accel.ops", ops);
+        self.stats
+            .add(&format!("pe{pe}.busy_ps"), (end - start).as_ps());
+        Ok(end)
+    }
+}
+
+/// The PE-side [`TaskContext`] for LiteArch: no spawning, no successors.
+struct LiteCtx<'e> {
+    now: Time,
+    port: usize,
+    cfg: &'e AccelConfig,
+    profile: ExecProfile,
+    mem: &'e mut Memory,
+    backend: &'e mut MemBackend,
+    host: &'e mut [u64; HOST_SLOTS],
+    host_written: &'e mut [bool; HOST_SLOTS],
+    ops: u64,
+    error: Option<AccelError>,
+}
+
+impl TaskContext for LiteCtx<'_> {
+    fn spawn(&mut self, _task: Task) {
+        self.error = Some(AccelError::Unsupported(
+            "LiteArch tiles cannot spawn tasks (no work-stealing TMU; see Table I)".into(),
+        ));
+    }
+
+    fn send_arg(&mut self, k: Continuation, value: u64) {
+        self.now += self.cfg.clock.cycles_to_time(self.cfg.costs.send_arg_cycles);
+        match k {
+            Continuation::Host { slot } => {
+                self.host[slot as usize] = self.host[slot as usize].wrapping_add(value);
+                self.host_written[slot as usize] = true;
+            }
+            Continuation::PStore { .. } => {
+                self.error = Some(AccelError::Unsupported(
+                    "LiteArch tiles have no P-Store to receive arguments".into(),
+                ));
+            }
+        }
+    }
+
+    fn make_successor_with(
+        &mut self,
+        _ty: TaskTypeId,
+        _k: Continuation,
+        _join: u8,
+        _preset: &[(u8, u64)],
+    ) -> Continuation {
+        self.error = Some(AccelError::Unsupported(
+            "LiteArch tiles have no P-Store (see Table I)".into(),
+        ));
+        Continuation::host((HOST_SLOTS - 1) as u8)
+    }
+
+    fn compute(&mut self, ops: u64) {
+        self.ops += ops;
+        let cycles = self.profile.accel_cycles(ops);
+        self.now += self.cfg.clock.cycles_to_time(cycles);
+    }
+
+    fn load(&mut self, addr: u64, _bytes: u32) {
+        self.now = self.backend.access(self.port, addr, AccessKind::Read, self.now);
+    }
+
+    fn store(&mut self, addr: u64, _bytes: u32) {
+        self.now = self.backend.access(self.port, addr, AccessKind::Write, self.now);
+    }
+
+    fn amo(&mut self, addr: u64) {
+        self.now = self.backend.access(self.port, addr, AccessKind::Amo, self.now);
+    }
+
+    fn dma_read(&mut self, addr: u64, bytes: u64) {
+        self.now = self
+            .backend
+            .access_bytes(self.port, addr, bytes, AccessKind::Read, self.now);
+    }
+
+    fn dma_write(&mut self, addr: u64, bytes: u64) {
+        self.now = self
+            .backend
+            .access_bytes(self.port, addr, bytes, AccessKind::Write, self.now);
+    }
+
+    fn mem(&mut self) -> &mut Memory {
+        self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEAF: TaskTypeId = TaskTypeId(0);
+
+    struct SumWorker;
+    impl Worker for SumWorker {
+        fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+            let (lo, hi) = (task.args[0], task.args[1]);
+            ctx.compute(hi - lo);
+            ctx.send_arg(task.k, (lo..hi).sum::<u64>());
+        }
+    }
+
+    fn chunk_tasks(n: u64, chunks: u64) -> RoundTasks {
+        let per = n / chunks;
+        (0..chunks)
+            .map(|i| Task::new(LEAF, Continuation::host(0), &[i * per, (i + 1) * per]))
+            .collect()
+    }
+
+    fn one_round(tasks: RoundTasks) -> impl FnMut(&mut Memory, usize) -> Option<RoundTasks> {
+        let mut tasks = Some(tasks);
+        move |_mem, round| if round == 0 { tasks.take() } else { None }
+    }
+
+    #[test]
+    fn single_round_reduction() {
+        let mut engine = LiteEngine::new(AccelConfig::lite(1, 4), ExecProfile::scalar());
+        let out = engine
+            .run(&mut SumWorker, &mut one_round(chunk_tasks(1000, 8)))
+            .unwrap();
+        assert_eq!(out.result, (0..1000).sum::<u64>());
+        assert_eq!(out.stats.get("accel.tasks"), 8);
+        assert_eq!(out.stats.get("lite.rounds"), 1);
+    }
+
+    #[test]
+    fn more_pes_finish_sooner() {
+        let run = |tiles, pes| {
+            let mut engine = LiteEngine::new(AccelConfig::lite(tiles, pes), ExecProfile::scalar());
+            engine
+                .run(&mut SumWorker, &mut one_round(chunk_tasks(100_000, 64)))
+                .unwrap()
+                .elapsed
+        };
+        let t1 = run(1, 1);
+        let t8 = run(2, 4);
+        assert!(t8 < t1, "8 PEs ({t8}) must beat 1 PE ({t1})");
+    }
+
+    #[test]
+    fn multi_round_execution_uses_memory_between_rounds() {
+        struct DoubleWorker;
+        impl Worker for DoubleWorker {
+            fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+                let addr = task.args[0];
+                let v = ctx.read_u32(addr);
+                ctx.write_u32(addr, v * 2);
+                ctx.send_arg(task.k, 0);
+            }
+        }
+        let mut engine = LiteEngine::new(AccelConfig::lite(1, 2), ExecProfile::scalar());
+        engine.mem_mut().write_u32(0x100, 1);
+        let out = engine
+            .run(&mut DoubleWorker, &mut |_mem: &mut Memory, round: usize| {
+                (round < 3).then(|| vec![Task::new(LEAF, Continuation::host(1), &[0x100])])
+            })
+            .unwrap();
+        assert_eq!(engine.memory().read_u32(0x100), 8, "three doubling rounds");
+        assert_eq!(out.stats.get("lite.rounds"), 3);
+    }
+
+    struct SpawnyWorker;
+    impl Worker for SpawnyWorker {
+        fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+            ctx.spawn(*task);
+        }
+    }
+
+    #[test]
+    fn spawning_is_rejected() {
+        let mut engine = LiteEngine::new(AccelConfig::lite(1, 1), ExecProfile::scalar());
+        let err = engine
+            .run(
+                &mut SpawnyWorker,
+                &mut one_round(vec![Task::new(LEAF, Continuation::host(0), &[])]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AccelError::Unsupported(_)), "got {err}");
+    }
+
+    struct SuccessorWorker;
+    impl Worker for SuccessorWorker {
+        fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+            let _ = ctx.make_successor(TaskTypeId(9), task.k, 2);
+        }
+    }
+
+    #[test]
+    fn successors_are_rejected() {
+        let mut engine = LiteEngine::new(AccelConfig::lite(1, 1), ExecProfile::scalar());
+        let err = engine
+            .run(
+                &mut SuccessorWorker,
+                &mut one_round(vec![Task::new(LEAF, Continuation::host(0), &[])]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AccelError::Unsupported(_)));
+    }
+
+    #[test]
+    fn host_slot_accumulates() {
+        let mut engine = LiteEngine::new(AccelConfig::lite(1, 2), ExecProfile::scalar());
+        let tasks: RoundTasks = (0..4)
+            .map(|i| Task::new(LEAF, Continuation::host(2), &[0, i + 1]))
+            .collect();
+        let _ = engine.run(&mut SumWorker, &mut one_round(tasks)).unwrap();
+        // Sums of 0..1, 0..2, 0..3, 0..4 = 0 + 1 + 3 + 6.
+        assert_eq!(engine.host_result(2), Some(10));
+        assert_eq!(engine.host_result(3), None);
+    }
+}

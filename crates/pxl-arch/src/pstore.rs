@@ -1,0 +1,163 @@
+//! The pending-task store (P-Store).
+//!
+//! Each FlexArch tile has a P-Store holding tasks that are waiting for
+//! arguments (Section III-A). "Its function is analogous to the reservation
+//! stations in an out-of-order processor." The structure consists of a free
+//! list, a join-counter array, a metadata array and argument arrays; here
+//! one [`pxl_model::PendingTask`] per entry plays all of those roles. The
+//! P-Store is *distributed*: one per tile, addressable from remote tiles
+//! through the continuation's tile field.
+
+use pxl_model::{PendingTask, Task};
+
+/// One tile's pending-task storage.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_arch::PStore;
+/// use pxl_model::{Continuation, PendingTask, TaskTypeId};
+///
+/// let mut ps = PStore::new(4);
+/// let p = PendingTask::new(TaskTypeId(1), Continuation::host(0), 2);
+/// let entry = ps.alloc(p).expect("store has space");
+/// assert!(ps.fill(entry, 0, 10).is_none());
+/// let ready = ps.fill(entry, 1, 20).expect("join complete");
+/// assert_eq!(ready.args[..2], [10, 20]);
+/// assert_eq!(ps.occupancy(), 0); // entry freed on completion
+/// ```
+#[derive(Debug, Clone)]
+pub struct PStore {
+    entries: Vec<Option<PendingTask>>,
+    free: Vec<u32>,
+    peak: usize,
+    total_allocs: u64,
+    full_events: u64,
+}
+
+impl PStore {
+    /// Creates a P-Store with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        PStore {
+            entries: vec![None; capacity],
+            free: (0..capacity as u32).rev().collect(),
+            peak: 0,
+            total_allocs: 0,
+            full_events: 0,
+        }
+    }
+
+    /// Number of live pending tasks.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+
+    /// Peak number of simultaneously pending tasks.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total successful allocations.
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs
+    }
+
+    /// Number of allocation attempts rejected for lack of space.
+    pub fn full_events(&self) -> u64 {
+        self.full_events
+    }
+
+    /// Allocates an entry for `pending`, returning its index, or `None` if
+    /// the store is full.
+    pub fn alloc(&mut self, pending: PendingTask) -> Option<u32> {
+        match self.free.pop() {
+            Some(e) => {
+                self.entries[e as usize] = Some(pending);
+                self.total_allocs += 1;
+                self.peak = self.peak.max(self.occupancy());
+                Some(e)
+            }
+            None => {
+                self.full_events += 1;
+                None
+            }
+        }
+    }
+
+    /// Delivers an argument to `slot` of `entry`. When the join counter
+    /// reaches zero the entry is deallocated and the ready task returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is not live (an argument arrived for a freed or
+    /// never-allocated entry — a protocol violation).
+    pub fn fill(&mut self, entry: u32, slot: u8, value: u64) -> Option<Task> {
+        let cell = self.entries[entry as usize]
+            .as_mut()
+            .expect("argument delivered to a dead P-Store entry");
+        let ready = cell.fill(slot, value);
+        if ready.is_some() {
+            self.entries[entry as usize] = None;
+            self.free.push(entry);
+        }
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxl_model::{Continuation, TaskTypeId};
+
+    fn pending(join: u8) -> PendingTask {
+        PendingTask::new(TaskTypeId(7), Continuation::host(0), join)
+    }
+
+    #[test]
+    fn alloc_fill_free_cycle() {
+        let mut ps = PStore::new(2);
+        let a = ps.alloc(pending(1)).unwrap();
+        let b = ps.alloc(pending(2)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(ps.occupancy(), 2);
+        assert!(ps.alloc(pending(1)).is_none(), "store is full");
+        assert_eq!(ps.full_events(), 1);
+        let ready = ps.fill(a, 0, 42).unwrap();
+        assert_eq!(ready.args[0], 42);
+        assert_eq!(ps.occupancy(), 1);
+        // Freed entry is reusable.
+        assert!(ps.alloc(pending(1)).is_some());
+    }
+
+    #[test]
+    fn peak_occupancy() {
+        let mut ps = PStore::new(8);
+        let ids: Vec<u32> = (0..5).map(|_| ps.alloc(pending(1)).unwrap()).collect();
+        for id in &ids {
+            let _ = ps.fill(*id, 0, 0);
+        }
+        assert_eq!(ps.peak(), 5);
+        assert_eq!(ps.total_allocs(), 5);
+        assert_eq!(ps.occupancy(), 0);
+    }
+
+    #[test]
+    fn partial_join_keeps_entry_live() {
+        let mut ps = PStore::new(1);
+        let e = ps.alloc(pending(3)).unwrap();
+        assert!(ps.fill(e, 0, 1).is_none());
+        assert!(ps.fill(e, 2, 3).is_none());
+        assert_eq!(ps.occupancy(), 1);
+        let ready = ps.fill(e, 1, 2).unwrap();
+        assert_eq!(ready.args[..3], [1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead P-Store entry")]
+    fn filling_freed_entry_panics() {
+        let mut ps = PStore::new(1);
+        let e = ps.alloc(pending(1)).unwrap();
+        let _ = ps.fill(e, 0, 0);
+        let _ = ps.fill(e, 0, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! End-to-end simulation throughput: how fast the host simulates one full
+//! accelerator/CPU/Lite run of a small benchmark. These are the costs that
+//! determine how long the paper's evaluation sweep takes to regenerate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pxl_apps::Scale;
+use pxl_bench::{bench, run_cpu, run_flex, run_lite};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endtoend");
+    g.sample_size(10);
+    for name in ["queens", "uts", "spmvcrs"] {
+        g.bench_function(format!("{name}/flex8"), |b| {
+            b.iter(|| {
+                let bm = bench(name, Scale::Tiny);
+                black_box(run_flex(bm.as_ref(), 8, None).kernel)
+            });
+        });
+        g.bench_function(format!("{name}/cpu4"), |b| {
+            b.iter(|| {
+                let bm = bench(name, Scale::Tiny);
+                black_box(run_cpu(bm.as_ref(), 4).kernel)
+            });
+        });
+        g.bench_function(format!("{name}/lite8"), |b| {
+            b.iter(|| {
+                let bm = bench(name, Scale::Tiny);
+                black_box(run_lite(bm.as_ref(), 8, None).expect("lite variant").kernel)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Ablation study of the FlexArch scheduling design choices that
+//! `DESIGN.md` calls out (Sections II-C and III-A of the paper):
+//!
+//! * **LIFO local order** — the worker pops its own deque depth-first,
+//!   "which is important because it results in much better task locality".
+//! * **Steal from the head** — "it enables stealing a larger chunk of work
+//!   with each request".
+//! * **LFSR (random) victim selection** vs a cyclic scan.
+//! * **Greedy scheduling** — routing a just-readied task back to the PE
+//!   that produced its last argument, "critical for guaranteeing the
+//!   asymptotic bound on space".
+//!
+//! Each variant flips exactly one knob from the published design and
+//! reports the slowdown and the peak task-storage footprint.
+
+use pxl_apps::{Benchmark, Scale};
+use pxl_arch::{AccelConfig, FlexEngine, LocalOrder, SchedPolicy, StealEnd, VictimSelect};
+use pxl_bench::{bench, geometry, render_table};
+
+fn config(pes: usize, policy: SchedPolicy) -> AccelConfig {
+    let (tiles, per_tile) = geometry(pes);
+    let mut cfg = AccelConfig::flex(tiles, per_tile);
+    cfg.policy = policy;
+    cfg
+}
+
+/// Like `run_flex_with_config` but reports simulation failures as data —
+/// an ablated policy blowing the space bound is a finding, not a bug.
+fn try_run(
+    b: &dyn Benchmark,
+    cfg: AccelConfig,
+) -> Result<(pxl_sim::Time, pxl_sim::Stats), String> {
+    let mut engine = FlexEngine::new(cfg, b.profile());
+    let inst = b.flex(engine.mem_mut());
+    let mut worker = inst.worker;
+    match engine.run(worker.as_mut(), inst.root) {
+        Ok(out) => {
+            b.check(engine.memory(), out.result)?;
+            Ok((out.elapsed, out.stats))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn main() {
+    let variants: Vec<(&str, SchedPolicy)> = vec![
+        ("baseline (paper)", SchedPolicy::default()),
+        (
+            "FIFO local order",
+            SchedPolicy {
+                local_order: LocalOrder::Fifo,
+                ..SchedPolicy::default()
+            },
+        ),
+        (
+            "steal from tail",
+            SchedPolicy {
+                steal_end: StealEnd::Tail,
+                ..SchedPolicy::default()
+            },
+        ),
+        (
+            "round-robin victims",
+            SchedPolicy {
+                victim_select: VictimSelect::RoundRobin,
+                ..SchedPolicy::default()
+            },
+        ),
+        (
+            "no greedy routing",
+            SchedPolicy {
+                greedy_routing: false,
+                ..SchedPolicy::default()
+            },
+        ),
+    ];
+
+    for name in ["uts", "cilksort", "nw"] {
+        let b = bench(name, Scale::Paper);
+        println!("## Ablation: {name} (FlexArch, 16 PEs)\n");
+        let (base_elapsed, _) =
+            try_run(b.as_ref(), config(16, SchedPolicy::default())).expect("baseline runs");
+        let mut rows = Vec::new();
+        for (label, policy) in &variants {
+            match try_run(b.as_ref(), config(16, *policy)) {
+                Ok((elapsed, stats)) => {
+                    let storage =
+                        stats.get("accel.queue_peak_sum") + stats.get("accel.pstore_peak");
+                    rows.push(vec![
+                        (*label).to_owned(),
+                        format!("{elapsed}"),
+                        format!("{:.2}x", elapsed.as_secs_f64() / base_elapsed.as_secs_f64()),
+                        format!("{}", stats.get("accel.steal_hits")),
+                        format!("{storage}"),
+                    ]);
+                }
+                Err(e) => rows.push(vec![
+                    (*label).to_owned(),
+                    format!("FAILED: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+        println!(
+            "{}",
+            render_table(
+                &["Variant", "Kernel time", "Slowdown", "Steals", "Peak task storage"],
+                &rows
+            )
+        );
+    }
+}

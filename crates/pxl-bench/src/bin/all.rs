@@ -1,0 +1,21 @@
+//! Runs every experiment and emits the full evaluation report
+//! (EXPERIMENTS.md-ready markdown).
+use pxl_apps::Scale;
+use pxl_bench::experiments as ex;
+
+fn main() {
+    println!("# ParallelXL — regenerated evaluation (Section V)\n");
+    println!("{}\n", ex::table1());
+    println!("{}\n", ex::table2());
+    println!("{}\n", ex::table3());
+    eprintln!("[fig6] running Zedboard prototype sweep...");
+    println!("{}\n", ex::fig6(Scale::Paper));
+    eprintln!("[table4/fig7/fig8] running scalability sweep...");
+    let results = ex::run_scaling(Scale::Paper);
+    println!("{}\n", ex::table4(&results));
+    println!("{}\n", ex::fig7(&results));
+    println!("{}\n", ex::table5());
+    println!("{}\n", ex::fig8(&results));
+    eprintln!("[fig9] running cache-size sweep...");
+    println!("{}", ex::fig9(Scale::Paper));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6: the Zedboard prototype vs two-core parallel software.
+use pxl_apps::Scale;
+use pxl_bench::experiments;
+
+fn main() {
+    println!("{}", experiments::fig6(Scale::Paper));
+}

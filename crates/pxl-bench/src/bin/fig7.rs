@@ -1,0 +1,8 @@
+//! Regenerates Fig. 7: accelerator performance normalized to one OOO core.
+use pxl_apps::Scale;
+use pxl_bench::experiments;
+
+fn main() {
+    let results = experiments::run_scaling(Scale::Paper);
+    println!("{}", experiments::fig7(&results));
+}

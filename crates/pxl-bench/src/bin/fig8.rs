@@ -1,0 +1,8 @@
+//! Regenerates Fig. 8: performance vs energy efficiency at 16 PEs.
+use pxl_apps::Scale;
+use pxl_bench::experiments;
+
+fn main() {
+    let results = experiments::run_scaling(Scale::Paper);
+    println!("{}", experiments::fig8(&results));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 9: FlexArch performance vs tile cache size.
+use pxl_apps::Scale;
+use pxl_bench::experiments;
+
+fn main() {
+    println!("{}", experiments::fig9(Scale::Paper));
+}

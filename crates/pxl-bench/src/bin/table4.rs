@@ -1,0 +1,9 @@
+//! Regenerates Table IV: benchmark scalability (CPU 1-8 cores, FlexArch and
+//! LiteArch 1-32 PEs).
+use pxl_apps::Scale;
+use pxl_bench::experiments;
+
+fn main() {
+    let results = experiments::run_scaling(Scale::Paper);
+    println!("{}", experiments::table4(&results));
+}

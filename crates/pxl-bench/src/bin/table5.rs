@@ -1,0 +1,6 @@
+//! Regenerates Table V: per-PE and per-tile FPGA resource utilization.
+use pxl_bench::experiments;
+
+fn main() {
+    println!("{}", experiments::table5());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Tables I-III (architecture features, benchmark
+//! characteristics, platform configuration).
+use pxl_bench::experiments;
+
+fn main() {
+    println!("{}\n", experiments::table1());
+    println!("{}\n", experiments::table2());
+    println!("{}", experiments::table3());
+}

@@ -1,0 +1,401 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Section V).
+//!
+//! Each experiment has a binary (`tables`, `fig6`, `table4`, `fig7`,
+//! `table5`, `fig8`, `fig9`) plus `all`, which runs everything and emits
+//! `EXPERIMENTS.md`-ready output. The shared machinery here runs one
+//! benchmark on one engine configuration, validates the output against the
+//! golden reference, and reports *whole-program* time (host initialization
+//! plus kernel), matching the paper's methodology: "performance numbers are
+//! obtained by comparing whole program execution time, which include
+//! initialization and data transfers".
+
+pub mod experiments;
+
+use pxl_apps::{by_name, Benchmark, Scale};
+use pxl_arch::{AccelConfig, FlexEngine, LiteEngine, MemBackendKind};
+use pxl_cpu::CpuEngine;
+use pxl_mem::zedboard::{zedboard_cpu_core, zedboard_cpu_memory};
+use pxl_sim::{Clock, Stats, Time};
+
+/// Host memcpy bandwidth used to charge initialization time for the
+/// benchmark's data footprint (bytes/second). Charged identically to CPU
+/// and accelerator runs — on the integrated SoC both engines read the same
+/// shared memory.
+const INIT_BW: f64 = 25.6e9;
+
+/// Outcome of one validated simulation run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Benchmark name.
+    pub bench: String,
+    /// Engine label ("flex", "lite", "cpu", "zedflex", "zedcpu").
+    pub engine: String,
+    /// PEs or cores used.
+    pub units: usize,
+    /// Kernel time (simulated).
+    pub kernel: Time,
+    /// Whole-program time: initialization + kernel.
+    pub whole: Time,
+    /// Engine + memory statistics.
+    pub stats: Stats,
+}
+
+impl RunOutcome {
+    /// Whole-program seconds.
+    pub fn seconds(&self) -> f64 {
+        self.whole.as_secs_f64()
+    }
+}
+
+fn init_time(footprint_bytes: u64) -> Time {
+    Time::from_ps((footprint_bytes as f64 / INIT_BW * 1e12) as u64)
+}
+
+/// Splits a PE count into the paper's geometry: up to 4 PEs in one tile,
+/// then 4-PE tiles.
+pub fn geometry(pes: usize) -> (usize, usize) {
+    if pes <= 4 {
+        (1, pes)
+    } else {
+        assert!(pes.is_multiple_of(4), "PE counts above 4 must be multiples of 4");
+        (pes / 4, 4)
+    }
+}
+
+/// Runs `bench` on a FlexArch accelerator with `pes` PEs.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the output does not validate —
+/// experiment results must never silently ship wrong data.
+pub fn run_flex(bench: &dyn Benchmark, pes: usize, cache_bytes: Option<usize>) -> RunOutcome {
+    let (tiles, per_tile) = geometry(pes);
+    let mut cfg = AccelConfig::flex(tiles, per_tile);
+    if let Some(bytes) = cache_bytes {
+        cfg.memory.accel_l1 = cfg.memory.accel_l1.clone().with_size(bytes);
+    }
+    run_flex_with_config(bench, cfg, "flex")
+}
+
+/// Runs `bench` on a FlexArch accelerator with an explicit configuration.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the output does not validate.
+pub fn run_flex_with_config(
+    bench: &dyn Benchmark,
+    cfg: AccelConfig,
+    label: &str,
+) -> RunOutcome {
+    let pes = cfg.num_pes();
+    let mut engine = FlexEngine::new(cfg, bench.profile());
+    let inst = bench.flex(engine.mem_mut());
+    let mut worker = inst.worker;
+    let out = engine
+        .run(worker.as_mut(), inst.root)
+        .unwrap_or_else(|e| panic!("{} on {label}/{pes}PE failed: {e}", bench.meta().name));
+    bench
+        .check(engine.memory(), out.result)
+        .unwrap_or_else(|e| panic!("{} on {label}/{pes}PE wrong: {e}", bench.meta().name));
+    RunOutcome {
+        bench: bench.meta().name.to_owned(),
+        engine: label.to_owned(),
+        units: pes,
+        kernel: out.elapsed,
+        whole: out.elapsed + init_time(inst.footprint_bytes),
+        stats: out.stats,
+    }
+}
+
+/// Runs `bench`'s LiteArch variant with `pes` PEs; `None` if the benchmark
+/// has no Lite mapping.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the output does not validate.
+pub fn run_lite(bench: &dyn Benchmark, pes: usize, cache_bytes: Option<usize>) -> Option<RunOutcome> {
+    let (tiles, per_tile) = geometry(pes);
+    let mut cfg = AccelConfig::lite(tiles, per_tile);
+    if let Some(bytes) = cache_bytes {
+        cfg.memory.accel_l1 = cfg.memory.accel_l1.clone().with_size(bytes);
+    }
+    let mut engine = LiteEngine::new(cfg, bench.profile());
+    let inst = bench.lite(engine.mem_mut())?;
+    let mut worker = inst.worker;
+    let mut driver = inst.driver;
+    let out = engine
+        .run(worker.as_mut(), driver.as_mut())
+        .unwrap_or_else(|e| panic!("{} on lite/{pes}PE failed: {e}", bench.meta().name));
+    bench
+        .check(engine.memory(), out.result)
+        .unwrap_or_else(|e| panic!("{} on lite/{pes}PE wrong: {e}", bench.meta().name));
+    Some(RunOutcome {
+        bench: bench.meta().name.to_owned(),
+        engine: "lite".to_owned(),
+        units: pes,
+        kernel: out.elapsed,
+        whole: out.elapsed + init_time(inst.footprint_bytes),
+        stats: out.stats,
+    })
+}
+
+/// Runs `bench` on the Cilk-style CPU baseline with `cores` cores.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the output does not validate.
+pub fn run_cpu(bench: &dyn Benchmark, cores: usize) -> RunOutcome {
+    let mut engine = CpuEngine::new(cores, bench.profile());
+    run_cpu_engine(bench, &mut engine, "cpu")
+}
+
+/// Runs `bench` on the Zedboard's two-core Cortex-A9 CPU model.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the output does not validate.
+pub fn run_cpu_zedboard(bench: &dyn Benchmark) -> RunOutcome {
+    // The Cortex-A9's narrow NEON and shallow OOO window retire kernel code
+    // at roughly 60% of the big core's per-clock rate, and its 32-bit Cilk
+    // runtime code is less dense than the 4-issue core's.
+    let big = bench.profile();
+    let a9_profile = pxl_model::ExecProfile::new(big.accel_ops_per_cycle, big.cpu_ops_per_cycle * 0.6);
+    let costs = pxl_cpu::SoftwareCosts {
+        runtime_ipc: 1.2,
+        steal_attempt_instrs: 400,
+        ..pxl_cpu::SoftwareCosts::default()
+    };
+    let mut engine = CpuEngine::with_params(
+        2,
+        a9_profile,
+        zedboard_cpu_core(),
+        zedboard_cpu_memory(),
+        costs,
+    );
+    run_cpu_engine(bench, &mut engine, "zedcpu")
+}
+
+fn run_cpu_engine(bench: &dyn Benchmark, engine: &mut CpuEngine, label: &str) -> RunOutcome {
+    let cores = engine.cores();
+    let inst = bench.flex(engine.mem_mut());
+    let mut worker = inst.worker;
+    let out = engine
+        .run(worker.as_mut(), inst.root)
+        .unwrap_or_else(|e| panic!("{} on {label}/{cores}C failed: {e}", bench.meta().name));
+    bench
+        .check(engine.memory(), out.result)
+        .unwrap_or_else(|e| panic!("{} on {label}/{cores}C wrong: {e}", bench.meta().name));
+    RunOutcome {
+        bench: bench.meta().name.to_owned(),
+        engine: label.to_owned(),
+        units: cores,
+        kernel: out.elapsed,
+        whole: out.elapsed + init_time(inst.footprint_bytes),
+        stats: out.stats,
+    }
+}
+
+/// Runs `bench` on the Zedboard prototype accelerator (stream buffers over
+/// a single ACP port, 100 MHz fabric).
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the output does not validate.
+pub fn run_flex_zedboard(bench: &dyn Benchmark, pes: usize) -> RunOutcome {
+    let (tiles, per_tile) = geometry(pes);
+    let mut cfg = AccelConfig::flex(tiles, per_tile);
+    cfg.mem_backend = MemBackendKind::Zedboard;
+    cfg.clock = Clock::new("zed_accel", 8_000);
+    run_flex_with_config(bench, cfg, "zedflex")
+}
+
+/// Looks up a benchmark by name at the harness's evaluation scale.
+///
+/// # Panics
+///
+/// Panics on unknown names.
+pub fn bench(name: &str, scale: Scale) -> Box<dyn Benchmark> {
+    by_name(name, scale).unwrap_or_else(|| panic!("unknown benchmark {name}"))
+}
+
+/// The ten benchmark names in Table II order.
+pub const ALL_BENCHES: [&str; 10] = [
+    "nw", "quicksort", "cilksort", "queens", "knapsack", "uts", "bbgemm", "bfsqueue",
+    "spmvcrs", "stencil2d",
+];
+
+/// Benchmarks implemented on the Zedboard prototype. The paper notes "a few
+/// benchmarks that rely on fine-grained cache accesses were not
+/// implemented" on the Zynq-7000 (no coherent-cache interface on the
+/// fabric); the fine-grained-sharing benchmarks here are `knapsack` (atomic
+/// best-bound) and `bfsqueue` (atomic frontier queue).
+pub const ZEDBOARD_BENCHES: [&str; 8] = [
+    "nw", "quicksort", "cilksort", "queens", "uts", "bbgemm", "spmvcrs", "stencil2d",
+];
+
+/// Geometric mean of an iterator of positive values.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (sum, n) = values
+        .into_iter()
+        .fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// Runs independent jobs on worker threads (one per available core) and
+/// returns results in input order.
+pub fn parallel_map<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let work: crossbeam::queue::SegQueue<(usize, F)> = crossbeam::queue::SegQueue::new();
+    for (i, j) in jobs.into_iter().enumerate() {
+        work.push((i, j));
+    }
+    let slots: Vec<parking_lot_free::Slot<T>> = (0..n).map(|_| parking_lot_free::Slot::new()).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n.max(1)) {
+            s.spawn(|_| {
+                while let Some((i, job)) = work.pop() {
+                    slots[i].put(job());
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    for (i, slot) in slots.into_iter().enumerate() {
+        results[i] = slot.take();
+    }
+    results.into_iter().map(|r| r.expect("job completed")).collect()
+}
+
+/// Minimal one-shot cell usable across crossbeam scoped threads.
+mod parking_lot_free {
+    use std::sync::Mutex;
+
+    #[derive(Debug)]
+    pub struct Slot<T>(Mutex<Option<T>>);
+
+    impl<T> Slot<T> {
+        pub fn new() -> Self {
+            Slot(Mutex::new(None))
+        }
+        pub fn put(&self, v: T) {
+            *self.0.lock().expect("slot poisoned") = Some(v);
+        }
+        pub fn take(self) -> Option<T> {
+            self.0.into_inner().expect("slot poisoned")
+        }
+    }
+}
+
+/// Renders a markdown-style table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push_str(&fmt_row(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        &widths,
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_splits_like_the_paper() {
+        assert_eq!(geometry(1), (1, 1));
+        assert_eq!(geometry(4), (1, 4));
+        assert_eq!(geometry(8), (2, 4));
+        assert_eq!(geometry(32), (8, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 4")]
+    fn odd_geometry_panics() {
+        let _ = geometry(6);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i: usize| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = parallel_map(jobs);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_flex_run_validates() {
+        let b = bench("queens", Scale::Tiny);
+        let out = run_flex(b.as_ref(), 4, None);
+        assert!(out.whole > out.kernel, "init time must be charged");
+        assert_eq!(out.engine, "flex");
+    }
+
+    #[test]
+    fn small_cross_engine_consistency() {
+        let b = bench("uts", Scale::Tiny);
+        let f = run_flex(b.as_ref(), 2, None);
+        let c = run_cpu(b.as_ref(), 2);
+        let l = run_lite(b.as_ref(), 2, None).unwrap();
+        // All validated against the same golden internally; engines differ
+        // only in timing.
+        assert!(f.kernel > Time::ZERO && c.kernel > Time::ZERO && l.kernel > Time::ZERO);
+    }
+
+    #[test]
+    fn zedboard_paths_run() {
+        let b = bench("stencil2d", Scale::Tiny);
+        let accel = run_flex_zedboard(b.as_ref(), 4);
+        let cpu = run_cpu_zedboard(b.as_ref());
+        assert!(accel.kernel > Time::ZERO);
+        assert!(cpu.kernel > Time::ZERO);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a", "bench"],
+            &[vec!["1".into(), "x".into()], vec!["22".into(), "yy".into()]],
+        );
+        assert!(t.contains("| a  | bench |"));
+        assert!(t.lines().count() == 4);
+    }
+}

@@ -1,0 +1,216 @@
+//! Energy model for accelerators and the CPU baseline (the paper's Fig. 8).
+//!
+//! The paper runs Vivado's power estimator on the synthesized netlist with
+//! RTL activity factors for the fabric, and McPAT for the cores. This model
+//! keeps the same accounting structure: static power integrated over the
+//! run, active power integrated over per-unit busy time (taken from the
+//! simulator's `pe{i}.busy_ps` / `core{i}.busy_ps` statistics), and
+//! per-event energies for the memory system.
+
+use pxl_sim::{Stats, Time};
+
+/// Energy accounting parameters (28 nm, Table III clocks). All power in
+/// watts, all per-event energies in nanojoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// FPGA static power of the configured region (base, independent of
+    /// PE count).
+    pub accel_static_w: f64,
+    /// Additional static power per instantiated PE.
+    pub accel_static_per_pe_w: f64,
+    /// Dynamic power of one busy PE at 200 MHz.
+    pub pe_active_w: f64,
+    /// Dynamic power of one idle (clocked but stalled) PE.
+    pub pe_idle_w: f64,
+    /// Energy per task dispatch through the TMU.
+    pub e_task_nj: f64,
+    /// Energy per steal attempt (request + response messages).
+    pub e_steal_nj: f64,
+    /// Energy per L1 hit.
+    pub e_l1_hit_nj: f64,
+    /// Energy per L1 miss serviced by L2 or a peer cache.
+    pub e_l1_miss_nj: f64,
+    /// Energy per 64-byte DRAM line transfer.
+    pub e_dram_line_nj: f64,
+    /// Power of one busy out-of-order core at 1 GHz (McPAT-like).
+    pub core_active_w: f64,
+    /// Power of one idle core.
+    pub core_idle_w: f64,
+    /// CPU uncore power (shared L2, interconnect) while the CPU is the
+    /// compute engine.
+    pub cpu_uncore_w: f64,
+    /// Platform power common to both engines (DRAM background, IO).
+    pub platform_w: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            accel_static_w: 0.22,
+            accel_static_per_pe_w: 0.007,
+            pe_active_w: 0.038,
+            pe_idle_w: 0.004,
+            e_task_nj: 0.5,
+            e_steal_nj: 1.0,
+            e_l1_hit_nj: 0.2,
+            e_l1_miss_nj: 2.5,
+            e_dram_line_nj: 30.0,
+            core_active_w: 2.1,
+            core_idle_w: 0.3,
+            cpu_uncore_w: 1.6,
+            platform_w: 0.4,
+        }
+    }
+}
+
+/// A run's energy, decomposed by source.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Static/leakage energy (J).
+    pub static_j: f64,
+    /// Compute-unit dynamic energy (J).
+    pub dynamic_j: f64,
+    /// Memory-system event energy (J).
+    pub memory_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.static_j + self.dynamic_j + self.memory_j
+    }
+}
+
+impl EnergyModel {
+    fn memory_events_j(&self, stats: &Stats) -> f64 {
+        (self.e_l1_hit_nj * stats.get("mem.l1_hits") as f64
+            + self.e_l1_miss_nj
+                * (stats.get("mem.l1_misses") + stats.get("mem.upgrades")) as f64
+            + self.e_dram_line_nj
+                * (stats.get("mem.dram_lines")
+                    + stats.get("mem.l2_writebacks")
+                    + stats.get("zed.acp_lines")) as f64)
+            * 1e-9
+    }
+
+    fn busy_seconds(stats: &Stats, suffix: &str) -> f64 {
+        stats.sum_suffix(suffix) as f64 / 1e12
+    }
+
+    /// Energy of an accelerator run with `num_pes` PEs over `elapsed`
+    /// simulated time, using the engine's statistics. `lite` applies the
+    /// LiteArch power discount: tiles without P-Stores, routers or steal
+    /// logic leak and switch less (the paper's Fig. 8 trend of LiteArch
+    /// being the more energy-efficient design).
+    pub fn accel_energy_for(
+        &self,
+        stats: &Stats,
+        elapsed: Time,
+        num_pes: usize,
+        lite: bool,
+    ) -> EnergyBreakdown {
+        let t = elapsed.as_secs_f64();
+        let scale = if lite { 0.72 } else { 1.0 };
+        let busy = Self::busy_seconds(stats, ".busy_ps");
+        let idle = (num_pes as f64 * t - busy).max(0.0);
+        let events = (self.e_task_nj * stats.get("accel.tasks") as f64
+            + self.e_steal_nj * stats.get("accel.steal_attempts") as f64)
+            * 1e-9;
+        EnergyBreakdown {
+            static_j: ((self.accel_static_w + self.accel_static_per_pe_w * num_pes as f64)
+                * scale
+                + self.platform_w)
+                * t,
+            dynamic_j: (self.pe_active_w * busy + self.pe_idle_w * idle) * scale + events,
+            memory_j: self.memory_events_j(stats),
+        }
+    }
+
+    /// FlexArch convenience wrapper over [`EnergyModel::accel_energy_for`].
+    pub fn accel_energy(&self, stats: &Stats, elapsed: Time, num_pes: usize) -> EnergyBreakdown {
+        self.accel_energy_for(stats, elapsed, num_pes, false)
+    }
+
+    /// Energy of a CPU run with `cores` cores over `elapsed` simulated
+    /// time.
+    pub fn cpu_energy(&self, stats: &Stats, elapsed: Time, cores: usize) -> EnergyBreakdown {
+        let t = elapsed.as_secs_f64();
+        let busy = Self::busy_seconds(stats, ".busy_ps");
+        let idle = (cores as f64 * t - busy).max(0.0);
+        EnergyBreakdown {
+            static_j: (self.cpu_uncore_w + self.platform_w) * t,
+            dynamic_j: self.core_active_w * busy + self.core_idle_w * idle,
+            memory_j: self.memory_events_j(stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_stats(busy_ps: &[u64], l1_hits: u64, dram: u64) -> Stats {
+        let mut s = Stats::new();
+        for (i, b) in busy_ps.iter().enumerate() {
+            s.add(&format!("pe{i}.busy_ps"), *b);
+        }
+        s.add("mem.l1_hits", l1_hits);
+        s.add("mem.dram_lines", dram);
+        s.add("accel.tasks", 100);
+        s.add("accel.steal_attempts", 10);
+        s
+    }
+
+    #[test]
+    fn totals_compose() {
+        let m = EnergyModel::default();
+        let stats = fake_stats(&[1_000_000, 500_000], 1000, 50);
+        let e = m.accel_energy(&stats, Time::from_us(2), 2);
+        assert!(e.static_j > 0.0 && e.dynamic_j > 0.0 && e.memory_j > 0.0);
+        assert!((e.total_j() - (e.static_j + e.dynamic_j + e.memory_j)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn busier_run_costs_more() {
+        let m = EnergyModel::default();
+        let light = m.accel_energy(&fake_stats(&[100_000], 10, 1), Time::from_us(1), 1);
+        let heavy = m.accel_energy(&fake_stats(&[900_000], 10, 1), Time::from_us(1), 1);
+        assert!(heavy.total_j() > light.total_j());
+    }
+
+    #[test]
+    fn cpu_is_much_more_power_hungry_than_accelerator() {
+        let m = EnergyModel::default();
+        // Same elapsed time, fully busy: 8 cores vs 16 PEs.
+        let t = Time::from_us(100);
+        let cpu_stats = {
+            let mut s = Stats::new();
+            for i in 0..8 {
+                s.add(&format!("core{i}.busy_ps"), 100_000_000);
+            }
+            s
+        };
+        let accel_stats = {
+            let mut s = Stats::new();
+            for i in 0..16 {
+                s.add(&format!("pe{i}.busy_ps"), 100_000_000);
+            }
+            s
+        };
+        let cpu = m.cpu_energy(&cpu_stats, t, 8).total_j();
+        let accel = m.accel_energy(&accel_stats, t, 16).total_j();
+        assert!(
+            cpu / accel > 5.0,
+            "expected a large power gap, got {:.2}x",
+            cpu / accel
+        );
+    }
+
+    #[test]
+    fn dram_traffic_shows_up_in_memory_energy() {
+        let m = EnergyModel::default();
+        let a = m.accel_energy(&fake_stats(&[0], 0, 0), Time::from_us(1), 1);
+        let b = m.accel_energy(&fake_stats(&[0], 0, 10_000), Time::from_us(1), 1);
+        assert!(b.memory_j > a.memory_j + 1e-7);
+    }
+}

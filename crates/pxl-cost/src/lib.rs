@@ -1,0 +1,25 @@
+//! Resource-utilization and energy models for ParallelXL accelerators.
+//!
+//! The paper estimates FPGA resources "by synthesizing the RTL using Vivado
+//! targeting Xilinx's 7-series FPGAs" and cache resources "using numbers
+//! from Xilinx's cache IP" (Section V-C); energy comes from Vivado's power
+//! estimator for the fabric and McPAT for the cores. We have neither tool,
+//! so this crate provides analytical models with the same *structure*:
+//!
+//! * [`resources`] — per-component LUT/FF/DSP/BRAM vectors: an
+//!   application-specific worker (calibrated per benchmark against the
+//!   paper's Table V), plus template components (TMU, P-Store share,
+//!   router share, network interfaces, cache) that depend only on the
+//!   architecture. PE and tile totals are *derived* from the components,
+//!   and FPGA device fitting reproduces the paper's "how many PEs fit"
+//!   analysis.
+//! * [`energy`] — an event-based energy model: per-event charges for task
+//!   dispatches, steals, cache hits/misses and DRAM line transfers, plus
+//!   per-component static/active power integrated over busy time, with a
+//!   McPAT-like per-core model for the CPU baseline.
+
+pub mod energy;
+pub mod resources;
+
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use resources::{FpgaDevice, ResourceVec, TileResources};

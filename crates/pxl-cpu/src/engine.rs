@@ -1,0 +1,691 @@
+//! Event-driven multicore CPU engine with a software work-stealing runtime.
+
+use pxl_mem::{AccessKind, Memory, MemorySystem, PortId};
+use pxl_model::serial::HOST_SLOTS;
+use pxl_model::{Continuation, ExecProfile, PendingTask, Task, TaskContext, TaskTypeId, Worker};
+use pxl_sim::config::{CpuCoreParams, MemoryConfig};
+use pxl_sim::{EventQueue, Stats, Time, XorShift64};
+
+use pxl_arch::deque::TaskDeque;
+use pxl_arch::engine::{AccelError, AccelResult};
+
+/// Base simulated address of the runtime's join-counter frames. Each pending
+/// task's counter lives on its own cache line, so coherence traffic on joins
+/// is modelled but false sharing is not.
+const JOIN_FRAME_BASE: u64 = 0x4000_0000_0000;
+/// Base simulated address of the per-core deque metadata (THE protocol
+/// head/tail words); thieves and victims contend on these lines.
+const DEQUE_META_BASE: u64 = 0x4100_0000_0000;
+
+/// Instruction costs of the software runtime's primitives.
+///
+/// Derived from published Cilk-5/Cilk Plus overhead analyses: a spawn is a
+/// few dozen instructions (frame setup + deque push), a successful steal
+/// several hundred (locking, frame theft, resumption).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftwareCosts {
+    /// Pop + dispatch of a local task.
+    pub dispatch_instrs: u64,
+    /// Spawning a child task (frame allocation + deque push).
+    pub spawn_instrs: u64,
+    /// Returning a value through a join counter (excluding the atomic).
+    pub send_arg_instrs: u64,
+    /// Creating a successor frame.
+    pub successor_instrs: u64,
+    /// One steal attempt (victim selection, locking, transfer).
+    pub steal_attempt_instrs: u64,
+    /// Idle backoff after a failed steal.
+    pub steal_backoff_instrs: u64,
+    /// Effective instructions per cycle for runtime bookkeeping code.
+    pub runtime_ipc: f64,
+}
+
+impl Default for SoftwareCosts {
+    fn default() -> Self {
+        SoftwareCosts {
+            dispatch_instrs: 25,
+            spawn_instrs: 40,
+            send_arg_instrs: 30,
+            successor_instrs: 45,
+            steal_attempt_instrs: 300,
+            steal_backoff_instrs: 150,
+            runtime_ipc: 2.0,
+        }
+    }
+}
+
+/// Result of a CPU run (same shape as the accelerator's).
+pub type CpuResult = AccelResult;
+
+#[derive(Debug, Clone)]
+enum Event {
+    CoreWake { core: usize },
+    StealTry { core: usize },
+    TaskRun { core: usize, task: Task },
+}
+
+/// The multicore software-runtime simulator.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_cpu::CpuEngine;
+/// use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
+///
+/// const FIB: TaskTypeId = TaskTypeId(0);
+/// const SUM: TaskTypeId = TaskTypeId(1);
+/// struct Fib;
+/// impl Worker for Fib {
+///     fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+///         let k = task.k;
+///         if task.ty == FIB {
+///             let n = task.args[0];
+///             ctx.compute(2);
+///             if n < 2 {
+///                 ctx.send_arg(k, n);
+///             } else {
+///                 let kk = ctx.make_successor(SUM, k, 2);
+///                 ctx.spawn(Task::new(FIB, kk.with_slot(1), &[n - 2]));
+///                 ctx.spawn(Task::new(FIB, kk.with_slot(0), &[n - 1]));
+///             }
+///         } else {
+///             ctx.send_arg(k, task.args[0] + task.args[1]);
+///         }
+///     }
+/// }
+///
+/// let mut cpu = CpuEngine::new(4, ExecProfile::scalar());
+/// let out = cpu.run(&mut Fib, Task::new(FIB, Continuation::host(0), &[12])).unwrap();
+/// assert_eq!(out.result, 144);
+/// ```
+#[derive(Debug)]
+pub struct CpuEngine {
+    cores: usize,
+    core_params: CpuCoreParams,
+    costs: SoftwareCosts,
+    profile: ExecProfile,
+    mem: Memory,
+    memsys: MemorySystem,
+    deques: Vec<TaskDeque>,
+    rngs: Vec<XorShift64>,
+    steal_fails: Vec<u32>,
+    busy_until: Vec<Time>,
+    pending: Vec<Option<PendingTask>>,
+    pending_free: Vec<u32>,
+    host: [Option<u64>; HOST_SLOTS],
+    events: EventQueue<Event>,
+    outstanding: u64,
+    last_useful: Time,
+    stats: Stats,
+    error: Option<AccelError>,
+    max_sim_time_us: u64,
+}
+
+impl CpuEngine {
+    /// Creates an engine with `cores` Table III cores and default software
+    /// costs.
+    pub fn new(cores: usize, profile: ExecProfile) -> Self {
+        CpuEngine::with_params(
+            cores,
+            profile,
+            CpuCoreParams::micro2018(),
+            MemoryConfig::micro2018(),
+            SoftwareCosts::default(),
+        )
+    }
+
+    /// Creates an engine with explicit core, memory and runtime parameters
+    /// (used for the Zedboard's Cortex-A9 configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn with_params(
+        cores: usize,
+        profile: ExecProfile,
+        core_params: CpuCoreParams,
+        memory: MemoryConfig,
+        costs: SoftwareCosts,
+    ) -> Self {
+        assert!(cores > 0, "need at least one core");
+        let memsys = MemorySystem::new(vec![memory.cpu_l1.clone(); cores], &memory);
+        CpuEngine {
+            cores,
+            core_params,
+            costs,
+            profile,
+            mem: Memory::new(),
+            memsys,
+            deques: (0..cores).map(|_| TaskDeque::new(1 << 20)).collect(),
+            rngs: (0..cores)
+                .map(|i| XorShift64::new(0xC0FE + 77 * i as u64))
+                .collect(),
+            steal_fails: vec![0; cores],
+            busy_until: vec![Time::ZERO; cores],
+            pending: Vec::new(),
+            pending_free: Vec::new(),
+            host: [None; HOST_SLOTS],
+            events: EventQueue::new(),
+            outstanding: 0,
+            last_useful: Time::ZERO,
+            stats: Stats::new(),
+            error: None,
+            max_sim_time_us: 2_000_000,
+        }
+    }
+
+    /// Mutable access to functional memory for input setup.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Shared access to functional memory for output checking.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    fn runtime_cycles(&self, instrs: u64) -> Time {
+        let cycles = (instrs as f64 / self.costs.runtime_ipc).ceil() as u64;
+        self.core_params.clock.cycles_to_time(cycles)
+    }
+
+    /// Runs `root` to completion on core 0 (the thread that called the
+    /// Cilk spawn root); other cores join by stealing.
+    ///
+    /// # Errors
+    ///
+    /// See [`AccelError`]; queue/P-Store overflow cannot occur (software
+    /// stores are heap-backed) but leaks and timeouts are detected.
+    pub fn run<W: Worker + ?Sized>(
+        &mut self,
+        worker: &mut W,
+        root: Task,
+    ) -> Result<CpuResult, AccelError> {
+        let result_slot = match root.k {
+            Continuation::Host { slot } => Some(slot),
+            _ => None,
+        };
+        self.outstanding = 1;
+        self.events.push(Time::ZERO, Event::TaskRun { core: 0, task: root });
+        for core in 1..self.cores {
+            self.events.push(Time::ZERO, Event::CoreWake { core });
+        }
+        let limit = Time::from_us(self.max_sim_time_us);
+
+        while let Some((now, event)) = self.events.pop() {
+            if self.outstanding == 0 {
+                break;
+            }
+            if now > limit {
+                return Err(AccelError::TimedOut);
+            }
+            self.handle(now, event, worker);
+            if let Some(err) = self.error.take() {
+                return Err(err);
+            }
+        }
+
+        let leaked = self.pending.iter().filter(|p| p.is_some()).count();
+        if leaked > 0 {
+            return Err(AccelError::LeakedPending { count: leaked });
+        }
+        let result = match result_slot {
+            Some(slot) => self.host[slot as usize].ok_or(AccelError::NoResult { slot })?,
+            None => 0,
+        };
+        let queue_peak: usize = self.deques.iter().map(TaskDeque::peak).sum();
+        self.stats.add("cpu.queue_peak_sum", queue_peak as u64);
+        let mem_stats = self.memsys.take_stats();
+        self.stats.merge(&mem_stats);
+        Ok(CpuResult {
+            result,
+            elapsed: self.last_useful,
+            stats: std::mem::take(&mut self.stats),
+        })
+    }
+
+    fn is_busy(&self, core: usize, now: Time) -> bool {
+        now < self.busy_until[core]
+    }
+
+    fn handle<W: Worker + ?Sized>(&mut self, now: Time, event: Event, worker: &mut W) {
+        match event {
+            Event::CoreWake { core } => self.core_wake(now, core, worker),
+            Event::StealTry { core } => self.steal_try(now, core, worker),
+            Event::TaskRun { core, task } => {
+                if self.is_busy(core, now) {
+                    self.deques[core]
+                        .push_tail(task, now)
+                        .expect("software deque is unbounded");
+                } else {
+                    self.execute_task(now, core, task, worker);
+                }
+            }
+        }
+    }
+
+    fn core_wake<W: Worker + ?Sized>(&mut self, now: Time, core: usize, worker: &mut W) {
+        if self.is_busy(core, now) {
+            return;
+        }
+        let t = now + self.runtime_cycles(self.costs.dispatch_instrs);
+        if let Some(task) = self.deques[core].pop_tail(t) {
+            self.steal_fails[core] = 0;
+            self.execute_task(t, core, task, worker);
+        } else if self.cores > 1 {
+            self.events.push(
+                now + self.runtime_cycles(self.costs.steal_attempt_instrs),
+                Event::StealTry { core },
+            );
+            self.stats.incr("cpu.steal_attempts");
+        }
+        // A single core with an empty deque parks; outstanding bookkeeping
+        // wakes it via TaskRun events.
+    }
+
+    fn steal_try<W: Worker + ?Sized>(&mut self, now: Time, core: usize, worker: &mut W) {
+        if self.is_busy(core, now) {
+            return;
+        }
+        // Random victim among the other cores; the THE protocol's locking
+        // shows up as an atomic on the victim's deque metadata line.
+        let mut victim = self.rngs[core].next_in_range(self.cores as u64 - 1) as usize;
+        if victim >= core {
+            victim += 1;
+        }
+        let t = self.memsys.access(
+            PortId(core),
+            DEQUE_META_BASE + 64 * victim as u64,
+            AccessKind::Amo,
+            now,
+        );
+        match self.deques[victim].steal_head(t) {
+            Some(task) => {
+                self.stats.incr("cpu.steal_hits");
+                self.steal_fails[core] = 0;
+                self.execute_task(t, core, task, worker);
+            }
+            None => {
+                let fails = self.steal_fails[core].min(6);
+                self.steal_fails[core] = self.steal_fails[core].saturating_add(1);
+                let backoff = self.costs.steal_backoff_instrs << fails;
+                self.events
+                    .push(t + self.runtime_cycles(backoff), Event::CoreWake { core });
+            }
+        }
+    }
+
+    fn execute_task<W: Worker + ?Sized>(
+        &mut self,
+        start: Time,
+        core: usize,
+        task: Task,
+        worker: &mut W,
+    ) {
+        let mut deque = std::mem::replace(&mut self.deques[core], TaskDeque::new(0));
+        let mut ctx = CpuCtx {
+            now: start,
+            core,
+            engine: self,
+            deque: &mut deque,
+            ready: Vec::new(),
+            spawned: 0,
+        };
+        worker.execute(&task, &mut ctx);
+        let end = ctx.now;
+        let ready = std::mem::take(&mut ctx.ready);
+        let spawned = ctx.spawned;
+        self.deques[core] = deque;
+        self.outstanding += spawned + ready.len() as u64;
+        self.stats.incr("cpu.tasks");
+        self.stats.incr(&format!("core{core}.tasks"));
+        self.stats
+            .add(&format!("core{core}.busy_ps"), (end - start).as_ps());
+        // Greedy continuation: tasks made ready by this core run on this
+        // core next (they were pushed LIFO inside the context); nothing else
+        // to do beyond waking up.
+        for task in ready {
+            self.deques[core]
+                .push_tail(task, end)
+                .expect("software deque is unbounded");
+        }
+        self.last_useful = self.last_useful.max(end);
+        self.outstanding -= 1;
+        self.busy_until[core] = end;
+        self.events.push(end, Event::CoreWake { core });
+    }
+}
+
+/// Per-task execution context on one core.
+struct CpuCtx<'e> {
+    now: Time,
+    core: usize,
+    engine: &'e mut CpuEngine,
+    deque: &'e mut TaskDeque,
+    /// Tasks whose joins completed during this task's execution.
+    ready: Vec<Task>,
+    spawned: u64,
+}
+
+impl CpuCtx<'_> {
+    /// Charge a memory access, hiding `mem_overlap` of the miss penalty
+    /// behind the out-of-order window.
+    fn mem_access(&mut self, addr: u64, kind: AccessKind) {
+        // L1 hits are fully pipelined; only the portion beyond the hit
+        // latency can be (partially) hidden by the OOO window.
+        let hit = self.engine.core_params.clock.period();
+        let full = self.engine.memsys.access(PortId(self.core), addr, kind, self.now);
+        let raw = full - self.now;
+        let exposed = if raw > hit {
+            let extra = raw - hit;
+            let hidden = (extra.as_ps() as f64 * self.engine.core_params.mem_overlap) as u64;
+            raw - Time::from_ps(hidden)
+        } else {
+            raw
+        };
+        self.now += exposed;
+    }
+}
+
+impl TaskContext for CpuCtx<'_> {
+    fn spawn(&mut self, task: Task) {
+        self.now += self.engine.runtime_cycles(self.engine.costs.spawn_instrs);
+        self.spawned += 1;
+        self.deque
+            .push_tail(task, self.now)
+            .expect("software deque is unbounded");
+    }
+
+    fn send_arg(&mut self, k: Continuation, value: u64) {
+        self.now += self.engine.runtime_cycles(self.engine.costs.send_arg_instrs);
+        match k {
+            Continuation::Host { slot } => {
+                self.engine.host[slot as usize] = Some(value);
+            }
+            Continuation::PStore { entry, slot, .. } => {
+                // Atomic decrement of the join counter in shared memory.
+                self.mem_access(JOIN_FRAME_BASE + 64 * entry as u64, AccessKind::Amo);
+                let cell = self.engine.pending[entry as usize]
+                    .as_mut()
+                    .expect("argument sent to a freed runtime frame");
+                if let Some(task) = cell.fill(slot, value) {
+                    self.engine.pending[entry as usize] = None;
+                    self.engine.pending_free.push(entry);
+                    self.ready.push(task);
+                }
+            }
+        }
+    }
+
+    fn make_successor_with(
+        &mut self,
+        ty: TaskTypeId,
+        k: Continuation,
+        join: u8,
+        preset: &[(u8, u64)],
+    ) -> Continuation {
+        self.now += self.engine.runtime_cycles(self.engine.costs.successor_instrs);
+        let mut pending = PendingTask::new(ty, k, join);
+        for &(slot, value) in preset {
+            pending = pending.preset(slot, value);
+        }
+        let entry = match self.engine.pending_free.pop() {
+            Some(e) => {
+                self.engine.pending[e as usize] = Some(pending);
+                e
+            }
+            None => {
+                self.engine.pending.push(Some(pending));
+                (self.engine.pending.len() - 1) as u32
+            }
+        };
+        // Initialize the frame's join-counter line.
+        self.mem_access(JOIN_FRAME_BASE + 64 * entry as u64, AccessKind::Write);
+        Continuation::pstore(0, entry, 0)
+    }
+
+    fn compute(&mut self, ops: u64) {
+        let cycles = self.engine.profile.cpu_cycles(ops);
+        self.now += self.engine.core_params.clock.cycles_to_time(cycles);
+    }
+
+    fn load(&mut self, addr: u64, _bytes: u32) {
+        self.mem_access(addr, AccessKind::Read);
+    }
+
+    fn store(&mut self, addr: u64, _bytes: u32) {
+        self.mem_access(addr, AccessKind::Write);
+    }
+
+    fn amo(&mut self, addr: u64) {
+        self.mem_access(addr, AccessKind::Amo);
+    }
+
+    fn dma_read(&mut self, addr: u64, bytes: u64) {
+        // The CPU has no DMA engine: a burst is a software streaming loop.
+        let line = self.engine.memsys.line_bytes() as u64;
+        if bytes == 0 {
+            return;
+        }
+        let first = addr & !(line - 1);
+        let last = (addr + bytes - 1) & !(line - 1);
+        let mut a = first;
+        loop {
+            self.mem_access(a, AccessKind::Read);
+            if a == last {
+                break;
+            }
+            a += line;
+        }
+    }
+
+    fn dma_write(&mut self, addr: u64, bytes: u64) {
+        let line = self.engine.memsys.line_bytes() as u64;
+        if bytes == 0 {
+            return;
+        }
+        let first = addr & !(line - 1);
+        let last = (addr + bytes - 1) & !(line - 1);
+        let mut a = first;
+        loop {
+            self.mem_access(a, AccessKind::Write);
+            if a == last {
+                break;
+            }
+            a += line;
+        }
+    }
+
+    fn mem(&mut self) -> &mut Memory {
+        &mut self.engine.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIB: TaskTypeId = TaskTypeId(0);
+    const SUM: TaskTypeId = TaskTypeId(1);
+
+    struct FibWorker;
+    impl Worker for FibWorker {
+        fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+            let k = task.k;
+            if task.ty == FIB {
+                let n = task.args[0];
+                ctx.compute(2);
+                if n < 2 {
+                    ctx.send_arg(k, n);
+                } else {
+                    let kk = ctx.make_successor(SUM, k, 2);
+                    ctx.spawn(Task::new(FIB, kk.with_slot(1), &[n - 2]));
+                    ctx.spawn(Task::new(FIB, kk.with_slot(0), &[n - 1]));
+                }
+            } else {
+                ctx.compute(1);
+                ctx.send_arg(k, task.args[0] + task.args[1]);
+            }
+        }
+    }
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+
+    fn run_fib(cores: usize, n: u64) -> CpuResult {
+        let mut cpu = CpuEngine::new(cores, ExecProfile::scalar());
+        cpu.run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[n]))
+            .expect("fib must complete")
+    }
+
+    #[test]
+    fn one_core_computes_fib() {
+        let out = run_fib(1, 14);
+        assert_eq!(out.result, fib(14));
+        assert!(out.stats.get("cpu.tasks") > 100);
+    }
+
+    #[test]
+    fn multicore_scales_and_matches() {
+        let n = 16;
+        let t1 = run_fib(1, n);
+        let t4 = run_fib(4, n);
+        assert_eq!(t4.result, fib(n));
+        assert!(
+            t4.elapsed < t1.elapsed,
+            "4 cores ({}) must beat 1 core ({})",
+            t4.elapsed,
+            t1.elapsed
+        );
+        assert!(t4.stats.get("cpu.steal_hits") > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_fib(4, 14);
+        let b = run_fib(4, 14);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+
+    #[test]
+    fn software_spawn_is_much_slower_than_hardware() {
+        // The same fib on a 1-PE accelerator vs one CPU core: the CPU core
+        // at 1 GHz with identical ExecProfile must still pay far more time
+        // per task because runtime primitives cost tens of instructions.
+        let cpu = run_fib(1, 12);
+        let cpu_ns_per_task =
+            cpu.elapsed.as_ns_f64() / cpu.stats.get("cpu.tasks") as f64;
+        let mut accel = pxl_arch::FlexEngine::new(
+            pxl_arch::AccelConfig::flex(1, 1),
+            ExecProfile::scalar(),
+        );
+        let out = accel
+            .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[12]))
+            .unwrap();
+        let accel_ns_per_task = out.elapsed.as_ns_f64() / out.stats.get("accel.tasks") as f64;
+        // At 1/5 the clock rate, the accelerator should still be competitive
+        // per task thanks to cheap task management.
+        assert!(
+            cpu_ns_per_task > accel_ns_per_task * 0.5,
+            "cpu {cpu_ns_per_task:.1} ns/task vs accel {accel_ns_per_task:.1} ns/task"
+        );
+    }
+
+    struct LeakyWorker;
+    impl Worker for LeakyWorker {
+        fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+            let _ = ctx.make_successor(SUM, task.k, 2);
+        }
+    }
+
+    #[test]
+    fn zedboard_a9_configuration_runs_and_is_slower() {
+        use pxl_mem::zedboard::{zedboard_cpu_core, zedboard_cpu_memory};
+        let root = Task::new(FIB, Continuation::host(0), &[14]);
+        let big = run_fib(2, 14);
+        let mut a9 = CpuEngine::with_params(
+            2,
+            ExecProfile::scalar(),
+            zedboard_cpu_core(),
+            zedboard_cpu_memory(),
+            SoftwareCosts::default(),
+        );
+        let out = a9.run(&mut FibWorker, root).unwrap();
+        assert_eq!(out.result, fib(14));
+        assert!(
+            out.elapsed > big.elapsed,
+            "667 MHz dual-issue A9s ({}) must trail the 1 GHz four-issue cores ({})",
+            out.elapsed,
+            big.elapsed
+        );
+    }
+
+    #[test]
+    fn lower_runtime_ipc_slows_the_runtime() {
+        let run = |ipc: f64| {
+            let mut cpu = CpuEngine::with_params(
+                2,
+                ExecProfile::scalar(),
+                pxl_sim::config::CpuCoreParams::micro2018(),
+                pxl_sim::config::MemoryConfig::micro2018(),
+                SoftwareCosts {
+                    runtime_ipc: ipc,
+                    ..SoftwareCosts::default()
+                },
+            );
+            cpu.run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[14]))
+                .unwrap()
+                .elapsed
+        };
+        assert!(run(1.0) > run(3.0), "denser runtime code must be faster");
+    }
+
+    #[test]
+    fn single_core_never_steals() {
+        let out = run_fib(1, 12);
+        assert_eq!(out.stats.get("cpu.steal_attempts"), 0);
+        assert_eq!(out.stats.get("cpu.steal_hits"), 0);
+    }
+
+    #[test]
+    fn leaks_are_detected() {
+        let mut cpu = CpuEngine::new(2, ExecProfile::scalar());
+        let err = cpu
+            .run(&mut LeakyWorker, Task::new(FIB, Continuation::host(0), &[]))
+            .unwrap_err();
+        assert_eq!(err, AccelError::LeakedPending { count: 1 });
+    }
+
+    #[test]
+    fn memory_flows_through_cpu_l1() {
+        struct MemWorker;
+        impl Worker for MemWorker {
+            fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+                let mut sum = 0u64;
+                for i in 0..64u64 {
+                    sum += ctx.read_u32(0x2000 + 4 * i) as u64;
+                }
+                ctx.send_arg(task.k, sum);
+            }
+        }
+        let mut cpu = CpuEngine::new(1, ExecProfile::scalar());
+        for i in 0..64u64 {
+            cpu.mem_mut().write_u32(0x2000 + 4 * i, 2 * i as u32);
+        }
+        let out = cpu
+            .run(&mut MemWorker, Task::new(FIB, Continuation::host(0), &[]))
+            .unwrap();
+        assert_eq!(out.result, (0..64).map(|i| 2 * i).sum::<u64>());
+        assert!(out.stats.get("mem.l1_hits") > 0);
+    }
+}

@@ -1,0 +1,409 @@
+//! The ParallelXL design methodology (Section IV of the paper).
+//!
+//! The paper's flow takes a C++ worker description and an architectural
+//! template, elaborates the template with the designer's parameters
+//! (architecture, tiles, PEs, queue and P-Store entries, cache size), and
+//! emits accelerator RTL. In this reproduction the "RTL" is a validated
+//! simulator configuration plus a resource estimate:
+//!
+//! ```text
+//! Worker (Rust impl of pxl_model::Worker)   Architecture template (pxl-arch)
+//!                \                               /
+//!                 AcceleratorBuilder::build()
+//!                          |
+//!                 AcceleratorDesign { AccelConfig, resources, device fits }
+//! ```
+//!
+//! [`AcceleratorBuilder`] is the single entry point a designer uses; "design
+//! space exploration can be done easily by changing the parameters given to
+//! the framework, without rewriting any code" (Section IV-C) — that is
+//! [`sweep_cache_sizes`] and [`sweep_pe_counts`].
+//!
+//! # Examples
+//!
+//! ```
+//! use pxl_flow::AcceleratorBuilder;
+//!
+//! let design = AcceleratorBuilder::new("queens")
+//!     .tiles(4)
+//!     .pes_per_tile(4)
+//!     .cache_kb(16)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(design.config.num_pes(), 16);
+//! assert!(design.resources.is_some());
+//! ```
+
+use pxl_arch::{AccelConfig, ArchKind};
+use pxl_cost::resources::{tile_resources, FpgaDevice, TileResources};
+
+/// Errors produced while elaborating a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// The architectural parameters are not realizable.
+    InvalidConfig(String),
+    /// The selected benchmark has no LiteArch variant.
+    NoLiteVariant(String),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FlowError::NoLiteVariant(name) => {
+                write!(f, "benchmark '{name}' has no LiteArch mapping")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// An elaborated accelerator design: simulator configuration, resource
+/// estimate, and device-fitting results.
+#[derive(Debug, Clone)]
+pub struct AcceleratorDesign {
+    /// The validated simulator configuration ("the RTL").
+    pub config: AccelConfig,
+    /// PE/tile resource estimate, when the worker is a known benchmark.
+    pub resources: Option<TileResources>,
+    /// `(device name, max tiles that fit)` for the paper's two devices.
+    pub device_fits: Vec<(&'static str, u32)>,
+}
+
+/// Builder over the architectural template's parameters.
+#[derive(Debug, Clone)]
+pub struct AcceleratorBuilder {
+    benchmark: String,
+    arch: ArchKind,
+    tiles: usize,
+    pes_per_tile: usize,
+    task_queue_entries: usize,
+    pstore_entries: usize,
+    cache_bytes: usize,
+}
+
+impl AcceleratorBuilder {
+    /// Starts a design for the named worker (one of the ten benchmarks, or
+    /// any other name for a custom worker without a resource estimate).
+    pub fn new(benchmark: impl Into<String>) -> Self {
+        AcceleratorBuilder {
+            benchmark: benchmark.into(),
+            arch: ArchKind::Flex,
+            tiles: 4,
+            pes_per_tile: 4,
+            task_queue_entries: 1024,
+            pstore_entries: 4096,
+            cache_bytes: 32 * 1024,
+        }
+    }
+
+    /// Selects FlexArch or LiteArch.
+    pub fn arch(&mut self, arch: ArchKind) -> &mut Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&mut self, tiles: usize) -> &mut Self {
+        self.tiles = tiles;
+        self
+    }
+
+    /// PEs per tile.
+    pub fn pes_per_tile(&mut self, pes: usize) -> &mut Self {
+        self.pes_per_tile = pes;
+        self
+    }
+
+    /// Per-PE task queue entries.
+    pub fn task_queue_entries(&mut self, entries: usize) -> &mut Self {
+        self.task_queue_entries = entries;
+        self
+    }
+
+    /// Per-tile P-Store entries.
+    pub fn pstore_entries(&mut self, entries: usize) -> &mut Self {
+        self.pstore_entries = entries;
+        self
+    }
+
+    /// Tile cache capacity in KiB.
+    pub fn cache_kb(&mut self, kb: usize) -> &mut Self {
+        self.cache_bytes = kb * 1024;
+        self
+    }
+
+    /// Elaborates the design: validates the configuration, estimates
+    /// resources, and checks device fitting.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::InvalidConfig`] if the template parameters are not
+    /// realizable.
+    pub fn build(&self) -> Result<AcceleratorDesign, FlowError> {
+        let mut config = match self.arch {
+            ArchKind::Flex => AccelConfig::flex(self.tiles, self.pes_per_tile),
+            ArchKind::Lite => AccelConfig::lite(self.tiles, self.pes_per_tile),
+        };
+        config.task_queue_entries = self.task_queue_entries;
+        config.pstore_entries = self.pstore_entries;
+        config.memory.accel_l1 = config.memory.accel_l1.clone().with_size(self.cache_bytes);
+        config.validate().map_err(FlowError::InvalidConfig)?;
+        // Cache geometry must also be realizable: an integral,
+        // power-of-two number of sets.
+        let set_bytes = config.memory.accel_l1.ways * config.memory.accel_l1.line_bytes;
+        if !self.cache_bytes.is_multiple_of(set_bytes)
+            || !(self.cache_bytes / set_bytes).is_power_of_two()
+        {
+            return Err(FlowError::InvalidConfig(format!(
+                "cache size {} does not form a power-of-two number of sets",
+                self.cache_bytes
+            )));
+        }
+        let resources = tile_resources(
+            &self.benchmark,
+            self.arch == ArchKind::Flex,
+            self.pes_per_tile as u32,
+            self.cache_bytes,
+        );
+        let device_fits = match &resources {
+            Some(r) => vec![
+                (
+                    FpgaDevice::artix_7a75t().name,
+                    FpgaDevice::artix_7a75t().max_tiles(&r.tile),
+                ),
+                (
+                    FpgaDevice::kintex_7k160t().name,
+                    FpgaDevice::kintex_7k160t().max_tiles(&r.tile),
+                ),
+            ],
+            None => Vec::new(),
+        };
+        Ok(AcceleratorDesign {
+            config,
+            resources,
+            device_fits,
+        })
+    }
+}
+
+impl AcceleratorBuilder {
+    /// Parses a textual design specification — the closest analogue of the
+    /// parameter files the paper's framework feeds its template elaborator.
+    ///
+    /// Format: whitespace-separated `key=value` pairs. Keys: `worker`
+    /// (benchmark/worker name, required first or via `worker=`), `arch`
+    /// (`flex`|`lite`), `tiles`, `pes`, `queue`, `pstore`, `cache_kb`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pxl_flow::AcceleratorBuilder;
+    ///
+    /// let design = AcceleratorBuilder::from_spec(
+    ///     "worker=uts arch=flex tiles=8 pes=4 cache_kb=16 queue=512 pstore=2048",
+    /// )
+    /// .unwrap()
+    /// .build()
+    /// .unwrap();
+    /// assert_eq!(design.config.num_pes(), 32);
+    /// assert_eq!(design.config.task_queue_entries, 512);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::InvalidConfig`] on unknown keys, malformed values or a
+    /// missing worker name.
+    pub fn from_spec(spec: &str) -> Result<AcceleratorBuilder, FlowError> {
+        let mut worker: Option<String> = None;
+        let mut builder: Option<AcceleratorBuilder> = None;
+        let mut pending: Vec<(String, String)> = Vec::new();
+        for token in spec.split_whitespace() {
+            let (key, value) = token.split_once('=').ok_or_else(|| {
+                FlowError::InvalidConfig(format!("expected key=value, got '{token}'"))
+            })?;
+            if key == "worker" {
+                worker = Some(value.to_owned());
+            } else {
+                pending.push((key.to_owned(), value.to_owned()));
+            }
+        }
+        let worker = worker
+            .ok_or_else(|| FlowError::InvalidConfig("missing worker=<name>".into()))?;
+        let b = builder.get_or_insert_with(|| AcceleratorBuilder::new(worker));
+        let parse = |key: &str, value: &str| -> Result<usize, FlowError> {
+            value.parse().map_err(|_| {
+                FlowError::InvalidConfig(format!("'{key}' needs an integer, got '{value}'"))
+            })
+        };
+        for (key, value) in pending {
+            match key.as_str() {
+                "arch" => match value.as_str() {
+                    "flex" => {
+                        b.arch(ArchKind::Flex);
+                    }
+                    "lite" => {
+                        b.arch(ArchKind::Lite);
+                    }
+                    other => {
+                        return Err(FlowError::InvalidConfig(format!(
+                            "arch must be flex or lite, got '{other}'"
+                        )))
+                    }
+                },
+                "tiles" => {
+                    b.tiles(parse(&key, &value)?);
+                }
+                "pes" => {
+                    b.pes_per_tile(parse(&key, &value)?);
+                }
+                "queue" => {
+                    b.task_queue_entries(parse(&key, &value)?);
+                }
+                "pstore" => {
+                    b.pstore_entries(parse(&key, &value)?);
+                }
+                "cache_kb" => {
+                    b.cache_kb(parse(&key, &value)?);
+                }
+                other => {
+                    return Err(FlowError::InvalidConfig(format!("unknown key '{other}'")))
+                }
+            }
+        }
+        Ok(builder.expect("builder initialized with worker"))
+    }
+}
+
+/// Elaborates one design per cache size (the paper's Fig. 9 sweep:
+/// 4 KB to 32 KB).
+///
+/// # Errors
+///
+/// Propagates the first elaboration failure.
+pub fn sweep_cache_sizes(
+    benchmark: &str,
+    cache_kbs: &[usize],
+) -> Result<Vec<AcceleratorDesign>, FlowError> {
+    cache_kbs
+        .iter()
+        .map(|&kb| AcceleratorBuilder::new(benchmark).cache_kb(kb).build())
+        .collect()
+}
+
+/// Elaborates one design per PE count, keeping 4 PEs per tile as in the
+/// paper's scalability study (1-, 2-PE configs use a single partial tile).
+///
+/// # Errors
+///
+/// Propagates the first elaboration failure.
+pub fn sweep_pe_counts(
+    benchmark: &str,
+    arch: ArchKind,
+    pe_counts: &[usize],
+) -> Result<Vec<AcceleratorDesign>, FlowError> {
+    pe_counts
+        .iter()
+        .map(|&pes| {
+            let (tiles, per_tile) = if pes <= 4 { (1, pes) } else { (pes / 4, 4) };
+            AcceleratorBuilder::new(benchmark)
+                .arch(arch)
+                .tiles(tiles)
+                .pes_per_tile(per_tile)
+                .build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_design_elaborates() {
+        let d = AcceleratorBuilder::new("uts").build().unwrap();
+        assert_eq!(d.config.arch, ArchKind::Flex);
+        assert_eq!(d.config.num_pes(), 16);
+        assert!(d.resources.is_some());
+        assert_eq!(d.device_fits.len(), 2);
+    }
+
+    #[test]
+    fn custom_worker_has_no_resource_estimate() {
+        let d = AcceleratorBuilder::new("my-custom-kernel").build().unwrap();
+        assert!(d.resources.is_none());
+        assert!(d.device_fits.is_empty());
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        let err = AcceleratorBuilder::new("uts").tiles(0).build().unwrap_err();
+        assert!(matches!(err, FlowError::InvalidConfig(_)));
+        let err = AcceleratorBuilder::new("uts").cache_kb(3).build().unwrap_err();
+        assert!(matches!(err, FlowError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn cache_sweep_produces_fig9_points() {
+        let designs = sweep_cache_sizes("nw", &[4, 8, 16, 32]).unwrap();
+        assert_eq!(designs.len(), 4);
+        // Smaller caches use fewer BRAMs.
+        let brams: Vec<u32> = designs
+            .iter()
+            .map(|d| d.resources.as_ref().unwrap().tile.bram18)
+            .collect();
+        assert!(brams.windows(2).all(|w| w[0] < w[1]));
+        // And the simulator config actually gets the smaller cache.
+        assert_eq!(designs[0].config.memory.accel_l1.size_bytes, 4 * 1024);
+    }
+
+    #[test]
+    fn pe_sweep_matches_paper_geometry() {
+        let designs =
+            sweep_pe_counts("queens", ArchKind::Flex, &[1, 2, 4, 8, 16, 32]).unwrap();
+        let pes: Vec<usize> = designs.iter().map(|d| d.config.num_pes()).collect();
+        assert_eq!(pes, vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(designs[5].config.tiles, 8, "32 PEs = 8 tiles x 4 PEs");
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let d = AcceleratorBuilder::from_spec("worker=queens arch=lite tiles=2 pes=2 cache_kb=8")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(d.config.arch, ArchKind::Lite);
+        assert_eq!(d.config.num_pes(), 4);
+        assert_eq!(d.config.memory.accel_l1.size_bytes, 8 * 1024);
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        for bad in [
+            "tiles=4",                 // no worker
+            "worker=uts tiles",        // not key=value
+            "worker=uts tiles=abc",    // not an integer
+            "worker=uts arch=warp",    // unknown arch
+            "worker=uts speed=9",      // unknown key
+        ] {
+            assert!(
+                AcceleratorBuilder::from_spec(bad).is_err(),
+                "spec '{bad}' should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn lite_arch_flows_through() {
+        let d = AcceleratorBuilder::new("stencil2d")
+            .arch(ArchKind::Lite)
+            .build()
+            .unwrap();
+        assert_eq!(d.config.arch, ArchKind::Lite);
+        let flex = AcceleratorBuilder::new("stencil2d").build().unwrap();
+        assert!(
+            d.resources.as_ref().unwrap().tile.lut < flex.resources.as_ref().unwrap().tile.lut
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Set-associative cache arrays with MOESI line states.
+//!
+//! [`CacheArray`] is the tag/state half of a cache (the data half lives in
+//! the shared functional [`crate::Memory`]). One array models each
+//! accelerator-tile L1, each CPU-core L1, and the shared L2. The coherence
+//! controller in [`crate::system`] drives the per-line [`LineState`] machine.
+
+use pxl_sim::config::CacheParams;
+
+/// MOESI coherence state of one cache line.
+///
+/// The paper's platform (Table III) keeps accelerator L1s, CPU L1s and the
+/// shared L2 coherent with a MOESI snooping protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Modified: exclusive and dirty.
+    Modified,
+    /// Owned: shared and dirty; this cache supplies data on snoops.
+    Owned,
+    /// Exclusive: sole copy, clean.
+    Exclusive,
+    /// Shared: possibly multiple copies, clean in this cache.
+    Shared,
+}
+
+impl LineState {
+    /// Whether this cache must write the line back when evicting it.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Owned)
+    }
+
+    /// Whether a store may proceed without a bus upgrade.
+    pub fn can_write_silently(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way {
+    /// Line address (byte address >> line_shift); `None` when invalid.
+    line: Option<u64>,
+    state: LineState,
+    /// LRU timestamp (monotone per-array counter).
+    last_use: u64,
+}
+
+/// The tag/state array of one set-associative cache with true-LRU
+/// replacement.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_mem::cache::{CacheArray, LineState};
+/// use pxl_sim::config::CacheParams;
+///
+/// let mut c = CacheArray::new(&CacheParams::accel_l1_32k());
+/// assert!(c.lookup(0x1000).is_none());
+/// c.install(0x1000, LineState::Exclusive);
+/// assert_eq!(c.lookup(0x1000), Some(LineState::Exclusive));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    sets: Vec<Vec<Way>>,
+    line_shift: u32,
+    set_mask: u64,
+    use_counter: u64,
+}
+
+impl CacheArray {
+    /// Builds an array from cache geometry parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not realizable (see
+    /// [`CacheParams::num_sets`]).
+    pub fn new(params: &CacheParams) -> Self {
+        let num_sets = params.num_sets();
+        let line_shift = params.line_bytes.trailing_zeros();
+        assert_eq!(
+            1usize << line_shift,
+            params.line_bytes,
+            "line size must be a power of two"
+        );
+        CacheArray {
+            sets: vec![
+                vec![
+                    Way {
+                        line: None,
+                        state: LineState::Shared,
+                        last_use: 0,
+                    };
+                    params.ways
+                ];
+                num_sets
+            ],
+            line_shift,
+            set_mask: (num_sets - 1) as u64,
+            use_counter: 0,
+        }
+    }
+
+    /// Converts a byte address to a line address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        1 << self.line_shift
+    }
+
+    #[inline]
+    fn set_index(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Looks up a byte address; on hit returns the line state and refreshes
+    /// LRU.
+    pub fn lookup(&mut self, addr: u64) -> Option<LineState> {
+        let line = self.line_of(addr);
+        let idx = self.set_index(line);
+        self.use_counter += 1;
+        let tick = self.use_counter;
+        self.sets[idx]
+            .iter_mut()
+            .find(|w| w.line == Some(line))
+            .map(|w| {
+                w.last_use = tick;
+                w.state
+            })
+    }
+
+    /// Peeks at a line's state without touching LRU (for snoops).
+    pub fn peek(&self, addr: u64) -> Option<LineState> {
+        let line = self.line_of(addr);
+        self.sets[self.set_index(line)]
+            .iter()
+            .find(|w| w.line == Some(line))
+            .map(|w| w.state)
+    }
+
+    /// Sets the state of a resident line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn set_state(&mut self, addr: u64, state: LineState) {
+        let line = self.line_of(addr);
+        let idx = self.set_index(line);
+        let w = self.sets[idx]
+            .iter_mut()
+            .find(|w| w.line == Some(line))
+            .expect("set_state on a non-resident line");
+        w.state = state;
+    }
+
+    /// Installs a line (choosing an LRU victim) and returns the evicted
+    /// line's byte address and state, if a valid line was displaced.
+    pub fn install(&mut self, addr: u64, state: LineState) -> Option<(u64, LineState)> {
+        let line = self.line_of(addr);
+        let idx = self.set_index(line);
+        self.use_counter += 1;
+        let tick = self.use_counter;
+        let set = &mut self.sets[idx];
+        // Re-installing an already-resident line just updates it.
+        if let Some(w) = set.iter_mut().find(|w| w.line == Some(line)) {
+            w.state = state;
+            w.last_use = tick;
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.line.is_none() { 0 } else { w.last_use + 1 })
+            .expect("cache set has at least one way");
+        let evicted = victim.line.map(|l| (l << self.line_shift, victim.state));
+        victim.line = Some(line);
+        victim.state = state;
+        victim.last_use = tick;
+        evicted
+    }
+
+    /// Removes a line if resident, returning its state.
+    pub fn invalidate(&mut self, addr: u64) -> Option<LineState> {
+        let line = self.line_of(addr);
+        let idx = self.set_index(line);
+        let w = self.sets[idx].iter_mut().find(|w| w.line == Some(line))?;
+        let s = w.state;
+        w.line = None;
+        Some(s)
+    }
+
+    /// Number of valid lines currently resident (O(size); for tests/stats).
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|w| w.line.is_some())
+            .count()
+    }
+
+    /// Invalidates everything (e.g. between benchmark phases).
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            for w in set {
+                w.line = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheArray {
+        // 2 sets x 2 ways x 64B lines = 256 B.
+        let params = CacheParams {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency_cycles: 1,
+            next_line_prefetch: false,
+            clock: pxl_sim::Clock::ghz1("t"),
+        };
+        CacheArray::new(&params)
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(0), None);
+        c.install(0, LineState::Exclusive);
+        assert_eq!(c.lookup(0), Some(LineState::Exclusive));
+        assert_eq!(c.lookup(63), Some(LineState::Exclusive)); // same line
+        assert_eq!(c.lookup(64), None); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0 (even line numbers).
+        c.install(0, LineState::Shared); // line 0
+        c.install(2 * 64, LineState::Shared);
+        // Touch line 0 so line 2 becomes LRU.
+        assert!(c.lookup(0).is_some());
+        let evicted = c.install(4 * 64, LineState::Shared);
+        assert_eq!(evicted, Some((2 * 64, LineState::Shared)));
+        assert!(c.peek(0).is_some());
+        assert!(c.peek(4 * 64).is_some());
+        assert!(c.peek(2 * 64).is_none());
+    }
+
+    #[test]
+    fn install_prefers_invalid_ways() {
+        let mut c = tiny();
+        c.install(0, LineState::Modified);
+        // Second install in the same set must use the empty way, not evict.
+        assert_eq!(c.install(2 * 64, LineState::Shared), None);
+    }
+
+    #[test]
+    fn reinstall_updates_state_in_place() {
+        let mut c = tiny();
+        c.install(0, LineState::Shared);
+        assert_eq!(c.install(0, LineState::Modified), None);
+        assert_eq!(c.peek(0), Some(LineState::Modified));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut c = tiny();
+        c.install(0, LineState::Owned);
+        assert_eq!(c.invalidate(0), Some(LineState::Owned));
+        assert_eq!(c.invalidate(0), None);
+        c.install(0, LineState::Shared);
+        c.install(64, LineState::Shared);
+        c.flush_all();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(LineState::Modified.is_dirty());
+        assert!(LineState::Owned.is_dirty());
+        assert!(!LineState::Exclusive.is_dirty());
+        assert!(!LineState::Shared.is_dirty());
+        assert!(LineState::Modified.can_write_silently());
+        assert!(LineState::Exclusive.can_write_silently());
+        assert!(!LineState::Owned.can_write_silently());
+        assert!(!LineState::Shared.can_write_silently());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn set_state_missing_line_panics() {
+        let mut c = tiny();
+        c.set_state(0, LineState::Shared);
+    }
+}

@@ -1,0 +1,299 @@
+//! Higher-level parallel patterns built on continuation passing.
+//!
+//! The paper's framework ships a `parallel_for` helper "similar to Intel
+//! TBB" plus a `blocked_range` concept (Section IV-B). Both are implemented
+//! here purely in terms of the model primitives — recursive range splitting
+//! with successor joins — demonstrating the composability property of
+//! Section II-B2: data-parallel loops are just a spawning discipline over
+//! continuation passing.
+
+use crate::task::{Continuation, Task, TaskTypeId};
+use crate::worker::TaskContext;
+
+/// Cost charged for one range-splitting step (index arithmetic + two task
+/// constructions), in abstract operations.
+const SPLIT_OPS: u64 = 4;
+/// Cost charged for one join/reduce step.
+const JOIN_OPS: u64 = 1;
+
+/// A half-open index range `[lo, hi)` with a grain size, as in TBB's
+/// `blocked_range`.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_model::BlockedRange;
+///
+/// let r = BlockedRange::new(0, 100, 16);
+/// assert!(r.is_divisible());
+/// let (a, b) = r.split();
+/// assert_eq!(a.hi(), b.lo());
+/// assert_eq!(a.len() + b.len(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedRange {
+    lo: u64,
+    hi: u64,
+    grain: u64,
+}
+
+impl BlockedRange {
+    /// Creates a range `[lo, hi)` that recursive splitting stops dividing
+    /// once its length is at most `grain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `grain` is zero.
+    pub fn new(lo: u64, hi: u64, grain: u64) -> Self {
+        assert!(lo <= hi, "range must be ordered");
+        assert!(grain > 0, "grain must be nonzero");
+        BlockedRange { lo, hi, grain }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// Upper bound (exclusive).
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// Grain size.
+    pub fn grain(&self) -> u64 {
+        self.grain
+    }
+
+    /// Number of indices in the range.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether recursive decomposition should split this range further.
+    pub fn is_divisible(&self) -> bool {
+        self.len() > self.grain
+    }
+
+    /// Splits at the midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not divisible.
+    pub fn split(&self) -> (BlockedRange, BlockedRange) {
+        assert!(self.is_divisible(), "range is not divisible");
+        let mid = self.lo + self.len() / 2;
+        (
+            BlockedRange::new(self.lo, mid, self.grain),
+            BlockedRange::new(mid, self.hi, self.grain),
+        )
+    }
+}
+
+/// A data-parallel loop with reduction, expressed as tasks.
+///
+/// Reserves two task types in the application's space: a *split* type that
+/// recursively decomposes the range (the paper's recursive decomposition of
+/// Fig. 2(a)) and a *join* type that combines two partial results by
+/// addition. Leaves return a `u64` contribution; a plain `for` loop simply
+/// returns 0.
+///
+/// A worker embeds the pattern by calling [`ParallelFor::step`] first and
+/// falling through to its own task types when `step` returns `false`:
+///
+/// # Examples
+///
+/// ```
+/// use pxl_model::{Continuation, ParallelFor, SerialExecutor, Task};
+/// use pxl_model::{TaskContext, TaskTypeId, Worker};
+///
+/// const SPLIT: TaskTypeId = TaskTypeId(10);
+/// const JOIN: TaskTypeId = TaskTypeId(11);
+///
+/// struct SumWorker {
+///     pf: ParallelFor,
+/// }
+/// impl Worker for SumWorker {
+///     fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+///         let pf = self.pf;
+///         let handled = pf.step(task, ctx, |_ctx, lo, hi| (lo..hi).sum::<u64>());
+///         assert!(handled, "only pattern tasks exist in this worker");
+///     }
+/// }
+///
+/// let pf = ParallelFor::new(SPLIT, JOIN, 8);
+/// let mut exec = SerialExecutor::new();
+/// let root = pf.root_task(0, 100, Continuation::host(0));
+/// let total = exec.run(&mut SumWorker { pf }, root).unwrap();
+/// assert_eq!(total, (0..100).sum::<u64>());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelFor {
+    split_ty: TaskTypeId,
+    join_ty: TaskTypeId,
+    grain: u64,
+}
+
+impl ParallelFor {
+    /// Creates a pattern using `split_ty`/`join_ty` as its reserved task
+    /// types, splitting ranges down to `grain` indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two task types collide or `grain` is zero.
+    pub fn new(split_ty: TaskTypeId, join_ty: TaskTypeId, grain: u64) -> Self {
+        assert_ne!(split_ty, join_ty, "split and join types must differ");
+        assert!(grain > 0, "grain must be nonzero");
+        ParallelFor {
+            split_ty,
+            join_ty,
+            grain,
+        }
+    }
+
+    /// The grain size.
+    pub fn grain(&self) -> u64 {
+        self.grain
+    }
+
+    /// Builds the root task covering `[lo, hi)` whose reduced result is
+    /// delivered to `k`.
+    pub fn root_task(&self, lo: u64, hi: u64, k: Continuation) -> Task {
+        Task::new(self.split_ty, k, &[lo, hi])
+    }
+
+    /// Handles `task` if it belongs to this pattern; returns whether it was
+    /// handled. `leaf` runs each undivided subrange and returns its
+    /// contribution to the reduction.
+    pub fn step<F>(&self, task: &Task, ctx: &mut dyn TaskContext, mut leaf: F) -> bool
+    where
+        F: FnMut(&mut dyn TaskContext, u64, u64) -> u64,
+    {
+        if task.ty == self.split_ty {
+            let range = BlockedRange::new(task.args[0], task.args[1], self.grain);
+            if range.is_divisible() {
+                ctx.compute(SPLIT_OPS);
+                let kk = ctx.make_successor(self.join_ty, task.k, 2);
+                let (a, b) = range.split();
+                ctx.spawn(Task::new(self.split_ty, kk.with_slot(1), &[b.lo(), b.hi()]));
+                ctx.spawn(Task::new(self.split_ty, kk.with_slot(0), &[a.lo(), a.hi()]));
+            } else {
+                let v = if range.is_empty() {
+                    0
+                } else {
+                    leaf(ctx, range.lo(), range.hi())
+                };
+                ctx.send_arg(task.k, v);
+            }
+            true
+        } else if task.ty == self.join_ty {
+            ctx.compute(JOIN_OPS);
+            ctx.send_arg(task.k, task.args[0].wrapping_add(task.args[1]));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::SerialExecutor;
+    use crate::worker::Worker;
+
+    const SPLIT: TaskTypeId = TaskTypeId(10);
+    const JOIN: TaskTypeId = TaskTypeId(11);
+
+    #[test]
+    fn blocked_range_splitting() {
+        let r = BlockedRange::new(0, 10, 3);
+        assert_eq!(r.len(), 10);
+        assert!(r.is_divisible());
+        let (a, b) = r.split();
+        assert_eq!((a.lo(), a.hi()), (0, 5));
+        assert_eq!((b.lo(), b.hi()), (5, 10));
+        assert!(!BlockedRange::new(0, 3, 3).is_divisible());
+        assert!(BlockedRange::new(5, 5, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn splitting_small_range_panics() {
+        let _ = BlockedRange::new(0, 2, 4).split();
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn inverted_range_panics() {
+        let _ = BlockedRange::new(5, 2, 1);
+    }
+
+    struct CoverageWorker {
+        pf: ParallelFor,
+        /// Bitmap address in functional memory where leaves mark coverage.
+        base: u64,
+    }
+
+    impl Worker for CoverageWorker {
+        fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+            let pf = self.pf;
+            let base = self.base;
+            let handled = pf.step(task, ctx, |ctx, lo, hi| {
+                for i in lo..hi {
+                    let addr = base + i;
+                    let prev = ctx.mem().read_u8(addr);
+                    ctx.mem().write_u8(addr, prev + 1);
+                }
+                hi - lo
+            });
+            assert!(handled);
+        }
+    }
+
+    #[test]
+    fn parallel_for_covers_range_exactly_once() {
+        for (n, grain) in [(0u64, 4u64), (1, 4), (7, 3), (64, 8), (100, 7), (5, 100)] {
+            let pf = ParallelFor::new(SPLIT, JOIN, grain);
+            let mut exec = SerialExecutor::new();
+            let root = pf.root_task(0, n, Continuation::host(0));
+            let total = exec
+                .run(&mut CoverageWorker { pf, base: 0x1000 }, root)
+                .unwrap();
+            assert_eq!(total, n, "reduction must count every index (n={n})");
+            for i in 0..n {
+                assert_eq!(
+                    exec.memory().read_u8(0x1000 + i),
+                    1,
+                    "index {i} covered wrong number of times (n={n}, grain={grain})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_task_count_scales_with_grain() {
+        let run = |grain| {
+            let pf = ParallelFor::new(SPLIT, JOIN, grain);
+            let mut exec = SerialExecutor::new();
+            let root = pf.root_task(0, 1024, Continuation::host(0));
+            exec.run(&mut CoverageWorker { pf, base: 0 }, root).unwrap();
+            exec.stats().tasks_executed
+        };
+        assert!(
+            run(8) > run(128),
+            "finer grain must create more tasks"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "differ")]
+    fn colliding_types_panic() {
+        let _ = ParallelFor::new(SPLIT, SPLIT, 1);
+    }
+}

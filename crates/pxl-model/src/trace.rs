@@ -1,0 +1,449 @@
+//! Task-graph tracing: record the dynamic task graph a worker unfolds and
+//! export it for inspection.
+//!
+//! The paper's Fig. 2 illustrates the graphs that continuation passing
+//! builds at run time — the regular tree of a data-parallel vector add, the
+//! unbalanced fork-join tree of Fibonacci, the wavefront lattice of dynamic
+//! programming. [`TracingExecutor`] runs a worker with the serial reference
+//! semantics while recording every node (executed task or pending
+//! successor) and every edge (spawn, successor creation, argument return),
+//! producing a [`TaskGraph`] that can be checked structurally or rendered
+//! to Graphviz DOT.
+//!
+//! # Examples
+//!
+//! ```
+//! use pxl_model::trace::{EdgeKind, TracingExecutor};
+//! use pxl_model::{Continuation, Task, TaskContext, TaskTypeId, Worker};
+//!
+//! const FIB: TaskTypeId = TaskTypeId(0);
+//! const SUM: TaskTypeId = TaskTypeId(1);
+//! struct Fib;
+//! impl Worker for Fib {
+//!     fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+//!         let k = task.k;
+//!         if task.ty == FIB {
+//!             let n = task.args[0];
+//!             if n < 2 {
+//!                 ctx.send_arg(k, n);
+//!             } else {
+//!                 let kk = ctx.make_successor(SUM, k, 2);
+//!                 ctx.spawn(Task::new(FIB, kk.with_slot(1), &[n - 2]));
+//!                 ctx.spawn(Task::new(FIB, kk.with_slot(0), &[n - 1]));
+//!             }
+//!         } else {
+//!             ctx.send_arg(k, task.args[0] + task.args[1]);
+//!         }
+//!     }
+//! }
+//!
+//! let mut tracer = TracingExecutor::new();
+//! let (result, graph) = tracer
+//!     .run(&mut Fib, Task::new(FIB, Continuation::host(0), &[4]))
+//!     .unwrap();
+//! assert_eq!(result, 3);
+//! // fib(4): 9 FIB tasks + 4 SUM successors (the paper's Fig. 2b).
+//! assert_eq!(graph.node_count(), 13);
+//! assert!(graph.is_acyclic());
+//! assert_eq!(graph.edges_of_kind(EdgeKind::Successor).count(), 4);
+//! ```
+
+use pxl_mem::Memory;
+
+use crate::serial::{ExecError, HOST_SLOTS};
+use crate::task::{Continuation, PendingTask, Task, TaskTypeId};
+use crate::worker::{TaskContext, Worker};
+
+/// Identifies one node of a recorded task graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Why an edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Parent spawned child (the downward arrows of Fig. 1).
+    Spawn,
+    /// Task created a pending successor (the horizontal arrows of Fig. 1).
+    Successor,
+    /// Task returned a value to a continuation (the dotted arrows of
+    /// Fig. 1).
+    Arg,
+}
+
+/// One recorded node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The task type.
+    pub ty: TaskTypeId,
+    /// Whether the node was created as a pending successor (join) rather
+    /// than a spawned/root task.
+    pub pending: bool,
+    /// First argument word at execution time (a convenient label, e.g.
+    /// `n` for Fibonacci).
+    pub label_arg: u64,
+}
+
+/// The dynamic task graph one execution unfolded.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    nodes: Vec<Node>,
+    edges: Vec<(NodeId, NodeId, EdgeKind)>,
+}
+
+impl TaskGraph {
+    /// Number of recorded nodes (tasks + successors).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of recorded edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The node table.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges `(from, to, kind)`.
+    pub fn edges(&self) -> &[(NodeId, NodeId, EdgeKind)] {
+        &self.edges
+    }
+
+    /// Iterates the edges of one kind.
+    pub fn edges_of_kind(&self, kind: EdgeKind) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(_, _, k)| *k == kind)
+            .map(|&(a, b, _)| (a, b))
+    }
+
+    /// Whether the graph (all edge kinds) is a DAG — continuation passing
+    /// can only reference already-created tasks, so a cycle indicates a
+    /// protocol violation.
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm.
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b, _) in &self.edges {
+            out[a.0].push(b.0);
+            indeg[b.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &w in &out[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// Length (in nodes) of the longest dependence chain through the graph
+    /// — the paper's *critical path*, which bounds achievable speedup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn critical_path_len(&self) -> usize {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b, _) in &self.edges {
+            out[a.0].push(b.0);
+            indeg[b.0] += 1;
+        }
+        let mut depth = vec![1usize; n];
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        let mut best = if n == 0 { 0 } else { 1 };
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            best = best.max(depth[v]);
+            for &w in &out[v] {
+                depth[w] = depth[w].max(depth[v] + 1);
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        assert!(seen == n, "critical path of a cyclic graph");
+        best
+    }
+
+    /// Renders the graph as Graphviz DOT. `name_of` labels task types
+    /// (e.g. `|t| if t == FIB { "fib" } else { "sum" }`).
+    pub fn to_dot(&self, name_of: &dyn Fn(TaskTypeId) -> String) -> String {
+        let mut s = String::from("digraph tasks {\n  rankdir=TB;\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let shape = if node.pending { "ellipse" } else { "box" };
+            s.push_str(&format!(
+                "  n{} [label=\"{}({})\", shape={}];\n",
+                i,
+                name_of(node.ty),
+                node.label_arg,
+                shape
+            ));
+        }
+        for &(a, b, kind) in &self.edges {
+            let style = match kind {
+                EdgeKind::Spawn => "solid",
+                EdgeKind::Successor => "bold",
+                EdgeKind::Arg => "dashed",
+            };
+            s.push_str(&format!("  n{} -> n{} [style={}];\n", a.0, b.0, style));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// A serial executor that records the task graph while running.
+///
+/// Semantics match [`crate::SerialExecutor`] (LIFO stack, unbounded pending
+/// storage, greedy readiness); intended for debugging, visualization and
+/// structural tests rather than timing.
+#[derive(Debug, Default)]
+pub struct TracingExecutor {
+    mem: Memory,
+    stack: Vec<(Task, NodeId)>,
+    pstore: Vec<Option<(PendingTask, NodeId)>>,
+    free: Vec<u32>,
+    live_pending: usize,
+    host: [Option<u64>; HOST_SLOTS],
+    graph: TaskGraph,
+}
+
+impl TracingExecutor {
+    /// Creates a tracer with empty memory.
+    pub fn new() -> Self {
+        TracingExecutor::default()
+    }
+
+    /// Mutable access to functional memory for input setup.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Runs `root` to completion, returning its result and the recorded
+    /// graph.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`crate::SerialExecutor::run`].
+    pub fn run<W: Worker + ?Sized>(
+        &mut self,
+        worker: &mut W,
+        root: Task,
+    ) -> Result<(u64, TaskGraph), ExecError> {
+        let result_slot = match root.k {
+            Continuation::Host { slot } => Some(slot),
+            _ => None,
+        };
+        let root_node = self.add_node(root.ty, false, root.args[0]);
+        self.stack.push((root, root_node));
+        while let Some((task, node)) = self.stack.pop() {
+            let mut ctx = TraceCtx {
+                exec: self,
+                current: node,
+            };
+            worker.execute(&task, &mut ctx);
+        }
+        if self.live_pending > 0 {
+            return Err(ExecError::LeakedPending {
+                count: self.live_pending,
+            });
+        }
+        let result = match result_slot {
+            Some(slot) => self.host[slot as usize].ok_or(ExecError::NoResult { slot })?,
+            None => 0,
+        };
+        Ok((result, std::mem::take(&mut self.graph)))
+    }
+
+    fn add_node(&mut self, ty: TaskTypeId, pending: bool, label_arg: u64) -> NodeId {
+        self.graph.nodes.push(Node {
+            ty,
+            pending,
+            label_arg,
+        });
+        NodeId(self.graph.nodes.len() - 1)
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
+        self.graph.edges.push((from, to, kind));
+    }
+}
+
+struct TraceCtx<'e> {
+    exec: &'e mut TracingExecutor,
+    current: NodeId,
+}
+
+impl TaskContext for TraceCtx<'_> {
+    fn spawn(&mut self, task: Task) {
+        let node = self.exec.add_node(task.ty, false, task.args[0]);
+        self.exec.add_edge(self.current, node, EdgeKind::Spawn);
+        self.exec.stack.push((task, node));
+    }
+
+    fn send_arg(&mut self, k: Continuation, value: u64) {
+        match k {
+            Continuation::Host { slot } => {
+                self.exec.host[slot as usize] = Some(value);
+            }
+            Continuation::PStore { entry, slot, .. } => {
+                let (ready, target) = {
+                    let (cell, node) = self.exec.pstore[entry as usize]
+                        .as_mut()
+                        .map(|(c, n)| (c, *n))
+                        .expect("argument sent to a freed P-Store entry");
+                    (cell.fill(slot, value), node)
+                };
+                self.exec.add_edge(self.current, target, EdgeKind::Arg);
+                if let Some(ready) = ready {
+                    self.exec.pstore[entry as usize] = None;
+                    self.exec.free.push(entry);
+                    self.exec.live_pending -= 1;
+                    self.exec.graph.nodes[target.0].label_arg = ready.args[0];
+                    self.exec.stack.push((ready, target));
+                }
+            }
+        }
+    }
+
+    fn make_successor_with(
+        &mut self,
+        ty: TaskTypeId,
+        k: Continuation,
+        join: u8,
+        preset: &[(u8, u64)],
+    ) -> Continuation {
+        let mut pending = PendingTask::new(ty, k, join);
+        for &(slot, value) in preset {
+            pending = pending.preset(slot, value);
+        }
+        let node = self.exec.add_node(ty, true, 0);
+        self.exec.add_edge(self.current, node, EdgeKind::Successor);
+        let entry = match self.exec.free.pop() {
+            Some(e) => {
+                self.exec.pstore[e as usize] = Some((pending, node));
+                e
+            }
+            None => {
+                self.exec.pstore.push(Some((pending, node)));
+                (self.exec.pstore.len() - 1) as u32
+            }
+        };
+        self.exec.live_pending += 1;
+        Continuation::pstore(0, entry, 0)
+    }
+
+    fn compute(&mut self, _ops: u64) {}
+    fn load(&mut self, _addr: u64, _bytes: u32) {}
+    fn store(&mut self, _addr: u64, _bytes: u32) {}
+    fn amo(&mut self, _addr: u64) {}
+    fn dma_read(&mut self, _addr: u64, _bytes: u64) {}
+    fn dma_write(&mut self, _addr: u64, _bytes: u64) {}
+
+    fn mem(&mut self) -> &mut Memory {
+        &mut self.exec.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIB: TaskTypeId = TaskTypeId(0);
+    const SUM: TaskTypeId = TaskTypeId(1);
+
+    struct FibWorker;
+    impl Worker for FibWorker {
+        fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+            let k = task.k;
+            if task.ty == FIB {
+                let n = task.args[0];
+                if n < 2 {
+                    ctx.send_arg(k, n);
+                } else {
+                    let kk = ctx.make_successor(SUM, k, 2);
+                    ctx.spawn(Task::new(FIB, kk.with_slot(1), &[n - 2]));
+                    ctx.spawn(Task::new(FIB, kk.with_slot(0), &[n - 1]));
+                }
+            } else {
+                ctx.send_arg(k, task.args[0] + task.args[1]);
+            }
+        }
+    }
+
+    fn fib_graph(n: u64) -> (u64, TaskGraph) {
+        let mut tracer = TracingExecutor::new();
+        tracer
+            .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[n]))
+            .unwrap()
+    }
+
+    #[test]
+    fn fib4_matches_paper_fig2b() {
+        let (result, g) = fib_graph(4);
+        assert_eq!(result, 3);
+        // Fig. 2(b): nodes 4,3,2,2,1,1,1,0,0 (9 fib calls) + 4 S nodes.
+        let fib_nodes = g.nodes().iter().filter(|n| n.ty == FIB).count();
+        let sum_nodes = g.nodes().iter().filter(|n| n.ty == SUM).count();
+        assert_eq!(fib_nodes, 9);
+        assert_eq!(sum_nodes, 4);
+        // Each internal fib contributes 2 spawn edges and 1 successor edge.
+        assert_eq!(g.edges_of_kind(EdgeKind::Spawn).count(), 8);
+        assert_eq!(g.edges_of_kind(EdgeKind::Successor).count(), 4);
+        // P-Store argument edges: the 5 leaves (fib(1)/fib(0)) each send
+        // one, and 3 of the 4 S nodes forward to a parent S (the root S
+        // returns to the host, which is not a graph node).
+        assert_eq!(g.edges_of_kind(EdgeKind::Arg).count(), 8);
+    }
+
+    #[test]
+    fn graphs_are_acyclic_with_sane_critical_paths() {
+        for n in [2u64, 5, 8, 10] {
+            let (_, g) = fib_graph(n);
+            assert!(g.is_acyclic(), "fib({n}) graph must be a DAG");
+            let cp = g.critical_path_len();
+            // The critical path grows with n but is far below the node count.
+            assert!(cp >= n as usize, "fib({n}): cp {cp}");
+            assert!(cp < g.node_count(), "fib({n}): cp {cp} nodes {}", g.node_count());
+        }
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let (_, g) = fib_graph(3);
+        let dot = g.to_dot(&|t| if t == FIB { "fib".into() } else { "S".into() });
+        assert!(dot.starts_with("digraph tasks {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("shape=ellipse"), "successors drawn as ellipses");
+        assert!(dot.contains("style=dashed"), "arg edges dashed, as in Fig. 1");
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+    }
+
+    #[test]
+    fn leak_detection_matches_serial_executor() {
+        struct Leaky;
+        impl Worker for Leaky {
+            fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+                let _ = ctx.make_successor(SUM, task.k, 2);
+            }
+        }
+        let mut tracer = TracingExecutor::new();
+        let err = tracer
+            .run(&mut Leaky, Task::new(FIB, Continuation::host(0), &[1]))
+            .unwrap_err();
+        assert_eq!(err, ExecError::LeakedPending { count: 1 });
+    }
+}

@@ -1,0 +1,254 @@
+//! The worker abstraction: application logic behind the PE's port interface.
+//!
+//! A [`Worker`] is the Rust analogue of the paper's C++-based worker
+//! description (CPPWD, Fig. 5). The architecture "does not stipulate how the
+//! worker is implemented as long as it follows the interface protocol"
+//! (Section III-A); here the protocol is the [`TaskContext`] trait, whose
+//! methods correspond one-to-one to the hardware ports:
+//!
+//! | Hardware port        | `TaskContext` method        |
+//! |----------------------|-----------------------------|
+//! | `task_out`           | [`TaskContext::spawn`]      |
+//! | `arg_out`            | [`TaskContext::send_arg`]   |
+//! | `cont_req`/`cont_resp` | [`TaskContext::make_successor`] |
+//! | memory port          | typed loads/stores, [`TaskContext::dma_read`] etc. |
+//!
+//! Compute work is reported in architecture-neutral *operations* via
+//! [`TaskContext::compute`]; each engine converts operations to cycles
+//! through an [`ExecProfile`] — the accelerator side models the HLS loop
+//! pipelining/unrolling the paper applies to every worker, the CPU side
+//! models superscalar issue plus NEON auto-vectorization of the Cilk Plus
+//! baseline.
+
+use pxl_mem::Memory;
+
+use crate::task::{Continuation, Task, TaskTypeId};
+
+/// How fast each engine retires one unit of a worker's compute work.
+///
+/// A worker reports work in abstract operations (one addition/comparison/
+/// multiply-accumulate). The profile maps operations to cycles:
+///
+/// * `accel_ops_per_cycle` — operations the HLS-generated datapath finishes
+///   per 200 MHz fabric cycle (loop unrolling, pipelining, scratchpad
+///   bandwidth). "A single PE ... can be considered to represent optimized
+///   accelerators designed using today's HLS tools" (Section V-A).
+/// * `cpu_ops_per_cycle` — operations one out-of-order core finishes per
+///   1 GHz cycle for this kernel (issue width, dependence chains, NEON
+///   vectorization).
+///
+/// # Examples
+///
+/// ```
+/// use pxl_model::ExecProfile;
+///
+/// let p = ExecProfile::new(8.0, 2.0);
+/// assert_eq!(p.accel_cycles(16), 2);
+/// assert_eq!(p.cpu_cycles(16), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecProfile {
+    /// Operations per accelerator (200 MHz) cycle.
+    pub accel_ops_per_cycle: f64,
+    /// Operations per CPU (1 GHz) cycle.
+    pub cpu_ops_per_cycle: f64,
+}
+
+impl ExecProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is not positive.
+    pub fn new(accel_ops_per_cycle: f64, cpu_ops_per_cycle: f64) -> Self {
+        assert!(
+            accel_ops_per_cycle > 0.0 && cpu_ops_per_cycle > 0.0,
+            "profile rates must be positive"
+        );
+        ExecProfile {
+            accel_ops_per_cycle,
+            cpu_ops_per_cycle,
+        }
+    }
+
+    /// A neutral profile (one op per cycle on both engines).
+    pub fn scalar() -> Self {
+        ExecProfile::new(1.0, 1.0)
+    }
+
+    /// Accelerator cycles to retire `ops` operations (at least 1 for any
+    /// nonzero work).
+    pub fn accel_cycles(&self, ops: u64) -> u64 {
+        if ops == 0 {
+            0
+        } else {
+            ((ops as f64 / self.accel_ops_per_cycle).ceil() as u64).max(1)
+        }
+    }
+
+    /// CPU cycles to retire `ops` operations (at least 1 for any nonzero
+    /// work).
+    pub fn cpu_cycles(&self, ops: u64) -> u64 {
+        if ops == 0 {
+            0
+        } else {
+            ((ops as f64 / self.cpu_ops_per_cycle).ceil() as u64).max(1)
+        }
+    }
+}
+
+impl Default for ExecProfile {
+    fn default() -> Self {
+        ExecProfile::scalar()
+    }
+}
+
+/// The environment a worker executes in: the PE's ports, its memory port,
+/// and compute-time accounting.
+///
+/// Implemented by every engine (the FlexArch and LiteArch simulators, the
+/// software-runtime CPU model, and the serial reference executor), so one
+/// `Worker` implementation runs unmodified everywhere — the property the
+/// paper calls separating "the logical parallelism of the computation from
+/// the physical parallelism of the hardware".
+pub trait TaskContext {
+    /// Spawns a child task (the `task_out` port).
+    fn spawn(&mut self, task: Task);
+
+    /// Returns a value to a continuation (the `arg_out` port).
+    fn send_arg(&mut self, k: Continuation, value: u64);
+
+    /// Creates a pending successor task awaiting `join` arguments and
+    /// returns a continuation pointing at its slot 0 (the
+    /// `cont_req`/`cont_resp` port pair). Retarget with
+    /// [`Continuation::with_slot`] for each child.
+    fn make_successor(&mut self, ty: TaskTypeId, k: Continuation, join: u8) -> Continuation {
+        self.make_successor_with(ty, k, join, &[])
+    }
+
+    /// Like [`TaskContext::make_successor`], additionally presetting
+    /// argument slots that do not participate in the join (loop bounds,
+    /// base pointers).
+    fn make_successor_with(
+        &mut self,
+        ty: TaskTypeId,
+        k: Continuation,
+        join: u8,
+        preset: &[(u8, u64)],
+    ) -> Continuation;
+
+    /// Charges `ops` architecture-neutral operations of datapath work.
+    fn compute(&mut self, ops: u64);
+
+    /// Charges a timed load of `bytes` bytes at `addr` through the cache
+    /// hierarchy (data comes from [`TaskContext::mem`]).
+    fn load(&mut self, addr: u64, bytes: u32);
+
+    /// Charges a timed store of `bytes` bytes at `addr`.
+    fn store(&mut self, addr: u64, bytes: u32);
+
+    /// Charges an atomic read-modify-write at `addr`.
+    fn amo(&mut self, addr: u64);
+
+    /// Charges a burst read of `bytes` bytes into a worker-local scratchpad
+    /// (the paper's application-specific local memory structures). After a
+    /// `dma_read`, compute over that data uses the untimed accessors.
+    fn dma_read(&mut self, addr: u64, bytes: u64);
+
+    /// Charges a burst write of `bytes` bytes from a worker-local
+    /// scratchpad.
+    fn dma_write(&mut self, addr: u64, bytes: u64);
+
+    /// Direct access to functional memory, untimed. Use for scratchpad-
+    /// resident data already charged via DMA, or for host-side setup.
+    fn mem(&mut self) -> &mut Memory;
+
+    // --- Typed convenience accessors (timed load/store + functional data).
+
+    /// Timed 8-bit load.
+    fn read_u8(&mut self, addr: u64) -> u8 {
+        self.load(addr, 1);
+        self.mem().read_u8(addr)
+    }
+    /// Timed 32-bit load.
+    fn read_u32(&mut self, addr: u64) -> u32 {
+        self.load(addr, 4);
+        self.mem().read_u32(addr)
+    }
+    /// Timed 32-bit signed load.
+    fn read_i32(&mut self, addr: u64) -> i32 {
+        self.load(addr, 4);
+        self.mem().read_i32(addr)
+    }
+    /// Timed 64-bit load.
+    fn read_u64(&mut self, addr: u64) -> u64 {
+        self.load(addr, 8);
+        self.mem().read_u64(addr)
+    }
+    /// Timed 8-bit store.
+    fn write_u8(&mut self, addr: u64, v: u8) {
+        self.store(addr, 1);
+        self.mem().write_u8(addr, v);
+    }
+    /// Timed 32-bit store.
+    fn write_u32(&mut self, addr: u64, v: u32) {
+        self.store(addr, 4);
+        self.mem().write_u32(addr, v);
+    }
+    /// Timed 32-bit signed store.
+    fn write_i32(&mut self, addr: u64, v: i32) {
+        self.store(addr, 4);
+        self.mem().write_i32(addr, v);
+    }
+    /// Timed 64-bit store.
+    fn write_u64(&mut self, addr: u64, v: u64) {
+        self.store(addr, 8);
+        self.mem().write_u64(addr, v);
+    }
+}
+
+/// Application logic: consumes one ready task, produces spawns/arguments.
+///
+/// Implementations must be deterministic functions of the task and memory
+/// state — the engines rely on this for reproducibility. A worker is
+/// *homogeneous* (Section III-A): it can run any task type in the
+/// computation's graph, dispatching on `task.ty`.
+pub trait Worker {
+    /// Processes one ready task.
+    fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext);
+}
+
+impl<W: Worker + ?Sized> Worker for &mut W {
+    fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+        (**self).execute(task, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_cycle_math() {
+        let p = ExecProfile::new(4.0, 2.0);
+        assert_eq!(p.accel_cycles(0), 0);
+        assert_eq!(p.cpu_cycles(0), 0);
+        assert_eq!(p.accel_cycles(1), 1);
+        assert_eq!(p.accel_cycles(9), 3);
+        assert_eq!(p.cpu_cycles(9), 5);
+    }
+
+    #[test]
+    fn scalar_profile_is_identity() {
+        let p = ExecProfile::scalar();
+        assert_eq!(p.accel_cycles(17), 17);
+        assert_eq!(p.cpu_cycles(17), 17);
+        assert_eq!(ExecProfile::default(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn profile_rejects_zero_rate() {
+        let _ = ExecProfile::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Platform configuration: the simulated SoC's parameters.
+//!
+//! [`PlatformConfig::micro2018`] reproduces Table III of the paper —
+//! the future integrated CPU–FPGA SoC used for the simulation study:
+//!
+//! | Component | Parameter |
+//! |---|---|
+//! | CPU | ARM-like, eight-core, four-issue OOO, 32-entry IQ, 96-entry ROB, 1 GHz |
+//! | CPU L1 | 32 KB I/D, 2-way, 64 B lines, 1-cycle hit, next-line prefetcher |
+//! | Accel logic | in FPGA fabric, 200 MHz |
+//! | Accel L1 | 32 KB, 2-way, 64 B lines, 400 MHz, 1-cycle hit, next-line prefetcher |
+//! | L2 | 2 MB, 8-way, 1 GHz, 10-cycle hit, inclusive, shared |
+//! | Coherence | MOESI snooping |
+//! | DRAM | 64-bit DDR3-1600, 12.8 GB/s peak |
+
+use crate::time::Clock;
+
+/// Geometry and timing of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_sim::config::CacheParams;
+///
+/// let l1 = CacheParams::accel_l1_32k();
+/// assert_eq!(l1.num_sets(), 32 * 1024 / (2 * 64));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency in cycles of the cache's own clock domain.
+    pub hit_latency_cycles: u64,
+    /// Whether a next-line prefetcher is attached.
+    pub next_line_prefetch: bool,
+    /// Clock domain the cache runs in.
+    pub clock: Clock,
+}
+
+impl CacheParams {
+    /// The accelerator tile L1 from Table III: 32 KB, 2-way, 64 B lines,
+    /// 400 MHz, 1-cycle hit, next-line prefetcher.
+    pub fn accel_l1_32k() -> Self {
+        CacheParams {
+            size_bytes: 32 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency_cycles: 1,
+            next_line_prefetch: true,
+            clock: Clock::mhz400("accel_l1"),
+        }
+    }
+
+    /// The CPU L1D from Table III: 32 KB, 2-way, 64 B lines, 1 GHz,
+    /// 1-cycle hit, next-line prefetcher.
+    pub fn cpu_l1_32k() -> Self {
+        CacheParams {
+            size_bytes: 32 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency_cycles: 1,
+            next_line_prefetch: true,
+            clock: Clock::ghz1("cpu_l1"),
+        }
+    }
+
+    /// The shared L2 from Table III: 2 MB, 8-way, 1 GHz, 10-cycle hit,
+    /// inclusive.
+    pub fn l2_2m() -> Self {
+        CacheParams {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            hit_latency_cycles: 10,
+            next_line_prefetch: false,
+            clock: Clock::ghz1("l2"),
+        }
+    }
+
+    /// Returns a copy with a different total capacity (for the Fig. 9 cache
+    /// size sweep).
+    pub fn with_size(mut self, size_bytes: usize) -> Self {
+        self.size_bytes = size_bytes;
+        self
+    }
+
+    /// Number of sets implied by size, ways and line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or is not a power of
+    /// two, which would not be realizable in hardware.
+    pub fn num_sets(&self) -> usize {
+        let denom = self.ways * self.line_bytes;
+        assert!(
+            denom > 0 && self.size_bytes.is_multiple_of(denom),
+            "cache geometry must divide evenly"
+        );
+        let sets = self.size_bytes / denom;
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        sets
+    }
+}
+
+/// Main-memory timing: a fixed access latency plus a peak-bandwidth limit.
+///
+/// DDR3-1600 on a 64-bit channel peaks at 12.8 GB/s; the model serializes
+/// line transfers behind a per-channel "next free time" so bandwidth-bound
+/// benchmarks (spmvcrs, stencil2d, bfsqueue) saturate realistically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramParams {
+    /// Latency of an isolated access (row activation + CAS + transfer).
+    pub access_latency_ns: u64,
+    /// Peak bandwidth in bytes per second.
+    pub peak_bw_bytes_per_sec: f64,
+}
+
+impl DramParams {
+    /// 64-bit DDR3-1600 as in Table III: 12.8 GB/s peak, ~50 ns access.
+    pub fn ddr3_1600() -> Self {
+        DramParams {
+            access_latency_ns: 50,
+            peak_bw_bytes_per_sec: 12.8e9,
+        }
+    }
+
+    /// Time in picoseconds to stream one cache line at peak bandwidth.
+    pub fn line_transfer_ps(&self, line_bytes: usize) -> u64 {
+        (line_bytes as f64 / self.peak_bw_bytes_per_sec * 1e12).round() as u64
+    }
+}
+
+/// The full memory-system configuration shared by CPU and accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryConfig {
+    /// Per-tile accelerator L1 parameters.
+    pub accel_l1: CacheParams,
+    /// Per-core CPU L1D parameters.
+    pub cpu_l1: CacheParams,
+    /// Shared last-level cache parameters.
+    pub l2: CacheParams,
+    /// DRAM channel parameters.
+    pub dram: DramParams,
+}
+
+impl MemoryConfig {
+    /// The Table III memory system.
+    pub fn micro2018() -> Self {
+        MemoryConfig {
+            accel_l1: CacheParams::accel_l1_32k(),
+            cpu_l1: CacheParams::cpu_l1_32k(),
+            l2: CacheParams::l2_2m(),
+            dram: DramParams::ddr3_1600(),
+        }
+    }
+}
+
+/// Descriptive parameters of one out-of-order CPU core (Table III).
+///
+/// The timing model in `pxl-cpu` consumes `issue_width` (as an IPC ceiling)
+/// and `mem_overlap`; IQ/ROB sizes are retained as part of the platform
+/// description the harness prints for Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuCoreParams {
+    /// Maximum instructions issued per cycle.
+    pub issue_width: u32,
+    /// Issue-queue entries.
+    pub iq_entries: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: u32,
+    /// Core clock.
+    pub clock: Clock,
+    /// Fraction of a cache-miss stall the OOO window hides by overlapping
+    /// with independent work (0 = fully exposed, 1 = fully hidden).
+    pub mem_overlap: f64,
+}
+
+impl CpuCoreParams {
+    /// The Table III core: four-issue, 32-entry IQ, 96-entry ROB, 1 GHz.
+    pub fn micro2018() -> Self {
+        CpuCoreParams {
+            issue_width: 4,
+            iq_entries: 32,
+            rob_entries: 96,
+            clock: Clock::ghz1("cpu"),
+            mem_overlap: 0.4,
+        }
+    }
+}
+
+/// The complete simulated platform: clocks, cores, memory.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_sim::PlatformConfig;
+///
+/// let p = PlatformConfig::micro2018();
+/// assert_eq!(p.num_cpu_cores, 8);
+/// assert_eq!(p.accel_clock.freq_mhz().round() as u64, 200);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformConfig {
+    /// Number of general-purpose cores on the SoC.
+    pub num_cpu_cores: usize,
+    /// Parameters of each core.
+    pub cpu_core: CpuCoreParams,
+    /// Clock domain of the accelerator logic (FPGA fabric).
+    pub accel_clock: Clock,
+    /// Memory system configuration.
+    pub memory: MemoryConfig,
+}
+
+impl PlatformConfig {
+    /// The future integrated CPU–FPGA SoC of Table III.
+    pub fn micro2018() -> Self {
+        PlatformConfig {
+            num_cpu_cores: 8,
+            cpu_core: CpuCoreParams::micro2018(),
+            accel_clock: Clock::mhz200("accel"),
+            memory: MemoryConfig::micro2018(),
+        }
+    }
+
+    /// Renders the configuration as the rows of the paper's Table III.
+    pub fn table3_rows(&self) -> Vec<(String, String)> {
+        let m = &self.memory;
+        vec![
+            ("Technology".into(), "28nm".into()),
+            (
+                "CPU".into(),
+                format!(
+                    "ARM ISA, {}-core, {}-issue, out-of-order, {} entries IQ, {} entries ROB, {:.0}MHz",
+                    self.num_cpu_cores,
+                    self.cpu_core.issue_width,
+                    self.cpu_core.iq_entries,
+                    self.cpu_core.rob_entries,
+                    self.cpu_core.clock.freq_mhz()
+                ),
+            ),
+            (
+                "CPU L1 Cache".into(),
+                format!(
+                    "L1I/L1D: {}KB, {}-way, {}B line size, {}-cycle hit latency, next-line prefetcher",
+                    m.cpu_l1.size_bytes / 1024,
+                    m.cpu_l1.ways,
+                    m.cpu_l1.line_bytes,
+                    m.cpu_l1.hit_latency_cycles
+                ),
+            ),
+            (
+                "Accel logic".into(),
+                format!("In FPGA fabric, {:.0}MHz", self.accel_clock.freq_mhz()),
+            ),
+            (
+                "Accel L1 Cache".into(),
+                format!(
+                    "{}KB, {}-way, {}B line size, {:.0}MHz, {}-cycle hit latency, next-line prefetcher",
+                    m.accel_l1.size_bytes / 1024,
+                    m.accel_l1.ways,
+                    m.accel_l1.line_bytes,
+                    m.accel_l1.clock.freq_mhz(),
+                    m.accel_l1.hit_latency_cycles
+                ),
+            ),
+            (
+                "L2 Cache".into(),
+                format!(
+                    "{}MB, {}-way, {:.0}MHz, {}-cycle hit latency, inclusive, shared between cores and accelerator",
+                    m.l2.size_bytes / (1024 * 1024),
+                    m.l2.ways,
+                    m.l2.clock.freq_mhz(),
+                    m.l2.hit_latency_cycles
+                ),
+            ),
+            ("Coherence".into(), "MOESI snooping protocol".into()),
+            (
+                "DRAM".into(),
+                format!(
+                    "64-bit DDR3-1600, {:.1}GB/s peak bandwidth",
+                    m.dram.peak_bw_bytes_per_sec / 1e9
+                ),
+            ),
+        ]
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig::micro2018()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_defaults_match_paper() {
+        let p = PlatformConfig::micro2018();
+        assert_eq!(p.num_cpu_cores, 8);
+        assert_eq!(p.cpu_core.issue_width, 4);
+        assert_eq!(p.cpu_core.iq_entries, 32);
+        assert_eq!(p.cpu_core.rob_entries, 96);
+        assert_eq!(p.memory.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(p.memory.l2.ways, 8);
+        assert_eq!(p.memory.l2.hit_latency_cycles, 10);
+        assert_eq!(p.memory.accel_l1.size_bytes, 32 * 1024);
+        assert_eq!(p.memory.dram.peak_bw_bytes_per_sec, 12.8e9);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let l1 = CacheParams::accel_l1_32k();
+        assert_eq!(l1.num_sets(), 256);
+        let l2 = CacheParams::l2_2m();
+        assert_eq!(l2.num_sets(), 4096);
+        let small = l1.clone().with_size(4 * 1024);
+        assert_eq!(small.num_sets(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn bad_geometry_panics() {
+        let mut c = CacheParams::accel_l1_32k();
+        c.size_bytes = 1000; // not divisible by way*line
+        let _ = c.num_sets();
+    }
+
+    #[test]
+    fn dram_line_transfer_time() {
+        let d = DramParams::ddr3_1600();
+        // 64 bytes at 12.8 GB/s = 5 ns.
+        assert_eq!(d.line_transfer_ps(64), 5_000);
+    }
+
+    #[test]
+    fn table3_rows_render() {
+        let p = PlatformConfig::micro2018();
+        let rows = p.table3_rows();
+        assert_eq!(rows.len(), 8);
+        assert!(rows[1].1.contains("8-core"));
+        assert!(rows[7].1.contains("12.8GB/s"));
+    }
+}

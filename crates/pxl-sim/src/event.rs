@@ -1,0 +1,168 @@
+//! A deterministic discrete-event queue.
+//!
+//! The accelerator and CPU models are predominantly cycle-driven, but the
+//! surrounding system (memory responses, steal round trips, host/accelerator
+//! interface transactions) is naturally event-driven — the same split the
+//! paper uses when embedding a cycle-based RTL simulator inside gem5's
+//! event-driven core. [`EventQueue`] orders arbitrary payloads by timestamp
+//! with FIFO tie-breaking so simulation is deterministic regardless of
+//! insertion order at equal times.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// An entry in the queue: a timestamp, a monotone sequence number for
+/// deterministic tie-breaking, and the payload.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    when: Time,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.when == other.when && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // and break timestamp ties by insertion order (lower seq first).
+        other
+            .when
+            .cmp(&self.when)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of events carrying payloads of type `T`.
+///
+/// Events scheduled for the same instant pop in the order they were pushed,
+/// making simulations reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_sim::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_ns(5), "late");
+/// q.push(Time::from_ns(1), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(t, Time::from_ns(1));
+/// assert_eq!(e, "early");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `payload` at absolute time `when`.
+    pub fn push(&mut self, when: Time, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { when, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.heap.pop().map(|e| (e.when, e.payload))
+    }
+
+    /// Returns the timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.when)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(30), 3);
+        q.push(Time::from_ps(10), 1);
+        q.push(Time::from_ps(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_ps(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(7), "x");
+        assert_eq!(q.peek_time(), Some(Time::from_ps(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(10), 'a');
+        q.push(Time::from_ps(5), 'b');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        q.push(Time::from_ps(1), 'c');
+        q.push(Time::from_ps(50), 'd');
+        assert_eq!(q.pop().unwrap().1, 'c');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        assert_eq!(q.pop().unwrap().1, 'd');
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! Discrete-event simulation kernel for the ParallelXL framework.
+//!
+//! The paper evaluates ParallelXL by embedding a cycle-based RTL simulator
+//! (Verilator) inside the event-based gem5 simulator. This crate provides the
+//! analogous substrate in Rust: a picosecond-resolution notion of [`Time`],
+//! [`Clock`] domains for the multi-clock SoC of the paper's Table III
+//! (accelerator logic at 200 MHz, accelerator L1s at 400 MHz, CPU and L2 at
+//! 1 GHz), an [`event::EventQueue`] for event-driven components, deterministic
+//! random sources ([`rng::XorShift64`] and the 16-bit [`rng::Lfsr16`] used by
+//! the task-management unit for victim selection), and a [`stats`] registry
+//! for the counters every component reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use pxl_sim::{Clock, Time};
+//!
+//! let accel = Clock::new("accel", 5_000); // 200 MHz -> 5 ns period
+//! let t = accel.cycles_to_time(10);
+//! assert_eq!(t, Time::from_ps(50_000));
+//! assert_eq!(accel.time_to_cycles(t), 10);
+//! ```
+
+pub mod config;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use config::{MemoryConfig, PlatformConfig};
+pub use event::EventQueue;
+pub use rng::{Lfsr16, XorShift64};
+pub use stats::{Histogram, Stats};
+pub use time::{Clock, Time};

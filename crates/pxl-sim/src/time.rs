@@ -1,0 +1,283 @@
+//! Simulated time and clock domains.
+//!
+//! All components in the simulated SoC agree on a single global timebase
+//! measured in picoseconds. Individual components run in their own clock
+//! domain (the paper's platform has at least three: 200 MHz accelerator
+//! logic, 400 MHz accelerator L1 caches, and a 1 GHz CPU/L2 domain), so a
+//! [`Clock`] converts between domain-local cycle counts and global [`Time`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in integer picoseconds since the
+/// start of simulation.
+///
+/// Picosecond resolution lets every clock period in the paper's Table III be
+/// represented exactly (1 GHz = 1000 ps, 400 MHz = 2500 ps, 200 MHz =
+/// 5000 ps) so multi-clock simulations stay cycle-accurate without rounding.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_sim::Time;
+///
+/// let a = Time::from_ns(3);
+/// let b = a + Time::from_ps(500);
+/// assert_eq!(b.as_ps(), 3_500);
+/// assert!(b > a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable time; useful as an "infinitely far" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from a picosecond count.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a time from a nanosecond count.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from a microsecond count.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Returns the number of whole picoseconds since time zero.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time expressed in (fractional) nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the time expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Returns the larger of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction: returns `self - other`, or [`Time::ZERO`] if
+    /// `other` is later than `self`.
+    #[inline]
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Time::saturating_sub`] when underflow is expected.
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} ms", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} ns", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+/// A clock domain: a named periodic clock with an integer period in
+/// picoseconds.
+///
+/// Components that tick (PEs, TMUs, caches) hold a `Clock` and express their
+/// latencies in local cycles; the clock converts those to the global
+/// timebase. Conversions from time to cycles round *up* to the next edge, the
+/// behaviour of a synchronizer on a clock-domain crossing.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_sim::{Clock, Time};
+///
+/// let cpu = Clock::ghz1("cpu");
+/// assert_eq!(cpu.period().as_ps(), 1_000);
+/// // An event at 1.5 cpu cycles is visible at the 2nd edge.
+/// assert_eq!(cpu.next_edge(Time::from_ps(1_500)), Time::from_ps(2_000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clock {
+    name: &'static str,
+    period_ps: u64,
+}
+
+impl Clock {
+    /// Creates a clock with the given name and period in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ps` is zero.
+    pub fn new(name: &'static str, period_ps: u64) -> Self {
+        assert!(period_ps > 0, "clock period must be nonzero");
+        Clock { name, period_ps }
+    }
+
+    /// A 1 GHz clock (1000 ps period): the paper's CPU and L2 domain.
+    pub fn ghz1(name: &'static str) -> Self {
+        Clock::new(name, 1_000)
+    }
+
+    /// A 400 MHz clock (2500 ps period): the paper's accelerator L1 domain.
+    pub fn mhz400(name: &'static str) -> Self {
+        Clock::new(name, 2_500)
+    }
+
+    /// A 200 MHz clock (5000 ps period): the paper's accelerator logic domain.
+    pub fn mhz200(name: &'static str) -> Self {
+        Clock::new(name, 5_000)
+    }
+
+    /// Returns the clock's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Returns the clock period.
+    pub fn period(&self) -> Time {
+        Time::from_ps(self.period_ps)
+    }
+
+    /// Returns the clock frequency in MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        1e6 / self.period_ps as f64
+    }
+
+    /// Converts a cycle count in this domain to a duration.
+    #[inline]
+    pub fn cycles_to_time(&self, cycles: u64) -> Time {
+        Time::from_ps(cycles * self.period_ps)
+    }
+
+    /// Converts a duration to a number of whole cycles in this domain,
+    /// rounding down.
+    #[inline]
+    pub fn time_to_cycles(&self, t: Time) -> u64 {
+        t.as_ps() / self.period_ps
+    }
+
+    /// Returns the first clock edge at or after `t`.
+    #[inline]
+    pub fn next_edge(&self, t: Time) -> Time {
+        let rem = t.as_ps() % self.period_ps;
+        if rem == 0 {
+            t
+        } else {
+            Time::from_ps(t.as_ps() + (self.period_ps - rem))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_agree() {
+        assert_eq!(Time::from_ns(1), Time::from_ps(1_000));
+        assert_eq!(Time::from_us(1), Time::from_ns(1_000));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = Time::from_ps(100);
+        let b = Time::from_ps(250);
+        assert_eq!(a + b, Time::from_ps(350));
+        assert_eq!(b - a, Time::from_ps(150));
+        assert_eq!(a.saturating_sub(b), Time::ZERO);
+        assert_eq!(a.max(b), b);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::from_ps(350));
+    }
+
+    #[test]
+    fn time_display_scales_units() {
+        assert_eq!(Time::from_ps(5).to_string(), "5 ps");
+        assert_eq!(Time::from_ps(1_500).to_string(), "1.500 ns");
+        assert_eq!(Time::from_us(2).to_string(), "2.000 us");
+        assert_eq!(Time::from_ps(3_000_000_000).to_string(), "3.000 ms");
+    }
+
+    #[test]
+    fn clock_conversions_roundtrip() {
+        let c = Clock::mhz200("accel");
+        assert_eq!(c.cycles_to_time(7), Time::from_ps(35_000));
+        assert_eq!(c.time_to_cycles(Time::from_ps(35_000)), 7);
+        assert_eq!(c.time_to_cycles(Time::from_ps(34_999)), 6);
+    }
+
+    #[test]
+    fn clock_next_edge_rounds_up() {
+        let c = Clock::ghz1("cpu");
+        assert_eq!(c.next_edge(Time::from_ps(0)), Time::ZERO);
+        assert_eq!(c.next_edge(Time::from_ps(1)), Time::from_ps(1_000));
+        assert_eq!(c.next_edge(Time::from_ps(1_000)), Time::from_ps(1_000));
+        assert_eq!(c.next_edge(Time::from_ps(1_001)), Time::from_ps(2_000));
+    }
+
+    #[test]
+    fn clock_frequencies_match_table3() {
+        assert_eq!(Clock::ghz1("a").freq_mhz().round() as u64, 1_000);
+        assert_eq!(Clock::mhz400("b").freq_mhz().round() as u64, 400);
+        assert_eq!(Clock::mhz200("c").freq_mhz().round() as u64, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_period_panics() {
+        let _ = Clock::new("bad", 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Design-space exploration with the ParallelXL design methodology
+//! (Section IV): elaborate accelerator designs from template parameters,
+//! estimate their FPGA resources, check device fitting, and simulate a
+//! cache-size sweep — "without rewriting any code".
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use parallelxl::apps::{by_name, Scale};
+use parallelxl::flow::{sweep_cache_sizes, sweep_pe_counts, AcceleratorBuilder};
+use parallelxl::arch::ArchKind;
+use pxl_bench::{run_flex, run_flex_with_config};
+
+fn main() {
+    // 1. Elaborate one design and inspect the resource estimate.
+    let design = AcceleratorBuilder::new("stencil2d")
+        .tiles(4)
+        .pes_per_tile(4)
+        .cache_kb(16)
+        .build()
+        .expect("valid design");
+    let res = design.resources.as_ref().expect("known benchmark");
+    println!(
+        "stencil2d FlexArch, 16 PEs, 16 KB caches:\n  per PE  : {:>6} LUT {:>6} FF {:>3} DSP {:>3} BRAM",
+        res.pe.lut, res.pe.ff, res.pe.dsp, res.pe.bram18
+    );
+    println!(
+        "  per tile: {:>6} LUT {:>6} FF {:>3} DSP {:>3} BRAM",
+        res.tile.lut, res.tile.ff, res.tile.dsp, res.tile.bram18
+    );
+    for (device, tiles) in &design.device_fits {
+        println!("  {device}: fits {tiles} tiles");
+    }
+
+    // 2. Sweep PE counts and simulate each design point.
+    println!("\nPE sweep (simulated whole-program time):");
+    let bench = by_name("stencil2d", Scale::Small).expect("registered");
+    for d in sweep_pe_counts("stencil2d", ArchKind::Flex, &[1, 4, 16]).expect("sweep") {
+        let pes = d.config.num_pes();
+        let out = run_flex_with_config(bench.as_ref(), d.config, "flex");
+        println!("  {:>2} PEs -> {}", pes, out.whole);
+    }
+
+    // 3. Sweep the tile cache (the paper's Fig. 9 experiment, one point per
+    //    capacity) and watch BRAM cost trade against performance.
+    println!("\nCache sweep at 16 PEs:");
+    for (kb, d) in [4usize, 8, 16, 32]
+        .into_iter()
+        .zip(sweep_cache_sizes("stencil2d", &[4, 8, 16, 32]).expect("sweep"))
+    {
+        let bram = d.resources.as_ref().expect("known benchmark").tile.bram18;
+        let out = run_flex(bench.as_ref(), 16, Some(kb * 1024));
+        println!("  {kb:>2} KB caches ({bram:>3} BRAM/tile) -> {}", out.whole);
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: the paper's running Fibonacci example (Fig. 5), expressed as
+//! a ParallelXL worker and executed on a simulated FlexArch accelerator,
+//! the LiteArch engine's nearest equivalent, and the Cilk-style CPU
+//! baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use parallelxl::arch::{AccelConfig, FlexEngine};
+use parallelxl::cpu::CpuEngine;
+use parallelxl::model::{
+    Continuation, ExecProfile, SerialExecutor, Task, TaskContext, TaskTypeId, Worker,
+};
+
+const FIB: TaskTypeId = TaskTypeId(0);
+const SUM: TaskTypeId = TaskTypeId(1);
+
+/// The Rust analogue of the paper's C++ worker description (CPPWD): one
+/// homogeneous worker dispatching on the task type.
+struct FibWorker;
+
+impl Worker for FibWorker {
+    fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+        let k = task.k;
+        if task.ty == FIB {
+            let n = task.args[0];
+            ctx.compute(2);
+            if n < 2 {
+                // Base case: return the value through the continuation.
+                ctx.send_arg(k, n);
+            } else {
+                // create successor task (join counter = 2) ...
+                let kk = ctx.make_successor(SUM, k, 2);
+                // ... then spawn the children, each pointed at its own
+                // argument slot of the successor.
+                ctx.spawn(Task::new(FIB, kk.with_slot(1), &[n - 2]));
+                ctx.spawn(Task::new(FIB, kk.with_slot(0), &[n - 1]));
+            }
+        } else {
+            ctx.compute(1);
+            ctx.send_arg(k, task.args[0] + task.args[1]);
+        }
+    }
+}
+
+fn main() {
+    let n = 20;
+    let root = || Task::new(FIB, Continuation::host(0), &[n]);
+
+    // Ground truth on the single-PE reference scheduler.
+    let mut serial = SerialExecutor::new();
+    let expected = serial.run(&mut FibWorker, root()).expect("serial run");
+    println!("fib({n}) = {expected}  (serial reference, S1 = {} tasks)", serial.stats().s1());
+
+    // FlexArch accelerators of growing size.
+    for (tiles, pes) in [(1, 1), (1, 4), (2, 4), (4, 4)] {
+        let mut engine = FlexEngine::new(AccelConfig::flex(tiles, pes), ExecProfile::scalar());
+        let out = engine.run(&mut FibWorker, root()).expect("flex run");
+        assert_eq!(out.result, expected);
+        println!(
+            "FlexArch {:2} PEs: {:>12}  ({} tasks, {} successful steals)",
+            tiles * pes,
+            out.elapsed.to_string(),
+            out.stats.get("accel.tasks"),
+            out.stats.get("accel.steal_hits"),
+        );
+    }
+
+    // The software baseline: same worker, software runtime costs.
+    for cores in [1, 4, 8] {
+        let mut cpu = CpuEngine::new(cores, ExecProfile::scalar());
+        let out = cpu.run(&mut FibWorker, root()).expect("cpu run");
+        assert_eq!(out.result, expected);
+        println!(
+            "CPU  {cores:2} cores: {:>12}  ({} tasks, {} successful steals)",
+            out.elapsed.to_string(),
+            out.stats.get("cpu.tasks"),
+            out.stats.get("cpu.steal_hits"),
+        );
+    }
+}

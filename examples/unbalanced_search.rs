@@ -1,0 +1,46 @@
+//! Unbalanced Tree Search: the paper's load-balancing stress test.
+//!
+//! UTS builds a tree whose subtree sizes vary wildly, so static work
+//! division fails and throughput depends on the scheduler. This example
+//! contrasts the hardware work stealing of FlexArch with LiteArch's static
+//! round-based distribution and the software runtime's hundreds-of-
+//! instructions steals, and prints the per-PE load balance.
+//!
+//! Run with: `cargo run --release --example unbalanced_search`
+
+use parallelxl::apps::{by_name, Scale};
+use pxl_bench::{run_cpu, run_flex, run_lite};
+
+fn main() {
+    let bench = by_name("uts", Scale::Small).expect("uts registered");
+    println!("Unbalanced Tree Search (counting a hash-shaped binomial tree)\n");
+
+    let cpu8 = run_cpu(bench.as_ref(), 8);
+    let flex = run_flex(bench.as_ref(), 8, None);
+    let lite = run_lite(bench.as_ref(), 8, None).expect("uts has a Lite variant");
+
+    println!("CPU 8 cores (software stealing): {:>12}", cpu8.whole.to_string());
+    println!(
+        "FlexArch 8 PEs (hardware stealing): {:>9}  ({:.2}x vs software)",
+        flex.whole.to_string(),
+        cpu8.seconds() / flex.seconds()
+    );
+    println!(
+        "LiteArch 8 PEs (static rounds): {:>13}  ({:.2}x vs software, {} rounds)\n",
+        lite.whole.to_string(),
+        cpu8.seconds() / lite.seconds(),
+        lite.stats.get("lite.rounds"),
+    );
+
+    println!(
+        "FlexArch steal traffic: {} attempts, {} successful",
+        flex.stats.get("accel.steal_attempts"),
+        flex.stats.get("accel.steal_hits"),
+    );
+    println!("Per-PE tasks executed (hardware stealing balances the skewed tree):");
+    for pe in 0..8 {
+        let tasks = flex.stats.get(&format!("pe{pe}.tasks"));
+        let busy_us = flex.stats.get(&format!("pe{pe}.busy_ps")) as f64 / 1e6;
+        println!("  PE {pe}: {tasks:>6} tasks, busy {busy_us:>8.1} us");
+    }
+}

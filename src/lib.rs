@@ -1,0 +1,87 @@
+//! # ParallelXL
+//!
+//! A Rust reproduction of **"An Architectural Framework for Accelerating
+//! Dynamic Parallel Algorithms on Reconfigurable Hardware"** (MICRO 2018):
+//! an accelerator framework built on a task-based computation model with
+//! *explicit continuation passing*, hardware work stealing, and a
+//! design-methodology layer that elaborates accelerators from high-level
+//! worker descriptions.
+//!
+//! The original system targets FPGAs through HLS + a PyMTL RTL template;
+//! this reproduction implements every layer as a cycle-level simulator so
+//! the paper's full evaluation (Tables I-V, Figures 6-9) can be regenerated
+//! on a laptop. See `DESIGN.md` for the substitution map and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Role |
+//! |--------|-------|------|
+//! | [`sim`] | `pxl-sim` | discrete-event kernel: time, clocks, RNG/LFSR, stats |
+//! | [`mem`] | `pxl-mem` | functional memory + MOESI-coherent cache/DRAM timing |
+//! | [`model`] | `pxl-model` | tasks, continuations, workers, parallel patterns |
+//! | [`arch`] | `pxl-arch` | FlexArch/LiteArch accelerator engines |
+//! | [`cpu`] | `pxl-cpu` | Cilk-style software-runtime CPU baseline |
+//! | [`apps`] | `pxl-apps` | the ten Table II benchmarks |
+//! | [`cost`] | `pxl-cost` | FPGA resource + energy models |
+//! | [`flow`] | `pxl-flow` | design methodology: builder + design-space sweeps |
+//!
+//! ## Quick start
+//!
+//! Express an algorithm as a [`model::Worker`] (the analogue of the paper's
+//! C++ worker description) and run it on a simulated FlexArch accelerator:
+//!
+//! ```
+//! use parallelxl::arch::{AccelConfig, FlexEngine};
+//! use parallelxl::model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
+//!
+//! const FIB: TaskTypeId = TaskTypeId(0);
+//! const SUM: TaskTypeId = TaskTypeId(1);
+//!
+//! struct FibWorker;
+//! impl Worker for FibWorker {
+//!     fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+//!         let k = task.k;
+//!         if task.ty == FIB {
+//!             let n = task.args[0];
+//!             ctx.compute(2);
+//!             if n < 2 {
+//!                 ctx.send_arg(k, n);
+//!             } else {
+//!                 // Fork-join via an explicit successor (the paper's Fig. 1b).
+//!                 let kk = ctx.make_successor(SUM, k, 2);
+//!                 ctx.spawn(Task::new(FIB, kk.with_slot(1), &[n - 2]));
+//!                 ctx.spawn(Task::new(FIB, kk.with_slot(0), &[n - 1]));
+//!             }
+//!         } else {
+//!             ctx.send_arg(k, task.args[0] + task.args[1]);
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = FlexEngine::new(AccelConfig::flex(2, 4), ExecProfile::scalar());
+//! let out = engine
+//!     .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[15]))
+//!     .unwrap();
+//! assert_eq!(out.result, 610);
+//! println!("fib(15) in {} with {} steals", out.elapsed, out.stats.get("accel.steal_hits"));
+//! ```
+
+/// The ten Table II benchmark algorithms.
+pub use pxl_apps as apps;
+/// The FlexArch / LiteArch accelerator engines (Section III).
+pub use pxl_arch as arch;
+/// FPGA resource and energy models (Table V, Fig. 8).
+pub use pxl_cost as cost;
+/// The Cilk-style multicore software baseline.
+pub use pxl_cpu as cpu;
+/// The coherent memory hierarchy and Zedboard memory path.
+pub use pxl_mem as mem;
+/// The computation model: tasks with explicit continuation passing
+/// (Section II).
+pub use pxl_model as model;
+/// Simulation kernel: time, clocks, deterministic RNG, statistics.
+pub use pxl_sim as sim;
+/// Design methodology: accelerator builder and design-space sweeps
+/// (Section IV).
+pub use pxl_flow as flow;

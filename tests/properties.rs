@@ -1,0 +1,229 @@
+//! Property-based tests (proptest) on the core data structures and model
+//! invariants.
+
+use proptest::prelude::*;
+
+use parallelxl::arch::{PStore, TaskDeque};
+use parallelxl::mem::{BandwidthMeter, Memory};
+use parallelxl::model::{
+    Continuation, ParallelFor, PendingTask, SerialExecutor, Task, TaskContext, TaskTypeId,
+    Worker, MAX_ARGS,
+};
+use parallelxl::sim::Time;
+
+proptest! {
+    /// The work-stealing deque behaves exactly like a double-ended queue:
+    /// owner ops at the tail, thief ops at the head.
+    #[test]
+    fn deque_matches_model(ops in prop::collection::vec(0u8..3, 1..200)) {
+        let mut dut = TaskDeque::new(1024);
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    let t = Task::new(TaskTypeId(0), Continuation::host(0), &[next]);
+                    prop_assert!(dut.push_tail(t, Time::ZERO).is_ok());
+                    model.push_back(next);
+                    next += 1;
+                }
+                1 => {
+                    let got = dut.pop_tail(Time::ZERO).map(|t| t.args[0]);
+                    prop_assert_eq!(got, model.pop_back());
+                }
+                _ => {
+                    let got = dut.steal_head(Time::ZERO).map(|t| t.args[0]);
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(dut.len(), model.len());
+        }
+    }
+
+    /// Continuation encoding is a bijection over its domain.
+    #[test]
+    fn continuation_roundtrip(tile in 0u16..=u16::MAX, entry in 0u32..=0xFFFF_FFFF,
+                              slot in 0u8..MAX_ARGS as u8, host_slot in 0u8..8) {
+        let k = Continuation::pstore(tile, entry, slot);
+        prop_assert_eq!(Continuation::decode(k.encode()), k);
+        let h = Continuation::host(host_slot);
+        prop_assert_eq!(Continuation::decode(h.encode()), h);
+        prop_assert_ne!(h.encode(), k.encode());
+    }
+
+    /// A pending task becomes ready exactly when its last argument arrives,
+    /// for any join count and any arrival order.
+    #[test]
+    fn pstore_join_counting(join in 1u8..=MAX_ARGS as u8, seed in any::<u64>()) {
+        let mut ps = PStore::new(4);
+        let entry = ps
+            .alloc(PendingTask::new(TaskTypeId(1), Continuation::host(0), join))
+            .unwrap();
+        // Shuffle slot order deterministically from the seed.
+        let mut slots: Vec<u8> = (0..join).collect();
+        let mut s = seed | 1;
+        for i in (1..slots.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            slots.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        for (i, &slot) in slots.iter().enumerate() {
+            let ready = ps.fill(entry, slot, 100 + slot as u64);
+            if i + 1 == join as usize {
+                let t = ready.expect("last argument completes the join");
+                for &slot in &slots {
+                    prop_assert_eq!(t.args[slot as usize], 100 + slot as u64);
+                }
+            } else {
+                prop_assert!(ready.is_none());
+            }
+        }
+        prop_assert_eq!(ps.occupancy(), 0);
+    }
+
+    /// Functional memory reads back exactly what was written, at any
+    /// alignment and span (including page boundaries).
+    #[test]
+    fn memory_readback(addr in 0u64..100_000, data in prop::collection::vec(any::<u8>(), 1..300)) {
+        let mut mem = Memory::new();
+        mem.write_bytes(addr, &data);
+        let mut back = vec![0u8; data.len()];
+        mem.read_bytes(addr, &mut back);
+        prop_assert_eq!(back, data);
+    }
+
+    /// parallel_for covers every index exactly once and reduces the exact
+    /// count, for arbitrary ranges and grains.
+    #[test]
+    fn parallel_for_exact_coverage(n in 0u64..3000, grain in 1u64..200) {
+        struct W {
+            pf: ParallelFor,
+        }
+        impl Worker for W {
+            fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+                let pf = self.pf;
+                let handled = pf.step(task, ctx, |ctx, lo, hi| {
+                    for i in lo..hi {
+                        let a = 0x1000 + i;
+                        let v = ctx.mem().read_u8(a);
+                        ctx.mem().write_u8(a, v + 1);
+                    }
+                    hi - lo
+                });
+                assert!(handled);
+            }
+        }
+        let pf = ParallelFor::new(TaskTypeId(0), TaskTypeId(1), grain);
+        let mut exec = SerialExecutor::new();
+        let total = exec
+            .run(&mut W { pf }, pf.root_task(0, n, Continuation::host(0)))
+            .unwrap();
+        prop_assert_eq!(total, n);
+        for i in 0..n {
+            prop_assert_eq!(exec.memory().read_u8(0x1000 + i), 1);
+        }
+    }
+
+    /// The bandwidth meter never starts service before the request, never
+    /// loses committed work, and enforces the aggregate rate.
+    #[test]
+    fn bandwidth_meter_conservation(reqs in prop::collection::vec((0u64..1_000_000, 1u64..5_000), 1..100)) {
+        let mut m = BandwidthMeter::new(10_000);
+        let mut committed = 0u64;
+        for &(at, occ) in &reqs {
+            let start = m.acquire(Time::from_ps(at), occ);
+            prop_assert!(start >= Time::from_ps(at), "service before request");
+            committed += occ;
+        }
+        prop_assert_eq!(m.total_committed_ps(), committed);
+    }
+
+    /// Fork-join over an arbitrary expression tree computes the same sum as
+    /// host arithmetic (joins neither lose nor duplicate values).
+    #[test]
+    fn fork_join_sums_match(values in prop::collection::vec(0u64..1000, 1..64)) {
+        const LEAF: TaskTypeId = TaskTypeId(0);
+        const SUM: TaskTypeId = TaskTypeId(1);
+        struct W {
+            values: Vec<u64>,
+        }
+        impl Worker for W {
+            fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+                match task.ty {
+                    LEAF => {
+                        let (lo, hi) = (task.args[0], task.args[1]);
+                        if hi - lo == 1 {
+                            ctx.send_arg(task.k, self.values[lo as usize]);
+                        } else {
+                            let mid = lo + (hi - lo) / 2;
+                            let kk = ctx.make_successor(SUM, task.k, 2);
+                            ctx.spawn(Task::new(LEAF, kk.with_slot(1), &[mid, hi]));
+                            ctx.spawn(Task::new(LEAF, kk.with_slot(0), &[lo, mid]));
+                        }
+                    }
+                    _ => ctx.send_arg(task.k, task.args[0] + task.args[1]),
+                }
+            }
+        }
+        let want: u64 = values.iter().sum();
+        let n = values.len() as u64;
+        let mut exec = SerialExecutor::new();
+        let got = exec
+            .run(&mut W { values }, Task::new(LEAF, Continuation::host(0), &[0, n]))
+            .unwrap();
+        prop_assert_eq!(got, want);
+    }
+}
+
+proptest! {
+    /// MOESI invariants hold after any interleaving of reads, writes and
+    /// atomics from multiple ports: one owner per line, M/E exclusive,
+    /// inclusive L2.
+    #[test]
+    fn coherence_invariants_hold(ops in prop::collection::vec(
+        (0usize..4, 0u64..64, 0u8..3), 1..400))
+    {
+        use parallelxl::mem::{AccessKind, MemorySystem, PortId};
+        use parallelxl::sim::config::MemoryConfig;
+
+        let cfg = MemoryConfig::micro2018();
+        let mut sys = MemorySystem::new(vec![cfg.accel_l1.clone(); 4], &cfg);
+        let mut t = [Time::ZERO; 4];
+        let addrs: Vec<u64> = (0..64).map(|l| l * 64).collect();
+        for (port, line, kind) in ops {
+            let kind = match kind {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => AccessKind::Amo,
+            };
+            t[port] = sys.access(PortId(port), line * 64, kind, t[port]);
+            sys.check_coherence(&addrs).map_err(|e| {
+                proptest::test_runner::TestCaseError::fail(e)
+            })?;
+        }
+    }
+
+    /// Every scheduling-policy ablation still produces golden-correct
+    /// results: policies change timing, never functional behaviour.
+    #[test]
+    fn ablated_policies_stay_golden(order in 0u8..2, end in 0u8..2, victim in 0u8..2,
+                                    greedy in any::<bool>()) {
+        use parallelxl::arch::{AccelConfig, FlexEngine, LocalOrder, SchedPolicy, StealEnd, VictimSelect};
+        use parallelxl::apps::{by_name, Scale};
+
+        let bench = by_name("queens", Scale::Tiny).unwrap();
+        let mut cfg = AccelConfig::flex(2, 2);
+        // FIFO order needs breadth-first queue headroom.
+        cfg.task_queue_entries = 1 << 16;
+        cfg.policy = SchedPolicy {
+            local_order: if order == 0 { LocalOrder::Lifo } else { LocalOrder::Fifo },
+            steal_end: if end == 0 { StealEnd::Head } else { StealEnd::Tail },
+            victim_select: if victim == 0 { VictimSelect::Lfsr } else { VictimSelect::RoundRobin },
+            greedy_routing: greedy,
+        };
+        let mut engine = FlexEngine::new(cfg, bench.profile());
+        let inst = bench.flex(engine.mem_mut());
+        let mut worker = inst.worker;
+        let out = engine.run(worker.as_mut(), inst.root).unwrap();
+        prop_assert!(bench.check(engine.memory(), out.result).is_ok());
+    }
+}
