@@ -145,19 +145,21 @@ impl Benchmark for Bbgemm {
         let g = layout.grid();
         Some(LiteInstance {
             worker: Box::new(BbgemmWorker { layout }),
-            driver: Box::new(move |_mem: &mut Memory, round: usize| -> Option<RoundTasks> {
-                (round == 0).then(|| {
-                    (0..g * g)
-                        .map(|bij| {
-                            Task::new(
-                                GM_BLOCK,
-                                Continuation::host(0),
-                                &[pack2((bij / g) as u32, (bij % g) as u32)],
-                            )
-                        })
-                        .collect()
-                })
-            }),
+            driver: Box::new(
+                move |_mem: &mut Memory, round: usize| -> Option<RoundTasks> {
+                    (round == 0).then(|| {
+                        (0..g * g)
+                            .map(|bij| {
+                                Task::new(
+                                    GM_BLOCK,
+                                    Continuation::host(0),
+                                    &[pack2((bij / g) as u32, (bij % g) as u32)],
+                                )
+                            })
+                            .collect()
+                    })
+                },
+            ),
             footprint_bytes: self.footprint(),
         })
     }
@@ -311,6 +313,10 @@ mod tests {
         let (mut worker, mut driver) = (inst.worker, inst.driver);
         let out = engine.run(worker.as_mut(), driver.as_mut()).unwrap();
         bench.check(engine.memory(), out.result).unwrap();
-        assert_eq!(out.stats.get("lite.rounds"), 1, "single data-parallel round");
+        assert_eq!(
+            out.metrics.get("lite.rounds"),
+            1,
+            "single data-parallel round"
+        );
     }
 }

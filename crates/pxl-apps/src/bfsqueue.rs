@@ -91,10 +91,7 @@ impl BfsQueue {
             row_ptr: alloc.alloc_array(self.n + 1, 4),
             edges: alloc.alloc_array(edges.len() as u64, 4),
             dist: alloc.alloc_array(self.n, 4),
-            queue: [
-                alloc.alloc_array(self.n, 4),
-                alloc.alloc_array(self.n, 4),
-            ],
+            queue: [alloc.alloc_array(self.n, 4), alloc.alloc_array(self.n, 4)],
             count: [alloc.alloc(64, 64), alloc.alloc(64, 64)],
             level_word: alloc.alloc(64, 64),
         }
@@ -226,7 +223,10 @@ impl BfsWorker {
     fn visit_range(&self, ctx: &mut dyn TaskContext, lo: u64, hi: u64) -> u64 {
         let l = self.layout;
         let level = ctx.read_u32(l.level_word) as u64;
-        let (cur_q, next_q) = (l.queue[(level & 1) as usize], l.queue[((level + 1) & 1) as usize]);
+        let (cur_q, next_q) = (
+            l.queue[(level & 1) as usize],
+            l.queue[((level + 1) & 1) as usize],
+        );
         let next_count = l.count[((level + 1) & 1) as usize];
         ctx.dma_read(cur_q + 4 * lo, (hi - lo) * 4);
         let mut discovered = 0u64;
@@ -369,7 +369,10 @@ mod tests {
         let (mut worker, mut driver) = (inst.worker, inst.driver);
         let out = engine.run(worker.as_mut(), driver.as_mut()).unwrap();
         bench.check(engine.memory(), out.result).unwrap();
-        assert!(out.stats.get("lite.rounds") >= 3, "BFS needs several levels");
+        assert!(
+            out.metrics.get("lite.rounds") >= 3,
+            "BFS needs several levels"
+        );
     }
 
     #[test]

@@ -135,7 +135,10 @@ impl Benchmark for Cilksort {
             ));
         }
         if result != self.n {
-            return Err(format!("cilksort: merged {result} elements, want {}", self.n));
+            return Err(format!(
+                "cilksort: merged {result} elements, want {}",
+                self.n
+            ));
         }
         Ok(())
     }
@@ -229,11 +232,7 @@ impl Worker for CilksortWorker {
                 let (lo, mid, hi, dest) = (task.args[2], task.args[3], task.args[4], task.args[5]);
                 let src = 1 - dest;
                 ctx.compute(2);
-                ctx.spawn(Task::new(
-                    CS_MRANGE,
-                    task.k,
-                    &[lo, mid, mid, hi, lo, src],
-                ));
+                ctx.spawn(Task::new(CS_MRANGE, task.k, &[lo, mid, mid, hi, lo, src]));
             }
             CS_MRANGE => {
                 let (a_lo, a_hi, b_lo, b_hi, d_lo, src) = (
@@ -325,7 +324,7 @@ mod tests {
         let out = engine.run(worker.as_mut(), inst.root).unwrap();
         bench.check(engine.memory(), out.result).unwrap();
         // Parallel merging generates plenty of tasks.
-        assert!(out.stats.get("accel.tasks") > 4);
+        assert!(out.metrics.get("accel.tasks") > 4);
     }
 
     #[test]

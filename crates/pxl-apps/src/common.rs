@@ -113,8 +113,16 @@ mod tests {
         assert_eq!(
             names,
             [
-                "nw", "quicksort", "cilksort", "queens", "knapsack", "uts", "bbgemm",
-                "bfsqueue", "spmvcrs", "stencil2d"
+                "nw",
+                "quicksort",
+                "cilksort",
+                "queens",
+                "knapsack",
+                "uts",
+                "bbgemm",
+                "bfsqueue",
+                "spmvcrs",
+                "stencil2d"
             ]
         );
         // Table II invariants.
@@ -141,9 +149,16 @@ mod tests {
         for b in crate::suite(Scale::Tiny) {
             let lite = b.lite(&mut mem);
             if b.meta().name == "cilksort" {
-                assert!(lite.is_none(), "paper: cilksort could not map to parallel-for");
+                assert!(
+                    lite.is_none(),
+                    "paper: cilksort could not map to parallel-for"
+                );
             } else {
-                assert!(lite.is_some(), "{} should have a Lite variant", b.meta().name);
+                assert!(
+                    lite.is_some(),
+                    "{} should have a Lite variant",
+                    b.meta().name
+                );
             }
         }
     }

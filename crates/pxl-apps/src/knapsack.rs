@@ -261,9 +261,7 @@ impl Worker for KnapsackWorker {
                 ctx.compute(6);
                 self.update_best(ctx, value);
                 let global = ctx.mem().read_u64(self.layout.best);
-                if idx == self.items.len()
-                    || upper_bound(&self.items, idx, cap, value) <= global
-                {
+                if idx == self.items.len() || upper_bound(&self.items, idx, cap, value) <= global {
                     ctx.send_arg(task.k, value);
                     return;
                 }
@@ -303,9 +301,7 @@ impl Worker for KnapsackWorker {
                 // Pruning only sees the best published in earlier rounds —
                 // the algorithmic inefficiency of the parallel-for mapping.
                 let global = ctx.mem().read_u64(self.layout.best);
-                if idx == self.items.len()
-                    || upper_bound(&self.items, idx, cap, value) <= global
-                {
+                if idx == self.items.len() || upper_bound(&self.items, idx, cap, value) <= global {
                     return;
                 }
                 if idx as u32 >= self.cutoff {

@@ -84,7 +84,11 @@ impl Nw {
             Scale::Small => (256, 16),
             Scale::Paper => (1024, 32),
         };
-        Nw { n, block, seed: 0x9A17 }
+        Nw {
+            n,
+            block,
+            seed: 0x9A17,
+        }
     }
 
     fn layout(&self) -> Layout {
@@ -136,7 +140,11 @@ impl Nw {
         }
         for i in 1..=n {
             for j in 1..=n {
-                let s = if b[i - 1] == a[j - 1] { MATCH } else { MISMATCH };
+                let s = if b[i - 1] == a[j - 1] {
+                    MATCH
+                } else {
+                    MISMATCH
+                };
                 m[i * w + j] = (m[(i - 1) * w + j - 1] + s)
                     .max(m[(i - 1) * w + j] + GAP)
                     .max(m[i * w + j - 1] + GAP);
@@ -269,7 +277,8 @@ impl NwWorker {
             GAP * (bi as i32 * b as i32)
         } else {
             ctx.load(l.h_at(bi - 1, bj - 1) + 4 * (b as u64 - 1), 4);
-            ctx.mem().read_i32(l.h_at(bi - 1, bj - 1) + 4 * (b as u64 - 1))
+            ctx.mem()
+                .read_i32(l.h_at(bi - 1, bj - 1) + 4 * (b as u64 - 1))
         };
         ctx.dma_read(l.seq_a + (bj as u64 * b as u64), b as u64);
         ctx.dma_read(l.seq_b + (bi as u64 * b as u64), b as u64);
@@ -284,7 +293,9 @@ impl NwWorker {
             .map(|y| mem.read_u8(l.seq_b + (bi as usize * b + y) as u64))
             .collect();
         // prev[0] is the corner; prev[1..] the north row. cur[0] from west.
-        let mut prev: Vec<i32> = std::iter::once(corner).chain(north.iter().copied()).collect();
+        let mut prev: Vec<i32> = std::iter::once(corner)
+            .chain(north.iter().copied())
+            .collect();
         let mut east = vec![0i32; b];
         let mut south = vec![0i32; b];
         for (y, &bc) in seq_b.iter().enumerate() {
@@ -335,14 +346,22 @@ impl Worker for NwWorker {
             for bi in (0..g).rev() {
                 for bj in (0..g).rev() {
                     let join = (bi > 0) as u8 + (bj > 0) as u8;
-                    let right = if bj + 1 < g { conts[idx(bi, bj + 1)] } else { NO_CONT };
+                    let right = if bj + 1 < g {
+                        conts[idx(bi, bj + 1)]
+                    } else {
+                        NO_CONT
+                    };
                     // East neighbor's west-token is slot 1; south's north-token slot 0.
                     let right = if right == NO_CONT {
                         NO_CONT
                     } else {
                         Continuation::decode(right).with_slot(1).encode()
                     };
-                    let down = if bi + 1 < g { conts[idx(bi + 1, bj)] } else { NO_CONT };
+                    let down = if bi + 1 < g {
+                        conts[idx(bi + 1, bj)]
+                    } else {
+                        NO_CONT
+                    };
                     let k = if (bi, bj) == (g - 1, g - 1) {
                         task.k
                     } else {
@@ -437,7 +456,7 @@ mod tests {
         let mut worker = inst.worker;
         let out = engine.run(worker.as_mut(), inst.root).unwrap();
         bench.check(engine.memory(), out.result).unwrap();
-        assert!(out.stats.get("accel.tasks") >= 16, "one task per block");
+        assert!(out.metrics.get("accel.tasks") >= 16, "one task per block");
     }
 
     #[test]
@@ -451,7 +470,7 @@ mod tests {
         let out = engine.run(worker.as_mut(), driver.as_mut()).unwrap();
         bench.check(engine.memory(), out.result).unwrap();
         // 4x4 grid of blocks -> 7 anti-diagonal rounds.
-        assert_eq!(out.stats.get("lite.rounds"), 7);
+        assert_eq!(out.metrics.get("lite.rounds"), 7);
     }
 
     #[test]

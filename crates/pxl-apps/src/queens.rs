@@ -100,11 +100,7 @@ fn free(n: u32, cols: u64, d1: u64, d2: u64, row: u32, c: u32) -> bool {
 /// Masks after placing a queen at (row, c).
 #[inline]
 fn place(cols: u64, d1: u64, d2: u64, row: u32, c: u32) -> (u64, u64, u64) {
-    (
-        cols | 1 << c,
-        d1 | 1 << (row + c),
-        d2 | 1 << (row + 31 - c),
-    )
+    (cols | 1 << c, d1 | 1 << (row + c), d2 | 1 << (row + 31 - c))
 }
 
 /// Serial subtree count; returns (solutions, explored nodes) so the caller
@@ -200,7 +196,11 @@ fn pack_range(row: u32, lo: u32, hi: u32) -> u64 {
 }
 
 fn unpack_range(w: u64) -> (u32, u32, u32) {
-    ((w >> 32) as u32, ((w >> 16) & 0xFFFF) as u32, (w & 0xFFFF) as u32)
+    (
+        (w >> 32) as u32,
+        ((w >> 16) & 0xFFFF) as u32,
+        (w & 0xFFFF) as u32,
+    )
 }
 
 #[derive(Debug, Clone)]

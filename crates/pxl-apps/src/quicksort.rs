@@ -340,7 +340,10 @@ mod tests {
         let (mut worker, mut driver) = (inst.worker, inst.driver);
         let out = engine.run(worker.as_mut(), driver.as_mut()).unwrap();
         bench.check(engine.memory(), out.result).unwrap();
-        assert!(out.stats.get("lite.rounds") >= 2, "must need several rounds");
+        assert!(
+            out.metrics.get("lite.rounds") >= 2,
+            "must need several rounds"
+        );
     }
 
     #[test]
@@ -351,7 +354,8 @@ mod tests {
         bench.seed = 1;
         let mut exec = SerialExecutor::new();
         let l = bench.layout();
-        exec.mem_mut().write_u32_slice(l.data, &vec![7u32; bench.n as usize]);
+        exec.mem_mut()
+            .write_u32_slice(l.data, &vec![7u32; bench.n as usize]);
         let mut worker = QuicksortWorker { layout: l };
         let result = exec
             .run(

@@ -63,9 +63,7 @@ impl SpmvCrs {
         row_ptr.push(0u32);
         for _ in 0..self.rows {
             let nnz = 1 + rng.next_in(2 * self.avg_nnz);
-            let mut cols: Vec<u32> = (0..nnz)
-                .map(|_| rng.next_in(self.rows) as u32)
-                .collect();
+            let mut cols: Vec<u32> = (0..nnz).map(|_| rng.next_in(self.rows) as u32).collect();
             cols.sort_unstable();
             cols.dedup();
             for c in cols {
@@ -111,9 +109,7 @@ impl SpmvCrs {
         (0..self.rows as usize)
             .map(|r| {
                 (row_ptr[r]..row_ptr[r + 1])
-                    .map(|e| {
-                        vals[e as usize].wrapping_mul(x[col_idx[e as usize] as usize])
-                    })
+                    .map(|e| vals[e as usize].wrapping_mul(x[col_idx[e as usize] as usize]))
                     .fold(0u32, u32::wrapping_add)
             })
             .collect()
@@ -157,21 +153,23 @@ impl Benchmark for SpmvCrs {
         let rows = self.rows;
         Some(LiteInstance {
             worker: Box::new(SpmvWorker { layout, pf }),
-            driver: Box::new(move |_mem: &mut Memory, round: usize| -> Option<RoundTasks> {
-                (round == 0).then(|| {
-                    (0..rows.div_ceil(GRAIN))
-                        .map(|i| {
-                            // Leaf-size chunks, directly at the split type
-                            // (ranges at or below the grain run the leaf).
-                            Task::new(
-                                SP_SPLIT,
-                                Continuation::host(0),
-                                &[i * GRAIN, ((i + 1) * GRAIN).min(rows)],
-                            )
-                        })
-                        .collect()
-                })
-            }),
+            driver: Box::new(
+                move |_mem: &mut Memory, round: usize| -> Option<RoundTasks> {
+                    (round == 0).then(|| {
+                        (0..rows.div_ceil(GRAIN))
+                            .map(|i| {
+                                // Leaf-size chunks, directly at the split type
+                                // (ranges at or below the grain run the leaf).
+                                Task::new(
+                                    SP_SPLIT,
+                                    Continuation::host(0),
+                                    &[i * GRAIN, ((i + 1) * GRAIN).min(rows)],
+                                )
+                            })
+                            .collect()
+                    })
+                },
+            ),
             footprint_bytes: self.footprint(),
         })
     }
@@ -188,7 +186,10 @@ impl Benchmark for SpmvCrs {
             ));
         }
         if result != self.rows {
-            return Err(format!("spmvcrs: processed {result} rows, want {}", self.rows));
+            return Err(format!(
+                "spmvcrs: processed {result} rows, want {}",
+                self.rows
+            ));
         }
         Ok(())
     }

@@ -65,7 +65,11 @@ impl Stencil2d {
         let mut alloc = Allocator::new(0x10000);
         let src = alloc.alloc_array(self.n * self.n, 4);
         let dst = alloc.alloc_array(self.n * self.n, 4);
-        Layout { src, dst, n: self.n }
+        Layout {
+            src,
+            dst,
+            n: self.n,
+        }
     }
 
     fn gen_image(&self) -> Vec<i32> {
@@ -143,13 +147,15 @@ impl Benchmark for Stencil2d {
         let blocks = layout.grid() * layout.grid();
         Some(LiteInstance {
             worker: Box::new(StencilWorker { layout, pf }),
-            driver: Box::new(move |_mem: &mut Memory, round: usize| -> Option<RoundTasks> {
-                (round == 0).then(|| {
-                    (0..blocks)
-                        .map(|b| Task::new(ST_SPLIT, Continuation::host(0), &[b, b + 1]))
-                        .collect()
-                })
-            }),
+            driver: Box::new(
+                move |_mem: &mut Memory, round: usize| -> Option<RoundTasks> {
+                    (round == 0).then(|| {
+                        (0..blocks)
+                            .map(|b| Task::new(ST_SPLIT, Continuation::host(0), &[b, b + 1]))
+                            .collect()
+                    })
+                },
+            ),
             footprint_bytes: self.footprint(),
         })
     }
@@ -273,6 +279,9 @@ mod tests {
         let golden = bench.golden();
         let n = bench.n as usize;
         assert!(golden[..n].iter().all(|&v| v == 0), "top row untouched");
-        assert!(golden[(n - 1) * n..].iter().all(|&v| v == 0), "bottom row untouched");
+        assert!(
+            golden[(n - 1) * n..].iter().all(|&v| v == 0),
+            "bottom row untouched"
+        );
     }
 }

@@ -165,11 +165,7 @@ impl Benchmark for Uts {
                 layout: self.layout(),
             }),
             // args: state, depth, child_lo, child_hi (0,0 = evaluate node).
-            root: Task::new(
-                UTS_NODE,
-                Continuation::host(0),
-                &[self.root_state, 0, 0, 0],
-            ),
+            root: Task::new(UTS_NODE, Continuation::host(0), &[self.root_state, 0, 0, 0]),
             footprint_bytes: 4096,
         }
     }
@@ -221,8 +217,16 @@ impl Worker for UtsWorker {
                         ctx.compute(2);
                         let mid = lo + (hi - lo) / 2;
                         let kk = ctx.make_successor(UTS_SUM, task.k, 2);
-                        ctx.spawn(Task::new(UTS_NODE, kk.with_slot(1), &[state, depth, mid, hi]));
-                        ctx.spawn(Task::new(UTS_NODE, kk.with_slot(0), &[state, depth, lo, mid]));
+                        ctx.spawn(Task::new(
+                            UTS_NODE,
+                            kk.with_slot(1),
+                            &[state, depth, mid, hi],
+                        ));
+                        ctx.spawn(Task::new(
+                            UTS_NODE,
+                            kk.with_slot(0),
+                            &[state, depth, lo, mid],
+                        ));
                     } else if hi - lo == 2 {
                         ctx.compute(2);
                         let kk = ctx.make_successor(UTS_SUM, task.k, 2);
@@ -258,8 +262,16 @@ impl Worker for UtsWorker {
                     // Count self + children: successor adds 1 via preset.
                     let kk = ctx.make_successor_with(UTS_SUM, task.k, 2, &[(2, 1)]);
                     let mid = m / 2;
-                    ctx.spawn(Task::new(UTS_NODE, kk.with_slot(1), &[state, depth, mid, m]));
-                    ctx.spawn(Task::new(UTS_NODE, kk.with_slot(0), &[state, depth, 0, mid]));
+                    ctx.spawn(Task::new(
+                        UTS_NODE,
+                        kk.with_slot(1),
+                        &[state, depth, mid, m],
+                    ));
+                    ctx.spawn(Task::new(
+                        UTS_NODE,
+                        kk.with_slot(0),
+                        &[state, depth, 0, mid],
+                    ));
                 }
             }
             UTS_SUM => {
@@ -326,9 +338,7 @@ impl pxl_arch::LiteDriver for UtsLiteDriver {
         Some(
             self.frontier
                 .iter()
-                .map(|&(state, depth)| {
-                    Task::new(UTS_LITE, Continuation::host(0), &[state, depth])
-                })
+                .map(|&(state, depth)| Task::new(UTS_LITE, Continuation::host(0), &[state, depth]))
                 .collect(),
         )
     }
@@ -353,7 +363,13 @@ mod tests {
         // of the benchmark.
         let bench = Uts::new(Scale::Tiny);
         let sizes: Vec<u64> = (0..bench.shape.root_children)
-            .map(|i| serial_count(&bench.shape, bench.shape.child_state(bench.root_state, i), 1))
+            .map(|i| {
+                serial_count(
+                    &bench.shape,
+                    bench.shape.child_state(bench.root_state, i),
+                    1,
+                )
+            })
             .collect();
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();
@@ -379,7 +395,10 @@ mod tests {
         let mut worker = inst.worker;
         let out = engine.run(worker.as_mut(), inst.root).unwrap();
         bench.check(engine.memory(), out.result).unwrap();
-        assert!(out.stats.get("accel.steal_hits") > 0, "imbalance forces steals");
+        assert!(
+            out.metrics.get("accel.steal_hits") > 0,
+            "imbalance forces steals"
+        );
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! The unified engine API: one trait over FlexArch, LiteArch and the
+//! software baseline.
+//!
+//! Every execution engine in the framework — [`FlexEngine`], [`LiteEngine`]
+//! and `pxl_cpu::CpuEngine` — models the same contract: set up inputs in
+//! functional [`Memory`], run a workload, read back results and typed
+//! [`Metrics`]. The [`Engine`] trait captures that contract so harnesses
+//! (notably `pxl-bench`) can drive any engine through one generic code path
+//! instead of per-engine glue.
+//!
+//! The engines differ in *what they run*: FlexArch and the CPU baseline
+//! execute a dynamic task graph from a single root task, while LiteArch
+//! needs a host-side driver that statically constructs one round of tasks
+//! at a time. [`Workload`] expresses both shapes; an engine rejects the
+//! shape it cannot execute with [`AccelError::Unsupported`], the same way
+//! the hardware's missing P-Store rejects spawns.
+
+use pxl_mem::Memory;
+use pxl_model::{Task, Worker};
+use pxl_sim::Metrics;
+
+use crate::engine::{AccelError, AccelResult, FlexEngine};
+use crate::lite::{LiteDriver, LiteEngine};
+
+/// Which engine family an [`Engine`] implementation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// FlexArch: continuation-passing hardware with work stealing.
+    Flex,
+    /// LiteArch: static data-parallel rounds.
+    Lite,
+    /// The Cilk-style multicore software baseline.
+    Cpu,
+}
+
+impl EngineKind {
+    /// Short lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Flex => "flex",
+            EngineKind::Lite => "lite",
+            EngineKind::Cpu => "cpu",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A workload an [`Engine`] can be asked to run.
+///
+/// The lifetime ties the borrowed worker (and driver) to the duration of
+/// the `run` call; engines never retain them.
+pub enum Workload<'a> {
+    /// A dynamic task graph grown from `root` by `worker` (FlexArch, CPU).
+    Dynamic {
+        /// Executes each task functionally and reports costs.
+        worker: &'a mut dyn Worker,
+        /// The root task, typically continuing into host slot 0.
+        root: Task,
+    },
+    /// Host-driven rounds of statically distributed tasks (LiteArch).
+    Rounds {
+        /// Executes each task functionally and reports costs.
+        worker: &'a mut dyn Worker,
+        /// Constructs each round until it returns `None`.
+        driver: &'a mut dyn LiteDriver,
+    },
+}
+
+impl<'a> Workload<'a> {
+    /// A dynamic task-graph workload.
+    pub fn dynamic(worker: &'a mut dyn Worker, root: Task) -> Self {
+        Workload::Dynamic { worker, root }
+    }
+
+    /// A round-driven data-parallel workload.
+    pub fn rounds(worker: &'a mut dyn Worker, driver: &'a mut dyn LiteDriver) -> Self {
+        Workload::Rounds { worker, driver }
+    }
+
+    /// Short label of the workload shape, used in error messages.
+    pub fn shape(&self) -> &'static str {
+        match self {
+            Workload::Dynamic { .. } => "dynamic task graph",
+            Workload::Rounds { .. } => "host-driven rounds",
+        }
+    }
+}
+
+/// The common surface of every execution engine.
+///
+/// # Examples
+///
+/// Driving FlexArch through the trait object the way `pxl-bench` does:
+///
+/// ```
+/// use pxl_arch::{AccelConfig, Engine, FlexEngine, Workload};
+/// use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
+///
+/// const DOUBLE: TaskTypeId = TaskTypeId(0);
+/// struct Doubler;
+/// impl Worker for Doubler {
+///     fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+///         ctx.compute(1);
+///         ctx.send_arg(task.k, task.args[0] * 2);
+///     }
+/// }
+///
+/// let mut engine: Box<dyn Engine> =
+///     Box::new(FlexEngine::new(AccelConfig::flex(1, 2), ExecProfile::scalar()));
+/// let mut worker = Doubler;
+/// let root = Task::new(DOUBLE, Continuation::host(0), &[21]);
+/// let out = engine.run(Workload::dynamic(&mut worker, root)).unwrap();
+/// assert_eq!(out.result, 42);
+/// assert!(out.metrics.get("accel.tasks") > 0);
+/// ```
+pub trait Engine: std::fmt::Debug {
+    /// Which engine family this is.
+    fn kind(&self) -> EngineKind;
+
+    /// Number of processing elements or cores.
+    fn units(&self) -> usize;
+
+    /// Shared access to functional memory for output checking.
+    fn memory(&self) -> &Memory;
+
+    /// Mutable access to functional memory for input setup.
+    fn mem_mut(&mut self) -> &mut Memory;
+
+    /// The engine's metrics registry. Fully aggregated metrics are moved
+    /// into [`AccelResult::metrics`] when `run` returns; this accessor
+    /// exposes whatever the engine currently holds.
+    fn metrics(&self) -> &Metrics;
+
+    /// Value delivered to a host result register, if any.
+    fn host_result(&self, slot: u8) -> Option<u64>;
+
+    /// Runs `workload` to completion. Call once per engine.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::Unsupported`] when the workload shape does not match
+    /// the engine (e.g. rounds on FlexArch), plus every error the concrete
+    /// engine's own run path can produce.
+    fn run(&mut self, workload: Workload<'_>) -> Result<AccelResult, AccelError>;
+}
+
+impl Engine for FlexEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Flex
+    }
+
+    fn units(&self) -> usize {
+        self.config().num_pes()
+    }
+
+    fn memory(&self) -> &Memory {
+        FlexEngine::memory(self)
+    }
+
+    fn mem_mut(&mut self) -> &mut Memory {
+        FlexEngine::mem_mut(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        FlexEngine::metrics(self)
+    }
+
+    fn host_result(&self, slot: u8) -> Option<u64> {
+        FlexEngine::host_result(self, slot)
+    }
+
+    fn run(&mut self, workload: Workload<'_>) -> Result<AccelResult, AccelError> {
+        match workload {
+            Workload::Dynamic { worker, root } => FlexEngine::run(self, worker, root),
+            other => Err(AccelError::Unsupported(format!(
+                "FlexArch runs dynamic task graphs, not {}",
+                other.shape()
+            ))),
+        }
+    }
+}
+
+impl Engine for LiteEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Lite
+    }
+
+    fn units(&self) -> usize {
+        self.config().num_pes()
+    }
+
+    fn memory(&self) -> &Memory {
+        LiteEngine::memory(self)
+    }
+
+    fn mem_mut(&mut self) -> &mut Memory {
+        LiteEngine::mem_mut(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        LiteEngine::metrics(self)
+    }
+
+    fn host_result(&self, slot: u8) -> Option<u64> {
+        LiteEngine::host_result(self, slot)
+    }
+
+    fn run(&mut self, workload: Workload<'_>) -> Result<AccelResult, AccelError> {
+        match workload {
+            Workload::Rounds { worker, driver } => LiteEngine::run(self, worker, driver),
+            other => Err(AccelError::Unsupported(format!(
+                "LiteArch runs host-driven rounds, not {}",
+                other.shape()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccelConfig;
+    use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId};
+
+    const LEAF: TaskTypeId = TaskTypeId(0);
+
+    struct Doubler;
+    impl Worker for Doubler {
+        fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+            ctx.compute(1);
+            ctx.send_arg(task.k, task.args[0] * 2);
+        }
+    }
+
+    #[test]
+    fn flex_runs_dynamic_and_rejects_rounds() {
+        let mut engine = FlexEngine::new(AccelConfig::flex(1, 2), ExecProfile::scalar());
+        let dyn_engine: &mut dyn Engine = &mut engine;
+        assert_eq!(dyn_engine.kind(), EngineKind::Flex);
+        assert_eq!(dyn_engine.units(), 2);
+        let mut worker = Doubler;
+        let root = Task::new(LEAF, Continuation::host(0), &[5]);
+        let out = dyn_engine
+            .run(Workload::dynamic(&mut worker, root))
+            .unwrap();
+        assert_eq!(out.result, 10);
+        assert_eq!(dyn_engine.host_result(0), Some(10));
+
+        let mut engine = FlexEngine::new(AccelConfig::flex(1, 2), ExecProfile::scalar());
+        let mut worker = Doubler;
+        let mut driver = |_: &mut Memory, _: usize| None;
+        let err = Engine::run(&mut engine, Workload::rounds(&mut worker, &mut driver)).unwrap_err();
+        assert!(matches!(err, AccelError::Unsupported(_)), "got {err}");
+    }
+
+    #[test]
+    fn lite_runs_rounds_and_rejects_dynamic() {
+        let mut engine = LiteEngine::new(AccelConfig::lite(1, 2), ExecProfile::scalar());
+        let dyn_engine: &mut dyn Engine = &mut engine;
+        assert_eq!(dyn_engine.kind(), EngineKind::Lite);
+        let mut worker = Doubler;
+        let mut driver = |_: &mut Memory, round: usize| {
+            (round == 0).then(|| vec![Task::new(LEAF, Continuation::host(0), &[4])])
+        };
+        let out = dyn_engine
+            .run(Workload::rounds(&mut worker, &mut driver))
+            .unwrap();
+        assert_eq!(out.result, 8);
+
+        let mut engine = LiteEngine::new(AccelConfig::lite(1, 2), ExecProfile::scalar());
+        let mut worker = Doubler;
+        let err = Engine::run(
+            &mut engine,
+            Workload::dynamic(&mut worker, Task::new(LEAF, Continuation::host(0), &[1])),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AccelError::Unsupported(_)));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EngineKind::Flex.label(), "flex");
+        assert_eq!(EngineKind::Lite.to_string(), "lite");
+        assert_eq!(EngineKind::Cpu.label(), "cpu");
+    }
+}

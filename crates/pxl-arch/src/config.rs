@@ -194,6 +194,9 @@ pub struct AccelConfig {
     pub mem_backend: MemBackendKind,
     /// Simulated-time safety limit; runs exceeding it abort with an error.
     pub max_sim_time_us: u64,
+    /// Structured event-trace buffer capacity in records; zero (the
+    /// default) disables tracing entirely.
+    pub trace_capacity: usize,
 }
 
 impl AccelConfig {
@@ -213,6 +216,7 @@ impl AccelConfig {
             memory: MemoryConfig::micro2018(),
             mem_backend: MemBackendKind::Coherent,
             max_sim_time_us: 2_000_000,
+            trace_capacity: 0,
         }
     }
 
@@ -275,7 +279,7 @@ impl AccelConfig {
                     self.pes_per_tile
                 ));
             }
-            if masks.iter().any(|&m| m == 0) {
+            if masks.contains(&0) {
                 return Err("every heterogeneous PE slot must support some task type".into());
             }
         }

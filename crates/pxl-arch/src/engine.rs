@@ -28,7 +28,7 @@ use pxl_mem::zedboard::AcpParams;
 use pxl_mem::{AccessKind, Memory, MemorySystem, PortId, ZedboardMemory};
 use pxl_model::serial::HOST_SLOTS;
 use pxl_model::{Continuation, ExecProfile, PendingTask, Task, TaskContext, TaskTypeId, Worker};
-use pxl_sim::{EventQueue, Lfsr16, Stats, Time};
+use pxl_sim::{CounterId, EventQueue, HistogramId, Lfsr16, Metrics, Time, TraceEvent, Tracer};
 
 use crate::config::{AccelConfig, ArchKind, LocalOrder, MemBackendKind, StealEnd, VictimSelect};
 use crate::deque::TaskDeque;
@@ -91,8 +91,11 @@ pub struct AccelResult {
     pub result: u64,
     /// Simulated time from launch to the last useful event.
     pub elapsed: Time,
-    /// Aggregated statistics (engine + memory system).
-    pub stats: Stats,
+    /// Aggregated typed metrics (engine + memory system).
+    pub metrics: Metrics,
+    /// Structured event trace (empty unless tracing was enabled in the
+    /// configuration).
+    pub trace: Tracer,
 }
 
 /// The memory path behind the PEs (coherent SoC caches or Zedboard stream
@@ -107,7 +110,7 @@ pub(crate) enum MemBackend {
 
 impl MemBackend {
     pub(crate) fn for_config(cfg: &AccelConfig) -> Self {
-        match cfg.mem_backend {
+        let mut backend = match cfg.mem_backend {
             MemBackendKind::Coherent => MemBackend::Coherent(MemorySystem::new(
                 vec![cfg.memory.accel_l1.clone(); cfg.tiles],
                 &cfg.memory,
@@ -115,6 +118,24 @@ impl MemBackend {
             MemBackendKind::Zedboard => {
                 MemBackend::Zedboard(ZedboardMemory::new(cfg.num_pes(), AcpParams::default()))
             }
+        };
+        if cfg.trace_capacity > 0 {
+            backend.enable_trace(cfg.trace_capacity);
+        }
+        backend
+    }
+
+    pub(crate) fn enable_trace(&mut self, capacity: usize) {
+        match self {
+            MemBackend::Coherent(m) => m.enable_trace(capacity),
+            MemBackend::Zedboard(m) => m.enable_trace(capacity),
+        }
+    }
+
+    pub(crate) fn take_trace(&mut self) -> Tracer {
+        match self {
+            MemBackend::Coherent(m) => m.take_trace(),
+            MemBackend::Zedboard(m) => m.take_trace(),
         }
     }
 
@@ -148,7 +169,7 @@ impl MemBackend {
         }
     }
 
-    pub(crate) fn take_stats(&mut self) -> Stats {
+    pub(crate) fn take_stats(&mut self) -> Metrics {
         match self {
             MemBackend::Coherent(m) => m.take_stats(),
             MemBackend::Zedboard(m) => m.take_stats(),
@@ -235,8 +256,47 @@ pub struct FlexEngine {
     outstanding: u64,
     inflight_args: u64,
     last_useful: Time,
-    stats: Stats,
+    metrics: Metrics,
+    ids: FlexIds,
+    trace: Tracer,
     error: Option<AccelError>,
+}
+
+/// Typed handles into the metrics registry for the engine's hot counters;
+/// registered once at construction so per-event updates skip string lookups.
+#[derive(Debug)]
+struct FlexIds {
+    steal_attempts: CounterId,
+    steal_hits: CounterId,
+    spawns: CounterId,
+    successors: CounterId,
+    args: CounterId,
+    ops: CounterId,
+    tasks: CounterId,
+    task_ps: HistogramId,
+    pe_tasks: Vec<CounterId>,
+    pe_busy_ps: Vec<CounterId>,
+}
+
+impl FlexIds {
+    fn register(metrics: &mut Metrics, num_pes: usize) -> Self {
+        FlexIds {
+            steal_attempts: metrics.register_counter("accel.steal_attempts"),
+            steal_hits: metrics.register_counter("accel.steal_hits"),
+            spawns: metrics.register_counter("accel.spawns"),
+            successors: metrics.register_counter("accel.successors"),
+            args: metrics.register_counter("accel.args"),
+            ops: metrics.register_counter("accel.ops"),
+            tasks: metrics.register_counter("accel.tasks"),
+            task_ps: metrics.register_histogram("accel.task_ps"),
+            pe_tasks: (0..num_pes)
+                .map(|pe| metrics.register_counter(&format!("pe{pe}.tasks")))
+                .collect(),
+            pe_busy_ps: (0..num_pes)
+                .map(|pe| metrics.register_counter(&format!("pe{pe}.busy_ps")))
+                .collect(),
+        }
+    }
 }
 
 impl FlexEngine {
@@ -248,14 +308,22 @@ impl FlexEngine {
     /// a FlexArch configuration.
     pub fn new(cfg: AccelConfig, profile: ExecProfile) -> Self {
         cfg.validate().expect("invalid accelerator configuration");
-        assert_eq!(cfg.arch, ArchKind::Flex, "FlexEngine requires ArchKind::Flex");
+        assert_eq!(
+            cfg.arch,
+            ArchKind::Flex,
+            "FlexEngine requires ArchKind::Flex"
+        );
         let backend = MemBackend::for_config(&cfg);
         let num_pes = cfg.num_pes();
+        let mut metrics = Metrics::new();
+        let ids = FlexIds::register(&mut metrics, num_pes);
         FlexEngine {
             deques: (0..num_pes)
                 .map(|_| TaskDeque::new(cfg.task_queue_entries))
                 .collect(),
-            pstores: (0..cfg.tiles).map(|_| PStore::new(cfg.pstore_entries)).collect(),
+            pstores: (0..cfg.tiles)
+                .map(|_| PStore::new(cfg.pstore_entries))
+                .collect(),
             lfsrs: (0..num_pes)
                 .map(|i| Lfsr16::new(0xACE1 ^ (i as u16).wrapping_mul(0x9E37)))
                 .collect(),
@@ -269,7 +337,9 @@ impl FlexEngine {
             outstanding: 0,
             inflight_args: 0,
             last_useful: Time::ZERO,
-            stats: Stats::new(),
+            trace: Tracer::bounded(cfg.trace_capacity),
+            metrics,
+            ids,
             error: None,
             mem: Memory::new(),
             backend,
@@ -291,6 +361,12 @@ impl FlexEngine {
     /// The configuration this engine was built with.
     pub fn config(&self) -> &AccelConfig {
         &self.cfg
+    }
+
+    /// The engine's metrics registry (fully aggregated only after
+    /// [`FlexEngine::run`] returns, which moves it into the result).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     fn cycles(&self, n: u64) -> Time {
@@ -345,10 +421,14 @@ impl FlexEngine {
             None => 0,
         };
         self.collect_stats();
+        let mut trace = std::mem::take(&mut self.trace);
+        trace.absorb(self.backend.take_trace());
+        trace.finish();
         Ok(AccelResult {
             result,
             elapsed: self.last_useful,
-            stats: std::mem::take(&mut self.stats),
+            metrics: std::mem::take(&mut self.metrics),
+            trace,
         })
     }
 
@@ -361,11 +441,12 @@ impl FlexEngine {
         let queue_peak = self.deques.iter().map(TaskDeque::peak).max().unwrap_or(0);
         let queue_peak_sum: usize = self.deques.iter().map(TaskDeque::peak).sum();
         let pstore_peak: usize = self.pstores.iter().map(PStore::peak).sum();
-        self.stats.max("accel.queue_peak", queue_peak as u64);
-        self.stats.add("accel.queue_peak_sum", queue_peak_sum as u64);
-        self.stats.add("accel.pstore_peak", pstore_peak as u64);
+        self.metrics.max("accel.queue_peak", queue_peak as u64);
+        self.metrics
+            .add("accel.queue_peak_sum", queue_peak_sum as u64);
+        self.metrics.add("accel.pstore_peak", pstore_peak as u64);
         let mem_stats = self.backend.take_stats();
-        self.stats.merge(&mem_stats);
+        self.metrics.merge(&mem_stats);
     }
 
     fn handle<W: Worker + ?Sized>(&mut self, now: Time, event: Event, worker: &mut W) {
@@ -392,7 +473,12 @@ impl FlexEngine {
         };
         if let Some(task) = popped {
             self.steal_fails[pe] = 0;
-            self.execute_task(now + self.cycles(self.cfg.costs.dispatch_cycles), pe, task, worker);
+            self.execute_task(
+                now + self.cycles(self.cfg.costs.dispatch_cycles),
+                pe,
+                task,
+                worker,
+            );
         } else {
             self.begin_steal(now, pe);
         }
@@ -422,7 +508,14 @@ impl FlexEngine {
                 }
             }
         };
-        self.stats.incr("accel.steal_attempts");
+        self.metrics.inc(self.ids.steal_attempts);
+        self.trace.emit(
+            now,
+            TraceEvent::StealRequest {
+                thief: pe as u32,
+                victim: victim as u32,
+            },
+        );
         self.events.push(
             now + self.cycles(self.cfg.costs.net_hop_cycles),
             Event::StealArrive { thief: pe, victim },
@@ -454,7 +547,22 @@ impl FlexEngine {
             }
         };
         if task.is_some() {
-            self.stats.incr("accel.steal_hits");
+            self.metrics.inc(self.ids.steal_hits);
+            self.trace.emit(
+                now + service,
+                TraceEvent::StealGrant {
+                    thief: thief as u32,
+                    victim: victim as u32,
+                },
+            );
+        } else {
+            self.trace.emit(
+                now + service,
+                TraceEvent::StealFail {
+                    thief: thief as u32,
+                    victim: victim as u32,
+                },
+            );
         }
         self.events.push(
             now + service + self.cycles(self.cfg.costs.net_hop_cycles),
@@ -487,10 +595,8 @@ impl FlexEngine {
                 let fails = self.steal_fails[thief].min(6);
                 self.steal_fails[thief] = self.steal_fails[thief].saturating_add(1);
                 let backoff = self.cfg.costs.steal_backoff_cycles << fails;
-                self.events.push(
-                    now + self.cycles(backoff),
-                    Event::PeWake { pe: thief },
-                );
+                self.events
+                    .push(now + self.cycles(backoff), Event::PeWake { pe: thief });
             }
         }
     }
@@ -528,7 +634,21 @@ impl FlexEngine {
                 self.host[slot as usize] = Some(value);
             }
             Continuation::PStore { tile, entry, slot } => {
+                self.trace.emit(
+                    now,
+                    TraceEvent::PStoreJoin {
+                        tile: tile as u32,
+                        slot,
+                    },
+                );
                 if let Some(ready) = self.pstores[tile as usize].fill(entry, slot, value) {
+                    self.trace.emit(
+                        now,
+                        TraceEvent::PStoreDealloc {
+                            tile: tile as u32,
+                            occupancy: self.pstores[tile as usize].occupancy() as u32,
+                        },
+                    );
                     self.outstanding += 1;
                     // Greedy scheduling (default): the ready task returns to
                     // the PE that produced the last argument. The ablation
@@ -580,6 +700,13 @@ impl FlexEngine {
     ) {
         let tile = self.cfg.tile_of_pe(pe);
         let port = self.backend.port_of(&self.cfg, pe);
+        self.trace.emit(
+            start,
+            TraceEvent::TaskDispatch {
+                unit: pe as u32,
+                ty: task.ty.0,
+            },
+        );
         // Temporarily take the PE's deque so the context can push spawns
         // with accurate visibility timestamps.
         let mut deque = std::mem::replace(&mut self.deques[pe], TaskDeque::new(0));
@@ -594,6 +721,7 @@ impl FlexEngine {
             backend: &mut self.backend,
             pstores: &mut self.pstores,
             deque: &mut deque,
+            trace: &mut self.trace,
             out_args: Vec::new(),
             out_spawns: Vec::new(),
             spawned: 0,
@@ -626,17 +754,33 @@ impl FlexEngine {
             self.events.push(at, Event::PeWake { pe: dest });
         }
         self.outstanding += spawned;
-        self.stats.add("accel.spawns", spawned);
-        self.stats.add("accel.successors", successors);
-        self.stats.add("accel.args", args_sent);
-        self.stats.add("accel.ops", ops);
-        self.stats.incr("accel.tasks");
-        self.stats.incr(&format!("pe{pe}.tasks"));
-        self.stats
-            .add(&format!("pe{pe}.busy_ps"), (end - start).as_ps());
+        let busy_ps = (end - start).as_ps();
+        self.metrics.add_to(self.ids.spawns, spawned);
+        self.metrics.add_to(self.ids.successors, successors);
+        self.metrics.add_to(self.ids.args, args_sent);
+        self.metrics.add_to(self.ids.ops, ops);
+        self.metrics.inc(self.ids.tasks);
+        self.metrics.observe(self.ids.task_ps, busy_ps);
+        self.metrics.inc(self.ids.pe_tasks[pe]);
+        self.metrics.add_to(self.ids.pe_busy_ps[pe], busy_ps);
+        self.trace.emit(
+            end,
+            TraceEvent::TaskComplete {
+                unit: pe as u32,
+                ty: task.ty.0,
+                busy_ps,
+            },
+        );
         for (at, k, value) in out_args {
             self.inflight_args += 1;
-            self.events.push(at, Event::ArgArrive { k, value, from_pe: pe });
+            self.events.push(
+                at,
+                Event::ArgArrive {
+                    k,
+                    value,
+                    from_pe: pe,
+                },
+            );
         }
         self.last_useful = self.last_useful.max(end);
         self.outstanding -= 1;
@@ -659,6 +803,7 @@ struct FlexCtx<'e> {
     backend: &'e mut MemBackend,
     pstores: &'e mut Vec<PStore>,
     deque: &'e mut TaskDeque,
+    trace: &'e mut Tracer,
     out_args: Vec<(Time, Continuation, u64)>,
     /// Spawns whose task type this PE's worker cannot process — routed to a
     /// supporting PE over the intra-tile bus after execution.
@@ -683,6 +828,13 @@ impl TaskContext for FlexCtx<'_> {
         }
         self.now += self.cycles(self.cfg.costs.spawn_cycles);
         self.spawned += 1;
+        self.trace.emit(
+            self.now,
+            TraceEvent::Spawn {
+                unit: self.pe as u32,
+                ty: task.ty.0,
+            },
+        );
         if self.cfg.pe_supports(self.pe, task.ty) {
             if self.deque.push_tail(task, self.now).is_err() {
                 self.error = Some(AccelError::QueueFull { pe: self.pe });
@@ -737,6 +889,13 @@ impl TaskContext for FlexCtx<'_> {
                 if probe > 0 {
                     self.now += self.cycles(self.cfg.costs.net_hop_cycles);
                 }
+                self.trace.emit(
+                    self.now,
+                    TraceEvent::PStoreAlloc {
+                        tile: t as u32,
+                        occupancy: self.pstores[t].occupancy() as u32,
+                    },
+                );
                 return Continuation::pstore(t as u16, entry, 0);
             }
         }
@@ -751,15 +910,21 @@ impl TaskContext for FlexCtx<'_> {
     }
 
     fn load(&mut self, addr: u64, _bytes: u32) {
-        self.now = self.backend.access(self.port, addr, AccessKind::Read, self.now);
+        self.now = self
+            .backend
+            .access(self.port, addr, AccessKind::Read, self.now);
     }
 
     fn store(&mut self, addr: u64, _bytes: u32) {
-        self.now = self.backend.access(self.port, addr, AccessKind::Write, self.now);
+        self.now = self
+            .backend
+            .access(self.port, addr, AccessKind::Write, self.now);
     }
 
     fn amo(&mut self, addr: u64) {
-        self.now = self.backend.access(self.port, addr, AccessKind::Amo, self.now);
+        self.now = self
+            .backend
+            .access(self.port, addr, AccessKind::Amo, self.now);
     }
 
     fn dma_read(&mut self, addr: u64, bytes: u64) {
@@ -828,7 +993,7 @@ mod tests {
         let out = run_fib(1, 1, 12);
         assert_eq!(out.result, fib(12));
         assert!(out.elapsed > Time::ZERO);
-        assert!(out.stats.get("accel.tasks") > 100);
+        assert!(out.metrics.get("accel.tasks") > 100);
     }
 
     #[test]
@@ -844,7 +1009,7 @@ mod tests {
             t8.elapsed,
             t1.elapsed
         );
-        assert!(t8.stats.get("accel.steal_hits") > 0, "work must migrate");
+        assert!(t8.metrics.get("accel.steal_hits") > 0, "work must migrate");
     }
 
     #[test]
@@ -854,8 +1019,8 @@ mod tests {
         assert_eq!(a.elapsed, b.elapsed);
         assert_eq!(a.result, b.result);
         assert_eq!(
-            a.stats.get("accel.steal_attempts"),
-            b.stats.get("accel.steal_attempts")
+            a.metrics.get("accel.steal_attempts"),
+            b.metrics.get("accel.steal_attempts")
         );
     }
 
@@ -871,7 +1036,7 @@ mod tests {
         let s1 = serial.stats().s1() as u64;
         let p = 8u64;
         let out = run_fib(2, 4, n);
-        let s_p = out.stats.get("accel.queue_peak_sum") + out.stats.get("accel.pstore_peak");
+        let s_p = out.metrics.get("accel.queue_peak_sum") + out.metrics.get("accel.pstore_peak");
         assert!(
             s_p <= s1 * p,
             "space bound violated: S_P={s_p} > S_1*P={}",
@@ -938,8 +1103,11 @@ mod tests {
             .run(&mut MemWorker, Task::new(FIB, Continuation::host(0), &[]))
             .unwrap();
         assert_eq!(out.result, (0..64).sum::<u64>());
-        assert!(out.stats.get("mem.l1_misses") >= 1);
-        assert!(out.stats.get("mem.l1_hits") > 32, "strided reads must hit");
+        assert!(out.metrics.get("mem.l1_misses") >= 1);
+        assert!(
+            out.metrics.get("mem.l1_hits") > 32,
+            "strided reads must hit"
+        );
     }
 
     #[test]
@@ -955,7 +1123,7 @@ mod tests {
         assert_eq!(out.result, fib(14));
         // SUM-only PEs (slots 3 and 7) must have executed all the SUM tasks
         // and FIB PEs none of them; per-PE counters let us check the split.
-        let sum_pe_tasks = out.stats.get("pe3.tasks") + out.stats.get("pe7.tasks");
+        let sum_pe_tasks = out.metrics.get("pe3.tasks") + out.metrics.get("pe7.tasks");
         assert!(sum_pe_tasks > 0, "SUM slots must execute the join tasks");
     }
 
@@ -990,10 +1158,8 @@ mod tests {
     #[test]
     fn faster_profile_reduces_elapsed_time() {
         let run = |accel_rate: f64| {
-            let mut engine = FlexEngine::new(
-                AccelConfig::flex(1, 1),
-                ExecProfile::new(accel_rate, 1.0),
-            );
+            let mut engine =
+                FlexEngine::new(AccelConfig::flex(1, 1), ExecProfile::new(accel_rate, 1.0));
             engine
                 .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[14]))
                 .unwrap()

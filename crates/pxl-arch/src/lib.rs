@@ -26,13 +26,18 @@
 //!   steal network; the host statically distributes range chunks round-robin
 //!   and synchronizes between rounds.
 
+pub mod api;
 pub mod config;
 pub mod deque;
 pub mod engine;
 pub mod lite;
 pub mod pstore;
 
-pub use config::{AccelConfig, ArchCosts, ArchKind, LocalOrder, MemBackendKind, SchedPolicy, StealEnd, VictimSelect};
+pub use api::{Engine, EngineKind, Workload};
+pub use config::{
+    AccelConfig, ArchCosts, ArchKind, LocalOrder, MemBackendKind, SchedPolicy, StealEnd,
+    VictimSelect,
+};
 pub use deque::TaskDeque;
 pub use engine::{AccelError, AccelResult, FlexEngine};
 pub use lite::{LiteDriver, LiteEngine, RoundTasks};

@@ -16,7 +16,7 @@
 use pxl_mem::{AccessKind, Memory};
 use pxl_model::serial::HOST_SLOTS;
 use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
-use pxl_sim::{Stats, Time};
+use pxl_sim::{Metrics, Time, TraceEvent, Tracer};
 
 use crate::config::{AccelConfig, ArchKind};
 use crate::engine::{AccelError, AccelResult, MemBackend};
@@ -90,7 +90,8 @@ pub struct LiteEngine {
     backend: MemBackend,
     host: [u64; HOST_SLOTS],
     host_written: [bool; HOST_SLOTS],
-    stats: Stats,
+    metrics: Metrics,
+    trace: Tracer,
 }
 
 impl LiteEngine {
@@ -102,7 +103,11 @@ impl LiteEngine {
     /// a LiteArch configuration.
     pub fn new(cfg: AccelConfig, profile: ExecProfile) -> Self {
         cfg.validate().expect("invalid accelerator configuration");
-        assert_eq!(cfg.arch, ArchKind::Lite, "LiteEngine requires ArchKind::Lite");
+        assert_eq!(
+            cfg.arch,
+            ArchKind::Lite,
+            "LiteEngine requires ArchKind::Lite"
+        );
         let backend = MemBackend::for_config(&cfg);
         LiteEngine {
             profile,
@@ -110,7 +115,8 @@ impl LiteEngine {
             backend,
             host: [0; HOST_SLOTS],
             host_written: [false; HOST_SLOTS],
-            stats: Stats::new(),
+            metrics: Metrics::new(),
+            trace: Tracer::bounded(cfg.trace_capacity),
             cfg,
         }
     }
@@ -128,6 +134,12 @@ impl LiteEngine {
     /// The configuration this engine was built with.
     pub fn config(&self) -> &AccelConfig {
         &self.cfg
+    }
+
+    /// The engine's metrics registry (fully aggregated only after
+    /// [`LiteEngine::run`] returns, which moves it into the result).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Runs rounds from `driver` until it returns `None`.
@@ -148,13 +160,19 @@ impl LiteEngine {
         let mut now = Time::ZERO;
         let mut round = 0usize;
         while let Some(tasks) = driver.next_round(&mut self.mem, round) {
-            self.stats.incr("lite.rounds");
-            self.stats.add("lite.tasks", tasks.len() as u64);
-            now += self.cfg.clock.cycles_to_time(self.cfg.costs.round_sync_cycles);
+            self.metrics.incr("lite.rounds");
+            self.metrics.add("lite.tasks", tasks.len() as u64);
+            now += self
+                .cfg
+                .clock
+                .cycles_to_time(self.cfg.costs.round_sync_cycles);
             // Static round-robin distribution by the interface block. The IF
             // dispatches tasks serially over the argument/task network, so
             // PE p's i-th task is available only after its dispatch slot.
-            let dispatch = self.cfg.clock.cycles_to_time(self.cfg.costs.if_dispatch_cycles);
+            let dispatch = self
+                .cfg
+                .clock
+                .cycles_to_time(self.cfg.costs.if_dispatch_cycles);
             let mut pe_time = vec![now; num_pes];
             for (i, task) in tasks.into_iter().enumerate() {
                 let pe = i % num_pes;
@@ -171,11 +189,15 @@ impl LiteEngine {
             round += 1;
         }
         let mem_stats = self.backend.take_stats();
-        self.stats.merge(&mem_stats);
+        self.metrics.merge(&mem_stats);
+        let mut trace = std::mem::take(&mut self.trace);
+        trace.absorb(self.backend.take_trace());
+        trace.finish();
         Ok(AccelResult {
             result: self.host[0],
             elapsed: now,
-            stats: std::mem::take(&mut self.stats),
+            metrics: std::mem::take(&mut self.metrics),
+            trace,
         })
     }
 
@@ -191,7 +213,11 @@ impl LiteEngine {
         task: Task,
         worker: &mut W,
     ) -> Result<Time, AccelError> {
-        let start = start + self.cfg.clock.cycles_to_time(self.cfg.costs.dispatch_cycles);
+        let start = start
+            + self
+                .cfg
+                .clock
+                .cycles_to_time(self.cfg.costs.dispatch_cycles);
         let port = self.backend.port_of(&self.cfg, pe);
         let mut ctx = LiteCtx {
             now: start,
@@ -212,11 +238,26 @@ impl LiteEngine {
         if let Some(e) = err {
             return Err(e);
         }
-        self.stats.incr("accel.tasks");
-        self.stats.incr(&format!("pe{pe}.tasks"));
-        self.stats.add("accel.ops", ops);
-        self.stats
-            .add(&format!("pe{pe}.busy_ps"), (end - start).as_ps());
+        let busy_ps = (end - start).as_ps();
+        self.metrics.incr("accel.tasks");
+        self.metrics.incr(&format!("pe{pe}.tasks"));
+        self.metrics.add("accel.ops", ops);
+        self.metrics.add(&format!("pe{pe}.busy_ps"), busy_ps);
+        self.trace.emit(
+            start,
+            TraceEvent::TaskDispatch {
+                unit: pe as u32,
+                ty: task.ty.0,
+            },
+        );
+        self.trace.emit(
+            end,
+            TraceEvent::TaskComplete {
+                unit: pe as u32,
+                ty: task.ty.0,
+                busy_ps,
+            },
+        );
         Ok(end)
     }
 }
@@ -243,7 +284,10 @@ impl TaskContext for LiteCtx<'_> {
     }
 
     fn send_arg(&mut self, k: Continuation, value: u64) {
-        self.now += self.cfg.clock.cycles_to_time(self.cfg.costs.send_arg_cycles);
+        self.now += self
+            .cfg
+            .clock
+            .cycles_to_time(self.cfg.costs.send_arg_cycles);
         match k {
             Continuation::Host { slot } => {
                 self.host[slot as usize] = self.host[slot as usize].wrapping_add(value);
@@ -277,15 +321,21 @@ impl TaskContext for LiteCtx<'_> {
     }
 
     fn load(&mut self, addr: u64, _bytes: u32) {
-        self.now = self.backend.access(self.port, addr, AccessKind::Read, self.now);
+        self.now = self
+            .backend
+            .access(self.port, addr, AccessKind::Read, self.now);
     }
 
     fn store(&mut self, addr: u64, _bytes: u32) {
-        self.now = self.backend.access(self.port, addr, AccessKind::Write, self.now);
+        self.now = self
+            .backend
+            .access(self.port, addr, AccessKind::Write, self.now);
     }
 
     fn amo(&mut self, addr: u64) {
-        self.now = self.backend.access(self.port, addr, AccessKind::Amo, self.now);
+        self.now = self
+            .backend
+            .access(self.port, addr, AccessKind::Amo, self.now);
     }
 
     fn dma_read(&mut self, addr: u64, bytes: u64) {
@@ -339,8 +389,8 @@ mod tests {
             .run(&mut SumWorker, &mut one_round(chunk_tasks(1000, 8)))
             .unwrap();
         assert_eq!(out.result, (0..1000).sum::<u64>());
-        assert_eq!(out.stats.get("accel.tasks"), 8);
-        assert_eq!(out.stats.get("lite.rounds"), 1);
+        assert_eq!(out.metrics.get("accel.tasks"), 8);
+        assert_eq!(out.metrics.get("lite.rounds"), 1);
     }
 
     #[test]
@@ -376,7 +426,7 @@ mod tests {
             })
             .unwrap();
         assert_eq!(engine.memory().read_u32(0x100), 8, "three doubling rounds");
-        assert_eq!(out.stats.get("lite.rounds"), 3);
+        assert_eq!(out.metrics.get("lite.rounds"), 3);
     }
 
     struct SpawnyWorker;

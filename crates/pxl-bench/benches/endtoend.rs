@@ -1,38 +1,43 @@
 //! End-to-end simulation throughput: how fast the host simulates one full
 //! accelerator/CPU/Lite run of a small benchmark. These are the costs that
 //! determine how long the paper's evaluation sweep takes to regenerate.
+//!
+//! Hand-rolled timing loops (no external harness dependency, so the
+//! workspace builds offline). Run with `cargo bench --bench endtoend`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use pxl_apps::Scale;
 use pxl_bench::{bench, run_cpu, run_flex, run_lite};
 
-fn bench_engines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("endtoend");
-    g.sample_size(10);
-    for name in ["queens", "uts", "spmvcrs"] {
-        g.bench_function(format!("{name}/flex8"), |b| {
-            b.iter(|| {
-                let bm = bench(name, Scale::Tiny);
-                black_box(run_flex(bm.as_ref(), 8, None).kernel)
-            });
-        });
-        g.bench_function(format!("{name}/cpu4"), |b| {
-            b.iter(|| {
-                let bm = bench(name, Scale::Tiny);
-                black_box(run_cpu(bm.as_ref(), 4).kernel)
-            });
-        });
-        g.bench_function(format!("{name}/lite8"), |b| {
-            b.iter(|| {
-                let bm = bench(name, Scale::Tiny);
-                black_box(run_lite(bm.as_ref(), 8, None).expect("lite variant").kernel)
-            });
-        });
+/// Times `iters` full runs of `f` and prints ms/run.
+fn timeit(name: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warmup
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
     }
-    g.finish();
+    let total = start.elapsed();
+    println!(
+        "{name:<24} {:>10.2} ms/run ({iters} runs)",
+        total.as_secs_f64() * 1e3 / iters as f64
+    );
 }
 
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);
+fn main() {
+    for name in ["queens", "uts", "spmvcrs"] {
+        timeit(&format!("{name}/flex8"), 10, || {
+            let bm = bench(name, Scale::Tiny);
+            black_box(run_flex(bm.as_ref(), 8, None).kernel);
+        });
+        timeit(&format!("{name}/cpu4"), 10, || {
+            let bm = bench(name, Scale::Tiny);
+            black_box(run_cpu(bm.as_ref(), 4).kernel);
+        });
+        timeit(&format!("{name}/lite8"), 10, || {
+            let bm = bench(name, Scale::Tiny);
+            black_box(run_lite(bm.as_ref(), 8, None).expect("lite variant").kernel);
+        });
+    }
+}

@@ -1,9 +1,13 @@
-//! Criterion microbenchmarks of the simulator's hot data structures: the
+//! Microbenchmarks of the simulator's hot data structures: the
 //! work-stealing deque, the P-Store, the coherent cache hierarchy, the LFSR
 //! and the event queue. These bound the host cost per simulated event.
+//!
+//! Hand-rolled timing loops (no external harness dependency, so the
+//! workspace builds offline): each case runs a warmup batch, then reports
+//! mean wall time per iteration. Run with `cargo bench --bench microbench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use pxl_arch::{PStore, TaskDeque};
 use pxl_mem::{AccessKind, BandwidthMeter, MemorySystem, PortId};
@@ -11,102 +15,91 @@ use pxl_model::{Continuation, PendingTask, Task, TaskTypeId};
 use pxl_sim::config::MemoryConfig;
 use pxl_sim::{EventQueue, Lfsr16, Time};
 
-fn bench_deque(c: &mut Criterion) {
-    c.bench_function("deque/push_pop_tail", |b| {
-        let mut q = TaskDeque::new(1 << 16);
-        let t = Task::new(TaskTypeId(0), Continuation::host(0), &[1, 2]);
-        b.iter(|| {
-            q.push_tail(black_box(t), Time::ZERO).unwrap();
-            black_box(q.pop_tail(Time::ZERO));
-        });
-    });
-    c.bench_function("deque/steal_head", |b| {
-        let t = Task::new(TaskTypeId(0), Continuation::host(0), &[1, 2]);
-        b.iter_batched(
-            || {
-                let mut q = TaskDeque::new(1 << 12);
-                for _ in 0..1000 {
-                    q.push_tail(t, Time::ZERO).unwrap();
-                }
-                q
-            },
-            |mut q| {
-                while let Some(t) = q.steal_head(Time::ZERO) {
-                    black_box(t);
-                }
-            },
-            BatchSize::SmallInput,
-        );
-    });
+/// Times `iters` calls of `f` after a warmup batch and prints ns/iter.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    println!(
+        "{name:<32} {:>12.1} ns/iter ({iters} iters)",
+        total.as_nanos() as f64 / iters as f64
+    );
 }
 
-fn bench_pstore(c: &mut Criterion) {
-    c.bench_function("pstore/alloc_fill_free", |b| {
-        let mut ps = PStore::new(1 << 12);
-        let pending = PendingTask::new(TaskTypeId(1), Continuation::host(0), 2);
-        b.iter(|| {
-            let e = ps.alloc(black_box(pending)).unwrap();
-            black_box(ps.fill(e, 0, 1));
-            black_box(ps.fill(e, 1, 2));
-        });
+fn bench_deque() {
+    let t = Task::new(TaskTypeId(0), Continuation::host(0), &[1, 2]);
+    let mut q = TaskDeque::new(1 << 16);
+    bench("deque/push_pop_tail", 1_000_000, || {
+        q.push_tail(black_box(t), Time::ZERO).unwrap();
+        black_box(q.pop_tail(Time::ZERO));
     });
-}
-
-fn bench_memory(c: &mut Criterion) {
-    c.bench_function("mem/l1_hit", |b| {
-        let cfg = MemoryConfig::micro2018();
-        let mut sys = MemorySystem::new(vec![cfg.accel_l1.clone()], &cfg);
-        let mut t = sys.access(PortId(0), 0x40, AccessKind::Read, Time::ZERO);
-        b.iter(|| {
-            t = sys.access(PortId(0), black_box(0x40), AccessKind::Read, t);
+    bench("deque/steal_head_1000", 1_000, || {
+        let mut q = TaskDeque::new(1 << 12);
+        for _ in 0..1000 {
+            q.push_tail(t, Time::ZERO).unwrap();
+        }
+        while let Some(t) = q.steal_head(Time::ZERO) {
             black_box(t);
-        });
-    });
-    c.bench_function("mem/streaming_misses", |b| {
-        let cfg = MemoryConfig::micro2018();
-        b.iter_batched(
-            || MemorySystem::new(vec![cfg.accel_l1.clone()], &cfg),
-            |mut sys| {
-                let mut t = Time::ZERO;
-                for line in 0..256u64 {
-                    t = sys.access(PortId(0), line * 64, AccessKind::Read, t);
-                }
-                black_box(t)
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    c.bench_function("mem/bandwidth_meter", |b| {
-        let mut m = BandwidthMeter::default_epoch();
-        let mut at = 0u64;
-        b.iter(|| {
-            at += 100;
-            black_box(m.acquire(Time::from_ps(at), 500));
-        });
+        }
     });
 }
 
-fn bench_sim_primitives(c: &mut Criterion) {
-    c.bench_function("sim/lfsr_next", |b| {
-        let mut l = Lfsr16::new(0xACE1);
-        b.iter(|| black_box(l.next_in_range(33)));
-    });
-    c.bench_function("sim/event_queue_push_pop", |b| {
-        let mut q: EventQueue<u64> = EventQueue::new();
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 7;
-            q.push(Time::from_ps(t), t);
-            black_box(q.pop());
-        });
+fn bench_pstore() {
+    let mut ps = PStore::new(1 << 12);
+    let pending = PendingTask::new(TaskTypeId(1), Continuation::host(0), 2);
+    bench("pstore/alloc_fill_free", 1_000_000, || {
+        let e = ps.alloc(black_box(pending)).unwrap();
+        black_box(ps.fill(e, 0, 1));
+        black_box(ps.fill(e, 1, 2));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_deque,
-    bench_pstore,
-    bench_memory,
-    bench_sim_primitives
-);
-criterion_main!(benches);
+fn bench_memory() {
+    let cfg = MemoryConfig::micro2018();
+    let mut sys = MemorySystem::new(vec![cfg.accel_l1.clone()], &cfg);
+    let mut t = sys.access(PortId(0), 0x40, AccessKind::Read, Time::ZERO);
+    bench("mem/l1_hit", 1_000_000, || {
+        t = sys.access(PortId(0), black_box(0x40), AccessKind::Read, t);
+        black_box(t);
+    });
+    bench("mem/streaming_misses_256", 1_000, || {
+        let mut sys = MemorySystem::new(vec![cfg.accel_l1.clone()], &cfg);
+        let mut t = Time::ZERO;
+        for line in 0..256u64 {
+            t = sys.access(PortId(0), line * 64, AccessKind::Read, t);
+        }
+        black_box(t);
+    });
+    let mut m = BandwidthMeter::default_epoch();
+    let mut at = 0u64;
+    bench("mem/bandwidth_meter", 1_000_000, || {
+        at += 100;
+        black_box(m.acquire(Time::from_ps(at), 500));
+    });
+}
+
+fn bench_sim_primitives() {
+    let mut l = Lfsr16::new(0xACE1);
+    bench("sim/lfsr_next", 1_000_000, || {
+        black_box(l.next_in_range(33));
+    });
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut t = 0u64;
+    bench("sim/event_queue_push_pop", 1_000_000, || {
+        t += 7;
+        q.push(Time::from_ps(t), t);
+        black_box(q.pop());
+    });
+}
+
+fn main() {
+    bench_deque();
+    bench_pstore();
+    bench_memory();
+    bench_sim_primitives();
+}

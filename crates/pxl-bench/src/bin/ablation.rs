@@ -26,17 +26,14 @@ fn config(pes: usize, policy: SchedPolicy) -> AccelConfig {
 
 /// Like `run_flex_with_config` but reports simulation failures as data —
 /// an ablated policy blowing the space bound is a finding, not a bug.
-fn try_run(
-    b: &dyn Benchmark,
-    cfg: AccelConfig,
-) -> Result<(pxl_sim::Time, pxl_sim::Stats), String> {
+fn try_run(b: &dyn Benchmark, cfg: AccelConfig) -> Result<(pxl_sim::Time, pxl_sim::Stats), String> {
     let mut engine = FlexEngine::new(cfg, b.profile());
     let inst = b.flex(engine.mem_mut());
     let mut worker = inst.worker;
     match engine.run(worker.as_mut(), inst.root) {
         Ok(out) => {
             b.check(engine.memory(), out.result)?;
-            Ok((out.elapsed, out.stats))
+            Ok((out.elapsed, out.metrics))
         }
         Err(e) => Err(e.to_string()),
     }
@@ -106,7 +103,13 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["Variant", "Kernel time", "Slowdown", "Steals", "Peak task storage"],
+                &[
+                    "Variant",
+                    "Kernel time",
+                    "Slowdown",
+                    "Steals",
+                    "Peak task storage"
+                ],
                 &rows
             )
         );

@@ -1,21 +1,37 @@
 //! Runs every experiment and emits the full evaluation report
-//! (EXPERIMENTS.md-ready markdown).
+//! (EXPERIMENTS.md-ready markdown) plus a machine-readable
+//! `bench_results.jsonl` with one record per (benchmark, engine, units)
+//! run of the scalability sweep.
+//!
+//! Pass `--smoke` to run at `Scale::Tiny` for a quick end-to-end check.
 use pxl_apps::Scale;
 use pxl_bench::experiments as ex;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Tiny } else { Scale::Paper };
     println!("# ParallelXL — regenerated evaluation (Section V)\n");
     println!("{}\n", ex::table1());
     println!("{}\n", ex::table2());
     println!("{}\n", ex::table3());
     eprintln!("[fig6] running Zedboard prototype sweep...");
-    println!("{}\n", ex::fig6(Scale::Paper));
+    println!("{}\n", ex::fig6(scale));
     eprintln!("[table4/fig7/fig8] running scalability sweep...");
-    let results = ex::run_scaling(Scale::Paper);
+    let results = ex::run_scaling(scale);
     println!("{}\n", ex::table4(&results));
     println!("{}\n", ex::fig7(&results));
     println!("{}\n", ex::table5());
     println!("{}\n", ex::fig8(&results));
+    let outcomes = ex::all_outcomes(&results);
+    let jsonl = std::path::Path::new("bench_results.jsonl");
+    match pxl_bench::write_jsonl(jsonl, &outcomes) {
+        Ok(()) => eprintln!(
+            "[jsonl] wrote {} records to {}",
+            outcomes.len(),
+            jsonl.display()
+        ),
+        Err(e) => eprintln!("[jsonl] failed to write {}: {e}", jsonl.display()),
+    }
     eprintln!("[fig9] running cache-size sweep...");
-    println!("{}", ex::fig9(Scale::Paper));
+    println!("{}", ex::fig9(scale));
 }

@@ -72,11 +72,13 @@ pub fn run_scaling(scale: Scale) -> ScalingResults {
     let outcomes = parallel_map(jobs);
     let mut results: ScalingResults = ScalingResults::new();
     for ((name, job), outcome) in specs.into_iter().zip(outcomes) {
-        let entry = results.entry(name.to_owned()).or_insert_with(|| BenchScaling {
-            cpu: Vec::new(),
-            flex: Vec::new(),
-            lite: Vec::new(),
-        });
+        let entry = results
+            .entry(name.to_owned())
+            .or_insert_with(|| BenchScaling {
+                cpu: Vec::new(),
+                flex: Vec::new(),
+                lite: Vec::new(),
+            });
         let Some(out) = outcome else { continue };
         match job {
             Job::Cpu(_) => entry.cpu.push(out),
@@ -85,6 +87,18 @@ pub fn run_scaling(scale: Scale) -> ScalingResults {
         }
     }
     results
+}
+
+/// Flattens sweep results into one outcome list in Table II benchmark
+/// order (CPU runs first, then Flex, then Lite, each by ascending units) —
+/// the record stream `bench_results.jsonl` is built from.
+pub fn all_outcomes(results: &ScalingResults) -> Vec<RunOutcome> {
+    ALL_BENCHES
+        .iter()
+        .filter_map(|name| results.get(*name))
+        .flat_map(|b| b.cpu.iter().chain(&b.flex).chain(&b.lite))
+        .cloned()
+        .collect()
 }
 
 /// Table I: tile architecture comparison.
@@ -101,7 +115,11 @@ pub fn table1() -> String {
             let v = [f.0, f.1, f.2][idx];
             if v { "Yes" } else { "No" }.to_owned()
         };
-        vec![label.to_owned(), yes_no(ArchKind::Flex), yes_no(ArchKind::Lite)]
+        vec![
+            label.to_owned(),
+            yes_no(ArchKind::Flex),
+            yes_no(ArchKind::Lite),
+        ]
     })
     .chain(std::iter::once(vec![
         "Task Scheduling".to_owned(),
@@ -254,13 +272,15 @@ pub fn fig8(results: &ScalingResults) -> String {
     for name in ALL_BENCHES {
         let r = &results[name];
         let c8 = &r.cpu[CPU_SWEEP.len() - 1];
-        let cpu_energy = model.cpu_energy(&c8.stats, c8.kernel, 8).total_j();
+        let cpu_energy = model.cpu_energy(&c8.metrics, c8.kernel, 8).total_j();
         let f16 = r
             .flex
             .iter()
             .find(|o| o.units == 16)
             .expect("16-PE flex run present");
-        let fe = model.accel_energy_for(&f16.stats, f16.kernel, 16, false).total_j();
+        let fe = model
+            .accel_energy_for(&f16.metrics, f16.kernel, 16, false)
+            .total_j();
         let f_perf = c8.seconds() / f16.seconds();
         let f_effx = cpu_energy / fe;
         flex_eff.push(f_effx);
@@ -269,10 +289,19 @@ pub fn fig8(results: &ScalingResults) -> String {
             "Flex".to_owned(),
             format!("{f_perf:.2}"),
             format!("{f_effx:.1}"),
-            format!("{}", if f_perf * f_effx > 1.0 { "below" } else { "above" }),
+            format!(
+                "{}",
+                if f_perf * f_effx > 1.0 {
+                    "below"
+                } else {
+                    "above"
+                }
+            ),
         ]);
         if let Some(l16) = r.lite.iter().find(|o| o.units == 16) {
-            let le = model.accel_energy_for(&l16.stats, l16.kernel, 16, true).total_j();
+            let le = model
+                .accel_energy_for(&l16.metrics, l16.kernel, 16, true)
+                .total_j();
             let l_perf = c8.seconds() / l16.seconds();
             let l_effx = cpu_energy / le;
             lite_eff.push(l_effx);
@@ -281,7 +310,14 @@ pub fn fig8(results: &ScalingResults) -> String {
                 "Lite".to_owned(),
                 format!("{l_perf:.2}"),
                 format!("{l_effx:.1}"),
-                format!("{}", if l_perf * l_effx > 1.0 { "below" } else { "above" }),
+                format!(
+                    "{}",
+                    if l_perf * l_effx > 1.0 {
+                        "below"
+                    } else {
+                        "above"
+                    }
+                ),
             ]);
         }
     }
@@ -364,8 +400,23 @@ pub fn table5() -> String {
         rows.push(row);
     }
     let headers = [
-        "Benchmark", "F-PE LUT", "FF", "DSP", "RAM", "F-Tile LUT", "FF", "DSP", "RAM",
-        "L-PE LUT", "FF", "DSP", "RAM", "L-Tile LUT", "FF", "DSP", "RAM",
+        "Benchmark",
+        "F-PE LUT",
+        "FF",
+        "DSP",
+        "RAM",
+        "F-Tile LUT",
+        "FF",
+        "DSP",
+        "RAM",
+        "L-PE LUT",
+        "FF",
+        "DSP",
+        "RAM",
+        "L-Tile LUT",
+        "FF",
+        "DSP",
+        "RAM",
     ];
     // Device fitting summary (Section V-E).
     let artix = FpgaDevice::artix_7a75t();

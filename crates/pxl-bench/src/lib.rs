@@ -13,10 +13,10 @@
 pub mod experiments;
 
 use pxl_apps::{by_name, Benchmark, Scale};
-use pxl_arch::{AccelConfig, FlexEngine, LiteEngine, MemBackendKind};
-use pxl_cpu::CpuEngine;
+use pxl_arch::{AccelConfig, Engine, EngineKind, MemBackendKind, Workload};
+use pxl_flow::SimulationBuilder;
 use pxl_mem::zedboard::{zedboard_cpu_core, zedboard_cpu_memory};
-use pxl_sim::{Clock, Stats, Time};
+use pxl_sim::{Clock, Metrics, Time, Tracer};
 
 /// Host memcpy bandwidth used to charge initialization time for the
 /// benchmark's data footprint (bytes/second). Charged identically to CPU
@@ -37,8 +37,10 @@ pub struct RunOutcome {
     pub kernel: Time,
     /// Whole-program time: initialization + kernel.
     pub whole: Time,
-    /// Engine + memory statistics.
-    pub stats: Stats,
+    /// Engine + memory metrics.
+    pub metrics: Metrics,
+    /// Structured event trace (empty unless tracing was enabled).
+    pub trace: Tracer,
 }
 
 impl RunOutcome {
@@ -46,6 +48,56 @@ impl RunOutcome {
     pub fn seconds(&self) -> f64 {
         self.whole.as_secs_f64()
     }
+
+    /// Renders the outcome as one JSONL record: identity, times, a summary
+    /// of the headline metrics (steals, P-Store high-water mark, L1 miss
+    /// rate, DRAM traffic), and the full metrics registry.
+    pub fn to_jsonl(&self) -> String {
+        let m = &self.metrics;
+        let l1_refs = m.get("mem.l1_hits") + m.get("mem.l1_misses");
+        let l1_miss_rate = if l1_refs == 0 {
+            0.0
+        } else {
+            m.get("mem.l1_misses") as f64 / l1_refs as f64
+        };
+        let steal_attempts = m.get("accel.steal_attempts") + m.get("cpu.steal_attempts");
+        let steal_hits = m.get("accel.steal_hits") + m.get("cpu.steal_hits");
+        format!(
+            concat!(
+                "{{\"bench\":\"{}\",\"engine\":\"{}\",\"units\":{},",
+                "\"kernel_ps\":{},\"whole_ps\":{},",
+                "\"steal_attempts\":{},\"steal_hits\":{},",
+                "\"pstore_peak\":{},\"l1_miss_rate\":{:.6},",
+                "\"dram_bytes\":{},\"trace_events\":{},\"metrics\":{}}}"
+            ),
+            self.bench,
+            self.engine,
+            self.units,
+            self.kernel.as_ps(),
+            self.whole.as_ps(),
+            steal_attempts,
+            steal_hits,
+            m.get("accel.pstore_peak"),
+            l1_miss_rate,
+            m.get("mem.dram_bytes"),
+            self.trace.len(),
+            m.to_json(),
+        )
+    }
+}
+
+/// Writes one [`RunOutcome::to_jsonl`] record per outcome to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_jsonl(path: &std::path::Path, outcomes: &[RunOutcome]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for out in outcomes {
+        writeln!(f, "{}", out.to_jsonl())?;
+    }
+    f.into_inner()?.flush()
 }
 
 fn init_time(footprint_bytes: u64) -> Time {
@@ -58,9 +110,60 @@ pub fn geometry(pes: usize) -> (usize, usize) {
     if pes <= 4 {
         (1, pes)
     } else {
-        assert!(pes.is_multiple_of(4), "PE counts above 4 must be multiples of 4");
+        assert!(
+            pes.is_multiple_of(4),
+            "PE counts above 4 must be multiples of 4"
+        );
         (pes / 4, 4)
     }
+}
+
+/// Runs `bench` on any engine behind the [`Engine`] trait: sets up inputs,
+/// picks the workload shape the engine executes (rounds for LiteArch,
+/// a dynamic task graph otherwise), validates the output against the golden
+/// reference, and charges initialization time.
+///
+/// Returns `None` when the engine is LiteArch and the benchmark has no
+/// LiteArch mapping.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the output does not validate —
+/// experiment results must never silently ship wrong data.
+pub fn run_on(engine: &mut dyn Engine, bench: &dyn Benchmark, label: &str) -> Option<RunOutcome> {
+    let units = engine.units();
+    let name = bench.meta().name;
+    let (footprint, out) = match engine.kind() {
+        EngineKind::Lite => {
+            let inst = bench.lite(engine.mem_mut())?;
+            let mut worker = inst.worker;
+            let mut driver = inst.driver;
+            let out = engine
+                .run(Workload::rounds(worker.as_mut(), driver.as_mut()))
+                .unwrap_or_else(|e| panic!("{name} on {label}/{units}u failed: {e}"));
+            (inst.footprint_bytes, out)
+        }
+        EngineKind::Flex | EngineKind::Cpu => {
+            let inst = bench.flex(engine.mem_mut());
+            let mut worker = inst.worker;
+            let out = engine
+                .run(Workload::dynamic(worker.as_mut(), inst.root))
+                .unwrap_or_else(|e| panic!("{name} on {label}/{units}u failed: {e}"));
+            (inst.footprint_bytes, out)
+        }
+    };
+    bench
+        .check(engine.memory(), out.result)
+        .unwrap_or_else(|e| panic!("{name} on {label}/{units}u wrong: {e}"));
+    Some(RunOutcome {
+        bench: name.to_owned(),
+        engine: label.to_owned(),
+        units,
+        kernel: out.elapsed,
+        whole: out.elapsed + init_time(footprint),
+        metrics: out.metrics,
+        trace: out.trace,
+    })
 }
 
 /// Runs `bench` on a FlexArch accelerator with `pes` PEs.
@@ -82,30 +185,13 @@ pub fn run_flex(bench: &dyn Benchmark, pes: usize, cache_bytes: Option<usize>) -
 ///
 /// # Panics
 ///
-/// Panics if the simulation fails or the output does not validate.
-pub fn run_flex_with_config(
-    bench: &dyn Benchmark,
-    cfg: AccelConfig,
-    label: &str,
-) -> RunOutcome {
-    let pes = cfg.num_pes();
-    let mut engine = FlexEngine::new(cfg, bench.profile());
-    let inst = bench.flex(engine.mem_mut());
-    let mut worker = inst.worker;
-    let out = engine
-        .run(worker.as_mut(), inst.root)
-        .unwrap_or_else(|e| panic!("{} on {label}/{pes}PE failed: {e}", bench.meta().name));
-    bench
-        .check(engine.memory(), out.result)
-        .unwrap_or_else(|e| panic!("{} on {label}/{pes}PE wrong: {e}", bench.meta().name));
-    RunOutcome {
-        bench: bench.meta().name.to_owned(),
-        engine: label.to_owned(),
-        units: pes,
-        kernel: out.elapsed,
-        whole: out.elapsed + init_time(inst.footprint_bytes),
-        stats: out.stats,
-    }
+/// Panics if the configuration is invalid, the simulation fails, or the
+/// output does not validate.
+pub fn run_flex_with_config(bench: &dyn Benchmark, cfg: AccelConfig, label: &str) -> RunOutcome {
+    let mut engine = SimulationBuilder::from_config(cfg, bench.profile())
+        .build()
+        .unwrap_or_else(|e| panic!("{} on {label}: {e}", bench.meta().name));
+    run_on(engine.as_mut(), bench, label).expect("FlexArch runs every benchmark")
 }
 
 /// Runs `bench`'s LiteArch variant with `pes` PEs; `None` if the benchmark
@@ -114,30 +200,20 @@ pub fn run_flex_with_config(
 /// # Panics
 ///
 /// Panics if the simulation fails or the output does not validate.
-pub fn run_lite(bench: &dyn Benchmark, pes: usize, cache_bytes: Option<usize>) -> Option<RunOutcome> {
+pub fn run_lite(
+    bench: &dyn Benchmark,
+    pes: usize,
+    cache_bytes: Option<usize>,
+) -> Option<RunOutcome> {
     let (tiles, per_tile) = geometry(pes);
     let mut cfg = AccelConfig::lite(tiles, per_tile);
     if let Some(bytes) = cache_bytes {
         cfg.memory.accel_l1 = cfg.memory.accel_l1.clone().with_size(bytes);
     }
-    let mut engine = LiteEngine::new(cfg, bench.profile());
-    let inst = bench.lite(engine.mem_mut())?;
-    let mut worker = inst.worker;
-    let mut driver = inst.driver;
-    let out = engine
-        .run(worker.as_mut(), driver.as_mut())
-        .unwrap_or_else(|e| panic!("{} on lite/{pes}PE failed: {e}", bench.meta().name));
-    bench
-        .check(engine.memory(), out.result)
-        .unwrap_or_else(|e| panic!("{} on lite/{pes}PE wrong: {e}", bench.meta().name));
-    Some(RunOutcome {
-        bench: bench.meta().name.to_owned(),
-        engine: "lite".to_owned(),
-        units: pes,
-        kernel: out.elapsed,
-        whole: out.elapsed + init_time(inst.footprint_bytes),
-        stats: out.stats,
-    })
+    let mut engine = SimulationBuilder::from_config(cfg, bench.profile())
+        .build()
+        .unwrap_or_else(|e| panic!("{} on lite/{pes}PE: {e}", bench.meta().name));
+    run_on(engine.as_mut(), bench, "lite")
 }
 
 /// Runs `bench` on the Cilk-style CPU baseline with `cores` cores.
@@ -146,8 +222,10 @@ pub fn run_lite(bench: &dyn Benchmark, pes: usize, cache_bytes: Option<usize>) -
 ///
 /// Panics if the simulation fails or the output does not validate.
 pub fn run_cpu(bench: &dyn Benchmark, cores: usize) -> RunOutcome {
-    let mut engine = CpuEngine::new(cores, bench.profile());
-    run_cpu_engine(bench, &mut engine, "cpu")
+    let mut engine = SimulationBuilder::cpu(cores, bench.profile())
+        .build()
+        .unwrap_or_else(|e| panic!("{} on cpu/{cores}C: {e}", bench.meta().name));
+    run_on(engine.as_mut(), bench, "cpu").expect("the CPU runs every benchmark")
 }
 
 /// Runs `bench` on the Zedboard's two-core Cortex-A9 CPU model.
@@ -160,40 +238,23 @@ pub fn run_cpu_zedboard(bench: &dyn Benchmark) -> RunOutcome {
     // at roughly 60% of the big core's per-clock rate, and its 32-bit Cilk
     // runtime code is less dense than the 4-issue core's.
     let big = bench.profile();
-    let a9_profile = pxl_model::ExecProfile::new(big.accel_ops_per_cycle, big.cpu_ops_per_cycle * 0.6);
+    let a9_profile =
+        pxl_model::ExecProfile::new(big.accel_ops_per_cycle, big.cpu_ops_per_cycle * 0.6);
     let costs = pxl_cpu::SoftwareCosts {
         runtime_ipc: 1.2,
         steal_attempt_instrs: 400,
         ..pxl_cpu::SoftwareCosts::default()
     };
-    let mut engine = CpuEngine::with_params(
+    let mut engine = SimulationBuilder::cpu_with(
         2,
         a9_profile,
         zedboard_cpu_core(),
         zedboard_cpu_memory(),
         costs,
-    );
-    run_cpu_engine(bench, &mut engine, "zedcpu")
-}
-
-fn run_cpu_engine(bench: &dyn Benchmark, engine: &mut CpuEngine, label: &str) -> RunOutcome {
-    let cores = engine.cores();
-    let inst = bench.flex(engine.mem_mut());
-    let mut worker = inst.worker;
-    let out = engine
-        .run(worker.as_mut(), inst.root)
-        .unwrap_or_else(|e| panic!("{} on {label}/{cores}C failed: {e}", bench.meta().name));
-    bench
-        .check(engine.memory(), out.result)
-        .unwrap_or_else(|e| panic!("{} on {label}/{cores}C wrong: {e}", bench.meta().name));
-    RunOutcome {
-        bench: bench.meta().name.to_owned(),
-        engine: label.to_owned(),
-        units: cores,
-        kernel: out.elapsed,
-        whole: out.elapsed + init_time(inst.footprint_bytes),
-        stats: out.stats,
-    }
+    )
+    .build()
+    .unwrap_or_else(|e| panic!("{} on zedcpu: {e}", bench.meta().name));
+    run_on(engine.as_mut(), bench, "zedcpu").expect("the CPU runs every benchmark")
 }
 
 /// Runs `bench` on the Zedboard prototype accelerator (stream buffers over
@@ -221,8 +282,16 @@ pub fn bench(name: &str, scale: Scale) -> Box<dyn Benchmark> {
 
 /// The ten benchmark names in Table II order.
 pub const ALL_BENCHES: [&str; 10] = [
-    "nw", "quicksort", "cilksort", "queens", "knapsack", "uts", "bbgemm", "bfsqueue",
-    "spmvcrs", "stencil2d",
+    "nw",
+    "quicksort",
+    "cilksort",
+    "queens",
+    "knapsack",
+    "uts",
+    "bbgemm",
+    "bfsqueue",
+    "spmvcrs",
+    "stencil2d",
 ];
 
 /// Benchmarks implemented on the Zedboard prototype. The paper notes "a few
@@ -231,7 +300,14 @@ pub const ALL_BENCHES: [&str; 10] = [
 /// fabric); the fine-grained-sharing benchmarks here are `knapsack` (atomic
 /// best-bound) and `bfsqueue` (atomic frontier queue).
 pub const ZEDBOARD_BENCHES: [&str; 8] = [
-    "nw", "quicksort", "cilksort", "queens", "uts", "bbgemm", "spmvcrs", "stencil2d",
+    "nw",
+    "quicksort",
+    "cilksort",
+    "queens",
+    "uts",
+    "bbgemm",
+    "spmvcrs",
+    "stencil2d",
 ];
 
 /// Geometric mean of an iterator of positive values.
@@ -253,48 +329,46 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    let n = jobs.len();
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let work: crossbeam::queue::SegQueue<(usize, F)> = crossbeam::queue::SegQueue::new();
-    for (i, j) in jobs.into_iter().enumerate() {
-        work.push((i, j));
-    }
-    let slots: Vec<parking_lot_free::Slot<T>> = (0..n).map(|_| parking_lot_free::Slot::new()).collect();
-    crossbeam::scope(|s| {
-        for _ in 0..threads.min(n.max(1)) {
-            s.spawn(|_| {
-                while let Some((i, job)) = work.pop() {
-                    slots[i].put(job());
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    for (i, slot) in slots.into_iter().enumerate() {
-        results[i] = slot.take();
-    }
-    results.into_iter().map(|r| r.expect("job completed")).collect()
-}
-
-/// Minimal one-shot cell usable across crossbeam scoped threads.
-mod parking_lot_free {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
-    #[derive(Debug)]
-    pub struct Slot<T>(Mutex<Option<T>>);
-
-    impl<T> Slot<T> {
-        pub fn new() -> Self {
-            Slot(Mutex::new(None))
-        }
-        pub fn put(&self, v: T) {
-            *self.0.lock().expect("slot poisoned") = Some(v);
-        }
-        pub fn take(self) -> Option<T> {
-            self.0.into_inner().expect("slot poisoned")
-        }
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
     }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    // Jobs are FnOnce, so workers claim indices and take their job out of a
+    // shared slot vector rather than sharing an iterator of closures.
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("each job claimed once");
+                *results[i].lock().expect("result slot poisoned") = Some(job());
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| {
+            r.into_inner()
+                .expect("result slot poisoned")
+                .expect("job completed")
+        })
+        .collect()
 }
 
 /// Renders a markdown-style table.

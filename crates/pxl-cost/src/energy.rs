@@ -84,8 +84,7 @@ impl EnergyBreakdown {
 impl EnergyModel {
     fn memory_events_j(&self, stats: &Stats) -> f64 {
         (self.e_l1_hit_nj * stats.get("mem.l1_hits") as f64
-            + self.e_l1_miss_nj
-                * (stats.get("mem.l1_misses") + stats.get("mem.upgrades")) as f64
+            + self.e_l1_miss_nj * (stats.get("mem.l1_misses") + stats.get("mem.upgrades")) as f64
             + self.e_dram_line_nj
                 * (stats.get("mem.dram_lines")
                     + stats.get("mem.l2_writebacks")
@@ -117,8 +116,7 @@ impl EnergyModel {
             + self.e_steal_nj * stats.get("accel.steal_attempts") as f64)
             * 1e-9;
         EnergyBreakdown {
-            static_j: ((self.accel_static_w + self.accel_static_per_pe_w * num_pes as f64)
-                * scale
+            static_j: ((self.accel_static_w + self.accel_static_per_pe_w * num_pes as f64) * scale
                 + self.platform_w)
                 * t,
             dynamic_j: (self.pe_active_w * busy + self.pe_idle_w * idle) * scale + events,

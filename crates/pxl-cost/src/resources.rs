@@ -31,7 +31,12 @@ pub struct ResourceVec {
 impl ResourceVec {
     /// Creates a vector.
     pub const fn new(lut: u32, ff: u32, dsp: u32, bram18: u32) -> Self {
-        ResourceVec { lut, ff, dsp, bram18 }
+        ResourceVec {
+            lut,
+            ff,
+            dsp,
+            bram18,
+        }
     }
 
     /// Whether `self` fits within `capacity` (component-wise).
@@ -265,7 +270,11 @@ mod tests {
             match lite_pe {
                 Some(want) => {
                     let t = tile_resources(name, false, 4, 32 * 1024).unwrap();
-                    assert_eq!((t.pe.lut, t.pe.ff, t.pe.dsp, t.pe.bram18), want, "{name} lite PE");
+                    assert_eq!(
+                        (t.pe.lut, t.pe.ff, t.pe.dsp, t.pe.bram18),
+                        want,
+                        "{name} lite PE"
+                    );
                 }
                 None => assert!(tile_resources(name, false, 4, 32 * 1024).is_none()),
             }
@@ -305,8 +314,16 @@ mod tests {
         let kintex = FpgaDevice::kintex_7k160t();
         // Average tiles on the low-cost device ~4 for FlexArch.
         let names = [
-            "nw", "quicksort", "cilksort", "queens", "knapsack", "uts", "bbgemm",
-            "bfsqueue", "spmvcrs", "stencil2d",
+            "nw",
+            "quicksort",
+            "cilksort",
+            "queens",
+            "knapsack",
+            "uts",
+            "bbgemm",
+            "bfsqueue",
+            "spmvcrs",
+            "stencil2d",
         ];
         let avg: f64 = names
             .iter()

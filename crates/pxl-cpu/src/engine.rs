@@ -4,10 +4,11 @@ use pxl_mem::{AccessKind, Memory, MemorySystem, PortId};
 use pxl_model::serial::HOST_SLOTS;
 use pxl_model::{Continuation, ExecProfile, PendingTask, Task, TaskContext, TaskTypeId, Worker};
 use pxl_sim::config::{CpuCoreParams, MemoryConfig};
-use pxl_sim::{EventQueue, Stats, Time, XorShift64};
+use pxl_sim::{EventQueue, Metrics, Time, TraceEvent, Tracer, XorShift64};
 
 use pxl_arch::deque::TaskDeque;
 use pxl_arch::engine::{AccelError, AccelResult};
+use pxl_arch::{Engine, EngineKind, Workload};
 
 /// Base simulated address of the runtime's join-counter frames. Each pending
 /// task's counter lives on its own cache line, so coherence traffic on joins
@@ -116,7 +117,8 @@ pub struct CpuEngine {
     events: EventQueue<Event>,
     outstanding: u64,
     last_useful: Time,
-    stats: Stats,
+    metrics: Metrics,
+    trace: Tracer,
     error: Option<AccelError>,
     max_sim_time_us: u64,
 }
@@ -168,7 +170,8 @@ impl CpuEngine {
             events: EventQueue::new(),
             outstanding: 0,
             last_useful: Time::ZERO,
-            stats: Stats::new(),
+            metrics: Metrics::new(),
+            trace: Tracer::disabled(),
             error: None,
             max_sim_time_us: 2_000_000,
         }
@@ -187,6 +190,23 @@ impl CpuEngine {
     /// Number of cores.
     pub fn cores(&self) -> usize {
         self.cores
+    }
+
+    /// The engine's metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Value delivered to a host result register, if any.
+    pub fn host_result(&self, slot: u8) -> Option<u64> {
+        self.host.get(slot as usize).copied().flatten()
+    }
+
+    /// Enables structured event tracing (runtime + memory hierarchy) with a
+    /// bounded buffer of `capacity` records per source; zero disables.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace = Tracer::bounded(capacity);
+        self.memsys.enable_trace(capacity);
     }
 
     fn runtime_cycles(&self, instrs: u64) -> Time {
@@ -211,7 +231,13 @@ impl CpuEngine {
             _ => None,
         };
         self.outstanding = 1;
-        self.events.push(Time::ZERO, Event::TaskRun { core: 0, task: root });
+        self.events.push(
+            Time::ZERO,
+            Event::TaskRun {
+                core: 0,
+                task: root,
+            },
+        );
         for core in 1..self.cores {
             self.events.push(Time::ZERO, Event::CoreWake { core });
         }
@@ -239,13 +265,17 @@ impl CpuEngine {
             None => 0,
         };
         let queue_peak: usize = self.deques.iter().map(TaskDeque::peak).sum();
-        self.stats.add("cpu.queue_peak_sum", queue_peak as u64);
+        self.metrics.add("cpu.queue_peak_sum", queue_peak as u64);
         let mem_stats = self.memsys.take_stats();
-        self.stats.merge(&mem_stats);
+        self.metrics.merge(&mem_stats);
+        let mut trace = std::mem::take(&mut self.trace);
+        trace.absorb(self.memsys.take_trace());
+        trace.finish();
         Ok(CpuResult {
             result,
             elapsed: self.last_useful,
-            stats: std::mem::take(&mut self.stats),
+            metrics: std::mem::take(&mut self.metrics),
+            trace,
         })
     }
 
@@ -282,7 +312,7 @@ impl CpuEngine {
                 now + self.runtime_cycles(self.costs.steal_attempt_instrs),
                 Event::StealTry { core },
             );
-            self.stats.incr("cpu.steal_attempts");
+            self.metrics.incr("cpu.steal_attempts");
         }
         // A single core with an empty deque parks; outstanding bookkeeping
         // wakes it via TaskRun events.
@@ -298,6 +328,13 @@ impl CpuEngine {
         if victim >= core {
             victim += 1;
         }
+        self.trace.emit(
+            now,
+            TraceEvent::StealRequest {
+                thief: core as u32,
+                victim: victim as u32,
+            },
+        );
         let t = self.memsys.access(
             PortId(core),
             DEQUE_META_BASE + 64 * victim as u64,
@@ -306,11 +343,25 @@ impl CpuEngine {
         );
         match self.deques[victim].steal_head(t) {
             Some(task) => {
-                self.stats.incr("cpu.steal_hits");
+                self.metrics.incr("cpu.steal_hits");
+                self.trace.emit(
+                    t,
+                    TraceEvent::StealGrant {
+                        thief: core as u32,
+                        victim: victim as u32,
+                    },
+                );
                 self.steal_fails[core] = 0;
                 self.execute_task(t, core, task, worker);
             }
             None => {
+                self.trace.emit(
+                    t,
+                    TraceEvent::StealFail {
+                        thief: core as u32,
+                        victim: victim as u32,
+                    },
+                );
                 let fails = self.steal_fails[core].min(6);
                 self.steal_fails[core] = self.steal_fails[core].saturating_add(1);
                 let backoff = self.costs.steal_backoff_instrs << fails;
@@ -327,6 +378,13 @@ impl CpuEngine {
         task: Task,
         worker: &mut W,
     ) {
+        self.trace.emit(
+            start,
+            TraceEvent::TaskDispatch {
+                unit: core as u32,
+                ty: task.ty.0,
+            },
+        );
         let mut deque = std::mem::replace(&mut self.deques[core], TaskDeque::new(0));
         let mut ctx = CpuCtx {
             now: start,
@@ -342,10 +400,18 @@ impl CpuEngine {
         let spawned = ctx.spawned;
         self.deques[core] = deque;
         self.outstanding += spawned + ready.len() as u64;
-        self.stats.incr("cpu.tasks");
-        self.stats.incr(&format!("core{core}.tasks"));
-        self.stats
+        self.metrics.incr("cpu.tasks");
+        self.metrics.incr(&format!("core{core}.tasks"));
+        self.metrics
             .add(&format!("core{core}.busy_ps"), (end - start).as_ps());
+        self.trace.emit(
+            end,
+            TraceEvent::TaskComplete {
+                unit: core as u32,
+                ty: task.ty.0,
+                busy_ps: (end - start).as_ps(),
+            },
+        );
         // Greedy continuation: tasks made ready by this core run on this
         // core next (they were pushed LIFO inside the context); nothing else
         // to do beyond waking up.
@@ -379,7 +445,10 @@ impl CpuCtx<'_> {
         // L1 hits are fully pipelined; only the portion beyond the hit
         // latency can be (partially) hidden by the OOO window.
         let hit = self.engine.core_params.clock.period();
-        let full = self.engine.memsys.access(PortId(self.core), addr, kind, self.now);
+        let full = self
+            .engine
+            .memsys
+            .access(PortId(self.core), addr, kind, self.now);
         let raw = full - self.now;
         let exposed = if raw > hit {
             let extra = raw - hit;
@@ -395,6 +464,13 @@ impl CpuCtx<'_> {
 impl TaskContext for CpuCtx<'_> {
     fn spawn(&mut self, task: Task) {
         self.now += self.engine.runtime_cycles(self.engine.costs.spawn_instrs);
+        self.engine.trace.emit(
+            self.now,
+            TraceEvent::Spawn {
+                unit: self.core as u32,
+                ty: task.ty.0,
+            },
+        );
         self.spawned += 1;
         self.deque
             .push_tail(task, self.now)
@@ -402,7 +478,9 @@ impl TaskContext for CpuCtx<'_> {
     }
 
     fn send_arg(&mut self, k: Continuation, value: u64) {
-        self.now += self.engine.runtime_cycles(self.engine.costs.send_arg_instrs);
+        self.now += self
+            .engine
+            .runtime_cycles(self.engine.costs.send_arg_instrs);
         match k {
             Continuation::Host { slot } => {
                 self.engine.host[slot as usize] = Some(value);
@@ -429,7 +507,9 @@ impl TaskContext for CpuCtx<'_> {
         join: u8,
         preset: &[(u8, u64)],
     ) -> Continuation {
-        self.now += self.engine.runtime_cycles(self.engine.costs.successor_instrs);
+        self.now += self
+            .engine
+            .runtime_cycles(self.engine.costs.successor_instrs);
         let mut pending = PendingTask::new(ty, k, join);
         for &(slot, value) in preset {
             pending = pending.preset(slot, value);
@@ -506,6 +586,42 @@ impl TaskContext for CpuCtx<'_> {
     }
 }
 
+impl Engine for CpuEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Cpu
+    }
+
+    fn units(&self) -> usize {
+        self.cores
+    }
+
+    fn memory(&self) -> &Memory {
+        CpuEngine::memory(self)
+    }
+
+    fn mem_mut(&mut self) -> &mut Memory {
+        CpuEngine::mem_mut(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        CpuEngine::metrics(self)
+    }
+
+    fn host_result(&self, slot: u8) -> Option<u64> {
+        CpuEngine::host_result(self, slot)
+    }
+
+    fn run(&mut self, workload: Workload<'_>) -> Result<AccelResult, AccelError> {
+        match workload {
+            Workload::Dynamic { worker, root } => CpuEngine::run(self, worker, root),
+            other => Err(AccelError::Unsupported(format!(
+                "the CPU baseline runs dynamic task graphs, not {}",
+                other.shape()
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,7 +668,7 @@ mod tests {
     fn one_core_computes_fib() {
         let out = run_fib(1, 14);
         assert_eq!(out.result, fib(14));
-        assert!(out.stats.get("cpu.tasks") > 100);
+        assert!(out.metrics.get("cpu.tasks") > 100);
     }
 
     #[test]
@@ -567,7 +683,7 @@ mod tests {
             t4.elapsed,
             t1.elapsed
         );
-        assert!(t4.stats.get("cpu.steal_hits") > 0);
+        assert!(t4.metrics.get("cpu.steal_hits") > 0);
     }
 
     #[test]
@@ -583,16 +699,13 @@ mod tests {
         // at 1 GHz with identical ExecProfile must still pay far more time
         // per task because runtime primitives cost tens of instructions.
         let cpu = run_fib(1, 12);
-        let cpu_ns_per_task =
-            cpu.elapsed.as_ns_f64() / cpu.stats.get("cpu.tasks") as f64;
-        let mut accel = pxl_arch::FlexEngine::new(
-            pxl_arch::AccelConfig::flex(1, 1),
-            ExecProfile::scalar(),
-        );
+        let cpu_ns_per_task = cpu.elapsed.as_ns_f64() / cpu.metrics.get("cpu.tasks") as f64;
+        let mut accel =
+            pxl_arch::FlexEngine::new(pxl_arch::AccelConfig::flex(1, 1), ExecProfile::scalar());
         let out = accel
             .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[12]))
             .unwrap();
-        let accel_ns_per_task = out.elapsed.as_ns_f64() / out.stats.get("accel.tasks") as f64;
+        let accel_ns_per_task = out.elapsed.as_ns_f64() / out.metrics.get("accel.tasks") as f64;
         // At 1/5 the clock rate, the accelerator should still be competitive
         // per task thanks to cheap task management.
         assert!(
@@ -653,8 +766,8 @@ mod tests {
     #[test]
     fn single_core_never_steals() {
         let out = run_fib(1, 12);
-        assert_eq!(out.stats.get("cpu.steal_attempts"), 0);
-        assert_eq!(out.stats.get("cpu.steal_hits"), 0);
+        assert_eq!(out.metrics.get("cpu.steal_attempts"), 0);
+        assert_eq!(out.metrics.get("cpu.steal_hits"), 0);
     }
 
     #[test]
@@ -686,6 +799,6 @@ mod tests {
             .run(&mut MemWorker, Task::new(FIB, Continuation::host(0), &[]))
             .unwrap();
         assert_eq!(out.result, (0..64).map(|i| 2 * i).sum::<u64>());
-        assert!(out.stats.get("mem.l1_hits") > 0);
+        assert!(out.metrics.get("mem.l1_hits") > 0);
     }
 }

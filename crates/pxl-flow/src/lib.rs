@@ -34,12 +34,48 @@
 //! assert!(design.resources.is_some());
 //! ```
 
-use pxl_arch::{AccelConfig, ArchKind};
+use pxl_arch::{AccelConfig, ArchKind, Engine, FlexEngine, LiteEngine};
 use pxl_cost::resources::{tile_resources, FpgaDevice, TileResources};
+use pxl_cpu::{CpuEngine, SoftwareCosts};
+use pxl_model::ExecProfile;
+use pxl_sim::config::{CpuCoreParams, MemoryConfig};
 
-/// Errors produced while elaborating a design.
+/// Errors produced while parsing a specification or elaborating a design.
+///
+/// The spec-parsing variants carry the offending `key=value` fragment so a
+/// caller can point at exactly what was wrong with its input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlowError {
+    /// A spec token was not of the form `key=value`.
+    MalformedPair {
+        /// The offending token.
+        token: String,
+    },
+    /// A spec pair used a key the template does not expose.
+    UnknownKey {
+        /// The unrecognized key.
+        key: String,
+        /// The value it carried.
+        value: String,
+    },
+    /// A spec value could not be parsed as the key's type.
+    InvalidValue {
+        /// The key whose value is malformed.
+        key: String,
+        /// The unparsable value.
+        value: String,
+        /// What the key expects (e.g. `"a positive integer"`).
+        expected: &'static str,
+    },
+    /// A spec value parsed but violates the key's range constraint.
+    OutOfRange {
+        /// The key whose value is out of range.
+        key: String,
+        /// The rejected value.
+        value: String,
+        /// The violated constraint (e.g. `"must be at least 2"`).
+        constraint: &'static str,
+    },
     /// The architectural parameters are not realizable.
     InvalidConfig(String),
     /// The selected benchmark has no LiteArch variant.
@@ -49,6 +85,22 @@ pub enum FlowError {
 impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            FlowError::MalformedPair { token } => {
+                write!(f, "expected key=value, got '{token}'")
+            }
+            FlowError::UnknownKey { key, value } => {
+                write!(f, "unknown key in '{key}={value}'")
+            }
+            FlowError::InvalidValue {
+                key,
+                value,
+                expected,
+            } => write!(f, "'{key}={value}': expected {expected}"),
+            FlowError::OutOfRange {
+                key,
+                value,
+                constraint,
+            } => write!(f, "'{key}={value}': {constraint}"),
             FlowError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             FlowError::NoLiteVariant(name) => {
                 write!(f, "benchmark '{name}' has no LiteArch mapping")
@@ -213,29 +265,46 @@ impl AcceleratorBuilder {
     ///
     /// # Errors
     ///
-    /// [`FlowError::InvalidConfig`] on unknown keys, malformed values or a
-    /// missing worker name.
+    /// [`FlowError::MalformedPair`] for tokens that are not `key=value`,
+    /// [`FlowError::UnknownKey`] for keys the template does not expose,
+    /// [`FlowError::InvalidValue`] for unparsable values,
+    /// [`FlowError::OutOfRange`] for values outside a key's constraint, and
+    /// [`FlowError::InvalidConfig`] for a missing worker name.
     pub fn from_spec(spec: &str) -> Result<AcceleratorBuilder, FlowError> {
         let mut worker: Option<String> = None;
-        let mut builder: Option<AcceleratorBuilder> = None;
         let mut pending: Vec<(String, String)> = Vec::new();
         for token in spec.split_whitespace() {
-            let (key, value) = token.split_once('=').ok_or_else(|| {
-                FlowError::InvalidConfig(format!("expected key=value, got '{token}'"))
-            })?;
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| FlowError::MalformedPair {
+                    token: token.to_owned(),
+                })?;
             if key == "worker" {
                 worker = Some(value.to_owned());
             } else {
                 pending.push((key.to_owned(), value.to_owned()));
             }
         }
-        let worker = worker
-            .ok_or_else(|| FlowError::InvalidConfig("missing worker=<name>".into()))?;
-        let b = builder.get_or_insert_with(|| AcceleratorBuilder::new(worker));
-        let parse = |key: &str, value: &str| -> Result<usize, FlowError> {
-            value.parse().map_err(|_| {
-                FlowError::InvalidConfig(format!("'{key}' needs an integer, got '{value}'"))
-            })
+        let worker =
+            worker.ok_or_else(|| FlowError::InvalidConfig("missing worker=<name>".into()))?;
+        let mut b = AcceleratorBuilder::new(worker);
+        let parse = |key: &str, value: &str, min: usize| -> Result<usize, FlowError> {
+            let n: usize = value.parse().map_err(|_| FlowError::InvalidValue {
+                key: key.to_owned(),
+                value: value.to_owned(),
+                expected: "an unsigned integer",
+            })?;
+            if n < min {
+                return Err(FlowError::OutOfRange {
+                    key: key.to_owned(),
+                    value: value.to_owned(),
+                    constraint: match min {
+                        1 => "must be at least 1",
+                        _ => "must be at least 2",
+                    },
+                });
+            }
+            Ok(n)
         };
         for (key, value) in pending {
             match key.as_str() {
@@ -246,33 +315,33 @@ impl AcceleratorBuilder {
                     "lite" => {
                         b.arch(ArchKind::Lite);
                     }
-                    other => {
-                        return Err(FlowError::InvalidConfig(format!(
-                            "arch must be flex or lite, got '{other}'"
-                        )))
+                    _ => {
+                        return Err(FlowError::InvalidValue {
+                            key,
+                            value,
+                            expected: "'flex' or 'lite'",
+                        })
                     }
                 },
                 "tiles" => {
-                    b.tiles(parse(&key, &value)?);
+                    b.tiles(parse(&key, &value, 1)?);
                 }
                 "pes" => {
-                    b.pes_per_tile(parse(&key, &value)?);
+                    b.pes_per_tile(parse(&key, &value, 1)?);
                 }
                 "queue" => {
-                    b.task_queue_entries(parse(&key, &value)?);
+                    b.task_queue_entries(parse(&key, &value, 2)?);
                 }
                 "pstore" => {
-                    b.pstore_entries(parse(&key, &value)?);
+                    b.pstore_entries(parse(&key, &value, 1)?);
                 }
                 "cache_kb" => {
-                    b.cache_kb(parse(&key, &value)?);
+                    b.cache_kb(parse(&key, &value, 1)?);
                 }
-                other => {
-                    return Err(FlowError::InvalidConfig(format!("unknown key '{other}'")))
-                }
+                _ => return Err(FlowError::UnknownKey { key, value }),
             }
         }
-        Ok(builder.expect("builder initialized with worker"))
+        Ok(b)
     }
 }
 
@@ -316,6 +385,163 @@ pub fn sweep_pe_counts(
         .collect()
 }
 
+/// What a [`SimulationBuilder`] instantiates.
+#[derive(Debug, Clone)]
+enum Target {
+    /// An accelerator (FlexArch or LiteArch) from a validated config.
+    Accel(AccelConfig),
+    /// The multicore software baseline.
+    Cpu {
+        cores: usize,
+        core: CpuCoreParams,
+        memory: MemoryConfig,
+        costs: SoftwareCosts,
+    },
+}
+
+/// One entry point for constructing any execution engine behind the
+/// [`Engine`] trait: FlexArch, LiteArch, or the CPU baseline.
+///
+/// This is the bridge from the design flow to the simulator: elaborate a
+/// design with [`AcceleratorBuilder`], then hand it (or a raw
+/// [`AccelConfig`], or CPU parameters) to `SimulationBuilder` to get a
+/// boxed engine ready to run workloads.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_flow::{AcceleratorBuilder, SimulationBuilder};
+/// use pxl_model::ExecProfile;
+///
+/// let design = AcceleratorBuilder::new("queens").tiles(1).build().unwrap();
+/// let engine = SimulationBuilder::from_design(&design, ExecProfile::scalar())
+///     .trace(4096)
+///     .build()
+///     .unwrap();
+/// assert_eq!(engine.kind().label(), "flex");
+/// assert_eq!(engine.units(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    target: Target,
+    profile: ExecProfile,
+    trace_capacity: usize,
+}
+
+impl SimulationBuilder {
+    /// Targets the accelerator described by an elaborated design.
+    pub fn from_design(design: &AcceleratorDesign, profile: ExecProfile) -> Self {
+        SimulationBuilder::from_config(design.config.clone(), profile)
+    }
+
+    /// Targets an accelerator from a raw configuration (FlexArch or
+    /// LiteArch according to `config.arch`).
+    pub fn from_config(config: AccelConfig, profile: ExecProfile) -> Self {
+        SimulationBuilder {
+            target: Target::Accel(config),
+            profile,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Targets the software baseline with `cores` Table III cores.
+    pub fn cpu(cores: usize, profile: ExecProfile) -> Self {
+        SimulationBuilder::cpu_with(
+            cores,
+            profile,
+            CpuCoreParams::micro2018(),
+            MemoryConfig::micro2018(),
+            SoftwareCosts::default(),
+        )
+    }
+
+    /// Targets the software baseline with explicit core, memory and runtime
+    /// parameters (e.g. the Zedboard's Cortex-A9 configuration).
+    pub fn cpu_with(
+        cores: usize,
+        profile: ExecProfile,
+        core: CpuCoreParams,
+        memory: MemoryConfig,
+        costs: SoftwareCosts,
+    ) -> Self {
+        SimulationBuilder {
+            target: Target::Cpu {
+                cores,
+                core,
+                memory,
+                costs,
+            },
+            profile,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Replaces the execution profile.
+    pub fn profile(&mut self, profile: ExecProfile) -> &mut Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Enables structured event tracing with a bounded buffer of `capacity`
+    /// records per source (zero, the default, disables tracing).
+    pub fn trace(&mut self, capacity: usize) -> &mut Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Applies a closure to the accelerator configuration (no-op for the
+    /// CPU target), for knobs the builder does not surface directly.
+    pub fn configure(&mut self, f: impl FnOnce(&mut AccelConfig)) -> &mut Self {
+        if let Target::Accel(config) = &mut self.target {
+            f(config);
+        }
+        self
+    }
+
+    /// Validates the target and constructs the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::InvalidConfig`] when the accelerator configuration is
+    /// not realizable or the CPU has zero cores.
+    pub fn build(&self) -> Result<Box<dyn Engine>, FlowError> {
+        match &self.target {
+            Target::Accel(config) => {
+                config.validate().map_err(FlowError::InvalidConfig)?;
+                let mut config = config.clone();
+                config.trace_capacity = self.trace_capacity;
+                Ok(match config.arch {
+                    ArchKind::Flex => Box::new(FlexEngine::new(config, self.profile)),
+                    ArchKind::Lite => Box::new(LiteEngine::new(config, self.profile)),
+                })
+            }
+            Target::Cpu {
+                cores,
+                core,
+                memory,
+                costs,
+            } => {
+                if *cores == 0 {
+                    return Err(FlowError::InvalidConfig(
+                        "the CPU baseline needs at least one core".into(),
+                    ));
+                }
+                let mut engine = CpuEngine::with_params(
+                    *cores,
+                    self.profile,
+                    core.clone(),
+                    memory.clone(),
+                    *costs,
+                );
+                if self.trace_capacity > 0 {
+                    engine.set_trace_capacity(self.trace_capacity);
+                }
+                Ok(Box::new(engine))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,7 +566,10 @@ mod tests {
     fn invalid_geometry_is_rejected() {
         let err = AcceleratorBuilder::new("uts").tiles(0).build().unwrap_err();
         assert!(matches!(err, FlowError::InvalidConfig(_)));
-        let err = AcceleratorBuilder::new("uts").cache_kb(3).build().unwrap_err();
+        let err = AcceleratorBuilder::new("uts")
+            .cache_kb(3)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, FlowError::InvalidConfig(_)), "{err}");
     }
 
@@ -360,8 +589,7 @@ mod tests {
 
     #[test]
     fn pe_sweep_matches_paper_geometry() {
-        let designs =
-            sweep_pe_counts("queens", ArchKind::Flex, &[1, 2, 4, 8, 16, 32]).unwrap();
+        let designs = sweep_pe_counts("queens", ArchKind::Flex, &[1, 2, 4, 8, 16, 32]).unwrap();
         let pes: Vec<usize> = designs.iter().map(|d| d.config.num_pes()).collect();
         assert_eq!(pes, vec![1, 2, 4, 8, 16, 32]);
         assert_eq!(designs[5].config.tiles, 8, "32 PEs = 8 tiles x 4 PEs");
@@ -379,19 +607,126 @@ mod tests {
     }
 
     #[test]
-    fn spec_rejects_malformed_input() {
-        for bad in [
-            "tiles=4",                 // no worker
-            "worker=uts tiles",        // not key=value
-            "worker=uts tiles=abc",    // not an integer
-            "worker=uts arch=warp",    // unknown arch
-            "worker=uts speed=9",      // unknown key
-        ] {
-            assert!(
-                AcceleratorBuilder::from_spec(bad).is_err(),
-                "spec '{bad}' should be rejected"
-            );
+    fn spec_rejects_malformed_input_with_structured_errors() {
+        let err = AcceleratorBuilder::from_spec("tiles=4").unwrap_err();
+        assert!(matches!(err, FlowError::InvalidConfig(_)), "{err}");
+
+        let err = AcceleratorBuilder::from_spec("worker=uts tiles").unwrap_err();
+        assert_eq!(
+            err,
+            FlowError::MalformedPair {
+                token: "tiles".into()
+            }
+        );
+
+        let err = AcceleratorBuilder::from_spec("worker=uts tiles=abc").unwrap_err();
+        assert_eq!(
+            err,
+            FlowError::InvalidValue {
+                key: "tiles".into(),
+                value: "abc".into(),
+                expected: "an unsigned integer",
+            }
+        );
+        assert_eq!(err.to_string(), "'tiles=abc': expected an unsigned integer");
+
+        let err = AcceleratorBuilder::from_spec("worker=uts arch=warp").unwrap_err();
+        assert!(
+            matches!(&err, FlowError::InvalidValue { key, value, .. }
+                if key == "arch" && value == "warp"),
+            "{err}"
+        );
+
+        let err = AcceleratorBuilder::from_spec("worker=uts speed=9").unwrap_err();
+        assert_eq!(
+            err,
+            FlowError::UnknownKey {
+                key: "speed".into(),
+                value: "9".into()
+            }
+        );
+        assert_eq!(err.to_string(), "unknown key in 'speed=9'");
+
+        let err = AcceleratorBuilder::from_spec("worker=uts queue=1").unwrap_err();
+        assert_eq!(
+            err,
+            FlowError::OutOfRange {
+                key: "queue".into(),
+                value: "1".into(),
+                constraint: "must be at least 2",
+            }
+        );
+
+        let err = AcceleratorBuilder::from_spec("worker=uts tiles=0").unwrap_err();
+        assert!(matches!(&err, FlowError::OutOfRange { key, .. } if key == "tiles"));
+    }
+
+    #[test]
+    fn simulation_builder_constructs_all_three_engines() {
+        use pxl_arch::EngineKind;
+        let design = AcceleratorBuilder::new("uts").tiles(1).build().unwrap();
+        let flex = SimulationBuilder::from_design(&design, ExecProfile::scalar())
+            .build()
+            .unwrap();
+        assert_eq!(flex.kind(), EngineKind::Flex);
+        assert_eq!(flex.units(), 4);
+
+        let lite = SimulationBuilder::from_config(
+            pxl_arch::AccelConfig::lite(1, 2),
+            ExecProfile::scalar(),
+        )
+        .build()
+        .unwrap();
+        assert_eq!(lite.kind(), EngineKind::Lite);
+
+        let cpu = SimulationBuilder::cpu(2, ExecProfile::scalar())
+            .build()
+            .unwrap();
+        assert_eq!(cpu.kind(), EngineKind::Cpu);
+        assert_eq!(cpu.units(), 2);
+    }
+
+    #[test]
+    fn simulation_builder_validates_before_constructing() {
+        let err = SimulationBuilder::from_config(
+            pxl_arch::AccelConfig::flex(0, 4),
+            ExecProfile::scalar(),
+        )
+        .build()
+        .unwrap_err();
+        assert!(matches!(err, FlowError::InvalidConfig(_)));
+
+        let err = SimulationBuilder::cpu(0, ExecProfile::scalar())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FlowError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn simulation_builder_threads_trace_capacity() {
+        use pxl_arch::Workload;
+        use pxl_model::{Continuation, Task, TaskContext, TaskTypeId, Worker};
+
+        struct Doubler;
+        impl Worker for Doubler {
+            fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+                ctx.compute(1);
+                ctx.send_arg(task.k, task.args[0] * 2);
+            }
         }
+
+        let mut engine = SimulationBuilder::from_config(
+            pxl_arch::AccelConfig::flex(1, 2),
+            ExecProfile::scalar(),
+        )
+        .trace(1024)
+        .build()
+        .unwrap();
+        let mut worker = Doubler;
+        let root = Task::new(TaskTypeId(0), Continuation::host(0), &[21]);
+        let out = engine.run(Workload::dynamic(&mut worker, root)).unwrap();
+        assert_eq!(out.result, 42);
+        assert!(!out.trace.is_empty(), "tracing must be on");
     }
 
     #[test]
@@ -402,8 +737,6 @@ mod tests {
             .unwrap();
         assert_eq!(d.config.arch, ArchKind::Lite);
         let flex = AcceleratorBuilder::new("stencil2d").build().unwrap();
-        assert!(
-            d.resources.as_ref().unwrap().tile.lut < flex.resources.as_ref().unwrap().tile.lut
-        );
+        assert!(d.resources.as_ref().unwrap().tile.lut < flex.resources.as_ref().unwrap().tile.lut);
     }
 }

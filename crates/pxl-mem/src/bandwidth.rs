@@ -96,6 +96,16 @@ impl BandwidthMeter {
     pub fn total_committed_ps(&self) -> u64 {
         self.used.values().sum()
     }
+
+    /// Epoch length in picoseconds.
+    pub fn epoch_ps(&self) -> u64 {
+        self.epoch_ps
+    }
+
+    /// Epoch index containing `t`.
+    pub fn epoch_of(&self, t: Time) -> u64 {
+        t.as_ps() / self.epoch_ps
+    }
 }
 
 #[cfg(test)]
@@ -116,7 +126,10 @@ mod tests {
         for _ in 0..6 {
             last = m.acquire(Time::ZERO, 500);
         }
-        assert!(last >= Time::from_ps(2_000), "sixth access must start in epoch 2");
+        assert!(
+            last >= Time::from_ps(2_000),
+            "sixth access must start in epoch 2"
+        );
         assert_eq!(m.total_committed_ps(), 3_000);
     }
 

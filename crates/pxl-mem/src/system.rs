@@ -18,7 +18,7 @@
 //! paper's memory-bound results (spmvcrs, bfsqueue, stencil2d).
 
 use pxl_sim::config::{CacheParams, DramParams, MemoryConfig};
-use pxl_sim::{Stats, Time};
+use pxl_sim::{Stats, Time, TraceEvent, Tracer};
 
 use crate::bandwidth::BandwidthMeter;
 use crate::cache::{CacheArray, LineState};
@@ -98,6 +98,7 @@ pub struct MemorySystem {
     l2_meter: BandwidthMeter,
     dram_meter: BandwidthMeter,
     stats: Stats,
+    trace: Tracer,
 }
 
 impl MemorySystem {
@@ -116,6 +117,7 @@ impl MemorySystem {
             l2_meter: BandwidthMeter::default_epoch(),
             dram_meter: BandwidthMeter::default_epoch(),
             stats: Stats::new(),
+            trace: Tracer::disabled(),
         }
     }
 
@@ -137,6 +139,17 @@ impl MemorySystem {
     /// Takes the statistics out, leaving an empty registry.
     pub fn take_stats(&mut self) -> Stats {
         std::mem::take(&mut self.stats)
+    }
+
+    /// Enables structured event tracing with a bounded buffer of `capacity`
+    /// records (zero disables).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Tracer::bounded(capacity);
+    }
+
+    /// Takes the accumulated event trace out, leaving a disabled tracer.
+    pub fn take_trace(&mut self) -> Tracer {
+        std::mem::take(&mut self.trace)
     }
 
     fn l1_hit_time(&self, port: usize) -> Time {
@@ -162,17 +175,33 @@ impl MemorySystem {
     }
 
     fn acquire_dram(&mut self, t: Time) -> Time {
+        let line_bytes = self.line_bytes() as u64;
         let transfer_ps = self.dram.line_transfer_ps(self.line_bytes());
         let start = self.dram_meter.acquire(t, transfer_ps);
         self.stats.add("mem.dram_lines", 1);
+        self.stats.add("mem.dram_bytes", line_bytes);
+        // Starting in a later epoch than requested means the natural epoch
+        // was already full: the channel is saturated.
+        if self.dram_meter.epoch_of(start) > self.dram_meter.epoch_of(t) {
+            self.stats.incr("mem.dram_sat_events");
+            self.trace.emit(
+                t,
+                TraceEvent::DramSaturated {
+                    epoch: self.dram_meter.epoch_of(t),
+                    committed_ps: self.dram_meter.total_committed_ps(),
+                },
+            );
+        }
         start + Time::from_ns(self.dram.access_latency_ns) + Time::from_ps(transfer_ps)
     }
 
     /// Consumes DRAM bandwidth for a background transfer (writeback or
     /// prefetch) without delaying the requester.
     fn dram_background(&mut self, at: Time) {
+        let line_bytes = self.line_bytes() as u64;
         let transfer_ps = self.dram.line_transfer_ps(self.line_bytes());
         let _ = self.dram_meter.acquire(at, transfer_ps);
+        self.stats.add("mem.dram_bytes", line_bytes);
     }
 
     /// Finds a remote L1 (not `port`) holding the line in an owning state
@@ -234,9 +263,16 @@ impl MemorySystem {
 
     /// Installs a line into the L2 (inclusive), handling victim
     /// back-invalidation of L1 copies and dirty writebacks.
-    fn install_l2(&mut self, addr: u64, state: LineState, at: Time) {
+    fn install_l2(&mut self, port: usize, addr: u64, state: LineState, at: Time) {
         if let Some((victim_addr, victim_state)) = self.l2.install(addr, state) {
             self.stats.incr("mem.l2_evictions");
+            self.trace.emit(
+                at,
+                TraceEvent::CacheEvict {
+                    port: port as u32,
+                    level: 2,
+                },
+            );
             // Inclusive L2: evicting a line must remove all L1 copies.
             let mut dirty = victim_state.is_dirty();
             for c in &mut self.l1s {
@@ -254,6 +290,13 @@ impl MemorySystem {
     /// Installs a line into an L1, handling dirty-victim writeback to L2.
     fn install_l1(&mut self, port: usize, addr: u64, state: LineState, at: Time) {
         if let Some((victim_addr, victim_state)) = self.l1s[port].install(addr, state) {
+            self.trace.emit(
+                at,
+                TraceEvent::CacheEvict {
+                    port: port as u32,
+                    level: 1,
+                },
+            );
             if victim_state.is_dirty() {
                 self.stats.incr("mem.l1_writebacks");
                 // Write back into L2 (data plane is functional memory; here
@@ -261,7 +304,7 @@ impl MemorySystem {
                 if self.l2.peek(victim_addr).is_some() {
                     self.l2.set_state(victim_addr, LineState::Modified);
                 } else {
-                    self.install_l2(victim_addr, LineState::Modified, at);
+                    self.install_l2(port, victim_addr, LineState::Modified, at);
                 }
             }
         }
@@ -290,17 +333,31 @@ impl MemorySystem {
             // Inclusive: line is already tracked in L2. Mark dirty ownership
             // transfer conservatively.
             if self.l2.peek(addr).is_none() {
-                self.install_l2(addr, LineState::Modified, t);
+                self.install_l2(port, addr, LineState::Modified, t);
             }
         } else {
             t = self.acquire_l2(t);
             let l2_hit = self.l2.lookup(addr).is_some();
             if l2_hit {
                 self.stats.incr("mem.l2_hits");
+                self.trace.emit(
+                    t,
+                    TraceEvent::CacheHit {
+                        port: port as u32,
+                        level: 2,
+                    },
+                );
             } else {
                 self.stats.incr("mem.l2_misses");
+                self.trace.emit(
+                    t,
+                    TraceEvent::CacheMiss {
+                        port: port as u32,
+                        level: 2,
+                    },
+                );
                 t = self.acquire_dram(t);
-                self.install_l2(addr, LineState::Shared, t);
+                self.install_l2(port, addr, LineState::Shared, t);
             }
             if kind.is_write() {
                 self.invalidate_remotes(port, addr);
@@ -332,7 +389,7 @@ impl MemorySystem {
         self.stats.incr("mem.prefetches");
         if self.l2.lookup(next).is_none() {
             self.dram_background(at);
-            self.install_l2(next, LineState::Shared, at);
+            self.install_l2(port, next, LineState::Shared, at);
         }
         let state = if self.any_remote_copy(port, next) {
             LineState::Shared
@@ -359,6 +416,13 @@ impl MemorySystem {
         match self.l1s[p].lookup(addr) {
             Some(state) => {
                 self.stats.incr("mem.l1_hits");
+                self.trace.emit(
+                    now,
+                    TraceEvent::CacheHit {
+                        port: p as u32,
+                        level: 1,
+                    },
+                );
                 if kind.is_write() {
                     if state.can_write_silently() {
                         self.l1s[p].set_state(addr, LineState::Modified);
@@ -377,6 +441,13 @@ impl MemorySystem {
             }
             None => {
                 self.stats.incr("mem.l1_misses");
+                self.trace.emit(
+                    now,
+                    TraceEvent::CacheMiss {
+                        port: p as u32,
+                        level: 1,
+                    },
+                );
                 let done = self.fill_from_below(p, addr, kind, t);
                 self.maybe_prefetch(p, addr, done);
                 done
@@ -402,7 +473,10 @@ impl MemorySystem {
             let owners = states
                 .iter()
                 .filter(|(_, s)| {
-                    matches!(s, LineState::Modified | LineState::Owned | LineState::Exclusive)
+                    matches!(
+                        s,
+                        LineState::Modified | LineState::Owned | LineState::Exclusive
+                    )
                 })
                 .count();
             if owners > 1 {
@@ -417,7 +491,9 @@ impl MemorySystem {
                 ));
             }
             if !states.is_empty() && self.l2.peek(addr).is_none() {
-                return Err(format!("line {addr:#x}: L1 copy without inclusive L2 entry"));
+                return Err(format!(
+                    "line {addr:#x}: L1 copy without inclusive L2 entry"
+                ));
             }
         }
         Ok(())
@@ -632,6 +708,60 @@ mod tests {
         assert!(m.stats().get("mem.l2_evictions") > 0);
         // Line 0 must have been back-invalidated from the L1 (inclusive).
         assert_eq!(m.l1s[0].peek(0), None);
+    }
+
+    #[test]
+    fn trace_records_cache_events_and_dram_bytes() {
+        let mut m = sys(1);
+        m.enable_trace(1024);
+        let t1 = m.access(PortId(0), 0x40, AccessKind::Read, Time::ZERO);
+        let _ = m.access(PortId(0), 0x40, AccessKind::Read, t1);
+        assert_eq!(
+            m.stats().get("mem.dram_bytes"),
+            m.stats().get("mem.dram_lines") * 64 + m.stats().get("mem.prefetches") * 64
+        );
+        let trace = m.take_trace();
+        let kinds: Vec<&str> = trace.records().iter().map(|r| r.event.kind()).collect();
+        assert!(kinds.contains(&"cache_miss"));
+        assert!(kinds.contains(&"cache_hit"));
+        // Tracing is off by default: a fresh system records nothing.
+        let mut quiet = sys(1);
+        let _ = quiet.access(PortId(0), 0x40, AccessKind::Read, Time::ZERO);
+        assert!(quiet.take_trace().is_empty());
+    }
+
+    #[test]
+    fn saturated_dram_counts_events() {
+        let mut m = sys(2);
+        m.enable_trace(100_000);
+        // Hammer cold misses at t=0 until the first 100 ns epoch overflows.
+        for i in 0..200u64 {
+            let _ = m.access(
+                PortId((i % 2) as usize),
+                i * 0x10000,
+                AccessKind::Read,
+                Time::ZERO,
+            );
+        }
+        assert!(m.stats().get("mem.dram_sat_events") > 0);
+        let trace = m.take_trace();
+        assert!(trace
+            .records()
+            .iter()
+            .any(|r| r.event.kind() == "dram_saturated"));
+    }
+
+    #[test]
+    fn bounded_trace_drops_overflow() {
+        let mut m = sys(1);
+        m.enable_trace(4);
+        let mut t = Time::ZERO;
+        for i in 0..32u64 {
+            t = m.access(PortId(0), i * 0x10000, AccessKind::Read, t);
+        }
+        let trace = m.take_trace();
+        assert_eq!(trace.records().len(), 4);
+        assert!(trace.dropped() > 0, "bounded buffer must drop overflow");
     }
 
     #[test]

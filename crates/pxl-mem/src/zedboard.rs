@@ -10,7 +10,7 @@
 //! scaling from 4 to 8 PEs).
 
 use pxl_sim::config::{CacheParams, CpuCoreParams, DramParams, MemoryConfig};
-use pxl_sim::{Clock, Stats, Time};
+use pxl_sim::{Clock, Stats, Time, TraceEvent, Tracer};
 
 use crate::bandwidth::BandwidthMeter;
 use crate::system::AccessKind;
@@ -74,6 +74,7 @@ pub struct ZedboardMemory {
     acp_meter: BandwidthMeter,
     tick: u64,
     stats: Stats,
+    trace: Tracer,
     accel_clock: Clock,
 }
 
@@ -87,6 +88,7 @@ impl ZedboardMemory {
             acp_meter: BandwidthMeter::default_epoch(),
             tick: 0,
             stats: Stats::new(),
+            trace: Tracer::disabled(),
             accel_clock: Clock::new("zed_accel", 8_000), // 125 MHz fabric
         }
     }
@@ -99,6 +101,18 @@ impl ZedboardMemory {
     /// Takes the statistics out, leaving an empty registry.
     pub fn take_stats(&mut self) -> Stats {
         std::mem::take(&mut self.stats)
+    }
+
+    /// Enables structured event tracing with a bounded buffer of `capacity`
+    /// records (zero disables). Stream-buffer hits and misses are reported
+    /// as level-0 cache events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Tracer::bounded(capacity);
+    }
+
+    /// Takes the accumulated event trace out, leaving a disabled tracer.
+    pub fn take_trace(&mut self) -> Tracer {
+        std::mem::take(&mut self.trace)
     }
 
     fn line_transfer(&self) -> Time {
@@ -123,6 +137,13 @@ impl ZedboardMemory {
         if let Some(s) = self.streams[port].iter_mut().find(|s| s.last_line == line) {
             s.last_use = tick;
             self.stats.incr("zed.stream_hits");
+            self.trace.emit(
+                now,
+                TraceEvent::CacheHit {
+                    port: port as u32,
+                    level: 0,
+                },
+            );
             return now + self.accel_clock.period();
         }
 
@@ -156,9 +177,18 @@ impl ZedboardMemory {
 
         let start = self.acp_meter.acquire(now, transfer.as_ps());
         self.stats.add("zed.acp_lines", 1);
+        self.stats
+            .add("zed.acp_bytes", self.params.line_bytes as u64);
         let mut done = start + transfer;
         if !is_seq {
             self.stats.incr("zed.stream_misses");
+            self.trace.emit(
+                now,
+                TraceEvent::CacheMiss {
+                    port: port as u32,
+                    level: 0,
+                },
+            );
             done += self.params.latency;
         } else {
             self.stats.incr("zed.stream_seq");

@@ -285,10 +285,7 @@ mod tests {
             exec.run(&mut CoverageWorker { pf, base: 0 }, root).unwrap();
             exec.stats().tasks_executed
         };
-        assert!(
-            run(8) > run(128),
-            "finer grain must create more tasks"
-        );
+        assert!(run(8) > run(128), "finer grain must create more tasks");
     }
 
     #[test]

@@ -163,7 +163,11 @@ impl SerialExecutor {
     /// pending tasks, or [`ExecError::NoResult`] if the root result slot is
     /// never written (only checked when the root continuation targets the
     /// host).
-    pub fn run<W: Worker + ?Sized>(&mut self, worker: &mut W, root: Task) -> Result<u64, ExecError> {
+    pub fn run<W: Worker + ?Sized>(
+        &mut self,
+        worker: &mut W,
+        root: Task,
+    ) -> Result<u64, ExecError> {
         let result_slot = match root.k {
             Continuation::Host { slot } => Some(slot),
             _ => None,
@@ -180,9 +184,7 @@ impl SerialExecutor {
             });
         }
         match result_slot {
-            Some(slot) => self
-                .host_result(slot)
-                .ok_or(ExecError::NoResult { slot }),
+            Some(slot) => self.host_result(slot).ok_or(ExecError::NoResult { slot }),
             None => Ok(0),
         }
     }
@@ -343,7 +345,10 @@ mod tests {
     fn leaked_pending_is_detected() {
         let mut exec = SerialExecutor::new();
         let err = exec
-            .run(&mut LeakyWorker, Task::new(FIB, Continuation::host(0), &[1]))
+            .run(
+                &mut LeakyWorker,
+                Task::new(FIB, Continuation::host(0), &[1]),
+            )
             .unwrap_err();
         assert_eq!(err, ExecError::LeakedPending { count: 1 });
         assert!(err.to_string().contains("leaked"));
@@ -358,7 +363,10 @@ mod tests {
     fn missing_result_is_detected() {
         let mut exec = SerialExecutor::new();
         let err = exec
-            .run(&mut SilentWorker, Task::new(FIB, Continuation::host(3), &[]))
+            .run(
+                &mut SilentWorker,
+                Task::new(FIB, Continuation::host(3), &[]),
+            )
             .unwrap_err();
         assert_eq!(err, ExecError::NoResult { slot: 3 });
     }

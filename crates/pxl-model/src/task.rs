@@ -94,9 +94,7 @@ impl Continuation {
         assert!((slot as usize) < MAX_ARGS, "slot {slot} out of range");
         match self {
             Continuation::Host { .. } => Continuation::Host { slot },
-            Continuation::PStore { tile, entry, .. } => {
-                Continuation::PStore { tile, entry, slot }
-            }
+            Continuation::PStore { tile, entry, .. } => Continuation::PStore { tile, entry, slot },
         }
     }
 

@@ -417,7 +417,11 @@ mod tests {
             let cp = g.critical_path_len();
             // The critical path grows with n but is far below the node count.
             assert!(cp >= n as usize, "fib({n}): cp {cp}");
-            assert!(cp < g.node_count(), "fib({n}): cp {cp} nodes {}", g.node_count());
+            assert!(
+                cp < g.node_count(),
+                "fib({n}): cp {cp} nodes {}",
+                g.node_count()
+            );
         }
     }
 
@@ -427,8 +431,14 @@ mod tests {
         let dot = g.to_dot(&|t| if t == FIB { "fib".into() } else { "S".into() });
         assert!(dot.starts_with("digraph tasks {"));
         assert!(dot.ends_with("}\n"));
-        assert!(dot.contains("shape=ellipse"), "successors drawn as ellipses");
-        assert!(dot.contains("style=dashed"), "arg edges dashed, as in Fig. 1");
+        assert!(
+            dot.contains("shape=ellipse"),
+            "successors drawn as ellipses"
+        );
+        assert!(
+            dot.contains("style=dashed"),
+            "arg edges dashed, as in Fig. 1"
+        );
         assert_eq!(dot.matches(" -> ").count(), g.edge_count());
     }
 

@@ -101,7 +101,10 @@ impl CacheParams {
             "cache geometry must divide evenly"
         );
         let sets = self.size_bytes / denom;
-        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         sets
     }
 }

@@ -1,0 +1,57 @@
+//! Minimal JSON writing helpers for metric and trace export.
+//!
+//! The simulator runs in fully offline environments with no registry access,
+//! so it cannot depend on `serde`. The export surface is small — flat objects
+//! of strings and integers — and these helpers cover exactly that while
+//! guaranteeing deterministic output (no maps with randomized iteration
+//! order, no float formatting ambiguity).
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends comma-separated `"name":value` pairs to `out` (no braces).
+pub fn write_u64_fields(out: &mut String, fields: &[(&str, u64)]) {
+    for (i, (name, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(out, name);
+        out.push(':');
+        out.push_str(&value.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = String::new();
+        write_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn fields_join_with_commas() {
+        let mut s = String::new();
+        write_u64_fields(&mut s, &[("a", 1), ("b", 2)]);
+        assert_eq!(s, "\"a\":1,\"b\":2");
+    }
+}

@@ -7,8 +7,9 @@
 //! (accelerator logic at 200 MHz, accelerator L1s at 400 MHz, CPU and L2 at
 //! 1 GHz), an [`event::EventQueue`] for event-driven components, deterministic
 //! random sources ([`rng::XorShift64`] and the 16-bit [`rng::Lfsr16`] used by
-//! the task-management unit for victim selection), and a [`stats`] registry
-//! for the counters every component reports.
+//! the task-management unit for victim selection), a typed [`metrics`]
+//! registry for the counters, gauges and histograms every component reports,
+//! and a bounded structured event [`trace`] with deterministic JSONL export.
 //!
 //! # Examples
 //!
@@ -23,12 +24,18 @@
 
 pub mod config;
 pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod qcheck;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use config::{MemoryConfig, PlatformConfig};
 pub use event::EventQueue;
+pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricKind, Metrics};
 pub use rng::{Lfsr16, XorShift64};
-pub use stats::{Histogram, Stats};
+pub use stats::Stats;
 pub use time::{Clock, Time};
+pub use trace::{TraceEvent, TraceRecord, Tracer};

@@ -1,317 +1,12 @@
-//! Simulation statistics: named counters and histograms.
+//! Backwards-compatible names for the typed metrics registry.
 //!
-//! Every hardware component in the simulator (PEs, TMUs, P-Stores, caches,
-//! networks) reports what happened during a run through a [`Stats`] registry:
-//! how many tasks were executed, how many steals were attempted and how many
-//! succeeded, cache hits and misses, network messages, peak queue occupancy.
-//! The benchmark harness reads these to build the paper's tables.
+//! The original simulator exposed a string-keyed `Stats` map here. It has
+//! been replaced by the typed registry in [`crate::metrics`]; this module
+//! keeps the old paths (`pxl_sim::stats::Stats`, `pxl_sim::Stats`) alive as
+//! aliases so downstream code and older examples keep compiling.
 
-use std::collections::BTreeMap;
-use std::fmt;
+pub use crate::metrics::{Histogram, Metrics};
 
-/// A registry of named statistics for one simulation run.
-///
-/// Counter and gauge names are free-form dotted strings
-/// (`"tile0.pe1.tasks_executed"`). `BTreeMap` keeps the report ordering
-/// stable across runs, which matters for golden-output tests.
-///
-/// # Examples
-///
-/// ```
-/// use pxl_sim::Stats;
-///
-/// let mut stats = Stats::new();
-/// stats.incr("pe0.tasks");
-/// stats.add("pe0.cycles", 41);
-/// stats.max("pe0.queue_peak", 3);
-/// stats.max("pe0.queue_peak", 2);
-/// assert_eq!(stats.get("pe0.tasks"), 1);
-/// assert_eq!(stats.get("pe0.cycles"), 41);
-/// assert_eq!(stats.get("pe0.queue_peak"), 3);
-/// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Stats {
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
-}
-
-impl Stats {
-    /// Creates an empty registry.
-    pub fn new() -> Self {
-        Stats::default()
-    }
-
-    /// Increments counter `name` by one.
-    pub fn incr(&mut self, name: &str) {
-        self.add(name, 1);
-    }
-
-    /// Adds `delta` to counter `name`, creating it at zero if absent.
-    pub fn add(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
-    }
-
-    /// Raises counter `name` to `value` if `value` exceeds its current value
-    /// (a high-water-mark gauge).
-    pub fn max(&mut self, name: &str, value: u64) {
-        let e = self.counters.entry(name.to_owned()).or_insert(0);
-        if value > *e {
-            *e = value;
-        }
-    }
-
-    /// Returns the value of counter `name`, or zero if it was never touched.
-    pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
-    }
-
-    /// Sums every counter whose name ends with `suffix`; convenient for
-    /// aggregating per-PE counters (`".steals_ok"`) across a whole
-    /// accelerator.
-    pub fn sum_suffix(&self, suffix: &str) -> u64 {
-        self.counters
-            .iter()
-            .filter(|(k, _)| k.ends_with(suffix))
-            .map(|(_, v)| v)
-            .sum()
-    }
-
-    /// Returns the maximum over every counter whose name ends with `suffix`.
-    pub fn max_suffix(&self, suffix: &str) -> u64 {
-        self.counters
-            .iter()
-            .filter(|(k, _)| k.ends_with(suffix))
-            .map(|(_, v)| *v)
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Records `value` in histogram `name`, creating it if absent.
-    pub fn sample(&mut self, name: &str, value: u64) {
-        self.histograms
-            .entry(name.to_owned())
-            .or_default()
-            .record(value);
-    }
-
-    /// Returns histogram `name` if any samples were recorded.
-    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
-    }
-
-    /// Iterates over all counters in name order.
-    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
-    }
-
-    /// Merges another registry into this one: counters are summed,
-    /// histograms are combined.
-    pub fn merge(&mut self, other: &Stats) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
-        }
-        for (k, h) in &other.histograms {
-            self.histograms.entry(k.clone()).or_default().merge(h);
-        }
-    }
-}
-
-impl fmt::Display for Stats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in &self.counters {
-            writeln!(f, "{k} = {v}")?;
-        }
-        for (k, h) in &self.histograms {
-            writeln!(f, "{k} = {h}")?;
-        }
-        Ok(())
-    }
-}
-
-/// A streaming histogram: count, sum, min, max and mean of recorded samples.
-///
-/// Used for quantities like per-steal latency or task run length where a
-/// distribution summary is more useful than a bare counter.
-///
-/// # Examples
-///
-/// ```
-/// use pxl_sim::Histogram;
-///
-/// let mut h = Histogram::new();
-/// h.record(10);
-/// h.record(30);
-/// assert_eq!(h.count(), 2);
-/// assert_eq!(h.mean(), 20.0);
-/// assert_eq!(h.min(), Some(10));
-/// assert_eq!(h.max(), Some(30));
-/// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Histogram {
-    count: u64,
-    sum: u64,
-    min: Option<u64>,
-    max: Option<u64>,
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Histogram::default()
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, value: u64) {
-        self.count += 1;
-        self.sum += value;
-        self.min = Some(self.min.map_or(value, |m| m.min(value)));
-        self.max = Some(self.max.map_or(value, |m| m.max(value)));
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of recorded samples.
-    pub fn sum(&self) -> u64 {
-        self.sum
-    }
-
-    /// Smallest recorded sample, if any.
-    pub fn min(&self) -> Option<u64> {
-        self.min
-    }
-
-    /// Largest recorded sample, if any.
-    pub fn max(&self) -> Option<u64> {
-        self.max
-    }
-
-    /// Mean of recorded samples; zero when empty.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Combines another histogram's samples into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = match (self.min, other.min) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        self.max = match (self.max, other.max) {
-            (Some(a), Some(b)) => Some(a.max(b)),
-            (a, b) => a.or(b),
-        };
-    }
-}
-
-impl fmt::Display for Histogram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "count={} mean={:.2} min={} max={}",
-            self.count,
-            self.mean(),
-            self.min.unwrap_or(0),
-            self.max.unwrap_or(0)
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn counters_accumulate() {
-        let mut s = Stats::new();
-        s.incr("a");
-        s.incr("a");
-        s.add("a", 3);
-        assert_eq!(s.get("a"), 5);
-        assert_eq!(s.get("missing"), 0);
-    }
-
-    #[test]
-    fn max_is_high_water_mark() {
-        let mut s = Stats::new();
-        s.max("peak", 5);
-        s.max("peak", 3);
-        s.max("peak", 9);
-        assert_eq!(s.get("peak"), 9);
-    }
-
-    #[test]
-    fn suffix_aggregation() {
-        let mut s = Stats::new();
-        s.add("pe0.steals", 2);
-        s.add("pe1.steals", 3);
-        s.add("pe1.tasks", 100);
-        assert_eq!(s.sum_suffix(".steals"), 5);
-        assert_eq!(s.max_suffix(".steals"), 3);
-        assert_eq!(s.sum_suffix(".nothing"), 0);
-        assert_eq!(s.max_suffix(".nothing"), 0);
-    }
-
-    #[test]
-    fn merge_sums_counters_and_histograms() {
-        let mut a = Stats::new();
-        a.add("x", 1);
-        a.sample("h", 10);
-        let mut b = Stats::new();
-        b.add("x", 2);
-        b.add("y", 7);
-        b.sample("h", 20);
-        a.merge(&b);
-        assert_eq!(a.get("x"), 3);
-        assert_eq!(a.get("y"), 7);
-        let h = a.histogram("h").unwrap();
-        assert_eq!(h.count(), 2);
-        assert_eq!(h.sum(), 30);
-    }
-
-    #[test]
-    fn histogram_summary() {
-        let mut h = Histogram::new();
-        assert_eq!(h.mean(), 0.0);
-        for v in [4, 8, 6] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 3);
-        assert_eq!(h.sum(), 18);
-        assert_eq!(h.min(), Some(4));
-        assert_eq!(h.max(), Some(8));
-        assert_eq!(h.mean(), 6.0);
-    }
-
-    #[test]
-    fn histogram_merge_empty_cases() {
-        let mut a = Histogram::new();
-        let b = Histogram::new();
-        a.merge(&b);
-        assert_eq!(a.count(), 0);
-        let mut c = Histogram::new();
-        c.record(5);
-        a.merge(&c);
-        assert_eq!(a.min(), Some(5));
-        assert_eq!(a.max(), Some(5));
-    }
-
-    #[test]
-    fn display_is_stable_and_nonempty() {
-        let mut s = Stats::new();
-        s.add("b", 2);
-        s.add("a", 1);
-        let text = s.to_string();
-        let a_pos = text.find("a = 1").unwrap();
-        let b_pos = text.find("b = 2").unwrap();
-        assert!(a_pos < b_pos, "counters must print in name order");
-    }
-}
+/// The legacy name of [`Metrics`]. The string-keyed API (`incr`, `add`,
+/// `max`, `get`, `sample`, ...) is preserved on the typed registry.
+pub type Stats = Metrics;

@@ -1,0 +1,357 @@
+//! Bounded structured event tracing with deterministic ordering and JSONL
+//! export.
+//!
+//! A [`Tracer`] records [`TraceEvent`]s stamped with simulated time. Tracing
+//! is off by default ([`Tracer::disabled`]) and costs one branch per emit
+//! site; a bounded tracer ([`Tracer::bounded`]) keeps at most `capacity`
+//! records and counts the rest as dropped, so traces of long runs cannot
+//! exhaust host memory.
+//!
+//! Determinism: records carry a `(t_ps, seq)` pair. `seq` is the emission
+//! order within one tracer; [`Tracer::absorb`] renumbers the absorbed
+//! records to continue the local numbering, and [`Tracer::finish`] stably
+//! sorts by time and renumbers once more, so two identical runs produce
+//! byte-identical [`Tracer::to_jsonl`] output.
+//!
+//! # Examples
+//!
+//! ```
+//! use pxl_sim::{Time, TraceEvent, Tracer};
+//!
+//! let mut t = Tracer::bounded(16);
+//! t.emit(Time::from_ps(500), TraceEvent::Spawn { unit: 0, ty: 1 });
+//! t.emit(
+//!     Time::from_ps(100),
+//!     TraceEvent::StealGrant { thief: 1, victim: 0 },
+//! );
+//! t.finish();
+//! assert_eq!(t.records()[0].at, Time::from_ps(100));
+//! assert!(t.to_jsonl().starts_with("{\"t_ps\":100,\"seq\":0,"));
+//! ```
+
+use crate::json;
+use crate::time::Time;
+
+/// One structured simulator event.
+///
+/// `unit` is a flat PE/core index across the whole accelerator or CPU;
+/// `ty` is the task-type id; `port` is the memory port of the issuing unit;
+/// `level` is the cache level (1 = L1, 2 = L2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A task began executing on a processing element.
+    TaskDispatch { unit: u32, ty: u8 },
+    /// A task finished executing; `busy_ps` is its modeled run length.
+    TaskComplete { unit: u32, ty: u8, busy_ps: u64 },
+    /// A task spawned a child task.
+    Spawn { unit: u32, ty: u8 },
+    /// A task-management unit sent a steal request to a victim.
+    StealRequest { thief: u32, victim: u32 },
+    /// A steal request found work and the task migrated.
+    StealGrant { thief: u32, victim: u32 },
+    /// A steal request found the victim's queue empty.
+    StealFail { thief: u32, victim: u32 },
+    /// A P-Store entry was allocated for a continuation.
+    PStoreAlloc { tile: u32, occupancy: u32 },
+    /// An argument joined a pending continuation in the P-Store.
+    PStoreJoin { tile: u32, slot: u8 },
+    /// A continuation became ready and its P-Store entry was freed.
+    PStoreDealloc { tile: u32, occupancy: u32 },
+    /// A memory access hit in the given cache level.
+    CacheHit { port: u32, level: u8 },
+    /// A memory access missed in the given cache level.
+    CacheMiss { port: u32, level: u8 },
+    /// A cache line was evicted from the given level.
+    CacheEvict { port: u32, level: u8 },
+    /// A DRAM bandwidth epoch filled up and an access spilled to a later
+    /// epoch.
+    DramSaturated { epoch: u64, committed_ps: u64 },
+}
+
+impl TraceEvent {
+    /// Short stable name used as the JSONL `"kind"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::TaskDispatch { .. } => "task_dispatch",
+            TraceEvent::TaskComplete { .. } => "task_complete",
+            TraceEvent::Spawn { .. } => "spawn",
+            TraceEvent::StealRequest { .. } => "steal_request",
+            TraceEvent::StealGrant { .. } => "steal_grant",
+            TraceEvent::StealFail { .. } => "steal_fail",
+            TraceEvent::PStoreAlloc { .. } => "pstore_alloc",
+            TraceEvent::PStoreJoin { .. } => "pstore_join",
+            TraceEvent::PStoreDealloc { .. } => "pstore_dealloc",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::CacheEvict { .. } => "cache_evict",
+            TraceEvent::DramSaturated { .. } => "dram_saturated",
+        }
+    }
+
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            TraceEvent::TaskDispatch { unit, ty } => {
+                vec![("unit", unit as u64), ("ty", ty as u64)]
+            }
+            TraceEvent::TaskComplete { unit, ty, busy_ps } => {
+                vec![
+                    ("unit", unit as u64),
+                    ("ty", ty as u64),
+                    ("busy_ps", busy_ps),
+                ]
+            }
+            TraceEvent::Spawn { unit, ty } => {
+                vec![("unit", unit as u64), ("ty", ty as u64)]
+            }
+            TraceEvent::StealRequest { thief, victim }
+            | TraceEvent::StealGrant { thief, victim }
+            | TraceEvent::StealFail { thief, victim } => {
+                vec![("thief", thief as u64), ("victim", victim as u64)]
+            }
+            TraceEvent::PStoreAlloc { tile, occupancy }
+            | TraceEvent::PStoreDealloc { tile, occupancy } => {
+                vec![("tile", tile as u64), ("occupancy", occupancy as u64)]
+            }
+            TraceEvent::PStoreJoin { tile, slot } => {
+                vec![("tile", tile as u64), ("slot", slot as u64)]
+            }
+            TraceEvent::CacheHit { port, level }
+            | TraceEvent::CacheMiss { port, level }
+            | TraceEvent::CacheEvict { port, level } => {
+                vec![("port", port as u64), ("level", level as u64)]
+            }
+            TraceEvent::DramSaturated {
+                epoch,
+                committed_ps,
+            } => vec![("epoch", epoch), ("committed_ps", committed_ps)],
+        }
+    }
+}
+
+/// One recorded event with its timestamp and sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub at: Time,
+    /// Deterministic tiebreak for events at the same timestamp.
+    pub seq: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Renders the record as one JSON object (one JSONL line, no newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json::write_u64_fields(&mut out, &[("t_ps", self.at.as_ps()), ("seq", self.seq)]);
+        out.push_str(",\"kind\":");
+        json::write_string(&mut out, self.event.kind());
+        let fields = self.event.fields();
+        if !fields.is_empty() {
+            out.push(',');
+            json::write_u64_fields(&mut out, &fields);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A bounded, optionally-disabled event trace buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tracer {
+    capacity: usize,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+    next_seq: u64,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default for all engines).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// A tracer that keeps at most `capacity` records and counts the
+    /// overflow as dropped. `capacity == 0` is equivalent to
+    /// [`Tracer::disabled`].
+    pub fn bounded(capacity: usize) -> Self {
+        Tracer {
+            capacity,
+            ..Tracer::default()
+        }
+    }
+
+    /// Whether emits will be recorded (or at least counted as dropped).
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records one event at simulated time `at`.
+    #[inline]
+    pub fn emit(&mut self, at: Time, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.push(TraceRecord { at, seq, event });
+    }
+
+    /// Moves every record of `other` into this tracer, renumbering them to
+    /// continue the local sequence. The capacity of `self` still bounds the
+    /// total; overflow counts as dropped.
+    pub fn absorb(&mut self, other: Tracer) {
+        self.dropped += other.dropped;
+        if self.capacity == 0 {
+            self.dropped += other.records.len() as u64;
+            return;
+        }
+        for r in other.records {
+            if self.records.len() >= self.capacity {
+                self.dropped += 1;
+                continue;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.records.push(TraceRecord { seq, ..r });
+        }
+    }
+
+    /// Establishes the final deterministic order: stable-sorts by timestamp
+    /// (emission order breaks ties) and renumbers `seq` from zero. Engines
+    /// call this once before returning a result.
+    pub fn finish(&mut self) {
+        self.records.sort_by_key(|r| r.at);
+        for (i, r) in self.records.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        self.next_seq = self.records.len() as u64;
+    }
+
+    /// The recorded events.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of events that did not fit in the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the trace as JSONL: one JSON object per line, trailing
+    /// newline after each, deterministic given [`Tracer::finish`].
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.emit(Time::from_ps(1), TraceEvent::Spawn { unit: 0, ty: 0 });
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0, "disabled is free, not dropping");
+    }
+
+    #[test]
+    fn capacity_bounds_and_counts_drops() {
+        let mut t = Tracer::bounded(2);
+        for i in 0..5 {
+            t.emit(Time::from_ps(i), TraceEvent::Spawn { unit: 0, ty: 0 });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn finish_orders_by_time_then_emission() {
+        let mut t = Tracer::bounded(8);
+        t.emit(Time::from_ps(50), TraceEvent::Spawn { unit: 1, ty: 0 });
+        t.emit(Time::from_ps(10), TraceEvent::Spawn { unit: 2, ty: 0 });
+        t.emit(Time::from_ps(10), TraceEvent::Spawn { unit: 3, ty: 0 });
+        t.finish();
+        let units: Vec<u32> = t
+            .records()
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::Spawn { unit, .. } => unit,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(units, [2, 3, 1]);
+        assert_eq!(
+            t.records().iter().map(|r| r.seq).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn absorb_renumbers_and_respects_capacity() {
+        let mut a = Tracer::bounded(3);
+        a.emit(Time::from_ps(5), TraceEvent::Spawn { unit: 0, ty: 0 });
+        let mut b = Tracer::bounded(8);
+        b.emit(Time::from_ps(1), TraceEvent::Spawn { unit: 1, ty: 0 });
+        b.emit(Time::from_ps(2), TraceEvent::Spawn { unit: 2, ty: 0 });
+        b.emit(Time::from_ps(3), TraceEvent::Spawn { unit: 3, ty: 0 });
+        a.absorb(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.dropped(), 1);
+        a.finish();
+        assert_eq!(a.records()[0].at, Time::from_ps(1));
+    }
+
+    #[test]
+    fn jsonl_lines_match_schema() {
+        let mut t = Tracer::bounded(4);
+        t.emit(
+            Time::from_ps(100),
+            TraceEvent::StealGrant {
+                thief: 2,
+                victim: 0,
+            },
+        );
+        t.emit(
+            Time::from_ps(200),
+            TraceEvent::DramSaturated {
+                epoch: 3,
+                committed_ps: 99_000,
+            },
+        );
+        t.finish();
+        let text = t.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"t_ps\":100,\"seq\":0,\"kind\":\"steal_grant\",\"thief\":2,\"victim\":0}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"t_ps\":200,\"seq\":1,\"kind\":\"dram_saturated\",\"epoch\":3,\"committed_ps\":99000}"
+        );
+    }
+}

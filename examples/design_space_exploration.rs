@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example design_space_exploration`
 
 use parallelxl::apps::{by_name, Scale};
-use parallelxl::flow::{sweep_cache_sizes, sweep_pe_counts, AcceleratorBuilder};
 use parallelxl::arch::ArchKind;
+use parallelxl::flow::{sweep_cache_sizes, sweep_pe_counts, AcceleratorBuilder};
 use pxl_bench::{run_flex, run_flex_with_config};
 
 fn main() {

@@ -1,14 +1,13 @@
 //! Quickstart: the paper's running Fibonacci example (Fig. 5), expressed as
-//! a ParallelXL worker and executed on a simulated FlexArch accelerator,
-//! the LiteArch engine's nearest equivalent, and the Cilk-style CPU
-//! baseline.
+//! a ParallelXL worker and executed on a simulated FlexArch accelerator and
+//! the Cilk-style CPU baseline — everything through the `parallelxl` facade
+//! and the unified [`Engine`] API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use parallelxl::arch::{AccelConfig, FlexEngine};
-use parallelxl::cpu::CpuEngine;
-use parallelxl::model::{
-    Continuation, ExecProfile, SerialExecutor, Task, TaskContext, TaskTypeId, Worker,
+use parallelxl::{
+    AccelConfig, Continuation, ExecProfile, SerialExecutor, SimulationBuilder, Task, TaskContext,
+    TaskTypeId, Worker, Workload,
 };
 
 const FIB: TaskTypeId = TaskTypeId(0);
@@ -49,32 +48,46 @@ fn main() {
     // Ground truth on the single-PE reference scheduler.
     let mut serial = SerialExecutor::new();
     let expected = serial.run(&mut FibWorker, root()).expect("serial run");
-    println!("fib({n}) = {expected}  (serial reference, S1 = {} tasks)", serial.stats().s1());
+    println!(
+        "fib({n}) = {expected}  (serial reference, S1 = {} tasks)",
+        serial.stats().s1()
+    );
 
-    // FlexArch accelerators of growing size.
+    // FlexArch accelerators of growing size, built through the one entry
+    // point every engine shares.
     for (tiles, pes) in [(1, 1), (1, 4), (2, 4), (4, 4)] {
-        let mut engine = FlexEngine::new(AccelConfig::flex(tiles, pes), ExecProfile::scalar());
-        let out = engine.run(&mut FibWorker, root()).expect("flex run");
+        let mut engine =
+            SimulationBuilder::from_config(AccelConfig::flex(tiles, pes), ExecProfile::scalar())
+                .build()
+                .expect("valid flex config");
+        let out = engine
+            .run(Workload::dynamic(&mut FibWorker, root()))
+            .expect("flex run");
         assert_eq!(out.result, expected);
         println!(
             "FlexArch {:2} PEs: {:>12}  ({} tasks, {} successful steals)",
             tiles * pes,
             out.elapsed.to_string(),
-            out.stats.get("accel.tasks"),
-            out.stats.get("accel.steal_hits"),
+            out.metrics.get("accel.tasks"),
+            out.metrics.get("accel.steal_hits"),
         );
     }
 
-    // The software baseline: same worker, software runtime costs.
+    // The software baseline: same worker, same workload shape, software
+    // runtime costs.
     for cores in [1, 4, 8] {
-        let mut cpu = CpuEngine::new(cores, ExecProfile::scalar());
-        let out = cpu.run(&mut FibWorker, root()).expect("cpu run");
+        let mut cpu = SimulationBuilder::cpu(cores, ExecProfile::scalar())
+            .build()
+            .expect("valid cpu config");
+        let out = cpu
+            .run(Workload::dynamic(&mut FibWorker, root()))
+            .expect("cpu run");
         assert_eq!(out.result, expected);
         println!(
             "CPU  {cores:2} cores: {:>12}  ({} tasks, {} successful steals)",
             out.elapsed.to_string(),
-            out.stats.get("cpu.tasks"),
-            out.stats.get("cpu.steal_hits"),
+            out.metrics.get("cpu.tasks"),
+            out.metrics.get("cpu.steal_hits"),
         );
     }
 }

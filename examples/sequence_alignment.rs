@@ -20,7 +20,11 @@ fn main() {
     let cpu1 = run_cpu(bench.as_ref(), 1);
     let cpu8 = run_cpu(bench.as_ref(), 8);
     println!("CPU 1 core : {:>12}", cpu1.whole.to_string());
-    println!("CPU 8 cores: {:>12}  ({:.2}x)", cpu8.whole.to_string(), cpu1.seconds() / cpu8.seconds());
+    println!(
+        "CPU 8 cores: {:>12}  ({:.2}x)",
+        cpu8.whole.to_string(),
+        cpu1.seconds() / cpu8.seconds()
+    );
 
     for pes in [1usize, 4, 16, 32] {
         let out = run_flex(bench.as_ref(), pes, None);
@@ -28,8 +32,8 @@ fn main() {
             "FlexArch {pes:2} PEs: {:>12}  ({:.2}x vs 1 core; {} block tasks, {} steals)",
             out.whole.to_string(),
             cpu1.seconds() / out.seconds(),
-            out.stats.get("accel.tasks"),
-            out.stats.get("accel.steal_hits"),
+            out.metrics.get("accel.tasks"),
+            out.metrics.get("accel.steal_hits"),
         );
     }
 
@@ -40,6 +44,6 @@ fn main() {
         "LiteArch 16 PEs: {:>12}  ({:.2}x vs 1 core; {} rounds)",
         lite.whole.to_string(),
         cpu1.seconds() / lite.seconds(),
-        lite.stats.get("lite.rounds"),
+        lite.metrics.get("lite.rounds"),
     );
 }

@@ -19,7 +19,10 @@ fn main() {
     let flex = run_flex(bench.as_ref(), 8, None);
     let lite = run_lite(bench.as_ref(), 8, None).expect("uts has a Lite variant");
 
-    println!("CPU 8 cores (software stealing): {:>12}", cpu8.whole.to_string());
+    println!(
+        "CPU 8 cores (software stealing): {:>12}",
+        cpu8.whole.to_string()
+    );
     println!(
         "FlexArch 8 PEs (hardware stealing): {:>9}  ({:.2}x vs software)",
         flex.whole.to_string(),
@@ -29,18 +32,18 @@ fn main() {
         "LiteArch 8 PEs (static rounds): {:>13}  ({:.2}x vs software, {} rounds)\n",
         lite.whole.to_string(),
         cpu8.seconds() / lite.seconds(),
-        lite.stats.get("lite.rounds"),
+        lite.metrics.get("lite.rounds"),
     );
 
     println!(
         "FlexArch steal traffic: {} attempts, {} successful",
-        flex.stats.get("accel.steal_attempts"),
-        flex.stats.get("accel.steal_hits"),
+        flex.metrics.get("accel.steal_attempts"),
+        flex.metrics.get("accel.steal_hits"),
     );
     println!("Per-PE tasks executed (hardware stealing balances the skewed tree):");
     for pe in 0..8 {
-        let tasks = flex.stats.get(&format!("pe{pe}.tasks"));
-        let busy_us = flex.stats.get(&format!("pe{pe}.busy_ps")) as f64 / 1e6;
+        let tasks = flex.metrics.get(&format!("pe{pe}.tasks"));
+        let busy_us = flex.metrics.get(&format!("pe{pe}.busy_ps")) as f64 / 1e6;
         println!("  PE {pe}: {tasks:>6} tasks, busy {busy_us:>8.1} us");
     }
 }

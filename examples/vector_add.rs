@@ -78,8 +78,8 @@ fn main() {
     println!(
         "vvadd({N}) on 4 PEs: {} ({} tasks, {} steals)",
         out.elapsed,
-        out.stats.get("accel.tasks"),
-        out.stats.get("accel.steal_hits")
+        out.metrics.get("accel.tasks"),
+        out.metrics.get("accel.steal_hits")
     );
 
     // Show the Fig. 2(a) task graph: chunks under a recursive split tree.
@@ -99,6 +99,10 @@ fn main() {
     );
     println!(
         "{}",
-        graph.to_dot(&|t| if t == SPLIT { "vvadd".into() } else { "S".into() })
+        graph.to_dot(&|t| if t == SPLIT {
+            "vvadd".into()
+        } else {
+            "S".into()
+        })
     );
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local verification: formatting, lints, offline release build, tests.
+# This is exactly what CI runs; a clean pass here means a green pipeline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --release --workspace --offline
+
+echo "==> cargo test --offline"
+cargo test -q --workspace --offline
+
+echo "==> OK"

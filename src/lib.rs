@@ -17,23 +17,29 @@
 //!
 //! | Module | Crate | Role |
 //! |--------|-------|------|
-//! | [`sim`] | `pxl-sim` | discrete-event kernel: time, clocks, RNG/LFSR, stats |
+//! | [`sim`] | `pxl-sim` | discrete-event kernel: time, clocks, RNG/LFSR, metrics, tracing |
 //! | [`mem`] | `pxl-mem` | functional memory + MOESI-coherent cache/DRAM timing |
 //! | [`model`] | `pxl-model` | tasks, continuations, workers, parallel patterns |
-//! | [`arch`] | `pxl-arch` | FlexArch/LiteArch accelerator engines |
+//! | [`arch`] | `pxl-arch` | FlexArch/LiteArch accelerator engines + [`Engine`] trait |
 //! | [`cpu`] | `pxl-cpu` | Cilk-style software-runtime CPU baseline |
-//! | [`apps`] | `pxl-apps` | the ten Table II benchmarks |
+//! | [`apps`] | `pxl-apps` | the ten Table II benchmarks (see [`benchmarks`]) |
 //! | [`cost`] | `pxl-cost` | FPGA resource + energy models |
-//! | [`flow`] | `pxl-flow` | design methodology: builder + design-space sweeps |
+//! | [`flow`] | `pxl-flow` | design methodology: builders + design-space sweeps |
+//!
+//! The most commonly used types from each layer are re-exported at the
+//! crate root, so a typical program needs only `use parallelxl::...`.
 //!
 //! ## Quick start
 //!
-//! Express an algorithm as a [`model::Worker`] (the analogue of the paper's
-//! C++ worker description) and run it on a simulated FlexArch accelerator:
+//! Express an algorithm as a [`Worker`] (the analogue of the paper's C++
+//! worker description), build an engine with [`SimulationBuilder`], and run
+//! it through the unified [`Engine`] trait:
 //!
 //! ```
-//! use parallelxl::arch::{AccelConfig, FlexEngine};
-//! use parallelxl::model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
+//! use parallelxl::{
+//!     AccelConfig, Continuation, ExecProfile, SimulationBuilder, Task, TaskContext,
+//!     TaskTypeId, Worker, Workload,
+//! };
 //!
 //! const FIB: TaskTypeId = TaskTypeId(0);
 //! const SUM: TaskTypeId = TaskTypeId(1);
@@ -59,12 +65,17 @@
 //!     }
 //! }
 //!
-//! let mut engine = FlexEngine::new(AccelConfig::flex(2, 4), ExecProfile::scalar());
-//! let out = engine
-//!     .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[15]))
+//! let mut engine = SimulationBuilder::from_config(AccelConfig::flex(2, 4), ExecProfile::scalar())
+//!     .build()
 //!     .unwrap();
+//! let root = Task::new(FIB, Continuation::host(0), &[15]);
+//! let out = engine.run(Workload::dynamic(&mut FibWorker, root)).unwrap();
 //! assert_eq!(out.result, 610);
-//! println!("fib(15) in {} with {} steals", out.elapsed, out.stats.get("accel.steal_hits"));
+//! println!(
+//!     "fib(15) in {} with {} steals",
+//!     out.elapsed,
+//!     out.metrics.get("accel.steal_hits")
+//! );
 //! ```
 
 /// The ten Table II benchmark algorithms.
@@ -75,13 +86,63 @@ pub use pxl_arch as arch;
 pub use pxl_cost as cost;
 /// The Cilk-style multicore software baseline.
 pub use pxl_cpu as cpu;
+/// Design methodology: accelerator builder and design-space sweeps
+/// (Section IV).
+pub use pxl_flow as flow;
 /// The coherent memory hierarchy and Zedboard memory path.
 pub use pxl_mem as mem;
 /// The computation model: tasks with explicit continuation passing
 /// (Section II).
 pub use pxl_model as model;
-/// Simulation kernel: time, clocks, deterministic RNG, statistics.
+/// Simulation kernel: time, clocks, deterministic RNG, metrics, tracing.
 pub use pxl_sim as sim;
-/// Design methodology: accelerator builder and design-space sweeps
-/// (Section IV).
-pub use pxl_flow as flow;
+
+// ---------------------------------------------------------------------------
+// Flat re-exports: the working set for a typical program.
+// ---------------------------------------------------------------------------
+
+/// The unified engine API and the two accelerator engines.
+pub use pxl_arch::{
+    AccelConfig, AccelError, AccelResult, ArchKind, Engine, EngineKind, FlexEngine, LiteDriver,
+    LiteEngine, MemBackendKind, Workload,
+};
+/// The software baseline engine and its runtime cost knobs.
+pub use pxl_cpu::{CpuEngine, CpuResult, SoftwareCosts};
+/// Design-flow entry points and structured errors.
+pub use pxl_flow::{AcceleratorBuilder, AcceleratorDesign, FlowError, SimulationBuilder};
+/// Functional memory, shared by every engine.
+pub use pxl_mem::Memory;
+/// The computation model's working set.
+pub use pxl_model::{
+    Continuation, ExecProfile, SerialExecutor, Task, TaskContext, TaskTypeId, Worker,
+};
+/// Typed metrics, bounded event tracing, and simulated time.
+pub use pxl_sim::{Histogram, MetricKind, Metrics, Stats, Time, TraceEvent, TraceRecord, Tracer};
+
+/// The ten Table II benchmarks, re-exported by name.
+///
+/// Each benchmark is constructed with `new(scale)` and implements
+/// [`apps::Benchmark`]: it prepares inputs in functional [`Memory`],
+/// provides the dynamic (FlexArch/CPU) and, where it exists, the static
+/// LiteArch formulation, and checks outputs against a golden reference.
+///
+/// ```
+/// use parallelxl::benchmarks::{Queens, Scale};
+/// use parallelxl::apps::Benchmark;
+///
+/// let queens = Queens::new(Scale::Tiny);
+/// assert_eq!(queens.meta().name, "queens");
+/// ```
+pub mod benchmarks {
+    pub use pxl_apps::bbgemm::Bbgemm;
+    pub use pxl_apps::bfsqueue::BfsQueue;
+    pub use pxl_apps::cilksort::Cilksort;
+    pub use pxl_apps::knapsack::Knapsack;
+    pub use pxl_apps::nw::Nw;
+    pub use pxl_apps::queens::Queens;
+    pub use pxl_apps::quicksort::Quicksort;
+    pub use pxl_apps::spmvcrs::SpmvCrs;
+    pub use pxl_apps::stencil2d::Stencil2d;
+    pub use pxl_apps::uts::Uts;
+    pub use pxl_apps::{by_name, suite, Benchmark, Scale};
+}

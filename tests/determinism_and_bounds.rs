@@ -12,15 +12,21 @@ fn simulations_are_deterministic() {
         let bench = by_name(name, Scale::Tiny).unwrap();
         let a = run_flex(bench.as_ref(), 8, None);
         let b = run_flex(bench.as_ref(), 8, None);
-        assert_eq!(a.kernel, b.kernel, "{name}: flex elapsed must be reproducible");
         assert_eq!(
-            a.stats.get("accel.steal_attempts"),
-            b.stats.get("accel.steal_attempts"),
+            a.kernel, b.kernel,
+            "{name}: flex elapsed must be reproducible"
+        );
+        assert_eq!(
+            a.metrics.get("accel.steal_attempts"),
+            b.metrics.get("accel.steal_attempts"),
             "{name}: steal traffic must be reproducible"
         );
         let c = run_cpu(bench.as_ref(), 4);
         let d = run_cpu(bench.as_ref(), 4);
-        assert_eq!(c.kernel, d.kernel, "{name}: cpu elapsed must be reproducible");
+        assert_eq!(
+            c.kernel, d.kernel,
+            "{name}: cpu elapsed must be reproducible"
+        );
     }
 }
 
@@ -42,7 +48,7 @@ fn space_bound_holds_across_benchmarks() {
         for pes in [4usize, 16] {
             let out = run_flex(bench.as_ref(), pes, None);
             let s_p =
-                out.stats.get("accel.queue_peak_sum") + out.stats.get("accel.pstore_peak");
+                out.metrics.get("accel.queue_peak_sum") + out.metrics.get("accel.pstore_peak");
             // nw's root builds the whole block graph up front, so its S1
             // already includes every pending block; other benchmarks unfold
             // dynamically.

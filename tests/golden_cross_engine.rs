@@ -49,7 +49,10 @@ fn engines_agree_on_result_values() {
         let cpu = run_cpu(bench.as_ref(), 4);
         // run_flex/run_cpu validate against golden; compare the raw result
         // words across engines too.
-        assert!(flex.stats.get("accel.tasks") > 0, "{name}: flex ran tasks");
+        assert!(
+            flex.metrics.get("accel.tasks") > 0,
+            "{name}: flex ran tasks"
+        );
         let flex_result = {
             // Re-run to capture the result (RunOutcome does not carry it);
             // validated equality is what matters here.
@@ -74,7 +77,7 @@ fn small_scale_flex_spot_check() {
         let bench = parallelxl::apps::by_name(name, Scale::Small).unwrap();
         let out = run_flex(bench.as_ref(), 16, None);
         assert!(
-            out.stats.get("accel.steal_hits") > 0,
+            out.metrics.get("accel.steal_hits") > 0,
             "{name}: 16-PE run must migrate work"
         );
     }

@@ -1,100 +1,124 @@
-//! Property-based tests (proptest) on the core data structures and model
-//! invariants.
-
-use proptest::prelude::*;
+//! Property-based tests on the core data structures and model invariants,
+//! driven by the vendored `pxl_sim::qcheck` harness (the workspace builds
+//! fully offline, so it cannot pull in `proptest`).
 
 use parallelxl::arch::{PStore, TaskDeque};
 use parallelxl::mem::{BandwidthMeter, Memory};
 use parallelxl::model::{
-    Continuation, ParallelFor, PendingTask, SerialExecutor, Task, TaskContext, TaskTypeId,
-    Worker, MAX_ARGS,
+    Continuation, ParallelFor, PendingTask, SerialExecutor, Task, TaskContext, TaskTypeId, Worker,
+    MAX_ARGS,
 };
+use parallelxl::sim::qcheck::{check, Gen};
 use parallelxl::sim::Time;
 
-proptest! {
-    /// The work-stealing deque behaves exactly like a double-ended queue:
-    /// owner ops at the tail, thief ops at the head.
-    #[test]
-    fn deque_matches_model(ops in prop::collection::vec(0u8..3, 1..200)) {
+/// The work-stealing deque behaves exactly like a double-ended queue: owner
+/// ops at the tail, thief ops at the head.
+#[test]
+fn deque_matches_model() {
+    check(96, "deque matches VecDeque", |g: &mut Gen| {
         let mut dut = TaskDeque::new(1024);
         let mut model: std::collections::VecDeque<u64> = Default::default();
         let mut next = 0u64;
-        for op in ops {
-            match op {
+        for _ in 0..g.usize_in(1, 200) {
+            match g.range(0, 3) {
                 0 => {
                     let t = Task::new(TaskTypeId(0), Continuation::host(0), &[next]);
-                    prop_assert!(dut.push_tail(t, Time::ZERO).is_ok());
+                    assert!(dut.push_tail(t, Time::ZERO).is_ok());
                     model.push_back(next);
                     next += 1;
                 }
                 1 => {
                     let got = dut.pop_tail(Time::ZERO).map(|t| t.args[0]);
-                    prop_assert_eq!(got, model.pop_back());
+                    assert_eq!(got, model.pop_back());
                 }
                 _ => {
                     let got = dut.steal_head(Time::ZERO).map(|t| t.args[0]);
-                    prop_assert_eq!(got, model.pop_front());
+                    assert_eq!(got, model.pop_front());
                 }
             }
-            prop_assert_eq!(dut.len(), model.len());
+            assert_eq!(dut.len(), model.len());
         }
-    }
+    });
+}
 
-    /// Continuation encoding is a bijection over its domain.
-    #[test]
-    fn continuation_roundtrip(tile in 0u16..=u16::MAX, entry in 0u32..=0xFFFF_FFFF,
-                              slot in 0u8..MAX_ARGS as u8, host_slot in 0u8..8) {
-        let k = Continuation::pstore(tile, entry, slot);
-        prop_assert_eq!(Continuation::decode(k.encode()), k);
-        let h = Continuation::host(host_slot);
-        prop_assert_eq!(Continuation::decode(h.encode()), h);
-        prop_assert_ne!(h.encode(), k.encode());
-    }
+/// Continuation encoding is a bijection over its domain.
+#[test]
+fn continuation_roundtrip() {
+    check(
+        256,
+        "continuation encode/decode roundtrip",
+        |g: &mut Gen| {
+            let tile = g.range(0, u16::MAX as u64 + 1) as u16;
+            let entry = g.range(0, 1 << 32) as u32;
+            let slot = g.range(0, MAX_ARGS as u64) as u8;
+            let host_slot = g.range(0, 8) as u8;
+            let k = Continuation::pstore(tile, entry, slot);
+            assert_eq!(Continuation::decode(k.encode()), k);
+            let h = Continuation::host(host_slot);
+            assert_eq!(Continuation::decode(h.encode()), h);
+            assert_ne!(h.encode(), k.encode());
+        },
+    );
+}
 
-    /// A pending task becomes ready exactly when its last argument arrives,
-    /// for any join count and any arrival order.
-    #[test]
-    fn pstore_join_counting(join in 1u8..=MAX_ARGS as u8, seed in any::<u64>()) {
-        let mut ps = PStore::new(4);
-        let entry = ps
-            .alloc(PendingTask::new(TaskTypeId(1), Continuation::host(0), join))
-            .unwrap();
-        // Shuffle slot order deterministically from the seed.
-        let mut slots: Vec<u8> = (0..join).collect();
-        let mut s = seed | 1;
-        for i in (1..slots.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            slots.swap(i, (s >> 33) as usize % (i + 1));
-        }
-        for (i, &slot) in slots.iter().enumerate() {
-            let ready = ps.fill(entry, slot, 100 + slot as u64);
-            if i + 1 == join as usize {
-                let t = ready.expect("last argument completes the join");
-                for &slot in &slots {
-                    prop_assert_eq!(t.args[slot as usize], 100 + slot as u64);
-                }
-            } else {
-                prop_assert!(ready.is_none());
+/// A pending task becomes ready exactly when its last argument arrives, for
+/// any join count and any arrival order.
+#[test]
+fn pstore_join_counting() {
+    check(
+        128,
+        "pstore joins fire on the last argument",
+        |g: &mut Gen| {
+            let join = g.range(1, MAX_ARGS as u64 + 1) as u8;
+            let mut ps = PStore::new(4);
+            let entry = ps
+                .alloc(PendingTask::new(TaskTypeId(1), Continuation::host(0), join))
+                .unwrap();
+            // Shuffle slot order from the generator.
+            let mut slots: Vec<u8> = (0..join).collect();
+            for i in (1..slots.len()).rev() {
+                let j = g.usize_in(0, i + 1);
+                slots.swap(i, j);
             }
-        }
-        prop_assert_eq!(ps.occupancy(), 0);
-    }
+            for (i, &slot) in slots.iter().enumerate() {
+                let ready = ps.fill(entry, slot, 100 + slot as u64);
+                if i + 1 == join as usize {
+                    let t = ready.expect("last argument completes the join");
+                    for &slot in &slots {
+                        assert_eq!(t.args[slot as usize], 100 + slot as u64);
+                    }
+                } else {
+                    assert!(ready.is_none());
+                }
+            }
+            assert_eq!(ps.occupancy(), 0);
+        },
+    );
+}
 
-    /// Functional memory reads back exactly what was written, at any
-    /// alignment and span (including page boundaries).
-    #[test]
-    fn memory_readback(addr in 0u64..100_000, data in prop::collection::vec(any::<u8>(), 1..300)) {
+/// Functional memory reads back exactly what was written, at any alignment
+/// and span (including page boundaries).
+#[test]
+fn memory_readback() {
+    check(128, "memory readback", |g: &mut Gen| {
+        let addr = g.range(0, 100_000);
+        let len = g.usize_in(1, 300);
+        let data: Vec<u8> = (0..len).map(|_| g.range(0, 256) as u8).collect();
         let mut mem = Memory::new();
         mem.write_bytes(addr, &data);
         let mut back = vec![0u8; data.len()];
         mem.read_bytes(addr, &mut back);
-        prop_assert_eq!(back, data);
-    }
+        assert_eq!(back, data);
+    });
+}
 
-    /// parallel_for covers every index exactly once and reduces the exact
-    /// count, for arbitrary ranges and grains.
-    #[test]
-    fn parallel_for_exact_coverage(n in 0u64..3000, grain in 1u64..200) {
+/// parallel_for covers every index exactly once and reduces the exact
+/// count, for arbitrary ranges and grains.
+#[test]
+fn parallel_for_exact_coverage() {
+    check(48, "parallel_for exact coverage", |g: &mut Gen| {
+        let n = g.range(0, 3000);
+        let grain = g.range(1, 200);
         struct W {
             pf: ParallelFor,
         }
@@ -117,30 +141,40 @@ proptest! {
         let total = exec
             .run(&mut W { pf }, pf.root_task(0, n, Continuation::host(0)))
             .unwrap();
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n);
         for i in 0..n {
-            prop_assert_eq!(exec.memory().read_u8(0x1000 + i), 1);
+            assert_eq!(exec.memory().read_u8(0x1000 + i), 1);
         }
-    }
+    });
+}
 
-    /// The bandwidth meter never starts service before the request, never
-    /// loses committed work, and enforces the aggregate rate.
-    #[test]
-    fn bandwidth_meter_conservation(reqs in prop::collection::vec((0u64..1_000_000, 1u64..5_000), 1..100)) {
-        let mut m = BandwidthMeter::new(10_000);
-        let mut committed = 0u64;
-        for &(at, occ) in &reqs {
-            let start = m.acquire(Time::from_ps(at), occ);
-            prop_assert!(start >= Time::from_ps(at), "service before request");
-            committed += occ;
-        }
-        prop_assert_eq!(m.total_committed_ps(), committed);
-    }
+/// The bandwidth meter never starts service before the request and never
+/// loses committed work.
+#[test]
+fn bandwidth_meter_conservation() {
+    check(
+        128,
+        "bandwidth meter conserves committed work",
+        |g: &mut Gen| {
+            let mut m = BandwidthMeter::new(10_000);
+            let mut committed = 0u64;
+            for _ in 0..g.usize_in(1, 100) {
+                let at = g.range(0, 1_000_000);
+                let occ = g.range(1, 5_000);
+                let start = m.acquire(Time::from_ps(at), occ);
+                assert!(start >= Time::from_ps(at), "service before request");
+                committed += occ;
+            }
+            assert_eq!(m.total_committed_ps(), committed);
+        },
+    );
+}
 
-    /// Fork-join over an arbitrary expression tree computes the same sum as
-    /// host arithmetic (joins neither lose nor duplicate values).
-    #[test]
-    fn fork_join_sums_match(values in prop::collection::vec(0u64..1000, 1..64)) {
+/// Fork-join over an arbitrary expression tree computes the same sum as
+/// host arithmetic (joins neither lose nor duplicate values).
+#[test]
+fn fork_join_sums_match() {
+    check(96, "fork-join sums match host arithmetic", |g: &mut Gen| {
         const LEAF: TaskTypeId = TaskTypeId(0);
         const SUM: TaskTypeId = TaskTypeId(1);
         struct W {
@@ -164,66 +198,78 @@ proptest! {
                 }
             }
         }
+        let len = g.usize_in(1, 64);
+        let values: Vec<u64> = (0..len).map(|_| g.range(0, 1000)).collect();
         let want: u64 = values.iter().sum();
         let n = values.len() as u64;
         let mut exec = SerialExecutor::new();
         let got = exec
-            .run(&mut W { values }, Task::new(LEAF, Continuation::host(0), &[0, n]))
+            .run(
+                &mut W { values },
+                Task::new(LEAF, Continuation::host(0), &[0, n]),
+            )
             .unwrap();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
 }
 
-proptest! {
-    /// MOESI invariants hold after any interleaving of reads, writes and
-    /// atomics from multiple ports: one owner per line, M/E exclusive,
-    /// inclusive L2.
-    #[test]
-    fn coherence_invariants_hold(ops in prop::collection::vec(
-        (0usize..4, 0u64..64, 0u8..3), 1..400))
-    {
-        use parallelxl::mem::{AccessKind, MemorySystem, PortId};
-        use parallelxl::sim::config::MemoryConfig;
+/// MOESI invariants hold after any interleaving of reads, writes and
+/// atomics from multiple ports: one owner per line, M/E exclusive,
+/// inclusive L2.
+#[test]
+fn coherence_invariants_hold() {
+    use parallelxl::mem::{AccessKind, MemorySystem, PortId};
+    use parallelxl::sim::config::MemoryConfig;
 
-        let cfg = MemoryConfig::micro2018();
-        let mut sys = MemorySystem::new(vec![cfg.accel_l1.clone(); 4], &cfg);
-        let mut t = [Time::ZERO; 4];
-        let addrs: Vec<u64> = (0..64).map(|l| l * 64).collect();
-        for (port, line, kind) in ops {
-            let kind = match kind {
-                0 => AccessKind::Read,
-                1 => AccessKind::Write,
-                _ => AccessKind::Amo,
-            };
-            t[port] = sys.access(PortId(port), line * 64, kind, t[port]);
-            sys.check_coherence(&addrs).map_err(|e| {
-                proptest::test_runner::TestCaseError::fail(e)
-            })?;
-        }
-    }
+    check(
+        32,
+        "MOESI invariants hold under random traffic",
+        |g: &mut Gen| {
+            let cfg = MemoryConfig::micro2018();
+            let mut sys = MemorySystem::new(vec![cfg.accel_l1.clone(); 4], &cfg);
+            let mut t = [Time::ZERO; 4];
+            let addrs: Vec<u64> = (0..64).map(|l| l * 64).collect();
+            for _ in 0..g.usize_in(1, 400) {
+                let port = g.usize_in(0, 4);
+                let line = g.range(0, 64);
+                let kind = match g.range(0, 3) {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    _ => AccessKind::Amo,
+                };
+                t[port] = sys.access(PortId(port), line * 64, kind, t[port]);
+                if let Err(e) = sys.check_coherence(&addrs) {
+                    panic!("coherence violated: {e}");
+                }
+            }
+        },
+    );
+}
 
-    /// Every scheduling-policy ablation still produces golden-correct
-    /// results: policies change timing, never functional behaviour.
-    #[test]
-    fn ablated_policies_stay_golden(order in 0u8..2, end in 0u8..2, victim in 0u8..2,
-                                    greedy in any::<bool>()) {
-        use parallelxl::arch::{AccelConfig, FlexEngine, LocalOrder, SchedPolicy, StealEnd, VictimSelect};
-        use parallelxl::apps::{by_name, Scale};
+/// Every scheduling-policy ablation still produces golden-correct results:
+/// policies change timing, never functional behaviour.
+#[test]
+fn ablated_policies_stay_golden() {
+    use parallelxl::apps::{by_name, Scale};
+    use parallelxl::arch::{
+        AccelConfig, FlexEngine, LocalOrder, SchedPolicy, StealEnd, VictimSelect,
+    };
 
+    check(16, "ablated policies stay golden", |g: &mut Gen| {
         let bench = by_name("queens", Scale::Tiny).unwrap();
         let mut cfg = AccelConfig::flex(2, 2);
         // FIFO order needs breadth-first queue headroom.
         cfg.task_queue_entries = 1 << 16;
         cfg.policy = SchedPolicy {
-            local_order: if order == 0 { LocalOrder::Lifo } else { LocalOrder::Fifo },
-            steal_end: if end == 0 { StealEnd::Head } else { StealEnd::Tail },
-            victim_select: if victim == 0 { VictimSelect::Lfsr } else { VictimSelect::RoundRobin },
-            greedy_routing: greedy,
+            local_order: *g.pick(&[LocalOrder::Lifo, LocalOrder::Fifo]),
+            steal_end: *g.pick(&[StealEnd::Head, StealEnd::Tail]),
+            victim_select: *g.pick(&[VictimSelect::Lfsr, VictimSelect::RoundRobin]),
+            greedy_routing: g.bool(),
         };
         let mut engine = FlexEngine::new(cfg, bench.profile());
         let inst = bench.flex(engine.mem_mut());
         let mut worker = inst.worker;
         let out = engine.run(worker.as_mut(), inst.root).unwrap();
-        prop_assert!(bench.check(engine.memory(), out.result).is_ok());
-    }
+        assert!(bench.check(engine.memory(), out.result).is_ok());
+    });
 }
