@@ -7,7 +7,7 @@
 //! task queue and P-Store, as well as the cache size."
 
 use pxl_sim::config::MemoryConfig;
-use pxl_sim::Clock;
+use pxl_sim::{Clock, FaultPlan};
 
 /// Which tile architecture to instantiate (Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -197,6 +197,13 @@ pub struct AccelConfig {
     /// Structured event-trace buffer capacity in records; zero (the
     /// default) disables tracing entirely.
     pub trace_capacity: usize,
+    /// Deterministic fault schedule to arm against this run (`None` = the
+    /// happy path).
+    pub fault_plan: Option<FaultPlan>,
+    /// Accelerator cycles without forward progress (task completion or
+    /// argument delivery) before the quiescence watchdog declares the run
+    /// stalled while work is still outstanding.
+    pub watchdog_quiescence_cycles: u64,
 }
 
 impl AccelConfig {
@@ -217,6 +224,8 @@ impl AccelConfig {
             mem_backend: MemBackendKind::Coherent,
             max_sim_time_us: 2_000_000,
             trace_capacity: 0,
+            fault_plan: None,
+            watchdog_quiescence_cycles: 1_000_000,
         }
     }
 
@@ -270,6 +279,29 @@ impl AccelConfig {
         }
         if self.tiles > u16::MAX as usize {
             return Err("tile index must fit the continuation encoding".into());
+        }
+        if self.watchdog_quiescence_cycles == 0 {
+            return Err("the quiescence watchdog needs a nonzero window".into());
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self.num_pes(), self.tiles)?;
+            if self.arch == ArchKind::Lite {
+                let unsupported = plan.specs().iter().any(|s| {
+                    matches!(
+                        s.kind,
+                        pxl_sim::FaultKind::NetDrop { .. }
+                            | pxl_sim::FaultKind::NetDup { .. }
+                            | pxl_sim::FaultKind::PStoreCorrupt { .. }
+                    )
+                });
+                if unsupported {
+                    return Err(
+                        "LiteArch has no routed networks or P-Store; its fault plans \
+                         support only PE death and PE stalls"
+                            .into(),
+                    );
+                }
+            }
         }
         if let Some(masks) = &self.pe_task_types {
             if masks.len() != self.pes_per_tile {

@@ -28,11 +28,19 @@ use pxl_mem::zedboard::AcpParams;
 use pxl_mem::{AccessKind, Memory, MemorySystem, PortId, ZedboardMemory};
 use pxl_model::serial::HOST_SLOTS;
 use pxl_model::{Continuation, ExecProfile, PendingTask, Task, TaskContext, TaskTypeId, Worker};
-use pxl_sim::{CounterId, EventQueue, HistogramId, Lfsr16, Metrics, Time, TraceEvent, Tracer};
+use pxl_sim::{
+    CounterId, EventQueue, FaultKind, FaultPlan, FaultScheduler, HistogramId, Lfsr16, Metrics,
+    NetClass, SendVerdict, Time, TraceEvent, Tracer,
+};
 
 use crate::config::{AccelConfig, ArchKind, LocalOrder, MemBackendKind, StealEnd, VictimSelect};
 use crate::deque::TaskDeque;
-use crate::pstore::PStore;
+use crate::pstore::{PStore, PStoreError};
+
+/// How many times a dropped network message is retransmitted before the
+/// sender gives up and the loss becomes [`TraceEvent::FaultUnrecovered`]
+/// (the quiescence watchdog then flags the resulting stall).
+const MAX_SEND_RETRIES: u8 = 8;
 
 /// Errors an accelerator simulation can produce.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,8 +66,36 @@ pub enum AccelError {
         /// Expected host result slot.
         slot: u8,
     },
-    /// Simulated time exceeded the configured safety limit.
+    /// Simulated time exceeded the configured safety limit. This is the hard
+    /// backstop behind the quiescence watchdog ([`AccelError::Stalled`]),
+    /// which normally fires much earlier and with better diagnostics.
     TimedOut,
+    /// The quiescence watchdog saw no forward progress for longer than
+    /// [`AccelConfig::watchdog_quiescence_cycles`] while work was still
+    /// outstanding: the computation is deadlocked or livelocked.
+    Stalled {
+        /// The unit that last made forward progress (completed a task or
+        /// delivered an argument), if any unit ever did.
+        last_unit: Option<usize>,
+        /// How long (simulated microseconds) the fabric had been quiescent
+        /// when the watchdog fired.
+        idle_us: u64,
+        /// A unit still holding undispatchable work, if one exists
+        /// (`num_pes` denotes the host interface block).
+        blocked_unit: Option<usize>,
+    },
+    /// A P-Store protocol violation: filling a freed entry, addressing a
+    /// nonexistent entry or slot, or a malformed allocation — either a model
+    /// bug or the effect of injected state corruption.
+    PStoreCorrupt {
+        /// The tile whose P-Store rejected the operation.
+        tile: usize,
+        /// The underlying P-Store error.
+        source: PStoreError,
+    },
+    /// The configuration failed [`AccelConfig::validate`] or names the wrong
+    /// architecture for this engine.
+    InvalidConfig(String),
     /// The configuration is invalid or the operation is unsupported by the
     /// selected architecture (e.g. spawning on LiteArch).
     Unsupported(String),
@@ -77,6 +113,25 @@ impl std::fmt::Display for AccelError {
             }
             AccelError::NoResult { slot } => write!(f, "no result in host slot {slot}"),
             AccelError::TimedOut => write!(f, "simulation exceeded its time limit"),
+            AccelError::Stalled {
+                last_unit,
+                idle_us,
+                blocked_unit,
+            } => {
+                write!(f, "watchdog: no forward progress for {idle_us} us")?;
+                match last_unit {
+                    Some(u) => write!(f, "; unit {u} made the last progress")?,
+                    None => write!(f, "; no unit ever made progress")?,
+                }
+                if let Some(b) = blocked_unit {
+                    write!(f, "; unit {b} still holds undispatched work")?;
+                }
+                Ok(())
+            }
+            AccelError::PStoreCorrupt { tile, source } => {
+                write!(f, "P-Store protocol violation on tile {tile}: {source}")
+            }
+            AccelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             AccelError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
@@ -190,13 +245,66 @@ enum Event {
     /// The steal response reaches the thief.
     StealReply { thief: usize, task: Option<Task> },
     /// An argument message reaches its destination P-Store or host register.
+    /// `dup_of` marks an injected duplicate copy (the spec that duplicated
+    /// it); the receiver discards it, modelling sequence-number dedup.
     ArgArrive {
         k: Continuation,
         value: u64,
         from_pe: usize,
+        dup_of: Option<usize>,
     },
-    /// A ready task (greedy-routed) reaches a PE.
-    TaskRun { pe: usize, task: Task },
+    /// A ready task (greedy-routed) reaches a PE. `dup_of` as on
+    /// [`Event::ArgArrive`].
+    TaskRun {
+        pe: usize,
+        task: Task,
+        dup_of: Option<usize>,
+    },
+    /// A planned one-shot fault (PE death, PE stall, P-Store corruption)
+    /// fires.
+    FaultFire { spec: usize },
+    /// A dropped argument message is retransmitted after backoff.
+    ArgResend {
+        k: Continuation,
+        value: u64,
+        from_pe: usize,
+        attempt: u8,
+        spec: usize,
+    },
+    /// A dropped ready-task message is retransmitted after backoff.
+    TaskResend {
+        pe: usize,
+        task: Task,
+        attempt: u8,
+        spec: usize,
+    },
+}
+
+/// Engine-side fault-injection state, present only when the configuration
+/// carries a [`FaultPlan`].
+#[derive(Debug)]
+struct FaultState {
+    sched: FaultScheduler,
+    /// Fail-stop flags: a dead PE never begins another task; faults are
+    /// injected at task-dispatch granularity so in-flight tasks commit.
+    dead: Vec<bool>,
+    /// Per-PE death spec still awaiting rescue (the victim's deque was
+    /// non-empty at death; recovery completes when it drains via stealing).
+    rescue_pending: Vec<Option<usize>>,
+    /// Per-tile corruption specs awaiting ECC repair: `(entry, spec)` pairs
+    /// cleared when the entry's next fill scrubs the taint.
+    corrupt_pending: Vec<Vec<(u32, usize)>>,
+}
+
+impl FaultState {
+    fn new(plan: &FaultPlan, num_pes: usize, tiles: usize) -> Self {
+        FaultState {
+            sched: FaultScheduler::new(plan),
+            dead: vec![false; num_pes],
+            rescue_pending: vec![None; num_pes],
+            corrupt_pending: vec![Vec::new(); tiles],
+        }
+    }
 }
 
 /// The FlexArch accelerator simulator.
@@ -256,6 +364,11 @@ pub struct FlexEngine {
     outstanding: u64,
     inflight_args: u64,
     last_useful: Time,
+    faults: Option<FaultState>,
+    /// Watchdog state: when any unit last made forward progress (completed a
+    /// task or delivered an argument) and which unit it was.
+    last_progress: Time,
+    last_progress_unit: Option<usize>,
     metrics: Metrics,
     ids: FlexIds,
     trace: Tracer,
@@ -305,19 +418,31 @@ impl FlexEngine {
     /// # Panics
     ///
     /// Panics if the configuration fails [`AccelConfig::validate`] or is not
-    /// a FlexArch configuration.
+    /// a FlexArch configuration. Use [`FlexEngine::try_new`] to handle those
+    /// cases as errors.
     pub fn new(cfg: AccelConfig, profile: ExecProfile) -> Self {
-        cfg.validate().expect("invalid accelerator configuration");
-        assert_eq!(
-            cfg.arch,
-            ArchKind::Flex,
-            "FlexEngine requires ArchKind::Flex"
-        );
+        Self::try_new(cfg, profile).expect("invalid accelerator configuration")
+    }
+
+    /// Fallible constructor: returns [`AccelError::InvalidConfig`] if the
+    /// configuration fails [`AccelConfig::validate`] or is not a FlexArch
+    /// configuration.
+    pub fn try_new(cfg: AccelConfig, profile: ExecProfile) -> Result<Self, AccelError> {
+        cfg.validate().map_err(AccelError::InvalidConfig)?;
+        if cfg.arch != ArchKind::Flex {
+            return Err(AccelError::InvalidConfig(
+                "FlexEngine requires ArchKind::Flex".to_string(),
+            ));
+        }
         let backend = MemBackend::for_config(&cfg);
         let num_pes = cfg.num_pes();
         let mut metrics = Metrics::new();
         let ids = FlexIds::register(&mut metrics, num_pes);
-        FlexEngine {
+        let faults = cfg
+            .fault_plan
+            .as_ref()
+            .map(|plan| FaultState::new(plan, num_pes, cfg.tiles));
+        Ok(FlexEngine {
             deques: (0..num_pes)
                 .map(|_| TaskDeque::new(cfg.task_queue_entries))
                 .collect(),
@@ -337,6 +462,9 @@ impl FlexEngine {
             outstanding: 0,
             inflight_args: 0,
             last_useful: Time::ZERO,
+            faults,
+            last_progress: Time::ZERO,
+            last_progress_unit: None,
             trace: Tracer::bounded(cfg.trace_capacity),
             metrics,
             ids,
@@ -345,7 +473,7 @@ impl FlexEngine {
             backend,
             cfg,
             profile,
-        }
+        })
     }
 
     /// Mutable access to functional memory for input setup.
@@ -373,6 +501,48 @@ impl FlexEngine {
         self.cfg.clock.cycles_to_time(n)
     }
 
+    fn is_dead(&self, pe: usize) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.dead[pe])
+    }
+
+    /// Whether `pe` can accept new work of type `ty`: it supports the type
+    /// and has not been killed by a fault.
+    fn can_run(&self, pe: usize, ty: TaskTypeId) -> bool {
+        !self.is_dead(pe) && self.cfg.pe_supports(pe, ty)
+    }
+
+    /// Records forward progress by `unit` at `at` for the quiescence
+    /// watchdog.
+    fn progress(&mut self, at: Time, unit: usize) {
+        if at >= self.last_progress {
+            self.last_progress = at;
+            self.last_progress_unit = Some(unit);
+        }
+    }
+
+    /// Builds the [`AccelError::Stalled`] diagnosis, emitting the
+    /// `watchdog.stall` trace event and counter.
+    fn watchdog_stall(&mut self, now: Time) -> AccelError {
+        let blocked_unit = (0..self.cfg.num_pes())
+            .find(|&pe| !self.deques[pe].is_empty())
+            .or((!self.host_queue.is_empty()).then_some(self.cfg.num_pes()));
+        let idle_ps = now.saturating_sub(self.last_progress).as_ps();
+        let unit = self.last_progress_unit;
+        self.metrics.incr("watchdog.stalls");
+        self.trace.emit(
+            now,
+            TraceEvent::WatchdogStall {
+                unit: unit.map_or(u32::MAX, |u| u as u32),
+                idle_ps,
+            },
+        );
+        AccelError::Stalled {
+            last_unit: unit,
+            idle_us: idle_ps / 1_000_000,
+            blocked_unit,
+        }
+    }
+
     /// Runs `root` to completion.
     ///
     /// The host writes the root task into the interface block; PEs acquire
@@ -397,7 +567,16 @@ impl FlexEngine {
         for pe in 0..self.cfg.num_pes() {
             self.events.push(Time::ZERO, Event::PeWake { pe });
         }
+        let timed = self
+            .faults
+            .as_ref()
+            .map(|f| f.sched.timed())
+            .unwrap_or_default();
+        for (at, spec) in timed {
+            self.events.push(at, Event::FaultFire { spec });
+        }
         let limit = Time::from_us(self.cfg.max_sim_time_us);
+        let quiescence = self.cycles(self.cfg.watchdog_quiescence_cycles);
 
         while let Some((now, event)) = self.events.pop() {
             if self.outstanding == 0 && self.inflight_args == 0 {
@@ -406,10 +585,21 @@ impl FlexEngine {
             if now > limit {
                 return Err(AccelError::TimedOut);
             }
+            if now.saturating_sub(self.last_progress) > quiescence {
+                return Err(self.watchdog_stall(now));
+            }
             self.handle(now, event, worker);
             if let Some(err) = self.error.take() {
                 return Err(err);
             }
+        }
+
+        if self.outstanding > 0 || self.inflight_args > 0 {
+            // The event queue drained with work still outstanding: nothing
+            // can ever make progress again (e.g. an unrecoverable message
+            // loss or every supporting PE dead with stranded work).
+            let at = self.last_useful.max(self.last_progress);
+            return Err(self.watchdog_stall(at));
         }
 
         let leaked: usize = self.pstores.iter().map(|p| p.occupancy()).sum();
@@ -454,8 +644,27 @@ impl FlexEngine {
             Event::PeWake { pe } => self.pe_wake(now, pe, worker),
             Event::StealArrive { thief, victim } => self.steal_arrive(now, thief, victim),
             Event::StealReply { thief, task } => self.steal_reply(now, thief, task, worker),
-            Event::ArgArrive { k, value, from_pe } => self.arg_arrive(now, k, value, from_pe),
-            Event::TaskRun { pe, task } => self.task_run(now, pe, task, worker),
+            Event::ArgArrive {
+                k,
+                value,
+                from_pe,
+                dup_of,
+            } => self.arg_arrive(now, k, value, from_pe, dup_of),
+            Event::TaskRun { pe, task, dup_of } => self.task_run(now, pe, task, dup_of, worker),
+            Event::FaultFire { spec } => self.fault_fire(now, spec),
+            Event::ArgResend {
+                k,
+                value,
+                from_pe,
+                attempt,
+                spec,
+            } => self.send_arg_msg(now, k, value, from_pe, attempt, spec),
+            Event::TaskResend {
+                pe,
+                task,
+                attempt,
+                spec,
+            } => self.send_task_msg(now, pe, task, attempt, spec),
         }
     }
 
@@ -464,7 +673,7 @@ impl FlexEngine {
     }
 
     fn pe_wake<W: Worker + ?Sized>(&mut self, now: Time, pe: usize, worker: &mut W) {
-        if self.is_busy(pe, now) {
+        if self.is_dead(pe) || self.is_busy(pe, now) {
             return;
         }
         let popped = match self.cfg.policy.local_order {
@@ -524,7 +733,11 @@ impl FlexEngine {
 
     fn steal_arrive(&mut self, now: Time, thief: usize, victim: usize) {
         let service = self.cycles(self.cfg.costs.steal_service_cycles);
-        let task = if victim == self.cfg.num_pes() {
+        let task = if self.is_dead(thief) {
+            // The thief died while its request was in flight; the victim's
+            // TMU does not hand work to a corpse.
+            None
+        } else if victim == self.cfg.num_pes() {
             // The interface block's task is taken only by a supporting PE.
             match self.host_queue.front() {
                 Some(t) if self.cfg.pe_supports(thief, t.ty) => self.host_queue.pop_front(),
@@ -555,6 +768,12 @@ impl FlexEngine {
                     victim: victim as u32,
                 },
             );
+            if victim < self.cfg.num_pes() && self.is_dead(victim) {
+                // Work stealing doubles as the rescue path for a dead PE's
+                // stranded deque.
+                self.metrics.incr("fault.rescued_tasks");
+                self.check_rescued(now + service, victim);
+            }
         } else {
             self.trace.emit(
                 now + service,
@@ -579,6 +798,21 @@ impl FlexEngine {
     ) {
         match task {
             Some(t) => {
+                if self.is_dead(thief) {
+                    // The thief died with the reply in flight; forward the
+                    // task to a live supporter instead of losing it.
+                    let Some(dest) = self.supporter_for(thief, t.ty) else {
+                        self.error = Some(AccelError::Unsupported(format!(
+                            "no live PE supports task type {}",
+                            t.ty
+                        )));
+                        return;
+                    };
+                    self.metrics.incr("fault.rescued_tasks");
+                    self.push_local(dest, t, now);
+                    self.events.push(now, Event::PeWake { pe: dest });
+                    return;
+                }
                 self.steal_fails[thief] = 0;
                 if self.is_busy(thief, now) {
                     // The thief picked up greedy-routed work meanwhile; bank
@@ -589,6 +823,10 @@ impl FlexEngine {
                 }
             }
             None => {
+                if self.is_dead(thief) {
+                    // A corpse does not reschedule itself.
+                    return;
+                }
                 // Exponential backoff caps event churn while the accelerator
                 // is starved for parallelism (e.g. quicksort's serial
                 // partition phases).
@@ -607,11 +845,291 @@ impl FlexEngine {
         }
     }
 
-    /// Picks a PE that can process `ty`, preferring `preferred` and then
-    /// its tile (round-robin among the tile's supporters), falling back to
-    /// any supporter in the accelerator.
+    fn trace_injected(&mut self, at: Time, spec: usize, unit: usize) {
+        self.metrics.incr("fault.injected");
+        self.trace.emit(
+            at,
+            TraceEvent::FaultInjected {
+                spec: spec as u32,
+                unit: unit as u32,
+            },
+        );
+    }
+
+    fn trace_recovered(&mut self, at: Time, spec: usize, unit: usize) {
+        self.metrics.incr("fault.recovered");
+        self.trace.emit(
+            at,
+            TraceEvent::FaultRecovered {
+                spec: spec as u32,
+                unit: unit as u32,
+            },
+        );
+    }
+
+    /// A planned one-shot fault fires: kill a PE, stall a PE, or corrupt a
+    /// P-Store entry. Network faults are reactive (consulted per send) and
+    /// never reach here.
+    fn fault_fire(&mut self, now: Time, spec: usize) {
+        let Some(kind) = self.faults.as_ref().map(|f| f.sched.spec(spec).kind) else {
+            return;
+        };
+        match kind {
+            FaultKind::PeDeath { pe } => {
+                if self.is_dead(pe) {
+                    self.metrics.incr("fault.skipped");
+                    return;
+                }
+                self.faults.as_mut().unwrap().dead[pe] = true;
+                self.trace_injected(now, spec, pe);
+                self.metrics.incr("fault.pe_deaths");
+                if self.deques[pe].is_empty() {
+                    // Nothing to rescue: the fabric already routes around the
+                    // corpse, so the fault is absorbed immediately.
+                    self.trace_recovered(now, spec, pe);
+                } else {
+                    self.faults.as_mut().unwrap().rescue_pending[pe] = Some(spec);
+                }
+            }
+            FaultKind::PeStall { pe, cycles } => {
+                if self.is_dead(pe) {
+                    self.metrics.incr("fault.skipped");
+                    return;
+                }
+                let resume = self.busy_until[pe].max(now) + self.cycles(cycles);
+                self.busy_until[pe] = resume;
+                self.trace_injected(now, spec, pe);
+                self.metrics.incr("fault.pe_stalls");
+                // A transient stall always clears itself; recovery is the
+                // wake at `resume` (the tracer's stable sort orders it).
+                self.trace_recovered(resume, spec, pe);
+                self.events.push(resume, Event::PeWake { pe });
+            }
+            FaultKind::PStoreCorrupt { tile, mask } => {
+                match self.pstores[tile].corrupt(mask) {
+                    Some(entry) => {
+                        self.trace_injected(now, spec, tile);
+                        self.metrics.incr("fault.pstore_hits");
+                        if self.pstores[tile].tainted(entry) {
+                            self.faults.as_mut().unwrap().corrupt_pending[tile].push((entry, spec));
+                        } else {
+                            // The upset XOR-cancelled an earlier one on the
+                            // same entry: the stored words are back to their
+                            // true values, so every pending corruption of the
+                            // entry is resolved, this one included.
+                            let cancelled: Vec<usize> = {
+                                let queue =
+                                    &mut self.faults.as_mut().unwrap().corrupt_pending[tile];
+                                let hits = queue
+                                    .iter()
+                                    .filter(|(e, _)| *e == entry)
+                                    .map(|(_, s)| *s)
+                                    .collect();
+                                queue.retain(|(e, _)| *e != entry);
+                                hits
+                            };
+                            for s in cancelled {
+                                self.trace_recovered(now, s, tile);
+                            }
+                            self.trace_recovered(now, spec, tile);
+                        }
+                    }
+                    // No live entry to corrupt: the fault lands on unused
+                    // storage and is a no-op.
+                    None => self.metrics.incr("fault.skipped"),
+                }
+            }
+            FaultKind::NetDrop { .. } | FaultKind::NetDup { .. } => {}
+        }
+    }
+
+    /// Sends an argument message through the (possibly faulty) argument
+    /// network. `at` is the delivery time computed by the sender; `attempt`
+    /// counts prior drops of this message and `spec` is the spec that caused
+    /// the most recent drop.
+    fn send_arg_msg(
+        &mut self,
+        at: Time,
+        k: Continuation,
+        value: u64,
+        from_pe: usize,
+        attempt: u8,
+        spec: usize,
+    ) {
+        let verdict = match self.faults.as_mut() {
+            Some(fs) => fs.sched.on_send(NetClass::Arg, at),
+            None => SendVerdict::Deliver,
+        };
+        match verdict {
+            SendVerdict::Deliver => {
+                // Every prior drop of this message is now masked: one
+                // recovery per injected drop keeps traces and counters equal.
+                for _ in 0..attempt {
+                    self.trace_recovered(at, spec, from_pe);
+                }
+                self.events.push(
+                    at,
+                    Event::ArgArrive {
+                        k,
+                        value,
+                        from_pe,
+                        dup_of: None,
+                    },
+                );
+            }
+            SendVerdict::Drop { spec: drop_spec } => {
+                self.trace_injected(at, drop_spec, from_pe);
+                self.metrics.incr("fault.dropped_args");
+                if attempt >= MAX_SEND_RETRIES {
+                    self.metrics.incr("fault.unrecovered");
+                    self.trace.emit(
+                        at,
+                        TraceEvent::FaultUnrecovered {
+                            spec: drop_spec as u32,
+                            unit: from_pe as u32,
+                        },
+                    );
+                    // The argument is lost for good; `inflight_args` stays
+                    // elevated so the watchdog diagnoses the stall.
+                } else {
+                    self.metrics.incr("fault.retries");
+                    let backoff = self.cfg.costs.steal_backoff_cycles << attempt.min(6);
+                    self.events.push(
+                        at + self.cycles(backoff),
+                        Event::ArgResend {
+                            k,
+                            value,
+                            from_pe,
+                            attempt: attempt + 1,
+                            spec: drop_spec,
+                        },
+                    );
+                }
+            }
+            SendVerdict::Duplicate { spec: dup_spec } => {
+                self.trace_injected(at, dup_spec, from_pe);
+                self.metrics.incr("fault.dup_args");
+                for _ in 0..attempt {
+                    self.trace_recovered(at, spec, from_pe);
+                }
+                // Both copies are delivered; the receiver discards the
+                // flagged duplicate one hop later (sequence-number dedup).
+                self.inflight_args += 1;
+                self.events.push(
+                    at,
+                    Event::ArgArrive {
+                        k,
+                        value,
+                        from_pe,
+                        dup_of: None,
+                    },
+                );
+                self.events.push(
+                    at + self.cycles(self.cfg.costs.net_hop_cycles),
+                    Event::ArgArrive {
+                        k,
+                        value,
+                        from_pe,
+                        dup_of: Some(dup_spec),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Sends a ready task across the (possibly faulty) task network toward
+    /// `dest`; delivery pays one crossbar hop past `at`.
+    fn send_task_msg(&mut self, at: Time, dest: usize, task: Task, attempt: u8, spec: usize) {
+        let hop = self.cycles(self.cfg.costs.net_hop_cycles);
+        let verdict = match self.faults.as_mut() {
+            Some(fs) => fs.sched.on_send(NetClass::Task, at),
+            None => SendVerdict::Deliver,
+        };
+        match verdict {
+            SendVerdict::Deliver => {
+                for _ in 0..attempt {
+                    self.trace_recovered(at, spec, dest);
+                }
+                self.events.push(
+                    at + hop,
+                    Event::TaskRun {
+                        pe: dest,
+                        task,
+                        dup_of: None,
+                    },
+                );
+            }
+            SendVerdict::Drop { spec: drop_spec } => {
+                self.trace_injected(at, drop_spec, dest);
+                self.metrics.incr("fault.dropped_tasks");
+                if attempt >= MAX_SEND_RETRIES {
+                    self.metrics.incr("fault.unrecovered");
+                    self.trace.emit(
+                        at,
+                        TraceEvent::FaultUnrecovered {
+                            spec: drop_spec as u32,
+                            unit: dest as u32,
+                        },
+                    );
+                } else {
+                    self.metrics.incr("fault.retries");
+                    let backoff = self.cfg.costs.steal_backoff_cycles << attempt.min(6);
+                    self.events.push(
+                        at + self.cycles(backoff),
+                        Event::TaskResend {
+                            pe: dest,
+                            task,
+                            attempt: attempt + 1,
+                            spec: drop_spec,
+                        },
+                    );
+                }
+            }
+            SendVerdict::Duplicate { spec: dup_spec } => {
+                self.trace_injected(at, dup_spec, dest);
+                self.metrics.incr("fault.dup_tasks");
+                for _ in 0..attempt {
+                    self.trace_recovered(at, spec, dest);
+                }
+                self.outstanding += 1;
+                self.events.push(
+                    at + hop,
+                    Event::TaskRun {
+                        pe: dest,
+                        task,
+                        dup_of: None,
+                    },
+                );
+                self.events.push(
+                    at + hop + hop,
+                    Event::TaskRun {
+                        pe: dest,
+                        task,
+                        dup_of: Some(dup_spec),
+                    },
+                );
+            }
+        }
+    }
+
+    /// After a successful steal from `victim`, completes a pending PE-death
+    /// recovery if the victim was dead and its deque just drained.
+    fn check_rescued(&mut self, at: Time, victim: usize) {
+        let pending = self.faults.as_ref().and_then(|f| f.rescue_pending[victim]);
+        let Some(spec) = pending else { return };
+        if !self.deques[victim].is_empty() {
+            return;
+        }
+        self.faults.as_mut().unwrap().rescue_pending[victim] = None;
+        self.metrics.incr("fault.rescues");
+        self.trace_recovered(at, spec, victim);
+    }
+
+    /// Picks a live PE that can process `ty`, preferring `preferred` and
+    /// then its tile (round-robin among the tile's supporters), falling back
+    /// to any live supporter in the accelerator.
     fn supporter_for(&mut self, preferred: usize, ty: TaskTypeId) -> Option<usize> {
-        if self.cfg.pe_supports(preferred, ty) {
+        if self.can_run(preferred, ty) {
             return Some(preferred);
         }
         let per_tile = self.cfg.pes_per_tile;
@@ -619,16 +1137,31 @@ impl FlexEngine {
         self.hetero_rr = self.hetero_rr.wrapping_add(1);
         for i in 0..per_tile {
             let pe = tile_base + (self.hetero_rr + i) % per_tile;
-            if self.cfg.pe_supports(pe, ty) {
+            if self.can_run(pe, ty) {
                 return Some(pe);
             }
         }
-        (0..self.cfg.num_pes()).find(|&pe| self.cfg.pe_supports(pe, ty))
+        (0..self.cfg.num_pes()).find(|&pe| self.can_run(pe, ty))
     }
 
-    fn arg_arrive(&mut self, now: Time, k: Continuation, value: u64, from_pe: usize) {
+    fn arg_arrive(
+        &mut self,
+        now: Time,
+        k: Continuation,
+        value: u64,
+        from_pe: usize,
+        dup_of: Option<usize>,
+    ) {
         self.inflight_args -= 1;
+        if let Some(spec) = dup_of {
+            // Sequence-number dedup at the receiver: the duplicate copy is
+            // recognised and discarded.
+            self.metrics.incr("fault.dup_discarded");
+            self.trace_recovered(now, spec, from_pe);
+            return;
+        }
         self.last_useful = self.last_useful.max(now);
+        self.progress(now, from_pe);
         match k {
             Continuation::Host { slot } => {
                 self.host[slot as usize] = Some(value);
@@ -641,7 +1174,37 @@ impl FlexEngine {
                         slot,
                     },
                 );
-                if let Some(ready) = self.pstores[tile as usize].fill(entry, slot, value) {
+                let outcome = match self.pstores[tile as usize].fill(entry, slot, value) {
+                    Ok(outcome) => outcome,
+                    Err(source) => {
+                        self.error = Some(AccelError::PStoreCorrupt {
+                            tile: tile as usize,
+                            source,
+                        });
+                        return;
+                    }
+                };
+                if outcome.repaired {
+                    // The entry's ECC scrubbed injected taint on this fill.
+                    self.metrics.incr("fault.pstore_repairs");
+                    let specs: Vec<usize> = match self.faults.as_mut() {
+                        Some(fs) => {
+                            let queue = &mut fs.corrupt_pending[tile as usize];
+                            let hits = queue
+                                .iter()
+                                .filter(|(e, _)| *e == entry)
+                                .map(|(_, s)| *s)
+                                .collect();
+                            queue.retain(|(e, _)| *e != entry);
+                            hits
+                        }
+                        None => Vec::new(),
+                    };
+                    for spec in specs {
+                        self.trace_recovered(now, spec, tile as usize);
+                    }
+                }
+                if let Some(ready) = outcome.ready {
                     self.trace.emit(
                         now,
                         TraceEvent::PStoreDealloc {
@@ -666,24 +1229,60 @@ impl FlexEngine {
                         )));
                         return;
                     };
-                    let hop = if self.cfg.tile_of_pe(dest) == tile as usize {
-                        Time::ZERO
+                    if self.cfg.tile_of_pe(dest) == tile as usize {
+                        // Intra-tile handoff: no routed network involved.
+                        self.events.push(
+                            now,
+                            Event::TaskRun {
+                                pe: dest,
+                                task: ready,
+                                dup_of: None,
+                            },
+                        );
                     } else {
-                        self.cycles(self.cfg.costs.net_hop_cycles)
-                    };
-                    self.events.push(
-                        now + hop,
-                        Event::TaskRun {
-                            pe: dest,
-                            task: ready,
-                        },
-                    );
+                        self.send_task_msg(now, dest, ready, 0, 0);
+                    }
                 }
             }
         }
     }
 
-    fn task_run<W: Worker + ?Sized>(&mut self, now: Time, pe: usize, task: Task, worker: &mut W) {
+    fn task_run<W: Worker + ?Sized>(
+        &mut self,
+        now: Time,
+        pe: usize,
+        task: Task,
+        dup_of: Option<usize>,
+        worker: &mut W,
+    ) {
+        if let Some(spec) = dup_of {
+            self.outstanding -= 1;
+            self.metrics.incr("fault.dup_discarded");
+            self.trace_recovered(now, spec, pe);
+            return;
+        }
+        if self.is_dead(pe) {
+            // The destination died while the task was in flight: reroute to
+            // a live supporter over one more crossbar hop. The reroute is
+            // not subject to further injection so recovery always converges.
+            let Some(dest) = self.supporter_for(pe, task.ty) else {
+                self.error = Some(AccelError::Unsupported(format!(
+                    "no live PE supports task type {}",
+                    task.ty
+                )));
+                return;
+            };
+            self.metrics.incr("fault.rescued_tasks");
+            self.events.push(
+                now + self.cycles(self.cfg.costs.net_hop_cycles),
+                Event::TaskRun {
+                    pe: dest,
+                    task,
+                    dup_of: None,
+                },
+            );
+            return;
+        }
         if self.is_busy(pe, now) {
             self.push_local(pe, task, now);
         } else {
@@ -773,16 +1372,10 @@ impl FlexEngine {
         );
         for (at, k, value) in out_args {
             self.inflight_args += 1;
-            self.events.push(
-                at,
-                Event::ArgArrive {
-                    k,
-                    value,
-                    from_pe: pe,
-                },
-            );
+            self.send_arg_msg(at, k, value, pe, 0, 0);
         }
         self.last_useful = self.last_useful.max(end);
+        self.progress(end, pe);
         self.outstanding -= 1;
         // The PE stays busy (gating greedy routing and steal replies) until
         // its completion wake fires at `end`.
@@ -885,18 +1478,25 @@ impl TaskContext for FlexCtx<'_> {
         let tiles = self.pstores.len();
         for probe in 0..tiles {
             let t = (self.tile + probe) % tiles;
-            if let Some(entry) = self.pstores[t].alloc(pending) {
-                if probe > 0 {
-                    self.now += self.cycles(self.cfg.costs.net_hop_cycles);
+            match self.pstores[t].alloc(pending) {
+                Ok(Some(entry)) => {
+                    if probe > 0 {
+                        self.now += self.cycles(self.cfg.costs.net_hop_cycles);
+                    }
+                    self.trace.emit(
+                        self.now,
+                        TraceEvent::PStoreAlloc {
+                            tile: t as u32,
+                            occupancy: self.pstores[t].occupancy() as u32,
+                        },
+                    );
+                    return Continuation::pstore(t as u16, entry, 0);
                 }
-                self.trace.emit(
-                    self.now,
-                    TraceEvent::PStoreAlloc {
-                        tile: t as u32,
-                        occupancy: self.pstores[t].occupancy() as u32,
-                    },
-                );
-                return Continuation::pstore(t as u16, entry, 0);
+                Ok(None) => {} // tile full; probe the next one
+                Err(source) => {
+                    self.error = Some(AccelError::PStoreCorrupt { tile: t, source });
+                    return Continuation::host((HOST_SLOTS - 1) as u8);
+                }
             }
         }
         self.error = Some(AccelError::PStoreFull { tile: self.tile });

@@ -41,4 +41,4 @@ pub use config::{
 pub use deque::TaskDeque;
 pub use engine::{AccelError, AccelResult, FlexEngine};
 pub use lite::{LiteDriver, LiteEngine, RoundTasks};
-pub use pstore::PStore;
+pub use pstore::{FillOutcome, PStore, PStoreError};

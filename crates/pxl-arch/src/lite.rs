@@ -16,7 +16,7 @@
 use pxl_mem::{AccessKind, Memory};
 use pxl_model::serial::HOST_SLOTS;
 use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
-use pxl_sim::{Metrics, Time, TraceEvent, Tracer};
+use pxl_sim::{FaultKind, Metrics, Time, TraceEvent, Tracer};
 
 use crate::config::{AccelConfig, ArchKind};
 use crate::engine::{AccelError, AccelResult, MemBackend};
@@ -100,16 +100,24 @@ impl LiteEngine {
     /// # Panics
     ///
     /// Panics if the configuration fails [`AccelConfig::validate`] or is not
-    /// a LiteArch configuration.
+    /// a LiteArch configuration. Use [`LiteEngine::try_new`] to handle those
+    /// cases as errors.
     pub fn new(cfg: AccelConfig, profile: ExecProfile) -> Self {
-        cfg.validate().expect("invalid accelerator configuration");
-        assert_eq!(
-            cfg.arch,
-            ArchKind::Lite,
-            "LiteEngine requires ArchKind::Lite"
-        );
+        Self::try_new(cfg, profile).expect("invalid accelerator configuration")
+    }
+
+    /// Fallible constructor: returns [`AccelError::InvalidConfig`] if the
+    /// configuration fails [`AccelConfig::validate`] or is not a LiteArch
+    /// configuration.
+    pub fn try_new(cfg: AccelConfig, profile: ExecProfile) -> Result<Self, AccelError> {
+        cfg.validate().map_err(AccelError::InvalidConfig)?;
+        if cfg.arch != ArchKind::Lite {
+            return Err(AccelError::InvalidConfig(
+                "LiteEngine requires ArchKind::Lite".to_string(),
+            ));
+        }
         let backend = MemBackend::for_config(&cfg);
-        LiteEngine {
+        Ok(LiteEngine {
             profile,
             mem: Memory::new(),
             backend,
@@ -118,7 +126,7 @@ impl LiteEngine {
             metrics: Metrics::new(),
             trace: Tracer::bounded(cfg.trace_capacity),
             cfg,
-        }
+        })
     }
 
     /// Mutable access to functional memory for input setup.
@@ -159,6 +167,33 @@ impl LiteEngine {
         let limit = Time::from_us(self.cfg.max_sim_time_us);
         let mut now = Time::ZERO;
         let mut round = 0usize;
+        // Fault plan (validated to hold only PE deaths and stalls on Lite):
+        // per-PE earliest death and sorted busy windows for transient stalls.
+        let mut deaths: Vec<Option<(Time, usize)>> = vec![None; num_pes];
+        let mut stalls: Vec<Vec<(Time, Time, usize)>> = vec![Vec::new(); num_pes];
+        let mut all_deaths: Vec<(usize, Time, usize)> = Vec::new();
+        if let Some(plan) = &self.cfg.fault_plan {
+            for (idx, spec) in plan.specs().iter().enumerate() {
+                match spec.kind {
+                    FaultKind::PeDeath { pe } => {
+                        all_deaths.push((pe, spec.from, idx));
+                        if deaths[pe].is_none_or(|(t, _)| spec.from < t) {
+                            deaths[pe] = Some((spec.from, idx));
+                        }
+                    }
+                    FaultKind::PeStall { pe, cycles } => {
+                        let dur = self.cfg.clock.cycles_to_time(cycles);
+                        stalls[pe].push((spec.from, spec.from + dur, idx));
+                    }
+                    _ => {}
+                }
+            }
+            for windows in &mut stalls {
+                windows.sort();
+            }
+        }
+        let mut last_progress = Time::ZERO;
+        let mut last_unit: Option<usize> = None;
         while let Some(tasks) = driver.next_round(&mut self.mem, round) {
             self.metrics.incr("lite.rounds");
             self.metrics.add("lite.tasks", tasks.len() as u64);
@@ -175,11 +210,54 @@ impl LiteEngine {
                 .cycles_to_time(self.cfg.costs.if_dispatch_cycles);
             let mut pe_time = vec![now; num_pes];
             for (i, task) in tasks.into_iter().enumerate() {
-                let pe = i % num_pes;
                 let dispatched = now + Time::from_ps(dispatch.as_ps() * (i as u64 + 1));
-                let start = pe_time[pe].max(dispatched);
+                // The IF's scoreboard statically reassigns a dead PE's slots
+                // to the next live PE in rotation; transient stalls only
+                // push the start time past the stall window. A PE that
+                // begins a task before its death commits it (fail-stop at
+                // dispatch granularity).
+                let mut chosen = None;
+                for off in 0..num_pes {
+                    let pe = (i + off) % num_pes;
+                    let mut start = pe_time[pe].max(dispatched);
+                    for &(s, e, _) in &stalls[pe] {
+                        if start >= s && start < e {
+                            start = e;
+                        }
+                    }
+                    let alive = match deaths[pe] {
+                        Some((d, _)) => start < d,
+                        None => true,
+                    };
+                    if alive {
+                        if off > 0 {
+                            self.metrics.incr("fault.rescued_tasks");
+                        }
+                        chosen = Some((pe, start));
+                        break;
+                    }
+                }
+                let Some((pe, start)) = chosen else {
+                    // Every PE is dead: the IF can never dispatch this task.
+                    let idle_ps = dispatched.saturating_sub(last_progress).as_ps();
+                    self.metrics.incr("watchdog.stalls");
+                    self.trace.emit(
+                        dispatched,
+                        TraceEvent::WatchdogStall {
+                            unit: last_unit.map_or(u32::MAX, |u| u as u32),
+                            idle_ps,
+                        },
+                    );
+                    return Err(AccelError::Stalled {
+                        last_unit,
+                        idle_us: idle_ps / 1_000_000,
+                        blocked_unit: Some(num_pes),
+                    });
+                };
                 let end = self.execute_task(start, pe, task, worker)?;
                 pe_time[pe] = end;
+                last_progress = last_progress.max(end);
+                last_unit = Some(pe);
                 if end > limit {
                     return Err(AccelError::TimedOut);
                 }
@@ -187,6 +265,58 @@ impl LiteEngine {
             // Host-side barrier: the round ends when the slowest PE drains.
             now = pe_time.into_iter().max().unwrap_or(now);
             round += 1;
+        }
+        // Account the plan's faults against the finished run: everything
+        // that fired inside the simulated interval was absorbed by static
+        // reassignment (deaths) or waiting out the window (stalls).
+        for &(pe, at, idx) in &all_deaths {
+            let effective = deaths[pe] == Some((at, idx)) && at <= now;
+            if effective {
+                self.metrics.incr("fault.injected");
+                self.metrics.incr("fault.pe_deaths");
+                self.trace.emit(
+                    at,
+                    TraceEvent::FaultInjected {
+                        spec: idx as u32,
+                        unit: pe as u32,
+                    },
+                );
+                self.metrics.incr("fault.recovered");
+                self.trace.emit(
+                    now.max(at),
+                    TraceEvent::FaultRecovered {
+                        spec: idx as u32,
+                        unit: pe as u32,
+                    },
+                );
+            } else {
+                self.metrics.incr("fault.skipped");
+            }
+        }
+        for (pe, windows) in stalls.iter().enumerate() {
+            for &(s, e, idx) in windows {
+                if s <= now {
+                    self.metrics.incr("fault.injected");
+                    self.metrics.incr("fault.pe_stalls");
+                    self.trace.emit(
+                        s,
+                        TraceEvent::FaultInjected {
+                            spec: idx as u32,
+                            unit: pe as u32,
+                        },
+                    );
+                    self.metrics.incr("fault.recovered");
+                    self.trace.emit(
+                        e,
+                        TraceEvent::FaultRecovered {
+                            spec: idx as u32,
+                            unit: pe as u32,
+                        },
+                    );
+                } else {
+                    self.metrics.incr("fault.skipped");
+                }
+            }
         }
         let mem_stats = self.backend.take_stats();
         self.metrics.merge(&mem_stats);

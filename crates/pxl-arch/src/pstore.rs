@@ -7,8 +7,73 @@
 //! one [`pxl_model::PendingTask`] per entry plays all of those roles. The
 //! P-Store is *distributed*: one per tile, addressable from remote tiles
 //! through the continuation's tile field.
+//!
+//! Protocol violations (an argument addressed to a freed entry, an
+//! out-of-range slot) are *recoverable errors*, not panics: the fault
+//! injector deliberately provokes them, and a simulated hardware bug must
+//! surface as a failed run, never a crashed process. The store also models
+//! an ECC scrubber: [`PStore::corrupt`] flips bits in a live entry's
+//! argument words, and the next [`PStore::fill`] touching that entry
+//! detects and repairs the damage before applying the new argument.
 
-use pxl_model::{PendingTask, Task};
+use pxl_model::{PendingTask, Task, MAX_ARGS};
+
+/// A protocol violation detected by the P-Store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PStoreError {
+    /// An argument arrived for an entry outside the store.
+    OutOfBounds {
+        /// The offending entry index.
+        entry: u32,
+    },
+    /// An argument arrived for a freed or never-allocated entry.
+    DeadEntry {
+        /// The offending entry index.
+        entry: u32,
+    },
+    /// An argument named a slot past the argument array.
+    BadSlot {
+        /// The targeted entry.
+        entry: u32,
+        /// The out-of-range slot.
+        slot: u8,
+    },
+    /// An allocation carried an impossible join counter.
+    BadJoin {
+        /// The rejected join counter.
+        join: u8,
+    },
+}
+
+impl std::fmt::Display for PStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PStoreError::OutOfBounds { entry } => {
+                write!(f, "P-Store entry {entry} is out of bounds")
+            }
+            PStoreError::DeadEntry { entry } => {
+                write!(f, "argument delivered to dead P-Store entry {entry}")
+            }
+            PStoreError::BadSlot { entry, slot } => {
+                write!(f, "argument slot {slot} out of range for entry {entry}")
+            }
+            PStoreError::BadJoin { join } => {
+                write!(f, "join counter {join} outside 1..={MAX_ARGS}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PStoreError {}
+
+/// Result of a successful [`PStore::fill`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// The completed task, when this argument was the last of the join.
+    pub ready: Option<Task>,
+    /// Whether the scrubber repaired injected corruption on the way in.
+    pub repaired: bool,
+}
 
 /// One tile's pending-task storage.
 ///
@@ -20,19 +85,25 @@ use pxl_model::{PendingTask, Task};
 ///
 /// let mut ps = PStore::new(4);
 /// let p = PendingTask::new(TaskTypeId(1), Continuation::host(0), 2);
-/// let entry = ps.alloc(p).expect("store has space");
-/// assert!(ps.fill(entry, 0, 10).is_none());
-/// let ready = ps.fill(entry, 1, 20).expect("join complete");
+/// let entry = ps.alloc(p).expect("store has space").expect("valid join");
+/// assert!(ps.fill(entry, 0, 10).unwrap().ready.is_none());
+/// let ready = ps.fill(entry, 1, 20).unwrap().ready.expect("join complete");
 /// assert_eq!(ready.args[..2], [10, 20]);
 /// assert_eq!(ps.occupancy(), 0); // entry freed on completion
+/// // Filling the freed entry again is an error, not a panic.
+/// assert!(ps.fill(entry, 0, 0).is_err());
 /// ```
 #[derive(Debug, Clone)]
 pub struct PStore {
     entries: Vec<Option<PendingTask>>,
+    /// Outstanding corruption per entry: the XOR mask the scrubber must
+    /// undo on next access (0 = clean).
+    taint: Vec<u64>,
     free: Vec<u32>,
     peak: usize,
     total_allocs: u64,
     full_events: u64,
+    repairs: u64,
 }
 
 impl PStore {
@@ -40,10 +111,12 @@ impl PStore {
     pub fn new(capacity: usize) -> Self {
         PStore {
             entries: vec![None; capacity],
+            taint: vec![0; capacity],
             free: (0..capacity as u32).rev().collect(),
             peak: 0,
             total_allocs: 0,
             full_events: 0,
+            repairs: 0,
         }
     }
 
@@ -67,40 +140,94 @@ impl PStore {
         self.full_events
     }
 
-    /// Allocates an entry for `pending`, returning its index, or `None` if
+    /// Number of corrupted entries the scrubber has repaired.
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Allocates an entry for `pending`, returning its index, `None` if
     /// the store is full.
-    pub fn alloc(&mut self, pending: PendingTask) -> Option<u32> {
+    ///
+    /// # Errors
+    ///
+    /// [`PStoreError::BadJoin`] if the pending task's join counter is
+    /// outside `1..=MAX_ARGS` (allocation misuse: a ready task should be
+    /// spawned, not parked).
+    pub fn alloc(&mut self, pending: PendingTask) -> Result<Option<u32>, PStoreError> {
+        if pending.join == 0 || pending.join as usize > MAX_ARGS {
+            return Err(PStoreError::BadJoin { join: pending.join });
+        }
         match self.free.pop() {
             Some(e) => {
                 self.entries[e as usize] = Some(pending);
+                self.taint[e as usize] = 0;
                 self.total_allocs += 1;
                 self.peak = self.peak.max(self.occupancy());
-                Some(e)
+                Ok(Some(e))
             }
             None => {
                 self.full_events += 1;
-                None
+                Ok(None)
             }
         }
     }
 
-    /// Delivers an argument to `slot` of `entry`. When the join counter
-    /// reaches zero the entry is deallocated and the ready task returned.
+    /// Delivers an argument to `slot` of `entry`, repairing any injected
+    /// corruption first. When the join counter reaches zero the entry is
+    /// deallocated and the ready task returned in the outcome.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `entry` is not live (an argument arrived for a freed or
-    /// never-allocated entry — a protocol violation).
-    pub fn fill(&mut self, entry: u32, slot: u8, value: u64) -> Option<Task> {
+    /// [`PStoreError`] on any protocol violation: an out-of-bounds or dead
+    /// entry (the argument outlived its join), or an out-of-range slot.
+    pub fn fill(&mut self, entry: u32, slot: u8, value: u64) -> Result<FillOutcome, PStoreError> {
+        if entry as usize >= self.entries.len() {
+            return Err(PStoreError::OutOfBounds { entry });
+        }
+        if slot as usize >= MAX_ARGS {
+            return Err(PStoreError::BadSlot { entry, slot });
+        }
+        let taint = std::mem::take(&mut self.taint[entry as usize]);
         let cell = self.entries[entry as usize]
             .as_mut()
-            .expect("argument delivered to a dead P-Store entry");
+            .ok_or(PStoreError::DeadEntry { entry })?;
+        let repaired = taint != 0;
+        if repaired {
+            // The ECC scrubber detects the upset on access and restores the
+            // stored words (XOR masks are self-inverse).
+            for arg in cell.args.iter_mut() {
+                *arg ^= taint;
+            }
+            self.repairs += 1;
+        }
         let ready = cell.fill(slot, value);
         if ready.is_some() {
             self.entries[entry as usize] = None;
             self.free.push(entry);
         }
-        ready
+        Ok(FillOutcome { ready, repaired })
+    }
+
+    /// Injects corruption: XORs `mask` into every argument word of the
+    /// lowest-indexed live entry, returning that entry, or `None` when the
+    /// store holds no live entry (nothing to corrupt). The damage is
+    /// repaired by the scrubber on the entry's next [`PStore::fill`].
+    pub fn corrupt(&mut self, mask: u64) -> Option<u32> {
+        let (entry, cell) = self
+            .entries
+            .iter_mut()
+            .enumerate()
+            .find_map(|(i, c)| c.as_mut().map(|c| (i, c)))?;
+        for arg in cell.args.iter_mut() {
+            *arg ^= mask;
+        }
+        self.taint[entry] ^= mask;
+        Some(entry as u32)
+    }
+
+    /// Whether `entry` currently carries unrepaired injected corruption.
+    pub fn tainted(&self, entry: u32) -> bool {
+        self.taint.get(entry as usize).is_some_and(|t| *t != 0)
     }
 }
 
@@ -113,26 +240,30 @@ mod tests {
         PendingTask::new(TaskTypeId(7), Continuation::host(0), join)
     }
 
+    fn must_alloc(ps: &mut PStore, join: u8) -> u32 {
+        ps.alloc(pending(join)).unwrap().unwrap()
+    }
+
     #[test]
     fn alloc_fill_free_cycle() {
         let mut ps = PStore::new(2);
-        let a = ps.alloc(pending(1)).unwrap();
-        let b = ps.alloc(pending(2)).unwrap();
+        let a = must_alloc(&mut ps, 1);
+        let b = must_alloc(&mut ps, 2);
         assert_ne!(a, b);
         assert_eq!(ps.occupancy(), 2);
-        assert!(ps.alloc(pending(1)).is_none(), "store is full");
+        assert!(ps.alloc(pending(1)).unwrap().is_none(), "store is full");
         assert_eq!(ps.full_events(), 1);
-        let ready = ps.fill(a, 0, 42).unwrap();
+        let ready = ps.fill(a, 0, 42).unwrap().ready.unwrap();
         assert_eq!(ready.args[0], 42);
         assert_eq!(ps.occupancy(), 1);
         // Freed entry is reusable.
-        assert!(ps.alloc(pending(1)).is_some());
+        assert!(ps.alloc(pending(1)).unwrap().is_some());
     }
 
     #[test]
     fn peak_occupancy() {
         let mut ps = PStore::new(8);
-        let ids: Vec<u32> = (0..5).map(|_| ps.alloc(pending(1)).unwrap()).collect();
+        let ids: Vec<u32> = (0..5).map(|_| must_alloc(&mut ps, 1)).collect();
         for id in &ids {
             let _ = ps.fill(*id, 0, 0);
         }
@@ -144,20 +275,82 @@ mod tests {
     #[test]
     fn partial_join_keeps_entry_live() {
         let mut ps = PStore::new(1);
-        let e = ps.alloc(pending(3)).unwrap();
-        assert!(ps.fill(e, 0, 1).is_none());
-        assert!(ps.fill(e, 2, 3).is_none());
+        let e = must_alloc(&mut ps, 3);
+        assert!(ps.fill(e, 0, 1).unwrap().ready.is_none());
+        assert!(ps.fill(e, 2, 3).unwrap().ready.is_none());
         assert_eq!(ps.occupancy(), 1);
-        let ready = ps.fill(e, 1, 2).unwrap();
+        let ready = ps.fill(e, 1, 2).unwrap().ready.unwrap();
         assert_eq!(ready.args[..3], [1, 2, 3]);
     }
 
     #[test]
-    #[should_panic(expected = "dead P-Store entry")]
-    fn filling_freed_entry_panics() {
+    fn filling_freed_entry_is_a_recoverable_error() {
         let mut ps = PStore::new(1);
-        let e = ps.alloc(pending(1)).unwrap();
-        let _ = ps.fill(e, 0, 0);
-        let _ = ps.fill(e, 0, 0);
+        let e = must_alloc(&mut ps, 1);
+        assert!(ps.fill(e, 0, 0).is_ok());
+        assert_eq!(ps.fill(e, 0, 0), Err(PStoreError::DeadEntry { entry: e }));
+        // The store stays usable after the violation.
+        assert!(ps.alloc(pending(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn bad_addresses_are_recoverable_errors() {
+        let mut ps = PStore::new(2);
+        let e = must_alloc(&mut ps, 2);
+        assert_eq!(ps.fill(9, 0, 0), Err(PStoreError::OutOfBounds { entry: 9 }));
+        assert_eq!(
+            ps.fill(e, MAX_ARGS as u8, 0),
+            Err(PStoreError::BadSlot {
+                entry: e,
+                slot: MAX_ARGS as u8
+            })
+        );
+        // Misuse left the entry intact.
+        assert_eq!(ps.occupancy(), 1);
+    }
+
+    #[test]
+    fn bad_join_is_rejected_at_alloc() {
+        let mut ps = PStore::new(2);
+        let mut p = pending(1);
+        p.join = 0;
+        assert_eq!(ps.alloc(p), Err(PStoreError::BadJoin { join: 0 }));
+        let mut p = pending(1);
+        p.join = (MAX_ARGS + 1) as u8;
+        assert!(ps.alloc(p).is_err());
+        assert_eq!(ps.occupancy(), 0, "rejected allocs hold no entry");
+    }
+
+    #[test]
+    fn corruption_is_repaired_on_next_fill() {
+        let mut ps = PStore::new(4);
+        let e = must_alloc(&mut ps, 2);
+        let _ = ps.fill(e, 0, 0xAAAA).unwrap();
+        let hit = ps.corrupt(0xFF00).expect("a live entry exists");
+        assert_eq!(hit, e);
+        let out = ps.fill(e, 1, 0x5555).unwrap();
+        assert!(out.repaired, "scrubber must flag the repair");
+        let ready = out.ready.expect("join of two complete");
+        assert_eq!(ready.args[..2], [0xAAAA, 0x5555], "values restored");
+        assert_eq!(ps.repairs(), 1);
+    }
+
+    #[test]
+    fn corrupting_an_empty_store_is_a_no_op() {
+        let mut ps = PStore::new(2);
+        assert_eq!(ps.corrupt(0xFF), None);
+        assert_eq!(ps.repairs(), 0);
+    }
+
+    #[test]
+    fn double_corruption_cancels_and_accumulates_correctly() {
+        let mut ps = PStore::new(2);
+        let e = must_alloc(&mut ps, 2);
+        let _ = ps.fill(e, 0, 7).unwrap();
+        ps.corrupt(0b1100);
+        ps.corrupt(0b1010);
+        let out = ps.fill(e, 1, 8).unwrap();
+        assert!(out.repaired);
+        assert_eq!(out.ready.unwrap().args[..2], [7, 8]);
     }
 }

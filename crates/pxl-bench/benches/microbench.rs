@@ -53,9 +53,12 @@ fn bench_pstore() {
     let mut ps = PStore::new(1 << 12);
     let pending = PendingTask::new(TaskTypeId(1), Continuation::host(0), 2);
     bench("pstore/alloc_fill_free", 1_000_000, || {
-        let e = ps.alloc(black_box(pending)).unwrap();
-        black_box(ps.fill(e, 0, 1));
-        black_box(ps.fill(e, 1, 2));
+        let e = ps
+            .alloc(black_box(pending))
+            .expect("valid join")
+            .expect("store has space");
+        black_box(ps.fill(e, 0, 1)).expect("live entry");
+        black_box(ps.fill(e, 1, 2)).expect("live entry");
     });
 }
 

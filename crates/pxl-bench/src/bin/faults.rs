@@ -1,0 +1,241 @@
+//! Fault sweep: availability vs. overhead under deterministic fault
+//! injection.
+//!
+//! Runs every Table II benchmark on an 8-PE FlexArch accelerator under six
+//! scenarios — fault-free, one PE killed mid-run, a transient PE stall,
+//! bounded message drops, bounded message duplication, and P-Store
+//! corruption — and emits one JSONL record per (benchmark, scenario) to
+//! `fault_results.jsonl`, plus a markdown summary table on stdout.
+//!
+//! The sweep doubles as a regression gate: it exits nonzero when any run
+//! leaves a fault unrecovered, breaks the `recovered == injected`
+//! accounting, fails golden validation, or replays nondeterministically.
+//!
+//! Pass `--smoke` to run at `Scale::Tiny` (the CI smoke configuration).
+
+use pxl_apps::{Benchmark, Scale};
+use pxl_arch::AccelConfig;
+use pxl_bench::{bench, render_table, ALL_BENCHES};
+use pxl_flow::SimulationBuilder;
+use pxl_sim::{FaultPlan, Metrics, NetClass, Time};
+
+/// One fault scenario of the sweep.
+struct Scenario {
+    name: &'static str,
+    plan: fn() -> Option<FaultPlan>,
+}
+
+const SCENARIOS: [Scenario; 6] = [
+    Scenario {
+        name: "clean",
+        plan: || None,
+    },
+    Scenario {
+        name: "kill1",
+        plan: || Some(FaultPlan::new(0xD1E).kill_pe(3, Time::from_us(2))),
+    },
+    Scenario {
+        name: "stall",
+        plan: || Some(FaultPlan::new(0x57A11).stall_pe(1, Time::from_us(1), 5_000)),
+    },
+    Scenario {
+        name: "drop",
+        plan: || {
+            Some(
+                FaultPlan::new(0xD20)
+                    .drop_messages(NetClass::Arg, Time::ZERO, Time::MAX, 500, 6)
+                    .drop_messages(NetClass::Task, Time::ZERO, Time::MAX, 500, 2),
+            )
+        },
+    },
+    Scenario {
+        name: "dup",
+        plan: || {
+            Some(
+                FaultPlan::new(0xD09)
+                    .duplicate_messages(NetClass::Arg, Time::ZERO, Time::MAX, 500, 8)
+                    .duplicate_messages(NetClass::Task, Time::ZERO, Time::MAX, 500, 4),
+            )
+        },
+    },
+    Scenario {
+        name: "corrupt",
+        plan: || {
+            Some(
+                FaultPlan::new(0xECC)
+                    .corrupt_pstore(0, Time::from_us(1), 0xFFFF_0000)
+                    .corrupt_pstore(1, Time::from_us(2), 0x0000_FFFF),
+            )
+        },
+    },
+];
+
+/// Outcome of one faulted run.
+struct FaultRun {
+    bench: String,
+    scenario: &'static str,
+    kernel_ps: u64,
+    result_ok: bool,
+    metrics: Metrics,
+}
+
+impl FaultRun {
+    fn injected(&self) -> u64 {
+        self.metrics.get("fault.injected")
+    }
+    fn recovered(&self) -> u64 {
+        self.metrics.get("fault.recovered")
+    }
+    fn unrecovered(&self) -> u64 {
+        self.metrics.get("fault.unrecovered")
+    }
+
+    fn to_jsonl(&self, overhead_pct: f64) -> String {
+        format!(
+            concat!(
+                "{{\"bench\":\"{}\",\"scenario\":\"{}\",\"kernel_ps\":{},",
+                "\"overhead_pct\":{:.3},\"injected\":{},\"recovered\":{},",
+                "\"unrecovered\":{},\"result_ok\":{},\"metrics\":{}}}"
+            ),
+            self.bench,
+            self.scenario,
+            self.kernel_ps,
+            overhead_pct,
+            self.injected(),
+            self.recovered(),
+            self.unrecovered(),
+            self.result_ok,
+            self.metrics.to_json(),
+        )
+    }
+}
+
+/// Runs `bench` under `plan` on an 8-PE FlexArch, optionally traced,
+/// returning the run record and the trace JSONL.
+fn run_faulted(
+    b: &dyn Benchmark,
+    scenario: &'static str,
+    plan: Option<FaultPlan>,
+    trace: bool,
+) -> (FaultRun, String) {
+    let mut builder = SimulationBuilder::from_config(AccelConfig::flex(2, 4), b.profile());
+    if let Some(plan) = plan {
+        builder.with_faults(plan);
+    }
+    if trace {
+        builder.trace(1 << 18);
+    }
+    let mut engine = builder
+        .build()
+        .unwrap_or_else(|e| panic!("{} [{scenario}]: {e}", b.meta().name));
+    let inst = b.flex(engine.mem_mut());
+    let mut worker = inst.worker;
+    let out = engine
+        .run(pxl_arch::Workload::dynamic(worker.as_mut(), inst.root))
+        .unwrap_or_else(|e| panic!("{} [{scenario}] failed: {e}", b.meta().name));
+    let result_ok = b.check(engine.memory(), out.result).is_ok();
+    (
+        FaultRun {
+            bench: b.meta().name.to_owned(),
+            scenario,
+            kernel_ps: out.elapsed.as_ps(),
+            result_ok,
+            metrics: out.metrics,
+        },
+        out.trace.to_jsonl(),
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Tiny } else { Scale::Small };
+    let mut failures: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut jsonl: Vec<String> = Vec::new();
+
+    for name in ALL_BENCHES {
+        let b = bench(name, scale);
+        let mut clean_ps = 0u64;
+        for sc in &SCENARIOS {
+            let (run, _) = run_faulted(b.as_ref(), sc.name, (sc.plan)(), false);
+            if sc.name == "clean" {
+                clean_ps = run.kernel_ps;
+            }
+            let overhead_pct = if clean_ps == 0 {
+                0.0
+            } else {
+                (run.kernel_ps as f64 / clean_ps as f64 - 1.0) * 100.0
+            };
+            if !run.result_ok {
+                failures.push(format!("{name} [{}]: golden validation failed", sc.name));
+            }
+            if run.unrecovered() > 0 {
+                failures.push(format!(
+                    "{name} [{}]: {} fault(s) unrecovered",
+                    sc.name,
+                    run.unrecovered()
+                ));
+            }
+            if run.recovered() != run.injected() {
+                failures.push(format!(
+                    "{name} [{}]: accounting imbalance ({} injected, {} recovered)",
+                    sc.name,
+                    run.injected(),
+                    run.recovered()
+                ));
+            }
+            rows.push(vec![
+                name.to_owned(),
+                sc.name.to_owned(),
+                format!("{}", run.injected()),
+                format!("{}", run.recovered()),
+                format!("{:+.2}%", overhead_pct),
+                if run.result_ok { "ok" } else { "WRONG" }.to_owned(),
+            ]);
+            jsonl.push(run.to_jsonl(overhead_pct));
+        }
+
+        // Replay gate: the kill1 scenario must trace byte-identically.
+        let (_, first) = run_faulted(b.as_ref(), "kill1", (SCENARIOS[1].plan)(), true);
+        let (_, second) = run_faulted(b.as_ref(), "kill1", (SCENARIOS[1].plan)(), true);
+        if first != second {
+            failures.push(format!("{name} [kill1]: nondeterministic replay"));
+        }
+        eprintln!("[faults] {name}: swept {} scenarios", SCENARIOS.len());
+    }
+
+    println!("# Fault sweep: availability vs. overhead (8-PE FlexArch)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "bench",
+                "scenario",
+                "injected",
+                "recovered",
+                "overhead",
+                "result"
+            ],
+            &rows,
+        )
+    );
+
+    let path = std::path::Path::new("fault_results.jsonl");
+    match std::fs::write(path, jsonl.join("\n") + "\n") {
+        Ok(()) => eprintln!(
+            "[jsonl] wrote {} records to {}",
+            jsonl.len(),
+            path.display()
+        ),
+        Err(e) => failures.push(format!("failed to write {}: {e}", path.display())),
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\n[faults] FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("[faults] all scenarios recovered deterministically");
+}

@@ -39,6 +39,7 @@ use pxl_cost::resources::{tile_resources, FpgaDevice, TileResources};
 use pxl_cpu::{CpuEngine, SoftwareCosts};
 use pxl_model::ExecProfile;
 use pxl_sim::config::{CpuCoreParams, MemoryConfig};
+use pxl_sim::FaultPlan;
 
 /// Errors produced while parsing a specification or elaborating a design.
 ///
@@ -426,6 +427,7 @@ pub struct SimulationBuilder {
     target: Target,
     profile: ExecProfile,
     trace_capacity: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl SimulationBuilder {
@@ -441,6 +443,7 @@ impl SimulationBuilder {
             target: Target::Accel(config),
             profile,
             trace_capacity: 0,
+            faults: None,
         }
     }
 
@@ -473,6 +476,7 @@ impl SimulationBuilder {
             },
             profile,
             trace_capacity: 0,
+            faults: None,
         }
     }
 
@@ -486,6 +490,16 @@ impl SimulationBuilder {
     /// records per source (zero, the default, disables tracing).
     pub fn trace(&mut self, capacity: usize) -> &mut Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan for the run. Only
+    /// accelerator targets accept one — the software baseline has no
+    /// modelled fault surface — and the plan is validated against the
+    /// configuration (PE and tile indices, LiteArch's restricted fault
+    /// vocabulary) at [`SimulationBuilder::build`].
+    pub fn with_faults(&mut self, plan: FaultPlan) -> &mut Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -507,12 +521,24 @@ impl SimulationBuilder {
     pub fn build(&self) -> Result<Box<dyn Engine>, FlowError> {
         match &self.target {
             Target::Accel(config) => {
-                config.validate().map_err(FlowError::InvalidConfig)?;
                 let mut config = config.clone();
                 config.trace_capacity = self.trace_capacity;
+                if let Some(plan) = &self.faults {
+                    config.fault_plan = Some(plan.clone());
+                }
+                // Unwrap AccelError::InvalidConfig so FlowError does not
+                // stack a second "invalid configuration:" prefix on it.
+                let lift = |e: pxl_arch::AccelError| match e {
+                    pxl_arch::AccelError::InvalidConfig(msg) => FlowError::InvalidConfig(msg),
+                    other => FlowError::InvalidConfig(other.to_string()),
+                };
                 Ok(match config.arch {
-                    ArchKind::Flex => Box::new(FlexEngine::new(config, self.profile)),
-                    ArchKind::Lite => Box::new(LiteEngine::new(config, self.profile)),
+                    ArchKind::Flex => {
+                        Box::new(FlexEngine::try_new(config, self.profile).map_err(lift)?)
+                    }
+                    ArchKind::Lite => {
+                        Box::new(LiteEngine::try_new(config, self.profile).map_err(lift)?)
+                    }
                 })
             }
             Target::Cpu {
@@ -521,6 +547,13 @@ impl SimulationBuilder {
                 memory,
                 costs,
             } => {
+                if self.faults.is_some() {
+                    return Err(FlowError::InvalidConfig(
+                        "fault injection requires an accelerator target; \
+                         the CPU baseline has no modelled fault surface"
+                            .into(),
+                    ));
+                }
                 if *cores == 0 {
                     return Err(FlowError::InvalidConfig(
                         "the CPU baseline needs at least one core".into(),

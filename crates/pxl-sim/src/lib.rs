@@ -24,6 +24,7 @@
 
 pub mod config;
 pub mod event;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod qcheck;
@@ -34,6 +35,7 @@ pub mod trace;
 
 pub use config::{MemoryConfig, PlatformConfig};
 pub use event::EventQueue;
+pub use fault::{FaultKind, FaultPlan, FaultScheduler, FaultSpec, NetClass, SendVerdict};
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricKind, Metrics};
 pub use rng::{Lfsr16, XorShift64};
 pub use stats::Stats;

@@ -66,6 +66,17 @@ pub enum TraceEvent {
     /// A DRAM bandwidth epoch filled up and an access spilled to a later
     /// epoch.
     DramSaturated { epoch: u64, committed_ps: u64 },
+    /// A planned fault fired; `spec` indexes the fault plan, `unit` is the
+    /// affected PE/tile/sender.
+    FaultInjected { spec: u32, unit: u32 },
+    /// A previously injected fault was fully masked by the recovery
+    /// machinery (retry, rescue, repair, or stall expiry).
+    FaultRecovered { spec: u32, unit: u32 },
+    /// A fault exhausted its recovery budget and was given up on.
+    FaultUnrecovered { spec: u32, unit: u32 },
+    /// The quiescence watchdog declared the run stalled; `unit` is the
+    /// unit that last made forward progress, `idle_ps` how long ago.
+    WatchdogStall { unit: u32, idle_ps: u64 },
 }
 
 impl TraceEvent {
@@ -85,6 +96,10 @@ impl TraceEvent {
             TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::CacheEvict { .. } => "cache_evict",
             TraceEvent::DramSaturated { .. } => "dram_saturated",
+            TraceEvent::FaultInjected { .. } => "fault.injected",
+            TraceEvent::FaultRecovered { .. } => "fault.recovered",
+            TraceEvent::FaultUnrecovered { .. } => "fault.unrecovered",
+            TraceEvent::WatchdogStall { .. } => "watchdog.stall",
         }
     }
 
@@ -124,6 +139,14 @@ impl TraceEvent {
                 epoch,
                 committed_ps,
             } => vec![("epoch", epoch), ("committed_ps", committed_ps)],
+            TraceEvent::FaultInjected { spec, unit }
+            | TraceEvent::FaultRecovered { spec, unit }
+            | TraceEvent::FaultUnrecovered { spec, unit } => {
+                vec![("spec", spec as u64), ("unit", unit as u64)]
+            }
+            TraceEvent::WatchdogStall { unit, idle_ps } => {
+                vec![("unit", unit as u64), ("idle_ps", idle_ps)]
+            }
         }
     }
 }

@@ -16,4 +16,9 @@ cargo build --release --workspace --offline
 echo "==> cargo test --offline"
 cargo test -q --workspace --offline
 
+echo "==> fault smoke sweep (pxl-bench --bin faults -- --smoke)"
+# Exits nonzero on any unrecovered fault, recovery-accounting imbalance,
+# golden mismatch, or nondeterministic fault replay.
+cargo run --release --offline -p pxl-bench --bin faults -- --smoke > /dev/null
+
 echo "==> OK"

@@ -104,7 +104,7 @@ pub use pxl_sim as sim;
 /// The unified engine API and the two accelerator engines.
 pub use pxl_arch::{
     AccelConfig, AccelError, AccelResult, ArchKind, Engine, EngineKind, FlexEngine, LiteDriver,
-    LiteEngine, MemBackendKind, Workload,
+    LiteEngine, MemBackendKind, PStoreError, Workload,
 };
 /// The software baseline engine and its runtime cost knobs.
 pub use pxl_cpu::{CpuEngine, CpuResult, SoftwareCosts};
@@ -116,6 +116,9 @@ pub use pxl_mem::Memory;
 pub use pxl_model::{
     Continuation, ExecProfile, SerialExecutor, Task, TaskContext, TaskTypeId, Worker,
 };
+/// Deterministic fault injection: seeded plans armed via
+/// [`SimulationBuilder::with_faults`] or [`AccelConfig::fault_plan`].
+pub use pxl_sim::{FaultKind, FaultPlan, FaultSpec, NetClass};
 /// Typed metrics, bounded event tracing, and simulated time.
 pub use pxl_sim::{Histogram, MetricKind, Metrics, Stats, Time, TraceEvent, TraceRecord, Tracer};
 

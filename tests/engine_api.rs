@@ -7,7 +7,8 @@
 use parallelxl::apps::{suite, Scale};
 use parallelxl::arch::AccelConfig;
 use parallelxl::cpu::CpuEngine;
-use parallelxl::{FlexEngine, LiteEngine, SimulationBuilder, Workload};
+use parallelxl::sim::qcheck::{check, Gen};
+use parallelxl::{FaultPlan, FlexEngine, LiteEngine, NetClass, SimulationBuilder, Time, Workload};
 
 /// All ten benchmarks: the old inherent FlexArch path and the new
 /// trait-object path agree on results and cycle counts at 4 PEs.
@@ -152,4 +153,86 @@ fn same_seed_traces_are_byte_identical() {
             .lines()
             .all(|l| l.starts_with('{') && l.ends_with('}')));
     }
+}
+
+/// Any seeded fault plan replays byte-identically: two traced runs of the
+/// same `(plan, workload)` pair serialize to the same JSONL and produce the
+/// same result, elapsed time, and metrics — the whole point of seeding the
+/// fault scheduler.
+#[test]
+fn any_seeded_fault_plan_replays_byte_identically() {
+    check(10, "fault plans replay byte-identically", |g: &mut Gen| {
+        // Bounded random plan against flex(2, 4): kill/stall a minority of
+        // the 8 PEs and keep drop budgets below the retry limit so every
+        // generated plan is survivable.
+        let mut plan = FaultPlan::new(g.range(0, u64::MAX));
+        // A single message is retried at most MAX_SEND_RETRIES (8) times, so
+        // the drop budget across all specs stays at 8 to guarantee delivery.
+        let mut drops_left = 8u64;
+        for _ in 0..g.usize_in(1, 5) {
+            plan = match g.range(0, 5) {
+                0 => plan.kill_pe(g.usize_in(0, 8), Time::from_us(g.range(0, 20))),
+                1 => plan.stall_pe(
+                    g.usize_in(0, 8),
+                    Time::from_us(g.range(0, 20)),
+                    g.range(1, 2_000),
+                ),
+                2 if drops_left > 0 => {
+                    let budget = g.range(1, drops_left + 1);
+                    drops_left -= budget;
+                    plan.drop_messages(
+                        *g.pick(&[NetClass::Arg, NetClass::Task]),
+                        Time::ZERO,
+                        Time::MAX,
+                        g.range(1, 1_001) as u16,
+                        budget as u32,
+                    )
+                }
+                2 | 3 => plan.duplicate_messages(
+                    *g.pick(&[NetClass::Arg, NetClass::Task]),
+                    Time::ZERO,
+                    Time::MAX,
+                    g.range(1, 1_001) as u16,
+                    g.range(1, 9) as u32,
+                ),
+                _ => plan.corrupt_pstore(
+                    g.usize_in(0, 2),
+                    Time::from_us(g.range(0, 20)),
+                    g.range(1, u64::MAX),
+                ),
+            };
+        }
+        let bench_name = *g.pick(&["queens", "uts"]);
+
+        let run_traced = || {
+            let bench = parallelxl::apps::by_name(bench_name, Scale::Tiny).expect("known");
+            let mut engine =
+                SimulationBuilder::from_config(AccelConfig::flex(2, 4), bench.profile())
+                    .with_faults(plan.clone())
+                    .trace(1 << 16)
+                    .build()
+                    .expect("valid faulted config");
+            let inst = bench.flex(engine.mem_mut());
+            let mut worker = inst.worker;
+            let out = engine
+                .run(Workload::dynamic(worker.as_mut(), inst.root))
+                .expect("bounded plans are survivable");
+            bench
+                .check(engine.memory(), out.result)
+                .expect("faulted run stays golden");
+            (out.trace.to_jsonl(), out.result, out.elapsed, out.metrics)
+        };
+
+        let (trace_a, result_a, elapsed_a, metrics_a) = run_traced();
+        let (trace_b, result_b, elapsed_b, metrics_b) = run_traced();
+        assert_eq!(trace_a, trace_b, "{bench_name}: fault replay diverged");
+        assert_eq!(result_a, result_b);
+        assert_eq!(elapsed_a, elapsed_b);
+        assert_eq!(metrics_a, metrics_b);
+        assert_eq!(
+            metrics_a.get("fault.recovered"),
+            metrics_a.get("fault.injected"),
+            "{bench_name}: recovery accounting must balance"
+        );
+    });
 }

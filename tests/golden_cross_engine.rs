@@ -5,6 +5,8 @@
 
 use parallelxl::apps::{suite, Scale};
 use parallelxl::model::SerialExecutor;
+use parallelxl::sim::qcheck::{check, Gen};
+use parallelxl::{FaultPlan, Time};
 use pxl_bench::{run_cpu, run_flex, run_lite};
 
 #[test]
@@ -67,6 +69,45 @@ fn engines_agree_on_result_values() {
         assert_eq!(flex_result, want, "{name}: flex result differs from serial");
         let _ = cpu;
     }
+}
+
+/// Killing any single PE at any point of the run never changes the computed
+/// result: the FlexArch fabric reroutes, rescues, and finishes with the
+/// fault-free golden value.
+#[test]
+fn single_pe_death_preserves_the_golden_result() {
+    check(10, "single PE death stays golden", |g: &mut Gen| {
+        let name = *g.pick(&["queens", "uts", "quicksort", "cilksort"]);
+        let bench = parallelxl::apps::by_name(name, Scale::Tiny).unwrap();
+
+        let run_with = |plan: Option<FaultPlan>| {
+            let mut cfg = parallelxl::arch::AccelConfig::flex(2, 4);
+            cfg.fault_plan = plan;
+            let mut engine = parallelxl::arch::FlexEngine::new(cfg, bench.profile());
+            let inst = bench.flex(engine.mem_mut());
+            let mut w = inst.worker;
+            let out = engine.run(w.as_mut(), inst.root).expect("run completes");
+            bench
+                .check(engine.memory(), out.result)
+                .expect("run stays golden");
+            (out.result, out.metrics)
+        };
+
+        let (golden, _) = run_with(None);
+        let pe = g.usize_in(0, 8);
+        let at = Time::from_ps(g.range(0, 40_000_000)); // anywhere in [0, 40 us)
+        let (faulted, metrics) = run_with(Some(FaultPlan::new(g.u64()).kill_pe(pe, at)));
+        assert_eq!(
+            faulted, golden,
+            "{name}: killing PE {pe} at {at} changed the result"
+        );
+        assert_eq!(
+            metrics.get("fault.recovered"),
+            metrics.get("fault.injected"),
+            "{name}: recovery accounting must balance"
+        );
+        assert_eq!(metrics.get("fault.unrecovered"), 0);
+    });
 }
 
 #[test]

@@ -73,6 +73,7 @@ fn pstore_join_counting() {
             let mut ps = PStore::new(4);
             let entry = ps
                 .alloc(PendingTask::new(TaskTypeId(1), Continuation::host(0), join))
+                .unwrap()
                 .unwrap();
             // Shuffle slot order from the generator.
             let mut slots: Vec<u8> = (0..join).collect();
@@ -81,14 +82,14 @@ fn pstore_join_counting() {
                 slots.swap(i, j);
             }
             for (i, &slot) in slots.iter().enumerate() {
-                let ready = ps.fill(entry, slot, 100 + slot as u64);
+                let outcome = ps.fill(entry, slot, 100 + slot as u64).unwrap();
                 if i + 1 == join as usize {
-                    let t = ready.expect("last argument completes the join");
+                    let t = outcome.ready.expect("last argument completes the join");
                     for &slot in &slots {
                         assert_eq!(t.args[slot as usize], 100 + slot as u64);
                     }
                 } else {
-                    assert!(ready.is_none());
+                    assert!(outcome.ready.is_none());
                 }
             }
             assert_eq!(ps.occupancy(), 0);
