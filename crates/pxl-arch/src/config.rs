@@ -43,6 +43,95 @@ impl std::fmt::Display for ArchKind {
     }
 }
 
+/// Why a configuration is not realizable, as reported by
+/// [`AccelConfig::validate`].
+///
+/// Typed variants let callers — most importantly the `pxl-dse` feasibility
+/// pruner — report *which* constraint a design point violates instead of
+/// pattern-matching on message strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `tiles == 0`.
+    NoTiles,
+    /// `pes_per_tile == 0`.
+    NoPes,
+    /// A task queue with fewer than two entries cannot hold a task while a
+    /// steal is in flight.
+    TaskQueueTooSmall {
+        /// The rejected capacity.
+        entries: usize,
+    },
+    /// FlexArch with `pstore_entries == 0`.
+    EmptyPStore,
+    /// More tiles than the continuation encoding can address.
+    TooManyTiles {
+        /// The rejected tile count.
+        tiles: usize,
+    },
+    /// The quiescence watchdog window is zero.
+    ZeroWatchdogWindow,
+    /// The tile cache capacity does not form an integral, power-of-two
+    /// number of sets with the configured associativity and line size.
+    BadCacheGeometry {
+        /// The rejected capacity in bytes.
+        bytes: usize,
+    },
+    /// The armed fault plan is inconsistent with the geometry.
+    FaultPlan(String),
+    /// The fault plan uses fault kinds LiteArch does not model.
+    LiteFaultVocabulary,
+    /// Heterogeneous type masks do not cover every PE slot.
+    TypeMaskCount {
+        /// PE slots per tile.
+        expected: usize,
+        /// Masks supplied.
+        got: usize,
+    },
+    /// A heterogeneous PE slot supports no task type at all.
+    EmptyTypeMask,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoTiles => write!(f, "accelerator needs at least one tile"),
+            ConfigError::NoPes => write!(f, "tiles need at least one PE"),
+            ConfigError::TaskQueueTooSmall { entries } => {
+                write!(f, "task queues need at least two entries (got {entries})")
+            }
+            ConfigError::EmptyPStore => write!(f, "FlexArch needs a non-empty P-Store"),
+            ConfigError::TooManyTiles { tiles } => {
+                write!(
+                    f,
+                    "tile index must fit the continuation encoding ({tiles} tiles)"
+                )
+            }
+            ConfigError::ZeroWatchdogWindow => {
+                write!(f, "the quiescence watchdog needs a nonzero window")
+            }
+            ConfigError::BadCacheGeometry { bytes } => write!(
+                f,
+                "cache size {bytes} does not form a power-of-two number of sets"
+            ),
+            ConfigError::FaultPlan(msg) => write!(f, "fault plan: {msg}"),
+            ConfigError::LiteFaultVocabulary => write!(
+                f,
+                "LiteArch has no routed networks or P-Store; its fault plans \
+                 support only PE death and PE stalls"
+            ),
+            ConfigError::TypeMaskCount { expected, got } => write!(
+                f,
+                "heterogeneous config needs one type mask per PE slot ({got} != {expected})"
+            ),
+            ConfigError::EmptyTypeMask => {
+                write!(f, "every heterogeneous PE slot must support some task type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which memory path backs the accelerator's PEs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemBackendKind {
@@ -263,28 +352,44 @@ impl AccelConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.tiles == 0 {
-            return Err("accelerator needs at least one tile".into());
+            return Err(ConfigError::NoTiles);
         }
         if self.pes_per_tile == 0 {
-            return Err("tiles need at least one PE".into());
+            return Err(ConfigError::NoPes);
         }
         if self.task_queue_entries < 2 {
-            return Err("task queues need at least two entries".into());
+            return Err(ConfigError::TaskQueueTooSmall {
+                entries: self.task_queue_entries,
+            });
         }
         if self.arch == ArchKind::Flex && self.pstore_entries < 1 {
-            return Err("FlexArch needs a non-empty P-Store".into());
+            return Err(ConfigError::EmptyPStore);
         }
         if self.tiles > u16::MAX as usize {
-            return Err("tile index must fit the continuation encoding".into());
+            return Err(ConfigError::TooManyTiles { tiles: self.tiles });
         }
         if self.watchdog_quiescence_cycles == 0 {
-            return Err("the quiescence watchdog needs a nonzero window".into());
+            return Err(ConfigError::ZeroWatchdogWindow);
+        }
+        // The tile cache must be realizable as an integral, power-of-two
+        // number of sets (this check lived in the design flow's builder
+        // before pxl-dse needed it for pruning; it now has one home).
+        let l1 = &self.memory.accel_l1;
+        let set_bytes = l1.ways * l1.line_bytes;
+        if set_bytes == 0
+            || !l1.size_bytes.is_multiple_of(set_bytes)
+            || !(l1.size_bytes / set_bytes).is_power_of_two()
+        {
+            return Err(ConfigError::BadCacheGeometry {
+                bytes: l1.size_bytes,
+            });
         }
         if let Some(plan) = &self.fault_plan {
-            plan.validate(self.num_pes(), self.tiles)?;
+            plan.validate(self.num_pes(), self.tiles)
+                .map_err(ConfigError::FaultPlan)?;
             if self.arch == ArchKind::Lite {
                 let unsupported = plan.specs().iter().any(|s| {
                     matches!(
@@ -295,24 +400,19 @@ impl AccelConfig {
                     )
                 });
                 if unsupported {
-                    return Err(
-                        "LiteArch has no routed networks or P-Store; its fault plans \
-                         support only PE death and PE stalls"
-                            .into(),
-                    );
+                    return Err(ConfigError::LiteFaultVocabulary);
                 }
             }
         }
         if let Some(masks) = &self.pe_task_types {
             if masks.len() != self.pes_per_tile {
-                return Err(format!(
-                    "heterogeneous config needs one type mask per PE slot ({} != {})",
-                    masks.len(),
-                    self.pes_per_tile
-                ));
+                return Err(ConfigError::TypeMaskCount {
+                    expected: self.pes_per_tile,
+                    got: masks.len(),
+                });
             }
             if masks.contains(&0) {
-                return Err("every heterogeneous PE slot must support some task type".into());
+                return Err(ConfigError::EmptyTypeMask);
             }
         }
         Ok(())
@@ -347,17 +447,67 @@ mod tests {
     #[test]
     fn validation_catches_degenerate_configs() {
         assert!(AccelConfig::flex(1, 1).validate().is_ok());
-        assert!(AccelConfig::flex(0, 4).validate().is_err());
-        assert!(AccelConfig::flex(4, 0).validate().is_err());
+        assert_eq!(
+            AccelConfig::flex(0, 4).validate(),
+            Err(ConfigError::NoTiles)
+        );
+        assert_eq!(AccelConfig::flex(4, 0).validate(), Err(ConfigError::NoPes));
         let mut c = AccelConfig::flex(1, 1);
         c.task_queue_entries = 1;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::TaskQueueTooSmall { entries: 1 })
+        );
         let mut c = AccelConfig::flex(1, 1);
         c.pstore_entries = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::EmptyPStore));
         let mut c = AccelConfig::lite(1, 1);
         c.pstore_entries = 0;
         assert!(c.validate().is_ok(), "LiteArch has no P-Store");
+    }
+
+    #[test]
+    fn validation_rejects_unrealizable_cache_geometry() {
+        // 2-way, 64 B lines -> 128 B sets; 48 KiB gives 384 sets (not a
+        // power of two), 1000 B does not even divide evenly.
+        let mut c = AccelConfig::flex(1, 4);
+        c.memory.accel_l1 = c.memory.accel_l1.clone().with_size(48 * 1024);
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::BadCacheGeometry { bytes: 48 * 1024 })
+        );
+        let mut c = AccelConfig::flex(1, 4);
+        c.memory.accel_l1 = c.memory.accel_l1.clone().with_size(1000);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadCacheGeometry { .. })
+        ));
+        // Every power-of-two capacity from 4 KiB up is fine.
+        for kb in [4, 8, 16, 32, 64] {
+            let mut c = AccelConfig::flex(1, 4);
+            c.memory.accel_l1 = c.memory.accel_l1.clone().with_size(kb * 1024);
+            assert!(c.validate().is_ok(), "{kb} KiB");
+        }
+    }
+
+    #[test]
+    fn config_errors_render_their_constraint() {
+        assert_eq!(
+            ConfigError::NoTiles.to_string(),
+            "accelerator needs at least one tile"
+        );
+        assert_eq!(
+            ConfigError::BadCacheGeometry { bytes: 3072 }.to_string(),
+            "cache size 3072 does not form a power-of-two number of sets"
+        );
+        assert_eq!(
+            ConfigError::TypeMaskCount {
+                expected: 4,
+                got: 2
+            }
+            .to_string(),
+            "heterogeneous config needs one type mask per PE slot (2 != 4)"
+        );
     }
 
     #[test]

@@ -428,7 +428,8 @@ impl FlexEngine {
     /// configuration fails [`AccelConfig::validate`] or is not a FlexArch
     /// configuration.
     pub fn try_new(cfg: AccelConfig, profile: ExecProfile) -> Result<Self, AccelError> {
-        cfg.validate().map_err(AccelError::InvalidConfig)?;
+        cfg.validate()
+            .map_err(|e| AccelError::InvalidConfig(e.to_string()))?;
         if cfg.arch != ArchKind::Flex {
             return Err(AccelError::InvalidConfig(
                 "FlexEngine requires ArchKind::Flex".to_string(),

@@ -35,8 +35,8 @@ pub mod pstore;
 
 pub use api::{Engine, EngineKind, Workload};
 pub use config::{
-    AccelConfig, ArchCosts, ArchKind, LocalOrder, MemBackendKind, SchedPolicy, StealEnd,
-    VictimSelect,
+    AccelConfig, ArchCosts, ArchKind, ConfigError, LocalOrder, MemBackendKind, SchedPolicy,
+    StealEnd, VictimSelect,
 };
 pub use deque::TaskDeque;
 pub use engine::{AccelError, AccelResult, FlexEngine};

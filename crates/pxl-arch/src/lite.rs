@@ -110,7 +110,8 @@ impl LiteEngine {
     /// configuration fails [`AccelConfig::validate`] or is not a LiteArch
     /// configuration.
     pub fn try_new(cfg: AccelConfig, profile: ExecProfile) -> Result<Self, AccelError> {
-        cfg.validate().map_err(AccelError::InvalidConfig)?;
+        cfg.validate()
+            .map_err(|e| AccelError::InvalidConfig(e.to_string()))?;
         if cfg.arch != ArchKind::Lite {
             return Err(AccelError::InvalidConfig(
                 "LiteEngine requires ArchKind::Lite".to_string(),

@@ -1,0 +1,143 @@
+//! Design-space exploration driver: sweeps accelerator configurations across
+//! benchmarks with `pxl-dse` and reports per-benchmark Pareto fronts over
+//! (runtime, energy, LUT, BRAM).
+//!
+//! The sweep runs in three passes against a persistent content-addressed
+//! result cache (`dse_cache.jsonl`):
+//!
+//! 1. **Grid** — exhaustive exploration of the feasible space; every point
+//!    simulates and lands in the cache.
+//! 2. **Grid again** — must be *pure cache hits* and reproduce the exact same
+//!    fronts byte-for-byte. This is the determinism gate CI relies on; any
+//!    miss or divergence exits nonzero.
+//! 3. **Successive halving** — the budgeted strategy, sharing the same cache;
+//!    its best-runtime point per benchmark must match the grid's.
+//!
+//! Fronts go to `dse_pareto.jsonl`, the markdown report to stdout.
+//!
+//! Pass `--smoke` to run at `Scale::Tiny` (the CI smoke configuration).
+
+use pxl_apps::Scale;
+use pxl_bench::BenchEvaluator;
+use pxl_cost::FpgaDevice;
+use pxl_dse::{Axis, Exploration, Explorer, PointArch, ResultCache, SearchSpace, Strategy};
+
+const CACHE_PATH: &str = "dse_cache.jsonl";
+const PARETO_PATH: &str = "dse_pareto.jsonl";
+
+/// The swept space: three architectures crossed with tile count, PEs per
+/// tile, and L1 size, pruned against the Artix-7 device. Covers all three
+/// prune reasons (48 KiB breaks the cache geometry, cilksort has no LiteArch
+/// variant, and its wide Flex tiles overflow the Artix-7).
+fn space(benches: &[&str]) -> SearchSpace {
+    SearchSpace::new()
+        .benchmarks(benches.iter().copied())
+        .archs([PointArch::Flex, PointArch::Lite, PointArch::Cpu])
+        .tiles(Axis::list([1, 2]))
+        .pes_per_tile(Axis::list([2, 4]))
+        .cache_kb(Axis::list([16, 32, 48]))
+        .device(FpgaDevice::artix_7a75t())
+}
+
+fn open_cache(failures: &mut Vec<String>) -> ResultCache {
+    match ResultCache::open(CACHE_PATH) {
+        Ok(cache) => cache,
+        Err(e) => {
+            failures.push(format!("failed to open {CACHE_PATH}: {e}"));
+            ResultCache::in_memory()
+        }
+    }
+}
+
+fn summarize(pass: &str, outcome: &Exploration) {
+    eprintln!(
+        "[dse] {pass}: {} evaluated, {} pruned, {} failed, {} hit(s), {} miss(es), {} rung eval(s)",
+        outcome.evaluated.len(),
+        outcome.pruned.len(),
+        outcome.failed.len(),
+        outcome.cache_hits,
+        outcome.cache_misses,
+        outcome.rung_evaluations,
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Tiny } else { Scale::Small };
+    let benches: &[&str] = if smoke {
+        &["queens", "cilksort", "bfsqueue"]
+    } else {
+        &["queens", "cilksort", "bfsqueue", "uts", "spmvcrs"]
+    };
+    // A fresh smoke run must exercise the miss path before the hit path.
+    if smoke {
+        let _ = std::fs::remove_file(CACHE_PATH);
+    }
+    let mut failures: Vec<String> = Vec::new();
+    let space = space(benches);
+    let evaluator = BenchEvaluator::new(scale, Scale::Tiny);
+
+    // Pass 1: exhaustive grid, populating the cache.
+    let first = Explorer::new(&evaluator)
+        .with_cache(open_cache(&mut failures))
+        .explore(&space);
+    summarize("grid", &first);
+    for e in &first.io_errors {
+        failures.push(format!("cache write failed: {e}"));
+    }
+    for f in &first.failed {
+        failures.push(format!("{} [{}]: {}", f.benchmark, f.spec, f.error));
+    }
+
+    // Pass 2: the determinism gate — pure hits, identical fronts.
+    let second = Explorer::new(&evaluator)
+        .with_cache(open_cache(&mut failures))
+        .explore(&space);
+    summarize("grid (cached)", &second);
+    if second.cache_misses != 0 {
+        failures.push(format!(
+            "determinism gate: re-run missed the cache {} time(s)",
+            second.cache_misses
+        ));
+    }
+    if second.fronts_jsonl() != first.fronts_jsonl() {
+        failures.push("determinism gate: cached re-run produced different fronts".to_owned());
+    }
+
+    // Pass 3: successive halving must find the grid's fastest point.
+    let halved = Explorer::new(&evaluator)
+        .with_cache(open_cache(&mut failures))
+        .strategy(Strategy::SuccessiveHalving { rungs: 1, eta: 2 })
+        .explore(&space);
+    summarize("halving", &halved);
+    for bench in benches {
+        match (first.best_runtime(bench), halved.best_runtime(bench)) {
+            (Some(grid), Some(sh)) if grid.point == sh.point => {}
+            (grid, sh) => failures.push(format!(
+                "{bench}: halving best {:?} != grid best {:?}",
+                sh.map(|e| e.point.spec()),
+                grid.map(|e| e.point.spec()),
+            )),
+        }
+    }
+
+    println!("{}", first.report_markdown());
+
+    let fronts = first.fronts_jsonl();
+    match std::fs::write(PARETO_PATH, &fronts) {
+        Ok(()) => eprintln!(
+            "[jsonl] wrote {} front point(s) to {PARETO_PATH}",
+            fronts.lines().count()
+        ),
+        Err(e) => failures.push(format!("failed to write {PARETO_PATH}: {e}")),
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\n[dse] FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("[dse] cache deterministic; halving agrees with the grid");
+}

@@ -1,0 +1,177 @@
+//! Bridges the benchmark harness into the design-space explorer: a
+//! [`pxl_dse::Evaluate`] implementation that simulates one [`Candidate`] at a
+//! chosen fidelity and reports the [`Measurement`] tuple the Pareto front is
+//! built from (runtime, energy, tile resources).
+//!
+//! Fidelity maps to input scale: `Fidelity::Rung(_)` runs the benchmark at
+//! the (cheap) rung scale so successive halving can triage candidates before
+//! spending full-size simulations on them.
+
+use pxl_apps::{by_name, Scale};
+use pxl_cost::EnergyModel;
+use pxl_dse::{Candidate, Evaluate, Fidelity, Measurement, PointArch};
+use pxl_flow::SimulationBuilder;
+
+use crate::try_run_on;
+
+/// Evaluates design points by running the named benchmark on a freshly built
+/// engine via [`SimulationBuilder::from_point`].
+///
+/// The evaluator is stateless and `Sync`: the explorer calls it from the
+/// shared worker pool, one engine instance per evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchEvaluator {
+    /// Input scale for `Fidelity::Full` evaluations.
+    pub full: Scale,
+    /// Input scale for `Fidelity::Rung(_)` triage evaluations.
+    pub rung: Scale,
+}
+
+impl BenchEvaluator {
+    /// Evaluator running full-fidelity points at `full` and successive-halving
+    /// rungs at `rung`.
+    pub fn new(full: Scale, rung: Scale) -> Self {
+        Self { full, rung }
+    }
+
+    fn scale_for(&self, fidelity: Fidelity) -> Scale {
+        match fidelity {
+            Fidelity::Rung(_) => self.rung,
+            Fidelity::Full => self.full,
+        }
+    }
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+impl Evaluate for BenchEvaluator {
+    fn evaluate(&self, candidate: &Candidate, fidelity: Fidelity) -> Result<Measurement, String> {
+        let scale = self.scale_for(fidelity);
+        let bench = by_name(&candidate.bench, scale)
+            .ok_or_else(|| format!("unknown benchmark {:?}", candidate.bench))?;
+        let mut engine = SimulationBuilder::from_point(&candidate.point, bench.profile())
+            .build()
+            .map_err(|e| e.to_string())?;
+        let out = try_run_on(
+            engine.as_mut(),
+            bench.as_ref(),
+            candidate.point.arch.label(),
+        )?
+        .ok_or_else(|| {
+            format!("{} has no LiteArch mapping", candidate.bench) // pruned upstream for known benches
+        })?;
+        let model = EnergyModel::default();
+        let energy_j = match candidate.point.arch {
+            PointArch::Cpu => model.cpu_energy(&out.metrics, out.kernel, out.units),
+            PointArch::Flex | PointArch::Lite => model.accel_energy_for(
+                &out.metrics,
+                out.kernel,
+                out.units,
+                candidate.point.arch == PointArch::Lite,
+            ),
+        }
+        .total_j();
+        let (lut, bram18) = match &candidate.resources {
+            Some(r) => {
+                let tiles = candidate.point.tiles.max(1) as u64;
+                (
+                    u64::from(r.tile.lut) * tiles,
+                    u64::from(r.tile.bram18) * tiles,
+                )
+            }
+            None => (0, 0),
+        };
+        Ok(Measurement {
+            kernel_ps: out.kernel.as_ps(),
+            whole_ps: out.whole.as_ps(),
+            energy_j,
+            lut,
+            bram18,
+        })
+    }
+
+    fn context_tag(&self) -> String {
+        format!(
+            "scale={} rung_scale={}",
+            scale_label(self.full),
+            scale_label(self.rung)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxl_dse::{DesignPoint, Explorer, SearchSpace};
+
+    #[test]
+    fn evaluates_a_flex_point_end_to_end() {
+        let eval = BenchEvaluator::new(Scale::Tiny, Scale::Tiny);
+        let space = SearchSpace::new()
+            .benchmarks(["queens"])
+            .archs([PointArch::Flex])
+            .tiles(pxl_dse::Axis::fixed(1))
+            .pes_per_tile(pxl_dse::Axis::fixed(4));
+        let partition = space.partition();
+        assert_eq!(partition.feasible.len(), 1);
+        let m = eval
+            .evaluate(&partition.feasible[0], Fidelity::Full)
+            .expect("queens on flex 1x4 should simulate");
+        assert!(m.kernel_ps > 0 && m.whole_ps > m.kernel_ps);
+        assert!(m.energy_j > 0.0);
+        assert!(m.lut > 0 && m.bram18 > 0);
+    }
+
+    #[test]
+    fn cpu_points_measure_zero_fpga_resources() {
+        let eval = BenchEvaluator::new(Scale::Tiny, Scale::Tiny);
+        let candidate = Candidate {
+            bench: "queens".to_owned(),
+            point: DesignPoint::cpu(4),
+            resources: None,
+        };
+        let m = eval
+            .evaluate(&candidate, Fidelity::Full)
+            .expect("queens on 4 cores should simulate");
+        assert_eq!((m.lut, m.bram18), (0, 0));
+        assert!(m.energy_j > 0.0);
+    }
+
+    #[test]
+    fn rung_fidelity_uses_the_cheaper_scale() {
+        // With rung == full the two fidelities must agree; the context tag
+        // records both scales so cached results never leak across setups.
+        let eval = BenchEvaluator::new(Scale::Tiny, Scale::Tiny);
+        let candidate = Candidate {
+            bench: "queens".to_owned(),
+            point: DesignPoint::cpu(2),
+            resources: None,
+        };
+        let full = eval.evaluate(&candidate, Fidelity::Full).unwrap();
+        let rung = eval.evaluate(&candidate, Fidelity::Rung(0)).unwrap();
+        assert_eq!(full, rung);
+        assert_eq!(eval.context_tag(), "scale=tiny rung_scale=tiny");
+    }
+
+    #[test]
+    fn explorer_builds_a_front_from_real_simulations() {
+        let eval = BenchEvaluator::new(Scale::Tiny, Scale::Tiny);
+        let space = SearchSpace::new()
+            .benchmarks(["uts"])
+            .archs([PointArch::Flex])
+            .tiles(pxl_dse::Axis::list([1, 2]))
+            .pes_per_tile(pxl_dse::Axis::fixed(4));
+        let outcome = Explorer::new(&eval).explore(&space);
+        assert!(outcome.failed.is_empty(), "failures: {:?}", outcome.failed);
+        assert_eq!(outcome.evaluated.len(), 2);
+        let front = outcome.front_for("uts").expect("front exists");
+        assert!(!front.points.is_empty());
+        assert!(front.knee().is_some());
+    }
+}

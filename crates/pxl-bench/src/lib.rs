@@ -10,6 +10,7 @@
 //! obtained by comparing whole program execution time, which include
 //! initialization and data transfers".
 
+pub mod dse;
 pub mod experiments;
 
 use pxl_apps::{by_name, Benchmark, Scale};
@@ -123,6 +124,58 @@ pub fn geometry(pes: usize) -> (usize, usize) {
 /// a dynamic task graph otherwise), validates the output against the golden
 /// reference, and charges initialization time.
 ///
+/// Returns `Ok(None)` when the engine is LiteArch and the benchmark has no
+/// LiteArch mapping.
+///
+/// # Errors
+///
+/// Returns the simulation or golden-validation failure as a message — the
+/// fallible path the design-space explorer uses, where one diverging
+/// configuration must not sink a sweep.
+pub fn try_run_on(
+    engine: &mut dyn Engine,
+    bench: &dyn Benchmark,
+    label: &str,
+) -> Result<Option<RunOutcome>, String> {
+    let units = engine.units();
+    let name = bench.meta().name;
+    let (footprint, out) = match engine.kind() {
+        EngineKind::Lite => {
+            let Some(inst) = bench.lite(engine.mem_mut()) else {
+                return Ok(None);
+            };
+            let mut worker = inst.worker;
+            let mut driver = inst.driver;
+            let out = engine
+                .run(Workload::rounds(worker.as_mut(), driver.as_mut()))
+                .map_err(|e| format!("{name} on {label}/{units}u failed: {e}"))?;
+            (inst.footprint_bytes, out)
+        }
+        EngineKind::Flex | EngineKind::Cpu => {
+            let inst = bench.flex(engine.mem_mut());
+            let mut worker = inst.worker;
+            let out = engine
+                .run(Workload::dynamic(worker.as_mut(), inst.root))
+                .map_err(|e| format!("{name} on {label}/{units}u failed: {e}"))?;
+            (inst.footprint_bytes, out)
+        }
+    };
+    bench
+        .check(engine.memory(), out.result)
+        .map_err(|e| format!("{name} on {label}/{units}u wrong: {e}"))?;
+    Ok(Some(RunOutcome {
+        bench: name.to_owned(),
+        engine: label.to_owned(),
+        units,
+        kernel: out.elapsed,
+        whole: out.elapsed + init_time(footprint),
+        metrics: out.metrics,
+        trace: out.trace,
+    }))
+}
+
+/// The panicking wrapper over [`try_run_on`] the experiment binaries use.
+///
 /// Returns `None` when the engine is LiteArch and the benchmark has no
 /// LiteArch mapping.
 ///
@@ -131,39 +184,7 @@ pub fn geometry(pes: usize) -> (usize, usize) {
 /// Panics if the simulation fails or the output does not validate —
 /// experiment results must never silently ship wrong data.
 pub fn run_on(engine: &mut dyn Engine, bench: &dyn Benchmark, label: &str) -> Option<RunOutcome> {
-    let units = engine.units();
-    let name = bench.meta().name;
-    let (footprint, out) = match engine.kind() {
-        EngineKind::Lite => {
-            let inst = bench.lite(engine.mem_mut())?;
-            let mut worker = inst.worker;
-            let mut driver = inst.driver;
-            let out = engine
-                .run(Workload::rounds(worker.as_mut(), driver.as_mut()))
-                .unwrap_or_else(|e| panic!("{name} on {label}/{units}u failed: {e}"));
-            (inst.footprint_bytes, out)
-        }
-        EngineKind::Flex | EngineKind::Cpu => {
-            let inst = bench.flex(engine.mem_mut());
-            let mut worker = inst.worker;
-            let out = engine
-                .run(Workload::dynamic(worker.as_mut(), inst.root))
-                .unwrap_or_else(|e| panic!("{name} on {label}/{units}u failed: {e}"));
-            (inst.footprint_bytes, out)
-        }
-    };
-    bench
-        .check(engine.memory(), out.result)
-        .unwrap_or_else(|e| panic!("{name} on {label}/{units}u wrong: {e}"));
-    Some(RunOutcome {
-        bench: name.to_owned(),
-        engine: label.to_owned(),
-        units,
-        kernel: out.elapsed,
-        whole: out.elapsed + init_time(footprint),
-        metrics: out.metrics,
-        trace: out.trace,
-    })
+    try_run_on(engine, bench, label).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs `bench` on a FlexArch accelerator with `pes` PEs.
@@ -322,54 +343,12 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     }
 }
 
-/// Runs independent jobs on worker threads (one per available core) and
-/// returns results in input order.
-pub fn parallel_map<T, F>(jobs: Vec<F>) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+/// The shared simulation worker pool, re-exported so existing harness code
+/// (and downstream users of `pxl_bench::parallel_map`) keep working; the one
+/// implementation now lives in [`pxl_sim::pool`] where `pxl-dse` shares it.
+pub use pxl_sim::pool::parallel_map;
 
-    let n = jobs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    // Jobs are FnOnce, so workers claim indices and take their job out of a
-    // shared slot vector rather than sharing an iterator of closures.
-    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let job = jobs[i]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("each job claimed once");
-                *results[i].lock().expect("result slot poisoned") = Some(job());
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| {
-            r.into_inner()
-                .expect("result slot poisoned")
-                .expect("job completed")
-        })
-        .collect()
-}
+pub use dse::BenchEvaluator;
 
 /// Renders a markdown-style table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -427,12 +406,10 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
-            .map(|i: usize| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
-            .collect();
-        let out = parallel_map(jobs);
-        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    fn parallel_map_is_reexported_from_pxl_sim() {
+        // The shared pool must stay reachable under the harness's old path.
+        let jobs: Vec<_> = (0..4usize).map(|i| move || i * i).collect();
+        assert_eq!(parallel_map(jobs), vec![0, 1, 4, 9]);
     }
 
     #[test]

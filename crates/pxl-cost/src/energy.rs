@@ -211,4 +211,20 @@ mod tests {
         let b = m.accel_energy(&fake_stats(&[0], 0, 10_000), Time::from_us(1), 1);
         assert!(b.memory_j > a.memory_j + 1e-7);
     }
+
+    #[test]
+    fn total_sums_the_three_components() {
+        let b = EnergyBreakdown {
+            static_j: 0.5,
+            dynamic_j: 0.25,
+            memory_j: 0.125,
+        };
+        assert_eq!(b.total_j(), 0.875);
+        assert_eq!(EnergyBreakdown::default().total_j(), 0.0);
+        // The decomposition of a real run must be lossless too.
+        let m = EnergyModel::default();
+        let r = m.accel_energy(&fake_stats(&[500_000], 20, 300), Time::from_us(1), 2);
+        assert!((r.total_j() - (r.static_j + r.dynamic_j + r.memory_j)).abs() < f64::EPSILON);
+        assert!(r.static_j > 0.0 && r.dynamic_j > 0.0 && r.memory_j > 0.0);
+    }
 }

@@ -346,4 +346,57 @@ mod tests {
     fn unknown_benchmark_is_none() {
         assert!(tile_resources("nope", true, 4, 32 * 1024).is_none());
     }
+
+    #[test]
+    fn exact_fit_counts_as_fitting() {
+        let need = ResourceVec::new(100, 200, 3, 4);
+        assert!(need.fits_in(&need));
+        // One unit over in any single component breaks the fit.
+        assert!(!ResourceVec::new(101, 200, 3, 4).fits_in(&need));
+        assert!(!ResourceVec::new(100, 200, 3, 5).fits_in(&need));
+    }
+
+    #[test]
+    fn zero_capacity_fits_only_zero_need() {
+        let zero = ResourceVec::new(0, 0, 0, 0);
+        assert!(zero.fits_in(&zero));
+        assert!(zero.fits_in(&ResourceVec::new(1, 1, 1, 1)));
+        assert!(!ResourceVec::new(0, 0, 0, 1).fits_in(&zero));
+    }
+
+    #[test]
+    fn max_tiles_respects_the_binding_constraint() {
+        // A device with abundant logic but scarce BRAM: the BRAM column,
+        // not LUTs, must decide the tile count.
+        let device = FpgaDevice {
+            name: "bram-starved",
+            capacity: ResourceVec::new(1_000_000, 1_000_000, 1_000, 12),
+            utilization_pct: 100,
+        };
+        let tile = ResourceVec::new(5_000, 4_000, 0, 5);
+        // Usable BRAM after the 2-BRAM accelerator overhead is 10 → 2 tiles,
+        // though the LUT budget alone would allow far more.
+        assert_eq!(device.max_tiles(&tile), 2);
+        let by_lut = (device.capacity.lut - 1_200) / tile.lut;
+        assert!(by_lut > 2);
+        // A device that cannot even host the fixed overhead fits nothing.
+        let tiny = FpgaDevice {
+            name: "too-small",
+            capacity: ResourceVec::new(1_000, 1_000, 0, 1),
+            utilization_pct: 100,
+        };
+        assert_eq!(tiny.max_tiles(&tile), 0);
+    }
+
+    #[test]
+    fn max_tiles_is_capped_at_the_papers_eight() {
+        let device = FpgaDevice {
+            name: "huge",
+            capacity: ResourceVec::new(10_000_000, 10_000_000, 10_000, 10_000),
+            utilization_pct: 100,
+        };
+        // Zero-need components divide to u32::MAX internally; the cap and
+        // the nonzero columns must still bound the answer.
+        assert_eq!(device.max_tiles(&ResourceVec::new(10, 10, 0, 0)), 8);
+    }
 }

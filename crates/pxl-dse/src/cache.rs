@@ -1,0 +1,368 @@
+//! Content-addressed result cache for design-space exploration.
+//!
+//! Every evaluation is keyed by its full canonical spec string — workload,
+//! seed/profile tag, design-point spec and fidelity — and addressed by the
+//! stable [`pxl_sim::hash`] FNV-1a of that key. The cache persists as
+//! JSONL (one `{"key","spec",...}` object per line, appended as results
+//! arrive), so an interrupted sweep resumes where it stopped and a re-run
+//! over the same space is pure cache hits.
+//!
+//! Matching is done on the *full spec string*, not the hash, so a hash
+//! collision can never return the wrong measurement; the 16-hex-digit
+//! content address is the compact identity used in file names and reports.
+//!
+//! Floating-point objectives are written with Rust's shortest-round-trip
+//! `Display` and re-parsed with `str::parse::<f64>`, which is exact — a
+//! reloaded cache reproduces byte-identical reports.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use pxl_sim::hash::{content_address, fnv64};
+use pxl_sim::json::write_string;
+
+/// What one evaluation measured: the two runtimes, energy, and the
+/// per-tile FPGA footprint objectives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Kernel (device-only) runtime in picoseconds.
+    pub kernel_ps: u64,
+    /// Whole-application runtime in picoseconds.
+    pub whole_ps: u64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Tile LUTs (0 when no resource model applies, e.g. the CPU).
+    pub lut: u64,
+    /// Tile RAM18 blocks (0 when no resource model applies).
+    pub bram18: u64,
+}
+
+impl Measurement {
+    /// The JSONL field fragment (everything after `"spec":...,`).
+    fn write_fields(&self, out: &mut String) {
+        out.push_str(&format!(
+            "\"kernel_ps\":{},\"whole_ps\":{},\"energy_j\":{},\"lut\":{},\"bram18\":{}",
+            self.kernel_ps, self.whole_ps, self.energy_j, self.lut, self.bram18
+        ));
+    }
+}
+
+/// A persistent, content-addressed map from evaluation specs to
+/// [`Measurement`]s.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_dse::{Measurement, ResultCache};
+///
+/// let mut cache = ResultCache::in_memory();
+/// let m = Measurement {
+///     kernel_ps: 10,
+///     whole_ps: 20,
+///     energy_j: 0.5,
+///     lut: 100,
+///     bram18: 4,
+/// };
+/// assert!(cache.get("bench=queens arch=flex tiles=1").is_none());
+/// cache.insert("bench=queens arch=flex tiles=1", m);
+/// assert_eq!(cache.get("bench=queens arch=flex tiles=1"), Some(m));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: HashMap<String, Measurement>,
+    path: Option<PathBuf>,
+    hits: usize,
+    misses: usize,
+    loaded: usize,
+}
+
+impl ResultCache {
+    /// A cache that lives only for this process.
+    pub fn in_memory() -> Self {
+        ResultCache {
+            entries: HashMap::new(),
+            path: None,
+            hits: 0,
+            misses: 0,
+            loaded: 0,
+        }
+    }
+
+    /// Opens (or creates) a JSONL-backed cache at `path`, loading any
+    /// entries already on disk. Unparsable lines are skipped — a truncated
+    /// final line from an interrupted run does not poison the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message if the file exists but cannot be read.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref().to_path_buf();
+        let mut cache = ResultCache {
+            entries: HashMap::new(),
+            path: Some(path.clone()),
+            hits: 0,
+            misses: 0,
+            loaded: 0,
+        };
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            for line in text.lines() {
+                if let Some((spec, m)) = parse_line(line) {
+                    cache.entries.insert(spec, m);
+                    cache.loaded += 1;
+                }
+            }
+        }
+        Ok(cache)
+    }
+
+    /// The 16-hex-digit content address of a spec.
+    pub fn address(spec: &str) -> String {
+        content_address(fnv64(spec.as_bytes()))
+    }
+
+    /// Looks up a spec, counting the hit or miss.
+    pub fn get(&mut self, spec: &str) -> Option<Measurement> {
+        match self.entries.get(spec) {
+            Some(m) => {
+                self.hits += 1;
+                Some(*m)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a measurement, appending it to the backing file when one is
+    /// configured (append failures are reported, not fatal — the in-memory
+    /// entry still lands).
+    pub fn insert(&mut self, spec: &str, m: Measurement) -> Result<(), String> {
+        self.entries.insert(spec.to_owned(), m);
+        if let Some(path) = &self.path {
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("opening {}: {e}", path.display()))?;
+            writeln!(file, "{}", render_line(spec, &m))
+                .map_err(|e| format!("appending to {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+
+    /// Entries currently held (loaded + inserted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Entries loaded from the backing file at open.
+    pub fn loaded(&self) -> usize {
+        self.loaded
+    }
+
+    /// Resets the hit/miss counters (e.g. between exploration passes).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// Renders one cache line: `{"key":"<16hex>","spec":"...","kernel_ps":...}`.
+fn render_line(spec: &str, m: &Measurement) -> String {
+    let mut out = String::new();
+    out.push_str("{\"key\":");
+    write_string(&mut out, &ResultCache::address(spec));
+    out.push_str(",\"spec\":");
+    write_string(&mut out, spec);
+    out.push(',');
+    m.write_fields(&mut out);
+    out.push('}');
+    out
+}
+
+/// Parses one cache line back into `(spec, measurement)`; `None` for
+/// malformed or truncated lines.
+fn parse_line(line: &str) -> Option<(String, Measurement)> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return None;
+    }
+    let spec = field_string(line, "spec")?;
+    let key = field_string(line, "key")?;
+    // An edited spec with a stale key means the line no longer describes
+    // what it claims — drop it.
+    if key != ResultCache::address(&spec) {
+        return None;
+    }
+    Some((
+        spec,
+        Measurement {
+            kernel_ps: field_number(line, "kernel_ps")?.parse().ok()?,
+            whole_ps: field_number(line, "whole_ps")?.parse().ok()?,
+            energy_j: field_number(line, "energy_j")?.parse().ok()?,
+            lut: field_number(line, "lut")?.parse().ok()?,
+            bram18: field_number(line, "bram18")?.parse().ok()?,
+        },
+    ))
+}
+
+/// Extracts the string value of `"name":"..."`, undoing the escapes
+/// [`write_string`] produces.
+fn field_string(line: &str, name: &str) -> Option<String> {
+    let marker = format!("\"{name}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&code, 16).ok()?)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Extracts the raw text of a numeric field `"name":<number>`.
+fn field_number<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let marker = format!("\"{name}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    let text = rest[..end].trim();
+    (!text.is_empty()).then_some(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(kernel: u64, energy: f64) -> Measurement {
+        Measurement {
+            kernel_ps: kernel,
+            whole_ps: kernel * 2,
+            energy_j: energy,
+            lut: 1234,
+            bram18: 18,
+        }
+    }
+
+    #[test]
+    fn lines_round_trip_exactly() {
+        let spec = "workload=queens/8 seed=42 arch=flex tiles=4 fidelity=full";
+        let before = m(987_654_321, 0.012345678901234567);
+        let line = render_line(spec, &before);
+        let (spec2, after) = parse_line(&line).unwrap();
+        assert_eq!(spec2, spec);
+        assert_eq!(after, before);
+        // f64 round-trips bit-exactly through Display/parse.
+        assert_eq!(after.energy_j.to_bits(), before.energy_j.to_bits());
+        // And re-rendering is byte-identical.
+        assert_eq!(render_line(&spec2, &after), line);
+    }
+
+    #[test]
+    fn content_addresses_are_stable_across_runs() {
+        // A fixed spec must hash to the same address forever — this is the
+        // property that makes the on-disk cache reusable.
+        assert_eq!(
+            ResultCache::address("arch=flex tiles=1 pes=4"),
+            ResultCache::address("arch=flex tiles=1 pes=4"),
+        );
+        assert_eq!(ResultCache::address("x").len(), 16);
+        assert_ne!(
+            ResultCache::address("arch=flex tiles=1 pes=4"),
+            ResultCache::address("arch=flex tiles=2 pes=4"),
+        );
+    }
+
+    #[test]
+    fn in_memory_hit_and_miss_accounting() {
+        let mut c = ResultCache::in_memory();
+        assert!(c.get("a").is_none());
+        c.insert("a", m(1, 0.25)).unwrap();
+        assert_eq!(c.get("a"), Some(m(1, 0.25)));
+        assert!(c.get("b").is_none());
+        assert_eq!((c.hits(), c.misses()), (1, 2));
+        c.reset_counters();
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn persists_and_reloads_across_opens() {
+        let dir = std::env::temp_dir().join(format!("pxl-dse-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("persists_and_reloads.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.loaded(), 0);
+        c.insert("spec-one", m(100, 1.5)).unwrap();
+        c.insert("spec-two", m(200, 0.125)).unwrap();
+        drop(c);
+
+        let mut c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.loaded(), 2);
+        assert_eq!(c.get("spec-one"), Some(m(100, 1.5)));
+        assert_eq!(c.get("spec-two"), Some(m(200, 0.125)));
+
+        // A truncated trailing line (interrupted run) is skipped, the rest
+        // survives.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("{text}{{\"key\":\"dead\",\"spe")).unwrap();
+        let c = ResultCache::open(&path).unwrap();
+        assert_eq!(c.loaded(), 2);
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tampered_keys_are_rejected() {
+        let line = render_line("honest-spec", &m(5, 0.5));
+        let tampered = line.replace("honest-spec", "edited-spec");
+        assert!(parse_line(&tampered).is_none(), "stale content address");
+        assert!(parse_line("not json").is_none());
+        assert!(parse_line("{\"key\":\"x\"}").is_none());
+    }
+
+    #[test]
+    fn specs_with_escapes_survive() {
+        let spec = "weird \"quoted\" \\ spec\twith\nnoise";
+        let line = render_line(spec, &m(7, 2.0));
+        let (spec2, _) = parse_line(&line).unwrap();
+        assert_eq!(spec2, spec);
+    }
+}

@@ -1,0 +1,625 @@
+//! The exploration engine: strategies, parallel evaluation, caching, and
+//! reporting.
+//!
+//! An [`Explorer`] walks a [`SearchSpace`]'s feasible candidates with a
+//! [`Strategy`], evaluates them through any [`Evaluate`] implementation on
+//! the shared [`pxl_sim::pool`] worker pool, memoizes every measurement in
+//! a [`ResultCache`], and distills the results into one [`ParetoFront`]
+//! per benchmark plus a markdown report.
+
+use crate::cache::{Measurement, ResultCache};
+use crate::pareto::ParetoFront;
+use crate::space::{Candidate, DesignPoint, PrunedCandidate, SearchSpace};
+use pxl_sim::pool;
+
+/// How much simulation a measurement is based on.
+///
+/// [`Strategy::SuccessiveHalving`] triages candidates on rung fidelities
+/// (short inputs) before spending full-size runs; [`Strategy::Grid`] only
+/// ever uses [`Fidelity::Full`]. The fidelity is part of the cache key, so
+/// rung and full measurements never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Triage rung `0, 1, ...` — increasingly large short inputs.
+    Rung(u32),
+    /// The full-size input the final numbers are reported on.
+    Full,
+}
+
+impl Fidelity {
+    /// The cache-key label (`rung0`, `rung1`, ..., `full`).
+    pub fn label(self) -> String {
+        match self {
+            Fidelity::Rung(r) => format!("rung{r}"),
+            Fidelity::Full => "full".to_owned(),
+        }
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Something that can measure a candidate at a fidelity.
+///
+/// The benchmark harness implements this by building the point's engine
+/// through `pxl_flow::SimulationBuilder` and running the workload; tests
+/// use plain closures via the blanket impl.
+pub trait Evaluate: Sync {
+    /// Measures one candidate. Errors are recorded as [`FailedPoint`]s,
+    /// not propagated — one diverging design must not sink a sweep.
+    fn evaluate(&self, candidate: &Candidate, fidelity: Fidelity) -> Result<Measurement, String>;
+
+    /// A tag identifying everything about the evaluation context that is
+    /// *not* in the candidate spec — workload sizes, seed, execution
+    /// profile. It is folded into every cache key so measurements from
+    /// different contexts never alias. The default (empty) suits
+    /// context-free evaluators.
+    fn context_tag(&self) -> String {
+        String::new()
+    }
+}
+
+impl<F> Evaluate for F
+where
+    F: Fn(&Candidate, Fidelity) -> Result<Measurement, String> + Sync,
+{
+    fn evaluate(&self, candidate: &Candidate, fidelity: Fidelity) -> Result<Measurement, String> {
+        self(candidate, fidelity)
+    }
+}
+
+/// How the explorer spends its simulation budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Evaluate every feasible candidate at full fidelity.
+    Grid,
+    /// Per benchmark, run `rungs` triage rounds on short inputs, keeping
+    /// the fastest `ceil(n / eta)` candidates after each, then evaluate
+    /// only the survivors at full fidelity. The per-rung ranking keeps the
+    /// fastest candidate alive, so the best-runtime design always reaches
+    /// full fidelity (as long as rung rankings agree with full-fidelity
+    /// rankings on who is fastest).
+    SuccessiveHalving {
+        /// Triage rounds before the full-fidelity finale.
+        rungs: u32,
+        /// Keep `ceil(n / eta)` survivors per rung (must be ≥ 2 to cut).
+        eta: usize,
+    },
+}
+
+/// One full-fidelity measurement of a candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluated {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The design point.
+    pub point: DesignPoint,
+    /// What it measured.
+    pub measurement: Measurement,
+}
+
+/// A candidate whose evaluation returned an error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedPoint {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The point's canonical spec.
+    pub spec: String,
+    /// The fidelity that failed.
+    pub fidelity: Fidelity,
+    /// The evaluator's error.
+    pub error: String,
+}
+
+/// Everything one exploration produced.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Full-fidelity results, in candidate enumeration order.
+    pub evaluated: Vec<Evaluated>,
+    /// One Pareto front per benchmark with at least one result.
+    pub fronts: Vec<ParetoFront>,
+    /// Candidates pruned before any simulation, with reasons.
+    pub pruned: Vec<PrunedCandidate>,
+    /// Candidates whose evaluation errored.
+    pub failed: Vec<FailedPoint>,
+    /// Cache lookups that found a prior measurement.
+    pub cache_hits: usize,
+    /// Cache lookups that had to simulate.
+    pub cache_misses: usize,
+    /// Rung-fidelity measurements taken (successive halving only).
+    pub rung_evaluations: usize,
+    /// Cache-file append errors (measurements were still collected).
+    pub io_errors: Vec<String>,
+}
+
+impl Exploration {
+    /// The front for one benchmark.
+    pub fn front_for(&self, benchmark: &str) -> Option<&ParetoFront> {
+        self.fronts.iter().find(|f| f.benchmark == benchmark)
+    }
+
+    /// The evaluated point with the lowest whole-application runtime for a
+    /// benchmark (ties broken by spec string).
+    pub fn best_runtime(&self, benchmark: &str) -> Option<&Evaluated> {
+        self.evaluated
+            .iter()
+            .filter(|e| e.benchmark == benchmark)
+            .min_by(|a, b| {
+                a.measurement
+                    .whole_ps
+                    .cmp(&b.measurement.whole_ps)
+                    .then_with(|| a.point.spec().cmp(&b.point.spec()))
+            })
+    }
+
+    /// All fronts as JSONL (one line per front point).
+    pub fn fronts_jsonl(&self) -> String {
+        self.fronts.iter().map(|f| f.to_jsonl()).collect()
+    }
+
+    /// A markdown report: exploration totals, then per benchmark the knee
+    /// point and the full front.
+    pub fn report_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Design-space exploration\n\n");
+        out.push_str(&format!(
+            "- {} point(s) evaluated at full fidelity, {} pruned before \
+             simulation, {} failed\n",
+            self.evaluated.len(),
+            self.pruned.len(),
+            self.failed.len()
+        ));
+        out.push_str(&format!(
+            "- cache: {} hit(s), {} miss(es)\n",
+            self.cache_hits, self.cache_misses
+        ));
+        if self.rung_evaluations > 0 {
+            out.push_str(&format!(
+                "- successive halving took {} rung measurement(s)\n",
+                self.rung_evaluations
+            ));
+        }
+        for front in &self.fronts {
+            out.push_str(&format!("\n## {}\n\n", front.benchmark));
+            if let Some(knee) = front.knee() {
+                out.push_str(&format!(
+                    "Knee point: `{}` — {}\n\n",
+                    knee.point.spec(),
+                    summarize(&knee.measurement)
+                ));
+            }
+            out.push_str("| design point | whole (ms) | energy (mJ) | LUT | BRAM18 | knee |\n");
+            out.push_str("|---|---|---|---|---|---|\n");
+            for p in &front.points {
+                let m = &p.measurement;
+                out.push_str(&format!(
+                    "| `{}` | {:.3} | {:.3} | {} | {} | {} |\n",
+                    p.point.spec(),
+                    m.whole_ps as f64 / 1e9,
+                    m.energy_j * 1e3,
+                    m.lut,
+                    m.bram18,
+                    if p.knee { "yes" } else { "" }
+                ));
+            }
+        }
+        if !self.failed.is_empty() {
+            out.push_str("\n## Failures\n\n");
+            for f in &self.failed {
+                out.push_str(&format!(
+                    "- {} `{}` at {}: {}\n",
+                    f.benchmark, f.spec, f.fidelity, f.error
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn summarize(m: &Measurement) -> String {
+    format!(
+        "whole {:.3} ms, energy {:.3} mJ, {} LUT, {} BRAM18",
+        m.whole_ps as f64 / 1e9,
+        m.energy_j * 1e3,
+        m.lut,
+        m.bram18
+    )
+}
+
+/// Parallel, cached design-space exploration over an [`Evaluate`]
+/// implementation. See the crate docs for the end-to-end picture.
+pub struct Explorer<'a, E: Evaluate + ?Sized> {
+    evaluator: &'a E,
+    cache: ResultCache,
+    strategy: Strategy,
+    threads: usize,
+}
+
+impl<'a, E: Evaluate + ?Sized> Explorer<'a, E> {
+    /// An explorer with a process-local cache, the [`Strategy::Grid`]
+    /// strategy, and one worker per host core.
+    pub fn new(evaluator: &'a E) -> Self {
+        Explorer {
+            evaluator,
+            cache: ResultCache::in_memory(),
+            strategy: Strategy::Grid,
+            threads: pool::available_workers(),
+        }
+    }
+
+    /// Replaces the cache (e.g. with a JSONL-backed one).
+    pub fn with_cache(mut self, cache: ResultCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Selects the exploration strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Caps the worker threads used per evaluation batch.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The cache key of one (candidate, fidelity) evaluation.
+    pub fn cache_key(&self, candidate: &Candidate, fidelity: Fidelity) -> String {
+        let mut key = String::new();
+        let tag = self.evaluator.context_tag();
+        if !tag.is_empty() {
+            key.push_str(&tag);
+            key.push(' ');
+        }
+        key.push_str(&format!(
+            "bench={} {} fidelity={}",
+            candidate.bench,
+            candidate.point.spec(),
+            fidelity.label()
+        ));
+        key
+    }
+
+    /// Runs the exploration: partition, triage (if successive halving),
+    /// evaluate, and report.
+    pub fn explore(&mut self, space: &SearchSpace) -> Exploration {
+        let hits0 = self.cache.hits();
+        let misses0 = self.cache.misses();
+        let partition = space.partition();
+        let mut failed = Vec::new();
+        let mut io_errors = Vec::new();
+        let mut rung_evaluations = 0usize;
+
+        // Successive halving triages per benchmark; Grid keeps everyone.
+        let finalists: Vec<Candidate> = match self.strategy {
+            Strategy::Grid => partition.feasible.clone(),
+            Strategy::SuccessiveHalving { rungs, eta } => {
+                let mut finalists = Vec::new();
+                for bench in space.benchmark_names() {
+                    let entrants: Vec<Candidate> = partition
+                        .feasible
+                        .iter()
+                        .filter(|c| &c.bench == bench)
+                        .cloned()
+                        .collect();
+                    finalists.extend(self.triage(
+                        entrants,
+                        rungs,
+                        eta.max(2),
+                        &mut failed,
+                        &mut io_errors,
+                        &mut rung_evaluations,
+                    ));
+                }
+                finalists
+            }
+        };
+
+        let results = self.evaluate_batch(&finalists, Fidelity::Full, &mut io_errors);
+        let mut evaluated = Vec::new();
+        for (candidate, result) in finalists.into_iter().zip(results) {
+            match result {
+                Ok(measurement) => evaluated.push(Evaluated {
+                    benchmark: candidate.bench,
+                    point: candidate.point,
+                    measurement,
+                }),
+                Err(error) => failed.push(FailedPoint {
+                    benchmark: candidate.bench.clone(),
+                    spec: candidate.point.spec(),
+                    fidelity: Fidelity::Full,
+                    error,
+                }),
+            }
+        }
+
+        let fronts = space
+            .benchmark_names()
+            .iter()
+            .filter_map(|bench| {
+                let pairs: Vec<(DesignPoint, Measurement)> = evaluated
+                    .iter()
+                    .filter(|e| &e.benchmark == bench)
+                    .map(|e| (e.point.clone(), e.measurement))
+                    .collect();
+                (!pairs.is_empty()).then(|| ParetoFront::build(bench.clone(), &pairs))
+            })
+            .collect();
+
+        Exploration {
+            evaluated,
+            fronts,
+            pruned: partition.pruned,
+            failed,
+            cache_hits: self.cache.hits() - hits0,
+            cache_misses: self.cache.misses() - misses0,
+            rung_evaluations,
+            io_errors,
+        }
+    }
+
+    /// The cache, e.g. to inspect totals after exploring.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Successive-halving triage of one benchmark's entrants.
+    fn triage(
+        &mut self,
+        mut survivors: Vec<Candidate>,
+        rungs: u32,
+        eta: usize,
+        failed: &mut Vec<FailedPoint>,
+        io_errors: &mut Vec<String>,
+        rung_evaluations: &mut usize,
+    ) -> Vec<Candidate> {
+        for rung in 0..rungs {
+            if survivors.len() <= 1 {
+                break;
+            }
+            let fidelity = Fidelity::Rung(rung);
+            let results = self.evaluate_batch(&survivors, fidelity, io_errors);
+            *rung_evaluations += results.len();
+            let mut ranked: Vec<(Candidate, Measurement)> = Vec::new();
+            for (candidate, result) in survivors.drain(..).zip(results) {
+                match result {
+                    Ok(m) => ranked.push((candidate, m)),
+                    Err(error) => failed.push(FailedPoint {
+                        benchmark: candidate.bench.clone(),
+                        spec: candidate.point.spec(),
+                        fidelity,
+                        error,
+                    }),
+                }
+            }
+            // Promote the fastest ceil(n / eta); a candidate that errors on
+            // a rung is out of the tournament.
+            ranked.sort_by(|a, b| {
+                a.1.whole_ps
+                    .cmp(&b.1.whole_ps)
+                    .then_with(|| a.0.point.spec().cmp(&b.0.point.spec()))
+            });
+            let keep = ranked.len().div_ceil(eta).max(1);
+            ranked.truncate(keep);
+            survivors = ranked.into_iter().map(|(c, _)| c).collect();
+        }
+        survivors
+    }
+
+    /// Evaluates a batch at one fidelity: cache lookups first, then the
+    /// misses in parallel on the worker pool, in input order throughout.
+    fn evaluate_batch(
+        &mut self,
+        candidates: &[Candidate],
+        fidelity: Fidelity,
+        io_errors: &mut Vec<String>,
+    ) -> Vec<Result<Measurement, String>> {
+        let mut slots: Vec<Option<Result<Measurement, String>>> = Vec::new();
+        let mut miss_indices = Vec::new();
+        for candidate in candidates {
+            let key = self.cache_key(candidate, fidelity);
+            match self.cache.get(&key) {
+                Some(m) => slots.push(Some(Ok(m))),
+                None => {
+                    miss_indices.push(slots.len());
+                    slots.push(None);
+                }
+            }
+        }
+        let evaluator = self.evaluator;
+        let jobs: Vec<_> = miss_indices
+            .iter()
+            .map(|&i| {
+                let candidate = candidates[i].clone();
+                move || evaluator.evaluate(&candidate, fidelity)
+            })
+            .collect();
+        let results = pool::parallel_map_with(jobs, self.threads);
+        for (&i, result) in miss_indices.iter().zip(results) {
+            if let Ok(m) = &result {
+                let key = self.cache_key(&candidates[i], fidelity);
+                if let Err(e) = self.cache.insert(&key, *m) {
+                    io_errors.push(e);
+                }
+            }
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Axis, PointArch};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Synthetic evaluator: runtime shrinks with units, energy and area
+    /// grow, so every unit count is a genuine trade-off and the fastest
+    /// point is the one with the most units.
+    fn synthetic(c: &Candidate, _f: Fidelity) -> Result<Measurement, String> {
+        let units = c.point.units() as u64;
+        Ok(Measurement {
+            kernel_ps: 1_000_000 / units,
+            whole_ps: 200_000 + 1_000_000 / units,
+            energy_j: 1e-4 * units as f64,
+            lut: 4_000 * units,
+            bram18: 6 * units,
+        })
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace::new()
+            .benchmarks(["queens", "uts"])
+            .archs([PointArch::Flex])
+            .tiles(Axis::list([1, 2, 4]))
+            .pes_per_tile(Axis::list([2, 4]))
+    }
+
+    #[test]
+    fn grid_evaluates_every_feasible_candidate() {
+        let eval = synthetic;
+        let outcome = Explorer::new(&eval).explore(&space());
+        assert_eq!(outcome.evaluated.len(), 2 * 6);
+        assert_eq!(outcome.fronts.len(), 2);
+        assert!(outcome.pruned.is_empty());
+        assert_eq!(outcome.cache_misses, 12);
+        assert_eq!(outcome.cache_hits, 0);
+        // Fastest point = most units.
+        assert_eq!(outcome.best_runtime("queens").unwrap().point.units(), 16);
+    }
+
+    #[test]
+    fn second_pass_is_pure_cache_hits_and_identical() {
+        let eval = synthetic;
+        let mut explorer = Explorer::new(&eval);
+        let first = explorer.explore(&space());
+        let second = explorer.explore(&space());
+        assert_eq!(second.cache_misses, 0);
+        assert_eq!(second.cache_hits, 12);
+        assert_eq!(first.fronts, second.fronts);
+        assert_eq!(first.fronts_jsonl(), second.fronts_jsonl());
+    }
+
+    #[test]
+    fn failures_are_collected_not_fatal() {
+        let eval = |c: &Candidate, f: Fidelity| {
+            if c.point.tiles == 2 {
+                Err("diverged".to_owned())
+            } else {
+                synthetic(c, f)
+            }
+        };
+        let outcome = Explorer::new(&eval).explore(&space());
+        assert_eq!(outcome.failed.len(), 2 * 2, "two 2-tile points per bench");
+        assert_eq!(outcome.evaluated.len(), 12 - 4);
+        assert!(outcome
+            .failed
+            .iter()
+            .all(|f| f.error == "diverged" && f.fidelity == Fidelity::Full));
+        let report = outcome.report_markdown();
+        assert!(report.contains("## Failures"));
+        assert!(report.contains("diverged"));
+    }
+
+    #[test]
+    fn successive_halving_spends_less_and_finds_the_same_winner() {
+        let eval = synthetic;
+        let calls = AtomicUsize::new(0);
+        let counting = |c: &Candidate, f: Fidelity| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            synthetic(c, f)
+        };
+        let grid = Explorer::new(&eval).explore(&space());
+        let sh = Explorer::new(&counting)
+            .strategy(Strategy::SuccessiveHalving { rungs: 2, eta: 2 })
+            .explore(&space());
+        // 6 entrants/bench -> rung0 keeps 3 -> rung1 keeps 2 -> 2 full runs:
+        // 6 + 3 + 2 = 11 evaluator calls per bench vs Grid's 6 full runs,
+        // but only 2 of them at full fidelity.
+        assert_eq!(sh.rung_evaluations, 2 * (6 + 3));
+        assert_eq!(sh.evaluated.len(), 2 * 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 2 * (6 + 3 + 2));
+        for bench in ["queens", "uts"] {
+            assert_eq!(
+                sh.best_runtime(bench).unwrap().point,
+                grid.best_runtime(bench).unwrap().point,
+                "{bench}: the fastest design always survives triage"
+            );
+        }
+    }
+
+    #[test]
+    fn rung_failures_knock_candidates_out() {
+        // The 16-unit point (fastest) dies on rung 0; the next-fastest
+        // feasible point must win instead.
+        let eval = |c: &Candidate, f: Fidelity| {
+            if c.point.units() == 16 && matches!(f, Fidelity::Rung(_)) {
+                Err("rung crash".to_owned())
+            } else {
+                synthetic(c, f)
+            }
+        };
+        let outcome = Explorer::new(&eval)
+            .strategy(Strategy::SuccessiveHalving { rungs: 1, eta: 2 })
+            .explore(&space());
+        assert!(outcome
+            .failed
+            .iter()
+            .any(|f| f.fidelity == Fidelity::Rung(0)));
+        assert_eq!(outcome.best_runtime("queens").unwrap().point.units(), 8);
+    }
+
+    #[test]
+    fn cache_keys_separate_fidelities_and_context() {
+        struct Tagged;
+        impl Evaluate for Tagged {
+            fn evaluate(&self, c: &Candidate, f: Fidelity) -> Result<Measurement, String> {
+                synthetic(c, f)
+            }
+            fn context_tag(&self) -> String {
+                "workload=paper seed=42".to_owned()
+            }
+        }
+        let explorer = Explorer::new(&Tagged);
+        let c = Candidate {
+            bench: "queens".to_owned(),
+            point: DesignPoint::cpu(4),
+            resources: None,
+        };
+        let full = explorer.cache_key(&c, Fidelity::Full);
+        let rung = explorer.cache_key(&c, Fidelity::Rung(0));
+        assert_eq!(
+            full,
+            "workload=paper seed=42 bench=queens arch=cpu cores=4 fidelity=full"
+        );
+        assert_ne!(full, rung);
+        assert!(rung.ends_with("fidelity=rung0"));
+    }
+
+    #[test]
+    fn report_names_the_knee_point() {
+        let eval = synthetic;
+        let outcome = Explorer::new(&eval).explore(&space());
+        let report = outcome.report_markdown();
+        assert!(report.contains("# Design-space exploration"));
+        assert!(report.contains("## queens"));
+        assert!(report.contains("Knee point: `"));
+        let knee_specs: Vec<String> = outcome
+            .fronts
+            .iter()
+            .map(|f| f.knee().unwrap().point.spec())
+            .collect();
+        for spec in knee_specs {
+            assert!(report.contains(&spec));
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! Declarative search spaces over the architectural template's knobs, with
+//! up-front feasibility pruning.
+//!
+//! A [`SearchSpace`] crosses one [`Axis`] per knob — architecture, tiles,
+//! PEs per tile, cache capacity, task-queue and P-Store entries — into
+//! [`DesignPoint`]s, pairs every point with every benchmark into
+//! [`Candidate`]s, and [`SearchSpace::partition`] splits the candidates
+//! into the feasible set and the pruned set *before* any simulation runs:
+//!
+//! * [`pxl_arch::AccelConfig::validate`] rejects unrealizable
+//!   configurations ([`PruneReason::Config`] carries the typed
+//!   [`ConfigError`]);
+//! * benchmarks without a LiteArch variant cannot instantiate LiteArch
+//!   points ([`PruneReason::NoLiteVariant`]);
+//! * when a target [`FpgaDevice`] is set, the `pxl-cost` resource model
+//!   rejects points whose tiles do not fit
+//!   ([`PruneReason::DoesNotFit`]).
+
+use pxl_arch::{AccelConfig, ArchKind, ConfigError};
+use pxl_cost::resources::{tile_resources, FpgaDevice, TileResources};
+
+/// The values one architectural knob ranges over.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_dse::Axis;
+///
+/// assert_eq!(Axis::list([4, 2, 4]).values(), &[4, 2]);
+/// assert_eq!(Axis::range(1, 4).values(), &[1, 2, 3, 4]);
+/// assert_eq!(Axis::pow2(4, 32).values(), &[4, 8, 16, 32]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    values: Vec<usize>,
+}
+
+impl Axis {
+    /// An explicit list of values, kept in the given order (duplicates
+    /// dropped).
+    pub fn list(values: impl IntoIterator<Item = usize>) -> Self {
+        let mut out = Vec::new();
+        for v in values {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        Axis { values: out }
+    }
+
+    /// Every integer in `lo..=hi`.
+    pub fn range(lo: usize, hi: usize) -> Self {
+        Axis {
+            values: (lo..=hi).collect(),
+        }
+    }
+
+    /// Powers of two from `lo` to `hi` inclusive (`lo` is rounded up to a
+    /// power of two).
+    pub fn pow2(lo: usize, hi: usize) -> Self {
+        let mut v = lo.max(1).next_power_of_two();
+        let mut values = Vec::new();
+        while v <= hi {
+            values.push(v);
+            v *= 2;
+        }
+        Axis { values }
+    }
+
+    /// A single fixed value.
+    pub fn fixed(value: usize) -> Self {
+        Axis {
+            values: vec![value],
+        }
+    }
+
+    /// The axis's values, in enumeration order.
+    pub fn values(&self) -> &[usize] {
+        &self.values
+    }
+}
+
+/// Which execution target a design point instantiates: one of the two tile
+/// architectures, or staying on the multicore software baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PointArch {
+    /// FlexArch (work stealing, full task parallelism).
+    Flex,
+    /// LiteArch (static data-parallel rounds).
+    Lite,
+    /// The Table III multicore CPU baseline — "build no accelerator".
+    Cpu,
+}
+
+impl PointArch {
+    /// The spec-string label (`flex` / `lite` / `cpu`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PointArch::Flex => "flex",
+            PointArch::Lite => "lite",
+            PointArch::Cpu => "cpu",
+        }
+    }
+
+    /// The accelerator architecture, `None` for the CPU baseline.
+    pub fn arch_kind(self) -> Option<ArchKind> {
+        match self {
+            PointArch::Flex => Some(ArchKind::Flex),
+            PointArch::Lite => Some(ArchKind::Lite),
+            PointArch::Cpu => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PointArch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl From<ArchKind> for PointArch {
+    fn from(kind: ArchKind) -> Self {
+        match kind {
+            ArchKind::Flex => PointArch::Flex,
+            ArchKind::Lite => PointArch::Lite,
+        }
+    }
+}
+
+/// One assignment of the template's knobs.
+///
+/// CPU points carry only a core count (`tiles == 1`,
+/// `pes_per_tile == cores`); their accelerator-only knobs are normalized to
+/// zero so equivalent baseline points collapse to one spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignPoint {
+    /// Execution target.
+    pub arch: PointArch,
+    /// Number of tiles (1 for CPU points).
+    pub tiles: usize,
+    /// PEs per tile (cores for CPU points).
+    pub pes_per_tile: usize,
+    /// Tile cache capacity in KiB (0 for CPU points).
+    pub cache_kb: usize,
+    /// Per-PE task queue entries (0 for CPU points).
+    pub task_queue_entries: usize,
+    /// Per-tile P-Store entries (0 for CPU points).
+    pub pstore_entries: usize,
+}
+
+impl DesignPoint {
+    /// A CPU-baseline point with `cores` cores.
+    pub fn cpu(cores: usize) -> Self {
+        DesignPoint {
+            arch: PointArch::Cpu,
+            tiles: 1,
+            pes_per_tile: cores,
+            cache_kb: 0,
+            task_queue_entries: 0,
+            pstore_entries: 0,
+        }
+    }
+
+    /// Total execution units: PEs for accelerators, cores for the CPU.
+    pub fn units(&self) -> usize {
+        self.tiles * self.pes_per_tile
+    }
+
+    /// The accelerator configuration this point elaborates to (`None` for
+    /// CPU points). The configuration is *not* validated here; feasibility
+    /// is [`SearchSpace::partition`]'s job.
+    pub fn accel_config(&self) -> Option<AccelConfig> {
+        let arch = self.arch.arch_kind()?;
+        let mut cfg = match arch {
+            ArchKind::Flex => AccelConfig::flex(self.tiles, self.pes_per_tile),
+            ArchKind::Lite => AccelConfig::lite(self.tiles, self.pes_per_tile),
+        };
+        cfg.task_queue_entries = self.task_queue_entries;
+        cfg.pstore_entries = self.pstore_entries;
+        cfg.memory.accel_l1 = cfg.memory.accel_l1.clone().with_size(self.cache_kb * 1024);
+        Some(cfg)
+    }
+
+    /// The canonical spec string — the point's identity in cache keys,
+    /// Pareto reports and JSONL output.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pxl_dse::{DesignPoint, PointArch};
+    ///
+    /// let p = DesignPoint {
+    ///     arch: PointArch::Flex,
+    ///     tiles: 4,
+    ///     pes_per_tile: 4,
+    ///     cache_kb: 32,
+    ///     task_queue_entries: 1024,
+    ///     pstore_entries: 4096,
+    /// };
+    /// assert_eq!(
+    ///     p.spec(),
+    ///     "arch=flex tiles=4 pes=4 cache_kb=32 queue=1024 pstore=4096"
+    /// );
+    /// assert_eq!(DesignPoint::cpu(8).spec(), "arch=cpu cores=8");
+    /// ```
+    pub fn spec(&self) -> String {
+        match self.arch {
+            PointArch::Cpu => format!("arch=cpu cores={}", self.units()),
+            _ => format!(
+                "arch={} tiles={} pes={} cache_kb={} queue={} pstore={}",
+                self.arch.label(),
+                self.tiles,
+                self.pes_per_tile,
+                self.cache_kb,
+                self.task_queue_entries,
+                self.pstore_entries
+            ),
+        }
+    }
+}
+
+/// The paper's tile geometry for a total PE count: up to 4 PEs in a single
+/// tile, then 4-PE tiles (the scalability study's shape, also used by
+/// `pxl_flow::sweep_pe_counts` and the benchmark harness).
+pub fn pe_geometry(pes: usize) -> (usize, usize) {
+    if pes <= 4 {
+        (1, pes)
+    } else {
+        (pes / 4, 4)
+    }
+}
+
+/// One (benchmark, design point) pair to evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Benchmark name.
+    pub bench: String,
+    /// The design point.
+    pub point: DesignPoint,
+    /// Resource estimate for accelerator points on known benchmarks.
+    pub resources: Option<TileResources>,
+}
+
+/// Why a candidate was pruned before simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PruneReason {
+    /// The configuration is not realizable.
+    Config(ConfigError),
+    /// The benchmark has no LiteArch variant.
+    NoLiteVariant,
+    /// The point needs more tiles than fit the target device.
+    DoesNotFit {
+        /// Device name.
+        device: &'static str,
+        /// Tiles of this size that do fit.
+        max_tiles: u32,
+    },
+}
+
+impl std::fmt::Display for PruneReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PruneReason::Config(e) => write!(f, "invalid configuration: {e}"),
+            PruneReason::NoLiteVariant => write!(f, "no LiteArch variant"),
+            PruneReason::DoesNotFit { device, max_tiles } => {
+                write!(f, "does not fit {device} (max {max_tiles} tiles)")
+            }
+        }
+    }
+}
+
+/// A pruned candidate and the constraint it violated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunedCandidate {
+    /// The infeasible candidate.
+    pub candidate: Candidate,
+    /// Which constraint pruned it.
+    pub reason: PruneReason,
+}
+
+/// The result of feasibility-partitioning a space's candidates.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    /// Candidates worth simulating.
+    pub feasible: Vec<Candidate>,
+    /// Candidates rejected up front, with reasons.
+    pub pruned: Vec<PrunedCandidate>,
+}
+
+/// A declarative design space: benchmarks × architectures × one [`Axis`]
+/// per knob, with optional device fitting.
+///
+/// Defaults mirror `pxl_flow::AcceleratorBuilder`: FlexArch, 4 tiles,
+/// 4 PEs per tile, 32 KiB cache, 1024-entry queues, 4096-entry P-Store,
+/// no device constraint, no benchmarks (set at least one).
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    benchmarks: Vec<String>,
+    archs: Vec<PointArch>,
+    tiles: Axis,
+    pes_per_tile: Axis,
+    cache_kb: Axis,
+    task_queue_entries: Axis,
+    pstore_entries: Axis,
+    /// Paired (tiles, pes_per_tile) geometries; when set, replaces the
+    /// tiles × pes cross product (the scalability-sweep shape).
+    geometry_pairs: Option<Vec<(usize, usize)>>,
+    device: Option<FpgaDevice>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace::new()
+    }
+}
+
+impl SearchSpace {
+    /// An empty space with the builder defaults.
+    pub fn new() -> Self {
+        SearchSpace {
+            benchmarks: Vec::new(),
+            archs: vec![PointArch::Flex],
+            tiles: Axis::fixed(4),
+            pes_per_tile: Axis::fixed(4),
+            cache_kb: Axis::fixed(32),
+            task_queue_entries: Axis::fixed(1024),
+            pstore_entries: Axis::fixed(4096),
+            geometry_pairs: None,
+            device: None,
+        }
+    }
+
+    /// Sets the benchmarks to explore.
+    pub fn benchmarks<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.benchmarks = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the architectures axis (duplicates dropped, order kept).
+    pub fn archs(mut self, archs: impl IntoIterator<Item = PointArch>) -> Self {
+        let mut out: Vec<PointArch> = Vec::new();
+        for a in archs {
+            if !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        self.archs = out;
+        self
+    }
+
+    /// Sets the tiles axis.
+    pub fn tiles(mut self, axis: Axis) -> Self {
+        self.tiles = axis;
+        self
+    }
+
+    /// Sets the PEs-per-tile axis.
+    pub fn pes_per_tile(mut self, axis: Axis) -> Self {
+        self.pes_per_tile = axis;
+        self
+    }
+
+    /// Sets the cache-capacity axis (KiB).
+    pub fn cache_kb(mut self, axis: Axis) -> Self {
+        self.cache_kb = axis;
+        self
+    }
+
+    /// Sets the task-queue-entries axis.
+    pub fn task_queue_entries(mut self, axis: Axis) -> Self {
+        self.task_queue_entries = axis;
+        self
+    }
+
+    /// Sets the P-Store-entries axis.
+    pub fn pstore_entries(mut self, axis: Axis) -> Self {
+        self.pstore_entries = axis;
+        self
+    }
+
+    /// Replaces the tiles × PEs cross product with the paper's scalability
+    /// geometry: one `(tiles, pes_per_tile)` pair per total PE count, via
+    /// [`pe_geometry`].
+    pub fn pe_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.geometry_pairs = Some(counts.into_iter().map(pe_geometry).collect());
+        self
+    }
+
+    /// Constrains accelerator points to tiles that fit `device` (checked in
+    /// [`SearchSpace::partition`]).
+    pub fn device(mut self, device: FpgaDevice) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// The benchmarks under exploration.
+    pub fn benchmark_names(&self) -> &[String] {
+        &self.benchmarks
+    }
+
+    /// All design points, in deterministic enumeration order (architecture
+    /// outermost, then geometry, cache, queue, P-Store). CPU points are
+    /// normalized to a core count and deduplicated.
+    pub fn points(&self) -> Vec<DesignPoint> {
+        let pairs: Vec<(usize, usize)> = match &self.geometry_pairs {
+            Some(p) => p.clone(),
+            None => {
+                let mut out = Vec::new();
+                for &t in self.tiles.values() {
+                    for &p in self.pes_per_tile.values() {
+                        out.push((t, p));
+                    }
+                }
+                out
+            }
+        };
+        let mut points = Vec::new();
+        for &arch in &self.archs {
+            if arch == PointArch::Cpu {
+                // The baseline has no accelerator knobs: one point per
+                // distinct core count.
+                for &(tiles, pes) in &pairs {
+                    let p = DesignPoint::cpu(tiles * pes);
+                    if !points.contains(&p) {
+                        points.push(p);
+                    }
+                }
+                continue;
+            }
+            for &(tiles, pes_per_tile) in &pairs {
+                for &cache_kb in self.cache_kb.values() {
+                    for &task_queue_entries in self.task_queue_entries.values() {
+                        for &pstore_entries in self.pstore_entries.values() {
+                            points.push(DesignPoint {
+                                arch,
+                                tiles,
+                                pes_per_tile,
+                                cache_kb,
+                                task_queue_entries,
+                                pstore_entries,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// All (benchmark, point) candidates: benchmarks outermost, so one
+    /// benchmark's candidates are contiguous.
+    pub fn candidates(&self) -> Vec<Candidate> {
+        let points = self.points();
+        let mut out = Vec::with_capacity(self.benchmarks.len() * points.len());
+        for bench in &self.benchmarks {
+            for point in &points {
+                let resources = match point.arch.arch_kind() {
+                    Some(kind) => tile_resources(
+                        bench,
+                        kind == ArchKind::Flex,
+                        point.pes_per_tile as u32,
+                        point.cache_kb * 1024,
+                    ),
+                    None => None,
+                };
+                out.push(Candidate {
+                    bench: bench.clone(),
+                    point: point.clone(),
+                    resources,
+                });
+            }
+        }
+        out
+    }
+
+    /// Splits [`SearchSpace::candidates`] into feasible and pruned sets —
+    /// the up-front check that keeps infeasible points from ever costing a
+    /// simulation.
+    pub fn partition(&self) -> Partition {
+        let mut partition = Partition::default();
+        for candidate in self.candidates() {
+            match self.prune_reason(&candidate) {
+                None => partition.feasible.push(candidate),
+                Some(reason) => partition.pruned.push(PrunedCandidate { candidate, reason }),
+            }
+        }
+        partition
+    }
+
+    fn prune_reason(&self, candidate: &Candidate) -> Option<PruneReason> {
+        let point = &candidate.point;
+        if point.arch == PointArch::Cpu {
+            // The baseline only needs at least one core.
+            return (point.units() == 0).then_some(PruneReason::Config(ConfigError::NoPes));
+        }
+        if let Some(cfg) = point.accel_config() {
+            if let Err(e) = cfg.validate() {
+                return Some(PruneReason::Config(e));
+            }
+        }
+        if point.arch == PointArch::Lite {
+            // Known benchmark without a Lite worker variant; unknown
+            // workers carry no resource model and are left to the
+            // evaluator.
+            if let Some((_, lite)) = pxl_cost::resources::worker(&candidate.bench) {
+                if lite.is_none() {
+                    return Some(PruneReason::NoLiteVariant);
+                }
+            }
+        }
+        if let (Some(device), Some(resources)) = (&self.device, &candidate.resources) {
+            let max_tiles = device.max_tiles(&resources.tile);
+            if point.tiles as u32 > max_tiles {
+                return Some(PruneReason::DoesNotFit {
+                    device: device.name,
+                    max_tiles,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_axis_space() -> SearchSpace {
+        SearchSpace::new()
+            .benchmarks(["queens"])
+            .archs([PointArch::Flex, PointArch::Lite])
+            .tiles(Axis::list([1, 2]))
+            .cache_kb(Axis::pow2(16, 32))
+    }
+
+    #[test]
+    fn axes_enumerate_deterministically() {
+        assert_eq!(Axis::range(2, 5).values(), &[2, 3, 4, 5]);
+        assert_eq!(Axis::pow2(3, 16).values(), &[4, 8, 16]);
+        assert_eq!(Axis::pow2(16, 8).values(), &[] as &[usize]);
+        assert_eq!(Axis::fixed(7).values(), &[7]);
+        assert_eq!(Axis::list([5, 5, 1]).values(), &[5, 1]);
+    }
+
+    #[test]
+    fn points_are_the_cross_product_in_order() {
+        let points = three_axis_space().points();
+        assert_eq!(points.len(), 2 * 2 * 2);
+        // Arch outermost, then tiles, then cache.
+        assert_eq!(
+            points[0].spec(),
+            DesignPoint {
+                arch: PointArch::Flex,
+                tiles: 1,
+                pes_per_tile: 4,
+                cache_kb: 16,
+                task_queue_entries: 1024,
+                pstore_entries: 4096,
+            }
+            .spec()
+        );
+        assert_eq!(points[1].cache_kb, 32);
+        assert_eq!(points[2].tiles, 2);
+        assert_eq!(points[4].arch, PointArch::Lite);
+        // Enumeration is reproducible.
+        assert_eq!(points, three_axis_space().points());
+    }
+
+    #[test]
+    fn cpu_points_are_normalized_and_deduped() {
+        let space = SearchSpace::new()
+            .benchmarks(["uts"])
+            .archs([PointArch::Cpu])
+            .tiles(Axis::list([1, 2, 4]))
+            .pes_per_tile(Axis::list([2, 4]));
+        let points = space.points();
+        // 1x4 and 2x2 (and 2x4, 4x2) collapse: cores in {2, 4, 8, 16}.
+        let cores: Vec<usize> = points.iter().map(|p| p.units()).collect();
+        assert_eq!(cores, vec![2, 4, 8, 16]);
+        assert!(points.iter().all(|p| p.cache_kb == 0
+            && p.task_queue_entries == 0
+            && p.pstore_entries == 0
+            && p.accel_config().is_none()));
+    }
+
+    #[test]
+    fn pe_counts_use_the_paper_geometry() {
+        assert_eq!(pe_geometry(1), (1, 1));
+        assert_eq!(pe_geometry(4), (1, 4));
+        assert_eq!(pe_geometry(32), (8, 4));
+        let space = SearchSpace::new()
+            .benchmarks(["queens"])
+            .pe_counts([1, 4, 16]);
+        let points = space.points();
+        let geo: Vec<(usize, usize)> = points.iter().map(|p| (p.tiles, p.pes_per_tile)).collect();
+        assert_eq!(geo, vec![(1, 1), (1, 4), (4, 4)]);
+    }
+
+    #[test]
+    fn partition_prunes_bad_geometry_lite_gaps_and_device_misfits() {
+        let space = SearchSpace::new()
+            .benchmarks(["queens", "cilksort"])
+            .archs([PointArch::Flex, PointArch::Lite])
+            .cache_kb(Axis::list([32, 48])); // 48 KiB -> 384 sets, invalid
+        let partition = space.partition();
+        let reasons: Vec<&PruneReason> = partition.pruned.iter().map(|p| &p.reason).collect();
+        // Both benches x both archs get a 48 KiB point pruned; cilksort
+        // additionally loses both Lite points (32 KiB pruned as
+        // NoLiteVariant; 48 KiB fails validation first).
+        assert!(
+            reasons
+                .iter()
+                .filter(|r| matches!(r, PruneReason::Config(ConfigError::BadCacheGeometry { .. })))
+                .count()
+                >= 4
+        );
+        assert!(reasons.contains(&&PruneReason::NoLiteVariant));
+        assert!(partition.feasible.iter().all(|c| c.point.cache_kb == 32
+            && !(c.bench == "cilksort" && c.point.arch == PointArch::Lite)));
+
+        // Device fitting: cilksort's huge worker caps tiles below 8 even on
+        // the mainstream device.
+        let space = SearchSpace::new()
+            .benchmarks(["cilksort"])
+            .tiles(Axis::list([1, 8]))
+            .device(FpgaDevice::kintex_7k160t());
+        let partition = space.partition();
+        assert_eq!(partition.feasible.len(), 1);
+        assert_eq!(partition.feasible[0].point.tiles, 1);
+        assert!(matches!(
+            partition.pruned[0].reason,
+            PruneReason::DoesNotFit { device, .. } if device == "Kintex XC7K160T"
+        ));
+    }
+
+    #[test]
+    fn prune_reasons_render() {
+        assert_eq!(
+            PruneReason::Config(ConfigError::NoTiles).to_string(),
+            "invalid configuration: accelerator needs at least one tile"
+        );
+        assert_eq!(
+            PruneReason::NoLiteVariant.to_string(),
+            "no LiteArch variant"
+        );
+        assert_eq!(
+            PruneReason::DoesNotFit {
+                device: "Artix XC7A75T",
+                max_tiles: 3
+            }
+            .to_string(),
+            "does not fit Artix XC7A75T (max 3 tiles)"
+        );
+    }
+
+    #[test]
+    fn candidates_carry_resources_for_known_benchmarks() {
+        let space = SearchSpace::new().benchmarks(["nw", "mystery"]);
+        let candidates = space.candidates();
+        assert_eq!(candidates.len(), 2);
+        assert!(candidates[0].resources.is_some());
+        assert!(candidates[1].resources.is_none(), "unknown worker");
+        // Unknown workers stay feasible (no resource model to prune with).
+        assert_eq!(space.partition().feasible.len(), 2);
+    }
+}

@@ -34,9 +34,10 @@
 //! assert!(design.resources.is_some());
 //! ```
 
-use pxl_arch::{AccelConfig, ArchKind, Engine, FlexEngine, LiteEngine};
+use pxl_arch::{AccelConfig, ArchKind, ConfigError, Engine, FlexEngine, LiteEngine};
 use pxl_cost::resources::{tile_resources, FpgaDevice, TileResources};
 use pxl_cpu::{CpuEngine, SoftwareCosts};
+use pxl_dse::{Axis, DesignPoint, PointArch, SearchSpace};
 use pxl_model::ExecProfile;
 use pxl_sim::config::{CpuCoreParams, MemoryConfig};
 use pxl_sim::FaultPlan;
@@ -77,10 +78,21 @@ pub enum FlowError {
         /// The violated constraint (e.g. `"must be at least 2"`).
         constraint: &'static str,
     },
-    /// The architectural parameters are not realizable.
+    /// The architectural parameters are not realizable, with the violated
+    /// constraint typed so callers (e.g. the `pxl-dse` pruner) can report
+    /// *why* a design point is infeasible.
+    Config(ConfigError),
+    /// Some other aspect of the request is invalid (missing worker name,
+    /// zero CPU cores, fault plans on the software baseline, ...).
     InvalidConfig(String),
     /// The selected benchmark has no LiteArch variant.
     NoLiteVariant(String),
+}
+
+impl From<ConfigError> for FlowError {
+    fn from(e: ConfigError) -> Self {
+        FlowError::Config(e)
+    }
 }
 
 impl std::fmt::Display for FlowError {
@@ -102,6 +114,7 @@ impl std::fmt::Display for FlowError {
                 value,
                 constraint,
             } => write!(f, "'{key}={value}': {constraint}"),
+            FlowError::Config(e) => write!(f, "invalid configuration: {e}"),
             FlowError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             FlowError::NoLiteVariant(name) => {
                 write!(f, "benchmark '{name}' has no LiteArch mapping")
@@ -202,18 +215,9 @@ impl AcceleratorBuilder {
         config.task_queue_entries = self.task_queue_entries;
         config.pstore_entries = self.pstore_entries;
         config.memory.accel_l1 = config.memory.accel_l1.clone().with_size(self.cache_bytes);
-        config.validate().map_err(FlowError::InvalidConfig)?;
-        // Cache geometry must also be realizable: an integral,
-        // power-of-two number of sets.
-        let set_bytes = config.memory.accel_l1.ways * config.memory.accel_l1.line_bytes;
-        if !self.cache_bytes.is_multiple_of(set_bytes)
-            || !(self.cache_bytes / set_bytes).is_power_of_two()
-        {
-            return Err(FlowError::InvalidConfig(format!(
-                "cache size {} does not form a power-of-two number of sets",
-                self.cache_bytes
-            )));
-        }
+        // Covers geometry, queue/P-Store capacities and cache realizability
+        // (power-of-two number of sets) in one typed check.
+        config.validate().map_err(FlowError::Config)?;
         let resources = tile_resources(
             &self.benchmark,
             self.arch == ArchKind::Flex,
@@ -346,8 +350,33 @@ impl AcceleratorBuilder {
     }
 }
 
+/// Elaborates the design a `pxl-dse` [`DesignPoint`] describes: the bridge
+/// from the explorer's declarative space back into the design flow.
+///
+/// # Errors
+///
+/// [`FlowError::InvalidConfig`] for CPU-baseline points (they have no
+/// accelerator design), or any [`AcceleratorBuilder::build`] failure.
+pub fn design_for_point(
+    benchmark: &str,
+    point: &DesignPoint,
+) -> Result<AcceleratorDesign, FlowError> {
+    let arch = point.arch.arch_kind().ok_or_else(|| {
+        FlowError::InvalidConfig("the CPU baseline has no accelerator design".into())
+    })?;
+    AcceleratorBuilder::new(benchmark)
+        .arch(arch)
+        .tiles(point.tiles)
+        .pes_per_tile(point.pes_per_tile)
+        .task_queue_entries(point.task_queue_entries)
+        .pstore_entries(point.pstore_entries)
+        .cache_kb(point.cache_kb)
+        .build()
+}
+
 /// Elaborates one design per cache size (the paper's Fig. 9 sweep:
-/// 4 KB to 32 KB).
+/// 4 KB to 32 KB) — a thin wrapper over a one-axis `pxl-dse`
+/// [`SearchSpace`].
 ///
 /// # Errors
 ///
@@ -356,14 +385,26 @@ pub fn sweep_cache_sizes(
     benchmark: &str,
     cache_kbs: &[usize],
 ) -> Result<Vec<AcceleratorDesign>, FlowError> {
+    let points = SearchSpace::new()
+        .benchmarks([benchmark])
+        .cache_kb(Axis::list(cache_kbs.iter().copied()))
+        .points();
     cache_kbs
         .iter()
-        .map(|&kb| AcceleratorBuilder::new(benchmark).cache_kb(kb).build())
+        .map(|&kb| {
+            let point = points
+                .iter()
+                .find(|p| p.cache_kb == kb)
+                .expect("the axis covers every requested size");
+            design_for_point(benchmark, point)
+        })
         .collect()
 }
 
 /// Elaborates one design per PE count, keeping 4 PEs per tile as in the
-/// paper's scalability study (1-, 2-PE configs use a single partial tile).
+/// paper's scalability study (1-, 2-PE configs use a single partial tile)
+/// — a thin wrapper over a `pxl-dse` [`SearchSpace`] using the shared
+/// [`pxl_dse::pe_geometry`] rule.
 ///
 /// # Errors
 ///
@@ -373,15 +414,19 @@ pub fn sweep_pe_counts(
     arch: ArchKind,
     pe_counts: &[usize],
 ) -> Result<Vec<AcceleratorDesign>, FlowError> {
+    let points = SearchSpace::new()
+        .benchmarks([benchmark])
+        .archs([PointArch::from(arch)])
+        .pe_counts(pe_counts.iter().copied())
+        .points();
     pe_counts
         .iter()
         .map(|&pes| {
-            let (tiles, per_tile) = if pes <= 4 { (1, pes) } else { (pes / 4, 4) };
-            AcceleratorBuilder::new(benchmark)
-                .arch(arch)
-                .tiles(tiles)
-                .pes_per_tile(per_tile)
-                .build()
+            let point = points
+                .iter()
+                .find(|p| p.units() == pes)
+                .expect("the geometry axis covers every requested PE count");
+            design_for_point(benchmark, point)
         })
         .collect()
 }
@@ -444,6 +489,31 @@ impl SimulationBuilder {
             profile,
             trace_capacity: 0,
             faults: None,
+        }
+    }
+
+    /// Targets whatever a `pxl-dse` [`DesignPoint`] describes: FlexArch or
+    /// LiteArch from the point's elaborated configuration, or the Table III
+    /// software baseline for CPU points — the one constructor the
+    /// design-space explorer needs to simulate any point it enumerates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pxl_dse::DesignPoint;
+    /// use pxl_flow::SimulationBuilder;
+    /// use pxl_model::ExecProfile;
+    ///
+    /// let engine = SimulationBuilder::from_point(&DesignPoint::cpu(2), ExecProfile::scalar())
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(engine.kind().label(), "cpu");
+    /// assert_eq!(engine.units(), 2);
+    /// ```
+    pub fn from_point(point: &DesignPoint, profile: ExecProfile) -> Self {
+        match point.accel_config() {
+            Some(config) => SimulationBuilder::from_config(config, profile),
+            None => SimulationBuilder::cpu(point.units(), profile),
         }
     }
 
@@ -526,6 +596,9 @@ impl SimulationBuilder {
                 if let Some(plan) = &self.faults {
                     config.fault_plan = Some(plan.clone());
                 }
+                // Validate up front so callers get the typed constraint
+                // (the engines re-validate, but only report strings).
+                config.validate().map_err(FlowError::Config)?;
                 // Unwrap AccelError::InvalidConfig so FlowError does not
                 // stack a second "invalid configuration:" prefix on it.
                 let lift = |e: pxl_arch::AccelError| match e {
@@ -598,12 +671,20 @@ mod tests {
     #[test]
     fn invalid_geometry_is_rejected() {
         let err = AcceleratorBuilder::new("uts").tiles(0).build().unwrap_err();
-        assert!(matches!(err, FlowError::InvalidConfig(_)));
+        assert_eq!(err, FlowError::Config(ConfigError::NoTiles));
         let err = AcceleratorBuilder::new("uts")
             .cache_kb(3)
             .build()
             .unwrap_err();
-        assert!(matches!(err, FlowError::InvalidConfig(_)), "{err}");
+        assert_eq!(
+            err,
+            FlowError::Config(ConfigError::BadCacheGeometry { bytes: 3 * 1024 }),
+            "{err}"
+        );
+        assert_eq!(
+            err.to_string(),
+            "invalid configuration: cache size 3072 does not form a power-of-two number of sets"
+        );
     }
 
     #[test]
@@ -626,6 +707,62 @@ mod tests {
         let pes: Vec<usize> = designs.iter().map(|d| d.config.num_pes()).collect();
         assert_eq!(pes, vec![1, 2, 4, 8, 16, 32]);
         assert_eq!(designs[5].config.tiles, 8, "32 PEs = 8 tiles x 4 PEs");
+    }
+
+    #[test]
+    fn design_for_point_matches_the_builder() {
+        let point = DesignPoint {
+            arch: PointArch::Lite,
+            tiles: 2,
+            pes_per_tile: 4,
+            cache_kb: 8,
+            task_queue_entries: 256,
+            pstore_entries: 1024,
+        };
+        let d = design_for_point("nw", &point).unwrap();
+        assert_eq!(d.config.arch, ArchKind::Lite);
+        assert_eq!(d.config.num_pes(), 8);
+        assert_eq!(d.config.task_queue_entries, 256);
+        assert_eq!(d.config.memory.accel_l1.size_bytes, 8 * 1024);
+        assert!(d.resources.is_some());
+
+        let err = design_for_point("nw", &DesignPoint::cpu(4)).unwrap_err();
+        assert!(matches!(err, FlowError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn simulation_builder_targets_any_design_point() {
+        use pxl_arch::EngineKind;
+        let point = DesignPoint {
+            arch: PointArch::Flex,
+            tiles: 1,
+            pes_per_tile: 2,
+            cache_kb: 16,
+            task_queue_entries: 64,
+            pstore_entries: 512,
+        };
+        let engine = SimulationBuilder::from_point(&point, ExecProfile::scalar())
+            .build()
+            .unwrap();
+        assert_eq!(engine.kind(), EngineKind::Flex);
+        assert_eq!(engine.units(), 2);
+
+        let cpu = SimulationBuilder::from_point(&DesignPoint::cpu(3), ExecProfile::scalar())
+            .build()
+            .unwrap();
+        assert_eq!(cpu.kind(), EngineKind::Cpu);
+        assert_eq!(cpu.units(), 3);
+
+        // Infeasible points still fail with the typed constraint.
+        let mut bad = point.clone();
+        bad.cache_kb = 3;
+        let err = SimulationBuilder::from_point(&bad, ExecProfile::scalar())
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FlowError::Config(ConfigError::BadCacheGeometry { bytes: 3 * 1024 })
+        );
     }
 
     #[test]
@@ -727,7 +864,7 @@ mod tests {
         )
         .build()
         .unwrap_err();
-        assert!(matches!(err, FlowError::InvalidConfig(_)));
+        assert_eq!(err, FlowError::Config(ConfigError::NoTiles));
 
         let err = SimulationBuilder::cpu(0, ExecProfile::scalar())
             .build()

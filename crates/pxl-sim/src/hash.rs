@@ -1,0 +1,111 @@
+//! Stable, dependency-free content hashing (64-bit FNV-1a).
+//!
+//! The design-space explorer addresses cached simulation results by a hash
+//! of their full configuration key, so the hash must be **stable across
+//! runs, platforms and Rust versions** — unlike `std::hash`, whose output
+//! is explicitly unspecified and randomized. FNV-1a is tiny, fast on the
+//! short canonical key strings we feed it, and has well-known test vectors.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental 64-bit FNV-1a hasher.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_sim::hash::{fnv64, Fnv64};
+///
+/// let mut h = Fnv64::new();
+/// h.write(b"foo");
+/// h.write(b"bar");
+/// assert_eq!(h.finish(), fnv64(b"foobar"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Starts a fresh hash at the offset basis.
+    pub const fn new() -> Self {
+        Fnv64(FNV64_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV64_PRIME);
+        }
+    }
+
+    /// Absorbs an integer in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The hash of everything written so far.
+    pub const fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte string.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Formats a hash as the fixed-width lower-hex content address used in
+/// cache files (16 hex digits).
+pub fn content_address(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv1a_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), FNV64_OFFSET);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"design");
+        h.write(b"-");
+        h.write(b"point");
+        assert_eq!(h.finish(), fnv64(b"design-point"));
+    }
+
+    #[test]
+    fn write_u64_is_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn content_addresses_are_fixed_width() {
+        assert_eq!(content_address(0), "0000000000000000");
+        assert_eq!(content_address(u64::MAX), "ffffffffffffffff");
+        assert_eq!(content_address(fnv64(b"x")).len(), 16);
+    }
+}

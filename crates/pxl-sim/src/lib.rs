@@ -25,8 +25,10 @@
 pub mod config;
 pub mod event;
 pub mod fault;
+pub mod hash;
 pub mod json;
 pub mod metrics;
+pub mod pool;
 pub mod qcheck;
 pub mod rng;
 pub mod stats;
@@ -36,7 +38,9 @@ pub mod trace;
 pub use config::{MemoryConfig, PlatformConfig};
 pub use event::EventQueue;
 pub use fault::{FaultKind, FaultPlan, FaultScheduler, FaultSpec, NetClass, SendVerdict};
+pub use hash::{fnv64, Fnv64};
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricKind, Metrics};
+pub use pool::parallel_map;
 pub use rng::{Lfsr16, XorShift64};
 pub use stats::Stats;
 pub use time::{Clock, Time};

@@ -1,0 +1,105 @@
+//! A shared scoped worker pool for running independent simulation jobs in
+//! parallel.
+//!
+//! Both the benchmark harness (`pxl-bench`) and the design-space explorer
+//! (`pxl-dse`) fan whole simulations out across host cores; this module is
+//! the one implementation they share. Jobs are plain `FnOnce` closures,
+//! results come back in input order, and the pool is scoped — no threads
+//! outlive a call — so determinism of the simulations themselves is
+//! untouched: parallelism only reorders *wall-clock* execution, never
+//! simulated behaviour.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs independent jobs on worker threads (one per available core) and
+/// returns results in input order.
+pub fn parallel_map<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    parallel_map_with(jobs, available_workers())
+}
+
+/// Number of worker threads [`parallel_map`] uses: one per available core
+/// (falling back to 4 when parallelism cannot be queried).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Runs independent jobs on at most `threads` worker threads and returns
+/// results in input order. `threads` is clamped to at least one and to the
+/// number of jobs.
+pub fn parallel_map_with<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    // Jobs are FnOnce, so workers claim indices and take their job out of a
+    // shared slot vector rather than sharing an iterator of closures.
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("each job claimed once");
+                *results[i].lock().expect("result slot poisoned") = Some(job());
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| {
+            r.into_inner()
+                .expect("result slot poisoned")
+                .expect("job completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i: usize| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = parallel_map(jobs);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_threaded_cases() {
+        let none: Vec<Box<dyn FnOnce() -> u8 + Send>> = Vec::new();
+        assert!(parallel_map(none).is_empty());
+        let jobs: Vec<_> = (0..5u64).map(|i| move || i + 1).collect();
+        assert_eq!(parallel_map_with(jobs, 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        // More threads than jobs must not deadlock or drop results.
+        let jobs: Vec<_> = (0..3u64).map(|i| move || i).collect();
+        assert_eq!(parallel_map_with(jobs, 64), vec![0, 1, 2]);
+        assert!(available_workers() >= 1);
+    }
+}

@@ -7,8 +7,10 @@
 
 use parallelxl::apps::{by_name, Scale};
 use parallelxl::arch::ArchKind;
+use parallelxl::cost::FpgaDevice;
 use parallelxl::flow::{sweep_cache_sizes, sweep_pe_counts, AcceleratorBuilder};
-use pxl_bench::{run_flex, run_flex_with_config};
+use parallelxl::{Axis, Explorer, PointArch, SearchSpace};
+use pxl_bench::{run_flex, run_flex_with_config, BenchEvaluator};
 
 fn main() {
     // 1. Elaborate one design and inspect the resource estimate.
@@ -51,4 +53,19 @@ fn main() {
         let out = run_flex(bench.as_ref(), 16, Some(kb * 1024));
         println!("  {kb:>2} KB caches ({bram:>3} BRAM/tile) -> {}", out.whole);
     }
+
+    // 4. Cross all the axes at once with the DSE engine (pxl-dse): prune
+    //    infeasible points against the low-cost device, evaluate the rest
+    //    in parallel, and read back the Pareto front over runtime, energy,
+    //    and area. See docs/dse.md.
+    let space = SearchSpace::new()
+        .benchmarks(["stencil2d"])
+        .archs([PointArch::Flex, PointArch::Lite, PointArch::Cpu])
+        .tiles(Axis::list([1, 2, 4]))
+        .pes_per_tile(Axis::fixed(4))
+        .cache_kb(Axis::list([8, 16, 32]))
+        .device(FpgaDevice::artix_7a75t());
+    let evaluator = BenchEvaluator::new(Scale::Small, Scale::Tiny);
+    let outcome = Explorer::new(&evaluator).explore(&space);
+    println!("\n{}", outcome.report_markdown());
 }

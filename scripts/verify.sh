@@ -21,4 +21,11 @@ echo "==> fault smoke sweep (pxl-bench --bin faults -- --smoke)"
 # golden mismatch, or nondeterministic fault replay.
 cargo run --release --offline -p pxl-bench --bin faults -- --smoke > /dev/null
 
+echo "==> DSE smoke sweep (pxl-bench --bin dse -- --smoke)"
+# Explores the smoke design space three times against a shared result
+# cache; exits nonzero if the cached re-run is not 100% hits with
+# byte-identical Pareto fronts, or if successive halving's best-runtime
+# point diverges from the exhaustive grid's.
+cargo run --release --offline -p pxl-bench --bin dse -- --smoke > /dev/null
+
 echo "==> OK"

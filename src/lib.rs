@@ -25,6 +25,7 @@
 //! | [`apps`] | `pxl-apps` | the ten Table II benchmarks (see [`benchmarks`]) |
 //! | [`cost`] | `pxl-cost` | FPGA resource + energy models |
 //! | [`flow`] | `pxl-flow` | design methodology: builders + design-space sweeps |
+//! | [`dse`] | `pxl-dse` | parallel design-space exploration: result cache, strategies, Pareto fronts |
 //!
 //! The most commonly used types from each layer are re-exported at the
 //! crate root, so a typical program needs only `use parallelxl::...`.
@@ -86,6 +87,9 @@ pub use pxl_arch as arch;
 pub use pxl_cost as cost;
 /// The Cilk-style multicore software baseline.
 pub use pxl_cpu as cpu;
+/// Parallel design-space exploration: search spaces, result cache, Pareto
+/// fronts.
+pub use pxl_dse as dse;
 /// Design methodology: accelerator builder and design-space sweeps
 /// (Section IV).
 pub use pxl_flow as flow;
@@ -108,6 +112,11 @@ pub use pxl_arch::{
 };
 /// The software baseline engine and its runtime cost knobs.
 pub use pxl_cpu::{CpuEngine, CpuResult, SoftwareCosts};
+/// Design-space exploration: declare a space, explore it in parallel,
+/// read the Pareto front.
+pub use pxl_dse::{
+    Axis, DesignPoint, Explorer, ParetoFront, PointArch, ResultCache, SearchSpace, Strategy,
+};
 /// Design-flow entry points and structured errors.
 pub use pxl_flow::{AcceleratorBuilder, AcceleratorDesign, FlowError, SimulationBuilder};
 /// Functional memory, shared by every engine.

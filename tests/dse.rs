@@ -1,0 +1,159 @@
+//! Integration tests for the design-space exploration engine: Pareto-front
+//! invariants on a hand-checkable space of real simulations, strategy
+//! agreement (successive halving must find the grid's fastest point), and
+//! cache-backed determinism across explorer instances.
+
+use parallelxl::dse::{dominates, Evaluated, Exploration};
+use parallelxl::{
+    apps::Scale, cost::FpgaDevice, Axis, Explorer, PointArch, ResultCache, SearchSpace, Strategy,
+};
+use pxl_bench::BenchEvaluator;
+
+/// A hand-checkable 3-axis accelerator space: 2 tiles × 2 PE counts ×
+/// 2 cache sizes on one benchmark, all feasible.
+fn small_space() -> SearchSpace {
+    SearchSpace::new()
+        .benchmarks(["queens"])
+        .archs([PointArch::Flex])
+        .tiles(Axis::list([1, 2]))
+        .pes_per_tile(Axis::list([2, 4]))
+        .cache_kb(Axis::list([16, 32]))
+}
+
+/// The CI smoke space: three architectures, three benchmarks, with all three
+/// prune reasons represented (bad cache geometry, missing LiteArch variant,
+/// tiles that overflow the Artix-7).
+fn smoke_space() -> SearchSpace {
+    SearchSpace::new()
+        .benchmarks(["queens", "cilksort", "bfsqueue"])
+        .archs([PointArch::Flex, PointArch::Lite, PointArch::Cpu])
+        .tiles(Axis::list([1, 2]))
+        .pes_per_tile(Axis::list([2, 4]))
+        .cache_kb(Axis::list([16, 32, 48]))
+        .device(FpgaDevice::artix_7a75t())
+}
+
+fn measurements_for<'a>(outcome: &'a Exploration, bench: &str) -> Vec<&'a Evaluated> {
+    outcome
+        .evaluated
+        .iter()
+        .filter(|e| e.benchmark == bench)
+        .collect()
+}
+
+#[test]
+fn pareto_front_is_exactly_the_undominated_set() {
+    let evaluator = BenchEvaluator::new(Scale::Tiny, Scale::Tiny);
+    let outcome = Explorer::new(&evaluator).explore(&small_space());
+    assert!(outcome.failed.is_empty(), "failures: {:?}", outcome.failed);
+    assert_eq!(outcome.evaluated.len(), 8);
+
+    let all = measurements_for(&outcome, "queens");
+    let front = outcome.front_for("queens").expect("front exists");
+    assert!(!front.points.is_empty() && front.points.len() <= all.len());
+
+    // Every front point came from the evaluated set and is undominated.
+    for fp in &front.points {
+        let source = all
+            .iter()
+            .find(|e| e.point == fp.point)
+            .expect("front point was evaluated");
+        assert_eq!(source.measurement, fp.measurement);
+        for other in &all {
+            assert!(
+                !dominates(&other.measurement, &fp.measurement),
+                "{} dominates front point {}",
+                other.point.spec(),
+                fp.point.spec()
+            );
+        }
+    }
+    // Every evaluated point left out of the front is dominated by a front
+    // point (the front is maximal, not just consistent).
+    for e in &all {
+        let in_front = front.points.iter().any(|fp| fp.point == e.point);
+        if !in_front {
+            assert!(
+                front
+                    .points
+                    .iter()
+                    .any(|fp| dominates(&fp.measurement, &e.measurement)),
+                "{} is undominated but missing from the front",
+                e.point.spec()
+            );
+        }
+    }
+    // Exactly one knee, and it lies on the front.
+    assert_eq!(front.points.iter().filter(|fp| fp.knee).count(), 1);
+}
+
+#[test]
+fn successive_halving_finds_the_grids_fastest_point() {
+    let evaluator = BenchEvaluator::new(Scale::Tiny, Scale::Tiny);
+    let space = smoke_space();
+    let grid = Explorer::new(&evaluator).explore(&space);
+    let halved = Explorer::new(&evaluator)
+        .strategy(Strategy::SuccessiveHalving { rungs: 1, eta: 2 })
+        .explore(&space);
+    assert!(grid.failed.is_empty(), "failures: {:?}", grid.failed);
+    assert!(halved.rung_evaluations > 0);
+    // Halving simulates fewer points at full fidelity than the grid.
+    assert!(halved.evaluated.len() < grid.evaluated.len());
+    for bench in ["queens", "cilksort", "bfsqueue"] {
+        let g = grid.best_runtime(bench).expect("grid best");
+        let h = halved.best_runtime(bench).expect("halving best");
+        assert_eq!(g.point, h.point, "{bench}: strategies disagree");
+        assert_eq!(g.measurement, h.measurement);
+    }
+}
+
+#[test]
+fn smoke_space_prunes_before_simulating() {
+    let space = smoke_space();
+    let partition = space.partition();
+    // 27 points per benchmark, 3 benchmarks; 47 feasible after pruning.
+    assert!(space.points().len() >= 24);
+    assert_eq!(partition.feasible.len() + partition.pruned.len(), 81);
+    assert_eq!(partition.feasible.len(), 47);
+    // All three prune reasons appear.
+    let reasons: Vec<String> = partition
+        .pruned
+        .iter()
+        .map(|p| p.reason.to_string())
+        .collect();
+    assert!(reasons
+        .iter()
+        .any(|r| r.contains("power-of-two number of sets")));
+    assert!(reasons.iter().any(|r| r.contains("LiteArch")));
+    assert!(reasons.iter().any(|r| r.contains("fit")));
+}
+
+#[test]
+fn shared_cache_makes_reruns_pure_hits_and_byte_identical() {
+    let evaluator = BenchEvaluator::new(Scale::Tiny, Scale::Tiny);
+    let space = small_space();
+
+    let dir = std::env::temp_dir().join(format!("pxl_dse_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let first = Explorer::new(&evaluator)
+        .with_cache(ResultCache::open(&path).unwrap())
+        .explore(&space);
+    assert_eq!(first.cache_misses, 8);
+    assert!(first.io_errors.is_empty(), "io: {:?}", first.io_errors);
+
+    // A brand-new explorer over the persisted cache re-simulates nothing
+    // and reproduces the front byte-for-byte.
+    let second = Explorer::new(&evaluator)
+        .with_cache(ResultCache::open(&path).unwrap())
+        .explore(&space);
+    assert_eq!(second.cache_misses, 0);
+    assert_eq!(second.cache_hits, 8);
+    assert_eq!(first.fronts_jsonl(), second.fronts_jsonl());
+    assert_eq!(first.evaluated, second.evaluated);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
