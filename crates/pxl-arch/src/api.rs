@@ -19,8 +19,9 @@ use pxl_mem::Memory;
 use pxl_model::{Task, Worker};
 use pxl_sim::Metrics;
 
-use crate::engine::{AccelError, AccelResult, FlexEngine};
+use crate::fabric::{AccelError, AccelResult, FabricEngine};
 use crate::lite::{LiteDriver, LiteEngine};
+use crate::policy::SchedulingPolicy;
 
 /// Which engine family an [`Engine`] implementation belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,6 +30,8 @@ pub enum EngineKind {
     Flex,
     /// LiteArch: static data-parallel rounds.
     Lite,
+    /// The centralized shared-queue ablation of FlexArch.
+    Central,
     /// The Cilk-style multicore software baseline.
     Cpu,
 }
@@ -39,6 +42,7 @@ impl EngineKind {
         match self {
             EngineKind::Flex => "flex",
             EngineKind::Lite => "lite",
+            EngineKind::Central => "central",
             EngineKind::Cpu => "cpu",
         }
     }
@@ -149,9 +153,9 @@ pub trait Engine: std::fmt::Debug {
     fn run(&mut self, workload: Workload<'_>) -> Result<AccelResult, AccelError>;
 }
 
-impl Engine for FlexEngine {
+impl<P: SchedulingPolicy> Engine for FabricEngine<P> {
     fn kind(&self) -> EngineKind {
-        EngineKind::Flex
+        self.policy.kind()
     }
 
     fn units(&self) -> usize {
@@ -159,26 +163,27 @@ impl Engine for FlexEngine {
     }
 
     fn memory(&self) -> &Memory {
-        FlexEngine::memory(self)
+        FabricEngine::memory(self)
     }
 
     fn mem_mut(&mut self) -> &mut Memory {
-        FlexEngine::mem_mut(self)
+        FabricEngine::mem_mut(self)
     }
 
     fn metrics(&self) -> &Metrics {
-        FlexEngine::metrics(self)
+        FabricEngine::metrics(self)
     }
 
     fn host_result(&self, slot: u8) -> Option<u64> {
-        FlexEngine::host_result(self, slot)
+        FabricEngine::host_result(self, slot)
     }
 
     fn run(&mut self, workload: Workload<'_>) -> Result<AccelResult, AccelError> {
         match workload {
-            Workload::Dynamic { worker, root } => FlexEngine::run(self, worker, root),
+            Workload::Dynamic { worker, root } => FabricEngine::run(self, worker, root),
             other => Err(AccelError::Unsupported(format!(
-                "FlexArch runs dynamic task graphs, not {}",
+                "{} runs dynamic task graphs, not {}",
+                self.policy.arch().name(),
                 other.shape()
             ))),
         }
@@ -225,6 +230,7 @@ impl Engine for LiteEngine {
 mod tests {
     use super::*;
     use crate::config::AccelConfig;
+    use crate::fabric::{CentralEngine, FlexEngine};
     use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId};
 
     const LEAF: TaskTypeId = TaskTypeId(0);
@@ -283,9 +289,29 @@ mod tests {
     }
 
     #[test]
+    fn central_runs_dynamic_through_the_trait() {
+        let mut engine = CentralEngine::new(AccelConfig::central(1, 2), ExecProfile::scalar());
+        let dyn_engine: &mut dyn Engine = &mut engine;
+        assert_eq!(dyn_engine.kind(), EngineKind::Central);
+        let mut worker = Doubler;
+        let root = Task::new(LEAF, Continuation::host(0), &[5]);
+        let out = dyn_engine
+            .run(Workload::dynamic(&mut worker, root))
+            .unwrap();
+        assert_eq!(out.result, 10);
+
+        let mut engine = CentralEngine::new(AccelConfig::central(1, 2), ExecProfile::scalar());
+        let mut worker = Doubler;
+        let mut driver = |_: &mut Memory, _: usize| None;
+        let err = Engine::run(&mut engine, Workload::rounds(&mut worker, &mut driver)).unwrap_err();
+        assert!(matches!(err, AccelError::Unsupported(_)), "got {err}");
+    }
+
+    #[test]
     fn labels_are_stable() {
         assert_eq!(EngineKind::Flex.label(), "flex");
         assert_eq!(EngineKind::Lite.to_string(), "lite");
+        assert_eq!(EngineKind::Central.label(), "central");
         assert_eq!(EngineKind::Cpu.label(), "cpu");
     }
 }

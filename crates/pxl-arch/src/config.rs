@@ -16,6 +16,9 @@ pub enum ArchKind {
     Flex,
     /// Data-parallel only, with static task distribution.
     Lite,
+    /// FlexArch's task model over one global ready queue at the host
+    /// interface — the centralized strawman the distributed TMUs replace.
+    Central,
 }
 
 impl ArchKind {
@@ -24,6 +27,7 @@ impl ArchKind {
         match self {
             ArchKind::Flex => "FlexArch",
             ArchKind::Lite => "LiteArch",
+            ArchKind::Central => "CentralArch",
         }
     }
 
@@ -33,6 +37,7 @@ impl ArchKind {
         match self {
             ArchKind::Flex => (true, true, true, "Work-Stealing"),
             ArchKind::Lite => (true, false, false, "Static Distribution"),
+            ArchKind::Central => (true, true, true, "Shared Queue"),
         }
     }
 }
@@ -169,6 +174,9 @@ pub struct ArchCosts {
     pub if_dispatch_cycles: u64,
     /// Host-side cost to set up and launch one LiteArch round.
     pub round_sync_cycles: u64,
+    /// Port occupancy of one access to CentralArch's global ready queue;
+    /// concurrent accesses serialize behind it.
+    pub central_queue_cycles: u64,
 }
 
 impl Default for ArchCosts {
@@ -183,6 +191,7 @@ impl Default for ArchCosts {
             steal_backoff_cycles: 4,
             if_dispatch_cycles: 2,
             round_sync_cycles: 200,
+            central_queue_cycles: 2,
         }
     }
 }
@@ -326,6 +335,15 @@ impl AccelConfig {
         }
     }
 
+    /// A centralized shared-queue accelerator: FlexArch's task model with
+    /// one global ready queue instead of distributed work stealing.
+    pub fn central(tiles: usize, pes_per_tile: usize) -> Self {
+        AccelConfig {
+            arch: ArchKind::Central,
+            ..AccelConfig::flex(tiles, pes_per_tile)
+        }
+    }
+
     /// Total number of PEs.
     pub fn num_pes(&self) -> usize {
         self.tiles * self.pes_per_tile
@@ -365,7 +383,7 @@ impl AccelConfig {
                 entries: self.task_queue_entries,
             });
         }
-        if self.arch == ArchKind::Flex && self.pstore_entries < 1 {
+        if self.arch != ArchKind::Lite && self.pstore_entries < 1 {
             return Err(ConfigError::EmptyPStore);
         }
         if self.tiles > u16::MAX as usize {

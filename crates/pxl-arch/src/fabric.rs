@@ -1,40 +1,46 @@
-//! The FlexArch execution engine: a cycle-level simulator of the full
-//! continuation-passing accelerator.
+//! The shared execution fabric: everything about the accelerator that does
+//! *not* depend on how ready tasks are distributed.
 //!
-//! The engine models the paper's Fig. 3(b) tile microarchitecture:
+//! [`FabricEngine`] is a cycle-level, event-driven simulator of the paper's
+//! Fig. 3(b) tile microarchitecture — the memory backend, P-Store joins and
+//! greedy routing, the fault state machine and its recovery invariants, the
+//! quiescence watchdog, metric-handle registration, trace emission, and the
+//! PE-side [`TaskContext`] — parameterized by a
+//! [`SchedulingPolicy`](crate::policy::SchedulingPolicy) that owns only
+//! task placement and acquisition:
 //!
-//! * Each PE is a worker plus a task-management unit (TMU) with a LIFO task
-//!   deque. An idle TMU first tries its local queue tail, then begins work
-//!   stealing: an LFSR picks a random victim (another PE or the host
-//!   interface block), a steal request crosses the work-stealing crossbar,
-//!   and the victim's TMU serves the *head* of its queue.
-//! * Each tile has a P-Store for pending tasks; continuations address
-//!   P-Store entries on any tile through the argument/task router, and
-//!   remote messages pay a crossbar hop.
-//! * **Greedy scheduling**: when an argument completes a pending task's
-//!   join, the ready task is routed back to the PE that produced that last
-//!   argument (Section III-A) — required for the work-stealing space bound.
+//! * [`FlexEngine`] = `FabricEngine<FlexPolicy>`: per-PE LIFO deques with
+//!   LFSR-victim work stealing (the published FlexArch).
+//! * [`CentralEngine`] = `FabricEngine<CentralPolicy>`: one global ready
+//!   queue with per-access contention — the centralized strawman that
+//!   distributed hardware stealing replaces.
+//!
+//! The fabric drives the policy at four points: it seeds the root task,
+//! wakes idle PEs to pop local work, routes acquire requests to the
+//! policy's chosen victim, and lets the victim's policy serve the request
+//! (possibly stretching service time to model queue-port contention).
+//! Everything else — dispatch costs, crossbar hops, fault injection and
+//! recovery, the watchdog — is identical across policies, which is what
+//! makes the Flex-vs-central ablation an apples-to-apples comparison.
 //!
 //! Simulation is event-driven over the global picosecond timebase. A
 //! dispatched task executes *functionally* against shared memory while its
 //! port operations advance a local timestamp through the memory hierarchy
-//! and the TMU cost model; spawned tasks enter the local deque with their
-//! spawn-time visibility, so a thief whose request arrives earlier cannot
-//! see them.
-
-use std::collections::VecDeque;
+//! and the TMU cost model; spawned tasks enter the policy's storage with
+//! their spawn-time visibility, so a thief whose request arrives earlier
+//! cannot see them.
 
 use pxl_mem::zedboard::AcpParams;
 use pxl_mem::{AccessKind, Memory, MemorySystem, PortId, ZedboardMemory};
 use pxl_model::serial::HOST_SLOTS;
 use pxl_model::{Continuation, ExecProfile, PendingTask, Task, TaskContext, TaskTypeId, Worker};
 use pxl_sim::{
-    CounterId, EventQueue, FaultKind, FaultPlan, FaultScheduler, HistogramId, Lfsr16, Metrics,
-    NetClass, SendVerdict, Time, TraceEvent, Tracer,
+    CounterId, EventQueue, FaultKind, FaultPlan, FaultScheduler, HistogramId, Metrics, NetClass,
+    SendVerdict, Time, TraceEvent, Tracer,
 };
 
-use crate::config::{AccelConfig, ArchKind, LocalOrder, MemBackendKind, StealEnd, VictimSelect};
-use crate::deque::TaskDeque;
+use crate::config::{AccelConfig, MemBackendKind};
+use crate::policy::{CentralPolicy, FlexPolicy, SchedulingPolicy};
 use crate::pstore::{PStore, PStoreError};
 
 /// How many times a dropped network message is retransmitted before the
@@ -307,10 +313,197 @@ impl FaultState {
     }
 }
 
-/// The FlexArch accelerator simulator.
+/// The quiescence watchdog: declares a run stalled when no unit makes
+/// forward progress (task completion or argument delivery) for longer than
+/// the configured window while work is still outstanding.
 ///
-/// Typical use: build with [`FlexEngine::new`], lay out inputs through
-/// [`FlexEngine::mem_mut`], then [`FlexEngine::run`] a root task.
+/// Shared by every engine — the event-driven fabric, LiteArch's round
+/// executor, and the software baseline in `pxl-cpu` — so the stall
+/// diagnosis and its `watchdog.stalls` counter / `watchdog.stall` trace
+/// event cannot drift between them.
+#[derive(Debug)]
+pub struct Watchdog {
+    window: Time,
+    last_progress: Time,
+    last_unit: Option<usize>,
+}
+
+impl Watchdog {
+    /// A watchdog that fires after `window` of quiescence.
+    pub fn new(window: Time) -> Self {
+        Watchdog {
+            window,
+            last_progress: Time::ZERO,
+            last_unit: None,
+        }
+    }
+
+    /// Records forward progress by `unit` at `at`.
+    pub fn progress(&mut self, at: Time, unit: usize) {
+        if at >= self.last_progress {
+            self.last_progress = at;
+            self.last_unit = Some(unit);
+        }
+    }
+
+    /// Whether the window has elapsed without progress as of `now`.
+    pub fn expired(&self, now: Time) -> bool {
+        now.saturating_sub(self.last_progress) > self.window
+    }
+
+    /// When any unit last made forward progress.
+    pub fn last_progress(&self) -> Time {
+        self.last_progress
+    }
+
+    /// Builds the [`AccelError::Stalled`] diagnosis, emitting the
+    /// `watchdog.stall` trace event and counter. `blocked_unit` is a unit
+    /// still holding undispatchable work, if the caller found one
+    /// (`num_pes` denotes the host interface block).
+    pub fn stall(
+        &self,
+        metrics: &mut Metrics,
+        trace: &mut Tracer,
+        now: Time,
+        blocked_unit: Option<usize>,
+    ) -> AccelError {
+        let idle_ps = now.saturating_sub(self.last_progress).as_ps();
+        metrics.incr("watchdog.stalls");
+        trace.emit(
+            now,
+            TraceEvent::WatchdogStall {
+                unit: self.last_unit.map_or(u32::MAX, |u| u as u32),
+                idle_ps,
+            },
+        );
+        AccelError::Stalled {
+            last_unit: self.last_unit,
+            idle_us: idle_ps / 1_000_000,
+            blocked_unit,
+        }
+    }
+}
+
+/// Records an injected fault: the `fault.injected` counter plus a
+/// [`TraceEvent::FaultInjected`] at `at`. One home for the bookkeeping all
+/// engines share, so counters and traces stay comparable across them.
+pub fn record_injected(
+    metrics: &mut Metrics,
+    trace: &mut Tracer,
+    at: Time,
+    spec: usize,
+    unit: usize,
+) {
+    metrics.incr("fault.injected");
+    trace.emit(
+        at,
+        TraceEvent::FaultInjected {
+            spec: spec as u32,
+            unit: unit as u32,
+        },
+    );
+}
+
+/// Records a recovered fault: the `fault.recovered` counter plus a
+/// [`TraceEvent::FaultRecovered`] at `at`.
+pub fn record_recovered(
+    metrics: &mut Metrics,
+    trace: &mut Tracer,
+    at: Time,
+    spec: usize,
+    unit: usize,
+) {
+    metrics.incr("fault.recovered");
+    trace.emit(
+        at,
+        TraceEvent::FaultRecovered {
+            spec: spec as u32,
+            unit: unit as u32,
+        },
+    );
+}
+
+/// Registers the canonical fault/watchdog counter families at zero so every
+/// engine — fault plan armed or not — reports the same metric namespace
+/// (`fault.injected`, `fault.recovered`, `fault.skipped`,
+/// `fault.unrecovered`, `watchdog.stalls`).
+pub fn register_fault_metrics(metrics: &mut Metrics) {
+    metrics.register_counter("fault.injected");
+    metrics.register_counter("fault.recovered");
+    metrics.register_counter("fault.skipped");
+    metrics.register_counter("fault.unrecovered");
+    metrics.register_counter("watchdog.stalls");
+}
+
+/// Stamps the timed memory-path methods of a [`TaskContext`] impl —
+/// `compute`, `load`, `store`, `amo`, `dma_read` and `dma_write` — so every
+/// engine context shares one implementation of the op-cost and cache-timing
+/// arithmetic. The expanding type must expose `cfg`, `profile`, `backend`,
+/// `port`, `now` and `ops` fields with their usual fabric meanings.
+macro_rules! timed_memory_path {
+    () => {
+        fn compute(&mut self, ops: u64) {
+            self.ops += ops;
+            let cycles = self.profile.accel_cycles(ops);
+            self.now += self.cfg.clock.cycles_to_time(cycles);
+        }
+
+        fn load(&mut self, addr: u64, _bytes: u32) {
+            self.now = self
+                .backend
+                .access(self.port, addr, pxl_mem::AccessKind::Read, self.now);
+        }
+
+        fn store(&mut self, addr: u64, _bytes: u32) {
+            self.now = self
+                .backend
+                .access(self.port, addr, pxl_mem::AccessKind::Write, self.now);
+        }
+
+        fn amo(&mut self, addr: u64) {
+            self.now = self
+                .backend
+                .access(self.port, addr, pxl_mem::AccessKind::Amo, self.now);
+        }
+
+        fn dma_read(&mut self, addr: u64, bytes: u64) {
+            self.now = self.backend.access_bytes(
+                self.port,
+                addr,
+                bytes,
+                pxl_mem::AccessKind::Read,
+                self.now,
+            );
+        }
+
+        fn dma_write(&mut self, addr: u64, bytes: u64) {
+            self.now = self.backend.access_bytes(
+                self.port,
+                addr,
+                bytes,
+                pxl_mem::AccessKind::Write,
+                self.now,
+            );
+        }
+    };
+}
+pub(crate) use timed_memory_path;
+
+/// The FlexArch accelerator simulator: the shared fabric driven by
+/// [`FlexPolicy`]'s distributed work stealing.
+pub type FlexEngine = FabricEngine<FlexPolicy>;
+
+/// The centralized shared-queue accelerator simulator: the shared fabric
+/// driven by [`CentralPolicy`]'s single global ready queue. Exists to
+/// quantify, against [`FlexEngine`] on identical cost models, what
+/// distributed hardware work stealing buys.
+pub type CentralEngine = FabricEngine<CentralPolicy>;
+
+/// The event-driven accelerator simulator, generic over a
+/// [`SchedulingPolicy`] that owns task placement and acquisition.
+///
+/// Typical use: build with [`FabricEngine::new`], lay out inputs through
+/// [`FabricEngine::mem_mut`], then [`FabricEngine::run`] a root task.
 ///
 /// # Examples
 ///
@@ -346,31 +539,28 @@ impl FaultState {
 /// assert_eq!(out.result, 144);
 /// ```
 #[derive(Debug)]
-pub struct FlexEngine {
+pub struct FabricEngine<P: SchedulingPolicy> {
     cfg: AccelConfig,
     profile: ExecProfile,
     mem: Memory,
     backend: MemBackend,
-    deques: Vec<TaskDeque>,
+    /// Task placement and acquisition — the only part that differs between
+    /// engine families. `pub(crate)` so the `Engine` facade can label runs
+    /// by `policy.kind()`.
+    pub(crate) policy: P,
     pstores: Vec<PStore>,
-    lfsrs: Vec<Lfsr16>,
     steal_fails: Vec<u32>,
-    rr_victim: Vec<usize>,
     hetero_rr: usize,
     busy_until: Vec<Time>,
-    host_queue: VecDeque<Task>,
     host: [Option<u64>; HOST_SLOTS],
     events: EventQueue<Event>,
     outstanding: u64,
     inflight_args: u64,
     last_useful: Time,
     faults: Option<FaultState>,
-    /// Watchdog state: when any unit last made forward progress (completed a
-    /// task or delivered an argument) and which unit it was.
-    last_progress: Time,
-    last_progress_unit: Option<usize>,
+    watchdog: Watchdog,
     metrics: Metrics,
-    ids: FlexIds,
+    ids: FabricIds,
     trace: Tracer,
     error: Option<AccelError>,
 }
@@ -378,7 +568,7 @@ pub struct FlexEngine {
 /// Typed handles into the metrics registry for the engine's hot counters;
 /// registered once at construction so per-event updates skip string lookups.
 #[derive(Debug)]
-struct FlexIds {
+struct FabricIds {
     steal_attempts: CounterId,
     steal_hits: CounterId,
     spawns: CounterId,
@@ -391,9 +581,9 @@ struct FlexIds {
     pe_busy_ps: Vec<CounterId>,
 }
 
-impl FlexIds {
+impl FabricIds {
     fn register(metrics: &mut Metrics, num_pes: usize) -> Self {
-        FlexIds {
+        FabricIds {
             steal_attempts: metrics.register_counter("accel.steal_attempts"),
             steal_hits: metrics.register_counter("accel.steal_hits"),
             spawns: metrics.register_counter("accel.spawns"),
@@ -412,60 +602,57 @@ impl FlexIds {
     }
 }
 
-impl FlexEngine {
+impl<P: SchedulingPolicy> FabricEngine<P> {
     /// Creates an engine for `cfg` with the benchmark's execution profile.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails [`AccelConfig::validate`] or is not
-    /// a FlexArch configuration. Use [`FlexEngine::try_new`] to handle those
-    /// cases as errors.
+    /// Panics if the configuration fails [`AccelConfig::validate`] or names
+    /// a different architecture than the policy implements. Use
+    /// [`FabricEngine::try_new`] to handle those cases as errors.
     pub fn new(cfg: AccelConfig, profile: ExecProfile) -> Self {
         Self::try_new(cfg, profile).expect("invalid accelerator configuration")
     }
 
     /// Fallible constructor: returns [`AccelError::InvalidConfig`] if the
-    /// configuration fails [`AccelConfig::validate`] or is not a FlexArch
-    /// configuration.
+    /// configuration fails [`AccelConfig::validate`] or names a different
+    /// architecture than the policy implements.
     pub fn try_new(cfg: AccelConfig, profile: ExecProfile) -> Result<Self, AccelError> {
         cfg.validate()
             .map_err(|e| AccelError::InvalidConfig(e.to_string()))?;
-        if cfg.arch != ArchKind::Flex {
-            return Err(AccelError::InvalidConfig(
-                "FlexEngine requires ArchKind::Flex".to_string(),
-            ));
+        let policy = P::for_config(&cfg);
+        if cfg.arch != policy.arch() {
+            return Err(AccelError::InvalidConfig(format!(
+                "the {} engine requires ArchKind::{:?} (got ArchKind::{:?})",
+                policy.kind(),
+                policy.arch(),
+                cfg.arch
+            )));
         }
         let backend = MemBackend::for_config(&cfg);
         let num_pes = cfg.num_pes();
         let mut metrics = Metrics::new();
-        let ids = FlexIds::register(&mut metrics, num_pes);
+        let ids = FabricIds::register(&mut metrics, num_pes);
+        register_fault_metrics(&mut metrics);
         let faults = cfg
             .fault_plan
             .as_ref()
             .map(|plan| FaultState::new(plan, num_pes, cfg.tiles));
-        Ok(FlexEngine {
-            deques: (0..num_pes)
-                .map(|_| TaskDeque::new(cfg.task_queue_entries))
-                .collect(),
+        Ok(FabricEngine {
+            policy,
             pstores: (0..cfg.tiles)
                 .map(|_| PStore::new(cfg.pstore_entries))
                 .collect(),
-            lfsrs: (0..num_pes)
-                .map(|i| Lfsr16::new(0xACE1 ^ (i as u16).wrapping_mul(0x9E37)))
-                .collect(),
             steal_fails: vec![0; num_pes],
-            rr_victim: (0..num_pes).collect(),
             hetero_rr: 0,
             busy_until: vec![Time::ZERO; num_pes],
-            host_queue: VecDeque::new(),
             host: [None; HOST_SLOTS],
             events: EventQueue::new(),
             outstanding: 0,
             inflight_args: 0,
             last_useful: Time::ZERO,
             faults,
-            last_progress: Time::ZERO,
-            last_progress_unit: None,
+            watchdog: Watchdog::new(cfg.clock.cycles_to_time(cfg.watchdog_quiescence_cycles)),
             trace: Tracer::bounded(cfg.trace_capacity),
             metrics,
             ids,
@@ -493,7 +680,7 @@ impl FlexEngine {
     }
 
     /// The engine's metrics registry (fully aggregated only after
-    /// [`FlexEngine::run`] returns, which moves it into the result).
+    /// [`FabricEngine::run`] returns, which moves it into the result).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
     }
@@ -515,33 +702,17 @@ impl FlexEngine {
     /// Records forward progress by `unit` at `at` for the quiescence
     /// watchdog.
     fn progress(&mut self, at: Time, unit: usize) {
-        if at >= self.last_progress {
-            self.last_progress = at;
-            self.last_progress_unit = Some(unit);
-        }
+        self.watchdog.progress(at, unit);
     }
 
     /// Builds the [`AccelError::Stalled`] diagnosis, emitting the
     /// `watchdog.stall` trace event and counter.
     fn watchdog_stall(&mut self, now: Time) -> AccelError {
         let blocked_unit = (0..self.cfg.num_pes())
-            .find(|&pe| !self.deques[pe].is_empty())
-            .or((!self.host_queue.is_empty()).then_some(self.cfg.num_pes()));
-        let idle_ps = now.saturating_sub(self.last_progress).as_ps();
-        let unit = self.last_progress_unit;
-        self.metrics.incr("watchdog.stalls");
-        self.trace.emit(
-            now,
-            TraceEvent::WatchdogStall {
-                unit: unit.map_or(u32::MAX, |u| u as u32),
-                idle_ps,
-            },
-        );
-        AccelError::Stalled {
-            last_unit: unit,
-            idle_us: idle_ps / 1_000_000,
-            blocked_unit,
-        }
+            .find(|&pe| !self.policy.unit_queue_empty(pe))
+            .or((!self.policy.host_queue_empty()).then_some(self.cfg.num_pes()));
+        self.watchdog
+            .stall(&mut self.metrics, &mut self.trace, now, blocked_unit)
     }
 
     /// Runs `root` to completion.
@@ -563,7 +734,7 @@ impl FlexEngine {
             Continuation::Host { slot } => Some(slot),
             _ => None,
         };
-        self.host_queue.push_back(root);
+        self.policy.seed(root);
         self.outstanding = 1;
         for pe in 0..self.cfg.num_pes() {
             self.events.push(Time::ZERO, Event::PeWake { pe });
@@ -577,7 +748,6 @@ impl FlexEngine {
             self.events.push(at, Event::FaultFire { spec });
         }
         let limit = Time::from_us(self.cfg.max_sim_time_us);
-        let quiescence = self.cycles(self.cfg.watchdog_quiescence_cycles);
 
         while let Some((now, event)) = self.events.pop() {
             if self.outstanding == 0 && self.inflight_args == 0 {
@@ -586,7 +756,7 @@ impl FlexEngine {
             if now > limit {
                 return Err(AccelError::TimedOut);
             }
-            if now.saturating_sub(self.last_progress) > quiescence {
+            if self.watchdog.expired(now) {
                 return Err(self.watchdog_stall(now));
             }
             self.handle(now, event, worker);
@@ -599,7 +769,7 @@ impl FlexEngine {
             // The event queue drained with work still outstanding: nothing
             // can ever make progress again (e.g. an unrecoverable message
             // loss or every supporting PE dead with stranded work).
-            let at = self.last_useful.max(self.last_progress);
+            let at = self.last_useful.max(self.watchdog.last_progress());
             return Err(self.watchdog_stall(at));
         }
 
@@ -629,13 +799,12 @@ impl FlexEngine {
     }
 
     fn collect_stats(&mut self) {
-        let queue_peak = self.deques.iter().map(TaskDeque::peak).max().unwrap_or(0);
-        let queue_peak_sum: usize = self.deques.iter().map(TaskDeque::peak).sum();
-        let pstore_peak: usize = self.pstores.iter().map(PStore::peak).sum();
-        self.metrics.max("accel.queue_peak", queue_peak as u64);
+        let (queue_peak, queue_peak_sum) = self.policy.queue_peaks();
+        let pstore_peak_sum: usize = self.pstores.iter().map(PStore::peak).sum();
+        self.metrics.max("accel.queue_peak", queue_peak);
+        self.metrics.add("accel.queue_peak_sum", queue_peak_sum);
         self.metrics
-            .add("accel.queue_peak_sum", queue_peak_sum as u64);
-        self.metrics.add("accel.pstore_peak", pstore_peak as u64);
+            .add("accel.pstore_peak_sum", pstore_peak_sum as u64);
         let mem_stats = self.backend.take_stats();
         self.metrics.merge(&mem_stats);
     }
@@ -677,11 +846,7 @@ impl FlexEngine {
         if self.is_dead(pe) || self.is_busy(pe, now) {
             return;
         }
-        let popped = match self.cfg.policy.local_order {
-            LocalOrder::Lifo => self.deques[pe].pop_tail(now),
-            LocalOrder::Fifo => self.deques[pe].pop_head(now),
-        };
-        if let Some(task) = popped {
+        if let Some(task) = self.policy.pop_local(pe, now) {
             self.steal_fails[pe] = 0;
             self.execute_task(
                 now + self.cycles(self.cfg.costs.dispatch_cycles),
@@ -695,29 +860,7 @@ impl FlexEngine {
     }
 
     fn begin_steal(&mut self, now: Time, pe: usize) {
-        // Victim space: all other PEs plus the host interface block.
-        let num_pes = self.cfg.num_pes();
-        let victim = if num_pes == 1 {
-            num_pes // only the IF is stealable
-        } else {
-            match self.cfg.policy.victim_select {
-                VictimSelect::Lfsr => {
-                    let mut v = self.lfsrs[pe].next_in_range(num_pes + 1);
-                    if v == pe {
-                        v = num_pes;
-                    }
-                    v
-                }
-                VictimSelect::RoundRobin => {
-                    let mut v = (self.rr_victim[pe] + 1) % (num_pes + 1);
-                    if v == pe {
-                        v = (v + 1) % (num_pes + 1);
-                    }
-                    self.rr_victim[pe] = v;
-                    v
-                }
-            }
-        };
+        let victim = self.policy.acquire_target(pe);
         self.metrics.inc(self.ids.steal_attempts);
         self.trace.emit(
             now,
@@ -734,36 +877,20 @@ impl FlexEngine {
 
     fn steal_arrive(&mut self, now: Time, thief: usize, victim: usize) {
         let service = self.cycles(self.cfg.costs.steal_service_cycles);
-        let task = if self.is_dead(thief) {
+        let (task, done) = if self.is_dead(thief) {
             // The thief died while its request was in flight; the victim's
-            // TMU does not hand work to a corpse.
-            None
-        } else if victim == self.cfg.num_pes() {
-            // The interface block's task is taken only by a supporting PE.
-            match self.host_queue.front() {
-                Some(t) if self.cfg.pe_supports(thief, t.ty) => self.host_queue.pop_front(),
-                _ => None,
-            }
+            // TMU does not hand work to a corpse (and must not disturb its
+            // queue state serving one).
+            (None, now + service)
         } else {
-            match self.cfg.policy.steal_end {
-                StealEnd::Head => self.deques[victim]
-                    .steal_head_if(now + service, |t| self.cfg.pe_supports(thief, t.ty)),
-                StealEnd::Tail => match self.deques[victim].pop_tail(now + service) {
-                    Some(t) if self.cfg.pe_supports(thief, t.ty) => Some(t),
-                    Some(t) => {
-                        // Put an unsupported task back (hardware would not
-                        // have offered it).
-                        let _ = self.deques[victim].push_tail(t, now + service);
-                        None
-                    }
-                    None => None,
-                },
-            }
+            let FabricEngine { policy, cfg, .. } = self;
+            let pred = |t: &Task| cfg.pe_supports(thief, t.ty);
+            policy.serve_acquire(victim, now, service, &pred)
         };
         if task.is_some() {
             self.metrics.inc(self.ids.steal_hits);
             self.trace.emit(
-                now + service,
+                done,
                 TraceEvent::StealGrant {
                     thief: thief as u32,
                     victim: victim as u32,
@@ -773,11 +900,11 @@ impl FlexEngine {
                 // Work stealing doubles as the rescue path for a dead PE's
                 // stranded deque.
                 self.metrics.incr("fault.rescued_tasks");
-                self.check_rescued(now + service, victim);
+                self.check_rescued(done, victim);
             }
         } else {
             self.trace.emit(
-                now + service,
+                done,
                 TraceEvent::StealFail {
                     thief: thief as u32,
                     victim: victim as u32,
@@ -785,7 +912,7 @@ impl FlexEngine {
             );
         }
         self.events.push(
-            now + service + self.cycles(self.cfg.costs.net_hop_cycles),
+            done + self.cycles(self.cfg.costs.net_hop_cycles),
             Event::StealReply { thief, task },
         );
     }
@@ -841,31 +968,17 @@ impl FlexEngine {
     }
 
     fn push_local(&mut self, pe: usize, task: Task, at: Time) {
-        if let Err(_rejected) = self.deques[pe].push_tail(task, at) {
+        if self.policy.push(pe, task, at).is_err() {
             self.error = Some(AccelError::QueueFull { pe });
         }
     }
 
     fn trace_injected(&mut self, at: Time, spec: usize, unit: usize) {
-        self.metrics.incr("fault.injected");
-        self.trace.emit(
-            at,
-            TraceEvent::FaultInjected {
-                spec: spec as u32,
-                unit: unit as u32,
-            },
-        );
+        record_injected(&mut self.metrics, &mut self.trace, at, spec, unit);
     }
 
     fn trace_recovered(&mut self, at: Time, spec: usize, unit: usize) {
-        self.metrics.incr("fault.recovered");
-        self.trace.emit(
-            at,
-            TraceEvent::FaultRecovered {
-                spec: spec as u32,
-                unit: unit as u32,
-            },
-        );
+        record_recovered(&mut self.metrics, &mut self.trace, at, spec, unit);
     }
 
     /// A planned one-shot fault fires: kill a PE, stall a PE, or corrupt a
@@ -884,7 +997,7 @@ impl FlexEngine {
                 self.faults.as_mut().unwrap().dead[pe] = true;
                 self.trace_injected(now, spec, pe);
                 self.metrics.incr("fault.pe_deaths");
-                if self.deques[pe].is_empty() {
+                if self.policy.unit_queue_empty(pe) {
                     // Nothing to rescue: the fabric already routes around the
                     // corpse, so the fault is absorbed immediately.
                     self.trace_recovered(now, spec, pe);
@@ -1118,7 +1231,7 @@ impl FlexEngine {
     fn check_rescued(&mut self, at: Time, victim: usize) {
         let pending = self.faults.as_ref().and_then(|f| f.rescue_pending[victim]);
         let Some(spec) = pending else { return };
-        if !self.deques[victim].is_empty() {
+        if !self.policy.unit_queue_empty(victim) {
             return;
         }
         self.faults.as_mut().unwrap().rescue_pending[victim] = None;
@@ -1307,21 +1420,31 @@ impl FlexEngine {
                 ty: task.ty.0,
             },
         );
-        // Temporarily take the PE's deque so the context can push spawns
-        // with accurate visibility timestamps.
-        let mut deque = std::mem::replace(&mut self.deques[pe], TaskDeque::new(0));
-        let mut ctx = FlexCtx {
+        // Borrow the engine's pieces disjointly so the context can push
+        // spawns straight into the policy with accurate visibility
+        // timestamps.
+        let FabricEngine {
+            cfg,
+            profile,
+            mem,
+            backend,
+            pstores,
+            policy,
+            trace,
+            ..
+        } = self;
+        let mut ctx = FabricCtx {
             now: start,
             pe,
             tile,
             port,
-            cfg: &self.cfg,
-            profile: self.profile,
-            mem: &mut self.mem,
-            backend: &mut self.backend,
-            pstores: &mut self.pstores,
-            deque: &mut deque,
-            trace: &mut self.trace,
+            cfg,
+            profile: *profile,
+            mem,
+            backend,
+            pstores,
+            policy,
+            trace,
             out_args: Vec::new(),
             out_spawns: Vec::new(),
             spawned: 0,
@@ -1337,7 +1460,6 @@ impl FlexEngine {
         let (spawned, successors, args_sent, ops) =
             (ctx.spawned, ctx.successors, ctx.args_sent, ctx.ops);
         let ctx_error = ctx.error.take();
-        self.deques[pe] = deque;
         if let Some(e) = ctx_error {
             self.error = Some(e);
             return;
@@ -1385,8 +1507,10 @@ impl FlexEngine {
     }
 }
 
-/// The PE-side [`TaskContext`] used during FlexArch task execution.
-struct FlexCtx<'e> {
+/// The PE-side [`TaskContext`] used during fabric task execution — one
+/// implementation of the worker-visible memory path, spawn accounting, and
+/// P-Store allocation protocol for every scheduling policy.
+struct FabricCtx<'e, P: SchedulingPolicy> {
     now: Time,
     pe: usize,
     tile: usize,
@@ -1396,7 +1520,7 @@ struct FlexCtx<'e> {
     mem: &'e mut Memory,
     backend: &'e mut MemBackend,
     pstores: &'e mut Vec<PStore>,
-    deque: &'e mut TaskDeque,
+    policy: &'e mut P,
     trace: &'e mut Tracer,
     out_args: Vec<(Time, Continuation, u64)>,
     /// Spawns whose task type this PE's worker cannot process — routed to a
@@ -1409,13 +1533,13 @@ struct FlexCtx<'e> {
     error: Option<AccelError>,
 }
 
-impl FlexCtx<'_> {
+impl<P: SchedulingPolicy> FabricCtx<'_, P> {
     fn cycles(&self, n: u64) -> Time {
         self.cfg.clock.cycles_to_time(n)
     }
 }
 
-impl TaskContext for FlexCtx<'_> {
+impl<P: SchedulingPolicy> TaskContext for FabricCtx<'_, P> {
     fn spawn(&mut self, task: Task) {
         if self.error.is_some() {
             return;
@@ -1430,7 +1554,7 @@ impl TaskContext for FlexCtx<'_> {
             },
         );
         if self.cfg.pe_supports(self.pe, task.ty) {
-            if self.deque.push_tail(task, self.now).is_err() {
+            if self.policy.push(self.pe, task, self.now).is_err() {
                 self.error = Some(AccelError::QueueFull { pe: self.pe });
             }
         } else {
@@ -1504,41 +1628,7 @@ impl TaskContext for FlexCtx<'_> {
         Continuation::host((HOST_SLOTS - 1) as u8)
     }
 
-    fn compute(&mut self, ops: u64) {
-        self.ops += ops;
-        let cycles = self.profile.accel_cycles(ops);
-        self.now += self.cycles(cycles);
-    }
-
-    fn load(&mut self, addr: u64, _bytes: u32) {
-        self.now = self
-            .backend
-            .access(self.port, addr, AccessKind::Read, self.now);
-    }
-
-    fn store(&mut self, addr: u64, _bytes: u32) {
-        self.now = self
-            .backend
-            .access(self.port, addr, AccessKind::Write, self.now);
-    }
-
-    fn amo(&mut self, addr: u64) {
-        self.now = self
-            .backend
-            .access(self.port, addr, AccessKind::Amo, self.now);
-    }
-
-    fn dma_read(&mut self, addr: u64, bytes: u64) {
-        self.now = self
-            .backend
-            .access_bytes(self.port, addr, bytes, AccessKind::Read, self.now);
-    }
-
-    fn dma_write(&mut self, addr: u64, bytes: u64) {
-        self.now = self
-            .backend
-            .access_bytes(self.port, addr, bytes, AccessKind::Write, self.now);
-    }
+    timed_memory_path!();
 
     fn mem(&mut self) -> &mut Memory {
         self.mem
@@ -1637,7 +1727,8 @@ mod tests {
         let s1 = serial.stats().s1() as u64;
         let p = 8u64;
         let out = run_fib(2, 4, n);
-        let s_p = out.metrics.get("accel.queue_peak_sum") + out.metrics.get("accel.pstore_peak");
+        let s_p =
+            out.metrics.get("accel.queue_peak_sum") + out.metrics.get("accel.pstore_peak_sum");
         assert!(
             s_p <= s1 * p,
             "space bound violated: S_P={s_p} > S_1*P={}",
@@ -1754,6 +1845,48 @@ mod tests {
             .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[6]))
             .unwrap_err();
         assert!(matches!(err, AccelError::Unsupported(_)), "got {err}");
+    }
+
+    #[test]
+    fn central_engine_computes_fib() {
+        let mut engine = CentralEngine::new(AccelConfig::central(2, 4), ExecProfile::scalar());
+        let out = engine
+            .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[14]))
+            .expect("central fib must complete");
+        assert_eq!(out.result, fib(14));
+        assert!(out.metrics.get("accel.tasks") > 100);
+        // With no per-PE storage every spawn lands in the global queue and
+        // can only leave through an acquisition (greedy-routed join tasks
+        // may bypass it while their PE is idle).
+        assert!(out.metrics.get("accel.steal_hits") >= out.metrics.get("accel.spawns"));
+    }
+
+    #[test]
+    fn central_queue_contention_costs_against_flex() {
+        // Same cost model, same workload, 8 PEs: the single-ported global
+        // queue must not beat distributed stealing.
+        let flex = run_fib(2, 4, 15);
+        let mut engine = CentralEngine::new(AccelConfig::central(2, 4), ExecProfile::scalar());
+        let central = engine
+            .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[15]))
+            .unwrap();
+        assert_eq!(central.result, flex.result);
+        assert!(
+            central.elapsed >= flex.elapsed,
+            "central ({}) must not beat flex ({})",
+            central.elapsed,
+            flex.elapsed
+        );
+    }
+
+    #[test]
+    fn engines_reject_mismatched_arch() {
+        let err = CentralEngine::try_new(AccelConfig::flex(1, 1), ExecProfile::scalar())
+            .expect_err("flex config must not drive the central engine");
+        assert!(matches!(err, AccelError::InvalidConfig(_)), "got {err}");
+        let err = FlexEngine::try_new(AccelConfig::central(1, 1), ExecProfile::scalar())
+            .expect_err("central config must not drive the flex engine");
+        assert!(matches!(err, AccelError::InvalidConfig(_)), "got {err}");
     }
 
     #[test]

@@ -14,23 +14,36 @@
 //! | General task-parallel | yes                | no                 |
 //! | Task scheduling       | work stealing      | static distribution|
 //!
-//! The crate simulates both at cycle granularity on top of the
-//! [`pxl_sim`] event kernel and the [`pxl_mem`] hierarchy:
+//! The crate simulates them at cycle granularity on top of the
+//! [`pxl_sim`] event kernel and the [`pxl_mem`] hierarchy. Everything that
+//! does not depend on task distribution — memory backend, P-Store joins,
+//! fault injection/recovery, the quiescence watchdog, metrics and tracing,
+//! the PE-side `TaskContext` — lives once in the [`fabric`] module; a
+//! [`SchedulingPolicy`] supplies the distribution:
 //!
 //! * [`FlexEngine`] — the full continuation-passing machine: LIFO task
 //!   deques, LFSR victim selection, steal-from-head, distributed P-Stores,
 //!   greedy scheduling (a task made ready by the last arriving argument is
 //!   routed back to the PE that produced it), and a host interface block
-//!   that PEs steal root tasks from.
+//!   that PEs steal root tasks from. A [`policy::FlexPolicy`] instantiation
+//!   of the fabric.
 //! * [`LiteEngine`] — the lightweight data-parallel machine: no P-Store, no
 //!   steal network; the host statically distributes range chunks round-robin
-//!   and synchronizes between rounds.
+//!   (the [`policy::StaticRoundPolicy`]) and synchronizes between rounds.
+//! * [`CentralEngine`] — the centralized strawman: FlexArch's task model
+//!   over one global ready queue whose single port serializes every
+//!   acquisition. A [`policy::CentralPolicy`] instantiation, kept for the
+//!   Flex-vs-Lite-vs-central ablation.
+//!
+//! See `docs/fabric.md` for the fabric/policy split and how to add a
+//! policy.
 
 pub mod api;
 pub mod config;
 pub mod deque;
-pub mod engine;
+pub mod fabric;
 pub mod lite;
+pub mod policy;
 pub mod pstore;
 
 pub use api::{Engine, EngineKind, Workload};
@@ -39,6 +52,10 @@ pub use config::{
     StealEnd, VictimSelect,
 };
 pub use deque::TaskDeque;
-pub use engine::{AccelError, AccelResult, FlexEngine};
+pub use fabric::{
+    record_injected, record_recovered, register_fault_metrics, AccelError, AccelResult,
+    CentralEngine, FabricEngine, FlexEngine, Watchdog,
+};
 pub use lite::{LiteDriver, LiteEngine, RoundTasks};
+pub use policy::{CentralPolicy, FlexPolicy, RoundSlot, SchedulingPolicy, StaticRoundPolicy};
 pub use pstore::{FillOutcome, PStore, PStoreError};

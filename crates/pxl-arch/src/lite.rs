@@ -13,13 +13,17 @@
 //! same time constructing the next level". The host-side logic that builds
 //! each round is a [`LiteDriver`].
 
-use pxl_mem::{AccessKind, Memory};
+use pxl_mem::Memory;
 use pxl_model::serial::HOST_SLOTS;
 use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
 use pxl_sim::{FaultKind, Metrics, Time, TraceEvent, Tracer};
 
 use crate::config::{AccelConfig, ArchKind};
-use crate::engine::{AccelError, AccelResult, MemBackend};
+use crate::fabric::{
+    record_injected, record_recovered, register_fault_metrics, timed_memory_path, AccelError,
+    AccelResult, MemBackend, Watchdog,
+};
+use crate::policy::StaticRoundPolicy;
 
 /// One round of statically distributed tasks.
 pub type RoundTasks = Vec<Task>;
@@ -118,13 +122,15 @@ impl LiteEngine {
             ));
         }
         let backend = MemBackend::for_config(&cfg);
+        let mut metrics = Metrics::new();
+        register_fault_metrics(&mut metrics);
         Ok(LiteEngine {
             profile,
             mem: Memory::new(),
             backend,
             host: [0; HOST_SLOTS],
             host_written: [false; HOST_SLOTS],
-            metrics: Metrics::new(),
+            metrics,
             trace: Tracer::bounded(cfg.trace_capacity),
             cfg,
         })
@@ -193,8 +199,12 @@ impl LiteEngine {
                 windows.sort();
             }
         }
-        let mut last_progress = Time::ZERO;
-        let mut last_unit: Option<usize> = None;
+        let policy = StaticRoundPolicy::new(num_pes);
+        let mut watchdog = Watchdog::new(
+            self.cfg
+                .clock
+                .cycles_to_time(self.cfg.watchdog_quiescence_cycles),
+        );
         while let Some(tasks) = driver.next_round(&mut self.mem, round) {
             self.metrics.incr("lite.rounds");
             self.metrics.add("lite.tasks", tasks.len() as u64);
@@ -212,53 +222,22 @@ impl LiteEngine {
             let mut pe_time = vec![now; num_pes];
             for (i, task) in tasks.into_iter().enumerate() {
                 let dispatched = now + Time::from_ps(dispatch.as_ps() * (i as u64 + 1));
-                // The IF's scoreboard statically reassigns a dead PE's slots
-                // to the next live PE in rotation; transient stalls only
-                // push the start time past the stall window. A PE that
-                // begins a task before its death commits it (fail-stop at
-                // dispatch granularity).
-                let mut chosen = None;
-                for off in 0..num_pes {
-                    let pe = (i + off) % num_pes;
-                    let mut start = pe_time[pe].max(dispatched);
-                    for &(s, e, _) in &stalls[pe] {
-                        if start >= s && start < e {
-                            start = e;
-                        }
-                    }
-                    let alive = match deaths[pe] {
-                        Some((d, _)) => start < d,
-                        None => true,
-                    };
-                    if alive {
-                        if off > 0 {
-                            self.metrics.incr("fault.rescued_tasks");
-                        }
-                        chosen = Some((pe, start));
-                        break;
-                    }
-                }
-                let Some((pe, start)) = chosen else {
-                    // Every PE is dead: the IF can never dispatch this task.
-                    let idle_ps = dispatched.saturating_sub(last_progress).as_ps();
-                    self.metrics.incr("watchdog.stalls");
-                    self.trace.emit(
+                let Some(slot) = policy.place(i, dispatched, &pe_time, &deaths, &stalls) else {
+                    // Every PE is dead: the IF can never dispatch this task
+                    // (the IF, unit `num_pes`, holds the undispatchable work).
+                    return Err(watchdog.stall(
+                        &mut self.metrics,
+                        &mut self.trace,
                         dispatched,
-                        TraceEvent::WatchdogStall {
-                            unit: last_unit.map_or(u32::MAX, |u| u as u32),
-                            idle_ps,
-                        },
-                    );
-                    return Err(AccelError::Stalled {
-                        last_unit,
-                        idle_us: idle_ps / 1_000_000,
-                        blocked_unit: Some(num_pes),
-                    });
+                        Some(num_pes),
+                    ));
                 };
-                let end = self.execute_task(start, pe, task, worker)?;
-                pe_time[pe] = end;
-                last_progress = last_progress.max(end);
-                last_unit = Some(pe);
+                if slot.reassigned {
+                    self.metrics.incr("fault.rescued_tasks");
+                }
+                let end = self.execute_task(slot.start, slot.pe, task, worker)?;
+                pe_time[slot.pe] = end;
+                watchdog.progress(end, slot.pe);
                 if end > limit {
                     return Err(AccelError::TimedOut);
                 }
@@ -273,23 +252,9 @@ impl LiteEngine {
         for &(pe, at, idx) in &all_deaths {
             let effective = deaths[pe] == Some((at, idx)) && at <= now;
             if effective {
-                self.metrics.incr("fault.injected");
                 self.metrics.incr("fault.pe_deaths");
-                self.trace.emit(
-                    at,
-                    TraceEvent::FaultInjected {
-                        spec: idx as u32,
-                        unit: pe as u32,
-                    },
-                );
-                self.metrics.incr("fault.recovered");
-                self.trace.emit(
-                    now.max(at),
-                    TraceEvent::FaultRecovered {
-                        spec: idx as u32,
-                        unit: pe as u32,
-                    },
-                );
+                record_injected(&mut self.metrics, &mut self.trace, at, idx, pe);
+                record_recovered(&mut self.metrics, &mut self.trace, now.max(at), idx, pe);
             } else {
                 self.metrics.incr("fault.skipped");
             }
@@ -297,23 +262,9 @@ impl LiteEngine {
         for (pe, windows) in stalls.iter().enumerate() {
             for &(s, e, idx) in windows {
                 if s <= now {
-                    self.metrics.incr("fault.injected");
                     self.metrics.incr("fault.pe_stalls");
-                    self.trace.emit(
-                        s,
-                        TraceEvent::FaultInjected {
-                            spec: idx as u32,
-                            unit: pe as u32,
-                        },
-                    );
-                    self.metrics.incr("fault.recovered");
-                    self.trace.emit(
-                        e,
-                        TraceEvent::FaultRecovered {
-                            spec: idx as u32,
-                            unit: pe as u32,
-                        },
-                    );
+                    record_injected(&mut self.metrics, &mut self.trace, s, idx, pe);
+                    record_recovered(&mut self.metrics, &mut self.trace, e, idx, pe);
                 } else {
                     self.metrics.incr("fault.skipped");
                 }
@@ -445,41 +396,7 @@ impl TaskContext for LiteCtx<'_> {
         Continuation::host((HOST_SLOTS - 1) as u8)
     }
 
-    fn compute(&mut self, ops: u64) {
-        self.ops += ops;
-        let cycles = self.profile.accel_cycles(ops);
-        self.now += self.cfg.clock.cycles_to_time(cycles);
-    }
-
-    fn load(&mut self, addr: u64, _bytes: u32) {
-        self.now = self
-            .backend
-            .access(self.port, addr, AccessKind::Read, self.now);
-    }
-
-    fn store(&mut self, addr: u64, _bytes: u32) {
-        self.now = self
-            .backend
-            .access(self.port, addr, AccessKind::Write, self.now);
-    }
-
-    fn amo(&mut self, addr: u64) {
-        self.now = self
-            .backend
-            .access(self.port, addr, AccessKind::Amo, self.now);
-    }
-
-    fn dma_read(&mut self, addr: u64, bytes: u64) {
-        self.now = self
-            .backend
-            .access_bytes(self.port, addr, bytes, AccessKind::Read, self.now);
-    }
-
-    fn dma_write(&mut self, addr: u64, bytes: u64) {
-        self.now = self
-            .backend
-            .access_bytes(self.port, addr, bytes, AccessKind::Write, self.now);
-    }
+    timed_memory_path!();
 
     fn mem(&mut self) -> &mut Memory {
         self.mem

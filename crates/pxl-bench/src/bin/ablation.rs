@@ -14,7 +14,9 @@
 //! reports the slowdown and the peak task-storage footprint.
 
 use pxl_apps::{Benchmark, Scale};
-use pxl_arch::{AccelConfig, FlexEngine, LocalOrder, SchedPolicy, StealEnd, VictimSelect};
+use pxl_arch::{
+    AccelConfig, FabricEngine, LocalOrder, SchedPolicy, SchedulingPolicy, StealEnd, VictimSelect,
+};
 use pxl_bench::{bench, geometry, render_table};
 
 fn config(pes: usize, policy: SchedPolicy) -> AccelConfig {
@@ -26,8 +28,11 @@ fn config(pes: usize, policy: SchedPolicy) -> AccelConfig {
 
 /// Like `run_flex_with_config` but reports simulation failures as data —
 /// an ablated policy blowing the space bound is a finding, not a bug.
-fn try_run(b: &dyn Benchmark, cfg: AccelConfig) -> Result<(pxl_sim::Time, pxl_sim::Stats), String> {
-    let mut engine = FlexEngine::new(cfg, b.profile());
+fn try_run<P: SchedulingPolicy>(
+    b: &dyn Benchmark,
+    cfg: AccelConfig,
+) -> Result<(pxl_sim::Time, pxl_sim::Stats), String> {
+    let mut engine = FabricEngine::<P>::new(cfg, b.profile());
     let inst = b.flex(engine.mem_mut());
     let mut worker = inst.worker;
     match engine.run(worker.as_mut(), inst.root) {
@@ -76,15 +81,16 @@ fn main() {
         let b = bench(name, Scale::Paper);
         println!("## Ablation: {name} (FlexArch, 16 PEs)\n");
         let (base_elapsed, _) =
-            try_run(b.as_ref(), config(16, SchedPolicy::default())).expect("baseline runs");
+            try_run::<pxl_arch::FlexPolicy>(b.as_ref(), config(16, SchedPolicy::default()))
+                .expect("baseline runs");
         let mut rows = Vec::new();
-        for (label, policy) in &variants {
-            match try_run(b.as_ref(), config(16, *policy)) {
+        let mut push_row =
+            |label: &str, outcome: Result<(pxl_sim::Time, pxl_sim::Stats), String>| match outcome {
                 Ok((elapsed, stats)) => {
                     let storage =
-                        stats.get("accel.queue_peak_sum") + stats.get("accel.pstore_peak");
+                        stats.get("accel.queue_peak_sum") + stats.get("accel.pstore_peak_sum");
                     rows.push(vec![
-                        (*label).to_owned(),
+                        label.to_owned(),
                         format!("{elapsed}"),
                         format!("{:.2}x", elapsed.as_secs_f64() / base_elapsed.as_secs_f64()),
                         format!("{}", stats.get("accel.steal_hits")),
@@ -92,14 +98,26 @@ fn main() {
                     ]);
                 }
                 Err(e) => rows.push(vec![
-                    (*label).to_owned(),
+                    label.to_owned(),
                     format!("FAILED: {e}"),
                     "-".into(),
                     "-".into(),
                     "-".into(),
                 ]),
-            }
+            };
+        for (label, policy) in &variants {
+            push_row(
+                label,
+                try_run::<pxl_arch::FlexPolicy>(b.as_ref(), config(16, *policy)),
+            );
         }
+        // The strawman every distributed design is measured against: one
+        // shared ready queue serializing all 16 PEs' accesses.
+        let (tiles, per_tile) = geometry(16);
+        push_row(
+            "centralized queue",
+            try_run::<pxl_arch::CentralPolicy>(b.as_ref(), AccelConfig::central(tiles, per_tile)),
+        );
         println!(
             "{}",
             render_table(

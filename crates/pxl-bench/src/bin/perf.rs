@@ -1,0 +1,144 @@
+//! Host-throughput benchmark: how fast the simulator itself runs.
+//!
+//! Measures wall-clock simulated-cycles/sec and tasks/sec for every engine
+//! — FlexArch, LiteArch, the centralized-queue ablation and the CPU
+//! baseline — on two benchmarks with mappings for all of them, so the
+//! fabric's hot dispatch loop has a recorded perf trajectory and
+//! refactors can be shown not to slow it down.
+//!
+//! Appends one JSONL record per (benchmark, engine) to
+//! `bench_results.jsonl` (tagged `"perf":true` to keep them separable from
+//! experiment records) and prints a markdown table.
+//!
+//! Pass `--smoke` to run at `Scale::Tiny` for a quick end-to-end check.
+
+use std::io::Write;
+use std::time::Instant;
+
+use pxl_apps::Scale;
+use pxl_arch::AccelConfig;
+use pxl_bench::{bench, render_table, run_central, run_cpu, run_flex, run_lite, RunOutcome};
+use pxl_sim::config::CpuCoreParams;
+
+const PES: usize = 16;
+const BENCHES: [&str; 2] = ["uts", "queens"];
+
+struct PerfRow {
+    bench: &'static str,
+    engine: &'static str,
+    units: usize,
+    wall_s: f64,
+    sim_cycles: u64,
+    tasks: u64,
+}
+
+impl PerfRow {
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_s
+    }
+
+    fn tasks_per_sec(&self) -> f64 {
+        self.tasks as f64 / self.wall_s
+    }
+
+    fn to_jsonl(&self) -> String {
+        format!(
+            concat!(
+                "{{\"perf\":true,\"bench\":\"{}\",\"engine\":\"{}\",",
+                "\"units\":{},\"wall_s\":{:.6},\"sim_cycles\":{},",
+                "\"tasks\":{},\"cycles_per_sec\":{:.1},\"tasks_per_sec\":{:.1}}}"
+            ),
+            self.bench,
+            self.engine,
+            self.units,
+            self.wall_s,
+            self.sim_cycles,
+            self.tasks,
+            self.cycles_per_sec(),
+            self.tasks_per_sec(),
+        )
+    }
+}
+
+/// One simulated clock period in picoseconds for `engine`'s timebase.
+fn cycle_ps(engine: &str) -> u64 {
+    match engine {
+        "cpu" => CpuCoreParams::micro2018().clock.cycles_to_time(1).as_ps(),
+        _ => AccelConfig::flex(1, 1).clock.cycles_to_time(1).as_ps(),
+    }
+}
+
+fn measure(name: &'static str, engine: &'static str, run: impl FnOnce() -> RunOutcome) -> PerfRow {
+    let start = Instant::now();
+    let out = run();
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let tasks = out.metrics.get("accel.tasks") + out.metrics.get("cpu.tasks");
+    PerfRow {
+        bench: name,
+        engine,
+        units: out.units,
+        wall_s,
+        sim_cycles: out.kernel.as_ps() / cycle_ps(engine),
+        tasks,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Tiny } else { Scale::Small };
+    let mut rows = Vec::new();
+    for name in BENCHES {
+        let b = bench(name, scale);
+        eprintln!("[perf] {name}: flex/lite/central/cpu at {PES} units...");
+        rows.push(measure(name, "flex", || run_flex(b.as_ref(), PES, None)));
+        rows.push(measure(name, "lite", || {
+            run_lite(b.as_ref(), PES, None).expect("perf benchmarks have Lite mappings")
+        }));
+        rows.push(measure(name, "central", || {
+            run_central(b.as_ref(), PES, None)
+        }));
+        rows.push(measure(name, "cpu", || run_cpu(b.as_ref(), PES)));
+    }
+
+    println!("## Host throughput ({:?})\n", scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.bench.to_owned(),
+                r.engine.to_owned(),
+                format!("{:.1} ms", r.wall_s * 1e3),
+                format!("{:.3e}", r.cycles_per_sec()),
+                format!("{:.3e}", r.tasks_per_sec()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Benchmark", "Engine", "Wall", "Sim cycles/s", "Tasks/s"],
+            &table
+        )
+    );
+
+    let path = std::path::Path::new("bench_results.jsonl");
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            for row in &rows {
+                writeln!(w, "{}", row.to_jsonl())?;
+            }
+            w.into_inner()?.flush()
+        });
+    match appended {
+        Ok(()) => eprintln!(
+            "[perf] appended {} records to {}",
+            rows.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("[perf] failed to write {}: {e}", path.display()),
+    }
+}

@@ -69,7 +69,7 @@ impl Evaluate for BenchEvaluator {
         let model = EnergyModel::default();
         let energy_j = match candidate.point.arch {
             PointArch::Cpu => model.cpu_energy(&out.metrics, out.kernel, out.units),
-            PointArch::Flex | PointArch::Lite => model.accel_energy_for(
+            PointArch::Flex | PointArch::Lite | PointArch::Central => model.accel_energy_for(
                 &out.metrics,
                 out.kernel,
                 out.units,

@@ -30,7 +30,8 @@ const INIT_BW: f64 = 25.6e9;
 pub struct RunOutcome {
     /// Benchmark name.
     pub bench: String,
-    /// Engine label ("flex", "lite", "cpu", "zedflex", "zedcpu").
+    /// Engine label ("flex", "lite", "central", "cpu", "zedflex",
+    /// "zedcpu").
     pub engine: String,
     /// PEs or cores used.
     pub units: usize,
@@ -68,7 +69,7 @@ impl RunOutcome {
                 "{{\"bench\":\"{}\",\"engine\":\"{}\",\"units\":{},",
                 "\"kernel_ps\":{},\"whole_ps\":{},",
                 "\"steal_attempts\":{},\"steal_hits\":{},",
-                "\"pstore_peak\":{},\"l1_miss_rate\":{:.6},",
+                "\"pstore_peak_sum\":{},\"l1_miss_rate\":{:.6},",
                 "\"dram_bytes\":{},\"trace_events\":{},\"metrics\":{}}}"
             ),
             self.bench,
@@ -78,7 +79,7 @@ impl RunOutcome {
             self.whole.as_ps(),
             steal_attempts,
             steal_hits,
-            m.get("accel.pstore_peak"),
+            m.get("accel.pstore_peak_sum"),
             l1_miss_rate,
             m.get("mem.dram_bytes"),
             self.trace.len(),
@@ -151,7 +152,7 @@ pub fn try_run_on(
                 .map_err(|e| format!("{name} on {label}/{units}u failed: {e}"))?;
             (inst.footprint_bytes, out)
         }
-        EngineKind::Flex | EngineKind::Cpu => {
+        EngineKind::Flex | EngineKind::Central | EngineKind::Cpu => {
             let inst = bench.flex(engine.mem_mut());
             let mut worker = inst.worker;
             let out = engine
@@ -235,6 +236,25 @@ pub fn run_lite(
         .build()
         .unwrap_or_else(|e| panic!("{} on lite/{pes}PE: {e}", bench.meta().name));
     run_on(engine.as_mut(), bench, "lite")
+}
+
+/// Runs `bench` on the centralized shared-queue ablation with `pes` PEs —
+/// FlexArch's task model over one global ready queue, quantifying what
+/// distributed hardware work stealing buys.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the output does not validate.
+pub fn run_central(bench: &dyn Benchmark, pes: usize, cache_bytes: Option<usize>) -> RunOutcome {
+    let (tiles, per_tile) = geometry(pes);
+    let mut cfg = AccelConfig::central(tiles, per_tile);
+    if let Some(bytes) = cache_bytes {
+        cfg.memory.accel_l1 = cfg.memory.accel_l1.clone().with_size(bytes);
+    }
+    let mut engine = SimulationBuilder::from_config(cfg, bench.profile())
+        .build()
+        .unwrap_or_else(|e| panic!("{} on central/{pes}PE: {e}", bench.meta().name));
+    run_on(engine.as_mut(), bench, "central").expect("the central queue runs every benchmark")
 }
 
 /// Runs `bench` on the Cilk-style CPU baseline with `cores` cores.

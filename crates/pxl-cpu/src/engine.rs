@@ -7,8 +7,13 @@ use pxl_sim::config::{CpuCoreParams, MemoryConfig};
 use pxl_sim::{EventQueue, Metrics, Time, TraceEvent, Tracer, XorShift64};
 
 use pxl_arch::deque::TaskDeque;
-use pxl_arch::engine::{AccelError, AccelResult};
+use pxl_arch::fabric::{register_fault_metrics, AccelError, AccelResult, Watchdog};
 use pxl_arch::{Engine, EngineKind, Workload};
+
+/// Core cycles without a task completion before the quiescence watchdog
+/// declares the run stalled while work is still outstanding — the same
+/// window [`pxl_arch::AccelConfig`] defaults to for the accelerators.
+const WATCHDOG_QUIESCENCE_CYCLES: u64 = 1_000_000;
 
 /// Base simulated address of the runtime's join-counter frames. Each pending
 /// task's counter lives on its own cache line, so coherence traffic on joins
@@ -117,6 +122,7 @@ pub struct CpuEngine {
     events: EventQueue<Event>,
     outstanding: u64,
     last_useful: Time,
+    watchdog: Watchdog,
     metrics: Metrics,
     trace: Tracer,
     error: Option<AccelError>,
@@ -151,6 +157,9 @@ impl CpuEngine {
     ) -> Self {
         assert!(cores > 0, "need at least one core");
         let memsys = MemorySystem::new(vec![memory.cpu_l1.clone(); cores], &memory);
+        let mut metrics = Metrics::new();
+        register_fault_metrics(&mut metrics);
+        let watchdog = Watchdog::new(core_params.clock.cycles_to_time(WATCHDOG_QUIESCENCE_CYCLES));
         CpuEngine {
             cores,
             core_params,
@@ -170,7 +179,8 @@ impl CpuEngine {
             events: EventQueue::new(),
             outstanding: 0,
             last_useful: Time::ZERO,
-            metrics: Metrics::new(),
+            watchdog,
+            metrics,
             trace: Tracer::disabled(),
             error: None,
             max_sim_time_us: 2_000_000,
@@ -249,6 +259,15 @@ impl CpuEngine {
             }
             if now > limit {
                 return Err(AccelError::TimedOut);
+            }
+            if self.watchdog.expired(now) {
+                let blocked_unit = (0..self.cores).find(|&c| !self.deques[c].is_empty());
+                return Err(self.watchdog.stall(
+                    &mut self.metrics,
+                    &mut self.trace,
+                    now,
+                    blocked_unit,
+                ));
             }
             self.handle(now, event, worker);
             if let Some(err) = self.error.take() {
@@ -421,6 +440,7 @@ impl CpuEngine {
                 .expect("software deque is unbounded");
         }
         self.last_useful = self.last_useful.max(end);
+        self.watchdog.progress(end, core);
         self.outstanding -= 1;
         self.busy_until[core] = end;
         self.events.push(end, Event::CoreWake { core });

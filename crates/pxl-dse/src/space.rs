@@ -88,6 +88,8 @@ pub enum PointArch {
     Flex,
     /// LiteArch (static data-parallel rounds).
     Lite,
+    /// The centralized shared-queue ablation of FlexArch.
+    Central,
     /// The Table III multicore CPU baseline — "build no accelerator".
     Cpu,
 }
@@ -98,6 +100,7 @@ impl PointArch {
         match self {
             PointArch::Flex => "flex",
             PointArch::Lite => "lite",
+            PointArch::Central => "central",
             PointArch::Cpu => "cpu",
         }
     }
@@ -107,6 +110,7 @@ impl PointArch {
         match self {
             PointArch::Flex => Some(ArchKind::Flex),
             PointArch::Lite => Some(ArchKind::Lite),
+            PointArch::Central => Some(ArchKind::Central),
             PointArch::Cpu => None,
         }
     }
@@ -123,6 +127,7 @@ impl From<ArchKind> for PointArch {
         match kind {
             ArchKind::Flex => PointArch::Flex,
             ArchKind::Lite => PointArch::Lite,
+            ArchKind::Central => PointArch::Central,
         }
     }
 }
@@ -174,6 +179,7 @@ impl DesignPoint {
         let mut cfg = match arch {
             ArchKind::Flex => AccelConfig::flex(self.tiles, self.pes_per_tile),
             ArchKind::Lite => AccelConfig::lite(self.tiles, self.pes_per_tile),
+            ArchKind::Central => AccelConfig::central(self.tiles, self.pes_per_tile),
         };
         cfg.task_queue_entries = self.task_queue_entries;
         cfg.pstore_entries = self.pstore_entries;
@@ -455,9 +461,12 @@ impl SearchSpace {
         for bench in &self.benchmarks {
             for point in &points {
                 let resources = match point.arch.arch_kind() {
+                    // The central ablation keeps FlexArch's tile hardware
+                    // (P-Store, full task model) and only swaps the queue
+                    // organization, so it costs flex-tile resources.
                     Some(kind) => tile_resources(
                         bench,
-                        kind == ArchKind::Flex,
+                        kind != ArchKind::Lite,
                         point.pes_per_tile as u32,
                         point.cache_kb * 1024,
                     ),

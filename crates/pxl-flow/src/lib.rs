@@ -34,7 +34,7 @@
 //! assert!(design.resources.is_some());
 //! ```
 
-use pxl_arch::{AccelConfig, ArchKind, ConfigError, Engine, FlexEngine, LiteEngine};
+use pxl_arch::{AccelConfig, ArchKind, CentralEngine, ConfigError, Engine, FlexEngine, LiteEngine};
 use pxl_cost::resources::{tile_resources, FpgaDevice, TileResources};
 use pxl_cpu::{CpuEngine, SoftwareCosts};
 use pxl_dse::{Axis, DesignPoint, PointArch, SearchSpace};
@@ -211,6 +211,7 @@ impl AcceleratorBuilder {
         let mut config = match self.arch {
             ArchKind::Flex => AccelConfig::flex(self.tiles, self.pes_per_tile),
             ArchKind::Lite => AccelConfig::lite(self.tiles, self.pes_per_tile),
+            ArchKind::Central => AccelConfig::central(self.tiles, self.pes_per_tile),
         };
         config.task_queue_entries = self.task_queue_entries;
         config.pstore_entries = self.pstore_entries;
@@ -218,9 +219,11 @@ impl AcceleratorBuilder {
         // Covers geometry, queue/P-Store capacities and cache realizability
         // (power-of-two number of sets) in one typed check.
         config.validate().map_err(FlowError::Config)?;
+        // The central ablation keeps FlexArch's tile hardware and only
+        // swaps the queue organization, so it costs flex-tile resources.
         let resources = tile_resources(
             &self.benchmark,
-            self.arch == ArchKind::Flex,
+            self.arch != ArchKind::Lite,
             self.pes_per_tile as u32,
             self.cache_bytes,
         );
@@ -320,11 +323,14 @@ impl AcceleratorBuilder {
                     "lite" => {
                         b.arch(ArchKind::Lite);
                     }
+                    "central" => {
+                        b.arch(ArchKind::Central);
+                    }
                     _ => {
                         return Err(FlowError::InvalidValue {
                             key,
                             value,
-                            expected: "'flex' or 'lite'",
+                            expected: "'flex', 'lite' or 'central'",
                         })
                     }
                 },
@@ -611,6 +617,9 @@ impl SimulationBuilder {
                     }
                     ArchKind::Lite => {
                         Box::new(LiteEngine::try_new(config, self.profile).map_err(lift)?)
+                    }
+                    ArchKind::Central => {
+                        Box::new(CentralEngine::try_new(config, self.profile).map_err(lift)?)
                     }
                 })
             }

@@ -21,6 +21,11 @@ echo "==> fault smoke sweep (pxl-bench --bin faults -- --smoke)"
 # golden mismatch, or nondeterministic fault replay.
 cargo run --release --offline -p pxl-bench --bin faults -- --smoke > /dev/null
 
+echo "==> perf smoke (pxl-bench --bin perf -- --smoke)"
+# Host-throughput trajectory: simulated-cycles/sec and tasks/sec for every
+# engine (flex, lite, central, cpu); appends records to bench_results.jsonl.
+cargo run --release --offline -p pxl-bench --bin perf -- --smoke > /dev/null
+
 echo "==> DSE smoke sweep (pxl-bench --bin dse -- --smoke)"
 # Explores the smoke design space three times against a shared result
 # cache; exits nonzero if the cached re-run is not 100% hits with

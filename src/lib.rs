@@ -105,10 +105,13 @@ pub use pxl_sim as sim;
 // Flat re-exports: the working set for a typical program.
 // ---------------------------------------------------------------------------
 
-/// The unified engine API and the two accelerator engines.
+/// The unified engine API and the accelerator engines: the shared
+/// execution fabric instantiated by a scheduling policy (FlexArch,
+/// LiteArch, and the centralized-queue ablation).
 pub use pxl_arch::{
-    AccelConfig, AccelError, AccelResult, ArchKind, Engine, EngineKind, FlexEngine, LiteDriver,
-    LiteEngine, MemBackendKind, PStoreError, Workload,
+    AccelConfig, AccelError, AccelResult, ArchKind, CentralEngine, CentralPolicy, Engine,
+    EngineKind, FabricEngine, FlexEngine, FlexPolicy, LiteDriver, LiteEngine, MemBackendKind,
+    PStoreError, SchedulingPolicy, StaticRoundPolicy, Workload,
 };
 /// The software baseline engine and its runtime cost knobs.
 pub use pxl_cpu::{CpuEngine, CpuResult, SoftwareCosts};

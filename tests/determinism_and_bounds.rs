@@ -48,7 +48,7 @@ fn space_bound_holds_across_benchmarks() {
         for pes in [4usize, 16] {
             let out = run_flex(bench.as_ref(), pes, None);
             let s_p =
-                out.metrics.get("accel.queue_peak_sum") + out.metrics.get("accel.pstore_peak");
+                out.metrics.get("accel.queue_peak_sum") + out.metrics.get("accel.pstore_peak_sum");
             // nw's root builds the whole block graph up front, so its S1
             // already includes every pending block; other benchmarks unfold
             // dynamically.

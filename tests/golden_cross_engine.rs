@@ -110,6 +110,204 @@ fn single_pe_death_preserves_the_golden_result() {
     });
 }
 
+/// Same-seed golden equivalence against on-disk fixtures captured from the
+/// pre-refactor engines: the exact trace bytes, result word, elapsed time,
+/// and every metric value must be reproduced. Refresh the fixtures only
+/// when a behavioural change is intended:
+///
+/// ```text
+/// PXL_UPDATE_FIXTURES=1 cargo test --test golden_cross_engine fixtures
+/// ```
+mod fixtures {
+    use parallelxl::apps::{by_name, Scale};
+    use parallelxl::arch::{AccelConfig, AccelResult, FlexEngine, LiteEngine};
+    use parallelxl::sim::metrics::{MetricKind, Metrics};
+    use parallelxl::{FaultPlan, NetClass, Time};
+    use std::fmt::Write as _;
+    use std::path::PathBuf;
+
+    const TRACE_CAPACITY: usize = 1 << 16;
+
+    fn dir() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+    }
+
+    /// Serializes result/elapsed plus every counter (and histogram summary)
+    /// as stable `key=value` lines.
+    fn metrics_lines(out: &AccelResult) -> String {
+        let mut lines = String::new();
+        writeln!(lines, "result={}", out.result).unwrap();
+        writeln!(lines, "elapsed_ps={}", out.elapsed.as_ps()).unwrap();
+        let mut rows: Vec<String> = Vec::new();
+        for (name, kind, value, hist) in out.metrics.iter() {
+            // The seed's `accel.pstore_peak` is a sum of per-P-Store peaks;
+            // it is renamed to `accel.pstore_peak_sum` in this change, so
+            // fixtures are written under the new name.
+            let name = if name == "accel.pstore_peak" {
+                "accel.pstore_peak_sum"
+            } else {
+                name
+            };
+            match kind {
+                MetricKind::Histogram => {
+                    rows.push(format!("hist:{name}.count={}", hist.count()));
+                    rows.push(format!("hist:{name}.sum={}", hist.sum()));
+                }
+                _ => rows.push(format!("{name}={value}")),
+            }
+        }
+        rows.sort();
+        for row in rows {
+            lines.push_str(&row);
+            lines.push('\n');
+        }
+        lines
+    }
+
+    /// Looks a fixture key up in a run's metrics, tolerating the pre-rename
+    /// counter name so the harness itself can be validated against the seed.
+    fn metric_value(m: &Metrics, key: &str) -> Option<u64> {
+        if let Some(stripped) = key.strip_prefix("hist:") {
+            let (name, field) = stripped.rsplit_once('.')?;
+            let h = m.histogram(name)?;
+            return Some(match field {
+                "count" => h.count(),
+                "sum" => h.sum(),
+                _ => return None,
+            });
+        }
+        if m.kind(key).is_some() {
+            return Some(m.get(key));
+        }
+        if key == "accel.pstore_peak_sum" && m.kind("accel.pstore_peak").is_some() {
+            return Some(m.get("accel.pstore_peak"));
+        }
+        None
+    }
+
+    fn check_case(name: &str, out: &AccelResult) {
+        let update = std::env::var_os("PXL_UPDATE_FIXTURES").is_some();
+        let trace_path = dir().join(format!("{name}.trace.jsonl"));
+        let metrics_path = dir().join(format!("{name}.metrics.txt"));
+        let trace = out.trace.to_jsonl();
+        let metrics = metrics_lines(out);
+        if update {
+            std::fs::create_dir_all(dir()).expect("create fixture dir");
+            std::fs::write(&trace_path, &trace).expect("write trace fixture");
+            std::fs::write(&metrics_path, &metrics).expect("write metrics fixture");
+            return;
+        }
+        let want_trace = std::fs::read_to_string(&trace_path)
+            .unwrap_or_else(|e| panic!("{name}: missing fixture {} ({e})", trace_path.display()));
+        if trace != want_trace {
+            let diff = trace
+                .lines()
+                .zip(want_trace.lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b);
+            match diff {
+                Some((i, (got, want))) => panic!(
+                    "{name}: trace diverges from fixture at line {}:\n  got:  {got}\n  want: {want}",
+                    i + 1
+                ),
+                None => panic!(
+                    "{name}: trace length changed ({} vs fixture {})",
+                    trace.lines().count(),
+                    want_trace.lines().count()
+                ),
+            }
+        }
+        let want_metrics = std::fs::read_to_string(&metrics_path)
+            .unwrap_or_else(|e| panic!("{name}: missing fixture {} ({e})", metrics_path.display()));
+        for line in want_metrics.lines() {
+            let (key, value) = line.split_once('=').expect("key=value fixture line");
+            let want: u64 = value.parse().expect("numeric fixture value");
+            let got = match key {
+                "result" => out.result,
+                "elapsed_ps" => out.elapsed.as_ps(),
+                _ => metric_value(&out.metrics, key)
+                    .unwrap_or_else(|| panic!("{name}: metric {key} disappeared")),
+            };
+            assert_eq!(got, want, "{name}: metric {key} diverged from fixture");
+        }
+    }
+
+    fn run_flex_case(
+        bench_name: &str,
+        tiles: usize,
+        pes: usize,
+        plan: Option<FaultPlan>,
+    ) -> AccelResult {
+        let bench = by_name(bench_name, Scale::Tiny).unwrap();
+        let mut cfg = AccelConfig::flex(tiles, pes);
+        cfg.trace_capacity = TRACE_CAPACITY;
+        cfg.fault_plan = plan;
+        let mut engine = FlexEngine::new(cfg, bench.profile());
+        let inst = bench.flex(engine.mem_mut());
+        let mut worker = inst.worker;
+        let out = engine
+            .run(worker.as_mut(), inst.root)
+            .expect("run completes");
+        bench
+            .check(engine.memory(), out.result)
+            .expect("run stays golden");
+        out
+    }
+
+    fn run_lite_case(
+        bench_name: &str,
+        tiles: usize,
+        pes: usize,
+        plan: Option<FaultPlan>,
+    ) -> AccelResult {
+        let bench = by_name(bench_name, Scale::Tiny).unwrap();
+        let mut cfg = AccelConfig::lite(tiles, pes);
+        cfg.trace_capacity = TRACE_CAPACITY;
+        cfg.fault_plan = plan;
+        let mut engine = LiteEngine::new(cfg, bench.profile());
+        let inst = bench.lite(engine.mem_mut()).expect("Lite mapping exists");
+        let mut worker = inst.worker;
+        let mut driver = inst.driver;
+        let out = engine
+            .run(worker.as_mut(), driver.as_mut())
+            .expect("run completes");
+        bench
+            .check(engine.memory(), out.result)
+            .expect("run stays golden");
+        out
+    }
+
+    #[test]
+    fn flex_fixtures_are_reproduced_byte_for_byte() {
+        check_case("queens_flex_1x4", &run_flex_case("queens", 1, 4, None));
+        check_case("uts_flex_2x4", &run_flex_case("uts", 2, 4, None));
+        let mixed = FaultPlan::new(0xFA_17)
+            .kill_pe(5, Time::from_us(2))
+            .stall_pe(1, Time::from_us(1), 400)
+            .drop_messages(NetClass::Arg, Time::ZERO, Time::MAX, 400, 6)
+            .drop_messages(NetClass::Task, Time::ZERO, Time::MAX, 400, 4)
+            .duplicate_messages(NetClass::Arg, Time::ZERO, Time::MAX, 400, 6)
+            .duplicate_messages(NetClass::Task, Time::ZERO, Time::MAX, 400, 4)
+            .corrupt_pstore(0, Time::from_us(3), 0xFFFF);
+        check_case(
+            "queens_flex_2x4_mixed_faults",
+            &run_flex_case("queens", 2, 4, Some(mixed)),
+        );
+    }
+
+    #[test]
+    fn lite_fixtures_are_reproduced_byte_for_byte() {
+        check_case("uts_lite_1x4", &run_lite_case("uts", 1, 4, None));
+        let plan = FaultPlan::new(3)
+            .kill_pe(1, Time::ZERO)
+            .stall_pe(2, Time::from_us(1), 2_000);
+        check_case(
+            "uts_lite_1x4_faults",
+            &run_lite_case("uts", 1, 4, Some(plan)),
+        );
+    }
+}
+
 #[test]
 fn small_scale_flex_spot_check() {
     // One larger configuration exercising multi-tile work stealing and the

@@ -1,0 +1,112 @@
+//! Metric-namespace parity across the execution fabric.
+//!
+//! Every engine is one scheduling policy over the same fabric
+//! (docs/fabric.md), so the canonical metric families must be present no
+//! matter which policy ran: the accelerator engines (FlexArch, LiteArch,
+//! the centralized-queue ablation) all emit `accel.*` and `pe{n}.*`, the
+//! CPU baseline the analogous `cpu.*` / `core{n}.*`, and *all* engines
+//! register the shared `fault.*` / `watchdog.*` families — fault plan armed
+//! or not — so fabric-level counters cannot silently diverge per engine
+//! again.
+
+use pxl_bench::{bench, run_central, run_cpu, run_flex, run_lite};
+use pxl_sim::Metrics;
+
+/// The fault/watchdog families `pxl_arch::register_fault_metrics` pins at
+/// zero in every engine.
+const FAULT_FAMILY: [&str; 5] = [
+    "fault.injected",
+    "fault.recovered",
+    "fault.skipped",
+    "fault.unrecovered",
+    "watchdog.stalls",
+];
+
+fn assert_registered(engine: &str, metrics: &Metrics, names: &[&str]) {
+    for name in names {
+        assert!(
+            metrics.kind(name).is_some(),
+            "{engine} must register `{name}` (got: {})",
+            metrics
+                .iter()
+                .map(|(k, ..)| k)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+}
+
+#[test]
+fn every_engine_registers_the_canonical_families() {
+    let b = bench("queens", pxl_apps::Scale::Tiny);
+    let pes = 4;
+
+    let flex = run_flex(b.as_ref(), pes, None);
+    let lite = run_lite(b.as_ref(), pes, None).expect("queens has a Lite mapping");
+    let central = run_central(b.as_ref(), pes, None);
+    let cpu = run_cpu(b.as_ref(), pes);
+
+    // Accelerator engines: one fabric, so one accounting vocabulary.
+    for (engine, out) in [("flex", &flex), ("lite", &lite), ("central", &central)] {
+        assert_registered(engine, &out.metrics, &["accel.tasks", "accel.ops"]);
+        for pe in 0..pes {
+            assert_registered(
+                engine,
+                &out.metrics,
+                &[&format!("pe{pe}.tasks"), &format!("pe{pe}.busy_ps")],
+            );
+        }
+    }
+    // The CPU baseline mirrors the same shape under its own prefixes.
+    assert_registered("cpu", &cpu.metrics, &["cpu.tasks"]);
+    for core in 0..pes {
+        assert_registered(
+            "cpu",
+            &cpu.metrics,
+            &[&format!("core{core}.tasks"), &format!("core{core}.busy_ps")],
+        );
+    }
+
+    // The shared fault/watchdog namespace exists everywhere, armed or not.
+    for (engine, out) in [
+        ("flex", &flex),
+        ("lite", &lite),
+        ("central", &central),
+        ("cpu", &cpu),
+    ] {
+        assert_registered(engine, &out.metrics, &FAULT_FAMILY);
+        for name in FAULT_FAMILY {
+            assert_eq!(
+                out.metrics.get(name),
+                0,
+                "{engine}: `{name}` must stay zero on a fault-free run"
+            );
+        }
+    }
+}
+
+/// The dynamic engines also share the steal-accounting vocabulary — the
+/// policies differ in *how* tasks move, not in what gets counted.
+#[test]
+fn dynamic_engines_share_the_steal_vocabulary() {
+    let b = bench("uts", pxl_apps::Scale::Tiny);
+    let flex = run_flex(b.as_ref(), 4, None);
+    let central = run_central(b.as_ref(), 4, None);
+    for (engine, out) in [("flex", &flex), ("central", &central)] {
+        assert_registered(
+            engine,
+            &out.metrics,
+            &[
+                "accel.steal_attempts",
+                "accel.steal_hits",
+                "accel.spawns",
+                "accel.queue_peak_sum",
+                "accel.pstore_peak_sum",
+            ],
+        );
+        assert!(
+            out.metrics.get("accel.steal_hits") > 0,
+            "{engine} must move tasks through its queues"
+        );
+    }
+}
