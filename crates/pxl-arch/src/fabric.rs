@@ -257,6 +257,7 @@ enum Event {
         k: Continuation,
         value: u64,
         from_pe: usize,
+        from_task: u64,
         dup_of: Option<usize>,
     },
     /// A ready task (greedy-routed) reaches a PE. `dup_of` as on
@@ -274,6 +275,7 @@ enum Event {
         k: Continuation,
         value: u64,
         from_pe: usize,
+        from_task: u64,
         attempt: u8,
         spec: usize,
     },
@@ -562,6 +564,10 @@ pub struct FabricEngine<P: SchedulingPolicy> {
     metrics: Metrics,
     ids: FabricIds,
     trace: Tracer,
+    /// Run-unique task instance ids, stamped at spawn/successor creation so
+    /// trace consumers can reconstruct the task DAG. Id 0 is reserved for
+    /// "no task" (e.g. host-originated messages); the root task gets id 1.
+    next_task_id: u64,
     error: Option<AccelError>,
 }
 
@@ -577,6 +583,7 @@ struct FabricIds {
     ops: CounterId,
     tasks: CounterId,
     task_ps: HistogramId,
+    trace_dropped: CounterId,
     pe_tasks: Vec<CounterId>,
     pe_busy_ps: Vec<CounterId>,
 }
@@ -592,6 +599,7 @@ impl FabricIds {
             ops: metrics.register_counter("accel.ops"),
             tasks: metrics.register_counter("accel.tasks"),
             task_ps: metrics.register_histogram("accel.task_ps"),
+            trace_dropped: metrics.register_counter("trace.dropped"),
             pe_tasks: (0..num_pes)
                 .map(|pe| metrics.register_counter(&format!("pe{pe}.tasks")))
                 .collect(),
@@ -654,6 +662,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             faults,
             watchdog: Watchdog::new(cfg.clock.cycles_to_time(cfg.watchdog_quiescence_cycles)),
             trace: Tracer::bounded(cfg.trace_capacity),
+            next_task_id: 1,
             metrics,
             ids,
             error: None,
@@ -687,6 +696,13 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
 
     fn cycles(&self, n: u64) -> Time {
         self.cfg.clock.cycles_to_time(n)
+    }
+
+    /// Hands out the next run-unique task instance id.
+    fn alloc_task_id(&mut self) -> u64 {
+        let id = self.next_task_id;
+        self.next_task_id += 1;
+        id
     }
 
     fn is_dead(&self, pe: usize) -> bool {
@@ -734,6 +750,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             Continuation::Host { slot } => Some(slot),
             _ => None,
         };
+        let root = root.with_id(self.alloc_task_id());
         self.policy.seed(root);
         self.outstanding = 1;
         for pe in 0..self.cfg.num_pes() {
@@ -785,6 +802,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         let mut trace = std::mem::take(&mut self.trace);
         trace.absorb(self.backend.take_trace());
         trace.finish();
+        self.metrics.add_to(self.ids.trace_dropped, trace.dropped());
         Ok(AccelResult {
             result,
             elapsed: self.last_useful,
@@ -818,17 +836,19 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 k,
                 value,
                 from_pe,
+                from_task,
                 dup_of,
-            } => self.arg_arrive(now, k, value, from_pe, dup_of),
+            } => self.arg_arrive(now, k, value, from_pe, from_task, dup_of),
             Event::TaskRun { pe, task, dup_of } => self.task_run(now, pe, task, dup_of, worker),
             Event::FaultFire { spec } => self.fault_fire(now, spec),
             Event::ArgResend {
                 k,
                 value,
                 from_pe,
+                from_task,
                 attempt,
                 spec,
-            } => self.send_arg_msg(now, k, value, from_pe, attempt, spec),
+            } => self.send_arg_msg(now, k, value, from_pe, from_task, attempt, spec),
             Event::TaskResend {
                 pe,
                 task,
@@ -1061,12 +1081,14 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
     /// network. `at` is the delivery time computed by the sender; `attempt`
     /// counts prior drops of this message and `spec` is the spec that caused
     /// the most recent drop.
+    #[allow(clippy::too_many_arguments)]
     fn send_arg_msg(
         &mut self,
         at: Time,
         k: Continuation,
         value: u64,
         from_pe: usize,
+        from_task: u64,
         attempt: u8,
         spec: usize,
     ) {
@@ -1087,6 +1109,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                         k,
                         value,
                         from_pe,
+                        from_task,
                         dup_of: None,
                     },
                 );
@@ -1114,6 +1137,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                             k,
                             value,
                             from_pe,
+                            from_task,
                             attempt: attempt + 1,
                             spec: drop_spec,
                         },
@@ -1135,6 +1159,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                         k,
                         value,
                         from_pe,
+                        from_task,
                         dup_of: None,
                     },
                 );
@@ -1144,6 +1169,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                         k,
                         value,
                         from_pe,
+                        from_task,
                         dup_of: Some(dup_spec),
                     },
                 );
@@ -1264,6 +1290,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         k: Continuation,
         value: u64,
         from_pe: usize,
+        from_task: u64,
         dup_of: Option<usize>,
     ) {
         self.inflight_args -= 1;
@@ -1281,11 +1308,14 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 self.host[slot as usize] = Some(value);
             }
             Continuation::PStore { tile, entry, slot } => {
+                let join_target = self.pstores[tile as usize].pending_id(entry).unwrap_or(0);
                 self.trace.emit(
                     now,
                     TraceEvent::PStoreJoin {
                         tile: tile as u32,
                         slot,
+                        task: join_target,
+                        from: from_task,
                     },
                 );
                 let outcome = match self.pstores[tile as usize].fill(entry, slot, value) {
@@ -1418,6 +1448,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             TraceEvent::TaskDispatch {
                 unit: pe as u32,
                 ty: task.ty.0,
+                task: task.id,
             },
         );
         // Borrow the engine's pieces disjointly so the context can push
@@ -1431,6 +1462,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             pstores,
             policy,
             trace,
+            next_task_id,
             ..
         } = self;
         let mut ctx = FabricCtx {
@@ -1445,6 +1477,8 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             pstores,
             policy,
             trace,
+            cur_task: task.id,
+            next_task_id,
             out_args: Vec::new(),
             out_spawns: Vec::new(),
             spawned: 0,
@@ -1491,11 +1525,12 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 unit: pe as u32,
                 ty: task.ty.0,
                 busy_ps,
+                task: task.id,
             },
         );
         for (at, k, value) in out_args {
             self.inflight_args += 1;
-            self.send_arg_msg(at, k, value, pe, 0, 0);
+            self.send_arg_msg(at, k, value, pe, task.id, 0, 0);
         }
         self.last_useful = self.last_useful.max(end);
         self.progress(end, pe);
@@ -1522,6 +1557,11 @@ struct FabricCtx<'e, P: SchedulingPolicy> {
     pstores: &'e mut Vec<PStore>,
     policy: &'e mut P,
     trace: &'e mut Tracer,
+    /// Instance id of the task this context executes (the `parent` of every
+    /// spawn it makes).
+    cur_task: u64,
+    /// The engine's task-id allocator, borrowed for the task's duration.
+    next_task_id: &'e mut u64,
     out_args: Vec<(Time, Continuation, u64)>,
     /// Spawns whose task type this PE's worker cannot process — routed to a
     /// supporting PE over the intra-tile bus after execution.
@@ -1537,6 +1577,12 @@ impl<P: SchedulingPolicy> FabricCtx<'_, P> {
     fn cycles(&self, n: u64) -> Time {
         self.cfg.clock.cycles_to_time(n)
     }
+
+    fn alloc_task_id(&mut self) -> u64 {
+        let id = *self.next_task_id;
+        *self.next_task_id += 1;
+        id
+    }
 }
 
 impl<P: SchedulingPolicy> TaskContext for FabricCtx<'_, P> {
@@ -1546,11 +1592,14 @@ impl<P: SchedulingPolicy> TaskContext for FabricCtx<'_, P> {
         }
         self.now += self.cycles(self.cfg.costs.spawn_cycles);
         self.spawned += 1;
+        let task = task.with_id(self.alloc_task_id());
         self.trace.emit(
             self.now,
             TraceEvent::Spawn {
                 unit: self.pe as u32,
                 ty: task.ty.0,
+                parent: self.cur_task,
+                child: task.id,
             },
         );
         if self.cfg.pe_supports(self.pe, task.ty) {
@@ -1595,7 +1644,7 @@ impl<P: SchedulingPolicy> TaskContext for FabricCtx<'_, P> {
         }
         self.now += self.cycles(self.cfg.costs.successor_cycles);
         self.successors += 1;
-        let mut pending = PendingTask::new(ty, k, join);
+        let mut pending = PendingTask::new(ty, k, join).with_id(self.alloc_task_id());
         for &(slot, value) in preset {
             pending = pending.preset(slot, value);
         }

@@ -124,6 +124,7 @@ impl LiteEngine {
         let backend = MemBackend::for_config(&cfg);
         let mut metrics = Metrics::new();
         register_fault_metrics(&mut metrics);
+        metrics.register_counter("trace.dropped");
         Ok(LiteEngine {
             profile,
             mem: Memory::new(),
@@ -200,6 +201,9 @@ impl LiteEngine {
             }
         }
         let policy = StaticRoundPolicy::new(num_pes);
+        // Task instance ids for the trace: sequential in dispatch order (id
+        // 0 is reserved for "no task", matching the dynamic engines).
+        let mut next_task_id = 1u64;
         let mut watchdog = Watchdog::new(
             self.cfg
                 .clock
@@ -235,6 +239,8 @@ impl LiteEngine {
                 if slot.reassigned {
                     self.metrics.incr("fault.rescued_tasks");
                 }
+                let task = task.with_id(next_task_id);
+                next_task_id += 1;
                 let end = self.execute_task(slot.start, slot.pe, task, worker)?;
                 pe_time[slot.pe] = end;
                 watchdog.progress(end, slot.pe);
@@ -275,6 +281,7 @@ impl LiteEngine {
         let mut trace = std::mem::take(&mut self.trace);
         trace.absorb(self.backend.take_trace());
         trace.finish();
+        self.metrics.add("trace.dropped", trace.dropped());
         Ok(AccelResult {
             result: self.host[0],
             elapsed: now,
@@ -330,6 +337,7 @@ impl LiteEngine {
             TraceEvent::TaskDispatch {
                 unit: pe as u32,
                 ty: task.ty.0,
+                task: task.id,
             },
         );
         self.trace.emit(
@@ -338,6 +346,7 @@ impl LiteEngine {
                 unit: pe as u32,
                 ty: task.ty.0,
                 busy_ps,
+                task: task.id,
             },
         );
         Ok(end)

@@ -229,6 +229,16 @@ impl PStore {
     pub fn tainted(&self, entry: u32) -> bool {
         self.taint.get(entry as usize).is_some_and(|t| *t != 0)
     }
+
+    /// The task instance id of the pending task in `entry`, or `None` when
+    /// the entry is out of bounds or dead. Used by the tracer to label join
+    /// events with the successor they feed.
+    pub fn pending_id(&self, entry: u32) -> Option<u64> {
+        self.entries
+            .get(entry as usize)
+            .and_then(|c| c.as_ref())
+            .map(|c| c.id)
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +343,16 @@ mod tests {
         let ready = out.ready.expect("join of two complete");
         assert_eq!(ready.args[..2], [0xAAAA, 0x5555], "values restored");
         assert_eq!(ps.repairs(), 1);
+    }
+
+    #[test]
+    fn pending_id_tracks_live_entries() {
+        let mut ps = PStore::new(2);
+        let e = ps.alloc(pending(1).with_id(55)).unwrap().unwrap();
+        assert_eq!(ps.pending_id(e), Some(55));
+        let _ = ps.fill(e, 0, 0);
+        assert_eq!(ps.pending_id(e), None, "freed entries have no id");
+        assert_eq!(ps.pending_id(99), None, "out of bounds has no id");
     }
 
     #[test]

@@ -4,11 +4,48 @@
 //! run of the scalability sweep.
 //!
 //! Pass `--smoke` to run at `Scale::Tiny` for a quick end-to-end check.
+//! Pass `--trace-out <path>` to re-run the sweep's fastest whole-program
+//! configuration with event tracing and dump its JSONL trace there, plus a
+//! Perfetto/Chrome trace next to it (`<path>.perfetto.json`) for
+//! <https://ui.perfetto.dev>.
 use pxl_apps::Scale;
+use pxl_arch::AccelConfig;
 use pxl_bench::experiments as ex;
+use pxl_bench::{geometry, RunOutcome};
+use pxl_flow::SimulationBuilder;
+use pxl_profile::{to_perfetto_json, Layout};
+
+/// Re-runs `won`'s exact configuration with tracing enabled.
+fn rerun_traced(won: &RunOutcome, scale: Scale) -> RunOutcome {
+    let b = pxl_bench::bench(&won.bench, scale);
+    let mut builder = match won.engine.as_str() {
+        "cpu" => SimulationBuilder::cpu(won.units, b.profile()),
+        label => {
+            let (tiles, per_tile) = geometry(won.units);
+            let cfg = match label {
+                "flex" => AccelConfig::flex(tiles, per_tile),
+                "central" => AccelConfig::central(tiles, per_tile),
+                "lite" => AccelConfig::lite(tiles, per_tile),
+                other => panic!("cannot re-trace engine {other}"),
+            };
+            SimulationBuilder::from_config(cfg, b.profile())
+        }
+    };
+    builder.trace(1 << 20);
+    let mut engine = builder
+        .build()
+        .unwrap_or_else(|e| panic!("{}/{}: {e}", won.bench, won.engine));
+    pxl_bench::run_on(engine.as_mut(), b.as_ref(), &won.engine).expect("it ran in the sweep")
+}
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let scale = if smoke { Scale::Tiny } else { Scale::Paper };
     println!("# ParallelXL — regenerated evaluation (Section V)\n");
     println!("{}\n", ex::table1());
@@ -32,6 +69,44 @@ fn main() {
         ),
         Err(e) => eprintln!("[jsonl] failed to write {}: {e}", jsonl.display()),
     }
+
+    if let Some(path) = trace_out {
+        // The winning run: fastest whole-program time across the sweep,
+        // with a deterministic (bench, engine, units) tiebreak.
+        let won = outcomes
+            .iter()
+            .min_by_key(|o| (o.whole.as_ps(), o.bench.clone(), o.engine.clone(), o.units))
+            .expect("the sweep produced outcomes");
+        eprintln!(
+            "[trace] winning run: {}/{} at {} units ({} ps whole) — re-running traced...",
+            won.bench,
+            won.engine,
+            won.units,
+            won.whole.as_ps()
+        );
+        let traced = rerun_traced(won, scale);
+        let layout = if won.engine == "cpu" {
+            Layout::new(won.units, won.units)
+        } else {
+            let (_, per_tile) = geometry(won.units);
+            Layout::new(won.units, per_tile)
+        };
+        let label = format!("{}/{}", won.bench, won.engine);
+        let perfetto_path = format!("{path}.perfetto.json");
+        match std::fs::write(&path, traced.trace.to_jsonl()).and_then(|()| {
+            std::fs::write(
+                &perfetto_path,
+                to_perfetto_json(traced.trace.records(), &layout, &label),
+            )
+        }) {
+            Ok(()) => eprintln!(
+                "[trace] wrote {} events to {path} (+ {perfetto_path})",
+                traced.trace.len()
+            ),
+            Err(e) => eprintln!("[trace] failed to write {path}: {e}"),
+        }
+    }
+
     eprintln!("[fig9] running cache-size sweep...");
     println!("{}", ex::fig9(scale));
 }

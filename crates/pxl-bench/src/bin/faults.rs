@@ -12,6 +12,9 @@
 //! accounting, fails golden validation, or replays nondeterministically.
 //!
 //! Pass `--smoke` to run at `Scale::Tiny` (the CI smoke configuration).
+//! Pass `--trace-out <path>` to dump the JSONL trace of the winning kill1
+//! run — the benchmark that absorbed the PE kill with the lowest overhead —
+//! plus a Perfetto/Chrome trace next to it (`<path>.perfetto.json`).
 
 use pxl_apps::{Benchmark, Scale};
 use pxl_arch::AccelConfig;
@@ -147,19 +150,33 @@ fn run_faulted(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let scale = if smoke { Scale::Tiny } else { Scale::Small };
     let mut failures: Vec<String> = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut jsonl: Vec<String> = Vec::new();
+    // Winning kill1 run: (kill1 kernel, clean kernel, bench, trace), kept
+    // when kill1/clean beats the incumbent ratio (u128 cross-multiply — no
+    // float comparisons in the selection).
+    let mut best_kill1: Option<(u64, u64, String, String)> = None;
 
     for name in ALL_BENCHES {
         let b = bench(name, scale);
         let mut clean_ps = 0u64;
+        let mut kill1_ps = 0u64;
         for sc in &SCENARIOS {
             let (run, _) = run_faulted(b.as_ref(), sc.name, (sc.plan)(), false);
             if sc.name == "clean" {
                 clean_ps = run.kernel_ps;
+            }
+            if sc.name == "kill1" {
+                kill1_ps = run.kernel_ps;
             }
             let overhead_pct = if clean_ps == 0 {
                 0.0
@@ -201,6 +218,12 @@ fn main() {
         if first != second {
             failures.push(format!("{name} [kill1]: nondeterministic replay"));
         }
+        let beats_incumbent = best_kill1.as_ref().is_none_or(|(bk, bc, _, _)| {
+            (kill1_ps as u128) * (*bc as u128) < (*bk as u128) * (clean_ps as u128)
+        });
+        if clean_ps > 0 && beats_incumbent {
+            best_kill1 = Some((kill1_ps, clean_ps, name.to_owned(), first));
+        }
         eprintln!("[faults] {name}: swept {} scenarios", SCENARIOS.len());
     }
 
@@ -228,6 +251,31 @@ fn main() {
             path.display()
         ),
         Err(e) => failures.push(format!("failed to write {}: {e}", path.display())),
+    }
+
+    if let Some(out) = trace_out {
+        if let Some((_, _, name, trace)) = &best_kill1 {
+            eprintln!("[trace] winning kill1 run: {name} — dumping trace...");
+            let perfetto_path = format!("{out}.perfetto.json");
+            let written = std::fs::write(&out, trace).and_then(|()| {
+                // Round-trip the JSONL dump through the pxl-profile parser
+                // so the Perfetto export comes from exactly what was saved.
+                let records = pxl_profile::parse_jsonl(trace)
+                    .map_err(|e| std::io::Error::other(format!("trace does not parse: {e}")))?;
+                std::fs::write(
+                    &perfetto_path,
+                    pxl_profile::to_perfetto_json(
+                        &records,
+                        &pxl_profile::Layout::new(8, 4),
+                        &format!("{name}/kill1"),
+                    ),
+                )
+            });
+            match written {
+                Ok(()) => eprintln!("[trace] wrote {out} (+ {perfetto_path})"),
+                Err(e) => failures.push(format!("failed to write {out}: {e}")),
+            }
+        }
     }
 
     if !failures.is_empty() {

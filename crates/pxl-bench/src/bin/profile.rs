@@ -1,0 +1,166 @@
+//! Profiling driver: traced runs + full `pxl-profile` analysis per
+//! (benchmark, engine).
+//!
+//! Runs every Table II benchmark on FlexArch, the centralized-queue
+//! ablation, LiteArch (where a mapping exists) and the CPU baseline with
+//! event tracing enabled, reconstructs each run's task graph, and emits:
+//!
+//! - `profile_report.md` — markdown report per run: work/span/parallelism,
+//!   the critical path, latency percentiles, per-unit utilization
+//!   timelines, and per-tile bottleneck verdicts;
+//! - `profile_results.jsonl` — one machine-readable record per run;
+//! - `profile_traces/<bench>.<engine>.perfetto.json` — Chrome/Perfetto
+//!   traces that open directly in <https://ui.perfetto.dev>.
+//!
+//! The driver doubles as a regression gate: it exits nonzero when any
+//! profile violates the structural invariants (span ≤ makespan, trace work
+//! equal to the engine's `accel.task_ps` sum, utilization within \[0, 1\])
+//! or when a second same-seed run does not reproduce the report and the
+//! Perfetto export byte-identically.
+//!
+//! Pass `--smoke` to run at `Scale::Tiny` (the CI configuration).
+
+use pxl_apps::{Benchmark, Scale};
+use pxl_arch::AccelConfig;
+use pxl_bench::{bench, render_table, try_run_on, RunOutcome, ALL_BENCHES};
+use pxl_flow::SimulationBuilder;
+use pxl_profile::{to_perfetto_json, Layout, Profile};
+
+/// Trace buffer large enough that smoke/small runs never drop events (a
+/// dropped event weakens the work cross-check; the report warns if any).
+const TRACE_CAPACITY: usize = 1 << 20;
+
+/// The engines the driver profiles. Accelerators run the paper's 8-PE
+/// (2 tiles × 4) geometry; the CPU baseline runs 4 cores as one tile.
+const ENGINES: [&str; 4] = ["flex", "central", "lite", "cpu"];
+
+fn layout_for(label: &str) -> Layout {
+    if label == "cpu" {
+        Layout::new(4, 4)
+    } else {
+        Layout::new(8, 4)
+    }
+}
+
+/// Builds the labeled engine with tracing on and runs `b` through the
+/// shared harness path. `None` means LiteArch with no Lite mapping.
+fn run_traced(b: &dyn Benchmark, label: &str) -> Option<RunOutcome> {
+    let mut builder = match label {
+        "flex" => SimulationBuilder::from_config(AccelConfig::flex(2, 4), b.profile()),
+        "central" => SimulationBuilder::from_config(AccelConfig::central(2, 4), b.profile()),
+        "lite" => SimulationBuilder::from_config(AccelConfig::lite(2, 4), b.profile()),
+        "cpu" => SimulationBuilder::cpu(4, b.profile()),
+        other => panic!("unknown engine label {other}"),
+    };
+    builder.trace(TRACE_CAPACITY);
+    let mut engine = builder
+        .build()
+        .unwrap_or_else(|e| panic!("{} on {label}: {e}", b.meta().name));
+    try_run_on(engine.as_mut(), b, label).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Tiny } else { Scale::Small };
+    let trace_dir = std::path::Path::new("profile_traces");
+    if let Err(e) = std::fs::create_dir_all(trace_dir) {
+        eprintln!("[profile] cannot create {}: {e}", trace_dir.display());
+        std::process::exit(1);
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut report = String::from(
+        "# ParallelXL profile report\n\n\
+         Task-graph, latency and bottleneck analysis of traced runs \
+         (see docs/profiling.md for field definitions).\n\n",
+    );
+    let mut jsonl: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for name in ALL_BENCHES {
+        let b = bench(name, scale);
+        for label in ENGINES {
+            let Some(out) = run_traced(b.as_ref(), label) else {
+                continue; // no LiteArch mapping
+            };
+            let layout = layout_for(label);
+            let profile = Profile::analyze(out.trace.records(), &out.metrics, &layout, out.kernel);
+            for v in profile.check_invariants() {
+                failures.push(format!("{name}/{label}: {v}"));
+            }
+            let md = profile.render_markdown(name, label);
+            let run_label = format!("{name}/{label}");
+            let perfetto = to_perfetto_json(out.trace.records(), &layout, &run_label);
+
+            // Determinism gate: a second same-seed run must reproduce both
+            // artifacts byte-for-byte.
+            let again = run_traced(b.as_ref(), label).expect("engine ran once already");
+            let profile2 =
+                Profile::analyze(again.trace.records(), &again.metrics, &layout, again.kernel);
+            if profile2.render_markdown(name, label) != md
+                || to_perfetto_json(again.trace.records(), &layout, &run_label) != perfetto
+            {
+                failures.push(format!("{run_label}: profile not byte-deterministic"));
+            }
+
+            let trace_path = trace_dir.join(format!("{name}.{label}.perfetto.json"));
+            if let Err(e) = std::fs::write(&trace_path, &perfetto) {
+                failures.push(format!("failed to write {}: {e}", trace_path.display()));
+            }
+            rows.push(vec![
+                name.to_owned(),
+                label.to_owned(),
+                profile.elapsed.as_ps().to_string(),
+                profile.graph.work_ps.to_string(),
+                profile.graph.span_ps.to_string(),
+                format!("{:.2}x", profile.parallelism()),
+                profile.tiles.first().map_or("-", |t| t.verdict).to_owned(),
+            ]);
+            jsonl.push(profile.render_jsonl(name, label));
+            report.push_str(&md);
+            report.push('\n');
+            eprintln!(
+                "[profile] {run_label}: {} events, span {} ps / makespan {} ps",
+                profile.trace_events,
+                profile.graph.span_ps,
+                profile.elapsed.as_ps()
+            );
+        }
+    }
+
+    println!("# Profile summary\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "bench",
+                "engine",
+                "makespan_ps",
+                "work_ps",
+                "span_ps",
+                "parallelism",
+                "tile0 verdict"
+            ],
+            &rows,
+        )
+    );
+
+    for (path, contents) in [
+        ("profile_report.md", report),
+        ("profile_results.jsonl", jsonl.join("\n") + "\n"),
+    ] {
+        match std::fs::write(path, contents) {
+            Ok(()) => eprintln!("[profile] wrote {path}"),
+            Err(e) => failures.push(format!("failed to write {path}: {e}")),
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\n[profile] FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("[profile] all runs profiled deterministically; invariants hold");
+}

@@ -70,7 +70,7 @@ impl RunOutcome {
                 "\"kernel_ps\":{},\"whole_ps\":{},",
                 "\"steal_attempts\":{},\"steal_hits\":{},",
                 "\"pstore_peak_sum\":{},\"l1_miss_rate\":{:.6},",
-                "\"dram_bytes\":{},\"trace_events\":{},\"metrics\":{}}}"
+                "\"dram_bytes\":{},\"trace_events\":{},\"trace_dropped\":{},\"metrics\":{}}}"
             ),
             self.bench,
             self.engine,
@@ -83,6 +83,7 @@ impl RunOutcome {
             l1_miss_rate,
             m.get("mem.dram_bytes"),
             self.trace.len(),
+            m.get("trace.dropped"),
             m.to_json(),
         )
     }
@@ -164,6 +165,13 @@ pub fn try_run_on(
     bench
         .check(engine.memory(), out.result)
         .map_err(|e| format!("{name} on {label}/{units}u wrong: {e}"))?;
+    let dropped = out.metrics.get("trace.dropped");
+    if dropped > 0 {
+        eprintln!(
+            "[trace] warning: {name} on {label}/{units}u dropped {dropped} trace \
+             event(s); the trace (and any profile built from it) is incomplete"
+        );
+    }
     Ok(Some(RunOutcome {
         bench: name.to_owned(),
         engine: label.to_owned(),

@@ -125,6 +125,9 @@ pub struct CpuEngine {
     watchdog: Watchdog,
     metrics: Metrics,
     trace: Tracer,
+    /// Run-unique task instance ids for the trace (0 = "no task"; the root
+    /// gets id 1), matching the accelerator engines' numbering scheme.
+    next_task_id: u64,
     error: Option<AccelError>,
     max_sim_time_us: u64,
 }
@@ -159,6 +162,7 @@ impl CpuEngine {
         let memsys = MemorySystem::new(vec![memory.cpu_l1.clone(); cores], &memory);
         let mut metrics = Metrics::new();
         register_fault_metrics(&mut metrics);
+        metrics.register_counter("trace.dropped");
         let watchdog = Watchdog::new(core_params.clock.cycles_to_time(WATCHDOG_QUIESCENCE_CYCLES));
         CpuEngine {
             cores,
@@ -182,6 +186,7 @@ impl CpuEngine {
             watchdog,
             metrics,
             trace: Tracer::disabled(),
+            next_task_id: 1,
             error: None,
             max_sim_time_us: 2_000_000,
         }
@@ -224,6 +229,13 @@ impl CpuEngine {
         self.core_params.clock.cycles_to_time(cycles)
     }
 
+    /// Hands out the next run-unique task instance id.
+    fn alloc_task_id(&mut self) -> u64 {
+        let id = self.next_task_id;
+        self.next_task_id += 1;
+        id
+    }
+
     /// Runs `root` to completion on core 0 (the thread that called the
     /// Cilk spawn root); other cores join by stealing.
     ///
@@ -241,6 +253,7 @@ impl CpuEngine {
             _ => None,
         };
         self.outstanding = 1;
+        let root = root.with_id(self.alloc_task_id());
         self.events.push(
             Time::ZERO,
             Event::TaskRun {
@@ -290,6 +303,7 @@ impl CpuEngine {
         let mut trace = std::mem::take(&mut self.trace);
         trace.absorb(self.memsys.take_trace());
         trace.finish();
+        self.metrics.add("trace.dropped", trace.dropped());
         Ok(CpuResult {
             result,
             elapsed: self.last_useful,
@@ -402,12 +416,14 @@ impl CpuEngine {
             TraceEvent::TaskDispatch {
                 unit: core as u32,
                 ty: task.ty.0,
+                task: task.id,
             },
         );
         let mut deque = std::mem::replace(&mut self.deques[core], TaskDeque::new(0));
         let mut ctx = CpuCtx {
             now: start,
             core,
+            cur_task: task.id,
             engine: self,
             deque: &mut deque,
             ready: Vec::new(),
@@ -429,6 +445,7 @@ impl CpuEngine {
                 unit: core as u32,
                 ty: task.ty.0,
                 busy_ps: (end - start).as_ps(),
+                task: task.id,
             },
         );
         // Greedy continuation: tasks made ready by this core run on this
@@ -451,6 +468,9 @@ impl CpuEngine {
 struct CpuCtx<'e> {
     now: Time,
     core: usize,
+    /// Instance id of the task this context executes (the `parent` of its
+    /// spawns and the `from` of its argument sends).
+    cur_task: u64,
     engine: &'e mut CpuEngine,
     deque: &'e mut TaskDeque,
     /// Tasks whose joins completed during this task's execution.
@@ -484,11 +504,14 @@ impl CpuCtx<'_> {
 impl TaskContext for CpuCtx<'_> {
     fn spawn(&mut self, task: Task) {
         self.now += self.engine.runtime_cycles(self.engine.costs.spawn_instrs);
+        let task = task.with_id(self.engine.alloc_task_id());
         self.engine.trace.emit(
             self.now,
             TraceEvent::Spawn {
                 unit: self.core as u32,
                 ty: task.ty.0,
+                parent: self.cur_task,
+                child: task.id,
             },
         );
         self.spawned += 1;
@@ -508,6 +531,19 @@ impl TaskContext for CpuCtx<'_> {
             Continuation::PStore { entry, slot, .. } => {
                 // Atomic decrement of the join counter in shared memory.
                 self.mem_access(JOIN_FRAME_BASE + 64 * entry as u64, AccessKind::Amo);
+                let join_target = self.engine.pending[entry as usize]
+                    .as_ref()
+                    .map(|c| c.id)
+                    .unwrap_or(0);
+                self.engine.trace.emit(
+                    self.now,
+                    TraceEvent::PStoreJoin {
+                        tile: 0,
+                        slot,
+                        task: join_target,
+                        from: self.cur_task,
+                    },
+                );
                 let cell = self.engine.pending[entry as usize]
                     .as_mut()
                     .expect("argument sent to a freed runtime frame");
@@ -530,7 +566,8 @@ impl TaskContext for CpuCtx<'_> {
         self.now += self
             .engine
             .runtime_cycles(self.engine.costs.successor_instrs);
-        let mut pending = PendingTask::new(ty, k, join);
+        let id = self.engine.alloc_task_id();
+        let mut pending = PendingTask::new(ty, k, join).with_id(id);
         for &(slot, value) in preset {
             pending = pending.preset(slot, value);
         }

@@ -164,10 +164,15 @@ pub struct Task {
     pub k: Continuation,
     /// Argument words (unused slots are zero).
     pub args: [u64; MAX_ARGS],
+    /// Run-unique task instance id, stamped by the engine at spawn time
+    /// (zero until stamped). Workers never read it; it only feeds tracing,
+    /// so profilers can reconstruct the spawn/join DAG.
+    pub id: u64,
 }
 
 impl Task {
-    /// Creates a task; unspecified argument slots are zeroed.
+    /// Creates a task; unspecified argument slots are zeroed and the
+    /// instance id starts at zero (the engine stamps it on spawn).
     ///
     /// # Panics
     ///
@@ -176,7 +181,20 @@ impl Task {
         assert!(args.len() <= MAX_ARGS, "too many task arguments");
         let mut a = [0u64; MAX_ARGS];
         a[..args.len()].copy_from_slice(args);
-        Task { ty, k, args: a }
+        Task {
+            ty,
+            k,
+            args: a,
+            id: 0,
+        }
+    }
+
+    /// Returns the task with its instance id set. Engines stamp ids from a
+    /// per-run counter so every dispatched task is distinguishable in the
+    /// trace.
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = id;
+        self
     }
 
     /// Argument word `i` reinterpreted as `i64` (two's complement).
@@ -234,6 +252,8 @@ pub struct PendingTask {
     pub join: u8,
     /// Argument words (preset + received).
     pub args: [u64; MAX_ARGS],
+    /// Instance id the ready task inherits (see [`Task::id`]).
+    pub id: u64,
 }
 
 impl PendingTask {
@@ -253,7 +273,16 @@ impl PendingTask {
             k,
             join,
             args: [0; MAX_ARGS],
+            id: 0,
         }
+    }
+
+    /// Returns the pending task with its instance id set (see
+    /// [`Task::with_id`]); the ready task produced by [`PendingTask::fill`]
+    /// inherits it.
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = id;
+        self
     }
 
     /// Presets argument slot `slot` (does not decrement the join counter);
@@ -285,6 +314,7 @@ impl PendingTask {
                 ty: self.ty,
                 k: self.k,
                 args: self.args,
+                id: self.id,
             })
         } else {
             None
@@ -365,6 +395,16 @@ mod tests {
     #[should_panic(expected = "join counter")]
     fn zero_join_panics() {
         let _ = PendingTask::new(TaskTypeId(0), Continuation::host(0), 0);
+    }
+
+    #[test]
+    fn task_ids_propagate_through_joins() {
+        let t = Task::new(TaskTypeId(0), Continuation::host(0), &[]);
+        assert_eq!(t.id, 0, "unstamped tasks carry id zero");
+        assert_eq!(t.with_id(42).id, 42);
+        let mut p = PendingTask::new(TaskTypeId(1), Continuation::host(0), 1).with_id(7);
+        let ready = p.fill(0, 0).unwrap();
+        assert_eq!(ready.id, 7, "ready task inherits the pending id");
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Per-tile bottleneck attribution.
+//!
+//! For each tile the run's capacity (`elapsed × PEs in the tile`) is split
+//! into compute (task execution), steal waiting (time a PE's TMU had a
+//! steal request in flight), fault recovery (injection-to-recovery windows
+//! of faults attributed to the tile) and the remainder (idle / queueing /
+//! memory stalls). Combined with the tile's L1 miss rate and the global
+//! DRAM-saturation signal, a deterministic rule ladder issues one verdict
+//! per tile:
+//!
+//! 1. recovery > 25% of capacity → `fault-recovery-bound`
+//! 2. steal wait > 25% of capacity → `steal-bound`
+//! 3. L1 miss rate > 30%, or the DRAM model saturated → `memory-bound`
+//! 4. compute > 60% of capacity → `compute-bound`
+//! 5. otherwise → `underutilized`
+//!
+//! The thresholds are integer comparisons on picosecond totals, so the
+//! verdicts are exactly reproducible.
+
+use std::collections::BTreeMap;
+
+use pxl_sim::{Time, TraceEvent, TraceRecord};
+
+use crate::latency::UnitUtilization;
+use crate::Layout;
+
+/// One tile's time attribution and verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileBottleneck {
+    /// Tile index.
+    pub tile: u32,
+    /// PEs in this tile.
+    pub pes: u32,
+    /// Capacity: `elapsed × pes` picoseconds.
+    pub capacity_ps: u64,
+    /// Task execution time summed over the tile's PEs.
+    pub busy_ps: u64,
+    /// Time the tile's PEs had steal requests in flight.
+    pub steal_wait_ps: u64,
+    /// Injection-to-recovery time of faults attributed to the tile.
+    pub recovery_ps: u64,
+    /// L1 hits issued by the tile's ports.
+    pub l1_hits: u64,
+    /// L1 misses issued by the tile's ports.
+    pub l1_misses: u64,
+    /// DRAM-saturation events (global — same value on every tile).
+    pub dram_saturated: u64,
+    /// The verdict from the rule ladder above.
+    pub verdict: &'static str,
+}
+
+impl TileBottleneck {
+    /// Compute fraction of capacity.
+    pub fn busy_frac(&self) -> f64 {
+        frac(self.busy_ps, self.capacity_ps)
+    }
+
+    /// Steal-wait fraction of capacity.
+    pub fn steal_frac(&self) -> f64 {
+        frac(self.steal_wait_ps, self.capacity_ps)
+    }
+
+    /// Fault-recovery fraction of capacity.
+    pub fn recovery_frac(&self) -> f64 {
+        frac(self.recovery_ps, self.capacity_ps)
+    }
+
+    /// L1 miss rate of the tile's ports.
+    pub fn miss_rate(&self) -> f64 {
+        frac(self.l1_misses, self.l1_hits + self.l1_misses)
+    }
+}
+
+fn frac(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn verdict(t: &TileBottleneck) -> &'static str {
+    let cap = t.capacity_ps;
+    if t.recovery_ps * 4 > cap {
+        "fault-recovery-bound"
+    } else if t.steal_wait_ps * 4 > cap {
+        "steal-bound"
+    } else if t.l1_misses * 10 > (t.l1_hits + t.l1_misses) * 3 || t.dram_saturated > 0 {
+        "memory-bound"
+    } else if t.busy_ps * 5 > cap * 3 {
+        "compute-bound"
+    } else {
+        "underutilized"
+    }
+}
+
+/// Attributes the run's time to bottleneck classes per tile.
+///
+/// Steal waits come from per-thief FIFO request/response matching; fault
+/// windows from pairing `FaultInjected` with the `FaultRecovered` /
+/// `FaultUnrecovered` of the same spec (unrecovered faults charge until
+/// the end of the run). Cache events attribute by issuing port, steals and
+/// faults by the unit in the event.
+pub fn attribute(
+    records: &[TraceRecord],
+    layout: &Layout,
+    elapsed: Time,
+    units: &[UnitUtilization],
+) -> Vec<TileBottleneck> {
+    let tiles = layout.tiles();
+    let mut out: Vec<TileBottleneck> = (0..tiles)
+        .map(|t| {
+            let pes = if t + 1 == tiles {
+                (layout.units - t * layout.pes_per_tile).max(1)
+            } else {
+                layout.pes_per_tile
+            };
+            TileBottleneck {
+                tile: t as u32,
+                pes: pes as u32,
+                capacity_ps: elapsed.as_ps() * pes as u64,
+                busy_ps: 0,
+                steal_wait_ps: 0,
+                recovery_ps: 0,
+                l1_hits: 0,
+                l1_misses: 0,
+                dram_saturated: 0,
+                verdict: "underutilized",
+            }
+        })
+        .collect();
+
+    for u in units {
+        out[layout.tile_of(u.unit)].busy_ps += u.busy_ps;
+    }
+
+    let mut steal_start: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut fault_start: BTreeMap<u32, (u64, u32)> = BTreeMap::new();
+    let mut dram = 0u64;
+    for r in records {
+        let t_ps = r.at.as_ps();
+        match r.event {
+            TraceEvent::StealRequest { thief, .. } => {
+                steal_start.entry(thief).or_default().push(t_ps);
+            }
+            TraceEvent::StealGrant { thief, .. } | TraceEvent::StealFail { thief, .. } => {
+                let queue = steal_start.entry(thief).or_default();
+                if !queue.is_empty() {
+                    let start = queue.remove(0);
+                    out[layout.tile_of(thief)].steal_wait_ps += t_ps.saturating_sub(start);
+                }
+            }
+            TraceEvent::FaultInjected { spec, unit } => {
+                fault_start.insert(spec, (t_ps, unit));
+            }
+            TraceEvent::FaultRecovered { spec, .. } | TraceEvent::FaultUnrecovered { spec, .. } => {
+                if let Some((start, unit)) = fault_start.remove(&spec) {
+                    out[layout.tile_of(unit)].recovery_ps += t_ps.saturating_sub(start);
+                }
+            }
+            TraceEvent::CacheHit { port, level: 1 } => {
+                out[layout.tile_of(port)].l1_hits += 1;
+            }
+            TraceEvent::CacheMiss { port, level: 1 } => {
+                out[layout.tile_of(port)].l1_misses += 1;
+            }
+            TraceEvent::DramSaturated { .. } => dram += 1,
+            _ => {}
+        }
+    }
+    // A fault never resolved charges its window to the end of the run.
+    for (start, unit) in fault_start.into_values() {
+        out[layout.tile_of(unit)].recovery_ps += elapsed.as_ps().saturating_sub(start);
+    }
+
+    for t in &mut out {
+        t.dram_saturated = dram;
+        t.verdict = verdict(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency;
+    use pxl_sim::Tracer;
+
+    fn attribute_of(t: &mut Tracer, layout: Layout, elapsed: u64) -> Vec<TileBottleneck> {
+        t.finish();
+        let elapsed = Time::from_ps(elapsed);
+        let units = latency::utilization(t.records(), &layout, elapsed);
+        attribute(t.records(), &layout, elapsed, &units)
+    }
+
+    #[test]
+    fn compute_bound_tile() {
+        let mut t = Tracer::bounded(16);
+        t.emit(
+            Time::from_ps(90),
+            TraceEvent::TaskComplete {
+                unit: 0,
+                ty: 0,
+                busy_ps: 90,
+                task: 1,
+            },
+        );
+        let tiles = attribute_of(&mut t, Layout::new(1, 1), 100);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0].verdict, "compute-bound");
+        assert!((tiles[0].busy_frac() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steal_bound_tile() {
+        let mut t = Tracer::bounded(16);
+        t.emit(
+            Time::from_ps(0),
+            TraceEvent::StealRequest {
+                thief: 0,
+                victim: 1,
+            },
+        );
+        t.emit(
+            Time::from_ps(40),
+            TraceEvent::StealFail {
+                thief: 0,
+                victim: 1,
+            },
+        );
+        let tiles = attribute_of(&mut t, Layout::new(1, 1), 100);
+        assert_eq!(tiles[0].steal_wait_ps, 40);
+        assert_eq!(tiles[0].verdict, "steal-bound");
+    }
+
+    #[test]
+    fn fault_recovery_outranks_everything() {
+        let mut t = Tracer::bounded(16);
+        t.emit(
+            Time::from_ps(10),
+            TraceEvent::FaultInjected { spec: 0, unit: 0 },
+        );
+        t.emit(
+            Time::from_ps(60),
+            TraceEvent::FaultRecovered { spec: 0, unit: 0 },
+        );
+        t.emit(
+            Time::from_ps(100),
+            TraceEvent::TaskComplete {
+                unit: 0,
+                ty: 0,
+                busy_ps: 100,
+                task: 1,
+            },
+        );
+        let tiles = attribute_of(&mut t, Layout::new(1, 1), 100);
+        assert_eq!(tiles[0].recovery_ps, 50);
+        assert_eq!(tiles[0].verdict, "fault-recovery-bound");
+    }
+
+    #[test]
+    fn memory_bound_via_miss_rate() {
+        let mut t = Tracer::bounded(16);
+        for _ in 0..6 {
+            t.emit(
+                Time::from_ps(1),
+                TraceEvent::CacheMiss { port: 0, level: 1 },
+            );
+        }
+        for _ in 0..4 {
+            t.emit(Time::from_ps(1), TraceEvent::CacheHit { port: 0, level: 1 });
+        }
+        let tiles = attribute_of(&mut t, Layout::new(1, 1), 100);
+        assert!((tiles[0].miss_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(tiles[0].verdict, "memory-bound");
+    }
+
+    #[test]
+    fn uneven_last_tile_gets_remainder() {
+        let t = Tracer::bounded(1);
+        let layout = Layout::new(6, 4);
+        let tiles = attribute(
+            t.records(),
+            &layout,
+            Time::from_ps(10),
+            &latency::utilization(t.records(), &layout, Time::from_ps(10)),
+        );
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[0].pes, 4);
+        assert_eq!(tiles[1].pes, 2);
+        assert_eq!(tiles[1].capacity_ps, 20);
+    }
+}

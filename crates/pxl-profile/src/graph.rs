@@ -1,0 +1,379 @@
+//! Task-graph reconstruction and critical-path (span) analysis.
+//!
+//! Engines stamp every task instance with a run-unique id and emit that id
+//! in `TaskDispatch`, `TaskComplete`, `Spawn` (parent → child) and
+//! `PStoreJoin` (argument sender → joined successor) events. Replaying the
+//! time-ordered event stream therefore recovers the causal DAG without any
+//! engine cooperation beyond the trace itself.
+//!
+//! # The span model
+//!
+//! The span (critical-path length) is computed with an earliest-start-time
+//! DP over dependency *chains*. For every node `n` define `est[n]` as the
+//! length of the longest chain of dependent work that must precede `n`'s
+//! start. The root has `est = 0`. A dependency edge observed at simulated
+//! time `t` whose source `s` was dispatched at `dispatch[s]` contributes
+//!
+//! ```text
+//! est[s] + (t − dispatch[s])
+//! ```
+//!
+//! to its target — the source had to run `(t − dispatch[s])` of its own
+//! execution before the spawn/argument-send happened, on top of the chain
+//! that gated the source itself. Then `span = max over n of est[n] +
+//! busy[n]`.
+//!
+//! This formulation structurally guarantees `span ≤ makespan`: by
+//! induction `est[n]` never exceeds the *actual* dispatch time of `n`
+//! (each edge contribution is at most the event's own timestamp, and
+//! events gating `n` precede its dispatch), so `est[n] + busy[n]` is at
+//! most `n`'s completion time. The naive `finish[n] = busy[n] + max
+//! finish[pred]` does not have this property, because a parent keeps
+//! executing after it spawns — its full `busy` overlaps the child's.
+
+use std::collections::BTreeMap;
+
+use pxl_sim::{TraceEvent, TraceRecord};
+
+/// How many critical-path steps and top tasks the summary retains.
+pub const TOP_K: usize = 10;
+
+/// One reconstructed task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskNode {
+    /// Run-unique instance id.
+    pub id: u64,
+    /// Task-type id from the dispatch event.
+    pub ty: u8,
+    /// Unit (PE/core) that executed it.
+    pub unit: u32,
+    /// First dispatch time, if the task ever ran.
+    pub dispatch_ps: Option<u64>,
+    /// Modeled execution time, summed over re-executions.
+    pub busy_ps: u64,
+    /// Longest dependency chain that must precede this task's start.
+    pub est_ps: u64,
+    /// The predecessor whose edge determined `est_ps` (critical parent).
+    pub pred: Option<u64>,
+    /// Time the task became ready: its spawn, or its last argument join.
+    pub ready_ps: Option<u64>,
+}
+
+/// One step of the critical path, root-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CriticalStep {
+    /// Task instance id.
+    pub id: u64,
+    /// Task-type id.
+    pub ty: u8,
+    /// Unit that executed it.
+    pub unit: u32,
+    /// Chain length up to this task's start.
+    pub est_ps: u64,
+    /// Its own execution time.
+    pub busy_ps: u64,
+}
+
+/// The task-graph analysis of one run.
+#[derive(Debug, Clone, Default)]
+pub struct GraphSummary {
+    /// Every reconstructed task, keyed by instance id (deterministic
+    /// iteration order).
+    pub nodes: BTreeMap<u64, TaskNode>,
+    /// Number of `Spawn` edges observed.
+    pub spawn_edges: u64,
+    /// Number of `PStoreJoin` edges observed.
+    pub join_edges: u64,
+    /// Total work: Σ `busy_ps` over every `TaskComplete` event.
+    pub work_ps: u64,
+    /// Critical-path length.
+    pub span_ps: u64,
+    /// The critical path itself, root-first, truncated to [`TOP_K`] steps
+    /// around the end of the chain (the full length is
+    /// [`GraphSummary::critical_len`]).
+    pub critical_path: Vec<CriticalStep>,
+    /// Number of tasks on the full critical path.
+    pub critical_len: usize,
+    /// The [`TOP_K`] tasks by execution time, heaviest first.
+    pub top_tasks: Vec<CriticalStep>,
+}
+
+impl GraphSummary {
+    /// Number of task instances that were dispatched at least once.
+    pub fn dispatched(&self) -> u64 {
+        self.nodes
+            .values()
+            .filter(|n| n.dispatch_ps.is_some())
+            .count() as u64
+    }
+}
+
+fn node(nodes: &mut BTreeMap<u64, TaskNode>, id: u64) -> &mut TaskNode {
+    nodes.entry(id).or_insert(TaskNode {
+        id,
+        ty: 0,
+        unit: 0,
+        dispatch_ps: None,
+        busy_ps: 0,
+        est_ps: 0,
+        pred: None,
+        ready_ps: None,
+    })
+}
+
+/// Chain length through an edge out of `source` observed at `t_ps`, per the
+/// module-level model. Unknown sources (id 0, or never dispatched, e.g.
+/// host-side argument sends) contribute nothing — an underestimate, which
+/// preserves `span ≤ makespan`.
+fn edge_contribution(nodes: &BTreeMap<u64, TaskNode>, source: u64, t_ps: u64) -> u64 {
+    match nodes.get(&source) {
+        Some(s) => match s.dispatch_ps {
+            Some(d) => s.est_ps + t_ps.saturating_sub(d),
+            None => 0,
+        },
+        None => 0,
+    }
+}
+
+fn relax(nodes: &mut BTreeMap<u64, TaskNode>, source: u64, target: u64, t_ps: u64) {
+    if target == 0 {
+        return;
+    }
+    let contribution = edge_contribution(nodes, source, t_ps);
+    let n = node(nodes, target);
+    // Strict comparison keeps the earliest predecessor on ties (records
+    // arrive in final trace order), deterministically.
+    if contribution > n.est_ps || (n.pred.is_none() && contribution >= n.est_ps) {
+        n.est_ps = contribution;
+        n.pred = (source != 0).then_some(source);
+    }
+    n.ready_ps = Some(n.ready_ps.map_or(t_ps, |r| r.max(t_ps)));
+}
+
+/// Replays a time-ordered trace into a [`GraphSummary`].
+pub fn reconstruct(records: &[TraceRecord]) -> GraphSummary {
+    let mut g = GraphSummary::default();
+    for r in records {
+        let t_ps = r.at.as_ps();
+        match r.event {
+            TraceEvent::TaskDispatch { unit, ty, task } if task != 0 => {
+                let n = node(&mut g.nodes, task);
+                if n.dispatch_ps.is_none() {
+                    n.dispatch_ps = Some(t_ps);
+                    n.unit = unit;
+                    n.ty = ty;
+                }
+            }
+            TraceEvent::TaskComplete { busy_ps, task, .. } => {
+                g.work_ps += busy_ps;
+                if task != 0 {
+                    node(&mut g.nodes, task).busy_ps += busy_ps;
+                }
+            }
+            TraceEvent::Spawn { parent, child, .. } => {
+                g.spawn_edges += 1;
+                relax(&mut g.nodes, parent, child, t_ps);
+            }
+            TraceEvent::PStoreJoin { task, from, .. } => {
+                g.join_edges += 1;
+                relax(&mut g.nodes, from, task, t_ps);
+            }
+            _ => {}
+        }
+    }
+
+    // Span endpoint: the executed node maximizing est + busy; ties go to
+    // the smallest id (BTreeMap order + strict comparison).
+    let mut end: Option<u64> = None;
+    for n in g.nodes.values() {
+        if n.dispatch_ps.is_none() {
+            continue;
+        }
+        let finish = n.est_ps + n.busy_ps;
+        if end.is_none() || finish > g.span_ps {
+            g.span_ps = finish;
+            end = Some(n.id);
+        }
+    }
+
+    // Walk the critical chain backwards, then present it root-first.
+    let mut chain = Vec::new();
+    let mut cursor = end;
+    while let Some(id) = cursor {
+        let Some(n) = g.nodes.get(&id) else { break };
+        chain.push(CriticalStep {
+            id: n.id,
+            ty: n.ty,
+            unit: n.unit,
+            est_ps: n.est_ps,
+            busy_ps: n.busy_ps,
+        });
+        cursor = n.pred;
+        if chain.len() > g.nodes.len() {
+            break; // defensive: a malformed trace must not loop forever
+        }
+    }
+    chain.reverse();
+    g.critical_len = chain.len();
+    if chain.len() > TOP_K {
+        // Keep the tail of the chain — the steps closest to the span
+        // endpoint are the ones worth optimizing first.
+        chain.drain(..chain.len() - TOP_K);
+    }
+    g.critical_path = chain;
+
+    let mut by_busy: Vec<CriticalStep> = g
+        .nodes
+        .values()
+        .filter(|n| n.dispatch_ps.is_some())
+        .map(|n| CriticalStep {
+            id: n.id,
+            ty: n.ty,
+            unit: n.unit,
+            est_ps: n.est_ps,
+            busy_ps: n.busy_ps,
+        })
+        .collect();
+    by_busy.sort_by(|a, b| b.busy_ps.cmp(&a.busy_ps).then(a.id.cmp(&b.id)));
+    by_busy.truncate(TOP_K);
+    g.top_tasks = by_busy;
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxl_sim::{Time, Tracer};
+
+    fn dispatch(t: &mut Tracer, at: u64, unit: u32, task: u64) {
+        t.emit(
+            Time::from_ps(at),
+            TraceEvent::TaskDispatch { unit, ty: 0, task },
+        );
+    }
+
+    fn complete(t: &mut Tracer, at: u64, unit: u32, busy_ps: u64, task: u64) {
+        t.emit(
+            Time::from_ps(at),
+            TraceEvent::TaskComplete {
+                unit,
+                ty: 0,
+                busy_ps,
+                task,
+            },
+        );
+    }
+
+    #[test]
+    fn serial_chain_span_equals_work() {
+        // Task 1 spawns task 2 at its very end; fully serial.
+        let mut t = Tracer::bounded(16);
+        dispatch(&mut t, 0, 0, 1);
+        t.emit(
+            Time::from_ps(100),
+            TraceEvent::Spawn {
+                unit: 0,
+                ty: 0,
+                parent: 1,
+                child: 2,
+            },
+        );
+        complete(&mut t, 100, 0, 100, 1);
+        dispatch(&mut t, 110, 1, 2);
+        complete(&mut t, 160, 1, 50, 2);
+        t.finish();
+        let g = reconstruct(t.records());
+        assert_eq!(g.work_ps, 150);
+        assert_eq!(g.span_ps, 150);
+        assert_eq!(g.critical_len, 2);
+        assert_eq!(g.critical_path[0].id, 1);
+        assert_eq!(g.critical_path[1].id, 2);
+    }
+
+    #[test]
+    fn early_spawn_overlaps_parent() {
+        // Parent spawns at 10 ps into its 100 ps execution; the child's
+        // chain is 10 + 50, the parent's own finish 100 — span is 100.
+        let mut t = Tracer::bounded(16);
+        dispatch(&mut t, 0, 0, 1);
+        t.emit(
+            Time::from_ps(10),
+            TraceEvent::Spawn {
+                unit: 0,
+                ty: 0,
+                parent: 1,
+                child: 2,
+            },
+        );
+        complete(&mut t, 100, 0, 100, 1);
+        dispatch(&mut t, 20, 1, 2);
+        complete(&mut t, 70, 1, 50, 2);
+        t.finish();
+        let g = reconstruct(t.records());
+        assert_eq!(g.work_ps, 150);
+        assert_eq!(g.span_ps, 100, "span must not double-count the overlap");
+        assert_eq!(g.critical_path.len(), 1);
+        assert_eq!(g.critical_path[0].id, 1);
+    }
+
+    #[test]
+    fn join_edges_extend_the_chain() {
+        // 1 spawns 2 and creates successor 3; 2's argument send at its end
+        // releases 3. Chain: 10 (spawn offset) + 50 (task 2) + 25 (task 3).
+        let mut t = Tracer::bounded(16);
+        dispatch(&mut t, 0, 0, 1);
+        t.emit(
+            Time::from_ps(10),
+            TraceEvent::Spawn {
+                unit: 0,
+                ty: 0,
+                parent: 1,
+                child: 2,
+            },
+        );
+        complete(&mut t, 40, 0, 40, 1);
+        dispatch(&mut t, 20, 1, 2);
+        complete(&mut t, 70, 1, 50, 2);
+        t.emit(
+            Time::from_ps(70),
+            TraceEvent::PStoreJoin {
+                tile: 0,
+                slot: 0,
+                task: 3,
+                from: 2,
+            },
+        );
+        dispatch(&mut t, 80, 0, 3);
+        complete(&mut t, 105, 0, 25, 3);
+        t.finish();
+        let g = reconstruct(t.records());
+        assert_eq!(g.join_edges, 1);
+        assert_eq!(g.span_ps, 10 + 50 + 25);
+        let ids: Vec<u64> = g.critical_path.iter().map(|s| s.id).collect();
+        assert_eq!(ids, [1, 2, 3]);
+    }
+
+    #[test]
+    fn top_tasks_rank_by_busy_with_id_tiebreak() {
+        let mut t = Tracer::bounded(16);
+        for (id, busy) in [(1u64, 30u64), (2, 50), (3, 50), (4, 10)] {
+            dispatch(&mut t, 0, 0, id);
+            complete(&mut t, busy, 0, busy, id);
+        }
+        t.finish();
+        let g = reconstruct(t.records());
+        let ids: Vec<u64> = g.top_tasks.iter().map(|s| s.id).collect();
+        assert_eq!(ids, [2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn unstamped_events_still_count_work() {
+        let mut t = Tracer::bounded(4);
+        complete(&mut t, 10, 0, 10, 0);
+        t.finish();
+        let g = reconstruct(t.records());
+        assert_eq!(g.work_ps, 10);
+        assert!(g.nodes.is_empty(), "id 0 is the 'no task' sentinel");
+    }
+}

@@ -1,0 +1,371 @@
+//! Latency percentiles, steal breakdown and per-unit utilization.
+//!
+//! Three latency populations come out of a trace:
+//!
+//! - **dispatch → complete**: each task's modeled execution time
+//!   (`busy_ps` of every `TaskComplete` event);
+//! - **ready → dispatch** (queueing delay): the gap between the moment a
+//!   task became runnable — its `Spawn`, or the last `PStoreJoin` that
+//!   filled its continuation — and its `TaskDispatch`;
+//! - **steal latency**: per-thief FIFO matching of `StealRequest` against
+//!   the following `StealGrant` / `StealFail`, split by outcome.
+//!
+//! Percentiles use the deterministic nearest-rank rule on the sorted
+//! population (index `⌊(n−1)·p/100⌋`), so reports are byte-stable.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use pxl_sim::{Time, TraceEvent, TraceRecord};
+
+use crate::graph::GraphSummary;
+use crate::Layout;
+
+/// Number of buckets in each unit's activity timeline.
+pub const TIMELINE_BUCKETS: usize = 50;
+
+/// Intensity ramp used to render one timeline bucket (index = tenths of
+/// the bucket spent busy).
+pub const TIMELINE_RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Nearest-rank percentile summary of one latency population.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Population size.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Population sum (for means in reports).
+    pub sum: u64,
+}
+
+impl Percentiles {
+    /// Summarizes `values` (consumed and sorted in place).
+    pub fn of(mut values: Vec<u64>) -> Percentiles {
+        values.sort_unstable();
+        let n = values.len();
+        if n == 0 {
+            return Percentiles::default();
+        }
+        let rank = |p: usize| values[(n - 1) * p / 100];
+        Percentiles {
+            count: n as u64,
+            p50: rank(50),
+            p90: rank(90),
+            p99: rank(99),
+            max: values[n - 1],
+            sum: values.iter().sum(),
+        }
+    }
+
+    /// Arithmetic mean of the population (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Steal-latency breakdown: requests matched FIFO per thief against their
+/// grant or fail response.
+#[derive(Debug, Clone, Default)]
+pub struct StealSummary {
+    /// Steal requests observed.
+    pub requests: u64,
+    /// Request-to-grant latency of successful steals.
+    pub grant: Percentiles,
+    /// Request-to-fail latency of empty-handed steals.
+    pub fail: Percentiles,
+    /// Per-thief total time spent with a steal request in flight, keyed by
+    /// flat unit index.
+    pub wait_ps_by_thief: BTreeMap<u32, u64>,
+}
+
+impl StealSummary {
+    /// Fraction of requests that found work (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.grant.count as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The latency analysis of one run.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// Dispatch-to-complete (task execution) times.
+    pub busy: Percentiles,
+    /// Ready-to-dispatch queueing delays.
+    pub queue: Percentiles,
+    /// Steal breakdown.
+    pub steals: StealSummary,
+}
+
+/// Derives the latency populations from a time-ordered trace, reusing the
+/// reconstructed graph for ready/dispatch pairs.
+pub fn analyze(records: &[TraceRecord], graph: &GraphSummary) -> LatencySummary {
+    let mut busy = Vec::new();
+    let mut pending: BTreeMap<u32, VecDeque<u64>> = BTreeMap::new();
+    let mut steals = StealSummary::default();
+    let mut grant = Vec::new();
+    let mut fail = Vec::new();
+
+    for r in records {
+        let t_ps = r.at.as_ps();
+        match r.event {
+            TraceEvent::TaskComplete { busy_ps, .. } => busy.push(busy_ps),
+            TraceEvent::StealRequest { thief, .. } => {
+                steals.requests += 1;
+                pending.entry(thief).or_default().push_back(t_ps);
+            }
+            TraceEvent::StealGrant { thief, .. } | TraceEvent::StealFail { thief, .. } => {
+                let Some(start) = pending.entry(thief).or_default().pop_front() else {
+                    continue;
+                };
+                let wait = t_ps.saturating_sub(start);
+                *steals.wait_ps_by_thief.entry(thief).or_default() += wait;
+                if matches!(r.event, TraceEvent::StealGrant { .. }) {
+                    grant.push(wait);
+                } else {
+                    fail.push(wait);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let queue: Vec<u64> = graph
+        .nodes
+        .values()
+        .filter_map(|n| {
+            let d = n.dispatch_ps?;
+            let ready = n.ready_ps?;
+            Some(d.saturating_sub(ready))
+        })
+        .collect();
+
+    steals.grant = Percentiles::of(grant);
+    steals.fail = Percentiles::of(fail);
+    LatencySummary {
+        busy: Percentiles::of(busy),
+        queue: Percentiles::of(queue),
+        steals,
+    }
+}
+
+/// One unit's busy accounting and activity timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitUtilization {
+    /// Flat PE/core index.
+    pub unit: u32,
+    /// Tasks completed on this unit.
+    pub tasks: u64,
+    /// Total modeled execution time on this unit.
+    pub busy_ps: u64,
+    /// Busy picoseconds per timeline bucket ([`TIMELINE_BUCKETS`] buckets
+    /// spanning the whole run).
+    pub buckets: Vec<u64>,
+    /// Width of one bucket in picoseconds.
+    pub bucket_ps: u64,
+}
+
+impl UnitUtilization {
+    /// Busy fraction of the whole run, in \[0, 1\] for a well-formed trace.
+    pub fn utilization(&self, elapsed: Time) -> f64 {
+        let total = elapsed.as_ps();
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ps as f64 / total as f64
+        }
+    }
+
+    /// Renders the timeline as one character per bucket using
+    /// [`TIMELINE_RAMP`].
+    pub fn timeline(&self) -> String {
+        self.buckets
+            .iter()
+            .map(|&b| {
+                let tenths = if self.bucket_ps == 0 {
+                    0
+                } else {
+                    (b * 9).div_ceil(self.bucket_ps).min(9) as usize
+                };
+                TIMELINE_RAMP[tenths]
+            })
+            .collect()
+    }
+}
+
+/// Accumulates per-unit busy intervals (each `TaskComplete` covers
+/// `[t − busy_ps, t]`) into utilization records for every unit of the
+/// layout, including idle ones.
+pub fn utilization(
+    records: &[TraceRecord],
+    layout: &Layout,
+    elapsed: Time,
+) -> Vec<UnitUtilization> {
+    let total = elapsed.as_ps();
+    let bucket_ps = (total / TIMELINE_BUCKETS as u64).max(1);
+    let mut units: Vec<UnitUtilization> = (0..layout.units as u32)
+        .map(|unit| UnitUtilization {
+            unit,
+            tasks: 0,
+            busy_ps: 0,
+            buckets: vec![0; TIMELINE_BUCKETS],
+            bucket_ps,
+        })
+        .collect();
+
+    for r in records {
+        let TraceEvent::TaskComplete { unit, busy_ps, .. } = r.event else {
+            continue;
+        };
+        let Some(u) = units.get_mut(unit as usize) else {
+            continue;
+        };
+        u.tasks += 1;
+        u.busy_ps += busy_ps;
+        let end = r.at.as_ps();
+        let start = end.saturating_sub(busy_ps);
+        let first = (start / bucket_ps) as usize;
+        let last = ((end.saturating_sub(1)) / bucket_ps) as usize;
+        for b in first..=last.min(TIMELINE_BUCKETS - 1) {
+            let lo = (b as u64 * bucket_ps).max(start);
+            let hi = ((b as u64 + 1) * bucket_ps).min(end);
+            u.buckets[b] += hi.saturating_sub(lo);
+        }
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+    use pxl_sim::Tracer;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = Percentiles::of((1..=100).collect());
+        assert_eq!(p.count, 100);
+        assert_eq!(p.p50, 50);
+        assert_eq!(p.p90, 90);
+        assert_eq!(p.p99, 99);
+        assert_eq!(p.max, 100);
+        assert_eq!(Percentiles::of(vec![]).max, 0);
+    }
+
+    #[test]
+    fn steal_fifo_matches_per_thief() {
+        let mut t = Tracer::bounded(16);
+        t.emit(
+            Time::from_ps(0),
+            TraceEvent::StealRequest {
+                thief: 1,
+                victim: 0,
+            },
+        );
+        t.emit(
+            Time::from_ps(5),
+            TraceEvent::StealRequest {
+                thief: 2,
+                victim: 0,
+            },
+        );
+        t.emit(
+            Time::from_ps(30),
+            TraceEvent::StealGrant {
+                thief: 1,
+                victim: 0,
+            },
+        );
+        t.emit(
+            Time::from_ps(45),
+            TraceEvent::StealFail {
+                thief: 2,
+                victim: 0,
+            },
+        );
+        t.finish();
+        let s = analyze(t.records(), &GraphSummary::default()).steals;
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.grant.count, 1);
+        assert_eq!(s.grant.max, 30);
+        assert_eq!(s.fail.max, 40);
+        assert_eq!(s.wait_ps_by_thief[&1], 30);
+        assert_eq!(s.wait_ps_by_thief[&2], 40);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_delay_uses_ready_time() {
+        let mut t = Tracer::bounded(16);
+        t.emit(
+            Time::from_ps(0),
+            TraceEvent::TaskDispatch {
+                unit: 0,
+                ty: 0,
+                task: 1,
+            },
+        );
+        t.emit(
+            Time::from_ps(10),
+            TraceEvent::Spawn {
+                unit: 0,
+                ty: 0,
+                parent: 1,
+                child: 2,
+            },
+        );
+        t.emit(
+            Time::from_ps(40),
+            TraceEvent::TaskDispatch {
+                unit: 0,
+                ty: 0,
+                task: 2,
+            },
+        );
+        t.finish();
+        let g = graph::reconstruct(t.records());
+        let lat = analyze(t.records(), &g);
+        assert_eq!(lat.queue.count, 1, "only task 2 has a known ready time");
+        assert_eq!(lat.queue.max, 30);
+    }
+
+    #[test]
+    fn utilization_buckets_cover_intervals() {
+        let mut t = Tracer::bounded(16);
+        // One task busy for the entire first half of a 100 ps run.
+        t.emit(
+            Time::from_ps(50),
+            TraceEvent::TaskComplete {
+                unit: 0,
+                ty: 0,
+                busy_ps: 50,
+                task: 1,
+            },
+        );
+        t.finish();
+        let layout = Layout::new(2, 2);
+        let units = utilization(t.records(), &layout, Time::from_ps(100));
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].busy_ps, 50);
+        assert_eq!(units[0].buckets.iter().sum::<u64>(), 50);
+        assert!((units[0].utilization(Time::from_ps(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(units[1].busy_ps, 0, "idle units still get a row");
+        let tl = units[0].timeline();
+        assert_eq!(tl.len(), TIMELINE_BUCKETS);
+        assert!(tl.starts_with('@'), "first half fully busy: {tl}");
+        assert!(tl.ends_with(' '), "second half idle: {tl}");
+    }
+}

@@ -1,0 +1,265 @@
+//! Post-run performance analysis over a simulation's trace and metrics.
+//!
+//! Every ParallelXL engine can record a bounded, deterministic event trace
+//! ([`pxl_sim::Tracer`]) alongside its typed [`pxl_sim::Metrics`]. This
+//! crate turns that raw material into answers:
+//!
+//! - [`graph`] reconstructs the causal spawn/join task DAG from the task
+//!   instance ids stamped into `TaskDispatch` / `TaskComplete` / `Spawn` /
+//!   `PStoreJoin` events, and computes total work, critical-path (span)
+//!   length, available parallelism and the critical tasks themselves.
+//! - [`latency`] derives dispatch-to-complete and spawn-to-dispatch
+//!   (queueing-delay) percentiles, the steal-latency breakdown, and
+//!   per-unit utilization timelines.
+//! - [`bottleneck`] attributes each tile's time to compute, steal waiting,
+//!   fault recovery or memory stalls and issues a deterministic verdict.
+//! - [`perfetto`] exports the trace as Chrome/Perfetto `trace.json` for
+//!   interactive inspection in <https://ui.perfetto.dev>.
+//! - [`parse`] parses [`pxl_sim::Tracer::to_jsonl`] output back into
+//!   records, so dumped traces can be profiled offline.
+//!
+//! All analyses are pure functions of the (already deterministic) trace:
+//! two same-seed runs produce byte-identical reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use pxl_profile::{Layout, Profile};
+//! use pxl_sim::{Metrics, Time, TraceEvent, Tracer};
+//!
+//! let mut t = Tracer::bounded(64);
+//! t.emit(Time::from_ps(0), TraceEvent::TaskDispatch { unit: 0, ty: 0, task: 1 });
+//! t.emit(Time::from_ps(50), TraceEvent::Spawn { unit: 0, ty: 1, parent: 1, child: 2 });
+//! t.emit(Time::from_ps(60), TraceEvent::TaskComplete { unit: 0, ty: 0, busy_ps: 60, task: 1 });
+//! t.emit(Time::from_ps(60), TraceEvent::TaskDispatch { unit: 1, ty: 1, task: 2 });
+//! t.emit(Time::from_ps(90), TraceEvent::TaskComplete { unit: 1, ty: 1, busy_ps: 30, task: 2 });
+//! t.finish();
+//!
+//! let profile = Profile::analyze(
+//!     t.records(),
+//!     &Metrics::new(),
+//!     &Layout::new(2, 2),
+//!     Time::from_ps(100),
+//! );
+//! assert_eq!(profile.graph.work_ps, 90);
+//! assert_eq!(profile.graph.span_ps, 80); // 50 into task 1, then 30 of task 2
+//! assert!(profile.check_invariants().is_empty());
+//! ```
+
+pub mod bottleneck;
+pub mod graph;
+pub mod latency;
+pub mod parse;
+pub mod perfetto;
+pub mod report;
+
+use pxl_sim::{Metrics, Time, TraceRecord};
+
+pub use bottleneck::TileBottleneck;
+pub use graph::{CriticalStep, GraphSummary, TaskNode};
+pub use latency::{LatencySummary, Percentiles, StealSummary, UnitUtilization};
+pub use parse::{parse_jsonl, parse_line};
+pub use perfetto::to_perfetto_json;
+
+/// The unit topology of the engine that produced a trace: how many PEs or
+/// cores there are and how they group into tiles (the CPU baseline is one
+/// tile of all its cores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Flat PE/core count.
+    pub units: usize,
+    /// PEs per tile; `units` that do not fill a whole number of tiles go to
+    /// the last tile.
+    pub pes_per_tile: usize,
+}
+
+impl Layout {
+    /// A layout of `units` units grouped `pes_per_tile` to a tile.
+    /// A `pes_per_tile` of zero is treated as one tile of all units.
+    pub fn new(units: usize, pes_per_tile: usize) -> Self {
+        Layout {
+            units,
+            pes_per_tile: if pes_per_tile == 0 {
+                units.max(1)
+            } else {
+                pes_per_tile
+            },
+        }
+    }
+
+    /// Number of tiles (at least one).
+    pub fn tiles(&self) -> usize {
+        self.units.div_ceil(self.pes_per_tile).max(1)
+    }
+
+    /// The tile a flat unit index belongs to, clamped into range so stray
+    /// indices in a trace cannot push attribution out of bounds.
+    pub fn tile_of(&self, unit: u32) -> usize {
+        (unit as usize / self.pes_per_tile).min(self.tiles() - 1)
+    }
+}
+
+/// The complete analysis of one run: task graph + critical path, latency
+/// and utilization summaries, and per-tile bottleneck attribution.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Unit topology the analysis attributed events against.
+    pub layout: Layout,
+    /// Measured makespan of the run (the engine's `elapsed`).
+    pub elapsed: Time,
+    /// Task-graph reconstruction: work, span, parallelism, critical path.
+    pub graph: GraphSummary,
+    /// Latency percentiles and steal breakdown.
+    pub latency: LatencySummary,
+    /// Per-unit busy time, utilization and activity timeline.
+    pub units: Vec<UnitUtilization>,
+    /// Per-tile bottleneck attribution.
+    pub tiles: Vec<TileBottleneck>,
+    /// Number of trace records analyzed.
+    pub trace_events: usize,
+    /// Events the tracer's capacity bound discarded (`trace.dropped`); when
+    /// nonzero the DAG may be incomplete and work/span are lower bounds.
+    pub trace_dropped: u64,
+    /// `accel.task_ps` histogram sum from the metrics registry, when the
+    /// engine exports one — the cross-check target for [`GraphSummary::work_ps`].
+    pub metric_task_ps_sum: Option<u64>,
+    /// Sum of the per-unit `*.busy_ps` counters from the metrics registry.
+    pub metric_busy_ps_sum: u64,
+}
+
+impl Profile {
+    /// Analyzes a finished run. `records` must be in final trace order
+    /// (i.e. after [`pxl_sim::Tracer::finish`]); `elapsed` is the engine's
+    /// measured makespan.
+    pub fn analyze(
+        records: &[TraceRecord],
+        metrics: &Metrics,
+        layout: &Layout,
+        elapsed: Time,
+    ) -> Profile {
+        let graph = graph::reconstruct(records);
+        let latency = latency::analyze(records, &graph);
+        let units = latency::utilization(records, layout, elapsed);
+        let tiles = bottleneck::attribute(records, layout, elapsed, &units);
+        Profile {
+            layout: *layout,
+            elapsed,
+            graph,
+            latency,
+            units,
+            tiles,
+            trace_events: records.len(),
+            trace_dropped: metrics.get("trace.dropped"),
+            metric_task_ps_sum: metrics.histogram("accel.task_ps").map(|h| h.sum()),
+            metric_busy_ps_sum: metrics.sum_suffix(".busy_ps"),
+        }
+    }
+
+    /// Available parallelism: total work over critical-path length.
+    pub fn parallelism(&self) -> f64 {
+        if self.graph.span_ps == 0 {
+            0.0
+        } else {
+            self.graph.work_ps as f64 / self.graph.span_ps as f64
+        }
+    }
+
+    /// Checks the structural invariants every complete trace must satisfy;
+    /// returns one message per violation (empty means all hold).
+    ///
+    /// - span ≤ makespan: the critical path is a lower bound on execution.
+    /// - work == Σ `accel.task_ps` when the engine exports that histogram
+    ///   and no events were dropped.
+    /// - every unit's utilization lies in \[0, 1\].
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let makespan = self.elapsed.as_ps();
+        if self.graph.span_ps > makespan {
+            violations.push(format!(
+                "span {} ps exceeds makespan {} ps",
+                self.graph.span_ps, makespan
+            ));
+        }
+        if self.trace_dropped == 0 {
+            if let Some(expect) = self.metric_task_ps_sum {
+                if self.graph.work_ps != expect {
+                    violations.push(format!(
+                        "trace work {} ps != accel.task_ps sum {} ps",
+                        self.graph.work_ps, expect
+                    ));
+                }
+            }
+        }
+        for u in &self.units {
+            if u.busy_ps > makespan {
+                violations.push(format!(
+                    "unit {} busy {} ps exceeds makespan {} ps (utilization > 1)",
+                    u.unit, u.busy_ps, makespan
+                ));
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxl_sim::TraceEvent;
+    use pxl_sim::Tracer;
+
+    #[test]
+    fn layout_tiling_clamps() {
+        let l = Layout::new(8, 4);
+        assert_eq!(l.tiles(), 2);
+        assert_eq!(l.tile_of(0), 0);
+        assert_eq!(l.tile_of(7), 1);
+        assert_eq!(l.tile_of(99), 1, "stray unit indices clamp to last tile");
+        let one = Layout::new(3, 0);
+        assert_eq!(one.tiles(), 1);
+    }
+
+    #[test]
+    fn analyze_empty_trace_is_well_formed() {
+        let p = Profile::analyze(
+            &[],
+            &Metrics::new(),
+            &Layout::new(4, 4),
+            Time::from_ps(1000),
+        );
+        assert_eq!(p.graph.work_ps, 0);
+        assert_eq!(p.graph.span_ps, 0);
+        assert_eq!(p.parallelism(), 0.0);
+        assert!(p.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn invariant_catches_work_mismatch() {
+        let mut t = Tracer::bounded(8);
+        t.emit(
+            Time::from_ps(0),
+            TraceEvent::TaskDispatch {
+                unit: 0,
+                ty: 0,
+                task: 1,
+            },
+        );
+        t.emit(
+            Time::from_ps(10),
+            TraceEvent::TaskComplete {
+                unit: 0,
+                ty: 0,
+                busy_ps: 10,
+                task: 1,
+            },
+        );
+        t.finish();
+        let mut m = Metrics::new();
+        let h = m.register_histogram("accel.task_ps");
+        m.observe(h, 99); // deliberately different from the trace's 10
+        let p = Profile::analyze(t.records(), &m, &Layout::new(1, 1), Time::from_ps(10));
+        let violations = p.check_invariants();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("accel.task_ps"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Parses [`pxl_sim::Tracer::to_jsonl`] output back into trace records.
+//!
+//! The trace JSONL dialect is deliberately flat — one object per line,
+//! every value either the `"kind"` string or an unsigned integer — so a
+//! dependency-free parser covers it exactly. Round-tripping is tested
+//! against the emitter: `parse_line(record.to_json())` must reproduce the
+//! record for every event kind.
+
+use pxl_sim::{Time, TraceEvent, TraceRecord};
+
+/// Splits one flat JSON object into `(key, value)` string pairs.
+fn pairs(line: &str) -> Result<Vec<(&str, &str)>, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {line}"))?;
+    let mut out = Vec::new();
+    for piece in inner.split(',') {
+        let (key, value) = piece
+            .split_once(':')
+            .ok_or_else(|| format!("not a key:value pair: {piece}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key: {piece}"))?;
+        out.push((key, value.trim()));
+    }
+    Ok(out)
+}
+
+fn field(pairs: &[(&str, &str)], key: &str) -> Result<u64, String> {
+    let (_, value) = pairs
+        .iter()
+        .find(|(k, _)| *k == key)
+        .ok_or_else(|| format!("missing field {key}"))?;
+    value
+        .parse::<u64>()
+        .map_err(|e| format!("field {key}={value}: {e}"))
+}
+
+/// Parses one JSONL trace line into a [`TraceRecord`].
+///
+/// # Errors
+///
+/// Returns a message naming the malformed or missing piece.
+pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let p = pairs(line)?;
+    let kind = p
+        .iter()
+        .find(|(k, _)| *k == "kind")
+        .map(|(_, v)| v.trim_matches('"'))
+        .ok_or_else(|| format!("missing kind: {line}"))?;
+    let f = |key: &str| field(&p, key);
+    let event = match kind {
+        "task_dispatch" => TraceEvent::TaskDispatch {
+            unit: f("unit")? as u32,
+            ty: f("ty")? as u8,
+            task: f("task")?,
+        },
+        "task_complete" => TraceEvent::TaskComplete {
+            unit: f("unit")? as u32,
+            ty: f("ty")? as u8,
+            busy_ps: f("busy_ps")?,
+            task: f("task")?,
+        },
+        "spawn" => TraceEvent::Spawn {
+            unit: f("unit")? as u32,
+            ty: f("ty")? as u8,
+            parent: f("parent")?,
+            child: f("child")?,
+        },
+        "steal_request" => TraceEvent::StealRequest {
+            thief: f("thief")? as u32,
+            victim: f("victim")? as u32,
+        },
+        "steal_grant" => TraceEvent::StealGrant {
+            thief: f("thief")? as u32,
+            victim: f("victim")? as u32,
+        },
+        "steal_fail" => TraceEvent::StealFail {
+            thief: f("thief")? as u32,
+            victim: f("victim")? as u32,
+        },
+        "pstore_alloc" => TraceEvent::PStoreAlloc {
+            tile: f("tile")? as u32,
+            occupancy: f("occupancy")? as u32,
+        },
+        "pstore_join" => TraceEvent::PStoreJoin {
+            tile: f("tile")? as u32,
+            slot: f("slot")? as u8,
+            task: f("task")?,
+            from: f("from")?,
+        },
+        "pstore_dealloc" => TraceEvent::PStoreDealloc {
+            tile: f("tile")? as u32,
+            occupancy: f("occupancy")? as u32,
+        },
+        "cache_hit" => TraceEvent::CacheHit {
+            port: f("port")? as u32,
+            level: f("level")? as u8,
+        },
+        "cache_miss" => TraceEvent::CacheMiss {
+            port: f("port")? as u32,
+            level: f("level")? as u8,
+        },
+        "cache_evict" => TraceEvent::CacheEvict {
+            port: f("port")? as u32,
+            level: f("level")? as u8,
+        },
+        "dram_saturated" => TraceEvent::DramSaturated {
+            epoch: f("epoch")?,
+            committed_ps: f("committed_ps")?,
+        },
+        "fault.injected" => TraceEvent::FaultInjected {
+            spec: f("spec")? as u32,
+            unit: f("unit")? as u32,
+        },
+        "fault.recovered" => TraceEvent::FaultRecovered {
+            spec: f("spec")? as u32,
+            unit: f("unit")? as u32,
+        },
+        "fault.unrecovered" => TraceEvent::FaultUnrecovered {
+            spec: f("spec")? as u32,
+            unit: f("unit")? as u32,
+        },
+        "watchdog.stall" => TraceEvent::WatchdogStall {
+            unit: f("unit")? as u32,
+            idle_ps: f("idle_ps")?,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(TraceRecord {
+        at: Time::from_ps(f("t_ps")?),
+        seq: f("seq")?,
+        event,
+    })
+}
+
+/// Parses a whole JSONL trace dump (blank lines ignored).
+///
+/// # Errors
+///
+/// Reports the first malformed line with its 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_round_trips() {
+        let events = [
+            TraceEvent::TaskDispatch {
+                unit: 1,
+                ty: 2,
+                task: 3,
+            },
+            TraceEvent::TaskComplete {
+                unit: 1,
+                ty: 2,
+                busy_ps: 40,
+                task: 3,
+            },
+            TraceEvent::Spawn {
+                unit: 1,
+                ty: 2,
+                parent: 3,
+                child: 4,
+            },
+            TraceEvent::StealRequest {
+                thief: 1,
+                victim: 2,
+            },
+            TraceEvent::StealGrant {
+                thief: 1,
+                victim: 2,
+            },
+            TraceEvent::StealFail {
+                thief: 1,
+                victim: 2,
+            },
+            TraceEvent::PStoreAlloc {
+                tile: 1,
+                occupancy: 2,
+            },
+            TraceEvent::PStoreJoin {
+                tile: 1,
+                slot: 2,
+                task: 3,
+                from: 4,
+            },
+            TraceEvent::PStoreDealloc {
+                tile: 1,
+                occupancy: 2,
+            },
+            TraceEvent::CacheHit { port: 1, level: 1 },
+            TraceEvent::CacheMiss { port: 1, level: 2 },
+            TraceEvent::CacheEvict { port: 1, level: 1 },
+            TraceEvent::DramSaturated {
+                epoch: 9,
+                committed_ps: 77,
+            },
+            TraceEvent::FaultInjected { spec: 0, unit: 3 },
+            TraceEvent::FaultRecovered { spec: 0, unit: 3 },
+            TraceEvent::FaultUnrecovered { spec: 1, unit: 3 },
+            TraceEvent::WatchdogStall {
+                unit: 2,
+                idle_ps: 500,
+            },
+        ];
+        for (i, event) in events.into_iter().enumerate() {
+            let record = TraceRecord {
+                at: Time::from_ps(100 + i as u64),
+                seq: i as u64,
+                event,
+            };
+            let parsed =
+                parse_line(&record.to_json()).unwrap_or_else(|e| panic!("{}: {e}", event.kind()));
+            assert_eq!(parsed, record, "round-trip mismatch for {}", event.kind());
+        }
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert!(parse_line("not json").unwrap_err().contains("not a JSON"));
+        assert!(parse_line("{\"t_ps\":1}").unwrap_err().contains("kind"));
+        assert!(parse_line("{\"t_ps\":1,\"seq\":0,\"kind\":\"spawn\"}")
+            .unwrap_err()
+            .contains("missing field"));
+        assert!(parse_jsonl("{\"t_ps\":1,\"seq\":0,\"kind\":\"nope\"}\n")
+            .unwrap_err()
+            .starts_with("line 1:"));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = "\n{\"t_ps\":5,\"seq\":0,\"kind\":\"steal_fail\",\"thief\":1,\"victim\":0}\n\n";
+        let records = parse_jsonl(text).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].at, Time::from_ps(5));
+    }
+}

@@ -1,0 +1,213 @@
+//! Chrome/Perfetto trace export.
+//!
+//! Renders a trace as the Trace Event Format JSON that
+//! <https://ui.perfetto.dev> (and `chrome://tracing`) open directly: each
+//! tile becomes a process, each PE/core a thread, every task execution a
+//! complete (`"X"`) slice, steals and faults instant (`"i"`) markers, and
+//! P-Store occupancy a counter (`"C"`) track.
+//!
+//! Timestamps in the format are microseconds; simulated time is
+//! picoseconds. The conversion inserts a decimal point by integer
+//! arithmetic (`ps / 10^6` and a six-digit fraction) instead of floating
+//! division, so the output is byte-deterministic.
+
+use pxl_sim::{TraceEvent, TraceRecord};
+
+use crate::Layout;
+
+/// Picoseconds → microseconds as a decimal literal, exactly.
+fn us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+fn push_event(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('\n');
+    out.push('{');
+    out.push_str(body);
+    out.push('}');
+}
+
+/// Renders `records` as a complete Perfetto/Chrome `trace.json` document.
+/// `label` names the trace in the UI (typically `"bench/engine"`).
+pub fn to_perfetto_json(records: &[TraceRecord], layout: &Layout, label: &str) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"otherData\":{\"run\":\"");
+    out.push_str(label);
+    out.push_str("\"},\"traceEvents\":[");
+    let mut first = true;
+
+    for tile in 0..layout.tiles() {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "\"ph\":\"M\",\"pid\":{tile},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"tile{tile}\"}}"
+            ),
+        );
+    }
+    for unit in 0..layout.units as u32 {
+        let tile = layout.tile_of(unit);
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "\"ph\":\"M\",\"pid\":{tile},\"tid\":{unit},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"pe{unit}\"}}"
+            ),
+        );
+    }
+
+    for r in records {
+        let t_ps = r.at.as_ps();
+        match r.event {
+            TraceEvent::TaskComplete {
+                unit,
+                ty,
+                busy_ps,
+                task,
+            } => {
+                let tile = layout.tile_of(unit);
+                let start = t_ps.saturating_sub(busy_ps);
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "\"ph\":\"X\",\"pid\":{tile},\"tid\":{unit},\"ts\":{},\"dur\":{},\
+                         \"cat\":\"task\",\"name\":\"ty{ty}\",\"args\":{{\"task\":{task}}}",
+                        us(start),
+                        us(busy_ps),
+                    ),
+                );
+            }
+            TraceEvent::StealGrant { thief, victim } => {
+                let tile = layout.tile_of(thief);
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "\"ph\":\"i\",\"s\":\"t\",\"pid\":{tile},\"tid\":{thief},\"ts\":{},\
+                         \"cat\":\"steal\",\"name\":\"steal from pe{victim}\"",
+                        us(t_ps),
+                    ),
+                );
+            }
+            TraceEvent::FaultInjected { spec, unit }
+            | TraceEvent::FaultRecovered { spec, unit }
+            | TraceEvent::FaultUnrecovered { spec, unit } => {
+                let tile = layout.tile_of(unit);
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "\"ph\":\"i\",\"s\":\"p\",\"pid\":{tile},\"tid\":{unit},\"ts\":{},\
+                         \"cat\":\"fault\",\"name\":\"{} spec{spec}\"",
+                        us(t_ps),
+                        r.event.kind(),
+                    ),
+                );
+            }
+            TraceEvent::WatchdogStall { unit, .. } => {
+                let tile = layout.tile_of(unit);
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "\"ph\":\"i\",\"s\":\"g\",\"pid\":{tile},\"tid\":{unit},\"ts\":{},\
+                         \"cat\":\"watchdog\",\"name\":\"watchdog.stall\"",
+                        us(t_ps),
+                    ),
+                );
+            }
+            TraceEvent::DramSaturated { .. } => {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":{},\
+                         \"cat\":\"mem\",\"name\":\"dram_saturated\"",
+                        us(t_ps),
+                    ),
+                );
+            }
+            TraceEvent::PStoreAlloc { tile, occupancy }
+            | TraceEvent::PStoreDealloc { tile, occupancy } => {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "\"ph\":\"C\",\"pid\":{tile},\"ts\":{},\"name\":\"pstore\",\
+                         \"args\":{{\"occupancy\":{occupancy}}}",
+                        us(t_ps),
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxl_sim::{Time, Tracer};
+
+    #[test]
+    fn ps_to_us_is_exact() {
+        assert_eq!(us(0), "0.000000");
+        assert_eq!(us(1), "0.000001");
+        assert_eq!(us(1_234_567), "1.234567");
+        assert_eq!(us(2_000_000), "2.000000");
+    }
+
+    #[test]
+    fn document_shape_and_determinism() {
+        let mut t = Tracer::bounded(16);
+        t.emit(
+            Time::from_ps(1_500_000),
+            TraceEvent::TaskComplete {
+                unit: 5,
+                ty: 2,
+                busy_ps: 500_000,
+                task: 7,
+            },
+        );
+        t.emit(
+            Time::from_ps(100),
+            TraceEvent::PStoreAlloc {
+                tile: 1,
+                occupancy: 3,
+            },
+        );
+        t.finish();
+        let layout = Layout::new(8, 4);
+        let a = to_perfetto_json(t.records(), &layout, "uts/flex");
+        let b = to_perfetto_json(t.records(), &layout, "uts/flex");
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.ends_with("]}\n"));
+        assert!(a.contains("\"ph\":\"X\",\"pid\":1,\"tid\":5,\"ts\":1.000000,\"dur\":0.500000"));
+        assert!(a.contains("\"name\":\"tile0\""));
+        assert!(a.contains("\"name\":\"pe7\""));
+        assert!(a.contains("\"occupancy\":3"));
+        // Valid JSON bracket balance (cheap sanity check without a parser).
+        assert_eq!(
+            a.matches('{').count(),
+            a.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_document() {
+        let layout = Layout::new(1, 1);
+        let doc = to_perfetto_json(&[], &layout, "x");
+        assert!(doc.contains("\"traceEvents\":["));
+        assert!(doc.contains("tile0"));
+    }
+}

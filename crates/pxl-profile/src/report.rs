@@ -1,0 +1,375 @@
+//! Deterministic report rendering: markdown for humans, JSONL for tools.
+//!
+//! Everything here is a pure function of a [`Profile`]; floating-point
+//! values are only ever produced at render time with fixed precision, so
+//! two identical profiles render byte-identically.
+
+use std::fmt::Write as _;
+
+use crate::latency::Percentiles;
+use crate::Profile;
+
+fn table(out: &mut String, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut emit = |cells: &[String]| {
+        out.push('|');
+        for (c, w) in cells.iter().zip(&widths) {
+            let _ = write!(out, " {c:<w$} |");
+        }
+        out.push('\n');
+    };
+    emit(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    emit(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        emit(row);
+    }
+}
+
+fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+fn latency_row(name: &str, p: &Percentiles) -> Vec<String> {
+    vec![
+        name.to_string(),
+        p.count.to_string(),
+        p.p50.to_string(),
+        p.p90.to_string(),
+        p.p99.to_string(),
+        p.max.to_string(),
+        format!("{:.1}", p.mean()),
+    ]
+}
+
+fn percentiles_json(p: &Percentiles) -> String {
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        p.count, p.p50, p.p90, p.p99, p.max
+    )
+}
+
+impl Profile {
+    /// Renders the profile as a markdown section titled `bench on engine`.
+    pub fn render_markdown(&self, bench: &str, engine: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "## {bench} on {engine} ({} units)\n",
+            self.layout.units
+        );
+        let _ = writeln!(out, "- makespan: {} ps", self.elapsed.as_ps());
+        let _ = writeln!(
+            out,
+            "- work: {} ps, span: {} ps, parallelism: {:.2}x",
+            self.graph.work_ps,
+            self.graph.span_ps,
+            self.parallelism()
+        );
+        let _ = writeln!(
+            out,
+            "- tasks: {} dispatched, edges: {} spawn + {} join, trace: {} events",
+            self.graph.dispatched(),
+            self.graph.spawn_edges,
+            self.graph.join_edges,
+            self.trace_events
+        );
+        match self.metric_task_ps_sum {
+            Some(sum) => {
+                let _ = writeln!(
+                    out,
+                    "- work cross-check: accel.task_ps sum = {} ps ({})",
+                    sum,
+                    if sum == self.graph.work_ps {
+                        "match"
+                    } else {
+                        "MISMATCH"
+                    }
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "- work cross-check: per-unit busy counters sum = {} ps",
+                    self.metric_busy_ps_sum
+                );
+            }
+        }
+        if self.trace_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "\n> **warning**: {} trace event(s) dropped by the capacity \
+                 bound; work/span are lower bounds and the DAG is incomplete.",
+                self.trace_dropped
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "\n### Critical path ({} tasks, showing last {})\n",
+            self.graph.critical_len,
+            self.graph.critical_path.len()
+        );
+        table(
+            &mut out,
+            &["#", "task", "ty", "unit", "chain_ps", "busy_ps"],
+            &self
+                .graph
+                .critical_path
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    vec![
+                        (self.graph.critical_len - self.graph.critical_path.len() + i + 1)
+                            .to_string(),
+                        s.id.to_string(),
+                        s.ty.to_string(),
+                        s.unit.to_string(),
+                        s.est_ps.to_string(),
+                        s.busy_ps.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let _ = writeln!(out, "\n### Heaviest tasks\n");
+        table(
+            &mut out,
+            &["rank", "task", "ty", "unit", "busy_ps"],
+            &self
+                .graph
+                .top_tasks
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    vec![
+                        (i + 1).to_string(),
+                        s.id.to_string(),
+                        s.ty.to_string(),
+                        s.unit.to_string(),
+                        s.busy_ps.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let _ = writeln!(out, "\n### Latency percentiles (ps)\n");
+        let s = &self.latency.steals;
+        table(
+            &mut out,
+            &["population", "count", "p50", "p90", "p99", "max", "mean"],
+            &[
+                latency_row("dispatch\u{2192}complete", &self.latency.busy),
+                latency_row("ready\u{2192}dispatch", &self.latency.queue),
+                latency_row("steal grant", &s.grant),
+                latency_row("steal fail", &s.fail),
+            ],
+        );
+        let _ = writeln!(
+            out,
+            "\nsteals: {} requests, hit rate {}",
+            s.requests,
+            pct(s.hit_rate())
+        );
+
+        let _ = writeln!(out, "\n### Per-unit utilization\n");
+        table(
+            &mut out,
+            &["unit", "tasks", "busy_ps", "util", "timeline"],
+            &self
+                .units
+                .iter()
+                .map(|u| {
+                    vec![
+                        u.unit.to_string(),
+                        u.tasks.to_string(),
+                        u.busy_ps.to_string(),
+                        pct(u.utilization(self.elapsed)),
+                        format!("`{}`", u.timeline()),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let _ = writeln!(out, "\n### Bottleneck attribution\n");
+        table(
+            &mut out,
+            &[
+                "tile",
+                "pes",
+                "busy",
+                "steal-wait",
+                "recovery",
+                "L1 miss",
+                "verdict",
+            ],
+            &self
+                .tiles
+                .iter()
+                .map(|t| {
+                    vec![
+                        t.tile.to_string(),
+                        t.pes.to_string(),
+                        pct(t.busy_frac()),
+                        pct(t.steal_frac()),
+                        pct(t.recovery_frac()),
+                        pct(t.miss_rate()),
+                        t.verdict.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        out
+    }
+
+    /// Renders the profile as one JSONL record.
+    pub fn render_jsonl(&self, bench: &str, engine: &str) -> String {
+        let s = &self.latency.steals;
+        let util: Vec<String> = self
+            .units
+            .iter()
+            .map(|u| format!("{:.4}", u.utilization(self.elapsed)))
+            .collect();
+        let tiles: Vec<String> = self
+            .tiles
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"tile\":{},\"busy\":{:.4},\"steal_wait\":{:.4},\
+                     \"recovery\":{:.4},\"l1_miss_rate\":{:.4},\"verdict\":\"{}\"}}",
+                    t.tile,
+                    t.busy_frac(),
+                    t.steal_frac(),
+                    t.recovery_frac(),
+                    t.miss_rate(),
+                    t.verdict
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"bench\":\"{}\",\"engine\":\"{}\",\"units\":{},",
+                "\"elapsed_ps\":{},\"work_ps\":{},\"span_ps\":{},",
+                "\"parallelism\":{:.3},\"tasks\":{},\"spawn_edges\":{},",
+                "\"join_edges\":{},\"critical_len\":{},\"trace_events\":{},",
+                "\"trace_dropped\":{},\"busy\":{},\"queue\":{},",
+                "\"steal_requests\":{},\"steal_grant\":{},\"steal_fail\":{},",
+                "\"steal_hit_rate\":{:.4},\"util\":[{}],\"tiles\":[{}]}}"
+            ),
+            bench,
+            engine,
+            self.layout.units,
+            self.elapsed.as_ps(),
+            self.graph.work_ps,
+            self.graph.span_ps,
+            self.parallelism(),
+            self.graph.dispatched(),
+            self.graph.spawn_edges,
+            self.graph.join_edges,
+            self.graph.critical_len,
+            self.trace_events,
+            self.trace_dropped,
+            percentiles_json(&self.latency.busy),
+            percentiles_json(&self.latency.queue),
+            s.requests,
+            percentiles_json(&s.grant),
+            percentiles_json(&s.fail),
+            s.hit_rate(),
+            util.join(","),
+            tiles.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Layout, Profile};
+    use pxl_sim::{Metrics, Time, TraceEvent, Tracer};
+
+    fn sample() -> Profile {
+        let mut t = Tracer::bounded(32);
+        t.emit(
+            Time::from_ps(0),
+            TraceEvent::TaskDispatch {
+                unit: 0,
+                ty: 0,
+                task: 1,
+            },
+        );
+        t.emit(
+            Time::from_ps(20),
+            TraceEvent::Spawn {
+                unit: 0,
+                ty: 1,
+                parent: 1,
+                child: 2,
+            },
+        );
+        t.emit(
+            Time::from_ps(80),
+            TraceEvent::TaskComplete {
+                unit: 0,
+                ty: 0,
+                busy_ps: 80,
+                task: 1,
+            },
+        );
+        t.emit(
+            Time::from_ps(30),
+            TraceEvent::TaskDispatch {
+                unit: 1,
+                ty: 1,
+                task: 2,
+            },
+        );
+        t.emit(
+            Time::from_ps(90),
+            TraceEvent::TaskComplete {
+                unit: 1,
+                ty: 1,
+                busy_ps: 60,
+                task: 2,
+            },
+        );
+        t.finish();
+        Profile::analyze(
+            t.records(),
+            &Metrics::new(),
+            &Layout::new(2, 2),
+            Time::from_ps(100),
+        )
+    }
+
+    #[test]
+    fn markdown_is_deterministic_and_complete() {
+        let p = sample();
+        let a = p.render_markdown("uts", "flex");
+        assert_eq!(a, p.render_markdown("uts", "flex"));
+        for section in [
+            "## uts on flex (2 units)",
+            "### Critical path",
+            "### Heaviest tasks",
+            "### Latency percentiles",
+            "### Per-unit utilization",
+            "### Bottleneck attribution",
+        ] {
+            assert!(a.contains(section), "missing {section:?} in:\n{a}");
+        }
+        assert!(!a.contains("warning"), "nothing was dropped");
+    }
+
+    #[test]
+    fn jsonl_has_headline_numbers() {
+        let p = sample();
+        let line = p.render_jsonl("uts", "flex");
+        assert!(line.starts_with("{\"bench\":\"uts\",\"engine\":\"flex\",\"units\":2,"));
+        assert!(line.contains("\"work_ps\":140"));
+        assert!(line.contains("\"span_ps\":80"));
+        assert!(line.contains("\"verdict\":"));
+        assert!(line.ends_with("]}"));
+    }
+}

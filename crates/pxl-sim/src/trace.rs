@@ -19,7 +19,15 @@
 //! use pxl_sim::{Time, TraceEvent, Tracer};
 //!
 //! let mut t = Tracer::bounded(16);
-//! t.emit(Time::from_ps(500), TraceEvent::Spawn { unit: 0, ty: 1 });
+//! t.emit(
+//!     Time::from_ps(500),
+//!     TraceEvent::Spawn {
+//!         unit: 0,
+//!         ty: 1,
+//!         parent: 0,
+//!         child: 1,
+//!     },
+//! );
 //! t.emit(
 //!     Time::from_ps(100),
 //!     TraceEvent::StealGrant { thief: 1, victim: 0 },
@@ -36,15 +44,28 @@ use crate::time::Time;
 ///
 /// `unit` is a flat PE/core index across the whole accelerator or CPU;
 /// `ty` is the task-type id; `port` is the memory port of the issuing unit;
-/// `level` is the cache level (1 = L1, 2 = L2).
+/// `level` is the cache level (1 = L1, 2 = L2). `task`, `parent`, `child`
+/// and `from` are run-unique task instance ids stamped by the engine at
+/// spawn time; together they let a profiler reconstruct the causal
+/// spawn/join DAG from the event stream alone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A task began executing on a processing element.
-    TaskDispatch { unit: u32, ty: u8 },
+    TaskDispatch { unit: u32, ty: u8, task: u64 },
     /// A task finished executing; `busy_ps` is its modeled run length.
-    TaskComplete { unit: u32, ty: u8, busy_ps: u64 },
-    /// A task spawned a child task.
-    Spawn { unit: u32, ty: u8 },
+    TaskComplete {
+        unit: u32,
+        ty: u8,
+        busy_ps: u64,
+        task: u64,
+    },
+    /// A task spawned a child task (`parent` → `child` edge of the DAG).
+    Spawn {
+        unit: u32,
+        ty: u8,
+        parent: u64,
+        child: u64,
+    },
     /// A task-management unit sent a steal request to a victim.
     StealRequest { thief: u32, victim: u32 },
     /// A steal request found work and the task migrated.
@@ -53,8 +74,15 @@ pub enum TraceEvent {
     StealFail { thief: u32, victim: u32 },
     /// A P-Store entry was allocated for a continuation.
     PStoreAlloc { tile: u32, occupancy: u32 },
-    /// An argument joined a pending continuation in the P-Store.
-    PStoreJoin { tile: u32, slot: u8 },
+    /// An argument joined a pending continuation in the P-Store; `task` is
+    /// the joined successor's instance id, `from` the sender's (`from` →
+    /// `task` edge of the DAG).
+    PStoreJoin {
+        tile: u32,
+        slot: u8,
+        task: u64,
+        from: u64,
+    },
     /// A continuation became ready and its P-Store entry was freed.
     PStoreDealloc { tile: u32, occupancy: u32 },
     /// A memory access hit in the given cache level.
@@ -105,18 +133,34 @@ impl TraceEvent {
 
     fn fields(&self) -> Vec<(&'static str, u64)> {
         match *self {
-            TraceEvent::TaskDispatch { unit, ty } => {
-                vec![("unit", unit as u64), ("ty", ty as u64)]
+            TraceEvent::TaskDispatch { unit, ty, task } => {
+                vec![("unit", unit as u64), ("ty", ty as u64), ("task", task)]
             }
-            TraceEvent::TaskComplete { unit, ty, busy_ps } => {
+            TraceEvent::TaskComplete {
+                unit,
+                ty,
+                busy_ps,
+                task,
+            } => {
                 vec![
                     ("unit", unit as u64),
                     ("ty", ty as u64),
                     ("busy_ps", busy_ps),
+                    ("task", task),
                 ]
             }
-            TraceEvent::Spawn { unit, ty } => {
-                vec![("unit", unit as u64), ("ty", ty as u64)]
+            TraceEvent::Spawn {
+                unit,
+                ty,
+                parent,
+                child,
+            } => {
+                vec![
+                    ("unit", unit as u64),
+                    ("ty", ty as u64),
+                    ("parent", parent),
+                    ("child", child),
+                ]
             }
             TraceEvent::StealRequest { thief, victim }
             | TraceEvent::StealGrant { thief, victim }
@@ -127,8 +171,18 @@ impl TraceEvent {
             | TraceEvent::PStoreDealloc { tile, occupancy } => {
                 vec![("tile", tile as u64), ("occupancy", occupancy as u64)]
             }
-            TraceEvent::PStoreJoin { tile, slot } => {
-                vec![("tile", tile as u64), ("slot", slot as u64)]
+            TraceEvent::PStoreJoin {
+                tile,
+                slot,
+                task,
+                from,
+            } => {
+                vec![
+                    ("tile", tile as u64),
+                    ("slot", slot as u64),
+                    ("task", task),
+                    ("from", from),
+                ]
             }
             TraceEvent::CacheHit { port, level }
             | TraceEvent::CacheMiss { port, level }
@@ -291,10 +345,19 @@ impl Tracer {
 mod tests {
     use super::*;
 
+    fn spawn(unit: u32) -> TraceEvent {
+        TraceEvent::Spawn {
+            unit,
+            ty: 0,
+            parent: 0,
+            child: 0,
+        }
+    }
+
     #[test]
     fn disabled_tracer_records_nothing() {
         let mut t = Tracer::disabled();
-        t.emit(Time::from_ps(1), TraceEvent::Spawn { unit: 0, ty: 0 });
+        t.emit(Time::from_ps(1), spawn(0));
         assert!(!t.is_enabled());
         assert!(t.is_empty());
         assert_eq!(t.dropped(), 0, "disabled is free, not dropping");
@@ -304,7 +367,7 @@ mod tests {
     fn capacity_bounds_and_counts_drops() {
         let mut t = Tracer::bounded(2);
         for i in 0..5 {
-            t.emit(Time::from_ps(i), TraceEvent::Spawn { unit: 0, ty: 0 });
+            t.emit(Time::from_ps(i), spawn(0));
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
@@ -313,9 +376,9 @@ mod tests {
     #[test]
     fn finish_orders_by_time_then_emission() {
         let mut t = Tracer::bounded(8);
-        t.emit(Time::from_ps(50), TraceEvent::Spawn { unit: 1, ty: 0 });
-        t.emit(Time::from_ps(10), TraceEvent::Spawn { unit: 2, ty: 0 });
-        t.emit(Time::from_ps(10), TraceEvent::Spawn { unit: 3, ty: 0 });
+        t.emit(Time::from_ps(50), spawn(1));
+        t.emit(Time::from_ps(10), spawn(2));
+        t.emit(Time::from_ps(10), spawn(3));
         t.finish();
         let units: Vec<u32> = t
             .records()
@@ -335,11 +398,11 @@ mod tests {
     #[test]
     fn absorb_renumbers_and_respects_capacity() {
         let mut a = Tracer::bounded(3);
-        a.emit(Time::from_ps(5), TraceEvent::Spawn { unit: 0, ty: 0 });
+        a.emit(Time::from_ps(5), spawn(0));
         let mut b = Tracer::bounded(8);
-        b.emit(Time::from_ps(1), TraceEvent::Spawn { unit: 1, ty: 0 });
-        b.emit(Time::from_ps(2), TraceEvent::Spawn { unit: 2, ty: 0 });
-        b.emit(Time::from_ps(3), TraceEvent::Spawn { unit: 3, ty: 0 });
+        b.emit(Time::from_ps(1), spawn(1));
+        b.emit(Time::from_ps(2), spawn(2));
+        b.emit(Time::from_ps(3), spawn(3));
         a.absorb(b);
         assert_eq!(a.len(), 3);
         assert_eq!(a.dropped(), 1);

@@ -26,6 +26,14 @@ echo "==> perf smoke (pxl-bench --bin perf -- --smoke)"
 # engine (flex, lite, central, cpu); appends records to bench_results.jsonl.
 cargo run --release --offline -p pxl-bench --bin perf -- --smoke > /dev/null
 
+echo "==> profile smoke (pxl-bench --bin profile -- --smoke)"
+# Traced run + full pxl-profile analysis per (benchmark, engine); exits
+# nonzero if any profile violates the structural invariants (span <=
+# makespan, trace work == accel.task_ps, utilization in [0,1]) or is not
+# byte-identical across two same-seed runs. Writes profile_report.md,
+# profile_results.jsonl and profile_traces/.
+cargo run --release --offline -p pxl-bench --bin profile -- --smoke > /dev/null
+
 echo "==> DSE smoke sweep (pxl-bench --bin dse -- --smoke)"
 # Explores the smoke design space three times against a shared result
 # cache; exits nonzero if the cached re-run is not 100% hits with

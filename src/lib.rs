@@ -26,6 +26,7 @@
 //! | [`cost`] | `pxl-cost` | FPGA resource + energy models |
 //! | [`flow`] | `pxl-flow` | design methodology: builders + design-space sweeps |
 //! | [`dse`] | `pxl-dse` | parallel design-space exploration: result cache, strategies, Pareto fronts |
+//! | [`profile`] | `pxl-profile` | trace-driven profiling: task DAG + critical path, latency, bottlenecks, Perfetto export |
 //!
 //! The most commonly used types from each layer are re-exported at the
 //! crate root, so a typical program needs only `use parallelxl::...`.
@@ -98,6 +99,9 @@ pub use pxl_mem as mem;
 /// The computation model: tasks with explicit continuation passing
 /// (Section II).
 pub use pxl_model as model;
+/// Post-run analysis: task-graph reconstruction, critical path, latency
+/// percentiles, bottleneck attribution, Perfetto export.
+pub use pxl_profile as profile;
 /// Simulation kernel: time, clocks, deterministic RNG, metrics, tracing.
 pub use pxl_sim as sim;
 
@@ -128,6 +132,8 @@ pub use pxl_mem::Memory;
 pub use pxl_model::{
     Continuation, ExecProfile, SerialExecutor, Task, TaskContext, TaskTypeId, Worker,
 };
+/// Trace-driven performance analysis of a finished run.
+pub use pxl_profile::Profile;
 /// Deterministic fault injection: seeded plans armed via
 /// [`SimulationBuilder::with_faults`] or [`AccelConfig::fault_plan`].
 pub use pxl_sim::{FaultKind, FaultPlan, FaultSpec, NetClass};
