@@ -36,6 +36,27 @@ pub enum Scale {
     Paper,
 }
 
+impl Scale {
+    /// Short stable label used in run specs, cache keys and wire formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Parses a [`Scale::label`] string.
+    pub fn from_label(label: &str) -> Option<Scale> {
+        match label {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
 /// An instantiated FlexArch/CPU run: worker, root task and footprint.
 pub struct Instance {
     /// The application worker (shared by FlexArch, the CPU baseline and the

@@ -31,7 +31,7 @@ fn config(pes: usize, policy: SchedPolicy) -> AccelConfig {
 fn try_run<P: SchedulingPolicy>(
     b: &dyn Benchmark,
     cfg: AccelConfig,
-) -> Result<(pxl_sim::Time, pxl_sim::Stats), String> {
+) -> Result<(pxl_sim::Time, pxl_sim::Metrics), String> {
     let mut engine = FabricEngine::<P>::new(cfg, b.profile());
     let inst = b.flex(engine.mem_mut());
     let mut worker = inst.worker;
@@ -85,7 +85,8 @@ fn main() {
                 .expect("baseline runs");
         let mut rows = Vec::new();
         let mut push_row =
-            |label: &str, outcome: Result<(pxl_sim::Time, pxl_sim::Stats), String>| match outcome {
+            |label: &str, outcome: Result<(pxl_sim::Time, pxl_sim::Metrics), String>| match outcome
+            {
                 Ok((elapsed, stats)) => {
                     let storage =
                         stats.get("accel.queue_peak_sum") + stats.get("accel.pstore_peak_sum");

@@ -9,33 +9,32 @@
 //! Perfetto/Chrome trace next to it (`<path>.perfetto.json`) for
 //! <https://ui.perfetto.dev>.
 use pxl_apps::Scale;
-use pxl_arch::AccelConfig;
 use pxl_bench::experiments as ex;
 use pxl_bench::{geometry, RunOutcome};
-use pxl_flow::SimulationBuilder;
+use pxl_dse::{DesignPoint, PointArch};
+use pxl_flow::RunSpec;
 use pxl_profile::{to_perfetto_json, Layout};
 
-/// Re-runs `won`'s exact configuration with tracing enabled.
+/// Re-runs `won`'s exact configuration with tracing enabled, phrased as a
+/// canonical [`RunSpec`].
 fn rerun_traced(won: &RunOutcome, scale: Scale) -> RunOutcome {
-    let b = pxl_bench::bench(&won.bench, scale);
-    let mut builder = match won.engine.as_str() {
-        "cpu" => SimulationBuilder::cpu(won.units, b.profile()),
+    let point = match won.engine.as_str() {
+        "cpu" => DesignPoint::cpu(won.units),
         label => {
             let (tiles, per_tile) = geometry(won.units);
-            let cfg = match label {
-                "flex" => AccelConfig::flex(tiles, per_tile),
-                "central" => AccelConfig::central(tiles, per_tile),
-                "lite" => AccelConfig::lite(tiles, per_tile),
+            let arch = match label {
+                "flex" => PointArch::Flex,
+                "central" => PointArch::Central,
+                "lite" => PointArch::Lite,
                 other => panic!("cannot re-trace engine {other}"),
             };
-            SimulationBuilder::from_config(cfg, b.profile())
+            DesignPoint::accel(arch, tiles, per_tile)
         }
     };
-    builder.trace(1 << 20);
-    let mut engine = builder
-        .build()
-        .unwrap_or_else(|e| panic!("{}/{}: {e}", won.bench, won.engine));
-    pxl_bench::run_on(engine.as_mut(), b.as_ref(), &won.engine).expect("it ran in the sweep")
+    let spec = RunSpec::new(won.bench.clone(), scale, point).with_trace(1 << 20);
+    pxl_flow::execute(&spec)
+        .unwrap_or_else(|e| panic!("{}/{}: {e}", won.bench, won.engine))
+        .expect("it ran in the sweep")
 }
 
 fn main() {

@@ -16,10 +16,10 @@
 //! run — the benchmark that absorbed the PE kill with the lowest overhead —
 //! plus a Perfetto/Chrome trace next to it (`<path>.perfetto.json`).
 
-use pxl_apps::{Benchmark, Scale};
-use pxl_arch::AccelConfig;
-use pxl_bench::{bench, render_table, ALL_BENCHES};
-use pxl_flow::SimulationBuilder;
+use pxl_apps::Scale;
+use pxl_bench::{render_table, ALL_BENCHES};
+use pxl_dse::{DesignPoint, PointArch};
+use pxl_flow::{RunError, RunSpec};
 use pxl_sim::{FaultPlan, Metrics, NetClass, Time};
 
 /// One fault scenario of the sweep.
@@ -113,39 +113,40 @@ impl FaultRun {
     }
 }
 
-/// Runs `bench` under `plan` on an 8-PE FlexArch, optionally traced,
-/// returning the run record and the trace JSONL.
+/// Runs `name` under `plan` on an 8-PE FlexArch, optionally traced,
+/// returning the run record and the trace JSONL. Phrased as a canonical
+/// [`RunSpec`]; a run whose output fails golden validation is still a
+/// record (`result_ok: false`) — [`RunError::WrongResult`] carries the
+/// completed outcome for exactly this purpose.
 fn run_faulted(
-    b: &dyn Benchmark,
+    name: &str,
+    scale: Scale,
     scenario: &'static str,
     plan: Option<FaultPlan>,
     trace: bool,
 ) -> (FaultRun, String) {
-    let mut builder = SimulationBuilder::from_config(AccelConfig::flex(2, 4), b.profile());
+    let mut spec = RunSpec::new(name, scale, DesignPoint::accel(PointArch::Flex, 2, 4));
     if let Some(plan) = plan {
-        builder.with_faults(plan);
+        spec = spec.with_faults(plan);
     }
     if trace {
-        builder.trace(1 << 18);
+        spec = spec.with_trace(1 << 18);
     }
-    let mut engine = builder
-        .build()
-        .unwrap_or_else(|e| panic!("{} [{scenario}]: {e}", b.meta().name));
-    let inst = b.flex(engine.mem_mut());
-    let mut worker = inst.worker;
-    let out = engine
-        .run(pxl_arch::Workload::dynamic(worker.as_mut(), inst.root))
-        .unwrap_or_else(|e| panic!("{} [{scenario}] failed: {e}", b.meta().name));
-    let result_ok = b.check(engine.memory(), out.result).is_ok();
+    let (out, result_ok) = match pxl_flow::execute(&spec) {
+        Ok(out) => (out.expect("FlexArch runs every benchmark"), true),
+        Err(RunError::WrongResult { outcome, .. }) => (*outcome, false),
+        Err(e) => panic!("{name} [{scenario}]: {e}"),
+    };
+    let trace_jsonl = out.trace.to_jsonl();
     (
         FaultRun {
-            bench: b.meta().name.to_owned(),
+            bench: name.to_owned(),
             scenario,
-            kernel_ps: out.elapsed.as_ps(),
+            kernel_ps: out.kernel.as_ps(),
             result_ok,
             metrics: out.metrics,
         },
-        out.trace.to_jsonl(),
+        trace_jsonl,
     )
 }
 
@@ -167,11 +168,10 @@ fn main() {
     let mut best_kill1: Option<(u64, u64, String, String)> = None;
 
     for name in ALL_BENCHES {
-        let b = bench(name, scale);
         let mut clean_ps = 0u64;
         let mut kill1_ps = 0u64;
         for sc in &SCENARIOS {
-            let (run, _) = run_faulted(b.as_ref(), sc.name, (sc.plan)(), false);
+            let (run, _) = run_faulted(name, scale, sc.name, (sc.plan)(), false);
             if sc.name == "clean" {
                 clean_ps = run.kernel_ps;
             }
@@ -213,8 +213,8 @@ fn main() {
         }
 
         // Replay gate: the kill1 scenario must trace byte-identically.
-        let (_, first) = run_faulted(b.as_ref(), "kill1", (SCENARIOS[1].plan)(), true);
-        let (_, second) = run_faulted(b.as_ref(), "kill1", (SCENARIOS[1].plan)(), true);
+        let (_, first) = run_faulted(name, scale, "kill1", (SCENARIOS[1].plan)(), true);
+        let (_, second) = run_faulted(name, scale, "kill1", (SCENARIOS[1].plan)(), true);
         if first != second {
             failures.push(format!("{name} [kill1]: nondeterministic replay"));
         }

@@ -20,10 +20,10 @@
 //!
 //! Pass `--smoke` to run at `Scale::Tiny` (the CI configuration).
 
-use pxl_apps::{Benchmark, Scale};
-use pxl_arch::AccelConfig;
-use pxl_bench::{bench, render_table, try_run_on, RunOutcome, ALL_BENCHES};
-use pxl_flow::SimulationBuilder;
+use pxl_apps::Scale;
+use pxl_bench::{render_table, RunOutcome, ALL_BENCHES};
+use pxl_dse::{DesignPoint, PointArch};
+use pxl_flow::RunSpec;
 use pxl_profile::{to_perfetto_json, Layout, Profile};
 
 /// Trace buffer large enough that smoke/small runs never drop events (a
@@ -42,21 +42,18 @@ fn layout_for(label: &str) -> Layout {
     }
 }
 
-/// Builds the labeled engine with tracing on and runs `b` through the
-/// shared harness path. `None` means LiteArch with no Lite mapping.
-fn run_traced(b: &dyn Benchmark, label: &str) -> Option<RunOutcome> {
-    let mut builder = match label {
-        "flex" => SimulationBuilder::from_config(AccelConfig::flex(2, 4), b.profile()),
-        "central" => SimulationBuilder::from_config(AccelConfig::central(2, 4), b.profile()),
-        "lite" => SimulationBuilder::from_config(AccelConfig::lite(2, 4), b.profile()),
-        "cpu" => SimulationBuilder::cpu(4, b.profile()),
+/// Runs `name` on the labeled engine with tracing on, through the
+/// canonical [`RunSpec`] path. `None` means LiteArch with no Lite mapping.
+fn run_traced(name: &str, scale: Scale, label: &str) -> Option<RunOutcome> {
+    let point = match label {
+        "flex" => DesignPoint::accel(PointArch::Flex, 2, 4),
+        "central" => DesignPoint::accel(PointArch::Central, 2, 4),
+        "lite" => DesignPoint::accel(PointArch::Lite, 2, 4),
+        "cpu" => DesignPoint::cpu(4),
         other => panic!("unknown engine label {other}"),
     };
-    builder.trace(TRACE_CAPACITY);
-    let mut engine = builder
-        .build()
-        .unwrap_or_else(|e| panic!("{} on {label}: {e}", b.meta().name));
-    try_run_on(engine.as_mut(), b, label).unwrap_or_else(|e| panic!("{e}"))
+    let spec = RunSpec::new(name, scale, point).with_trace(TRACE_CAPACITY);
+    pxl_flow::execute(&spec).unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn main() {
@@ -78,9 +75,8 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     for name in ALL_BENCHES {
-        let b = bench(name, scale);
         for label in ENGINES {
-            let Some(out) = run_traced(b.as_ref(), label) else {
+            let Some(out) = run_traced(name, scale, label) else {
                 continue; // no LiteArch mapping
             };
             let layout = layout_for(label);
@@ -94,7 +90,7 @@ fn main() {
 
             // Determinism gate: a second same-seed run must reproduce both
             // artifacts byte-for-byte.
-            let again = run_traced(b.as_ref(), label).expect("engine ran once already");
+            let again = run_traced(name, scale, label).expect("engine ran once already");
             let profile2 =
                 Profile::analyze(again.trace.records(), &again.metrics, &layout, again.kernel);
             if profile2.render_markdown(name, label) != md

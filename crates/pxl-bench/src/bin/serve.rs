@@ -1,0 +1,258 @@
+//! Job-server driver: boots a `pxl-serve` [`Server`] on a loopback port
+//! and drives the full service contract end to end, exiting nonzero if any
+//! guarantee is broken. This is the CI smoke for simulation-as-a-service:
+//!
+//! 1. **Fair share** — with one worker and dispatch paused, a tenant that
+//!    floods the queue first must still alternate with a later tenant
+//!    (deterministic round-robin `running` order).
+//! 2. **Dedup** — the same spec submitted twice yields byte-identical
+//!    `done` payloads, the second a pure content-addressed cache hit.
+//! 3. **Quotas** — a tenant at its quota is refused with the
+//!    `quota_exceeded` code while other tenants keep submitting.
+//! 4. **Profiling** — a `profile` job reports its trace size and never
+//!    hits the measurement cache.
+//! 5. **Graceful drain** — `shutdown` finishes every admitted job,
+//!    refuses new ones with the `draining` code, and reports the total.
+//!
+//! Every event the server emits is appended to `serve_jobs.jsonl` (the CI
+//! artifact); the driver re-parses the whole log to check it is valid
+//! line-delimited JSON with the expected event counts.
+
+use pxl_apps::Scale;
+use pxl_dse::{DesignPoint, PointArch};
+use pxl_flow::RunSpec;
+use pxl_serve::{
+    measurement_to_json_value, Client, ClientError, ErrorCode, JobEvent, JobKind, Server,
+    ServerConfig,
+};
+
+const JOB_LOG: &str = "serve_jobs.jsonl";
+
+fn flex_spec(bench: &str) -> RunSpec {
+    RunSpec::new(
+        bench,
+        Scale::Tiny,
+        DesignPoint::accel(PointArch::Flex, 1, 2),
+    )
+}
+
+fn cpu_spec(bench: &str) -> RunSpec {
+    RunSpec::new(bench, Scale::Tiny, DesignPoint::cpu(2))
+}
+
+fn done_payload(
+    event: &JobEvent,
+    failures: &mut Vec<String>,
+    what: &str,
+) -> Option<(bool, String)> {
+    match event {
+        JobEvent::Done { cached, result, .. } => {
+            Some((*cached, measurement_to_json_value(result).to_json()))
+        }
+        other => {
+            failures.push(format!("{what}: expected done, got {other:?}"));
+            None
+        }
+    }
+}
+
+fn main() {
+    let mut failures: Vec<String> = Vec::new();
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        tenant_quota: 4,
+        cache_path: None,
+        job_log: Some(JOB_LOG.into()),
+    })
+    .unwrap_or_else(|e| panic!("server start: {e}"));
+    let mut client = Client::connect(server.addr()).unwrap_or_else(|e| panic!("connect: {e}"));
+    let check = |r: Result<(), ClientError>| r.unwrap_or_else(|e| panic!("{e}"));
+
+    // Phase 1: fair share. Pause so the queue fills before the single
+    // worker starts; the running order is then exactly the scheduler's
+    // deterministic round-robin, not a submission race.
+    check(client.pause().map(|_| ()));
+    let a = flex_spec("uts");
+    let b = flex_spec("queens");
+    let a1 = client.submit("alice", JobKind::Sim, &a).unwrap();
+    let a2 = client.submit("alice", JobKind::Sim, &a).unwrap();
+    let a3 = client.submit("alice", JobKind::Sim, &a).unwrap();
+    let b1 = client.submit("bob", JobKind::Sim, &b).unwrap();
+    let b2 = client.submit("bob", JobKind::Sim, &b).unwrap();
+    check(client.resume().map(|_| ()));
+    // The terminal event is the last per job, so once five are in, every
+    // running event has been seen too.
+    let mut running = Vec::new();
+    let mut terminal = 0;
+    while terminal < 5 {
+        match client.next_event() {
+            Ok(JobEvent::Running { job }) => running.push(job),
+            Ok(JobEvent::Done { .. }) => terminal += 1,
+            Ok(JobEvent::Failed { job, error }) => {
+                terminal += 1;
+                failures.push(format!("fair-share: {job} failed: {error}"));
+            }
+            Ok(_) => {}
+            Err(e) => panic!("fair-share: {e}"),
+        }
+    }
+    let expected = vec![a1, b1, a2, b2, a3];
+    if running != expected {
+        failures.push(format!(
+            "fair-share: running order {running:?} != round-robin {expected:?}"
+        ));
+    }
+    eprintln!("[serve] fair-share: alice flooded, bob still alternated ({running:?})");
+
+    // Phase 2: dedup. The same dse spec twice — the second submission must
+    // be answered from the content-addressed cache with identical bytes.
+    let spec = flex_spec("uts");
+    let (d1, key1) = client
+        .submit_with_key("dedup", JobKind::Dse, &spec)
+        .unwrap();
+    let first = client.wait(d1).unwrap();
+    let (d2, key2) = client
+        .submit_with_key("dedup", JobKind::Dse, &spec)
+        .unwrap();
+    let second = client.wait(d2).unwrap();
+    if key1 != key2 {
+        failures.push(format!("dedup: content addresses differ: {key1} != {key2}"));
+    }
+    if let (Some((c1, p1)), Some((c2, p2))) = (
+        done_payload(&first, &mut failures, "dedup first"),
+        done_payload(&second, &mut failures, "dedup second"),
+    ) {
+        if c1 {
+            failures.push("dedup: first submission must simulate, not hit".to_owned());
+        }
+        if !c2 {
+            failures.push("dedup: second identical submission must be a cache hit".to_owned());
+        }
+        if p1 != p2 {
+            failures.push(format!("dedup: payloads differ:\n  {p1}\n  {p2}"));
+        } else {
+            eprintln!("[serve] dedup: {key1} hit the cache with byte-identical payload");
+        }
+    }
+
+    // Phase 3: quotas. A tenant at its quota is refused; others are not.
+    check(client.pause().map(|_| ()));
+    let mut flood = Vec::new();
+    for _ in 0..4 {
+        flood.push(
+            client
+                .submit("flood", JobKind::Sim, &cpu_spec("uts"))
+                .unwrap(),
+        );
+    }
+    match client.submit("flood", JobKind::Sim, &cpu_spec("uts")) {
+        Err(ClientError::Rejected {
+            code: ErrorCode::QuotaExceeded,
+            message,
+        }) => eprintln!("[serve] quota: fifth job refused ({message})"),
+        other => failures.push(format!("quota: expected quota_exceeded, got {other:?}")),
+    }
+    let calm = client
+        .submit("calm", JobKind::Sim, &cpu_spec("queens"))
+        .unwrap();
+    check(client.resume().map(|_| ()));
+    for job in flood.iter().chain([&calm]) {
+        if let JobEvent::Failed { error, .. } = client.wait(*job).unwrap() {
+            failures.push(format!("quota: {job} failed: {error}"));
+        }
+    }
+
+    // Phase 4: a profile job reports its trace size and never caches.
+    let p1 = client
+        .submit("prof", JobKind::Profile, &flex_spec("uts"))
+        .unwrap();
+    match client.wait(p1).unwrap() {
+        JobEvent::Done {
+            cached,
+            trace_events,
+            ..
+        } => {
+            if cached {
+                failures.push("profile: must not be served from the cache".to_owned());
+            }
+            match trace_events {
+                Some(n) if n > 0 => eprintln!("[serve] profile: {n} trace events captured"),
+                other => failures.push(format!("profile: bad trace_events {other:?}")),
+            }
+        }
+        other => failures.push(format!("profile: expected done, got {other:?}")),
+    }
+
+    // Phase 5: graceful drain. The in-flight submission finishes, new work
+    // is refused with the draining code, and the totals add up.
+    let last = client
+        .submit("alice", JobKind::Sim, &flex_spec("queens"))
+        .unwrap();
+    let completed = client.drain().unwrap_or_else(|e| panic!("drain: {e}"));
+    if let JobEvent::Failed { error, .. } = client.wait(last).unwrap() {
+        failures.push(format!("drain: {last} failed: {error}"));
+    }
+    match client.submit("alice", JobKind::Sim, &flex_spec("uts")) {
+        Err(ClientError::Rejected {
+            code: ErrorCode::Draining,
+            ..
+        }) => {}
+        other => failures.push(format!("drain: expected draining rejection, got {other:?}")),
+    }
+    let summary = server.join();
+    let jobs = 14u64; // 5 fair-share + 2 dedup + 5 quota + 1 profile + 1 drain
+    if completed != jobs || summary.completed != jobs || summary.failed != 0 {
+        failures.push(format!(
+            "drain: expected {jobs} completed / 0 failed, got drain={completed}, {summary:?}"
+        ));
+    }
+    eprintln!(
+        "[serve] drain: {completed} job(s) completed, {} cache hit(s), {} miss(es)",
+        summary.cache_hits, summary.cache_misses
+    );
+
+    // The job log must be valid line-delimited JSON with matching counts.
+    let log = std::fs::read_to_string(JOB_LOG).unwrap_or_else(|e| panic!("read {JOB_LOG}: {e}"));
+    let mut done = 0u64;
+    let mut drained = 0u64;
+    for (i, line) in log.lines().enumerate() {
+        match JobEvent::from_json(line) {
+            Ok(JobEvent::Done { .. }) => done += 1,
+            Ok(JobEvent::Drained { .. }) => drained += 1,
+            Ok(_) => {}
+            Err(e) => failures.push(format!("{JOB_LOG}:{}: {e}", i + 1)),
+        }
+    }
+    if done != jobs || drained != 1 {
+        failures.push(format!(
+            "{JOB_LOG}: expected {jobs} done + 1 drained, got {done} + {drained}"
+        ));
+    }
+    eprintln!(
+        "[jsonl] wrote {} event(s) to {JOB_LOG}",
+        log.lines().count()
+    );
+
+    println!("# pxl-serve smoke\n");
+    println!("| guarantee | result |");
+    println!("|---|---|");
+    println!("| fair-share round-robin | {:?} |", running);
+    println!("| dedup cache hit | key {key1} |");
+    println!(
+        "| jobs completed / failed | {} / {} |",
+        summary.completed, summary.failed
+    );
+    println!(
+        "| cache hits / misses | {} / {} |",
+        summary.cache_hits, summary.cache_misses
+    );
+
+    if !failures.is_empty() {
+        eprintln!("\n[serve] FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("[serve] all service guarantees held");
+}

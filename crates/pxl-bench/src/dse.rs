@@ -6,16 +6,20 @@
 //! Fidelity maps to input scale: `Fidelity::Rung(_)` runs the benchmark at
 //! the (cheap) rung scale so successive halving can triage candidates before
 //! spending full-size simulations on them.
+//!
+//! Each evaluation is phrased as a [`RunSpec`] and executed through
+//! [`pxl_flow::measure`] — the same canonical request path the experiment
+//! drivers and the `pxl-serve` job server use — so the explorer's cache
+//! keys are the spec's [`RunSpec::canonical`] identity plus the fidelity
+//! label, and a cached DSE measurement is interchangeable with a served
+//! one.
 
-use pxl_apps::{by_name, Scale};
-use pxl_cost::EnergyModel;
-use pxl_dse::{Candidate, Evaluate, Fidelity, Measurement, PointArch};
-use pxl_flow::SimulationBuilder;
+use pxl_apps::Scale;
+use pxl_dse::{Candidate, Evaluate, Fidelity, Measurement};
+use pxl_flow::{FlowError, RunError, RunSpec};
 
-use crate::try_run_on;
-
-/// Evaluates design points by running the named benchmark on a freshly built
-/// engine via [`SimulationBuilder::from_point`].
+/// Evaluates design points by running the named benchmark through the
+/// canonical [`RunSpec`] execution path.
 ///
 /// The evaluator is stateless and `Sync`: the explorer calls it from the
 /// shared worker pool, one engine instance per evaluation.
@@ -40,67 +44,45 @@ impl BenchEvaluator {
             Fidelity::Full => self.full,
         }
     }
-}
 
-fn scale_label(scale: Scale) -> &'static str {
-    match scale {
-        Scale::Tiny => "tiny",
-        Scale::Small => "small",
-        Scale::Paper => "paper",
+    /// The [`RunSpec`] one evaluation of `candidate` at `fidelity` executes.
+    pub fn spec_for(&self, candidate: &Candidate, fidelity: Fidelity) -> RunSpec {
+        RunSpec::new(
+            candidate.bench.clone(),
+            self.scale_for(fidelity),
+            candidate.point.clone(),
+        )
     }
 }
 
 impl Evaluate for BenchEvaluator {
     fn evaluate(&self, candidate: &Candidate, fidelity: Fidelity) -> Result<Measurement, String> {
-        let scale = self.scale_for(fidelity);
-        let bench = by_name(&candidate.bench, scale)
-            .ok_or_else(|| format!("unknown benchmark {:?}", candidate.bench))?;
-        let mut engine = SimulationBuilder::from_point(&candidate.point, bench.profile())
-            .build()
-            .map_err(|e| e.to_string())?;
-        let out = try_run_on(
-            engine.as_mut(),
-            bench.as_ref(),
-            candidate.point.arch.label(),
-        )?
-        .ok_or_else(|| {
-            format!("{} has no LiteArch mapping", candidate.bench) // pruned upstream for known benches
-        })?;
-        let model = EnergyModel::default();
-        let energy_j = match candidate.point.arch {
-            PointArch::Cpu => model.cpu_energy(&out.metrics, out.kernel, out.units),
-            PointArch::Flex | PointArch::Lite | PointArch::Central => model.accel_energy_for(
-                &out.metrics,
-                out.kernel,
-                out.units,
-                candidate.point.arch == PointArch::Lite,
-            ),
-        }
-        .total_j();
-        let (lut, bram18) = match &candidate.resources {
-            Some(r) => {
-                let tiles = candidate.point.tiles.max(1) as u64;
-                (
-                    u64::from(r.tile.lut) * tiles,
-                    u64::from(r.tile.bram18) * tiles,
-                )
+        let spec = self.spec_for(candidate, fidelity);
+        pxl_flow::measure(&spec, candidate.resources.as_ref()).map_err(|e| match e {
+            // Keep the harness's historical message for the (upstream-pruned)
+            // missing-Lite case.
+            RunError::Build(FlowError::NoLiteVariant(name)) => {
+                format!("{name} has no LiteArch mapping")
             }
-            None => (0, 0),
-        };
-        Ok(Measurement {
-            kernel_ps: out.kernel.as_ps(),
-            whole_ps: out.whole.as_ps(),
-            energy_j,
-            lut,
-            bram18,
+            other => other.to_string(),
         })
     }
 
     fn context_tag(&self) -> String {
         format!(
             "scale={} rung_scale={}",
-            scale_label(self.full),
-            scale_label(self.rung)
+            self.full.label(),
+            self.rung.label()
+        )
+    }
+
+    fn cache_key(&self, candidate: &Candidate, fidelity: Fidelity) -> String {
+        // The spec's canonical string already pins the scale actually run,
+        // so the key needs only the fidelity label on top of it.
+        format!(
+            "{} fidelity={}",
+            self.spec_for(candidate, fidelity).canonical(),
+            fidelity.label()
         )
     }
 }
@@ -108,7 +90,7 @@ impl Evaluate for BenchEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pxl_dse::{DesignPoint, Explorer, SearchSpace};
+    use pxl_dse::{DesignPoint, Explorer, PointArch, SearchSpace};
 
     #[test]
     fn evaluates_a_flex_point_end_to_end() {
@@ -157,6 +139,28 @@ mod tests {
         let rung = eval.evaluate(&candidate, Fidelity::Rung(0)).unwrap();
         assert_eq!(full, rung);
         assert_eq!(eval.context_tag(), "scale=tiny rung_scale=tiny");
+    }
+
+    #[test]
+    fn cache_keys_are_canonical_run_specs() {
+        let eval = BenchEvaluator::new(Scale::Small, Scale::Tiny);
+        let candidate = Candidate {
+            bench: "uts".to_owned(),
+            point: DesignPoint::accel(PointArch::Flex, 2, 4),
+            resources: None,
+        };
+        assert_eq!(
+            eval.cache_key(&candidate, Fidelity::Full),
+            "bench=uts scale=small arch=flex tiles=2 pes=4 cache_kb=32 queue=1024 \
+             pstore=8192 fidelity=full"
+        );
+        // The rung runs a different scale AND carries a different label, so
+        // rung results can never shadow full ones.
+        assert_eq!(
+            eval.cache_key(&candidate, Fidelity::Rung(0)),
+            "bench=uts scale=tiny arch=flex tiles=2 pes=4 cache_kb=32 queue=1024 \
+             pstore=8192 fidelity=rung0"
+        );
     }
 
     #[test]

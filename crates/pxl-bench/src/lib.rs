@@ -14,98 +14,15 @@ pub mod dse;
 pub mod experiments;
 
 use pxl_apps::{by_name, Benchmark, Scale};
-use pxl_arch::{AccelConfig, Engine, EngineKind, MemBackendKind, Workload};
+use pxl_arch::{AccelConfig, MemBackendKind};
 use pxl_flow::SimulationBuilder;
 use pxl_mem::zedboard::{zedboard_cpu_core, zedboard_cpu_memory};
-use pxl_sim::{Clock, Metrics, Time, Tracer};
+use pxl_sim::Clock;
 
-/// Host memcpy bandwidth used to charge initialization time for the
-/// benchmark's data footprint (bytes/second). Charged identically to CPU
-/// and accelerator runs — on the integrated SoC both engines read the same
-/// shared memory.
-const INIT_BW: f64 = 25.6e9;
-
-/// Outcome of one validated simulation run.
-#[derive(Debug, Clone)]
-pub struct RunOutcome {
-    /// Benchmark name.
-    pub bench: String,
-    /// Engine label ("flex", "lite", "central", "cpu", "zedflex",
-    /// "zedcpu").
-    pub engine: String,
-    /// PEs or cores used.
-    pub units: usize,
-    /// Kernel time (simulated).
-    pub kernel: Time,
-    /// Whole-program time: initialization + kernel.
-    pub whole: Time,
-    /// Engine + memory metrics.
-    pub metrics: Metrics,
-    /// Structured event trace (empty unless tracing was enabled).
-    pub trace: Tracer,
-}
-
-impl RunOutcome {
-    /// Whole-program seconds.
-    pub fn seconds(&self) -> f64 {
-        self.whole.as_secs_f64()
-    }
-
-    /// Renders the outcome as one JSONL record: identity, times, a summary
-    /// of the headline metrics (steals, P-Store high-water mark, L1 miss
-    /// rate, DRAM traffic), and the full metrics registry.
-    pub fn to_jsonl(&self) -> String {
-        let m = &self.metrics;
-        let l1_refs = m.get("mem.l1_hits") + m.get("mem.l1_misses");
-        let l1_miss_rate = if l1_refs == 0 {
-            0.0
-        } else {
-            m.get("mem.l1_misses") as f64 / l1_refs as f64
-        };
-        let steal_attempts = m.get("accel.steal_attempts") + m.get("cpu.steal_attempts");
-        let steal_hits = m.get("accel.steal_hits") + m.get("cpu.steal_hits");
-        format!(
-            concat!(
-                "{{\"bench\":\"{}\",\"engine\":\"{}\",\"units\":{},",
-                "\"kernel_ps\":{},\"whole_ps\":{},",
-                "\"steal_attempts\":{},\"steal_hits\":{},",
-                "\"pstore_peak_sum\":{},\"l1_miss_rate\":{:.6},",
-                "\"dram_bytes\":{},\"trace_events\":{},\"trace_dropped\":{},\"metrics\":{}}}"
-            ),
-            self.bench,
-            self.engine,
-            self.units,
-            self.kernel.as_ps(),
-            self.whole.as_ps(),
-            steal_attempts,
-            steal_hits,
-            m.get("accel.pstore_peak_sum"),
-            l1_miss_rate,
-            m.get("mem.dram_bytes"),
-            self.trace.len(),
-            m.get("trace.dropped"),
-            m.to_json(),
-        )
-    }
-}
-
-/// Writes one [`RunOutcome::to_jsonl`] record per outcome to `path`.
-///
-/// # Errors
-///
-/// Propagates the underlying I/O error.
-pub fn write_jsonl(path: &std::path::Path, outcomes: &[RunOutcome]) -> std::io::Result<()> {
-    use std::io::Write;
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    for out in outcomes {
-        writeln!(f, "{}", out.to_jsonl())?;
-    }
-    f.into_inner()?.flush()
-}
-
-fn init_time(footprint_bytes: u64) -> Time {
-    Time::from_ps((footprint_bytes as f64 / INIT_BW * 1e12) as u64)
-}
+/// The run machinery (outcomes, checked execution, JSONL reporting) now
+/// lives in [`pxl_flow::run`] behind the canonical `RunSpec` API;
+/// re-exported so existing harness code keeps working.
+pub use pxl_flow::{run_on, try_run_on, write_jsonl, RunOutcome};
 
 /// Splits a PE count into the paper's geometry: up to 4 PEs in one tile,
 /// then 4-PE tiles.
@@ -119,81 +36,6 @@ pub fn geometry(pes: usize) -> (usize, usize) {
         );
         (pes / 4, 4)
     }
-}
-
-/// Runs `bench` on any engine behind the [`Engine`] trait: sets up inputs,
-/// picks the workload shape the engine executes (rounds for LiteArch,
-/// a dynamic task graph otherwise), validates the output against the golden
-/// reference, and charges initialization time.
-///
-/// Returns `Ok(None)` when the engine is LiteArch and the benchmark has no
-/// LiteArch mapping.
-///
-/// # Errors
-///
-/// Returns the simulation or golden-validation failure as a message — the
-/// fallible path the design-space explorer uses, where one diverging
-/// configuration must not sink a sweep.
-pub fn try_run_on(
-    engine: &mut dyn Engine,
-    bench: &dyn Benchmark,
-    label: &str,
-) -> Result<Option<RunOutcome>, String> {
-    let units = engine.units();
-    let name = bench.meta().name;
-    let (footprint, out) = match engine.kind() {
-        EngineKind::Lite => {
-            let Some(inst) = bench.lite(engine.mem_mut()) else {
-                return Ok(None);
-            };
-            let mut worker = inst.worker;
-            let mut driver = inst.driver;
-            let out = engine
-                .run(Workload::rounds(worker.as_mut(), driver.as_mut()))
-                .map_err(|e| format!("{name} on {label}/{units}u failed: {e}"))?;
-            (inst.footprint_bytes, out)
-        }
-        EngineKind::Flex | EngineKind::Central | EngineKind::Cpu => {
-            let inst = bench.flex(engine.mem_mut());
-            let mut worker = inst.worker;
-            let out = engine
-                .run(Workload::dynamic(worker.as_mut(), inst.root))
-                .map_err(|e| format!("{name} on {label}/{units}u failed: {e}"))?;
-            (inst.footprint_bytes, out)
-        }
-    };
-    bench
-        .check(engine.memory(), out.result)
-        .map_err(|e| format!("{name} on {label}/{units}u wrong: {e}"))?;
-    let dropped = out.metrics.get("trace.dropped");
-    if dropped > 0 {
-        eprintln!(
-            "[trace] warning: {name} on {label}/{units}u dropped {dropped} trace \
-             event(s); the trace (and any profile built from it) is incomplete"
-        );
-    }
-    Ok(Some(RunOutcome {
-        bench: name.to_owned(),
-        engine: label.to_owned(),
-        units,
-        kernel: out.elapsed,
-        whole: out.elapsed + init_time(footprint),
-        metrics: out.metrics,
-        trace: out.trace,
-    }))
-}
-
-/// The panicking wrapper over [`try_run_on`] the experiment binaries use.
-///
-/// Returns `None` when the engine is LiteArch and the benchmark has no
-/// LiteArch mapping.
-///
-/// # Panics
-///
-/// Panics if the simulation fails or the output does not validate —
-/// experiment results must never silently ship wrong data.
-pub fn run_on(engine: &mut dyn Engine, bench: &dyn Benchmark, label: &str) -> Option<RunOutcome> {
-    try_run_on(engine, bench, label).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs `bench` on a FlexArch accelerator with `pes` PEs.
@@ -412,6 +254,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pxl_sim::Time;
 
     #[test]
     fn geometry_splits_like_the_paper() {

@@ -7,7 +7,7 @@
 //! simulator's `pe{i}.busy_ps` / `core{i}.busy_ps` statistics), and
 //! per-event energies for the memory system.
 
-use pxl_sim::{Stats, Time};
+use pxl_sim::{Metrics, Time};
 
 /// Energy accounting parameters (28 nm, Table III clocks). All power in
 /// watts, all per-event energies in nanojoules.
@@ -82,7 +82,7 @@ impl EnergyBreakdown {
 }
 
 impl EnergyModel {
-    fn memory_events_j(&self, stats: &Stats) -> f64 {
+    fn memory_events_j(&self, stats: &Metrics) -> f64 {
         (self.e_l1_hit_nj * stats.get("mem.l1_hits") as f64
             + self.e_l1_miss_nj * (stats.get("mem.l1_misses") + stats.get("mem.upgrades")) as f64
             + self.e_dram_line_nj
@@ -92,7 +92,7 @@ impl EnergyModel {
             * 1e-9
     }
 
-    fn busy_seconds(stats: &Stats, suffix: &str) -> f64 {
+    fn busy_seconds(stats: &Metrics, suffix: &str) -> f64 {
         stats.sum_suffix(suffix) as f64 / 1e12
     }
 
@@ -103,7 +103,7 @@ impl EnergyModel {
     /// being the more energy-efficient design).
     pub fn accel_energy_for(
         &self,
-        stats: &Stats,
+        stats: &Metrics,
         elapsed: Time,
         num_pes: usize,
         lite: bool,
@@ -125,13 +125,13 @@ impl EnergyModel {
     }
 
     /// FlexArch convenience wrapper over [`EnergyModel::accel_energy_for`].
-    pub fn accel_energy(&self, stats: &Stats, elapsed: Time, num_pes: usize) -> EnergyBreakdown {
+    pub fn accel_energy(&self, stats: &Metrics, elapsed: Time, num_pes: usize) -> EnergyBreakdown {
         self.accel_energy_for(stats, elapsed, num_pes, false)
     }
 
     /// Energy of a CPU run with `cores` cores over `elapsed` simulated
     /// time.
-    pub fn cpu_energy(&self, stats: &Stats, elapsed: Time, cores: usize) -> EnergyBreakdown {
+    pub fn cpu_energy(&self, stats: &Metrics, elapsed: Time, cores: usize) -> EnergyBreakdown {
         let t = elapsed.as_secs_f64();
         let busy = Self::busy_seconds(stats, ".busy_ps");
         let idle = (cores as f64 * t - busy).max(0.0);
@@ -147,8 +147,8 @@ impl EnergyModel {
 mod tests {
     use super::*;
 
-    fn fake_stats(busy_ps: &[u64], l1_hits: u64, dram: u64) -> Stats {
-        let mut s = Stats::new();
+    fn fake_stats(busy_ps: &[u64], l1_hits: u64, dram: u64) -> Metrics {
+        let mut s = Metrics::new();
         for (i, b) in busy_ps.iter().enumerate() {
             s.add(&format!("pe{i}.busy_ps"), *b);
         }
@@ -182,14 +182,14 @@ mod tests {
         // Same elapsed time, fully busy: 8 cores vs 16 PEs.
         let t = Time::from_us(100);
         let cpu_stats = {
-            let mut s = Stats::new();
+            let mut s = Metrics::new();
             for i in 0..8 {
                 s.add(&format!("core{i}.busy_ps"), 100_000_000);
             }
             s
         };
         let accel_stats = {
-            let mut s = Stats::new();
+            let mut s = Metrics::new();
             for i in 0..16 {
                 s.add(&format!("pe{i}.busy_ps"), 100_000_000);
             }

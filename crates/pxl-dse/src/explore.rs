@@ -60,6 +60,27 @@ pub trait Evaluate: Sync {
     fn context_tag(&self) -> String {
         String::new()
     }
+
+    /// The content-addressed cache key of one (candidate, fidelity)
+    /// evaluation. The default composes [`Evaluate::context_tag`], the
+    /// candidate's canonical spec and the fidelity label; evaluators whose
+    /// identity is richer than a spec string (e.g. a serializable run spec)
+    /// can override it wholesale.
+    fn cache_key(&self, candidate: &Candidate, fidelity: Fidelity) -> String {
+        let mut key = String::new();
+        let tag = self.context_tag();
+        if !tag.is_empty() {
+            key.push_str(&tag);
+            key.push(' ');
+        }
+        key.push_str(&format!(
+            "bench={} {} fidelity={}",
+            candidate.bench,
+            candidate.point.spec(),
+            fidelity.label()
+        ));
+        key
+    }
 }
 
 impl<F> Evaluate for F
@@ -268,21 +289,10 @@ impl<'a, E: Evaluate + ?Sized> Explorer<'a, E> {
         self
     }
 
-    /// The cache key of one (candidate, fidelity) evaluation.
+    /// The cache key of one (candidate, fidelity) evaluation — delegated to
+    /// [`Evaluate::cache_key`] so the evaluator owns its cache identity.
     pub fn cache_key(&self, candidate: &Candidate, fidelity: Fidelity) -> String {
-        let mut key = String::new();
-        let tag = self.evaluator.context_tag();
-        if !tag.is_empty() {
-            key.push_str(&tag);
-            key.push(' ');
-        }
-        key.push_str(&format!(
-            "bench={} {} fidelity={}",
-            candidate.bench,
-            candidate.point.spec(),
-            fidelity.label()
-        ));
-        key
+        self.evaluator.cache_key(candidate, fidelity)
     }
 
     /// Runs the exploration: partition, triage (if successive halving),

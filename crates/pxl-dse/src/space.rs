@@ -154,6 +154,30 @@ pub struct DesignPoint {
 }
 
 impl DesignPoint {
+    /// An accelerator point with the paper's default capacities — the same
+    /// values [`pxl_arch::AccelConfig::flex`] bakes in (32 KiB tile cache,
+    /// 1024-entry task queues, 8192-entry P-Store) — so
+    /// [`DesignPoint::accel_config`] reproduces a raw
+    /// `AccelConfig::flex(tiles, pes)` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arch` is [`PointArch::Cpu`]; use [`DesignPoint::cpu`].
+    pub fn accel(arch: PointArch, tiles: usize, pes_per_tile: usize) -> Self {
+        assert!(
+            arch != PointArch::Cpu,
+            "the CPU baseline has no accelerator knobs; use DesignPoint::cpu"
+        );
+        DesignPoint {
+            arch,
+            tiles,
+            pes_per_tile,
+            cache_kb: 32,
+            task_queue_entries: 1024,
+            pstore_entries: 8192,
+        }
+    }
+
     /// A CPU-baseline point with `cores` cores.
     pub fn cpu(cores: usize) -> Self {
         DesignPoint {
@@ -573,6 +597,35 @@ mod tests {
         assert_eq!(points[4].arch, PointArch::Lite);
         // Enumeration is reproducible.
         assert_eq!(points, three_axis_space().points());
+    }
+
+    #[test]
+    fn accel_defaults_reproduce_the_raw_flex_config() {
+        // Drivers that used to build `AccelConfig::flex(t, p)` directly now
+        // route through `DesignPoint::accel`; the elaborated configuration
+        // must be indistinguishable or migrated runs would drift.
+        for (arch, reference) in [
+            (PointArch::Flex, AccelConfig::flex(2, 4)),
+            (PointArch::Lite, AccelConfig::lite(2, 4)),
+            (PointArch::Central, AccelConfig::central(2, 4)),
+        ] {
+            let cfg = DesignPoint::accel(arch, 2, 4).accel_config().unwrap();
+            assert_eq!(cfg.task_queue_entries, reference.task_queue_entries);
+            assert_eq!(cfg.pstore_entries, reference.pstore_entries);
+            assert_eq!(
+                cfg.memory.accel_l1.size_bytes,
+                reference.memory.accel_l1.size_bytes
+            );
+            assert_eq!(cfg.memory.accel_l1.ways, reference.memory.accel_l1.ways);
+            assert_eq!(cfg.arch, reference.arch);
+            assert_eq!(cfg.num_pes(), reference.num_pes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "use DesignPoint::cpu")]
+    fn accel_rejects_the_cpu_arch() {
+        let _ = DesignPoint::accel(PointArch::Cpu, 1, 4);
     }
 
     #[test]

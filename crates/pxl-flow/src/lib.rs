@@ -19,6 +19,11 @@
 //! the framework, without rewriting any code" (Section IV-C) — that is
 //! [`sweep_cache_sizes`] and [`sweep_pe_counts`].
 //!
+//! Simulation *runs* are described by the serializable [`RunSpec`] and
+//! executed through [`execute`]/[`measure`] (see the [`run`] and [`spec`]
+//! modules): one canonical request format shared by every experiment
+//! driver and the `pxl-serve` job server.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,6 +38,15 @@
 //! assert_eq!(design.config.num_pes(), 16);
 //! assert!(design.resources.is_some());
 //! ```
+
+pub mod run;
+pub mod spec;
+
+pub use run::{
+    execute, measure, measurement_of, run_checked, run_on, try_run_on, write_jsonl, RunError,
+    RunOutcome,
+};
+pub use spec::{RunSpec, SpecError};
 
 use pxl_arch::{AccelConfig, ArchKind, CentralEngine, ConfigError, Engine, FlexEngine, LiteEngine};
 use pxl_cost::resources::{tile_resources, FpgaDevice, TileResources};

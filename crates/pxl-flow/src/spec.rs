@@ -1,0 +1,477 @@
+//! The canonical, serializable description of one simulation run.
+//!
+//! A [`RunSpec`] names everything a run needs — benchmark and input scale,
+//! the architectural [`DesignPoint`], an optional execution-profile
+//! override, trace capacity, and an optional fault plan — as plain data
+//! with an exact JSON round trip. It is the one request type every driver
+//! (`pxl-bench --bin all/dse/faults/profile`) and the `pxl-serve` job
+//! server build runs from, and its [`RunSpec::canonical`] string is the
+//! identity used for result-cache keys and request deduplication.
+//!
+//! # Examples
+//!
+//! ```
+//! use pxl_dse::{DesignPoint, PointArch};
+//! use pxl_flow::RunSpec;
+//! use pxl_apps::Scale;
+//!
+//! let spec = RunSpec::new("uts", Scale::Tiny, DesignPoint::accel(PointArch::Flex, 2, 4));
+//! let json = spec.to_json();
+//! let back = RunSpec::from_json(&json).unwrap();
+//! assert_eq!(back, spec);
+//! assert_eq!(back.to_json(), json); // byte-exact round trip
+//! assert_eq!(
+//!     spec.canonical(),
+//!     "bench=uts scale=tiny arch=flex tiles=2 pes=4 cache_kb=32 queue=1024 pstore=8192"
+//! );
+//! ```
+
+use pxl_apps::Scale;
+use pxl_dse::{DesignPoint, PointArch};
+use pxl_model::ExecProfile;
+use pxl_sim::json::JsonValue;
+use pxl_sim::{fnv64, FaultPlan};
+
+/// Why a [`RunSpec`] could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The text is not well-formed JSON.
+    Json(String),
+    /// A required field is absent.
+    Missing(&'static str),
+    /// A field is present but malformed.
+    Invalid {
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "run spec is not valid JSON: {e}"),
+            SpecError::Missing(field) => write!(f, "run spec is missing field '{field}'"),
+            SpecError::Invalid { field, message } => {
+                write!(f, "run spec field '{field}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A serializable simulation request: one benchmark run on one design
+/// point. See the [module docs](self) for the role it plays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Benchmark name (Table II, via `pxl_apps::by_name`).
+    pub benchmark: String,
+    /// Input scale.
+    pub scale: Scale,
+    /// The architectural point to run on (accelerator or CPU baseline).
+    pub point: DesignPoint,
+    /// Execution-profile override; `None` uses the benchmark's own profile.
+    pub profile: Option<ExecProfile>,
+    /// Trace buffer capacity per source (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Deterministic fault plan to arm (accelerator points only).
+    pub faults: Option<FaultPlan>,
+}
+
+impl RunSpec {
+    /// A spec with no tracing, no faults, and the benchmark's own profile.
+    pub fn new(benchmark: impl Into<String>, scale: Scale, point: DesignPoint) -> Self {
+        RunSpec {
+            benchmark: benchmark.into(),
+            scale,
+            point,
+            profile: None,
+            trace_capacity: 0,
+            faults: None,
+        }
+    }
+
+    /// Sets the trace buffer capacity.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Arms a fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the execution profile.
+    pub fn with_profile(mut self, profile: ExecProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// The canonical one-line identity string: benchmark, scale and the
+    /// point's spec, plus trace/profile/fault terms only when they differ
+    /// from the defaults. Two specs are the same run if and only if their
+    /// canonical strings match — this is the result-cache and dedup key.
+    pub fn canonical(&self) -> String {
+        let mut out = format!(
+            "bench={} scale={} {}",
+            self.benchmark,
+            self.scale.label(),
+            self.point.spec()
+        );
+        if self.trace_capacity > 0 {
+            out.push_str(&format!(" trace={}", self.trace_capacity));
+        }
+        if let Some(p) = &self.profile {
+            out.push_str(&format!(
+                " profile={}:{}",
+                p.accel_ops_per_cycle, p.cpu_ops_per_cycle
+            ));
+        }
+        if let Some(plan) = &self.faults {
+            // The plan's full JSON would bloat the key; its FNV-64 content
+            // address identifies it exactly (same scheme as ResultCache).
+            out.push_str(&format!(
+                " faults=fnv:{:016x}",
+                fnv64(plan.to_json().as_bytes())
+            ));
+        }
+        out
+    }
+
+    /// The spec as a JSON value (fixed member order; optional members
+    /// omitted when unset, so rendering is canonical).
+    pub fn to_json_value(&self) -> JsonValue {
+        let point = match self.point.arch {
+            PointArch::Cpu => JsonValue::Object(vec![
+                ("arch".to_owned(), JsonValue::Str("cpu".to_owned())),
+                (
+                    "cores".to_owned(),
+                    JsonValue::num_u64(self.point.units() as u64),
+                ),
+            ]),
+            arch => JsonValue::Object(vec![
+                ("arch".to_owned(), JsonValue::Str(arch.label().to_owned())),
+                (
+                    "tiles".to_owned(),
+                    JsonValue::num_u64(self.point.tiles as u64),
+                ),
+                (
+                    "pes_per_tile".to_owned(),
+                    JsonValue::num_u64(self.point.pes_per_tile as u64),
+                ),
+                (
+                    "cache_kb".to_owned(),
+                    JsonValue::num_u64(self.point.cache_kb as u64),
+                ),
+                (
+                    "task_queue_entries".to_owned(),
+                    JsonValue::num_u64(self.point.task_queue_entries as u64),
+                ),
+                (
+                    "pstore_entries".to_owned(),
+                    JsonValue::num_u64(self.point.pstore_entries as u64),
+                ),
+            ]),
+        };
+        let mut members = vec![
+            (
+                "benchmark".to_owned(),
+                JsonValue::Str(self.benchmark.clone()),
+            ),
+            (
+                "scale".to_owned(),
+                JsonValue::Str(self.scale.label().to_owned()),
+            ),
+            ("point".to_owned(), point),
+        ];
+        if let Some(p) = &self.profile {
+            members.push((
+                "profile".to_owned(),
+                JsonValue::Object(vec![
+                    (
+                        "accel_ops_per_cycle".to_owned(),
+                        JsonValue::num_f64(p.accel_ops_per_cycle),
+                    ),
+                    (
+                        "cpu_ops_per_cycle".to_owned(),
+                        JsonValue::num_f64(p.cpu_ops_per_cycle),
+                    ),
+                ]),
+            ));
+        }
+        if self.trace_capacity > 0 {
+            members.push((
+                "trace_capacity".to_owned(),
+                JsonValue::num_u64(self.trace_capacity as u64),
+            ));
+        }
+        if let Some(plan) = &self.faults {
+            members.push(("faults".to_owned(), plan.to_json_value()));
+        }
+        JsonValue::Object(members)
+    }
+
+    /// The spec as one canonical JSON object.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Rebuilds a spec from [`RunSpec::to_json_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SpecError`] naming the missing or malformed field.
+    pub fn from_json_value(value: &JsonValue) -> Result<RunSpec, SpecError> {
+        let benchmark = value
+            .get("benchmark")
+            .and_then(JsonValue::as_str)
+            .ok_or(SpecError::Missing("benchmark"))?
+            .to_owned();
+        let scale_label = value
+            .get("scale")
+            .and_then(JsonValue::as_str)
+            .ok_or(SpecError::Missing("scale"))?;
+        let scale = Scale::from_label(scale_label).ok_or_else(|| SpecError::Invalid {
+            field: "scale",
+            message: format!("unknown scale {scale_label:?} (tiny|small|paper)"),
+        })?;
+        let point_value = value.get("point").ok_or(SpecError::Missing("point"))?;
+        let point = parse_point(point_value)?;
+        let profile = match value.get("profile") {
+            None => None,
+            Some(p) => {
+                let get = |key: &'static str| {
+                    p.get(key)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or(SpecError::Missing(key))
+                };
+                let accel = get("accel_ops_per_cycle")?;
+                let cpu = get("cpu_ops_per_cycle")?;
+                if accel <= 0.0 || cpu <= 0.0 {
+                    return Err(SpecError::Invalid {
+                        field: "profile",
+                        message: "ops-per-cycle rates must be positive".to_owned(),
+                    });
+                }
+                Some(ExecProfile::new(accel, cpu))
+            }
+        };
+        let trace_capacity = match value.get("trace_capacity") {
+            None => 0,
+            Some(t) => t.as_u64().ok_or(SpecError::Invalid {
+                field: "trace_capacity",
+                message: "expected an unsigned integer".to_owned(),
+            })? as usize,
+        };
+        let faults = match value.get("faults") {
+            None => None,
+            Some(f) if f.is_null() => None,
+            Some(f) => {
+                Some(
+                    FaultPlan::from_json_value(f).map_err(|message| SpecError::Invalid {
+                        field: "faults",
+                        message,
+                    })?,
+                )
+            }
+        };
+        Ok(RunSpec {
+            benchmark,
+            scale,
+            point,
+            profile,
+            trace_capacity,
+            faults,
+        })
+    }
+
+    /// Parses [`RunSpec::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SpecError`] naming the problem.
+    pub fn from_json(text: &str) -> Result<RunSpec, SpecError> {
+        let value = JsonValue::parse(text).map_err(|e| SpecError::Json(e.to_string()))?;
+        RunSpec::from_json_value(&value)
+    }
+}
+
+fn parse_point(value: &JsonValue) -> Result<DesignPoint, SpecError> {
+    let arch_label = value
+        .get("arch")
+        .and_then(JsonValue::as_str)
+        .ok_or(SpecError::Missing("point.arch"))?;
+    let field = |key: &'static str| {
+        value
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .map(|n| n as usize)
+            .ok_or(SpecError::Missing(key))
+    };
+    match arch_label {
+        "cpu" => Ok(DesignPoint::cpu(field("cores")?)),
+        "flex" | "lite" | "central" => {
+            let arch = match arch_label {
+                "flex" => PointArch::Flex,
+                "lite" => PointArch::Lite,
+                _ => PointArch::Central,
+            };
+            Ok(DesignPoint {
+                arch,
+                tiles: field("tiles")?,
+                pes_per_tile: field("pes_per_tile")?,
+                cache_kb: field("cache_kb")?,
+                task_queue_entries: field("task_queue_entries")?,
+                pstore_entries: field("pstore_entries")?,
+            })
+        }
+        other => Err(SpecError::Invalid {
+            field: "point.arch",
+            message: format!("unknown arch {other:?} (flex|lite|central|cpu)"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxl_sim::{NetClass, Time};
+
+    fn full_spec() -> RunSpec {
+        RunSpec::new(
+            "uts",
+            Scale::Small,
+            DesignPoint::accel(PointArch::Flex, 2, 4),
+        )
+        .with_trace(1 << 18)
+        .with_profile(ExecProfile::new(0.75, 1.25))
+        .with_faults(
+            FaultPlan::new(0xD1E)
+                .kill_pe(3, Time::from_us(2))
+                .drop_messages(NetClass::Arg, Time::ZERO, Time::MAX, 500, 6),
+        )
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        for spec in [
+            RunSpec::new("queens", Scale::Tiny, DesignPoint::cpu(4)),
+            RunSpec::new(
+                "nw",
+                Scale::Paper,
+                DesignPoint::accel(PointArch::Lite, 1, 4),
+            ),
+            full_spec(),
+        ] {
+            let json = spec.to_json();
+            let back = RunSpec::from_json(&json).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.to_json(), json, "canonical rendering is stable");
+        }
+    }
+
+    #[test]
+    fn canonical_strings_identify_runs() {
+        let base = RunSpec::new(
+            "uts",
+            Scale::Tiny,
+            DesignPoint::accel(PointArch::Flex, 2, 4),
+        );
+        assert_eq!(
+            base.canonical(),
+            "bench=uts scale=tiny arch=flex tiles=2 pes=4 cache_kb=32 queue=1024 pstore=8192"
+        );
+        assert_eq!(
+            RunSpec::new("uts", Scale::Tiny, DesignPoint::cpu(8)).canonical(),
+            "bench=uts scale=tiny arch=cpu cores=8"
+        );
+        // Every knob that changes the run changes the key.
+        let variants = [
+            base.clone().with_trace(1024),
+            base.clone().with_profile(ExecProfile::new(1.0, 2.0)),
+            base.clone()
+                .with_faults(FaultPlan::new(1).kill_pe(0, Time::from_us(1))),
+            RunSpec::new("uts", Scale::Small, base.point.clone()),
+        ];
+        for v in &variants {
+            assert_ne!(v.canonical(), base.canonical(), "{}", v.canonical());
+        }
+        // And different fault plans get different keys.
+        let a = base
+            .clone()
+            .with_faults(FaultPlan::new(1).kill_pe(0, Time::from_us(1)));
+        let b = base
+            .clone()
+            .with_faults(FaultPlan::new(2).kill_pe(0, Time::from_us(1)));
+        assert_ne!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        assert!(matches!(
+            RunSpec::from_json("nope").unwrap_err(),
+            SpecError::Json(_)
+        ));
+        assert_eq!(
+            RunSpec::from_json("{}").unwrap_err(),
+            SpecError::Missing("benchmark")
+        );
+        assert_eq!(
+            RunSpec::from_json(r#"{"benchmark":"uts"}"#).unwrap_err(),
+            SpecError::Missing("scale")
+        );
+        assert!(matches!(
+            RunSpec::from_json(r#"{"benchmark":"uts","scale":"huge"}"#).unwrap_err(),
+            SpecError::Invalid { field: "scale", .. }
+        ));
+        assert_eq!(
+            RunSpec::from_json(r#"{"benchmark":"uts","scale":"tiny"}"#).unwrap_err(),
+            SpecError::Missing("point")
+        );
+        assert!(matches!(
+            RunSpec::from_json(r#"{"benchmark":"uts","scale":"tiny","point":{"arch":"warp"}}"#)
+                .unwrap_err(),
+            SpecError::Invalid {
+                field: "point.arch",
+                ..
+            }
+        ));
+        assert_eq!(
+            RunSpec::from_json(r#"{"benchmark":"uts","scale":"tiny","point":{"arch":"flex"}}"#)
+                .unwrap_err(),
+            SpecError::Missing("tiles")
+        );
+        let err = RunSpec::from_json(
+            r#"{"benchmark":"uts","scale":"tiny","point":{"arch":"cpu","cores":2},"faults":{"seed":1}}"#,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SpecError::Invalid {
+                    field: "faults",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("faults"));
+    }
+
+    #[test]
+    fn profile_floats_survive_exactly() {
+        let spec = RunSpec::new("uts", Scale::Tiny, DesignPoint::cpu(2))
+            .with_profile(ExecProfile::new(0.6000000000000001, 1.0 / 3.0));
+        let back = RunSpec::from_json(&spec.to_json()).unwrap();
+        let (a, b) = (back.profile.unwrap(), spec.profile.unwrap());
+        assert_eq!(
+            a.accel_ops_per_cycle.to_bits(),
+            b.accel_ops_per_cycle.to_bits()
+        );
+        assert_eq!(a.cpu_ops_per_cycle.to_bits(), b.cpu_ops_per_cycle.to_bits());
+    }
+}

@@ -18,7 +18,7 @@
 //! paper's memory-bound results (spmvcrs, bfsqueue, stencil2d).
 
 use pxl_sim::config::{CacheParams, DramParams, MemoryConfig};
-use pxl_sim::{Stats, Time, TraceEvent, Tracer};
+use pxl_sim::{Metrics, Time, TraceEvent, Tracer};
 
 use crate::bandwidth::BandwidthMeter;
 use crate::cache::{CacheArray, LineState};
@@ -97,7 +97,7 @@ pub struct MemorySystem {
     bus_meter: BandwidthMeter,
     l2_meter: BandwidthMeter,
     dram_meter: BandwidthMeter,
-    stats: Stats,
+    stats: Metrics,
     trace: Tracer,
 }
 
@@ -116,7 +116,7 @@ impl MemorySystem {
             bus_meter: BandwidthMeter::default_epoch(),
             l2_meter: BandwidthMeter::default_epoch(),
             dram_meter: BandwidthMeter::default_epoch(),
-            stats: Stats::new(),
+            stats: Metrics::new(),
             trace: Tracer::disabled(),
         }
     }
@@ -132,12 +132,12 @@ impl MemorySystem {
     }
 
     /// Borrow the accumulated statistics.
-    pub fn stats(&self) -> &Stats {
+    pub fn stats(&self) -> &Metrics {
         &self.stats
     }
 
     /// Takes the statistics out, leaving an empty registry.
-    pub fn take_stats(&mut self) -> Stats {
+    pub fn take_stats(&mut self) -> Metrics {
         std::mem::take(&mut self.stats)
     }
 

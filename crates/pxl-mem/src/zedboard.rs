@@ -10,7 +10,7 @@
 //! scaling from 4 to 8 PEs).
 
 use pxl_sim::config::{CacheParams, CpuCoreParams, DramParams, MemoryConfig};
-use pxl_sim::{Clock, Stats, Time, TraceEvent, Tracer};
+use pxl_sim::{Clock, Metrics, Time, TraceEvent, Tracer};
 
 use crate::bandwidth::BandwidthMeter;
 use crate::system::AccessKind;
@@ -73,7 +73,7 @@ pub struct ZedboardMemory {
     streams: Vec<Vec<Stream>>,
     acp_meter: BandwidthMeter,
     tick: u64,
-    stats: Stats,
+    stats: Metrics,
     trace: Tracer,
     accel_clock: Clock,
 }
@@ -87,19 +87,19 @@ impl ZedboardMemory {
             streams: vec![Vec::with_capacity(streams_per_port); ports],
             acp_meter: BandwidthMeter::default_epoch(),
             tick: 0,
-            stats: Stats::new(),
+            stats: Metrics::new(),
             trace: Tracer::disabled(),
             accel_clock: Clock::new("zed_accel", 8_000), // 125 MHz fabric
         }
     }
 
     /// Borrow the accumulated statistics.
-    pub fn stats(&self) -> &Stats {
+    pub fn stats(&self) -> &Metrics {
         &self.stats
     }
 
     /// Takes the statistics out, leaving an empty registry.
-    pub fn take_stats(&mut self) -> Stats {
+    pub fn take_stats(&mut self) -> Metrics {
         std::mem::take(&mut self.stats)
     }
 

@@ -1,43 +1,21 @@
 //! Parses [`pxl_sim::Tracer::to_jsonl`] output back into trace records.
 //!
-//! The trace JSONL dialect is deliberately flat — one object per line,
-//! every value either the `"kind"` string or an unsigned integer — so a
-//! dependency-free parser covers it exactly. Round-tripping is tested
-//! against the emitter: `parse_line(record.to_json())` must reproduce the
-//! record for every event kind.
+//! Lexing is delegated to the general [`pxl_sim::json::JsonValue`] reader;
+//! this module only maps the flat trace dialect — one object per line, a
+//! `"kind"` string plus unsigned-integer fields — onto [`TraceEvent`].
+//! Round-tripping is tested against the emitter: `parse_line(record.to_json())`
+//! must reproduce the record for every event kind.
 
+use pxl_sim::json::JsonValue;
 use pxl_sim::{Time, TraceEvent, TraceRecord};
 
-/// Splits one flat JSON object into `(key, value)` string pairs.
-fn pairs(line: &str) -> Result<Vec<(&str, &str)>, String> {
-    let inner = line
-        .trim()
-        .strip_prefix('{')
-        .and_then(|s| s.strip_suffix('}'))
-        .ok_or_else(|| format!("not a JSON object: {line}"))?;
-    let mut out = Vec::new();
-    for piece in inner.split(',') {
-        let (key, value) = piece
-            .split_once(':')
-            .ok_or_else(|| format!("not a key:value pair: {piece}"))?;
-        let key = key
-            .trim()
-            .strip_prefix('"')
-            .and_then(|s| s.strip_suffix('"'))
-            .ok_or_else(|| format!("unquoted key: {piece}"))?;
-        out.push((key, value.trim()));
-    }
-    Ok(out)
-}
-
-fn field(pairs: &[(&str, &str)], key: &str) -> Result<u64, String> {
-    let (_, value) = pairs
-        .iter()
-        .find(|(k, _)| *k == key)
+fn field(value: &JsonValue, key: &str) -> Result<u64, String> {
+    let field = value
+        .get(key)
         .ok_or_else(|| format!("missing field {key}"))?;
-    value
-        .parse::<u64>()
-        .map_err(|e| format!("field {key}={value}: {e}"))
+    field
+        .as_u64()
+        .ok_or_else(|| format!("field {key}={}: not an unsigned integer", field.to_json()))
 }
 
 /// Parses one JSONL trace line into a [`TraceRecord`].
@@ -46,13 +24,15 @@ fn field(pairs: &[(&str, &str)], key: &str) -> Result<u64, String> {
 ///
 /// Returns a message naming the malformed or missing piece.
 pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
-    let p = pairs(line)?;
-    let kind = p
-        .iter()
-        .find(|(k, _)| *k == "kind")
-        .map(|(_, v)| v.trim_matches('"'))
+    let value = JsonValue::parse(line).map_err(|e| format!("not a JSON object: {e}: {line}"))?;
+    if value.as_object().is_none() {
+        return Err(format!("not a JSON object: {line}"));
+    }
+    let kind = value
+        .get("kind")
+        .and_then(JsonValue::as_str)
         .ok_or_else(|| format!("missing kind: {line}"))?;
-    let f = |key: &str| field(&p, key);
+    let f = |key: &str| field(&value, key);
     let event = match kind {
         "task_dispatch" => TraceEvent::TaskDispatch {
             unit: f("unit")? as u32,
@@ -231,10 +211,16 @@ mod tests {
     #[test]
     fn errors_name_the_problem() {
         assert!(parse_line("not json").unwrap_err().contains("not a JSON"));
+        assert!(parse_line("[1,2]")
+            .unwrap_err()
+            .contains("not a JSON object"));
         assert!(parse_line("{\"t_ps\":1}").unwrap_err().contains("kind"));
         assert!(parse_line("{\"t_ps\":1,\"seq\":0,\"kind\":\"spawn\"}")
             .unwrap_err()
             .contains("missing field"));
+        assert!(parse_line("{\"kind\":\"spawn\",\"unit\":-1}")
+            .unwrap_err()
+            .contains("unsigned"));
         assert!(parse_jsonl("{\"t_ps\":1,\"seq\":0,\"kind\":\"nope\"}\n")
             .unwrap_err()
             .starts_with("line 1:"));

@@ -1,0 +1,297 @@
+//! The typed client: a blocking connection that submits specs and reads
+//! the server's event stream.
+//!
+//! One connection is one ordered stream: the server interleaves events
+//! from all of this client's jobs onto it in emission order. Helpers that
+//! wait for a particular reply ([`Client::submit`], [`Client::wait`],
+//! [`Client::status`]) buffer any other events they read past, and
+//! [`Client::next_event`] drains that buffer first — no event is ever
+//! dropped.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use pxl_flow::RunSpec;
+
+use crate::protocol::{ErrorCode, JobEvent, JobId, JobKind, Request};
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The connection failed or closed.
+    Io(String),
+    /// The server sent something that does not parse as a [`JobEvent`].
+    Protocol(String),
+    /// The server rejected the request with a typed error event.
+    Rejected {
+        /// The machine-checkable rejection reason.
+        code: ErrorCode,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Rejected { code, message } => {
+                write!(f, "rejected ({}): {message}", code.label())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The counters a [`Client::status`] round-trip returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusSnapshot {
+    /// Jobs waiting across all tenant queues.
+    pub queued: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs finished successfully since startup.
+    pub completed: u64,
+    /// Jobs failed since startup.
+    pub failed: u64,
+    /// Whether dispatch is paused.
+    pub paused: bool,
+    /// Whether the server is draining.
+    pub draining: bool,
+}
+
+/// A blocking connection to a [`crate::Server`].
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    pending: VecDeque<(JobEvent, String)>,
+}
+
+impl Client {
+    /// Connects to a server's [`crate::Server::addr`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the connection fails.
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        let reading = writer
+            .try_clone()
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(reading),
+            pending: VecDeque::new(),
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        writeln!(self.writer, "{}", request.to_json())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ClientError::Io(e.to_string()))
+    }
+
+    fn read_event(&mut self) -> Result<(JobEvent, String), ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| ClientError::Io(e.to_string()))?;
+            if n == 0 {
+                return Err(ClientError::Io("server closed the connection".to_owned()));
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            let event = JobEvent::from_json(trimmed).map_err(ClientError::Protocol)?;
+            return Ok((event, trimmed.to_owned()));
+        }
+    }
+
+    /// The next event on this connection with its raw wire line (oldest
+    /// buffered event first). Blocks until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on disconnect, [`ClientError::Protocol`] on an
+    /// unparseable line.
+    pub fn next_event_raw(&mut self) -> Result<(JobEvent, String), ClientError> {
+        if let Some(buffered) = self.pending.pop_front() {
+            return Ok(buffered);
+        }
+        self.read_event()
+    }
+
+    /// [`Client::next_event_raw`] without the raw line.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::next_event_raw`].
+    pub fn next_event(&mut self) -> Result<JobEvent, ClientError> {
+        self.next_event_raw().map(|(event, _)| event)
+    }
+
+    /// Submits one spec as a job under `tenant`, returning the assigned id
+    /// and the content address of its cache identity. Events of other jobs
+    /// arriving meanwhile are buffered; the new job's `queued` event stays
+    /// in the stream for [`Client::next_event`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] with the server's typed error code
+    /// (`quota_exceeded`, `draining`, ...), or a transport failure.
+    pub fn submit_with_key(
+        &mut self,
+        tenant: &str,
+        kind: JobKind,
+        spec: &RunSpec,
+    ) -> Result<(JobId, String), ClientError> {
+        self.send(&Request::Submit {
+            tenant: tenant.to_owned(),
+            kind,
+            spec: spec.clone(),
+        })?;
+        loop {
+            let (event, raw) = self.read_event()?;
+            match event {
+                JobEvent::Accepted { job, key, .. } => return Ok((job, key)),
+                JobEvent::Error { code, message } => {
+                    return Err(ClientError::Rejected { code, message })
+                }
+                other => self.pending.push_back((other, raw)),
+            }
+        }
+    }
+
+    /// [`Client::submit_with_key`] without the content address.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::submit_with_key`].
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        kind: JobKind,
+        spec: &RunSpec,
+    ) -> Result<JobId, ClientError> {
+        self.submit_with_key(tenant, kind, spec).map(|(job, _)| job)
+    }
+
+    /// Reads until `job`'s terminal event ([`JobEvent::Done`] or
+    /// [`JobEvent::Failed`]) and returns it with its raw wire line.
+    /// Checks the pending buffer first; other events read past are
+    /// buffered in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// A transport or protocol failure. A *failed job* is not an `Err`:
+    /// the caller gets the [`JobEvent::Failed`] event.
+    pub fn wait_raw(&mut self, job: JobId) -> Result<(JobEvent, String), ClientError> {
+        if let Some(at) = self.pending.iter().position(|(e, _)| {
+            matches!(e,
+                JobEvent::Done { job: j, .. } | JobEvent::Failed { job: j, .. } if *j == job)
+        }) {
+            return Ok(self.pending.remove(at).expect("position is in range"));
+        }
+        loop {
+            let (event, raw) = self.read_event()?;
+            match &event {
+                JobEvent::Done { job: j, .. } | JobEvent::Failed { job: j, .. } if *j == job => {
+                    return Ok((event, raw))
+                }
+                _ => self.pending.push_back((event, raw)),
+            }
+        }
+    }
+
+    /// [`Client::wait_raw`] without the raw line.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::wait_raw`].
+    pub fn wait(&mut self, job: JobId) -> Result<JobEvent, ClientError> {
+        self.wait_raw(job).map(|(event, _)| event)
+    }
+
+    fn await_status(&mut self) -> Result<StatusSnapshot, ClientError> {
+        loop {
+            let (event, raw) = self.read_event()?;
+            match event {
+                JobEvent::Status {
+                    queued,
+                    running,
+                    completed,
+                    failed,
+                    paused,
+                    draining,
+                } => {
+                    return Ok(StatusSnapshot {
+                        queued,
+                        running,
+                        completed,
+                        failed,
+                        paused,
+                        draining,
+                    })
+                }
+                other => self.pending.push_back((other, raw)),
+            }
+        }
+    }
+
+    /// Asks for the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// A transport or protocol failure.
+    pub fn status(&mut self) -> Result<StatusSnapshot, ClientError> {
+        self.send(&Request::Status)?;
+        self.await_status()
+    }
+
+    /// Pauses dispatch (running jobs finish; queued jobs wait). The
+    /// returned snapshot acknowledges the flag.
+    ///
+    /// # Errors
+    ///
+    /// A transport or protocol failure.
+    pub fn pause(&mut self) -> Result<StatusSnapshot, ClientError> {
+        self.send(&Request::Pause)?;
+        self.await_status()
+    }
+
+    /// Resumes dispatch. The returned snapshot acknowledges the flag.
+    ///
+    /// # Errors
+    ///
+    /// A transport or protocol failure.
+    pub fn resume(&mut self) -> Result<StatusSnapshot, ClientError> {
+        self.send(&Request::Resume)?;
+        self.await_status()
+    }
+
+    /// Requests a graceful drain and blocks until the server's
+    /// [`JobEvent::Drained`] arrives, returning the lifetime completed
+    /// count. Events of still-finishing jobs arriving meanwhile are
+    /// buffered and remain readable via [`Client::next_event`].
+    ///
+    /// # Errors
+    ///
+    /// A transport or protocol failure.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        self.send(&Request::Shutdown)?;
+        loop {
+            let (event, raw) = self.read_event()?;
+            match event {
+                JobEvent::Drained { completed } => return Ok(completed),
+                other => self.pending.push_back((other, raw)),
+            }
+        }
+    }
+}

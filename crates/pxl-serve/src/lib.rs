@@ -1,0 +1,213 @@
+//! Simulation-as-a-service: a job server over the canonical
+//! [`RunSpec`](pxl_flow::RunSpec) API.
+//!
+//! Everything the workspace can run — simulations, design-space
+//! evaluations, profiled runs — is one serializable spec, so it can also
+//! be a *job*: submitted over a socket, queued fairly across tenants,
+//! deduplicated by content address, and answered with a byte-stable
+//! result payload. This crate provides the three layers:
+//!
+//! - [`protocol`]: the line-delimited JSON wire format — typed
+//!   [`Request`]s, [`JobEvent`]s and [`ErrorCode`]s with exact JSON
+//!   round-trips (built on `pxl_sim::json`, no external dependencies).
+//! - [`sched`]: [`FairQueue`], deterministic round-robin fair-share
+//!   queuing with per-tenant quotas — pure data, unit-testable.
+//! - [`server`]/[`client`]: the threaded TCP [`Server`] (accept loop,
+//!   dispatcher, `pxl_sim::pool::WorkerPool` simulation workers,
+//!   content-addressed `ResultCache` dedup, graceful drain, JSONL job
+//!   log) and the blocking [`Client`].
+//!
+//! # Example
+//!
+//! ```
+//! use pxl_apps::Scale;
+//! use pxl_dse::{DesignPoint, PointArch};
+//! use pxl_flow::RunSpec;
+//! use pxl_serve::{Client, JobEvent, JobKind, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let spec = RunSpec::new("uts", Scale::Tiny, DesignPoint::accel(PointArch::Flex, 1, 2));
+//! let job = client.submit("docs", JobKind::Sim, &spec).unwrap();
+//! match client.wait(job).unwrap() {
+//!     JobEvent::Done { result, .. } => assert!(result.kernel_ps > 0),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! client.drain().unwrap();
+//! server.join();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod sched;
+pub mod server;
+
+pub use client::{Client, ClientError, StatusSnapshot};
+pub use protocol::{
+    measurement_from_json_value, measurement_to_json_value, ErrorCode, JobEvent, JobId, JobKind,
+    JobStatus, Request, RequestError,
+};
+pub use sched::{FairQueue, QuotaExceeded};
+pub use server::{cache_key, ServeSummary, Server, ServerConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxl_apps::Scale;
+    use pxl_dse::{DesignPoint, PointArch};
+    use pxl_flow::RunSpec;
+
+    fn tiny_spec(bench: &str, pes: usize) -> RunSpec {
+        RunSpec::new(
+            bench,
+            Scale::Tiny,
+            DesignPoint::accel(PointArch::Flex, 1, pes),
+        )
+    }
+
+    #[test]
+    fn end_to_end_fair_share_dedup_and_drain() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            tenant_quota: 8,
+            cache_path: None,
+            job_log: None,
+        })
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        // Pause so the queue fills before the single worker starts: the
+        // dispatch order is then exactly FairQueue's deterministic
+        // round-robin.
+        assert!(client.pause().unwrap().paused);
+        let spec_a = tiny_spec("uts", 2);
+        let spec_b = tiny_spec("queens", 2);
+        let a1 = client.submit("alice", JobKind::Sim, &spec_a).unwrap();
+        let a2 = client.submit("alice", JobKind::Sim, &spec_a).unwrap();
+        let b1 = client.submit("bob", JobKind::Sim, &spec_b).unwrap();
+        assert!(!client.resume().unwrap().paused);
+
+        // Alice flooded first, but bob's job must run between hers. The
+        // terminal (done) event is the last per job, so once all three are
+        // in, every running event has been seen too.
+        let mut running_order = Vec::new();
+        let mut finished = std::collections::HashMap::new();
+        while finished.len() < 3 {
+            let (event, raw) = client.next_event_raw().unwrap();
+            match &event {
+                JobEvent::Running { job } => running_order.push(*job),
+                JobEvent::Done { job, .. } => {
+                    finished.insert(*job, (event.clone(), raw));
+                }
+                JobEvent::Failed { job, error } => panic!("{job} failed: {error}"),
+                _ => {}
+            }
+        }
+        assert_eq!(running_order, vec![a1, b1, a2]);
+
+        // a2 ran the same spec as a1: it must be a pure cache hit with a
+        // byte-identical payload.
+        let (done_a1, raw_a1) = finished.remove(&a1).unwrap();
+        let (done_a2, raw_a2) = finished.remove(&a2).unwrap();
+        let (cached_1, result_1) = match done_a1 {
+            JobEvent::Done { cached, result, .. } => (cached, result),
+            other => panic!("unexpected {other:?}"),
+        };
+        let (cached_2, result_2) = match done_a2 {
+            JobEvent::Done { cached, result, .. } => (cached, result),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(!cached_1, "first run must simulate");
+        assert!(cached_2, "second identical run must be a cache hit");
+        assert_eq!(
+            measurement_to_json_value(&result_1).to_json(),
+            measurement_to_json_value(&result_2).to_json(),
+            "identical specs must produce byte-identical payloads\n a1: {raw_a1}\n a2: {raw_a2}"
+        );
+        match finished.remove(&b1).unwrap().0 {
+            JobEvent::Done { cached, .. } => assert!(!cached),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Graceful drain: refuse new work, finish everything, report.
+        let c1 = client
+            .submit("carol", JobKind::Sim, &tiny_spec("uts", 4))
+            .unwrap();
+        let completed = client.drain().unwrap();
+        assert_eq!(completed, 4, "the in-flight job must finish before drain");
+        match client.wait(c1).unwrap() {
+            JobEvent::Done { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = client
+            .submit("carol", JobKind::Sim, &tiny_spec("uts", 2))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ClientError::Rejected {
+                    code: ErrorCode::Draining,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let summary = server.join();
+        assert_eq!(summary.completed, 4);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.cache_hits, 1);
+        assert_eq!(summary.cache_misses, 3);
+    }
+
+    #[test]
+    fn quotas_and_failures_are_typed() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            tenant_quota: 1,
+            cache_path: None,
+            job_log: None,
+        })
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.pause().unwrap();
+        let ok = client
+            .submit("a", JobKind::Sim, &tiny_spec("uts", 2))
+            .unwrap();
+        let err = client
+            .submit("a", JobKind::Sim, &tiny_spec("queens", 2))
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ClientError::Rejected {
+                    code: ErrorCode::QuotaExceeded,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // A spec naming an unknown benchmark is admitted (the server does
+        // not simulate at admission time) and fails as a typed job event.
+        let bad = client
+            .submit(
+                "b",
+                JobKind::Sim,
+                &RunSpec::new("nope", Scale::Tiny, DesignPoint::cpu(1)),
+            )
+            .unwrap();
+        client.resume().unwrap();
+        match client.wait(ok).unwrap() {
+            JobEvent::Done { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match client.wait(bad).unwrap() {
+            JobEvent::Failed { error, .. } => {
+                assert_eq!(error, "unknown benchmark \"nope\"");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        client.drain().unwrap();
+        let summary = server.join();
+        assert_eq!((summary.completed, summary.failed), (1, 1));
+    }
+}

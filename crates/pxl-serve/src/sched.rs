@@ -1,0 +1,209 @@
+//! Fair-share job queuing: per-tenant FIFO queues drained round-robin,
+//! with a per-tenant admission quota.
+//!
+//! [`FairQueue`] is pure data — no threads, no clocks — so fairness is
+//! deterministic and unit-testable: given the same submissions, `next()`
+//! always yields the same order. Tenants take turns in first-submission
+//! order; within a tenant, jobs run in submission order. A tenant that
+//! floods the queue cannot starve the others (it only ever gets one job
+//! per round) and cannot grow without bound (admission beyond `quota`
+//! queued jobs is refused).
+
+use std::collections::VecDeque;
+
+use crate::protocol::JobId;
+
+/// Admission was refused because the tenant is at its quota.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuotaExceeded {
+    /// The refused tenant.
+    pub tenant: String,
+    /// The quota it is at.
+    pub quota: usize,
+}
+
+impl std::fmt::Display for QuotaExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tenant {:?} already has {} queued jobs",
+            self.tenant, self.quota
+        )
+    }
+}
+
+impl std::error::Error for QuotaExceeded {}
+
+struct Tenant {
+    name: String,
+    queue: VecDeque<JobId>,
+}
+
+/// A round-robin multi-queue over tenants.
+pub struct FairQueue {
+    tenants: Vec<Tenant>,
+    cursor: usize,
+    quota: usize,
+}
+
+impl FairQueue {
+    /// An empty queue admitting at most `quota` queued jobs per tenant
+    /// (clamped to at least 1).
+    pub fn new(quota: usize) -> FairQueue {
+        FairQueue {
+            tenants: Vec::new(),
+            cursor: 0,
+            quota: quota.max(1),
+        }
+    }
+
+    /// The per-tenant admission quota.
+    pub fn quota(&self) -> usize {
+        self.quota
+    }
+
+    /// Admits `job` to `tenant`'s queue, returning its position there
+    /// (0 = the tenant's next job to run).
+    ///
+    /// # Errors
+    ///
+    /// [`QuotaExceeded`] if the tenant already has `quota` queued jobs;
+    /// the queue is unchanged.
+    pub fn enqueue(&mut self, tenant: &str, job: JobId) -> Result<usize, QuotaExceeded> {
+        let slot = match self.tenants.iter_mut().find(|t| t.name == tenant) {
+            Some(t) => t,
+            None => {
+                self.tenants.push(Tenant {
+                    name: tenant.to_owned(),
+                    queue: VecDeque::new(),
+                });
+                self.tenants.last_mut().expect("just pushed")
+            }
+        };
+        if slot.queue.len() >= self.quota {
+            return Err(QuotaExceeded {
+                tenant: tenant.to_owned(),
+                quota: self.quota,
+            });
+        }
+        slot.queue.push_back(job);
+        Ok(slot.queue.len() - 1)
+    }
+
+    /// Takes the next job to run: the front of the first non-empty tenant
+    /// queue at or after the round-robin cursor, advancing the cursor past
+    /// that tenant so the next call serves someone else.
+    pub fn pop(&mut self) -> Option<JobId> {
+        if self.tenants.is_empty() {
+            return None;
+        }
+        let n = self.tenants.len();
+        for step in 0..n {
+            let i = (self.cursor + step) % n;
+            if let Some(job) = self.tenants[i].queue.pop_front() {
+                self.cursor = (i + 1) % n;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Queued jobs across all tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.iter().map(|t| t.queue.len()).sum()
+    }
+
+    /// Whether no job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.iter().all(|t| t.queue.is_empty())
+    }
+
+    /// Queued jobs for one tenant (0 if unknown).
+    pub fn queued_for(&self, tenant: &str) -> usize {
+        self.tenants
+            .iter()
+            .find(|t| t.name == tenant)
+            .map_or(0, |t| t.queue.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut FairQueue) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop()).map(|j| j.0).collect()
+    }
+
+    #[test]
+    fn single_tenant_is_fifo() {
+        let mut q = FairQueue::new(8);
+        for n in 0..5 {
+            assert_eq!(q.enqueue("a", JobId(n)), Ok(n as usize));
+        }
+        assert_eq!(q.len(), 5);
+        assert_eq!(drain(&mut q), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tenants_alternate_round_robin() {
+        let mut q = FairQueue::new(8);
+        // Tenant a floods before b shows up; b must not starve.
+        for n in 0..4 {
+            q.enqueue("a", JobId(n)).unwrap();
+        }
+        q.enqueue("b", JobId(10)).unwrap();
+        q.enqueue("b", JobId(11)).unwrap();
+        assert_eq!(drain(&mut q), vec![0, 10, 1, 11, 2, 3]);
+    }
+
+    #[test]
+    fn three_tenants_take_turns_in_first_submission_order() {
+        let mut q = FairQueue::new(8);
+        q.enqueue("c", JobId(30)).unwrap();
+        q.enqueue("a", JobId(10)).unwrap();
+        q.enqueue("b", JobId(20)).unwrap();
+        q.enqueue("a", JobId(11)).unwrap();
+        q.enqueue("c", JobId(31)).unwrap();
+        assert_eq!(drain(&mut q), vec![30, 10, 20, 31, 11]);
+    }
+
+    #[test]
+    fn quota_refuses_the_flood_but_keeps_the_queue_intact() {
+        let mut q = FairQueue::new(2);
+        q.enqueue("a", JobId(0)).unwrap();
+        q.enqueue("a", JobId(1)).unwrap();
+        let err = q.enqueue("a", JobId(2)).unwrap_err();
+        assert_eq!(err.tenant, "a");
+        assert_eq!(err.quota, 2);
+        assert_eq!(err.to_string(), "tenant \"a\" already has 2 queued jobs");
+        // Other tenants are unaffected, and draining frees the slot.
+        q.enqueue("b", JobId(9)).unwrap();
+        assert_eq!(q.queued_for("a"), 2);
+        q.pop();
+        assert_eq!(q.queued_for("a"), 1);
+        assert_eq!(q.enqueue("a", JobId(2)), Ok(1));
+    }
+
+    #[test]
+    fn interleaved_submit_and_drain_stays_fair() {
+        let mut q = FairQueue::new(8);
+        q.enqueue("a", JobId(0)).unwrap();
+        q.enqueue("b", JobId(10)).unwrap();
+        assert_eq!(q.pop(), Some(JobId(0)));
+        // a refills while b still waits; b's turn comes next regardless.
+        q.enqueue("a", JobId(1)).unwrap();
+        assert_eq!(q.pop(), Some(JobId(10)));
+        assert_eq!(q.pop(), Some(JobId(1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn quota_is_clamped_to_at_least_one() {
+        let mut q = FairQueue::new(0);
+        assert_eq!(q.quota(), 1);
+        q.enqueue("a", JobId(0)).unwrap();
+        assert!(q.enqueue("a", JobId(1)).is_err());
+    }
+}

@@ -1,0 +1,567 @@
+//! The job server: a threaded TCP loop that admits [`Request`]s, schedules
+//! jobs fairly across tenants, executes them on a [`WorkerPool`], dedupes
+//! identical work through the content-addressed [`ResultCache`], and
+//! streams [`JobEvent`]s back as they happen.
+//!
+//! # Lifecycle of a job
+//!
+//! `submit` → `accepted` + `queued` → (dispatcher picks it, fair-share) →
+//! `running` → either a cache hit (`done` with `cached:true`, no
+//! simulation) or a fresh run (`metrics` snapshot, then `done` with
+//! `cached:false`) → counters updated. A `shutdown` request flips the
+//! server into draining: new submissions are refused with the `draining`
+//! error code, every admitted job still completes, and when the last one
+//! finishes a `drained` event is sent to whoever asked.
+//!
+//! # Threads
+//!
+//! One accept loop, one reader thread per connection, one dispatcher, and
+//! `workers` simulation threads (a [`pxl_sim::pool::WorkerPool`]). All
+//! shared state lives in one mutex; the dispatcher wakes on a condvar
+//! whenever the queue, pause flag, or in-flight count changes. Simulations
+//! run without the lock held.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use pxl_dse::{Measurement, ResultCache};
+use pxl_flow::{FlowError, RunError, RunSpec};
+use pxl_sim::pool::WorkerPool;
+
+use crate::protocol::{ErrorCode, JobEvent, JobId, JobKind, Request};
+use crate::sched::FairQueue;
+
+/// Trace capacity forced onto profile jobs whose spec does not request
+/// tracing (a profile job's artifact *is* the trace).
+const PROFILE_TRACE_CAPACITY: usize = 1 << 16;
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Simulation worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Max queued jobs per tenant before submissions are refused with
+    /// `quota_exceeded`.
+    pub tenant_quota: usize,
+    /// Persist the result cache to this JSONL file (`None` = in-memory).
+    pub cache_path: Option<PathBuf>,
+    /// Append every emitted [`JobEvent`] to this JSONL file (`None` = no
+    /// log). One event per line, in emission order — the CI artifact.
+    pub job_log: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            tenant_quota: 64,
+            cache_path: None,
+            job_log: None,
+        }
+    }
+}
+
+/// Lifetime totals reported by [`Server::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs that finished successfully (cached or fresh).
+    pub completed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Result-cache hits (jobs answered without simulating).
+    pub cache_hits: u64,
+    /// Result-cache misses (jobs that ran a simulation).
+    pub cache_misses: u64,
+}
+
+type Writer = Arc<Mutex<TcpStream>>;
+
+struct Job {
+    kind: JobKind,
+    spec: RunSpec,
+    key: String,
+    client: Writer,
+}
+
+struct Core {
+    queue: FairQueue,
+    jobs: HashMap<u64, Job>,
+    cache: ResultCache,
+    next_job: u64,
+    paused: bool,
+    draining: bool,
+    stopped: bool,
+    inflight: usize,
+    completed: u64,
+    failed: u64,
+    drain_waiters: Vec<Writer>,
+    log: Option<std::fs::File>,
+}
+
+impl Core {
+    fn log_line(&mut self, line: &str) {
+        if let Some(f) = &mut self.log {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+
+    fn status_event(&self) -> JobEvent {
+        JobEvent::Status {
+            queued: self.queue.len() as u64,
+            running: self.inflight as u64,
+            completed: self.completed,
+            failed: self.failed,
+            paused: self.paused,
+            draining: self.draining,
+        }
+    }
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    work: Condvar,
+}
+
+fn send_line(writer: &Writer, line: &str) {
+    // A vanished client must not take the server down; its events are
+    // still in the job log.
+    let mut stream = writer.lock().expect("writer mutex");
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.flush();
+}
+
+/// Logs (under the core lock) then sends each event, preserving order.
+fn emit(shared: &Shared, writer: &Writer, events: &[JobEvent]) {
+    let lines: Vec<String> = events.iter().map(JobEvent::to_json).collect();
+    {
+        let mut core = shared.core.lock().expect("core mutex");
+        for line in &lines {
+            core.log_line(line);
+        }
+    }
+    for line in &lines {
+        send_line(writer, line);
+    }
+}
+
+/// The cache identity of a submission: the job kind qualifying the spec's
+/// canonical string (a `sim` and a `dse` of the same spec differ in their
+/// resource columns, so they must not share a cache slot).
+pub fn cache_key(kind: JobKind, spec: &RunSpec) -> String {
+    format!("serve kind={} {}", kind.label(), spec.canonical())
+}
+
+/// A running job server bound to a loopback port.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    dispatcher: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:0` (an OS-assigned port — this is a local harness,
+    /// not an internet-facing daemon) and starts the accept loop, the
+    /// dispatcher and the simulation pool.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure or the cache-file failure, as a message.
+    pub fn start(config: ServerConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind 127.0.0.1:0: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let cache = match &config.cache_path {
+            Some(path) => ResultCache::open(path)?,
+            None => ResultCache::in_memory(),
+        };
+        let log = match &config.job_log {
+            Some(path) => Some(
+                std::fs::File::create(path)
+                    .map_err(|e| format!("create {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Core {
+                queue: FairQueue::new(config.tenant_quota),
+                jobs: HashMap::new(),
+                cache,
+                next_job: 1,
+                paused: false,
+                draining: false,
+                stopped: false,
+                inflight: 0,
+                completed: 0,
+                failed: 0,
+                drain_waiters: Vec::new(),
+                log,
+            }),
+            work: Condvar::new(),
+        });
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pxl-serve-dispatch".to_owned())
+                .spawn(move || dispatch_loop(&shared, workers, addr))
+                .map_err(|e| format!("spawn dispatcher: {e}"))?
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pxl-serve-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(|e| format!("spawn accept loop: {e}"))?
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept,
+            dispatcher,
+        })
+    }
+
+    /// The bound loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for a graceful drain (a client's `shutdown` request) to finish
+    /// and returns the lifetime totals. Blocks until then.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server thread panicked.
+    pub fn join(self) -> ServeSummary {
+        self.dispatcher.join().expect("dispatcher thread panicked");
+        self.accept.join().expect("accept thread panicked");
+        let core = self.shared.core.lock().expect("core mutex");
+        ServeSummary {
+            completed: core.completed,
+            failed: core.failed,
+            cache_hits: core.cache.hits() as u64,
+            cache_misses: core.cache.misses() as u64,
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.core.lock().expect("core mutex").stopped {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("pxl-serve-conn".to_owned())
+            .spawn(move || serve_connection(stream, &shared));
+        if spawned.is_err() {
+            continue;
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    use std::io::BufRead;
+    let Ok(reading) = stream.try_clone() else {
+        return;
+    };
+    let writer: Writer = Arc::new(Mutex::new(stream));
+    let reader = std::io::BufReader::new(reading);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::from_json(&line) {
+            Err(e) => emit(
+                shared,
+                &writer,
+                &[JobEvent::Error {
+                    code: e.code,
+                    message: e.message,
+                }],
+            ),
+            Ok(request) => handle_request(shared, &writer, request),
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, writer: &Writer, request: Request) {
+    match request {
+        Request::Submit { tenant, kind, spec } => {
+            let key = cache_key(kind, &spec);
+            let mut core = shared.core.lock().expect("core mutex");
+            if core.draining {
+                drop(core);
+                emit(
+                    shared,
+                    writer,
+                    &[JobEvent::Error {
+                        code: ErrorCode::Draining,
+                        message: "the server is draining and accepts no new jobs".to_owned(),
+                    }],
+                );
+                return;
+            }
+            let id = core.next_job;
+            match core.queue.enqueue(&tenant, JobId(id)) {
+                Err(quota) => {
+                    drop(core);
+                    emit(
+                        shared,
+                        writer,
+                        &[JobEvent::Error {
+                            code: ErrorCode::QuotaExceeded,
+                            message: quota.to_string(),
+                        }],
+                    );
+                }
+                Ok(position) => {
+                    core.next_job += 1;
+                    core.jobs.insert(
+                        id,
+                        Job {
+                            kind,
+                            spec,
+                            key: key.clone(),
+                            client: Arc::clone(writer),
+                        },
+                    );
+                    let events = [
+                        JobEvent::Accepted {
+                            job: JobId(id),
+                            tenant,
+                            key: ResultCache::address(&key),
+                        },
+                        JobEvent::Queued {
+                            job: JobId(id),
+                            position: position as u64,
+                        },
+                    ];
+                    for e in &events {
+                        core.log_line(&e.to_json());
+                    }
+                    drop(core);
+                    shared.work.notify_all();
+                    for e in &events {
+                        send_line(writer, &e.to_json());
+                    }
+                }
+            }
+        }
+        Request::Status => {
+            let event = {
+                let mut core = shared.core.lock().expect("core mutex");
+                let event = core.status_event();
+                core.log_line(&event.to_json());
+                event
+            };
+            send_line(writer, &event.to_json());
+        }
+        Request::Pause | Request::Resume => {
+            let event = {
+                let mut core = shared.core.lock().expect("core mutex");
+                core.paused = matches!(request, Request::Pause);
+                let event = core.status_event();
+                core.log_line(&event.to_json());
+                event
+            };
+            shared.work.notify_all();
+            send_line(writer, &event.to_json());
+        }
+        Request::Shutdown => {
+            let mut core = shared.core.lock().expect("core mutex");
+            core.draining = true;
+            core.drain_waiters.push(Arc::clone(writer));
+            drop(core);
+            shared.work.notify_all();
+        }
+    }
+}
+
+fn dispatch_loop(shared: &Arc<Shared>, workers: usize, addr: SocketAddr) {
+    let pool = WorkerPool::new(workers);
+    let mut core = shared.core.lock().expect("core mutex");
+    loop {
+        if core.draining && core.queue.is_empty() && core.inflight == 0 {
+            let event = JobEvent::Drained {
+                completed: core.completed,
+            };
+            core.log_line(&event.to_json());
+            core.stopped = true;
+            let waiters = std::mem::take(&mut core.drain_waiters);
+            drop(core);
+            for w in &waiters {
+                send_line(w, &event.to_json());
+            }
+            // The accept loop is blocked in accept(); poke it so it sees
+            // the stopped flag and exits.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+        if !core.paused && core.inflight < workers {
+            if let Some(job_id) = core.queue.pop() {
+                core.inflight += 1;
+                let client = Arc::clone(
+                    &core
+                        .jobs
+                        .get(&job_id.0)
+                        .expect("queued job is registered")
+                        .client,
+                );
+                let running = JobEvent::Running { job: job_id };
+                core.log_line(&running.to_json());
+                drop(core);
+                send_line(&client, &running.to_json());
+                let task_shared = Arc::clone(shared);
+                pool.submit(move || run_job(&task_shared, job_id));
+                core = shared.core.lock().expect("core mutex");
+                continue;
+            }
+        }
+        core = shared.work.wait(core).expect("core mutex");
+    }
+    // Drain condition guarantees no jobs are in flight here, so this
+    // returns promptly.
+    pool.shutdown();
+}
+
+/// What one finished job sends: the terminal event, preceded by a metrics
+/// snapshot for fresh (non-cached) successful runs.
+fn run_job(shared: &Arc<Shared>, job_id: JobId) {
+    let (spec, kind, key, client, hit) = {
+        let mut core = shared.core.lock().expect("core mutex");
+        let job = core.jobs.get(&job_id.0).expect("running job is registered");
+        let spec = job.spec.clone();
+        let kind = job.kind;
+        let key = job.key.clone();
+        let client = Arc::clone(&job.client);
+        // Profile jobs always execute: their artifact is the trace, which
+        // the measurement cache does not store.
+        let hit = if kind == JobKind::Profile {
+            None
+        } else {
+            core.cache.get(&key)
+        };
+        (spec, kind, key, client, hit)
+    };
+
+    let verdict = match hit {
+        Some(m) => Ok((m, None, None)),
+        None => execute_fresh(job_id, &spec, kind),
+    };
+    let cached = hit.is_some();
+
+    let mut events: Vec<JobEvent> = Vec::new();
+    {
+        let mut core = shared.core.lock().expect("core mutex");
+        core.jobs.remove(&job_id.0);
+        core.inflight -= 1;
+        match verdict {
+            Ok((result, trace_events, metrics)) => {
+                if !cached && kind != JobKind::Profile {
+                    // Ignore a cache-persistence failure: the job itself
+                    // succeeded and the client still gets its result.
+                    let _ = core.cache.insert(&key, result);
+                }
+                core.completed += 1;
+                if let Some(m) = metrics {
+                    events.push(m);
+                }
+                events.push(JobEvent::Done {
+                    job: job_id,
+                    cached,
+                    result,
+                    trace_events,
+                });
+            }
+            Err(error) => {
+                core.failed += 1;
+                events.push(JobEvent::Failed { job: job_id, error });
+            }
+        }
+        for e in &events {
+            core.log_line(&e.to_json());
+        }
+    }
+    for e in &events {
+        send_line(&client, &e.to_json());
+    }
+    shared.work.notify_all();
+}
+
+/// Runs the simulation for a cache miss. Returns the measurement, the trace
+/// size (profile jobs only) and the metrics snapshot event.
+#[allow(clippy::type_complexity)]
+fn execute_fresh(
+    job_id: JobId,
+    spec: &RunSpec,
+    kind: JobKind,
+) -> Result<(Measurement, Option<u64>, Option<JobEvent>), String> {
+    let run_spec = if kind == JobKind::Profile && spec.trace_capacity == 0 {
+        spec.clone().with_trace(PROFILE_TRACE_CAPACITY)
+    } else {
+        spec.clone()
+    };
+    let out = pxl_flow::execute(&run_spec)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| {
+            RunError::Build(FlowError::NoLiteVariant(spec.benchmark.clone())).to_string()
+        })?;
+    // DSE jobs fold in the FPGA resource estimate; sim/profile jobs (and
+    // CPU-baseline points, which have no accelerator design) measure zero.
+    let resources = if kind == JobKind::Dse {
+        pxl_flow::design_for_point(&spec.benchmark, &spec.point)
+            .ok()
+            .and_then(|d| d.resources)
+    } else {
+        None
+    };
+    let result = pxl_flow::measurement_of(&run_spec, resources.as_ref(), &out);
+    let m = &out.metrics;
+    let snapshot = JobEvent::Metrics {
+        job: job_id,
+        kernel_ps: out.kernel.as_ps(),
+        steal_attempts: m.get("accel.steal_attempts") + m.get("cpu.steal_attempts"),
+        dram_bytes: m.get("mem.dram_bytes"),
+        trace_events: out.trace.len() as u64,
+    };
+    let trace_events = (kind == JobKind::Profile).then(|| out.trace.len() as u64);
+    Ok((result, trace_events, Some(snapshot)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_keys_qualify_the_kind() {
+        use pxl_apps::Scale;
+        use pxl_dse::{DesignPoint, PointArch};
+        let spec = RunSpec::new(
+            "uts",
+            Scale::Tiny,
+            DesignPoint::accel(PointArch::Flex, 2, 4),
+        );
+        let sim = cache_key(JobKind::Sim, &spec);
+        let dse = cache_key(JobKind::Dse, &spec);
+        assert_eq!(
+            sim,
+            "serve kind=sim bench=uts scale=tiny arch=flex tiles=2 pes=4 \
+             cache_kb=32 queue=1024 pstore=8192"
+        );
+        assert_ne!(sim, dse, "sim and dse must not share a cache slot");
+        assert_ne!(
+            ResultCache::address(&sim),
+            ResultCache::address(&dse),
+            "content addresses must differ too"
+        );
+    }
+}

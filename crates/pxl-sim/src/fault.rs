@@ -49,6 +49,7 @@
 //! );
 //! ```
 
+use crate::json::JsonValue;
 use crate::rng::XorShift64;
 use crate::time::Time;
 
@@ -240,6 +241,139 @@ impl FaultPlan {
     /// Whether the plan arms no faults at all.
     pub fn is_empty(&self) -> bool {
         self.specs.is_empty()
+    }
+
+    /// The plan as a JSON value (see [`FaultPlan::from_json_value`]).
+    pub fn to_json_value(&self) -> JsonValue {
+        let specs = self
+            .specs
+            .iter()
+            .map(|s| {
+                let mut members = Vec::new();
+                let kind = |k: &str| JsonValue::Str(k.to_owned());
+                match s.kind {
+                    FaultKind::PeStall { pe, cycles } => {
+                        members.push(("kind".to_owned(), kind("pe_stall")));
+                        members.push(("pe".to_owned(), JsonValue::num_u64(pe as u64)));
+                        members.push(("cycles".to_owned(), JsonValue::num_u64(cycles)));
+                    }
+                    FaultKind::PeDeath { pe } => {
+                        members.push(("kind".to_owned(), kind("pe_death")));
+                        members.push(("pe".to_owned(), JsonValue::num_u64(pe as u64)));
+                    }
+                    FaultKind::NetDrop {
+                        net,
+                        per_mille,
+                        max,
+                    } => {
+                        members.push(("kind".to_owned(), kind("net_drop")));
+                        members.push(("net".to_owned(), kind(net.label())));
+                        members
+                            .push(("per_mille".to_owned(), JsonValue::num_u64(per_mille as u64)));
+                        members.push(("max".to_owned(), JsonValue::num_u64(max as u64)));
+                    }
+                    FaultKind::NetDup {
+                        net,
+                        per_mille,
+                        max,
+                    } => {
+                        members.push(("kind".to_owned(), kind("net_dup")));
+                        members.push(("net".to_owned(), kind(net.label())));
+                        members
+                            .push(("per_mille".to_owned(), JsonValue::num_u64(per_mille as u64)));
+                        members.push(("max".to_owned(), JsonValue::num_u64(max as u64)));
+                    }
+                    FaultKind::PStoreCorrupt { tile, mask } => {
+                        members.push(("kind".to_owned(), kind("pstore_corrupt")));
+                        members.push(("tile".to_owned(), JsonValue::num_u64(tile as u64)));
+                        members.push(("mask".to_owned(), JsonValue::num_u64(mask)));
+                    }
+                }
+                members.push(("from_ps".to_owned(), JsonValue::num_u64(s.from.as_ps())));
+                members.push(("until_ps".to_owned(), JsonValue::num_u64(s.until.as_ps())));
+                JsonValue::Object(members)
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("seed".to_owned(), JsonValue::num_u64(self.seed)),
+            ("specs".to_owned(), JsonValue::Array(specs)),
+        ])
+    }
+
+    /// The plan rendered as one canonical JSON object.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Rebuilds a plan from [`FaultPlan::to_json_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json_value(value: &JsonValue) -> Result<FaultPlan, String> {
+        let seed = value
+            .get("seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or("fault plan: missing seed")?;
+        let specs = value
+            .get("specs")
+            .and_then(JsonValue::as_array)
+            .ok_or("fault plan: missing specs array")?;
+        let mut plan = FaultPlan::new(seed);
+        for (i, spec) in specs.iter().enumerate() {
+            let field = |key: &str| {
+                spec.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("fault spec {i}: missing field {key}"))
+            };
+            let net = || -> Result<NetClass, String> {
+                match spec.get("net").and_then(JsonValue::as_str) {
+                    Some("task_net") => Ok(NetClass::Task),
+                    Some("arg_net") => Ok(NetClass::Arg),
+                    other => Err(format!("fault spec {i}: bad net {other:?}")),
+                }
+            };
+            let kind = match spec.get("kind").and_then(JsonValue::as_str) {
+                Some("pe_stall") => FaultKind::PeStall {
+                    pe: field("pe")? as usize,
+                    cycles: field("cycles")?,
+                },
+                Some("pe_death") => FaultKind::PeDeath {
+                    pe: field("pe")? as usize,
+                },
+                Some("net_drop") => FaultKind::NetDrop {
+                    net: net()?,
+                    per_mille: field("per_mille")? as u16,
+                    max: field("max")? as u32,
+                },
+                Some("net_dup") => FaultKind::NetDup {
+                    net: net()?,
+                    per_mille: field("per_mille")? as u16,
+                    max: field("max")? as u32,
+                },
+                Some("pstore_corrupt") => FaultKind::PStoreCorrupt {
+                    tile: field("tile")? as usize,
+                    mask: field("mask")?,
+                },
+                other => return Err(format!("fault spec {i}: unknown kind {other:?}")),
+            };
+            plan = plan.with_spec(FaultSpec {
+                kind,
+                from: Time::from_ps(field("from_ps")?),
+                until: Time::from_ps(field("until_ps")?),
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Parses [`FaultPlan::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let value = JsonValue::parse(text).map_err(|e| format!("fault plan: {e}"))?;
+        FaultPlan::from_json_value(&value)
     }
 
     /// Checks the plan against an accelerator geometry.
@@ -480,6 +614,46 @@ mod tests {
             s.on_send(NetClass::Arg, Time::from_us(2)),
             SendVerdict::Deliver
         );
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let plan = FaultPlan::new(0xD1E)
+            .kill_pe(1, Time::from_us(5))
+            .stall_pe(2, Time::from_us(1), 500)
+            .corrupt_pstore(0, Time::from_us(2), 0xFF)
+            .drop_messages(NetClass::Task, Time::ZERO, Time::MAX, 10, 3)
+            .duplicate_messages(NetClass::Arg, Time::from_ps(7), Time::from_us(9), 1000, 0);
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+        // Canonical rendering is stable across a round trip.
+        assert_eq!(back.to_json(), json);
+        // Time::MAX (u64::MAX ps, beyond 2^53) survives exactly.
+        assert_eq!(back.specs()[3].until, Time::MAX);
+    }
+
+    #[test]
+    fn json_errors_name_the_problem() {
+        assert!(FaultPlan::from_json("{}").unwrap_err().contains("seed"));
+        assert!(FaultPlan::from_json("{\"seed\":1}")
+            .unwrap_err()
+            .contains("specs"));
+        assert!(
+            FaultPlan::from_json("{\"seed\":1,\"specs\":[{\"kind\":\"nope\"}]}")
+                .unwrap_err()
+                .contains("unknown kind")
+        );
+        assert!(
+            FaultPlan::from_json("{\"seed\":1,\"specs\":[{\"kind\":\"pe_death\"}]}")
+                .unwrap_err()
+                .contains("missing field pe")
+        );
+        assert!(FaultPlan::from_json(
+            "{\"seed\":1,\"specs\":[{\"kind\":\"net_drop\",\"net\":\"bus\",\"per_mille\":1,\"max\":0,\"from_ps\":0,\"until_ps\":1}]}"
+        )
+        .unwrap_err()
+        .contains("bad net"));
     }
 
     #[test]

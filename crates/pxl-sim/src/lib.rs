@@ -31,7 +31,6 @@ pub mod metrics;
 pub mod pool;
 pub mod qcheck;
 pub mod rng;
-pub mod stats;
 pub mod time;
 pub mod trace;
 
@@ -42,6 +41,5 @@ pub use hash::{fnv64, Fnv64};
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricKind, Metrics};
 pub use pool::parallel_map;
 pub use rng::{Lfsr16, XorShift64};
-pub use stats::Stats;
 pub use time::{Clock, Time};
 pub use trace::{TraceEvent, TraceRecord, Tracer};

@@ -1,16 +1,22 @@
-//! A shared scoped worker pool for running independent simulation jobs in
-//! parallel.
+//! Shared worker pools for running independent simulation jobs in parallel.
 //!
-//! Both the benchmark harness (`pxl-bench`) and the design-space explorer
-//! (`pxl-dse`) fan whole simulations out across host cores; this module is
-//! the one implementation they share. Jobs are plain `FnOnce` closures,
-//! results come back in input order, and the pool is scoped — no threads
-//! outlive a call — so determinism of the simulations themselves is
-//! untouched: parallelism only reorders *wall-clock* execution, never
-//! simulated behaviour.
+//! Two shapes live here:
+//!
+//! * [`parallel_map`] / [`parallel_map_with`] — a *scoped* fan-out used by
+//!   the benchmark harness (`pxl-bench`) and the design-space explorer
+//!   (`pxl-dse`): jobs are plain `FnOnce` closures, results come back in
+//!   input order, and no threads outlive a call.
+//! * [`WorkerPool`] — a *persistent* pool for long-running services
+//!   (`pxl-serve`): worker threads stay alive across submissions, jobs are
+//!   `'static` closures fed through a queue, and [`WorkerPool::shutdown`]
+//!   drains every already-submitted job before joining the workers.
+//!
+//! In both cases determinism of the simulations themselves is untouched:
+//! parallelism only reorders *wall-clock* execution, never simulated
+//! behaviour.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Runs independent jobs on worker threads (one per available core) and
 /// returns results in input order.
@@ -74,6 +80,114 @@ where
         .collect()
 }
 
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool: a fixed set of threads consuming jobs from a
+/// shared queue.
+///
+/// Unlike [`parallel_map`], workers survive between submissions, so a
+/// long-running service can keep feeding work without paying thread spawn
+/// costs or blocking the submitting thread. Results travel through whatever
+/// channel the job closure captures — the pool itself is fire-and-forget.
+///
+/// # Examples
+///
+/// ```
+/// use pxl_sim::pool::WorkerPool;
+/// use std::sync::mpsc;
+///
+/// let pool = WorkerPool::new(2);
+/// let (tx, rx) = mpsc::channel();
+/// for i in 0..4u64 {
+///     let tx = tx.clone();
+///     pool.submit(move || tx.send(i * i).unwrap());
+/// }
+/// pool.shutdown(); // drains all four jobs, then joins the workers
+/// let mut squares: Vec<u64> = rx.try_iter().collect();
+/// squares.sort();
+/// assert_eq!(squares, vec![0, 1, 4, 9]);
+/// ```
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<PoolJob>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = mpsc::channel::<PoolJob>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("pxl-pool-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while receiving, so workers
+                        // run jobs concurrently.
+                        let job = receiver.lock().expect("pool queue poisoned").recv();
+                        match job {
+                            Ok(job) => job(),
+                            // All senders gone and the queue is drained.
+                            Err(mpsc::RecvError) => break,
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queues one job. Jobs run in submission order per worker pickup;
+    /// with more than one worker, completion order is unspecified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`WorkerPool::shutdown`].
+    pub fn submit<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.sender
+            .as_ref()
+            .expect("pool is shut down")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+
+    /// Stops accepting jobs, lets the workers drain everything already
+    /// queued, and joins them. Dropping the pool does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Dropping the sender disconnects the channel; workers keep
+        // receiving queued jobs until it reports empty-and-disconnected.
+        self.sender.take();
+        for handle in self.handles.drain(..) {
+            handle.join().expect("pool worker panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +215,46 @@ mod tests {
         let jobs: Vec<_> = (0..3u64).map(|i| move || i).collect();
         assert_eq!(parallel_map_with(jobs, 64), vec![0, 1, 2]);
         assert!(available_workers() >= 1);
+    }
+
+    #[test]
+    fn worker_pool_drains_on_shutdown() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..64u64 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(i).unwrap());
+        }
+        pool.shutdown();
+        let mut got: Vec<u64> = rx.try_iter().collect();
+        got.sort();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_pool_single_worker_preserves_order() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16u64 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(i).unwrap());
+        }
+        pool.shutdown();
+        // One worker consumes the queue strictly in submission order.
+        assert_eq!(
+            rx.try_iter().collect::<Vec<_>>(),
+            (0..16).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(7u8).unwrap());
+        pool.shutdown();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![7]);
     }
 }

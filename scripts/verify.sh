@@ -41,4 +41,13 @@ echo "==> DSE smoke sweep (pxl-bench --bin dse -- --smoke)"
 # point diverges from the exhaustive grid's.
 cargo run --release --offline -p pxl-bench --bin dse -- --smoke > /dev/null
 
+echo "==> serve smoke (pxl-bench --bin serve)"
+# Boots the pxl-serve job server on a loopback port and asserts the full
+# service contract: deterministic fair-share ordering under a flooding
+# tenant, byte-identical dedup with the second submission a pure cache
+# hit, quota refusal without collateral damage, profile-job trace
+# reporting, graceful drain with exact totals, and a well-formed
+# serve_jobs.jsonl event log.
+cargo run --release --offline -p pxl-bench --bin serve > /dev/null
+
 echo "==> OK"

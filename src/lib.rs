@@ -27,6 +27,7 @@
 //! | [`flow`] | `pxl-flow` | design methodology: builders + design-space sweeps |
 //! | [`dse`] | `pxl-dse` | parallel design-space exploration: result cache, strategies, Pareto fronts |
 //! | [`profile`] | `pxl-profile` | trace-driven profiling: task DAG + critical path, latency, bottlenecks, Perfetto export |
+//! | [`serve`] | `pxl-serve` | simulation-as-a-service: TCP job server over the [`RunSpec`] API with fair-share tenancy and result dedup |
 //!
 //! The most commonly used types from each layer are re-exported at the
 //! crate root, so a typical program needs only `use parallelxl::...`.
@@ -102,6 +103,9 @@ pub use pxl_model as model;
 /// Post-run analysis: task-graph reconstruction, critical path, latency
 /// percentiles, bottleneck attribution, Perfetto export.
 pub use pxl_profile as profile;
+/// Simulation-as-a-service: the job server, typed client, wire protocol
+/// and fair-share scheduler over the serializable [`RunSpec`] API.
+pub use pxl_serve as serve;
 /// Simulation kernel: time, clocks, deterministic RNG, metrics, tracing.
 pub use pxl_sim as sim;
 
@@ -124,8 +128,13 @@ pub use pxl_cpu::{CpuEngine, CpuResult, SoftwareCosts};
 pub use pxl_dse::{
     Axis, DesignPoint, Explorer, ParetoFront, PointArch, ResultCache, SearchSpace, Strategy,
 };
-/// Design-flow entry points and structured errors.
-pub use pxl_flow::{AcceleratorBuilder, AcceleratorDesign, FlowError, SimulationBuilder};
+/// Design-flow entry points and structured errors, and the canonical
+/// serializable run API: a [`RunSpec`] names a run exactly (JSON
+/// round-trip, canonical string), [`execute`]/[`measure`] perform it.
+pub use pxl_flow::{
+    execute, measure, AcceleratorBuilder, AcceleratorDesign, FlowError, RunError, RunOutcome,
+    RunSpec, SimulationBuilder, SpecError,
+};
 /// Functional memory, shared by every engine.
 pub use pxl_mem::Memory;
 /// The computation model's working set.
@@ -134,11 +143,14 @@ pub use pxl_model::{
 };
 /// Trace-driven performance analysis of a finished run.
 pub use pxl_profile::Profile;
+/// Simulation-as-a-service working set: start a [`Server`], connect a
+/// [`Client`], submit [`RunSpec`]s as jobs, stream [`JobEvent`]s.
+pub use pxl_serve::{Client, JobEvent, JobId, JobKind, JobStatus, Server, ServerConfig};
 /// Deterministic fault injection: seeded plans armed via
 /// [`SimulationBuilder::with_faults`] or [`AccelConfig::fault_plan`].
 pub use pxl_sim::{FaultKind, FaultPlan, FaultSpec, NetClass};
 /// Typed metrics, bounded event tracing, and simulated time.
-pub use pxl_sim::{Histogram, MetricKind, Metrics, Stats, Time, TraceEvent, TraceRecord, Tracer};
+pub use pxl_sim::{Histogram, MetricKind, Metrics, Time, TraceEvent, TraceRecord, Tracer};
 
 /// The ten Table II benchmarks, re-exported by name.
 ///
