@@ -187,7 +187,7 @@ impl Benchmark for Nw {
         let layout = self.setup_memory(mem);
         Some(LiteInstance {
             worker: Box::new(NwWorker { layout }),
-            driver: Box::new(NwLiteDriver { layout, diag: 0 }),
+            driver: Box::new(NwLiteDriver { layout }),
             footprint_bytes: self.footprint(),
         })
     }
@@ -393,21 +393,21 @@ impl Worker for NwWorker {
 }
 
 /// Host driver for the LiteArch variant: one anti-diagonal of blocks per
-/// round.
+/// round. A pure function of `(mem, round)` — no internal state — so a
+/// checkpointed run resumes mid-sequence with a freshly built driver (the
+/// contract `docs/checkpoint.md` requires of LiteArch drivers).
 #[derive(Debug)]
 struct NwLiteDriver {
     layout: Layout,
-    diag: u32,
 }
 
 impl pxl_arch::LiteDriver for NwLiteDriver {
-    fn next_round(&mut self, _mem: &mut Memory, _round: usize) -> Option<RoundTasks> {
+    fn next_round(&mut self, _mem: &mut Memory, round: usize) -> Option<RoundTasks> {
         let g = self.layout.grid();
-        if self.diag >= 2 * g - 1 {
+        let d = round as u32;
+        if d >= 2 * g - 1 {
             return None;
         }
-        let d = self.diag;
-        self.diag += 1;
         let mut tasks = Vec::new();
         for bi in 0..g {
             if d < bi {

@@ -169,8 +169,6 @@ impl Benchmark for Queens {
             }),
             driver: Box::new(QueensLiteDriver {
                 layout,
-                boards: vec![(0, 0, 0, 0)],
-                row: 0,
                 cutoff: self.cutoff,
             }),
             footprint_bytes: 4096,
@@ -296,21 +294,26 @@ impl Worker for QueensWorker {
     }
 }
 
-/// Level-synchronous LiteArch driver.
+/// Level-synchronous LiteArch driver. A pure function of `(mem, round)`:
+/// round 0 starts from the empty board, every later round reads the
+/// frontier the previous round's tasks appended to `next_list` in simulated
+/// memory. Keeping the frontier in memory rather than driver fields is what
+/// lets a checkpointed run resume mid-sequence with a freshly built driver
+/// (the contract `docs/checkpoint.md` requires of LiteArch drivers).
 #[derive(Debug)]
 struct QueensLiteDriver {
     layout: Layout,
-    boards: Vec<(u64, u64, u64, u64)>,
-    row: u32,
     cutoff: u32,
 }
 
 impl pxl_arch::LiteDriver for QueensLiteDriver {
     fn next_round(&mut self, mem: &mut Memory, round: usize) -> Option<RoundTasks> {
-        if round > 0 {
+        let boards: Vec<(u64, u64, u64, u64)> = if round == 0 {
+            vec![(0, 0, 0, 0)]
+        } else {
             let list = self.layout.next_list;
             let count = mem.read_u64(list);
-            self.boards = (0..count)
+            let boards = (0..count)
                 .map(|i| {
                     let rec = list + 8 + 32 * i;
                     (
@@ -322,13 +325,13 @@ impl pxl_arch::LiteDriver for QueensLiteDriver {
                 })
                 .collect();
             mem.write_u64(list, 0);
-            self.row += 1;
-        }
-        if self.boards.is_empty() || self.row > self.cutoff {
+            boards
+        };
+        if boards.is_empty() || round as u32 > self.cutoff {
             return None;
         }
         Some(
-            self.boards
+            boards
                 .iter()
                 .map(|&(cols, d1, d2, row)| {
                     Task::new(Q_LITE, Continuation::host(0), &[cols, d1, d2, 0, row])

@@ -17,9 +17,10 @@
 
 use pxl_mem::Memory;
 use pxl_model::{Task, Worker};
-use pxl_sim::Metrics;
+use pxl_sim::snapshot::{Snapshot, SnapshotError};
+use pxl_sim::{Clock, Metrics, Time};
 
-use crate::fabric::{AccelError, AccelResult, FabricEngine};
+use crate::fabric::{AccelError, AccelResult, FabricEngine, RunStatus};
 use crate::lite::{LiteDriver, LiteEngine};
 use crate::policy::SchedulingPolicy;
 
@@ -129,6 +130,11 @@ pub trait Engine: std::fmt::Debug {
     /// Number of processing elements or cores.
     fn units(&self) -> usize;
 
+    /// The engine's logic clock — the domain in which callers express
+    /// cycle counts (e.g. a checkpoint interval of N cycles pauses at
+    /// `clock().cycles_to_time(N)` boundaries).
+    fn clock(&self) -> Clock;
+
     /// Shared access to functional memory for output checking.
     fn memory(&self) -> &Memory;
 
@@ -151,6 +157,40 @@ pub trait Engine: std::fmt::Debug {
     /// the engine (e.g. rounds on FlexArch), plus every error the concrete
     /// engine's own run path can produce.
     fn run(&mut self, workload: Workload<'_>) -> Result<AccelResult, AccelError>;
+
+    /// Runs one leg of `workload`: launches on the first call (a no-op on
+    /// an engine restored from a snapshot) and advances until the
+    /// computation drains or, when `pause_at` is given, until the next
+    /// schedulable step lies beyond that boundary with work still
+    /// outstanding. Legs compose — keep calling with an equivalent workload
+    /// until [`RunStatus::Finished`]; a [`RunStatus::Paused`] engine is at
+    /// a deterministic boundary where [`Engine::snapshot`] may be taken.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run`].
+    fn run_until(
+        &mut self,
+        workload: Workload<'_>,
+        pause_at: Option<Time>,
+    ) -> Result<RunStatus, AccelError>;
+
+    /// Serializes the engine's complete mutable simulation state into a
+    /// versioned, checksummed [`Snapshot`]. Capture at construction time or
+    /// at a [`RunStatus::Paused`] boundary; restoring into a fresh engine
+    /// built from the same configuration resumes byte-identically to an
+    /// uninterrupted run (see `docs/checkpoint.md`).
+    fn snapshot(&self) -> Snapshot;
+
+    /// Overwrites the engine's mutable state with a snapshot captured by
+    /// [`Engine::snapshot`] on an identically configured engine.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::EngineMismatch`] for a snapshot from a different
+    /// engine family, [`SnapshotError::Malformed`] when the payload does
+    /// not describe this configuration.
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError>;
 }
 
 impl<P: SchedulingPolicy> Engine for FabricEngine<P> {
@@ -160,6 +200,10 @@ impl<P: SchedulingPolicy> Engine for FabricEngine<P> {
 
     fn units(&self) -> usize {
         self.config().num_pes()
+    }
+
+    fn clock(&self) -> Clock {
+        self.config().clock.clone()
     }
 
     fn memory(&self) -> &Memory {
@@ -188,6 +232,32 @@ impl<P: SchedulingPolicy> Engine for FabricEngine<P> {
             ))),
         }
     }
+
+    fn run_until(
+        &mut self,
+        workload: Workload<'_>,
+        pause_at: Option<Time>,
+    ) -> Result<RunStatus, AccelError> {
+        match workload {
+            Workload::Dynamic { worker, root } => {
+                FabricEngine::launch(self, root);
+                FabricEngine::run_until(self, worker, pause_at)
+            }
+            other => Err(AccelError::Unsupported(format!(
+                "{} runs dynamic task graphs, not {}",
+                self.policy.arch().name(),
+                other.shape()
+            ))),
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        FabricEngine::snapshot(self)
+    }
+
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        FabricEngine::restore(self, snap)
+    }
 }
 
 impl Engine for LiteEngine {
@@ -197,6 +267,10 @@ impl Engine for LiteEngine {
 
     fn units(&self) -> usize {
         self.config().num_pes()
+    }
+
+    fn clock(&self) -> Clock {
+        self.config().clock.clone()
     }
 
     fn memory(&self) -> &Memory {
@@ -223,6 +297,30 @@ impl Engine for LiteEngine {
                 other.shape()
             ))),
         }
+    }
+
+    fn run_until(
+        &mut self,
+        workload: Workload<'_>,
+        pause_at: Option<Time>,
+    ) -> Result<RunStatus, AccelError> {
+        match workload {
+            Workload::Rounds { worker, driver } => {
+                LiteEngine::run_until(self, worker, driver, pause_at)
+            }
+            other => Err(AccelError::Unsupported(format!(
+                "LiteArch runs host-driven rounds, not {}",
+                other.shape()
+            ))),
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        LiteEngine::snapshot(self)
+    }
+
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        LiteEngine::restore(self, snap)
     }
 }
 

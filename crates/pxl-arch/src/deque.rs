@@ -14,7 +14,8 @@
 
 use std::collections::VecDeque;
 
-use pxl_model::Task;
+use pxl_model::{Task, TASK_WORDS};
+use pxl_sim::json::JsonValue;
 use pxl_sim::Time;
 
 /// A bounded double-ended task queue with timestamped availability.
@@ -126,6 +127,79 @@ impl TaskDeque {
     pub fn peek_head(&self) -> Option<&Task> {
         self.items.front().map(|(t, _)| t)
     }
+
+    /// Serializes contents and counters for engine snapshots. Each queued
+    /// item is the task's word encoding followed by its availability
+    /// timestamp; capacity comes from configuration, not the snapshot.
+    pub fn state_to_json_value(&self) -> JsonValue {
+        let items = self
+            .items
+            .iter()
+            .map(|(task, avail)| {
+                let mut words: Vec<u64> = task.to_words().to_vec();
+                words.push(avail.as_ps());
+                JsonValue::Array(words.into_iter().map(JsonValue::num_u64).collect())
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("items".to_owned(), JsonValue::Array(items)),
+            ("peak".to_owned(), JsonValue::num_u64(self.peak as u64)),
+            (
+                "total_pushed".to_owned(),
+                JsonValue::num_u64(self.total_pushed),
+            ),
+        ])
+    }
+
+    /// Replaces contents and counters with a state captured by
+    /// [`TaskDeque::state_to_json_value`]. The deque keeps its configured
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the state is malformed or holds more tasks
+    /// than this deque's capacity.
+    pub fn restore_state(&mut self, value: &JsonValue) -> Result<(), String> {
+        let entries = value
+            .get("items")
+            .and_then(JsonValue::as_array)
+            .ok_or("deque state: missing items array")?;
+        if entries.len() > self.capacity {
+            return Err(format!(
+                "deque state holds {} tasks, capacity is {}",
+                entries.len(),
+                self.capacity
+            ));
+        }
+        let mut items = VecDeque::with_capacity(entries.len());
+        for entry in entries {
+            let words: Vec<u64> = entry
+                .as_array()
+                .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+                .ok_or("deque state: item is not an array")?;
+            if words.len() != TASK_WORDS + 1 {
+                return Err(format!(
+                    "deque state: item holds {} words, expected {}",
+                    words.len(),
+                    TASK_WORDS + 1
+                ));
+            }
+            let task = Task::from_words(&words[..TASK_WORDS])?;
+            items.push_back((task, Time::from_ps(words[TASK_WORDS])));
+        }
+        let peak = value
+            .get("peak")
+            .and_then(JsonValue::as_u64)
+            .ok_or("deque state: missing peak")?;
+        let total_pushed = value
+            .get("total_pushed")
+            .and_then(JsonValue::as_u64)
+            .ok_or("deque state: missing total_pushed")?;
+        self.items = items;
+        self.peak = peak as usize;
+        self.total_pushed = total_pushed;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +255,27 @@ mod tests {
         q.push_tail(task(9), Time::ZERO).unwrap();
         assert_eq!(q.peak(), 5);
         assert_eq!(q.total_pushed(), 6);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_order_and_visibility() {
+        let mut a = TaskDeque::new(8);
+        for i in 0..4 {
+            a.push_tail(task(i), Time::from_ns(i * 10)).unwrap();
+        }
+        let _ = a.pop_tail(Time::MAX);
+        let state = a.state_to_json_value();
+        let mut b = TaskDeque::new(8);
+        b.restore_state(&state).unwrap();
+        assert_eq!(b.len(), a.len());
+        assert_eq!((b.peak(), b.total_pushed()), (a.peak(), a.total_pushed()));
+        // Availability timestamps survive: head is visible at 0, next is not.
+        assert!(b.steal_head(Time::ZERO).is_some());
+        assert!(b.steal_head(Time::ZERO).is_none());
+        assert_eq!(b.steal_head(Time::from_ns(10)).unwrap().args[0], 1);
+        // Restoring into a smaller deque is rejected.
+        let mut tiny = TaskDeque::new(2);
+        assert!(tiny.restore_state(&state).unwrap_err().contains("capacity"));
     }
 
     #[test]

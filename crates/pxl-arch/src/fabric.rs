@@ -33,7 +33,11 @@
 use pxl_mem::zedboard::AcpParams;
 use pxl_mem::{AccessKind, Memory, MemorySystem, PortId, ZedboardMemory};
 use pxl_model::serial::HOST_SLOTS;
-use pxl_model::{Continuation, ExecProfile, PendingTask, Task, TaskContext, TaskTypeId, Worker};
+use pxl_model::{
+    Continuation, ExecProfile, PendingTask, Task, TaskContext, TaskTypeId, Worker, TASK_WORDS,
+};
+use pxl_sim::json::JsonValue;
+use pxl_sim::snapshot::{self, malformed, Snapshot, SnapshotError};
 use pxl_sim::{
     CounterId, EventQueue, FaultKind, FaultPlan, FaultScheduler, HistogramId, Metrics, NetClass,
     SendVerdict, Time, TraceEvent, Tracer,
@@ -236,6 +240,36 @@ impl MemBackend {
             MemBackend::Zedboard(m) => m.take_stats(),
         }
     }
+
+    /// Serializes the backend's mutable state for engine snapshots, tagged
+    /// with the backend kind so a restore into the wrong memory path fails
+    /// loudly.
+    pub(crate) fn state_to_json_value(&self) -> JsonValue {
+        let (kind, state) = match self {
+            MemBackend::Coherent(m) => ("coherent", m.state_to_json_value()),
+            MemBackend::Zedboard(m) => ("zedboard", m.state_to_json_value()),
+        };
+        JsonValue::Object(vec![
+            ("kind".to_owned(), JsonValue::Str(kind.to_owned())),
+            ("state".to_owned(), state),
+        ])
+    }
+
+    /// Restores state captured by [`MemBackend::state_to_json_value`].
+    pub(crate) fn restore_state(&mut self, value: &JsonValue) -> Result<(), String> {
+        let kind = value
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("memory backend state: missing kind")?;
+        let state = value
+            .get("state")
+            .ok_or("memory backend state: missing state")?;
+        match (self, kind) {
+            (MemBackend::Coherent(m), "coherent") => m.restore_state(state),
+            (MemBackend::Zedboard(m), "zedboard") => m.restore_state(state),
+            (_, k) => Err(format!("memory backend mismatch: snapshot holds {k:?}")),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -286,6 +320,159 @@ enum Event {
         attempt: u8,
         spec: usize,
     },
+}
+
+impl Event {
+    /// Flat word encoding for snapshots: a tag word, then the variant's
+    /// fields. Tasks flatten via [`Task::to_words`]; `Option` indices
+    /// encode as the value plus one, with zero meaning `None`.
+    fn to_words(&self) -> Vec<u64> {
+        let opt = |o: Option<usize>| o.map_or(0, |s| s as u64 + 1);
+        match self {
+            Event::PeWake { pe } => vec![0, *pe as u64],
+            Event::StealArrive { thief, victim } => vec![1, *thief as u64, *victim as u64],
+            Event::StealReply { thief, task } => {
+                let mut w = vec![2, *thief as u64];
+                if let Some(t) = task {
+                    w.extend_from_slice(&t.to_words());
+                }
+                w
+            }
+            Event::ArgArrive {
+                k,
+                value,
+                from_pe,
+                from_task,
+                dup_of,
+            } => vec![
+                3,
+                k.encode(),
+                *value,
+                *from_pe as u64,
+                *from_task,
+                opt(*dup_of),
+            ],
+            Event::TaskRun { pe, task, dup_of } => {
+                let mut w = vec![4, *pe as u64, opt(*dup_of)];
+                w.extend_from_slice(&task.to_words());
+                w
+            }
+            Event::FaultFire { spec } => vec![5, *spec as u64],
+            Event::ArgResend {
+                k,
+                value,
+                from_pe,
+                from_task,
+                attempt,
+                spec,
+            } => vec![
+                6,
+                k.encode(),
+                *value,
+                *from_pe as u64,
+                *from_task,
+                *attempt as u64,
+                *spec as u64,
+            ],
+            Event::TaskResend {
+                pe,
+                task,
+                attempt,
+                spec,
+            } => {
+                let mut w = vec![7, *pe as u64, *attempt as u64, *spec as u64];
+                w.extend_from_slice(&task.to_words());
+                w
+            }
+        }
+    }
+
+    /// Inverse of [`Event::to_words`].
+    fn from_words(words: &[u64]) -> Result<Event, String> {
+        let tag = *words.first().ok_or("event encoding is empty")?;
+        let expect = |n: usize| -> Result<(), String> {
+            if words.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "event tag {tag} holds {} words, expected {n}",
+                    words.len()
+                ))
+            }
+        };
+        let opt = |w: u64| if w == 0 { None } else { Some(w as usize - 1) };
+        match tag {
+            0 => {
+                expect(2)?;
+                Ok(Event::PeWake {
+                    pe: words[1] as usize,
+                })
+            }
+            1 => {
+                expect(3)?;
+                Ok(Event::StealArrive {
+                    thief: words[1] as usize,
+                    victim: words[2] as usize,
+                })
+            }
+            2 => {
+                let task = match words.len() {
+                    2 => None,
+                    n if n == 2 + TASK_WORDS => Some(Task::from_words(&words[2..])?),
+                    n => return Err(format!("event tag 2 holds {n} words")),
+                };
+                Ok(Event::StealReply {
+                    thief: words[1] as usize,
+                    task,
+                })
+            }
+            3 => {
+                expect(6)?;
+                Ok(Event::ArgArrive {
+                    k: Continuation::decode(words[1]),
+                    value: words[2],
+                    from_pe: words[3] as usize,
+                    from_task: words[4],
+                    dup_of: opt(words[5]),
+                })
+            }
+            4 => {
+                expect(3 + TASK_WORDS)?;
+                Ok(Event::TaskRun {
+                    pe: words[1] as usize,
+                    dup_of: opt(words[2]),
+                    task: Task::from_words(&words[3..])?,
+                })
+            }
+            5 => {
+                expect(2)?;
+                Ok(Event::FaultFire {
+                    spec: words[1] as usize,
+                })
+            }
+            6 => {
+                expect(7)?;
+                Ok(Event::ArgResend {
+                    k: Continuation::decode(words[1]),
+                    value: words[2],
+                    from_pe: words[3] as usize,
+                    from_task: words[4],
+                    attempt: words[5] as u8,
+                    spec: words[6] as usize,
+                })
+            }
+            7 => {
+                expect(4 + TASK_WORDS)?;
+                Ok(Event::TaskResend {
+                    pe: words[1] as usize,
+                    attempt: words[2] as u8,
+                    spec: words[3] as usize,
+                    task: Task::from_words(&words[4..])?,
+                })
+            }
+            t => Err(format!("unknown event tag {t}")),
+        }
+    }
 }
 
 /// Engine-side fault-injection state, present only when the configuration
@@ -356,6 +543,18 @@ impl Watchdog {
     /// When any unit last made forward progress.
     pub fn last_progress(&self) -> Time {
         self.last_progress
+    }
+
+    /// The unit that last made forward progress, if any ever did.
+    pub fn last_unit(&self) -> Option<usize> {
+        self.last_unit
+    }
+
+    /// Overwrites the progress state from a snapshot. The window stays as
+    /// configured.
+    pub fn load(&mut self, last_progress: Time, last_unit: Option<usize>) {
+        self.last_progress = last_progress;
+        self.last_unit = last_unit;
     }
 
     /// Builds the [`AccelError::Stalled`] diagnosis, emitting the
@@ -569,6 +768,28 @@ pub struct FabricEngine<P: SchedulingPolicy> {
     /// "no task" (e.g. host-originated messages); the root task gets id 1.
     next_task_id: u64,
     error: Option<AccelError>,
+    /// Host slot the root continuation targets, latched at launch so a
+    /// paused/restored engine can still finish the run.
+    result_slot: Option<u8>,
+    /// Whether the root task has been seeded. A restored engine is already
+    /// launched; [`FabricEngine::run`] skips re-seeding.
+    launched: bool,
+}
+
+/// Outcome of one [`FabricEngine::run_until`] leg.
+#[derive(Debug)]
+pub enum RunStatus {
+    /// The computation drained; the result and aggregated statistics are
+    /// final. The engine's metrics and trace have been moved into the
+    /// result.
+    Finished(AccelResult),
+    /// Every event at or before the pause boundary has been processed and
+    /// work is still outstanding. The engine can be snapshotted here and
+    /// resumed with another `run_until` leg.
+    Paused {
+        /// The pause boundary that was reached.
+        at: Time,
+    },
 }
 
 /// Typed handles into the metrics registry for the engine's hot counters;
@@ -666,6 +887,8 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             metrics,
             ids,
             error: None,
+            result_slot: None,
+            launched: false,
             mem: Memory::new(),
             backend,
             cfg,
@@ -736,7 +959,8 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
     /// The host writes the root task into the interface block; PEs acquire
     /// it over the steal network, and the simulation proceeds until every
     /// task has drained. Consumes the engine's launch state: call once per
-    /// engine.
+    /// engine. On an engine restored from a snapshot the launch is skipped
+    /// (the restored state is already mid-run) and the run resumes.
     ///
     /// # Errors
     ///
@@ -746,7 +970,22 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         worker: &mut W,
         root: Task,
     ) -> Result<AccelResult, AccelError> {
-        let result_slot = match root.k {
+        self.launch(root);
+        match self.run_until(worker, None)? {
+            RunStatus::Finished(result) => Ok(result),
+            RunStatus::Paused { .. } => unreachable!("run_until without a pause never pauses"),
+        }
+    }
+
+    /// Seeds `root` at the host interface block and schedules the launch
+    /// events (PE wakes, timed faults). A no-op when the engine is already
+    /// launched — notably after [`FabricEngine::restore`].
+    pub fn launch(&mut self, root: Task) {
+        if self.launched {
+            return;
+        }
+        self.launched = true;
+        self.result_slot = match root.k {
             Continuation::Host { slot } => Some(slot),
             _ => None,
         };
@@ -764,9 +1003,38 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         for (at, spec) in timed {
             self.events.push(at, Event::FaultFire { spec });
         }
+    }
+
+    /// Advances the simulation until the computation drains or, when
+    /// `pause_at` is given, until the next pending event lies beyond that
+    /// boundary with work still outstanding. Call [`FabricEngine::launch`]
+    /// first (or restore a snapshot); legs compose — keep calling with the
+    /// same worker until [`RunStatus::Finished`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AccelError`].
+    pub fn run_until<W: Worker + ?Sized>(
+        &mut self,
+        worker: &mut W,
+        pause_at: Option<Time>,
+    ) -> Result<RunStatus, AccelError> {
         let limit = Time::from_us(self.cfg.max_sim_time_us);
 
-        while let Some((now, event)) = self.events.pop() {
+        loop {
+            if let Some(pause) = pause_at {
+                // Pause only between events and only while work remains; a
+                // drained computation always runs to its finished result.
+                if self.outstanding > 0 || self.inflight_args > 0 {
+                    match self.events.peek_time() {
+                        Some(next) if next > pause => return Ok(RunStatus::Paused { at: pause }),
+                        _ => {}
+                    }
+                }
+            }
+            let Some((now, event)) = self.events.pop() else {
+                break;
+            };
             if self.outstanding == 0 && self.inflight_args == 0 {
                 break;
             }
@@ -794,7 +1062,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         if leaked > 0 {
             return Err(AccelError::LeakedPending { count: leaked });
         }
-        let result = match result_slot {
+        let result = match self.result_slot {
             Some(slot) => self.host[slot as usize].ok_or(AccelError::NoResult { slot })?,
             None => 0,
         };
@@ -803,17 +1071,310 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         trace.absorb(self.backend.take_trace());
         trace.finish();
         self.metrics.add_to(self.ids.trace_dropped, trace.dropped());
-        Ok(AccelResult {
+        Ok(RunStatus::Finished(AccelResult {
             result,
             elapsed: self.last_useful,
             metrics: std::mem::take(&mut self.metrics),
             trace,
-        })
+        }))
     }
 
     /// Value delivered to a host result register, if any.
     pub fn host_result(&self, slot: u8) -> Option<u64> {
         self.host.get(slot as usize).copied().flatten()
+    }
+
+    /// Serializes the complete mutable simulation state into a versioned,
+    /// checksummed [`Snapshot`]. Capture at a [`RunStatus::Paused`] boundary;
+    /// a fresh engine built from the same configuration restores the
+    /// snapshot and continues byte-identically to an uninterrupted run.
+    pub fn snapshot(&self) -> Snapshot {
+        let events = JsonValue::Array(
+            self.events
+                .ordered()
+                .into_iter()
+                .map(|(when, event)| {
+                    let mut words = vec![when.as_ps()];
+                    words.extend(event.to_words());
+                    snapshot::arr_u64(words)
+                })
+                .collect(),
+        );
+        let host = JsonValue::Array(
+            self.host
+                .iter()
+                .map(|slot| snapshot::arr_u64(slot.iter().copied()))
+                .collect(),
+        );
+        let mut payload = vec![
+            ("launched", snapshot::num(u64::from(self.launched))),
+            (
+                "result_slot",
+                snapshot::num(self.result_slot.map_or(0, |s| u64::from(s) + 1)),
+            ),
+            ("next_task_id", snapshot::num(self.next_task_id)),
+            ("outstanding", snapshot::num(self.outstanding)),
+            ("inflight_args", snapshot::num(self.inflight_args)),
+            ("last_useful_ps", snapshot::num(self.last_useful.as_ps())),
+            ("hetero_rr", snapshot::num(self.hetero_rr as u64)),
+            (
+                "steal_fails",
+                snapshot::arr_u64(self.steal_fails.iter().map(|f| u64::from(*f))),
+            ),
+            (
+                "busy_until_ps",
+                snapshot::arr_u64(self.busy_until.iter().map(|t| t.as_ps())),
+            ),
+            ("host", host),
+            ("events", events),
+            ("policy", self.policy.state_to_json_value()),
+            (
+                "pstores",
+                JsonValue::Array(
+                    self.pstores
+                        .iter()
+                        .map(PStore::state_to_json_value)
+                        .collect(),
+                ),
+            ),
+            (
+                "watchdog",
+                snapshot::obj(vec![
+                    (
+                        "last_progress_ps",
+                        snapshot::num(self.watchdog.last_progress().as_ps()),
+                    ),
+                    (
+                        "last_unit",
+                        snapshot::num(self.watchdog.last_unit().map_or(0, |u| u as u64 + 1)),
+                    ),
+                ]),
+            ),
+            (
+                "metrics",
+                JsonValue::parse(&self.metrics.to_json()).expect("metrics emit valid JSON"),
+            ),
+            ("mem", self.mem.state_to_json_value()),
+            ("backend", self.backend.state_to_json_value()),
+            ("trace", self.trace.state_to_json_value()),
+        ];
+        if let Some(faults) = &self.faults {
+            let (rng, remaining) = faults.sched.save_state();
+            payload.push((
+                "faults",
+                snapshot::obj(vec![
+                    ("rng", snapshot::num(rng)),
+                    (
+                        "remaining",
+                        snapshot::arr_u64(remaining.iter().map(|r| u64::from(*r))),
+                    ),
+                    (
+                        "dead",
+                        snapshot::arr_u64(faults.dead.iter().map(|d| u64::from(*d))),
+                    ),
+                    (
+                        "rescue_pending",
+                        snapshot::arr_u64(
+                            faults
+                                .rescue_pending
+                                .iter()
+                                .map(|r| r.map_or(0, |s| s as u64 + 1)),
+                        ),
+                    ),
+                    (
+                        "corrupt_pending",
+                        JsonValue::Array(
+                            faults
+                                .corrupt_pending
+                                .iter()
+                                .map(|tile| {
+                                    snapshot::arr_u64(tile.iter().flat_map(|(entry, spec)| {
+                                        [u64::from(*entry), *spec as u64]
+                                    }))
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        Snapshot::new(self.policy.kind().label(), snapshot::obj(payload))
+    }
+
+    /// Overwrites this engine's mutable state with a [`Snapshot`] captured
+    /// by [`FabricEngine::snapshot`] on an engine built from the same
+    /// configuration. The engine must have been freshly constructed with
+    /// [`FabricEngine::try_new`] from the identical [`AccelConfig`] and
+    /// [`ExecProfile`]; structural mismatches (PE count, tile count, queue
+    /// capacities, memory backend) are rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::EngineMismatch`] when the snapshot was taken by a
+    /// different engine family, [`SnapshotError::Malformed`] when the
+    /// payload does not describe this configuration.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        snap.expect_engine(self.policy.kind().label())?;
+        let p = &snap.payload;
+        let num_pes = self.cfg.num_pes();
+
+        self.launched = snapshot::get_u64(p, "launched")? != 0;
+        self.result_slot = match snapshot::get_u64(p, "result_slot")? {
+            0 => None,
+            s => Some(u8::try_from(s - 1).map_err(|_| malformed("result_slot out of range"))?),
+        };
+        self.next_task_id = snapshot::get_u64(p, "next_task_id")?;
+        self.outstanding = snapshot::get_u64(p, "outstanding")?;
+        self.inflight_args = snapshot::get_u64(p, "inflight_args")?;
+        self.last_useful = Time::from_ps(snapshot::get_u64(p, "last_useful_ps")?);
+        self.hetero_rr = snapshot::get_u64(p, "hetero_rr")? as usize;
+
+        let steal_fails = snapshot::get_u64s(p, "steal_fails")?;
+        let busy_until = snapshot::get_u64s(p, "busy_until_ps")?;
+        if steal_fails.len() != num_pes || busy_until.len() != num_pes {
+            return Err(malformed(format!(
+                "snapshot describes {} PEs, this engine has {num_pes}",
+                steal_fails.len()
+            )));
+        }
+        self.steal_fails = steal_fails
+            .iter()
+            .map(|f| u32::try_from(*f).map_err(|_| malformed("steal_fails overflows u32")))
+            .collect::<Result<_, _>>()?;
+        self.busy_until = busy_until.iter().map(|ps| Time::from_ps(*ps)).collect();
+
+        let host = snapshot::get_arr(p, "host")?;
+        if host.len() != HOST_SLOTS {
+            return Err(malformed(format!(
+                "snapshot holds {} host slots, expected {HOST_SLOTS}",
+                host.len()
+            )));
+        }
+        for (slot, value) in self.host.iter_mut().zip(host) {
+            let cell = value
+                .as_array()
+                .ok_or_else(|| malformed("host slot is not an array"))?;
+            *slot = match cell {
+                [] => None,
+                [v] => Some(v.as_u64().ok_or_else(|| malformed("bad host value"))?),
+                _ => return Err(malformed("host slot holds more than one value")),
+            };
+        }
+
+        self.events.clear();
+        for entry in snapshot::get_arr(p, "events")? {
+            let words: Vec<u64> = entry
+                .as_array()
+                .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+                .ok_or_else(|| malformed("event entry is not an array"))?;
+            let (when, body) = words
+                .split_first()
+                .ok_or_else(|| malformed("empty event entry"))?;
+            let event = Event::from_words(body).map_err(malformed)?;
+            self.events.push(Time::from_ps(*when), event);
+        }
+
+        self.policy
+            .restore_state(snapshot::get(p, "policy")?)
+            .map_err(malformed)?;
+
+        let pstores = snapshot::get_arr(p, "pstores")?;
+        if pstores.len() != self.pstores.len() {
+            return Err(malformed(format!(
+                "snapshot holds {} P-Store tiles, this engine has {}",
+                pstores.len(),
+                self.pstores.len()
+            )));
+        }
+        for (pstore, state) in self.pstores.iter_mut().zip(pstores) {
+            pstore.restore_state(state).map_err(malformed)?;
+        }
+
+        let watchdog = snapshot::get(p, "watchdog")?;
+        let last_progress = Time::from_ps(snapshot::get_u64(watchdog, "last_progress_ps")?);
+        let last_unit = match snapshot::get_u64(watchdog, "last_unit")? {
+            0 => None,
+            u => Some(u as usize - 1),
+        };
+        self.watchdog.load(last_progress, last_unit);
+
+        // Metrics restore: rebuild a fresh registry (identical registration
+        // order keeps the typed CounterId/HistogramId handles valid), then
+        // merge the saved values into its zeroed slots.
+        let saved = Metrics::from_json(&snapshot::get(p, "metrics")?.to_json())
+            .map_err(|e| malformed(format!("metrics: {e}")))?;
+        let mut metrics = Metrics::new();
+        self.ids = FabricIds::register(&mut metrics, num_pes);
+        register_fault_metrics(&mut metrics);
+        metrics.merge(&saved);
+        self.metrics = metrics;
+
+        self.mem
+            .restore_state(snapshot::get(p, "mem")?)
+            .map_err(malformed)?;
+        self.backend
+            .restore_state(snapshot::get(p, "backend")?)
+            .map_err(malformed)?;
+        self.trace =
+            Tracer::state_from_json_value(snapshot::get(p, "trace")?).map_err(malformed)?;
+
+        match (&mut self.faults, p.get("faults")) {
+            (Some(faults), Some(saved)) => {
+                let rng = snapshot::get_u64(saved, "rng")?;
+                let remaining = snapshot::get_u64s(saved, "remaining")?
+                    .iter()
+                    .map(|r| u32::try_from(*r).map_err(|_| malformed("fault budget overflow")))
+                    .collect::<Result<Vec<u32>, _>>()?;
+                faults.sched.load_state(rng, remaining).map_err(malformed)?;
+                let dead = snapshot::get_u64s(saved, "dead")?;
+                let rescue = snapshot::get_u64s(saved, "rescue_pending")?;
+                if dead.len() != num_pes || rescue.len() != num_pes {
+                    return Err(malformed("fault state PE count mismatch"));
+                }
+                faults.dead = dead.iter().map(|d| *d != 0).collect();
+                faults.rescue_pending = rescue
+                    .iter()
+                    .map(|r| if *r == 0 { None } else { Some(*r as usize - 1) })
+                    .collect();
+                let corrupt = snapshot::get_arr(saved, "corrupt_pending")?;
+                if corrupt.len() != faults.corrupt_pending.len() {
+                    return Err(malformed("fault state tile count mismatch"));
+                }
+                faults.corrupt_pending = corrupt
+                    .iter()
+                    .map(|tile| {
+                        let flat: Vec<u64> = tile
+                            .as_array()
+                            .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+                            .ok_or_else(|| malformed("corrupt_pending tile is not an array"))?;
+                        if !flat.len().is_multiple_of(2) {
+                            return Err(malformed("corrupt_pending holds an odd word count"));
+                        }
+                        flat.chunks(2)
+                            .map(|pair| {
+                                let entry = u32::try_from(pair[0])
+                                    .map_err(|_| malformed("corrupt entry overflow"))?;
+                                Ok((entry, pair[1] as usize))
+                            })
+                            .collect()
+                    })
+                    .collect::<Result<_, SnapshotError>>()?;
+            }
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(malformed(
+                    "this engine carries a fault plan, the snapshot does not",
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(malformed(
+                    "the snapshot carries fault state, this engine has no fault plan",
+                ));
+            }
+        }
+
+        self.error = None;
+        Ok(())
     }
 
     fn collect_stats(&mut self) {
@@ -1949,5 +2510,98 @@ mod tests {
                 .elapsed
         };
         assert!(run(8.0) < run(1.0));
+    }
+
+    /// The checkpoint determinism gate at engine level: pause mid-run,
+    /// snapshot through the JSON wire format, restore into a freshly built
+    /// engine, and finish both legs. The paused original, the restored
+    /// engine, and an uninterrupted reference must agree byte-for-byte on
+    /// result, elapsed time, metrics, and trace.
+    fn assert_resume_identical(mk_cfg: impl Fn() -> AccelConfig, n: u64) {
+        let root = || Task::new(FIB, Continuation::host(0), &[n]);
+        let reference = {
+            let mut engine = FlexEngine::new(mk_cfg(), ExecProfile::scalar());
+            engine.run(&mut FibWorker, root()).expect("reference run")
+        };
+        let pause = Time::from_ps(reference.elapsed.as_ps() / 2);
+
+        let mut paused = FlexEngine::new(mk_cfg(), ExecProfile::scalar());
+        paused.launch(root());
+        match paused.run_until(&mut FibWorker, Some(pause)).unwrap() {
+            RunStatus::Paused { at } => assert_eq!(at, pause),
+            RunStatus::Finished(_) => panic!("fib must still be in flight at {pause}"),
+        }
+        let blob = paused.snapshot().to_json();
+        let snap = Snapshot::from_json(&blob).expect("snapshot survives its wire format");
+
+        let mut restored = FlexEngine::new(mk_cfg(), ExecProfile::scalar());
+        restored
+            .restore(&snap)
+            .expect("restore into a fresh engine");
+
+        let finish = |engine: &mut FlexEngine| match engine.run_until(&mut FibWorker, None) {
+            Ok(RunStatus::Finished(out)) => out,
+            Ok(RunStatus::Paused { .. }) => unreachable!("no pause requested"),
+            Err(e) => panic!("resumed leg failed: {e}"),
+        };
+        let a = finish(&mut paused);
+        let b = finish(&mut restored);
+        for (label, out) in [("paused", &a), ("restored", &b)] {
+            assert_eq!(out.result, reference.result, "{label} result");
+            assert_eq!(out.elapsed, reference.elapsed, "{label} elapsed");
+            assert_eq!(
+                out.metrics.to_json(),
+                reference.metrics.to_json(),
+                "{label} metrics"
+            );
+            assert_eq!(
+                out.trace.to_jsonl(),
+                reference.trace.to_jsonl(),
+                "{label} trace"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically() {
+        assert_resume_identical(|| AccelConfig::flex(2, 2), 14);
+    }
+
+    #[test]
+    fn snapshot_restore_holds_under_faults() {
+        assert_resume_identical(
+            || {
+                let mut cfg = AccelConfig::flex(2, 4);
+                cfg.fault_plan = Some(
+                    FaultPlan::new(0xF01D)
+                        .kill_pe(3, Time::from_ns(400))
+                        .drop_messages(NetClass::Arg, Time::ZERO, Time::from_us(2), 80, 6)
+                        .corrupt_pstore(1, Time::from_ns(900), 0xFF),
+                );
+                cfg
+            },
+            15,
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shape_and_engine() {
+        let mut small = FlexEngine::new(AccelConfig::flex(1, 1), ExecProfile::scalar());
+        small.launch(Task::new(FIB, Continuation::host(0), &[8]));
+        let snap = small.snapshot();
+
+        // Same family, different shape: the restore must fail loudly rather
+        // than resume into a structurally different fabric.
+        let mut other = FlexEngine::new(AccelConfig::flex(2, 4), ExecProfile::scalar());
+        let err = other.restore(&snap).expect_err("shape mismatch");
+        assert!(matches!(err, SnapshotError::Malformed(_)), "got {err}");
+
+        // Different engine family entirely.
+        let mut central = CentralEngine::new(AccelConfig::central(1, 1), ExecProfile::scalar());
+        let err = central.restore(&snap).expect_err("engine mismatch");
+        assert!(
+            matches!(err, SnapshotError::EngineMismatch { .. }),
+            "got {err}"
+        );
     }
 }

@@ -54,7 +54,7 @@ pub use config::{
 pub use deque::TaskDeque;
 pub use fabric::{
     record_injected, record_recovered, register_fault_metrics, AccelError, AccelResult,
-    CentralEngine, FabricEngine, FlexEngine, Watchdog,
+    CentralEngine, FabricEngine, FlexEngine, RunStatus, Watchdog,
 };
 pub use lite::{LiteDriver, LiteEngine, RoundTasks};
 pub use policy::{CentralPolicy, FlexPolicy, RoundSlot, SchedulingPolicy, StaticRoundPolicy};

@@ -16,12 +16,14 @@
 use pxl_mem::Memory;
 use pxl_model::serial::HOST_SLOTS;
 use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
+use pxl_sim::json::JsonValue;
+use pxl_sim::snapshot::{self, malformed, Snapshot, SnapshotError};
 use pxl_sim::{FaultKind, Metrics, Time, TraceEvent, Tracer};
 
 use crate::config::{AccelConfig, ArchKind};
 use crate::fabric::{
     record_injected, record_recovered, register_fault_metrics, timed_memory_path, AccelError,
-    AccelResult, MemBackend, Watchdog,
+    AccelResult, MemBackend, RunStatus, Watchdog,
 };
 use crate::policy::StaticRoundPolicy;
 
@@ -96,6 +98,15 @@ pub struct LiteEngine {
     host_written: [bool; HOST_SLOTS],
     metrics: Metrics,
     trace: Tracer,
+    /// Simulated time at the last round barrier. A field (not a `run`
+    /// local) so a paused or restored engine resumes exactly where it
+    /// stopped.
+    now: Time,
+    /// The next round to request from the driver.
+    round: usize,
+    /// Next task instance id (sequential in dispatch order; 0 reserved).
+    next_task_id: u64,
+    watchdog: Watchdog,
 }
 
 impl LiteEngine {
@@ -133,6 +144,10 @@ impl LiteEngine {
             host_written: [false; HOST_SLOTS],
             metrics,
             trace: Tracer::bounded(cfg.trace_capacity),
+            now: Time::ZERO,
+            round: 0,
+            next_task_id: 1,
+            watchdog: Watchdog::new(cfg.clock.cycles_to_time(cfg.watchdog_quiescence_cycles)),
             cfg,
         })
     }
@@ -171,12 +186,26 @@ impl LiteEngine {
         W: Worker + ?Sized,
         D: LiteDriver + ?Sized,
     {
+        match self.run_until(worker, driver, None)? {
+            RunStatus::Finished(result) => Ok(result),
+            RunStatus::Paused { .. } => unreachable!("run_until without a pause never pauses"),
+        }
+    }
+
+    /// The fault plan's static schedule (validated to hold only PE deaths
+    /// and stalls on Lite): per-PE earliest death, sorted busy windows for
+    /// transient stalls, and every death spec for end-of-run accounting.
+    /// A pure function of the configuration, recomputed on each `run_until`
+    /// leg so it never needs to be checkpointed.
+    #[allow(clippy::type_complexity)]
+    fn fault_windows(
+        &self,
+    ) -> (
+        Vec<Option<(Time, usize)>>,
+        Vec<Vec<(Time, Time, usize)>>,
+        Vec<(usize, Time, usize)>,
+    ) {
         let num_pes = self.cfg.num_pes();
-        let limit = Time::from_us(self.cfg.max_sim_time_us);
-        let mut now = Time::ZERO;
-        let mut round = 0usize;
-        // Fault plan (validated to hold only PE deaths and stalls on Lite):
-        // per-PE earliest death and sorted busy windows for transient stalls.
         let mut deaths: Vec<Option<(Time, usize)>> = vec![None; num_pes];
         let mut stalls: Vec<Vec<(Time, Time, usize)>> = vec![Vec::new(); num_pes];
         let mut all_deaths: Vec<(usize, Time, usize)> = Vec::new();
@@ -200,22 +229,51 @@ impl LiteEngine {
                 windows.sort();
             }
         }
+        (deaths, stalls, all_deaths)
+    }
+
+    /// Runs rounds until the driver returns `None` or, when `pause_at` is
+    /// given, until the simulated clock passes that boundary at a round
+    /// barrier. Rounds are atomic: the engine pauses *between* rounds, the
+    /// natural checkpoint for a machine whose host synchronizes every round.
+    /// Legs compose — keep calling with the same worker and an equivalent
+    /// driver (LiteArch drivers must derive round `r` from `(mem, r)` alone)
+    /// until [`RunStatus::Finished`].
+    ///
+    /// # Errors
+    ///
+    /// See [`LiteEngine::run`].
+    pub fn run_until<W, D>(
+        &mut self,
+        worker: &mut W,
+        driver: &mut D,
+        pause_at: Option<Time>,
+    ) -> Result<RunStatus, AccelError>
+    where
+        W: Worker + ?Sized,
+        D: LiteDriver + ?Sized,
+    {
+        let num_pes = self.cfg.num_pes();
+        let limit = Time::from_us(self.cfg.max_sim_time_us);
+        let (deaths, stalls, all_deaths) = self.fault_windows();
         let policy = StaticRoundPolicy::new(num_pes);
-        // Task instance ids for the trace: sequential in dispatch order (id
-        // 0 is reserved for "no task", matching the dynamic engines).
-        let mut next_task_id = 1u64;
-        let mut watchdog = Watchdog::new(
-            self.cfg
-                .clock
-                .cycles_to_time(self.cfg.watchdog_quiescence_cycles),
-        );
-        while let Some(tasks) = driver.next_round(&mut self.mem, round) {
+        loop {
+            if let Some(pause) = pause_at {
+                if self.now > pause {
+                    return Ok(RunStatus::Paused { at: pause });
+                }
+            }
+            let round = self.round;
+            let Some(tasks) = driver.next_round(&mut self.mem, round) else {
+                break;
+            };
             self.metrics.incr("lite.rounds");
             self.metrics.add("lite.tasks", tasks.len() as u64);
-            now += self
-                .cfg
-                .clock
-                .cycles_to_time(self.cfg.costs.round_sync_cycles);
+            let mut now = self.now
+                + self
+                    .cfg
+                    .clock
+                    .cycles_to_time(self.cfg.costs.round_sync_cycles);
             // Static round-robin distribution by the interface block. The IF
             // dispatches tasks serially over the argument/task network, so
             // PE p's i-th task is available only after its dispatch slot.
@@ -229,29 +287,29 @@ impl LiteEngine {
                 let Some(slot) = policy.place(i, dispatched, &pe_time, &deaths, &stalls) else {
                     // Every PE is dead: the IF can never dispatch this task
                     // (the IF, unit `num_pes`, holds the undispatchable work).
-                    return Err(watchdog.stall(
-                        &mut self.metrics,
-                        &mut self.trace,
-                        dispatched,
-                        Some(num_pes),
-                    ));
+                    let (metrics, trace) = (&mut self.metrics, &mut self.trace);
+                    return Err(self
+                        .watchdog
+                        .stall(metrics, trace, dispatched, Some(num_pes)));
                 };
                 if slot.reassigned {
                     self.metrics.incr("fault.rescued_tasks");
                 }
-                let task = task.with_id(next_task_id);
-                next_task_id += 1;
+                let task = task.with_id(self.next_task_id);
+                self.next_task_id += 1;
                 let end = self.execute_task(slot.start, slot.pe, task, worker)?;
                 pe_time[slot.pe] = end;
-                watchdog.progress(end, slot.pe);
+                self.watchdog.progress(end, slot.pe);
                 if end > limit {
                     return Err(AccelError::TimedOut);
                 }
             }
             // Host-side barrier: the round ends when the slowest PE drains.
             now = pe_time.into_iter().max().unwrap_or(now);
-            round += 1;
+            self.now = now;
+            self.round += 1;
         }
+        let now = self.now;
         // Account the plan's faults against the finished run: everything
         // that fired inside the simulated interval was absorbed by static
         // reassignment (deaths) or waiting out the window (stalls).
@@ -282,12 +340,98 @@ impl LiteEngine {
         trace.absorb(self.backend.take_trace());
         trace.finish();
         self.metrics.add("trace.dropped", trace.dropped());
-        Ok(AccelResult {
+        Ok(RunStatus::Finished(AccelResult {
             result: self.host[0],
             elapsed: now,
             metrics: std::mem::take(&mut self.metrics),
             trace,
-        })
+        }))
+    }
+
+    /// Serializes the complete mutable state into a versioned, checksummed
+    /// [`Snapshot`]. Capture at a [`RunStatus::Paused`] round barrier; a
+    /// fresh engine built from the same configuration restores it and —
+    /// with an equivalent driver — continues byte-identically to an
+    /// uninterrupted run.
+    pub fn snapshot(&self) -> Snapshot {
+        let payload = snapshot::obj(vec![
+            ("now_ps", snapshot::num(self.now.as_ps())),
+            ("round", snapshot::num(self.round as u64)),
+            ("next_task_id", snapshot::num(self.next_task_id)),
+            ("host", snapshot::arr_u64(self.host.iter().copied())),
+            (
+                "host_written",
+                snapshot::arr_u64(self.host_written.iter().map(|w| u64::from(*w))),
+            ),
+            (
+                "watchdog",
+                snapshot::obj(vec![
+                    (
+                        "last_progress_ps",
+                        snapshot::num(self.watchdog.last_progress().as_ps()),
+                    ),
+                    (
+                        "last_unit",
+                        snapshot::num(self.watchdog.last_unit().map_or(0, |u| u as u64 + 1)),
+                    ),
+                ]),
+            ),
+            (
+                "metrics",
+                JsonValue::parse(&self.metrics.to_json()).expect("metrics emit valid JSON"),
+            ),
+            ("mem", self.mem.state_to_json_value()),
+            ("backend", self.backend.state_to_json_value()),
+            ("trace", self.trace.state_to_json_value()),
+        ]);
+        Snapshot::new("lite", payload)
+    }
+
+    /// Overwrites this engine's mutable state with a [`Snapshot`] captured
+    /// by [`LiteEngine::snapshot`] on an engine built from the same
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::EngineMismatch`] when the snapshot was taken by a
+    /// different engine family, [`SnapshotError::Malformed`] when the
+    /// payload does not describe this configuration.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        snap.expect_engine("lite")?;
+        let p = &snap.payload;
+        self.now = Time::from_ps(snapshot::get_u64(p, "now_ps")?);
+        self.round = snapshot::get_u64(p, "round")? as usize;
+        self.next_task_id = snapshot::get_u64(p, "next_task_id")?;
+        let host = snapshot::get_u64s(p, "host")?;
+        let written = snapshot::get_u64s(p, "host_written")?;
+        if host.len() != HOST_SLOTS || written.len() != HOST_SLOTS {
+            return Err(malformed(format!(
+                "snapshot holds {} host slots, expected {HOST_SLOTS}",
+                host.len()
+            )));
+        }
+        self.host.copy_from_slice(&host);
+        for (slot, w) in self.host_written.iter_mut().zip(&written) {
+            *slot = *w != 0;
+        }
+        let watchdog = snapshot::get(p, "watchdog")?;
+        let last_progress = Time::from_ps(snapshot::get_u64(watchdog, "last_progress_ps")?);
+        let last_unit = match snapshot::get_u64(watchdog, "last_unit")? {
+            0 => None,
+            u => Some(u as usize - 1),
+        };
+        self.watchdog.load(last_progress, last_unit);
+        self.metrics = Metrics::from_json(&snapshot::get(p, "metrics")?.to_json())
+            .map_err(|e| malformed(format!("metrics: {e}")))?;
+        self.mem
+            .restore_state(snapshot::get(p, "mem")?)
+            .map_err(malformed)?;
+        self.backend
+            .restore_state(snapshot::get(p, "backend")?)
+            .map_err(malformed)?;
+        self.trace =
+            Tracer::state_from_json_value(snapshot::get(p, "trace")?).map_err(malformed)?;
+        Ok(())
     }
 
     /// Accumulated value of a host result slot (zero if never written).
@@ -522,6 +666,84 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, AccelError::Unsupported(_)));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically() {
+        // A multi-round driver that is a pure function of (mem, round), as
+        // the checkpoint contract requires of LiteArch drivers: a restored
+        // engine replays the remaining rounds through a fresh driver value.
+        struct DoubleWorker;
+        impl Worker for DoubleWorker {
+            fn execute(&mut self, task: &Task, ctx: &mut dyn TaskContext) {
+                let addr = task.args[0];
+                let v = ctx.read_u32(addr);
+                ctx.write_u32(addr, v * 2);
+                ctx.send_arg(task.k, u64::from(v));
+            }
+        }
+        let driver = || {
+            |_mem: &mut Memory, round: usize| -> Option<RoundTasks> {
+                (round < 6).then(|| {
+                    (0..4u64)
+                        .map(|i| Task::new(LEAF, Continuation::host(0), &[0x100 + 4 * i]))
+                        .collect()
+                })
+            }
+        };
+        let mk = || {
+            let mut engine = LiteEngine::new(AccelConfig::lite(1, 2), ExecProfile::scalar());
+            for i in 0..4u64 {
+                engine.mem_mut().write_u32(0x100 + 4 * i, i as u32 + 1);
+            }
+            engine
+        };
+        let reference = mk().run(&mut DoubleWorker, &mut driver()).unwrap();
+        let pause = Time::from_ps(reference.elapsed.as_ps() / 2);
+
+        let mut paused = mk();
+        match paused
+            .run_until(&mut DoubleWorker, &mut driver(), Some(pause))
+            .unwrap()
+        {
+            RunStatus::Paused { at } => assert_eq!(at, pause),
+            RunStatus::Finished(_) => panic!("six rounds must outlast {pause}"),
+        }
+        let blob = paused.snapshot().to_json();
+        let snap = Snapshot::from_json(&blob).expect("snapshot survives its wire format");
+        let mut restored = LiteEngine::new(AccelConfig::lite(1, 2), ExecProfile::scalar());
+        restored
+            .restore(&snap)
+            .expect("restore into a fresh engine");
+
+        for (label, engine) in [("paused", &mut paused), ("restored", &mut restored)] {
+            let out = match engine.run_until(&mut DoubleWorker, &mut driver(), None) {
+                Ok(RunStatus::Finished(out)) => out,
+                other => panic!("{label} leg: {other:?}"),
+            };
+            assert_eq!(out.result, reference.result, "{label} result");
+            assert_eq!(out.elapsed, reference.elapsed, "{label} elapsed");
+            assert_eq!(
+                out.metrics.to_json(),
+                reference.metrics.to_json(),
+                "{label} metrics"
+            );
+            assert_eq!(
+                out.trace.to_jsonl(),
+                reference.trace.to_jsonl(),
+                "{label} trace"
+            );
+            assert_eq!(engine.memory().read_u32(0x100), 64, "{label} memory");
+        }
+
+        // A Flex snapshot must not restore into a Lite engine.
+        let mut flex_snap = paused.snapshot();
+        flex_snap.engine = "flex".to_owned();
+        let err = mk().restore(&flex_snap).expect_err("engine mismatch");
+        assert!(
+            matches!(err, SnapshotError::EngineMismatch { .. }),
+            "got {err}"
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@
 
 use std::collections::VecDeque;
 
-use pxl_model::Task;
+use pxl_model::{Task, TASK_WORDS};
+use pxl_sim::json::JsonValue;
 use pxl_sim::{Lfsr16, Time};
 
 use crate::api::EngineKind;
@@ -91,6 +92,62 @@ pub trait SchedulingPolicy: std::fmt::Debug {
     /// `(max, sum)` of per-queue occupancy peaks, for the space-bound
     /// statistics (`accel.queue_peak`, `accel.queue_peak_sum`).
     fn queue_peaks(&self) -> (u64, u64);
+
+    /// Serializes the policy's mutable state (queue contents, RNG
+    /// registers, rotation cursors) for engine snapshots. Configuration-
+    /// derived fields are rebuilt by [`SchedulingPolicy::for_config`] on
+    /// restore, not serialized.
+    fn state_to_json_value(&self) -> JsonValue;
+
+    /// Replaces the policy's mutable state with one captured by
+    /// [`SchedulingPolicy::state_to_json_value`] on a policy built from the
+    /// same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the state is malformed or shaped for a
+    /// different configuration.
+    fn restore_state(&mut self, value: &JsonValue) -> Result<(), String>;
+}
+
+/// Word-encodes a task FIFO (the host queue) for snapshots.
+fn tasks_to_json(tasks: impl IntoIterator<Item = Task>) -> JsonValue {
+    JsonValue::Array(
+        tasks
+            .into_iter()
+            .map(|t| {
+                JsonValue::Array(
+                    t.to_words()
+                        .iter()
+                        .map(|w| JsonValue::num_u64(*w))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Inverse of [`tasks_to_json`].
+fn tasks_from_json(value: &JsonValue, key: &str) -> Result<Vec<Task>, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("policy state: missing array {key:?}"))?
+        .iter()
+        .map(|entry| {
+            let words: Vec<u64> = entry
+                .as_array()
+                .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+                .ok_or_else(|| format!("policy state: {key:?} entry is not an array"))?;
+            if words.len() != TASK_WORDS {
+                return Err(format!(
+                    "policy state: {key:?} entry holds {} words",
+                    words.len()
+                ));
+            }
+            Task::from_words(&words)
+        })
+        .collect()
 }
 
 /// FlexArch's distributed work stealing (the paper's Fig. 3(b) TMU).
@@ -224,6 +281,76 @@ impl SchedulingPolicy for FlexPolicy {
         let sum: usize = self.deques.iter().map(TaskDeque::peak).sum();
         (max as u64, sum as u64)
     }
+
+    fn state_to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "deques".to_owned(),
+                JsonValue::Array(
+                    self.deques
+                        .iter()
+                        .map(TaskDeque::state_to_json_value)
+                        .collect(),
+                ),
+            ),
+            (
+                "lfsrs".to_owned(),
+                JsonValue::Array(
+                    self.lfsrs
+                        .iter()
+                        .map(|l| JsonValue::num_u64(l.state() as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "rr_victim".to_owned(),
+                JsonValue::Array(
+                    self.rr_victim
+                        .iter()
+                        .map(|v| JsonValue::num_u64(*v as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "host_queue".to_owned(),
+                tasks_to_json(self.host_queue.iter().copied()),
+            ),
+        ])
+    }
+
+    fn restore_state(&mut self, value: &JsonValue) -> Result<(), String> {
+        let deque_states = value
+            .get("deques")
+            .and_then(JsonValue::as_array)
+            .ok_or("policy state: missing deques array")?;
+        if deque_states.len() != self.num_pes {
+            return Err(format!(
+                "policy state has {} deques, this fabric has {} PEs",
+                deque_states.len(),
+                self.num_pes
+            ));
+        }
+        let u64s = |key: &str| -> Result<Vec<u64>, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_array)
+                .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+                .ok_or_else(|| format!("policy state: missing array {key:?}"))
+        };
+        let lfsrs = u64s("lfsrs")?;
+        let rr_victim = u64s("rr_victim")?;
+        if lfsrs.len() != self.num_pes || rr_victim.len() != self.num_pes {
+            return Err("policy state: per-PE array length mismatch".to_owned());
+        }
+        let host_queue = tasks_from_json(value, "host_queue")?;
+        for (deque, state) in self.deques.iter_mut().zip(deque_states) {
+            deque.restore_state(state)?;
+        }
+        self.lfsrs = lfsrs.iter().map(|s| Lfsr16::new(*s as u16)).collect();
+        self.rr_victim = rr_victim.into_iter().map(|v| v as usize).collect();
+        self.host_queue = host_queue.into_iter().collect();
+        Ok(())
+    }
 }
 
 /// The centralized shared-queue strawman: one global ready queue at the
@@ -315,6 +442,29 @@ impl SchedulingPolicy for CentralPolicy {
     fn queue_peaks(&self) -> (u64, u64) {
         let peak = self.queue.peak() as u64;
         (peak, peak)
+    }
+
+    fn state_to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("queue".to_owned(), self.queue.state_to_json_value()),
+            (
+                "next_free_ps".to_owned(),
+                JsonValue::num_u64(self.next_free.as_ps()),
+            ),
+        ])
+    }
+
+    fn restore_state(&mut self, value: &JsonValue) -> Result<(), String> {
+        let queue_state = value
+            .get("queue")
+            .ok_or("policy state: missing queue object")?;
+        let next_free = value
+            .get("next_free_ps")
+            .and_then(JsonValue::as_u64)
+            .ok_or("policy state: missing next_free_ps")?;
+        self.queue.restore_state(queue_state)?;
+        self.next_free = Time::from_ps(next_free);
+        Ok(())
     }
 }
 

@@ -16,7 +16,8 @@
 //! argument words, and the next [`PStore::fill`] touching that entry
 //! detects and repairs the damage before applying the new argument.
 
-use pxl_model::{PendingTask, Task, MAX_ARGS};
+use pxl_model::{PendingTask, Task, MAX_ARGS, PENDING_WORDS};
+use pxl_sim::json::JsonValue;
 
 /// A protocol violation detected by the P-Store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,6 +240,123 @@ impl PStore {
             .and_then(|c| c.as_ref())
             .map(|c| c.id)
     }
+
+    /// Serializes entries (word-encoded, empty array = free slot), taint
+    /// masks, the free list (order matters: allocation pops its tail) and
+    /// counters for engine snapshots.
+    pub fn state_to_json_value(&self) -> JsonValue {
+        let entries = self
+            .entries
+            .iter()
+            .map(|cell| match cell {
+                Some(p) => JsonValue::Array(
+                    p.to_words()
+                        .iter()
+                        .map(|w| JsonValue::num_u64(*w))
+                        .collect(),
+                ),
+                None => JsonValue::Array(Vec::new()),
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("entries".to_owned(), JsonValue::Array(entries)),
+            (
+                "taint".to_owned(),
+                JsonValue::Array(self.taint.iter().map(|t| JsonValue::num_u64(*t)).collect()),
+            ),
+            (
+                "free".to_owned(),
+                JsonValue::Array(
+                    self.free
+                        .iter()
+                        .map(|e| JsonValue::num_u64(*e as u64))
+                        .collect(),
+                ),
+            ),
+            ("peak".to_owned(), JsonValue::num_u64(self.peak as u64)),
+            (
+                "total_allocs".to_owned(),
+                JsonValue::num_u64(self.total_allocs),
+            ),
+            (
+                "full_events".to_owned(),
+                JsonValue::num_u64(self.full_events),
+            ),
+            ("repairs".to_owned(), JsonValue::num_u64(self.repairs)),
+        ])
+    }
+
+    /// Replaces the store's contents with a state captured by
+    /// [`PStore::state_to_json_value`]. The store keeps its configured
+    /// capacity, which must match the snapshot's entry count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the state is malformed or was taken from a
+    /// store of a different capacity.
+    pub fn restore_state(&mut self, value: &JsonValue) -> Result<(), String> {
+        let u64s = |key: &str| -> Result<Vec<u64>, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_array)
+                .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+                .ok_or_else(|| format!("pstore state: missing array {key:?}"))
+        };
+        let counter = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("pstore state: missing counter {key:?}"))
+        };
+        let cells = value
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or("pstore state: missing entries array")?;
+        if cells.len() != self.entries.len() {
+            return Err(format!(
+                "pstore state holds {} entries, this store has {}",
+                cells.len(),
+                self.entries.len()
+            ));
+        }
+        let mut entries = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let words: Vec<u64> = cell
+                .as_array()
+                .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+                .ok_or("pstore state: entry is not an array")?;
+            entries.push(match words.len() {
+                0 => None,
+                PENDING_WORDS => Some(PendingTask::from_words(&words)?),
+                n => return Err(format!("pstore state: entry holds {n} words")),
+            });
+        }
+        let taint = u64s("taint")?;
+        if taint.len() != entries.len() {
+            return Err("pstore state: taint length mismatch".to_owned());
+        }
+        let free: Vec<u32> = u64s("free")?
+            .into_iter()
+            .map(|e| {
+                u32::try_from(e)
+                    .ok()
+                    .filter(|e| (*e as usize) < entries.len())
+                    .ok_or_else(|| format!("pstore state: free entry {e} out of range"))
+            })
+            .collect::<Result<_, _>>()?;
+        let peak = counter("peak")? as usize;
+        let total_allocs = counter("total_allocs")?;
+        let full_events = counter("full_events")?;
+        let repairs = counter("repairs")?;
+        self.entries = entries;
+        self.taint = taint;
+        self.free = free;
+        self.peak = peak;
+        self.total_allocs = total_allocs;
+        self.full_events = full_events;
+        self.repairs = repairs;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +471,32 @@ mod tests {
         let _ = ps.fill(e, 0, 0);
         assert_eq!(ps.pending_id(e), None, "freed entries have no id");
         assert_eq!(ps.pending_id(99), None, "out of bounds has no id");
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        let mut a = PStore::new(4);
+        let e0 = must_alloc(&mut a, 2);
+        let e1 = must_alloc(&mut a, 1);
+        let _ = a.fill(e0, 0, 7).unwrap();
+        let _ = a.fill(e1, 0, 9).unwrap(); // frees e1
+        a.corrupt(0xF0F0);
+        let state = a.state_to_json_value();
+        let mut b = PStore::new(4);
+        b.restore_state(&state).unwrap();
+        assert_eq!(b.occupancy(), a.occupancy());
+        assert_eq!(b.tainted(e0), a.tainted(e0));
+        // Identical future behavior: same allocation order, same repair.
+        let (na, nb) = (must_alloc(&mut a, 1), must_alloc(&mut b, 1));
+        assert_eq!(na, nb, "free-list order survives the round trip");
+        let (oa, ob) = (a.fill(e0, 1, 3).unwrap(), b.fill(e0, 1, 3).unwrap());
+        assert_eq!(oa, ob);
+        assert!(ob.repaired, "taint mask survives the round trip");
+        assert_eq!(ob.ready.unwrap().args[..2], [7, 3]);
+        assert_eq!(b.repairs(), a.repairs());
+        // Capacity mismatch is rejected.
+        let mut wrong = PStore::new(8);
+        assert!(wrong.restore_state(&state).unwrap_err().contains("entries"));
     }
 
     #[test]

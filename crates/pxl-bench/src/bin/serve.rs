@@ -13,20 +13,30 @@
 //!    hits the measurement cache.
 //! 5. **Graceful drain** — `shutdown` finishes every admitted job,
 //!    refuses new ones with the `draining` code, and reports the total.
+//! 6. **Crash recovery** — a child server process is SIGKILLed mid-run
+//!    with checkpointed jobs in flight, restarted on the same journal,
+//!    and must finish every admitted job exactly once, resuming from
+//!    durable checkpoints (`done` events with nonzero
+//!    `resumed_from_cycle`).
 //!
-//! Every event the server emits is appended to `serve_jobs.jsonl` (the CI
-//! artifact); the driver re-parses the whole log to check it is valid
+//! Every event the server emits is appended to `serve_jobs.jsonl`, and the
+//! crash phase leaves its recovered journal in `serve_crash/` (both CI
+//! artifacts); the driver re-parses the logs to check they are valid
 //! line-delimited JSON with the expected event counts.
+
+use std::path::Path;
+use std::time::Duration;
 
 use pxl_apps::Scale;
 use pxl_dse::{DesignPoint, PointArch};
 use pxl_flow::RunSpec;
 use pxl_serve::{
-    measurement_to_json_value, Client, ClientError, ErrorCode, JobEvent, JobKind, Server,
-    ServerConfig,
+    measurement_to_json_value, Client, ClientConfig, ClientError, ErrorCode, JobEvent, JobId,
+    JobKind, Server, ServerConfig,
 };
 
 const JOB_LOG: &str = "serve_jobs.jsonl";
+const CRASH_DIR: &str = "serve_crash";
 
 fn flex_spec(bench: &str) -> RunSpec {
     RunSpec::new(
@@ -57,12 +67,23 @@ fn done_payload(
 }
 
 fn main() {
+    // Child mode: `serve --crash-server <dir>` runs one server lifetime
+    // for the crash-recovery phase (the parent SIGKILLs the first one).
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--crash-server" {
+        crash_server_child(Path::new(&args[2]));
+        return;
+    }
+
     let mut failures: Vec<String> = Vec::new();
+    // The job log opens in append mode (it doubles as the recovery
+    // journal); start each smoke run from a clean slate.
+    let _ = std::fs::remove_file(JOB_LOG);
     let server = Server::start(ServerConfig {
         workers: 1,
         tenant_quota: 4,
-        cache_path: None,
         job_log: Some(JOB_LOG.into()),
+        ..ServerConfig::default()
     })
     .unwrap_or_else(|e| panic!("server start: {e}"));
     let mut client = Client::connect(server.addr()).unwrap_or_else(|e| panic!("connect: {e}"));
@@ -212,10 +233,16 @@ fn main() {
     );
 
     // The job log must be valid line-delimited JSON with matching counts.
+    // Write-ahead journal records (submit/checkpoint) share the file with
+    // the event stream; canonical rendering puts their discriminator
+    // first.
     let log = std::fs::read_to_string(JOB_LOG).unwrap_or_else(|e| panic!("read {JOB_LOG}: {e}"));
     let mut done = 0u64;
     let mut drained = 0u64;
     for (i, line) in log.lines().enumerate() {
+        if line.starts_with("{\"journal\":") {
+            continue;
+        }
         match JobEvent::from_json(line) {
             Ok(JobEvent::Done { .. }) => done += 1,
             Ok(JobEvent::Drained { .. }) => drained += 1,
@@ -233,6 +260,9 @@ fn main() {
         log.lines().count()
     );
 
+    // Phase 6: kill-and-restart crash recovery (child server processes).
+    let (crash_jobs, crash_resumed) = crash_recovery_phase(&mut failures);
+
     println!("# pxl-serve smoke\n");
     println!("| guarantee | result |");
     println!("|---|---|");
@@ -246,6 +276,9 @@ fn main() {
         "| cache hits / misses | {} / {} |",
         summary.cache_hits, summary.cache_misses
     );
+    println!(
+        "| crash recovery | {crash_jobs} job(s) exactly once, {crash_resumed} resumed from checkpoint |"
+    );
 
     if !failures.is_empty() {
         eprintln!("\n[serve] FAILED:");
@@ -255,4 +288,194 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("[serve] all service guarantees held");
+}
+
+/// One server lifetime for the crash phase: journal, checkpoints and
+/// cache all live in `dir`, and the bound address is published through
+/// `dir/addr.txt` (written atomically). Blocks until drained — or until
+/// the parent SIGKILLs us.
+fn crash_server_child(dir: &Path) {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        tenant_quota: 16,
+        cache_path: Some(dir.join("cache.jsonl")),
+        job_log: Some(dir.join("journal.jsonl")),
+        checkpoint_dir: Some(dir.to_path_buf()),
+        flush_every_record: true,
+    })
+    .unwrap_or_else(|e| panic!("child server: {e}"));
+    let tmp = dir.join("addr.tmp");
+    std::fs::write(&tmp, server.addr().to_string()).unwrap_or_else(|e| panic!("write addr: {e}"));
+    std::fs::rename(&tmp, dir.join("addr.txt")).unwrap_or_else(|e| panic!("publish addr: {e}"));
+    let summary = server.join();
+    eprintln!(
+        "[serve-child] drained: {} completed, {} recovered, {} resumed leg(s)",
+        summary.completed, summary.recovered, summary.resumed
+    );
+}
+
+/// Spawns `--crash-server` children and polls for the published address.
+fn spawn_crash_server(dir: &Path) -> (std::process::Child, std::net::SocketAddr) {
+    let addr_file = dir.join("addr.txt");
+    let _ = std::fs::remove_file(&addr_file);
+    let exe = std::env::current_exe().unwrap_or_else(|e| panic!("current_exe: {e}"));
+    let mut child = std::process::Command::new(exe)
+        .arg("--crash-server")
+        .arg(dir)
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn crash server: {e}"));
+    for _ in 0..1000 {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if let Ok(addr) = text.trim().parse() {
+                return (child, addr);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    panic!(
+        "crash server never published its address in {}",
+        dir.display()
+    );
+}
+
+/// SIGKILLs a server with checkpointed jobs in flight, restarts it on the
+/// same journal, and verifies exactly-once completion with checkpoint
+/// resume. Returns (jobs completed exactly once, jobs resumed from a
+/// checkpoint) for the report.
+fn crash_recovery_phase(failures: &mut Vec<String>) -> (u64, u64) {
+    let dir = Path::new(CRASH_DIR);
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {CRASH_DIR}: {e}"));
+    let journal_path = dir.join("journal.jsonl");
+    // Retries with bounded backoff: the child needs a moment to bind.
+    let retry = ClientConfig {
+        connect_attempts: 20,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(100),
+        ..ClientConfig::default()
+    };
+
+    // A checkpoint epoch well inside the flex runs, so every leg yields
+    // several durable snapshots before finishing.
+    let base = flex_spec("uts");
+    let reference = pxl_flow::execute(&base)
+        .unwrap_or_else(|e| panic!("reference run: {e}"))
+        .expect("uts has a flex variant");
+    let session = pxl_flow::SimSession::start(&base)
+        .unwrap_or_else(|e| panic!("reference session: {e}"))
+        .expect("uts has a flex variant");
+    let epoch = session
+        .clock()
+        .time_to_cycles(pxl_sim::Time::from_ps(reference.kernel.as_ps() / 8))
+        .max(1);
+
+    // Lifetime 1: admit six distinct jobs (no dedup), all checkpointed,
+    // across three tenants, then SIGKILL as soon as the journal records
+    // the first durable checkpoint.
+    let (mut child, addr) = spawn_crash_server(dir);
+    let mut jobs: Vec<JobId> = Vec::new();
+    {
+        let mut client =
+            Client::connect_with(addr, &retry).unwrap_or_else(|e| panic!("connect: {e}"));
+        let specs = [
+            flex_spec("uts"),
+            flex_spec("queens"),
+            RunSpec::new(
+                "uts",
+                Scale::Tiny,
+                DesignPoint::accel(PointArch::Flex, 1, 4),
+            ),
+            RunSpec::new(
+                "queens",
+                Scale::Tiny,
+                DesignPoint::accel(PointArch::Flex, 1, 4),
+            ),
+            cpu_spec("uts"),
+            cpu_spec("queens"),
+        ];
+        for (n, spec) in specs.iter().enumerate() {
+            let tenant = ["alice", "bob", "carol"][n % 3];
+            let spec = spec.clone().with_checkpoint(epoch);
+            jobs.push(
+                client
+                    .submit(tenant, JobKind::Sim, &spec)
+                    .unwrap_or_else(|e| panic!("crash submit: {e}")),
+            );
+        }
+        for _ in 0..1000 {
+            let text = std::fs::read_to_string(&journal_path).unwrap_or_default();
+            if text.contains("{\"journal\":\"checkpoint\"") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    child.kill().unwrap_or_else(|e| panic!("kill: {e}"));
+    let _ = child.wait();
+    eprintln!("[serve] crash: SIGKILLed lifetime 1 after the first durable checkpoint");
+
+    // Lifetime 2: same journal, same checkpoint dir. Recovery re-queues
+    // every unfinished job; drain waits for all of them.
+    let (mut child, addr) = spawn_crash_server(dir);
+    {
+        let mut client =
+            Client::connect_with(addr, &retry).unwrap_or_else(|e| panic!("reconnect: {e}"));
+        client
+            .drain()
+            .unwrap_or_else(|e| panic!("crash drain: {e}"));
+    }
+    let status = child.wait().unwrap_or_else(|e| panic!("wait: {e}"));
+    if !status.success() {
+        failures.push(format!("crash: restarted server exited with {status}"));
+    }
+
+    // The full journal (both lifetimes) is the exactly-once ledger.
+    let text =
+        std::fs::read_to_string(&journal_path).unwrap_or_else(|e| panic!("read journal: {e}"));
+    let mut resumed = 0u64;
+    let mut exactly_once = 0u64;
+    for job in &jobs {
+        let mut done = 0u64;
+        let mut failed = 0u64;
+        for line in text.lines() {
+            match JobEvent::from_json(line) {
+                Ok(JobEvent::Done {
+                    job: j,
+                    resumed_from_cycle,
+                    ..
+                }) if j == *job => {
+                    done += 1;
+                    if let Some(cycle) = resumed_from_cycle {
+                        if cycle == 0 {
+                            failures.push(format!("crash: {job} resumed from cycle 0"));
+                        }
+                        resumed += 1;
+                    }
+                }
+                Ok(JobEvent::Failed { job: j, error }) if j == *job => {
+                    failures.push(format!("crash: {job} failed: {error}"));
+                    failed += 1;
+                }
+                _ => {}
+            }
+        }
+        if done == 1 && failed == 0 {
+            exactly_once += 1;
+        } else {
+            failures.push(format!(
+                "crash: {job} must complete exactly once, got {done} done / {failed} failed"
+            ));
+        }
+    }
+    if resumed == 0 {
+        failures.push("crash: no job resumed from a checkpoint after the restart".to_owned());
+    }
+    eprintln!(
+        "[serve] crash: {exactly_once}/{} job(s) completed exactly once across the kill, \
+         {resumed} resumed from durable checkpoints",
+        jobs.len()
+    );
+    (exactly_once, resumed)
 }

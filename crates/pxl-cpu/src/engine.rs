@@ -2,13 +2,18 @@
 
 use pxl_mem::{AccessKind, Memory, MemorySystem, PortId};
 use pxl_model::serial::HOST_SLOTS;
-use pxl_model::{Continuation, ExecProfile, PendingTask, Task, TaskContext, TaskTypeId, Worker};
+use pxl_model::{
+    Continuation, ExecProfile, PendingTask, Task, TaskContext, TaskTypeId, Worker, PENDING_WORDS,
+    TASK_WORDS,
+};
 use pxl_sim::config::{CpuCoreParams, MemoryConfig};
+use pxl_sim::json::JsonValue;
+use pxl_sim::snapshot::{self, malformed, Snapshot, SnapshotError};
 use pxl_sim::{EventQueue, Metrics, Time, TraceEvent, Tracer, XorShift64};
 
 use pxl_arch::deque::TaskDeque;
 use pxl_arch::fabric::{register_fault_metrics, AccelError, AccelResult, Watchdog};
-use pxl_arch::{Engine, EngineKind, Workload};
+use pxl_arch::{Engine, EngineKind, RunStatus, Workload};
 
 /// Core cycles without a task completion before the quiescence watchdog
 /// declares the run stalled while work is still outstanding — the same
@@ -68,6 +73,59 @@ enum Event {
     CoreWake { core: usize },
     StealTry { core: usize },
     TaskRun { core: usize, task: Task },
+}
+
+impl Event {
+    /// Flat word encoding for checkpointing: a tag word followed by the
+    /// variant's fields (tasks expand to [`TASK_WORDS`] words).
+    fn to_words(&self) -> Vec<u64> {
+        match self {
+            Event::CoreWake { core } => vec![0, *core as u64],
+            Event::StealTry { core } => vec![1, *core as u64],
+            Event::TaskRun { core, task } => {
+                let mut w = vec![2, *core as u64];
+                w.extend(task.to_words());
+                w
+            }
+        }
+    }
+
+    /// Inverse of [`Event::to_words`].
+    fn from_words(words: &[u64]) -> Result<Event, String> {
+        let expect = |n: usize| {
+            if words.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "event encoding holds {} words, expected {n}",
+                    words.len()
+                ))
+            }
+        };
+        match words.first() {
+            Some(0) => {
+                expect(2)?;
+                Ok(Event::CoreWake {
+                    core: words[1] as usize,
+                })
+            }
+            Some(1) => {
+                expect(2)?;
+                Ok(Event::StealTry {
+                    core: words[1] as usize,
+                })
+            }
+            Some(2) => {
+                expect(2 + TASK_WORDS)?;
+                Ok(Event::TaskRun {
+                    core: words[1] as usize,
+                    task: Task::from_words(&words[2..])?,
+                })
+            }
+            Some(tag) => Err(format!("unknown cpu event tag {tag}")),
+            None => Err("empty event encoding".to_owned()),
+        }
+    }
 }
 
 /// The multicore software-runtime simulator.
@@ -130,6 +188,12 @@ pub struct CpuEngine {
     next_task_id: u64,
     error: Option<AccelError>,
     max_sim_time_us: u64,
+    /// Host slot the root continuation targets, latched at launch so a
+    /// paused/restored engine can still finish the run.
+    result_slot: Option<u8>,
+    /// Whether the root task has been seeded. A restored engine is already
+    /// launched; [`CpuEngine::run`] skips re-seeding.
+    launched: bool,
 }
 
 impl CpuEngine {
@@ -189,6 +253,8 @@ impl CpuEngine {
             next_task_id: 1,
             error: None,
             max_sim_time_us: 2_000_000,
+            result_slot: None,
+            launched: false,
         }
     }
 
@@ -248,7 +314,21 @@ impl CpuEngine {
         worker: &mut W,
         root: Task,
     ) -> Result<CpuResult, AccelError> {
-        let result_slot = match root.k {
+        self.launch(root);
+        match self.run_until(worker, None)? {
+            RunStatus::Finished(result) => Ok(result),
+            RunStatus::Paused { .. } => unreachable!("run_until without a pause never pauses"),
+        }
+    }
+
+    /// Seeds `root` on core 0 and wakes the other cores. A no-op when the
+    /// engine is already launched — notably after [`CpuEngine::restore`].
+    pub fn launch(&mut self, root: Task) {
+        if self.launched {
+            return;
+        }
+        self.launched = true;
+        self.result_slot = match root.k {
             Continuation::Host { slot } => Some(slot),
             _ => None,
         };
@@ -264,9 +344,38 @@ impl CpuEngine {
         for core in 1..self.cores {
             self.events.push(Time::ZERO, Event::CoreWake { core });
         }
+    }
+
+    /// Advances the simulation until the computation drains or, when
+    /// `pause_at` is given, until the next pending event lies beyond that
+    /// boundary with work still outstanding. Call [`CpuEngine::launch`]
+    /// first (or restore a snapshot); legs compose — keep calling with the
+    /// same worker until [`RunStatus::Finished`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CpuEngine::run`].
+    pub fn run_until<W: Worker + ?Sized>(
+        &mut self,
+        worker: &mut W,
+        pause_at: Option<Time>,
+    ) -> Result<RunStatus, AccelError> {
         let limit = Time::from_us(self.max_sim_time_us);
 
-        while let Some((now, event)) = self.events.pop() {
+        loop {
+            if let Some(pause) = pause_at {
+                // Pause only between events and only while work remains; a
+                // drained computation always runs to its finished result.
+                if self.outstanding > 0 {
+                    match self.events.peek_time() {
+                        Some(next) if next > pause => return Ok(RunStatus::Paused { at: pause }),
+                        _ => {}
+                    }
+                }
+            }
+            let Some((now, event)) = self.events.pop() else {
+                break;
+            };
             if self.outstanding == 0 {
                 break;
             }
@@ -292,7 +401,7 @@ impl CpuEngine {
         if leaked > 0 {
             return Err(AccelError::LeakedPending { count: leaked });
         }
-        let result = match result_slot {
+        let result = match self.result_slot {
             Some(slot) => self.host[slot as usize].ok_or(AccelError::NoResult { slot })?,
             None => 0,
         };
@@ -304,12 +413,229 @@ impl CpuEngine {
         trace.absorb(self.memsys.take_trace());
         trace.finish();
         self.metrics.add("trace.dropped", trace.dropped());
-        Ok(CpuResult {
+        Ok(RunStatus::Finished(CpuResult {
             result,
             elapsed: self.last_useful,
             metrics: std::mem::take(&mut self.metrics),
             trace,
-        })
+        }))
+    }
+
+    /// Serializes the complete mutable runtime state — deques, pending
+    /// frames, RNG streams, event queue, memory system — into a versioned,
+    /// checksummed [`Snapshot`]. Capture at a [`RunStatus::Paused`]
+    /// boundary; a fresh engine built with the same parameters restores it
+    /// and continues byte-identically to an uninterrupted run.
+    pub fn snapshot(&self) -> Snapshot {
+        let events = JsonValue::Array(
+            self.events
+                .ordered()
+                .into_iter()
+                .map(|(when, event)| {
+                    let mut words = vec![when.as_ps()];
+                    words.extend(event.to_words());
+                    snapshot::arr_u64(words)
+                })
+                .collect(),
+        );
+        let payload = snapshot::obj(vec![
+            ("launched", snapshot::num(u64::from(self.launched))),
+            (
+                "result_slot",
+                snapshot::num(self.result_slot.map_or(0, |s| u64::from(s) + 1)),
+            ),
+            ("next_task_id", snapshot::num(self.next_task_id)),
+            ("outstanding", snapshot::num(self.outstanding)),
+            ("last_useful_ps", snapshot::num(self.last_useful.as_ps())),
+            (
+                "deques",
+                JsonValue::Array(
+                    self.deques
+                        .iter()
+                        .map(TaskDeque::state_to_json_value)
+                        .collect(),
+                ),
+            ),
+            (
+                "rngs",
+                snapshot::arr_u64(self.rngs.iter().map(XorShift64::state)),
+            ),
+            (
+                "steal_fails",
+                snapshot::arr_u64(self.steal_fails.iter().map(|f| u64::from(*f))),
+            ),
+            (
+                "busy_until_ps",
+                snapshot::arr_u64(self.busy_until.iter().map(|t| t.as_ps())),
+            ),
+            (
+                "pending",
+                JsonValue::Array(
+                    self.pending
+                        .iter()
+                        .map(|cell| match cell {
+                            Some(p) => snapshot::arr_u64(p.to_words()),
+                            None => snapshot::arr_u64([]),
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "pending_free",
+                snapshot::arr_u64(self.pending_free.iter().map(|e| u64::from(*e))),
+            ),
+            (
+                "host",
+                JsonValue::Array(
+                    self.host
+                        .iter()
+                        .map(|slot| snapshot::arr_u64(slot.iter().copied()))
+                        .collect(),
+                ),
+            ),
+            ("events", events),
+            (
+                "watchdog",
+                snapshot::obj(vec![
+                    (
+                        "last_progress_ps",
+                        snapshot::num(self.watchdog.last_progress().as_ps()),
+                    ),
+                    (
+                        "last_unit",
+                        snapshot::num(self.watchdog.last_unit().map_or(0, |u| u as u64 + 1)),
+                    ),
+                ]),
+            ),
+            (
+                "metrics",
+                JsonValue::parse(&self.metrics.to_json()).expect("metrics emit valid JSON"),
+            ),
+            ("mem", self.mem.state_to_json_value()),
+            ("memsys", self.memsys.state_to_json_value()),
+            ("trace", self.trace.state_to_json_value()),
+        ]);
+        Snapshot::new("cpu", payload)
+    }
+
+    /// Overwrites this engine's mutable state with a [`Snapshot`] captured
+    /// by [`CpuEngine::snapshot`] on an engine built with the same
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::EngineMismatch`] when the snapshot was taken by a
+    /// different engine family, [`SnapshotError::Malformed`] when the
+    /// payload does not describe this configuration.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        snap.expect_engine("cpu")?;
+        let p = &snap.payload;
+
+        self.launched = snapshot::get_u64(p, "launched")? != 0;
+        self.result_slot = match snapshot::get_u64(p, "result_slot")? {
+            0 => None,
+            s => Some(u8::try_from(s - 1).map_err(|_| malformed("result_slot out of range"))?),
+        };
+        self.next_task_id = snapshot::get_u64(p, "next_task_id")?;
+        self.outstanding = snapshot::get_u64(p, "outstanding")?;
+        self.last_useful = Time::from_ps(snapshot::get_u64(p, "last_useful_ps")?);
+
+        let deques = snapshot::get_arr(p, "deques")?;
+        let rngs = snapshot::get_u64s(p, "rngs")?;
+        let steal_fails = snapshot::get_u64s(p, "steal_fails")?;
+        let busy_until = snapshot::get_u64s(p, "busy_until_ps")?;
+        if deques.len() != self.cores
+            || rngs.len() != self.cores
+            || steal_fails.len() != self.cores
+            || busy_until.len() != self.cores
+        {
+            return Err(malformed(format!(
+                "snapshot describes {} cores, this engine has {}",
+                deques.len(),
+                self.cores
+            )));
+        }
+        for (deque, state) in self.deques.iter_mut().zip(deques) {
+            deque.restore_state(state).map_err(malformed)?;
+        }
+        // XorShift64 state is never zero, so new(state) restores it exactly.
+        self.rngs = rngs.iter().map(|s| XorShift64::new(*s)).collect();
+        self.steal_fails = steal_fails
+            .iter()
+            .map(|f| u32::try_from(*f).map_err(|_| malformed("steal_fails overflows u32")))
+            .collect::<Result<_, _>>()?;
+        self.busy_until = busy_until.iter().map(|ps| Time::from_ps(*ps)).collect();
+
+        self.pending = snapshot::get_arr(p, "pending")?
+            .iter()
+            .map(|cell| {
+                let words: Vec<u64> = cell
+                    .as_array()
+                    .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+                    .ok_or_else(|| malformed("pending entry is not an array"))?;
+                match words.len() {
+                    0 => Ok(None),
+                    PENDING_WORDS => PendingTask::from_words(&words).map(Some).map_err(malformed),
+                    n => Err(malformed(format!("pending entry holds {n} words"))),
+                }
+            })
+            .collect::<Result<_, SnapshotError>>()?;
+        self.pending_free = snapshot::get_u64s(p, "pending_free")?
+            .iter()
+            .map(|e| u32::try_from(*e).map_err(|_| malformed("pending_free overflows u32")))
+            .collect::<Result<_, _>>()?;
+
+        let host = snapshot::get_arr(p, "host")?;
+        if host.len() != HOST_SLOTS {
+            return Err(malformed(format!(
+                "snapshot holds {} host slots, expected {HOST_SLOTS}",
+                host.len()
+            )));
+        }
+        for (slot, value) in self.host.iter_mut().zip(host) {
+            let cell = value
+                .as_array()
+                .ok_or_else(|| malformed("host slot is not an array"))?;
+            *slot = match cell {
+                [] => None,
+                [v] => Some(v.as_u64().ok_or_else(|| malformed("bad host value"))?),
+                _ => return Err(malformed("host slot holds more than one value")),
+            };
+        }
+
+        self.events.clear();
+        for entry in snapshot::get_arr(p, "events")? {
+            let words: Vec<u64> = entry
+                .as_array()
+                .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+                .ok_or_else(|| malformed("event entry is not an array"))?;
+            let (when, body) = words
+                .split_first()
+                .ok_or_else(|| malformed("empty event entry"))?;
+            let event = Event::from_words(body).map_err(malformed)?;
+            self.events.push(Time::from_ps(*when), event);
+        }
+
+        let watchdog = snapshot::get(p, "watchdog")?;
+        let last_progress = Time::from_ps(snapshot::get_u64(watchdog, "last_progress_ps")?);
+        let last_unit = match snapshot::get_u64(watchdog, "last_unit")? {
+            0 => None,
+            u => Some(u as usize - 1),
+        };
+        self.watchdog.load(last_progress, last_unit);
+
+        self.metrics = Metrics::from_json(&snapshot::get(p, "metrics")?.to_json())
+            .map_err(|e| malformed(format!("metrics: {e}")))?;
+        self.mem
+            .restore_state(snapshot::get(p, "mem")?)
+            .map_err(malformed)?;
+        self.memsys
+            .restore_state(snapshot::get(p, "memsys")?)
+            .map_err(malformed)?;
+        self.trace =
+            Tracer::state_from_json_value(snapshot::get(p, "trace")?).map_err(malformed)?;
+        self.error = None;
+        Ok(())
     }
 
     fn is_busy(&self, core: usize, now: Time) -> bool {
@@ -652,6 +978,10 @@ impl Engine for CpuEngine {
         self.cores
     }
 
+    fn clock(&self) -> pxl_sim::Clock {
+        self.core_params.clock.clone()
+    }
+
     fn memory(&self) -> &Memory {
         CpuEngine::memory(self)
     }
@@ -676,6 +1006,31 @@ impl Engine for CpuEngine {
                 other.shape()
             ))),
         }
+    }
+
+    fn run_until(
+        &mut self,
+        workload: Workload<'_>,
+        pause_at: Option<Time>,
+    ) -> Result<RunStatus, AccelError> {
+        match workload {
+            Workload::Dynamic { worker, root } => {
+                CpuEngine::launch(self, root);
+                CpuEngine::run_until(self, worker, pause_at)
+            }
+            other => Err(AccelError::Unsupported(format!(
+                "the CPU baseline runs dynamic task graphs, not {}",
+                other.shape()
+            ))),
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        CpuEngine::snapshot(self)
+    }
+
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        CpuEngine::restore(self, snap)
     }
 }
 
@@ -748,6 +1103,61 @@ mod tests {
         let a = run_fib(4, 14);
         let b = run_fib(4, 14);
         assert_eq!(a.elapsed, b.elapsed);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically() {
+        let n = 15;
+        let root = || Task::new(FIB, Continuation::host(0), &[n]);
+        let mk = || {
+            let mut cpu = CpuEngine::new(4, ExecProfile::scalar());
+            cpu.set_trace_capacity(4096);
+            cpu
+        };
+        let reference = {
+            let mut cpu = mk();
+            cpu.run(&mut FibWorker, root()).expect("reference run")
+        };
+        let pause = Time::from_ps(reference.elapsed.as_ps() / 2);
+
+        let mut paused = mk();
+        paused.launch(root());
+        match paused.run_until(&mut FibWorker, Some(pause)).unwrap() {
+            RunStatus::Paused { at } => assert_eq!(at, pause),
+            RunStatus::Finished(_) => panic!("fib must still be in flight at {pause}"),
+        }
+        let blob = paused.snapshot().to_json();
+        let snap = Snapshot::from_json(&blob).expect("snapshot survives its wire format");
+        let mut restored = mk();
+        restored
+            .restore(&snap)
+            .expect("restore into a fresh engine");
+
+        let finish = |cpu: &mut CpuEngine| match cpu.run_until(&mut FibWorker, None) {
+            Ok(RunStatus::Finished(out)) => out,
+            other => panic!("resumed leg: {other:?}"),
+        };
+        let a = finish(&mut paused);
+        let b = finish(&mut restored);
+        for (label, out) in [("paused", &a), ("restored", &b)] {
+            assert_eq!(out.result, reference.result, "{label} result");
+            assert_eq!(out.elapsed, reference.elapsed, "{label} elapsed");
+            assert_eq!(
+                out.metrics.to_json(),
+                reference.metrics.to_json(),
+                "{label} metrics"
+            );
+            assert_eq!(
+                out.trace.to_jsonl(),
+                reference.trace.to_jsonl(),
+                "{label} trace"
+            );
+        }
+
+        // A core-count mismatch is rejected rather than silently resumed.
+        let mut narrow = CpuEngine::new(2, ExecProfile::scalar());
+        let err = narrow.restore(&snap).expect_err("core mismatch");
+        assert!(matches!(err, SnapshotError::Malformed(_)), "got {err}");
     }
 
     #[test]

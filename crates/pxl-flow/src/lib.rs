@@ -40,13 +40,15 @@
 //! ```
 
 pub mod run;
+pub mod session;
 pub mod spec;
 
 pub use run::{
     execute, measure, measurement_of, run_checked, run_on, try_run_on, write_jsonl, RunError,
     RunOutcome,
 };
-pub use spec::{RunSpec, SpecError};
+pub use session::{SessionStatus, SimSession};
+pub use spec::{CheckpointPolicy, RunSpec, SpecError};
 
 use pxl_arch::{AccelConfig, ArchKind, CentralEngine, ConfigError, Engine, FlexEngine, LiteEngine};
 use pxl_cost::resources::{tile_resources, FpgaDevice, TileResources};

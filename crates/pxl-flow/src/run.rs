@@ -29,7 +29,7 @@ use crate::{FlowError, RunSpec, SimulationBuilder};
 /// shared memory.
 const INIT_BW: f64 = 25.6e9;
 
-fn init_time(footprint_bytes: u64) -> Time {
+pub(crate) fn init_time(footprint_bytes: u64) -> Time {
     Time::from_ps((footprint_bytes as f64 / INIT_BW * 1e12) as u64)
 }
 
@@ -120,6 +120,9 @@ pub enum RunError {
     Build(FlowError),
     /// The simulation itself failed (deadlock, watchdog, capacity).
     Sim(String),
+    /// A checkpoint snapshot could not be restored (wrong engine family,
+    /// mismatched configuration, version or checksum failure).
+    Snapshot(pxl_sim::SnapshotError),
     /// The run completed but its output failed golden validation. The
     /// finished outcome rides along so fault-injection harnesses can still
     /// report the corrupted run's timing, metrics and trace.
@@ -137,6 +140,7 @@ impl std::fmt::Display for RunError {
             RunError::UnknownBenchmark(name) => write!(f, "unknown benchmark {name:?}"),
             RunError::Build(e) => write!(f, "{e}"),
             RunError::Sim(message) => write!(f, "{message}"),
+            RunError::Snapshot(e) => write!(f, "snapshot restore failed: {e}"),
             RunError::WrongResult { message, .. } => write!(f, "{message}"),
         }
     }

@@ -62,6 +62,35 @@ impl std::fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+/// When a run should checkpoint its simulation state.
+///
+/// The run pauses at every multiple of `every_cycles` engine-clock cycles
+/// of simulated time and serializes an engine snapshot (see
+/// `docs/checkpoint.md`). Checkpointing is pure observation: a run with a
+/// checkpoint policy produces byte-identical results, metrics and traces
+/// to the same run without one, which is why the policy is *excluded* from
+/// [`RunSpec::canonical`] — the cache key identifies the simulated work,
+/// not how durably it is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint interval in engine-clock cycles of simulated time
+    /// (must be nonzero).
+    pub every_cycles: u64,
+}
+
+impl CheckpointPolicy {
+    /// A policy checkpointing every `every_cycles` simulated cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_cycles` is zero — "checkpoint never" is spelled by
+    /// omitting the policy, not by a zero interval.
+    pub fn every(every_cycles: u64) -> Self {
+        assert!(every_cycles > 0, "checkpoint interval must be nonzero");
+        CheckpointPolicy { every_cycles }
+    }
+}
+
 /// A serializable simulation request: one benchmark run on one design
 /// point. See the [module docs](self) for the role it plays.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +107,9 @@ pub struct RunSpec {
     pub trace_capacity: usize,
     /// Deterministic fault plan to arm (accelerator points only).
     pub faults: Option<FaultPlan>,
+    /// Periodic checkpointing of simulation state; `None` never pauses.
+    /// Not part of the run's [`RunSpec::canonical`] identity.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl RunSpec {
@@ -90,6 +122,7 @@ impl RunSpec {
             profile: None,
             trace_capacity: 0,
             faults: None,
+            checkpoint: None,
         }
     }
 
@@ -111,10 +144,25 @@ impl RunSpec {
         self
     }
 
+    /// Checkpoints simulation state every `every_cycles` simulated cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_cycles` is zero.
+    pub fn with_checkpoint(mut self, every_cycles: u64) -> Self {
+        self.checkpoint = Some(CheckpointPolicy::every(every_cycles));
+        self
+    }
+
     /// The canonical one-line identity string: benchmark, scale and the
     /// point's spec, plus trace/profile/fault terms only when they differ
     /// from the defaults. Two specs are the same run if and only if their
     /// canonical strings match — this is the result-cache and dedup key.
+    ///
+    /// The [`CheckpointPolicy`] is deliberately *not* part of the key:
+    /// checkpointing is observation, not simulation — a checkpointed run
+    /// and an uninterrupted run of the same spec produce the same bytes,
+    /// so they may share a cache entry.
     pub fn canonical(&self) -> String {
         let mut out = format!(
             "bench={} scale={} {}",
@@ -212,6 +260,15 @@ impl RunSpec {
         if let Some(plan) = &self.faults {
             members.push(("faults".to_owned(), plan.to_json_value()));
         }
+        if let Some(cp) = &self.checkpoint {
+            members.push((
+                "checkpoint".to_owned(),
+                JsonValue::Object(vec![(
+                    "every_cycles".to_owned(),
+                    JsonValue::num_u64(cp.every_cycles),
+                )]),
+            ));
+        }
         JsonValue::Object(members)
     }
 
@@ -279,6 +336,27 @@ impl RunSpec {
                 )
             }
         };
+        let checkpoint = match value.get("checkpoint") {
+            None => None,
+            Some(c) if c.is_null() => None,
+            Some(c) => {
+                let every_cycles = c.get("every_cycles").and_then(JsonValue::as_u64).ok_or(
+                    SpecError::Invalid {
+                        field: "checkpoint",
+                        message: "expected {\"every_cycles\": <unsigned integer>}".to_owned(),
+                    },
+                )?;
+                if every_cycles == 0 {
+                    return Err(SpecError::Invalid {
+                        field: "checkpoint",
+                        message: "checkpoint interval must be nonzero \
+                                  (omit the member to disable checkpointing)"
+                            .to_owned(),
+                    });
+                }
+                Some(CheckpointPolicy { every_cycles })
+            }
+        };
         Ok(RunSpec {
             benchmark,
             scale,
@@ -286,6 +364,7 @@ impl RunSpec {
             profile,
             trace_capacity,
             faults,
+            checkpoint,
         })
     }
 
@@ -354,6 +433,7 @@ mod tests {
                 .kill_pe(3, Time::from_us(2))
                 .drop_messages(NetClass::Arg, Time::ZERO, Time::MAX, 500, 6),
         )
+        .with_checkpoint(250_000)
     }
 
     #[test]
@@ -460,6 +540,32 @@ mod tests {
             "{err}"
         );
         assert!(err.to_string().contains("faults"));
+    }
+
+    #[test]
+    fn checkpoint_policy_round_trips_but_never_changes_the_key() {
+        let base = RunSpec::new(
+            "uts",
+            Scale::Tiny,
+            DesignPoint::accel(PointArch::Flex, 2, 4),
+        );
+        let ck = base.clone().with_checkpoint(100_000);
+        // Serialization distinguishes them...
+        assert_ne!(base.to_json(), ck.to_json());
+        let back = RunSpec::from_json(&ck.to_json()).unwrap();
+        assert_eq!(back.checkpoint, Some(CheckpointPolicy::every(100_000)));
+        // ...but the cache identity does not: checkpointing is observation.
+        assert_eq!(base.canonical(), ck.canonical());
+
+        // A zero interval is rejected at parse time with a typed error.
+        let zero = ck.to_json().replace("100000", "0");
+        assert!(matches!(
+            RunSpec::from_json(&zero).unwrap_err(),
+            SpecError::Invalid {
+                field: "checkpoint",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use pxl_sim::json::JsonValue;
 use pxl_sim::Time;
 
 /// A serially-occupied shared resource with epoch-granular accounting.
@@ -106,6 +107,53 @@ impl BandwidthMeter {
     pub fn epoch_of(&self, t: Time) -> u64 {
         t.as_ps() / self.epoch_ps
     }
+
+    /// Serializes the committed-usage map for snapshot/restore, as
+    /// `[epoch, used_ps]` pairs in epoch order.
+    pub fn state_to_json_value(&self) -> JsonValue {
+        let mut epochs: Vec<u64> = self.used.keys().copied().collect();
+        epochs.sort_unstable();
+        JsonValue::Array(
+            epochs
+                .into_iter()
+                .map(|e| {
+                    JsonValue::Array(vec![
+                        JsonValue::num_u64(e),
+                        JsonValue::num_u64(self.used[&e]),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Replaces the committed-usage map with a state captured by
+    /// [`BandwidthMeter::state_to_json_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for anything that is not an array of
+    /// `[epoch, used]` pairs.
+    pub fn restore_state(&mut self, value: &JsonValue) -> Result<(), String> {
+        let pairs = value
+            .as_array()
+            .ok_or("bandwidth state: not an array of pairs")?;
+        let mut used = HashMap::with_capacity(pairs.len());
+        for pair in pairs {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or("bandwidth state: entry is not an [epoch, used] pair")?;
+            let epoch = pair[0]
+                .as_u64()
+                .ok_or("bandwidth state: epoch is not a u64")?;
+            let committed = pair[1]
+                .as_u64()
+                .ok_or("bandwidth state: used is not a u64")?;
+            used.insert(epoch, committed);
+        }
+        self.used = used;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +200,27 @@ mod tests {
         // Epochs 0..2 are now (partially) full.
         let next = m.acquire(Time::ZERO, 1_000);
         assert!(next >= Time::from_ps(2_000));
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        let mut a = BandwidthMeter::new(1_000);
+        for i in 0..10 {
+            let _ = a.acquire(Time::from_ps(i * 300), 400);
+        }
+        let state = a.state_to_json_value();
+        let mut b = BandwidthMeter::new(1_000);
+        b.restore_state(&state).unwrap();
+        assert_eq!(b.total_committed_ps(), a.total_committed_ps());
+        // Identical future behavior.
+        for i in 0..20 {
+            assert_eq!(
+                a.acquire(Time::from_ps(i * 150), 250),
+                b.acquire(Time::from_ps(i * 150), 250)
+            );
+        }
+        let bad = JsonValue::parse("[[1]]").unwrap();
+        assert!(b.restore_state(&bad).is_err());
     }
 
     #[test]

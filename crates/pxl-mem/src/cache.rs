@@ -6,6 +6,7 @@
 //! controller in [`crate::system`] drives the per-line [`LineState`] machine.
 
 use pxl_sim::config::CacheParams;
+use pxl_sim::json::JsonValue;
 
 /// MOESI coherence state of one cache line.
 ///
@@ -207,6 +208,94 @@ impl CacheArray {
             }
         }
     }
+
+    /// Serializes tag/state/LRU for snapshot/restore:
+    /// `{"use_counter":N,"sets":[[[line+1,state,last_use],...],...]}`.
+    /// `line+1` is zero for an invalid way (line addresses fit u64-1
+    /// comfortably since they are byte addresses shifted right).
+    pub fn state_to_json_value(&self) -> JsonValue {
+        let sets = self
+            .sets
+            .iter()
+            .map(|set| {
+                JsonValue::Array(
+                    set.iter()
+                        .map(|w| {
+                            JsonValue::Array(vec![
+                                JsonValue::num_u64(w.line.map_or(0, |l| l + 1)),
+                                JsonValue::num_u64(match w.state {
+                                    LineState::Modified => 0,
+                                    LineState::Owned => 1,
+                                    LineState::Exclusive => 2,
+                                    LineState::Shared => 3,
+                                }),
+                                JsonValue::num_u64(w.last_use),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "use_counter".to_owned(),
+                JsonValue::num_u64(self.use_counter),
+            ),
+            ("sets".to_owned(), JsonValue::Array(sets)),
+        ])
+    }
+
+    /// Restores a state captured by [`CacheArray::state_to_json_value`]
+    /// into an array of identical geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on geometry mismatch or malformed entries.
+    pub fn restore_state(&mut self, value: &JsonValue) -> Result<(), String> {
+        self.use_counter = value
+            .get("use_counter")
+            .and_then(JsonValue::as_u64)
+            .ok_or("cache state: missing use_counter")?;
+        let sets = value
+            .get("sets")
+            .and_then(JsonValue::as_array)
+            .ok_or("cache state: missing sets")?;
+        if sets.len() != self.sets.len() {
+            return Err(format!(
+                "cache state: {} sets for a {}-set array",
+                sets.len(),
+                self.sets.len()
+            ));
+        }
+        for (si, (set, into)) in sets.iter().zip(self.sets.iter_mut()).enumerate() {
+            let ways = set
+                .as_array()
+                .filter(|w| w.len() == into.len())
+                .ok_or_else(|| format!("cache state: set {si} has the wrong way count"))?;
+            for (way, slot) in ways.iter().zip(into.iter_mut()) {
+                let triple = way
+                    .as_array()
+                    .filter(|t| t.len() == 3)
+                    .ok_or_else(|| format!("cache state: set {si} way is not a triple"))?;
+                let field = |i: usize| {
+                    triple[i]
+                        .as_u64()
+                        .ok_or_else(|| format!("cache state: set {si} holds a non-u64"))
+                };
+                let line = field(0)?;
+                slot.line = if line == 0 { None } else { Some(line - 1) };
+                slot.state = match field(1)? {
+                    0 => LineState::Modified,
+                    1 => LineState::Owned,
+                    2 => LineState::Exclusive,
+                    3 => LineState::Shared,
+                    other => return Err(format!("cache state: unknown line state {other}")),
+                };
+                slot.last_use = field(2)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +367,40 @@ mod tests {
         c.install(64, LineState::Shared);
         c.flush_all();
         assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn state_round_trip_keeps_lru_behavior() {
+        let mut a = tiny();
+        a.install(0, LineState::Modified);
+        a.install(2 * 64, LineState::Shared);
+        a.install(64, LineState::Owned);
+        assert!(a.lookup(0).is_some()); // refresh LRU on line 0
+        let state = a.state_to_json_value();
+        let mut b = tiny();
+        b.restore_state(&state).unwrap();
+        assert_eq!(b.peek(0), Some(LineState::Modified));
+        assert_eq!(b.peek(64), Some(LineState::Owned));
+        // Same LRU victim choice after restore.
+        assert_eq!(
+            a.install(4 * 64, LineState::Shared),
+            b.install(4 * 64, LineState::Shared)
+        );
+        assert_eq!(
+            a.state_to_json_value().to_json(),
+            b.state_to_json_value().to_json()
+        );
+        // Geometry mismatch is refused.
+        let params = CacheParams {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency_cycles: 1,
+            next_line_prefetch: false,
+            clock: pxl_sim::Clock::ghz1("t"),
+        };
+        let mut wrong = CacheArray::new(&params);
+        assert!(wrong.restore_state(&state).unwrap_err().contains("sets"));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use pxl_sim::json::JsonValue;
+
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
@@ -178,6 +180,72 @@ impl Memory {
             self.write_i32(addr + 4 * i as u64, v);
         }
     }
+
+    /// Serializes every resident page for snapshot/restore: an object
+    /// keyed by decimal page index (in index order, so the output is
+    /// deterministic) holding each 4 KiB page as lower-case hex.
+    pub fn state_to_json_value(&self) -> JsonValue {
+        let mut indices: Vec<u64> = self.pages.keys().copied().collect();
+        indices.sort_unstable();
+        let members = indices
+            .into_iter()
+            .map(|idx| {
+                let page = &self.pages[&idx];
+                let mut hex = String::with_capacity(2 * PAGE_SIZE);
+                for b in page.iter() {
+                    hex.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+                    hex.push(char::from_digit((b & 0xF) as u32, 16).expect("nibble"));
+                }
+                (idx.to_string(), JsonValue::Str(hex))
+            })
+            .collect();
+        JsonValue::Object(members)
+    }
+
+    /// Replaces the entire contents with a state captured by
+    /// [`Memory::state_to_json_value`]. Pages not in the snapshot are
+    /// dropped (they read zero again), so restoring over a memory that
+    /// already holds benchmark inputs reproduces the snapshotted state
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed page.
+    pub fn restore_state(&mut self, value: &JsonValue) -> Result<(), String> {
+        let members = value
+            .as_object()
+            .ok_or("memory state: not an object of pages")?;
+        let mut pages = HashMap::with_capacity(members.len());
+        for (key, page) in members {
+            let idx: u64 = key
+                .parse()
+                .map_err(|_| format!("memory state: bad page index {key:?}"))?;
+            let hex = page
+                .as_str()
+                .ok_or_else(|| format!("memory state: page {key} is not a hex string"))?;
+            if hex.len() != 2 * PAGE_SIZE {
+                return Err(format!(
+                    "memory state: page {key} has {} hex digits, want {}",
+                    hex.len(),
+                    2 * PAGE_SIZE
+                ));
+            }
+            let mut data = Box::new([0u8; PAGE_SIZE]);
+            let bytes = hex.as_bytes();
+            for (i, out) in data.iter_mut().enumerate() {
+                let nibble = |c: u8| -> Result<u8, String> {
+                    (c as char)
+                        .to_digit(16)
+                        .map(|d| d as u8)
+                        .ok_or_else(|| format!("memory state: page {key} has non-hex byte"))
+                };
+                *out = (nibble(bytes[2 * i])? << 4) | nibble(bytes[2 * i + 1])?;
+            }
+            pages.insert(idx, data);
+        }
+        self.pages = pages;
+        Ok(())
+    }
 }
 
 /// A bump allocator for laying out benchmark data in the simulated address
@@ -289,6 +357,39 @@ mod tests {
         assert_eq!(mem.read_i32_slice(0x100, 3), vec![-1, 2, -3]);
         mem.write_u32_slice(0x200, &[7, 8]);
         assert_eq!(mem.read_u32_slice(0x200, 2), vec![7, 8]);
+    }
+
+    #[test]
+    fn state_round_trip_replaces_everything() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x40, 0x0123_4567_89AB_CDEF);
+        mem.write_bytes(3 * PAGE_SIZE as u64 - 2, &[1, 2, 3, 4]);
+        let state = mem.state_to_json_value();
+        // Restoring over a dirtied memory must drop the extra page and
+        // reproduce the original bytes exactly.
+        let mut other = Memory::new();
+        other.write_u64(0x40, 999);
+        other.write_u64(0x9000, 7);
+        other.restore_state(&state).unwrap();
+        assert_eq!(other.read_u64(0x40), 0x0123_4567_89AB_CDEF);
+        assert_eq!(other.read_u64(0x9000), 0, "stale page must vanish");
+        assert_eq!(other.resident_pages(), mem.resident_pages());
+        assert_eq!(
+            other.state_to_json_value().to_json(),
+            state.to_json(),
+            "round trip is byte-stable"
+        );
+    }
+
+    #[test]
+    fn state_restore_rejects_garbage() {
+        let mut mem = Memory::new();
+        let bad = JsonValue::parse("{\"x\":\"00\"}").unwrap();
+        assert!(mem.restore_state(&bad).unwrap_err().contains("page index"));
+        let bad = JsonValue::parse("{\"1\":\"zz\"}").unwrap();
+        assert!(mem.restore_state(&bad).unwrap_err().contains("hex digits"));
+        let bad = JsonValue::parse("[1]").unwrap();
+        assert!(mem.restore_state(&bad).is_err());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! paper's memory-bound results (spmvcrs, bfsqueue, stencil2d).
 
 use pxl_sim::config::{CacheParams, DramParams, MemoryConfig};
+use pxl_sim::json::JsonValue;
 use pxl_sim::{Metrics, Time, TraceEvent, Tracer};
 
 use crate::bandwidth::BandwidthMeter;
@@ -150,6 +151,71 @@ impl MemorySystem {
     /// Takes the accumulated event trace out, leaving a disabled tracer.
     pub fn take_trace(&mut self) -> Tracer {
         std::mem::take(&mut self.trace)
+    }
+
+    /// Serializes the complete hierarchy state — cache tag/state arrays,
+    /// bandwidth meters, statistics and the event trace — for
+    /// snapshot/restore. Timing parameters are *not* serialized; they come
+    /// from the configuration the restoring system was built with.
+    pub fn state_to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "l1s".to_owned(),
+                JsonValue::Array(
+                    self.l1s
+                        .iter()
+                        .map(CacheArray::state_to_json_value)
+                        .collect(),
+                ),
+            ),
+            ("l2".to_owned(), self.l2.state_to_json_value()),
+            ("bus_meter".to_owned(), self.bus_meter.state_to_json_value()),
+            ("l2_meter".to_owned(), self.l2_meter.state_to_json_value()),
+            (
+                "dram_meter".to_owned(),
+                self.dram_meter.state_to_json_value(),
+            ),
+            (
+                "stats".to_owned(),
+                JsonValue::parse(&self.stats.to_json()).expect("metrics JSON parses"),
+            ),
+            ("trace".to_owned(), self.trace.state_to_json_value()),
+        ])
+    }
+
+    /// Restores the state captured by [`MemorySystem::state_to_json_value`]
+    /// into a system built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed field or geometry
+    /// mismatch (e.g. a different L1 port count).
+    pub fn restore_state(&mut self, value: &JsonValue) -> Result<(), String> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| format!("memory state: missing {key}"))
+        };
+        let l1s = field("l1s")?
+            .as_array()
+            .ok_or("memory state: l1s is not an array")?;
+        if l1s.len() != self.l1s.len() {
+            return Err(format!(
+                "memory state: {} L1 ports, this system has {}",
+                l1s.len(),
+                self.l1s.len()
+            ));
+        }
+        for (cache, state) in self.l1s.iter_mut().zip(l1s) {
+            cache.restore_state(state)?;
+        }
+        self.l2.restore_state(field("l2")?)?;
+        self.bus_meter.restore_state(field("bus_meter")?)?;
+        self.l2_meter.restore_state(field("l2_meter")?)?;
+        self.dram_meter.restore_state(field("dram_meter")?)?;
+        self.stats = Metrics::from_json(&field("stats")?.to_json())?;
+        self.trace = Tracer::state_from_json_value(field("trace")?)?;
+        Ok(())
     }
 
     fn l1_hit_time(&self, port: usize) -> Time {
@@ -762,6 +828,44 @@ mod tests {
         let trace = m.take_trace();
         assert_eq!(trace.records().len(), 4);
         assert!(trace.dropped() > 0, "bounded buffer must drop overflow");
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        let mut a = sys(2);
+        a.enable_trace(256);
+        let mut t = Time::ZERO;
+        for i in 0..40u64 {
+            let port = PortId((i % 2) as usize);
+            let kind = if i % 5 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            t = a.access(port, (i % 7) * 0x940, kind, t);
+        }
+        let state = a.state_to_json_value();
+        let mut b = sys(2);
+        b.enable_trace(256);
+        b.restore_state(&state).unwrap();
+        assert_eq!(b.stats().to_json(), a.stats().to_json());
+        // Identical future behavior: same timing, same stats, same trace.
+        for i in 0..40u64 {
+            let port = PortId(((i + 1) % 2) as usize);
+            let ta = a.access(port, (i % 11) * 0x400, AccessKind::Read, t);
+            let tb = b.access(port, (i % 11) * 0x400, AccessKind::Read, t);
+            assert_eq!(ta, tb, "access {i} diverged after restore");
+            t = ta;
+        }
+        assert_eq!(b.stats().to_json(), a.stats().to_json());
+        assert_eq!(
+            b.take_trace().to_jsonl(),
+            a.take_trace().to_jsonl(),
+            "trace streams diverged after restore"
+        );
+        // Geometry mismatch is refused.
+        let mut wrong = sys(3);
+        assert!(wrong.restore_state(&state).unwrap_err().contains("ports"));
     }
 
     #[test]

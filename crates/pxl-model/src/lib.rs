@@ -70,6 +70,8 @@ pub mod worker;
 
 pub use patterns::{BlockedRange, ParallelFor};
 pub use serial::SerialExecutor;
-pub use task::{Argument, Continuation, PendingTask, Task, TaskTypeId, MAX_ARGS};
+pub use task::{
+    Argument, Continuation, PendingTask, Task, TaskTypeId, MAX_ARGS, PENDING_WORDS, TASK_WORDS,
+};
 pub use trace::{TaskGraph, TracingExecutor};
 pub use worker::{ExecProfile, TaskContext, Worker};

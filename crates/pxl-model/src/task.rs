@@ -201,7 +201,48 @@ impl Task {
     pub fn arg_i64(&self, i: usize) -> i64 {
         self.args[i] as i64
     }
+
+    /// Flattens the task into its [`TASK_WORDS`] word message encoding
+    /// (`[ty, k, id, args...]`) for engine snapshots.
+    pub fn to_words(&self) -> [u64; TASK_WORDS] {
+        let mut w = [0u64; TASK_WORDS];
+        w[0] = self.ty.0 as u64;
+        w[1] = self.k.encode();
+        w[2] = self.id;
+        w[3..].copy_from_slice(&self.args);
+        w
+    }
+
+    /// Inverse of [`Task::to_words`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `words` is not exactly [`TASK_WORDS`] long or
+    /// the type word overflows a `u8`.
+    pub fn from_words(words: &[u64]) -> Result<Task, String> {
+        if words.len() != TASK_WORDS {
+            return Err(format!(
+                "task encoding holds {} words, expected {TASK_WORDS}",
+                words.len()
+            ));
+        }
+        let ty = u8::try_from(words[0]).map_err(|_| format!("task type {} overflows", words[0]))?;
+        let mut args = [0u64; MAX_ARGS];
+        args.copy_from_slice(&words[3..]);
+        Ok(Task {
+            ty: TaskTypeId(ty),
+            k: Continuation::decode(words[1]),
+            args,
+            id: words[2],
+        })
+    }
 }
+
+/// Number of words in [`Task::to_words`]'s flat encoding.
+pub const TASK_WORDS: usize = 3 + MAX_ARGS;
+
+/// Number of words in [`PendingTask::to_words`]'s flat encoding.
+pub const PENDING_WORDS: usize = 4 + MAX_ARGS;
 
 impl fmt::Display for Task {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -296,6 +337,45 @@ impl PendingTask {
         assert!((slot as usize) < MAX_ARGS, "slot {slot} out of range");
         self.args[slot as usize] = value;
         self
+    }
+
+    /// Flattens the pending task into its [`PENDING_WORDS`] word encoding
+    /// (`[ty, k, join, id, args...]`) for engine snapshots.
+    pub fn to_words(&self) -> [u64; PENDING_WORDS] {
+        let mut w = [0u64; PENDING_WORDS];
+        w[0] = self.ty.0 as u64;
+        w[1] = self.k.encode();
+        w[2] = self.join as u64;
+        w[3] = self.id;
+        w[4..].copy_from_slice(&self.args);
+        w
+    }
+
+    /// Inverse of [`PendingTask::to_words`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `words` is not exactly [`PENDING_WORDS`] long
+    /// or the type/join words overflow a `u8`.
+    pub fn from_words(words: &[u64]) -> Result<PendingTask, String> {
+        if words.len() != PENDING_WORDS {
+            return Err(format!(
+                "pending-task encoding holds {} words, expected {PENDING_WORDS}",
+                words.len()
+            ));
+        }
+        let ty = u8::try_from(words[0]).map_err(|_| format!("task type {} overflows", words[0]))?;
+        let join =
+            u8::try_from(words[2]).map_err(|_| format!("join counter {} overflows", words[2]))?;
+        let mut args = [0u64; MAX_ARGS];
+        args.copy_from_slice(&words[4..]);
+        Ok(PendingTask {
+            ty: TaskTypeId(ty),
+            k: Continuation::decode(words[1]),
+            join,
+            args,
+            id: words[3],
+        })
     }
 
     /// Delivers an argument to `slot`, decrementing the join counter.
@@ -405,6 +485,21 @@ mod tests {
         let mut p = PendingTask::new(TaskTypeId(1), Continuation::host(0), 1).with_id(7);
         let ready = p.fill(0, 0).unwrap();
         assert_eq!(ready.id, 7, "ready task inherits the pending id");
+    }
+
+    #[test]
+    fn task_word_codec_round_trips() {
+        let t = Task::new(TaskTypeId(5), Continuation::pstore(3, 1234, 2), &[1, 2, 3]).with_id(77);
+        assert_eq!(Task::from_words(&t.to_words()).unwrap(), t);
+        let p = PendingTask::new(TaskTypeId(9), Continuation::host(1), 2)
+            .preset(3, 42)
+            .with_id(8);
+        assert_eq!(PendingTask::from_words(&p.to_words()).unwrap(), p);
+        assert!(Task::from_words(&[0; TASK_WORDS - 1]).is_err());
+        assert!(PendingTask::from_words(&[0; PENDING_WORDS + 1]).is_err());
+        let mut bad = t.to_words();
+        bad[0] = 300;
+        assert!(Task::from_words(&bad).is_err(), "type word overflow");
     }
 
     #[test]

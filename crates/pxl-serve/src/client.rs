@@ -7,12 +7,23 @@
 //! [`Client::status`]) buffer any other events they read past, and
 //! [`Client::next_event`] drains that buffer first — no event is ever
 //! dropped.
+//!
+//! [`Client::connect`] blocks indefinitely, which suits tests driving a
+//! server they own. Against a server that can crash and restart (the
+//! crash-recovery smoke, CI), use [`Client::connect_with`]: it bounds the
+//! connect and read times ([`ClientError::TimedOut`] instead of hanging)
+//! and retries refused connections with bounded exponential backoff and
+//! deterministic, seeded jitter — so a fleet of restarting clients does
+//! not reconnect in lockstep, yet every run of the harness behaves the
+//! same.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use pxl_flow::RunSpec;
+use pxl_sim::XorShift64;
 
 use crate::protocol::{ErrorCode, JobEvent, JobId, JobKind, Request};
 
@@ -21,6 +32,8 @@ use crate::protocol::{ErrorCode, JobEvent, JobId, JobKind, Request};
 pub enum ClientError {
     /// The connection failed or closed.
     Io(String),
+    /// A bounded connect or read exceeded its [`ClientConfig`] deadline.
+    TimedOut(String),
     /// The server sent something that does not parse as a [`JobEvent`].
     Protocol(String),
     /// The server rejected the request with a typed error event.
@@ -36,6 +49,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::TimedOut(e) => write!(f, "timed out: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Rejected { code, message } => {
                 write!(f, "rejected ({}): {message}", code.label())
@@ -45,6 +59,71 @@ impl std::fmt::Display for ClientError {
 }
 
 impl std::error::Error for ClientError {}
+
+/// Connection tunables for [`Client::connect_with`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline for one TCP connect attempt.
+    pub connect_timeout: Duration,
+    /// Deadline for one blocking read; `None` blocks forever (the
+    /// [`Client::connect`] behaviour).
+    pub read_timeout: Option<Duration>,
+    /// Connect attempts before giving up (clamped to at least 1).
+    pub connect_attempts: u32,
+    /// Backoff before retry `n` is `backoff_base * 2^(n-1)` capped at
+    /// [`ClientConfig::backoff_max`], half of it deterministic and half
+    /// jittered by the seeded RNG ("equal jitter").
+    pub backoff_base: Duration,
+    /// Upper bound on one backoff sleep.
+    pub backoff_max: Duration,
+    /// Seed for the jitter RNG — same seed, same retry schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(60)),
+            connect_attempts: 8,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(2),
+            jitter_seed: 0x9E3779B97F4A7C15,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The backoff to sleep after failed attempt `attempt` (1-based):
+    /// exponential in the attempt number, capped, with the upper half
+    /// drawn from `rng`.
+    fn backoff(&self, attempt: u32, rng: &mut XorShift64) -> Duration {
+        let base = self.backoff_base.as_millis() as u64;
+        let cap = self.backoff_max.as_millis() as u64;
+        let exp = base
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(32))
+            .min(cap);
+        let half = exp / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            rng.next_u64() % (half + 1)
+        };
+        Duration::from_millis(half + jitter)
+    }
+}
+
+/// Maps one I/O failure to the typed client error, distinguishing
+/// deadline expiry (`WouldBlock`/`TimedOut`, platform-dependent) from
+/// real transport failures.
+fn io_error(context: &str, e: &std::io::Error) -> ClientError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ClientError::TimedOut(format!("{context}: {e}"))
+        }
+        _ => ClientError::Io(format!("{context}: {e}")),
+    }
+}
 
 /// The counters a [`Client::status`] round-trip returns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,13 +150,51 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a server's [`crate::Server::addr`].
+    /// Connects to a server's [`crate::Server::addr`]: one attempt, no
+    /// deadlines (reads block until the server answers).
     ///
     /// # Errors
     ///
     /// [`ClientError::Io`] if the connection fails.
     pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
         let writer = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        Client::from_stream(writer)
+    }
+
+    /// Connects with bounded timeouts and retry: up to
+    /// `config.connect_attempts` connect attempts, each bounded by
+    /// `config.connect_timeout`, sleeping a capped, seeded-jitter
+    /// exponential backoff between attempts. The returned client's reads
+    /// are bounded by `config.read_timeout` and fail as
+    /// [`ClientError::TimedOut`] instead of hanging — the behaviour a
+    /// harness needs when the server may have crashed mid-answer.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's failure: [`ClientError::TimedOut`] when it hit
+    /// the deadline, [`ClientError::Io`] when the connection was refused.
+    pub fn connect_with(addr: SocketAddr, config: &ClientConfig) -> Result<Client, ClientError> {
+        let attempts = config.connect_attempts.max(1);
+        let mut rng = XorShift64::new(config.jitter_seed);
+        let mut last = None;
+        for attempt in 1..=attempts {
+            match TcpStream::connect_timeout(&addr, config.connect_timeout) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(config.read_timeout)
+                        .map_err(|e| ClientError::Io(format!("set read timeout: {e}")))?;
+                    return Client::from_stream(stream);
+                }
+                Err(e) => last = Some(io_error("connect", &e)),
+            }
+            if attempt < attempts {
+                std::thread::sleep(config.backoff(attempt, &mut rng));
+            }
+        }
+        Err(last.expect("at least one attempt was made"))
+    }
+
+    fn from_stream(writer: TcpStream) -> Result<Client, ClientError> {
         let reading = writer
             .try_clone()
             .map_err(|e| ClientError::Io(e.to_string()))?;
@@ -91,7 +208,7 @@ impl Client {
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
         writeln!(self.writer, "{}", request.to_json())
             .and_then(|()| self.writer.flush())
-            .map_err(|e| ClientError::Io(e.to_string()))
+            .map_err(|e| io_error("send", &e))
     }
 
     fn read_event(&mut self) -> Result<(JobEvent, String), ClientError> {
@@ -101,7 +218,7 @@ impl Client {
             let n = self
                 .reader
                 .read_line(&mut line)
-                .map_err(|e| ClientError::Io(e.to_string()))?;
+                .map_err(|e| io_error("read", &e))?;
             if n == 0 {
                 return Err(ClientError::Io("server closed the connection".to_owned()));
             }
@@ -293,5 +410,79 @@ impl Client {
                 other => self.pending.push_back((other, raw)),
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_exponential_and_deterministic() {
+        let config = ClientConfig {
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_millis(400),
+            jitter_seed: 42,
+            ..ClientConfig::default()
+        };
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = XorShift64::new(seed);
+            (1..=6).map(|n| config.backoff(n, &mut rng)).collect()
+        };
+        let a = schedule(42);
+        // Equal-jitter: each sleep lies in [cap/2, cap] of its capped
+        // exponential 100, 200, 400, 400, ...
+        for (i, (d, cap)) in a.iter().zip([100u64, 200, 400, 400, 400, 400]).enumerate() {
+            let ms = d.as_millis() as u64;
+            assert!(
+                ms >= cap / 2 && ms <= cap,
+                "attempt {}: {ms}ms vs cap {cap}",
+                i + 1
+            );
+        }
+        assert_eq!(a, schedule(42), "same seed, same schedule");
+        assert_ne!(a, schedule(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn bounded_reads_surface_timed_out() {
+        // A listener that accepts and then says nothing.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let keep = std::thread::spawn(move || listener.accept());
+        let config = ClientConfig {
+            read_timeout: Some(Duration::from_millis(50)),
+            connect_attempts: 1,
+            ..ClientConfig::default()
+        };
+        let mut client = Client::connect_with(addr, &config).unwrap();
+        let err = client.next_event().unwrap_err();
+        assert!(matches!(err, ClientError::TimedOut(_)), "{err}");
+        assert!(err.to_string().starts_with("timed out"));
+        drop(client);
+        let _ = keep.join();
+    }
+
+    #[test]
+    fn refused_connections_retry_then_fail_typed() {
+        // Bind and drop to get a port that refuses connections.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let config = ClientConfig {
+            connect_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(4),
+            ..ClientConfig::default()
+        };
+        let err = match Client::connect_with(addr, &config) {
+            Err(e) => e,
+            Ok(_) => panic!("connect to a dropped listener must fail"),
+        };
+        assert!(
+            matches!(err, ClientError::Io(_) | ClientError::TimedOut(_)),
+            "{err}"
+        );
     }
 }

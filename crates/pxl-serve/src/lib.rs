@@ -12,10 +12,15 @@
 //!   round-trips (built on `pxl_sim::json`, no external dependencies).
 //! - [`sched`]: [`FairQueue`], deterministic round-robin fair-share
 //!   queuing with per-tenant quotas — pure data, unit-testable.
+//! - [`journal`]: the write-ahead job journal that makes the server
+//!   crash-safe — submissions are durable before they are acknowledged,
+//!   and a restart replays the journal to recover unfinished jobs.
 //! - [`server`]/[`client`]: the threaded TCP [`Server`] (accept loop,
 //!   dispatcher, `pxl_sim::pool::WorkerPool` simulation workers,
-//!   content-addressed `ResultCache` dedup, graceful drain, JSONL job
-//!   log) and the blocking [`Client`].
+//!   content-addressed `ResultCache` dedup, checkpoint/restore with
+//!   cooperative preemption, graceful drain, JSONL job log) and the
+//!   blocking [`Client`] with configurable timeouts and retry/backoff
+//!   ([`ClientConfig`]).
 //!
 //! # Example
 //!
@@ -38,11 +43,12 @@
 //! ```
 
 pub mod client;
+pub mod journal;
 pub mod protocol;
 pub mod sched;
 pub mod server;
 
-pub use client::{Client, ClientError, StatusSnapshot};
+pub use client::{Client, ClientConfig, ClientError, StatusSnapshot};
 pub use protocol::{
     measurement_from_json_value, measurement_to_json_value, ErrorCode, JobEvent, JobId, JobKind,
     JobStatus, Request, RequestError,
@@ -70,8 +76,7 @@ mod tests {
         let server = Server::start(ServerConfig {
             workers: 1,
             tenant_quota: 8,
-            cache_path: None,
-            job_log: None,
+            ..ServerConfig::default()
         })
         .unwrap();
         let mut client = Client::connect(server.addr()).unwrap();
@@ -164,8 +169,7 @@ mod tests {
         let server = Server::start(ServerConfig {
             workers: 1,
             tenant_quota: 1,
-            cache_path: None,
-            job_log: None,
+            ..ServerConfig::default()
         })
         .unwrap();
         let mut client = Client::connect(server.addr()).unwrap();
@@ -209,5 +213,199 @@ mod tests {
         client.drain().unwrap();
         let summary = server.join();
         assert_eq!((summary.completed, summary.failed), (1, 1));
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pxl-serve-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    /// Done events per job id in a journal file: the exactly-once ledger.
+    fn done_counts(path: &std::path::Path) -> std::collections::HashMap<u64, u64> {
+        let mut counts = std::collections::HashMap::new();
+        for line in std::fs::read_to_string(path).unwrap().lines() {
+            if let Ok(JobEvent::Done { job, .. }) = JobEvent::from_json(line) {
+                *counts.entry(job.0).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn restart_recovers_unfinished_jobs_exactly_once() {
+        let dir = temp_dir("recover");
+        let log = dir.join("journal.jsonl");
+
+        // A previous lifetime admitted jobs 1 and 2, finished only job 1,
+        // and crashed before job 2 ran. Job 2 also has a durable
+        // checkpoint to resume from.
+        let base = tiny_spec("uts", 2);
+        let reference = pxl_flow::execute(&base).unwrap().unwrap();
+        let mut session = pxl_flow::SimSession::start(&base).unwrap().unwrap();
+        let clock = session.clock();
+        let epoch = clock
+            .time_to_cycles(pxl_sim::Time::from_ps(reference.kernel.as_ps() / 2))
+            .max(1);
+        let spec = base.clone().with_checkpoint(epoch);
+        match session.advance(Some(clock.cycles_to_time(epoch))).unwrap() {
+            pxl_flow::SessionStatus::Paused { .. } => {}
+            other => panic!("expected a pause, got {other:?}"),
+        }
+        std::fs::write(
+            dir.join("job-2.ckpt.json"),
+            format!("{}\n", session.snapshot().to_json()),
+        )
+        .unwrap();
+        {
+            let mut j = journal::Journal::open(&log, true).unwrap();
+            j.record(&journal::submit_line(1, "alice", JobKind::Sim, &base));
+            j.record(
+                &JobEvent::Done {
+                    job: JobId(1),
+                    cached: false,
+                    result: pxl_flow::measurement_of(&base, None, &reference),
+                    trace_events: None,
+                    resumed_from_cycle: None,
+                }
+                .to_json(),
+            );
+            j.record(&journal::submit_line(2, "alice", JobKind::Sim, &spec));
+            j.record(&journal::checkpoint_line(2, epoch, "job-2.ckpt.json"));
+        }
+
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            job_log: Some(log.clone()),
+            checkpoint_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.drain().unwrap();
+        let summary = server.join();
+        assert_eq!(summary.recovered, 1, "only job 2 was unfinished");
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.resumed, 1, "job 2 resumed from its checkpoint");
+        assert_eq!(summary.journal_torn, 0);
+
+        // Exactly-once across the crash: one done per job in the full
+        // journal, and job 2's final leg names its resume cycle.
+        let counts = done_counts(&log);
+        assert_eq!(counts.get(&1), Some(&1), "finished jobs must not re-run");
+        assert_eq!(counts.get(&2), Some(&1));
+        let resumed_from = std::fs::read_to_string(&log)
+            .unwrap()
+            .lines()
+            .filter_map(|l| JobEvent::from_json(l).ok())
+            .find_map(|e| match e {
+                JobEvent::Done {
+                    job: JobId(2),
+                    resumed_from_cycle,
+                    ..
+                } => resumed_from_cycle,
+                _ => None,
+            });
+        assert_eq!(resumed_from, Some(epoch));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_line_is_tolerated_and_counted() {
+        let dir = temp_dir("torn");
+        let log = dir.join("journal.jsonl");
+        {
+            let mut j = journal::Journal::open(&log, false).unwrap();
+            j.record(&journal::submit_line(
+                1,
+                "a",
+                JobKind::Sim,
+                &tiny_spec("uts", 2),
+            ));
+        }
+        // A crash tore the next record mid-write.
+        let mut text = std::fs::read_to_string(&log).unwrap();
+        text.push_str("{\"journal\":\"submit\",\"job\":2,\"ten");
+        std::fs::write(&log, text).unwrap();
+
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            job_log: Some(log.clone()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        assert_eq!(server.metrics().get("server.journal_torn"), 1);
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.drain().unwrap();
+        let summary = server.join();
+        assert_eq!(summary.journal_torn, 1);
+        assert_eq!(summary.recovered, 1, "the intact submit still recovers");
+        assert_eq!(summary.completed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_job_yields_to_a_waiting_tenant() {
+        // Find a checkpoint epoch well inside the run so the first
+        // boundary arrives while the other tenant is still queued.
+        let base = tiny_spec("uts", 2);
+        let reference = pxl_flow::execute(&base).unwrap().unwrap();
+        let session = pxl_flow::SimSession::start(&base).unwrap().unwrap();
+        let epoch = session
+            .clock()
+            .time_to_cycles(pxl_sim::Time::from_ps(reference.kernel.as_ps() / 4))
+            .max(1);
+
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            tenant_quota: 8,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert!(client.pause().unwrap().paused);
+        let a = client
+            .submit("alice", JobKind::Sim, &base.clone().with_checkpoint(epoch))
+            .unwrap();
+        let b = client
+            .submit("bob", JobKind::Sim, &tiny_spec("queens", 2))
+            .unwrap();
+        assert!(!client.resume().unwrap().paused);
+
+        let mut preemptions = Vec::new();
+        let mut done = std::collections::HashMap::new();
+        while done.len() < 2 {
+            match client.next_event().unwrap() {
+                JobEvent::Preempted { job, cycle } => preemptions.push((job, cycle)),
+                JobEvent::Done {
+                    job,
+                    resumed_from_cycle,
+                    ..
+                } => {
+                    done.insert(job, resumed_from_cycle);
+                }
+                JobEvent::Failed { job, error } => panic!("{job} failed: {error}"),
+                _ => {}
+            }
+        }
+        assert_eq!(
+            preemptions.first(),
+            Some(&(a, epoch)),
+            "alice must yield at her first checkpoint while bob waits"
+        );
+        assert_eq!(done.get(&b), Some(&None), "bob's job never resumed");
+        let resumed = done.get(&a).copied().flatten();
+        assert!(
+            resumed.is_some_and(|c| c >= epoch),
+            "alice's final leg must resume from a checkpoint, got {resumed:?}"
+        );
+
+        client.drain().unwrap();
+        let summary = server.join();
+        assert_eq!(summary.completed, 2);
+        assert!(summary.preempted >= 1);
+        assert!(summary.resumed >= 1);
     }
 }

@@ -315,6 +315,19 @@ pub enum JobEvent {
         result: Measurement,
         /// Trace size for profile jobs (`None` for sim/dse).
         trace_events: Option<u64>,
+        /// The simulated cycle the final leg resumed from, for jobs that
+        /// were preempted or recovered from a checkpoint (`None` for jobs
+        /// that ran uninterrupted from cycle zero).
+        resumed_from_cycle: Option<u64>,
+    },
+    /// A checkpointed job cooperatively yielded its worker at a cycle
+    /// boundary so queued work (e.g. a starved tenant) can run; it is back
+    /// in its tenant's queue and will resume from the checkpoint.
+    Preempted {
+        /// The preempted job.
+        job: JobId,
+        /// The simulated cycle it checkpointed and yielded at.
+        cycle: u64,
     },
     /// The job failed (unknown benchmark, infeasible point, simulation or
     /// golden-validation failure).
@@ -443,6 +456,7 @@ impl JobEvent {
                 cached,
                 result,
                 trace_events,
+                resumed_from_cycle,
             } => {
                 let mut rest = vec![
                     ("job".to_owned(), JsonValue::num_u64(job.0)),
@@ -452,8 +466,18 @@ impl JobEvent {
                 if let Some(n) = trace_events {
                     rest.push(("trace_events".to_owned(), JsonValue::num_u64(*n)));
                 }
+                if let Some(c) = resumed_from_cycle {
+                    rest.push(("resumed_from_cycle".to_owned(), JsonValue::num_u64(*c)));
+                }
                 ev("done", rest)
             }
+            JobEvent::Preempted { job, cycle } => ev(
+                "preempted",
+                vec![
+                    ("job".to_owned(), JsonValue::num_u64(job.0)),
+                    ("cycle".to_owned(), JsonValue::num_u64(*cycle)),
+                ],
+            ),
             JobEvent::Failed { job, error } => ev(
                 "failed",
                 vec![
@@ -560,6 +584,11 @@ impl JobEvent {
                     .ok_or_else(|| "done: missing field result".to_owned())
                     .and_then(measurement_from_json_value)?,
                 trace_events: value.get("trace_events").and_then(JsonValue::as_u64),
+                resumed_from_cycle: value.get("resumed_from_cycle").and_then(JsonValue::as_u64),
+            }),
+            "preempted" => Ok(JobEvent::Preempted {
+                job: job()?,
+                cycle: num("cycle")?,
             }),
             "failed" => Ok(JobEvent::Failed {
                 job: job()?,
@@ -699,12 +728,18 @@ mod tests {
                 cached: true,
                 result: m,
                 trace_events: None,
+                resumed_from_cycle: None,
             },
             JobEvent::Done {
                 job: JobId(2),
                 cached: false,
                 result: m,
                 trace_events: Some(42),
+                resumed_from_cycle: Some(200_000),
+            },
+            JobEvent::Preempted {
+                job: JobId(2),
+                cycle: 100_000,
             },
             JobEvent::Failed {
                 job: JobId(3),

@@ -70,24 +70,47 @@ impl FairQueue {
     /// [`QuotaExceeded`] if the tenant already has `quota` queued jobs;
     /// the queue is unchanged.
     pub fn enqueue(&mut self, tenant: &str, job: JobId) -> Result<usize, QuotaExceeded> {
-        let slot = match self.tenants.iter_mut().find(|t| t.name == tenant) {
-            Some(t) => t,
-            None => {
-                self.tenants.push(Tenant {
-                    name: tenant.to_owned(),
-                    queue: VecDeque::new(),
-                });
-                self.tenants.last_mut().expect("just pushed")
-            }
-        };
-        if slot.queue.len() >= self.quota {
+        let quota = self.quota;
+        let slot = self.slot(tenant);
+        if slot.queue.len() >= quota {
             return Err(QuotaExceeded {
                 tenant: tenant.to_owned(),
-                quota: self.quota,
+                quota,
             });
         }
         slot.queue.push_back(job);
         Ok(slot.queue.len() - 1)
+    }
+
+    /// Quota-exempt re-admission to the *front* of the tenant's queue.
+    ///
+    /// Used when a running job yields at a checkpoint boundary: the job
+    /// was already admitted once, so the quota does not apply, and it
+    /// keeps its place ahead of the tenant's younger jobs. Fairness
+    /// across tenants is unaffected — the round-robin cursor has moved
+    /// past this tenant, so the others get their turn first.
+    pub fn requeue_front(&mut self, tenant: &str, job: JobId) {
+        self.slot(tenant).queue.push_front(job);
+    }
+
+    /// Quota-exempt admission to the back of the tenant's queue.
+    ///
+    /// Used by journal recovery: the job was admitted in a previous
+    /// server lifetime, so re-admission must not be refused even if the
+    /// quota was lowered in between.
+    pub fn restore(&mut self, tenant: &str, job: JobId) {
+        self.slot(tenant).queue.push_back(job);
+    }
+
+    fn slot(&mut self, tenant: &str) -> &mut Tenant {
+        if let Some(i) = self.tenants.iter().position(|t| t.name == tenant) {
+            return &mut self.tenants[i];
+        }
+        self.tenants.push(Tenant {
+            name: tenant.to_owned(),
+            queue: VecDeque::new(),
+        });
+        self.tenants.last_mut().expect("just pushed")
     }
 
     /// Takes the next job to run: the front of the first non-empty tenant
@@ -197,6 +220,30 @@ mod tests {
         assert_eq!(q.pop(), Some(JobId(10)));
         assert_eq!(q.pop(), Some(JobId(1)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn requeue_front_bypasses_quota_and_keeps_tenant_order() {
+        let mut q = FairQueue::new(1);
+        q.enqueue("a", JobId(0)).unwrap();
+        q.enqueue("b", JobId(10)).unwrap();
+        let yielded = q.pop().unwrap();
+        assert_eq!(yielded, JobId(0));
+        // The preempted job goes back quota-exempt, ahead of nothing of
+        // its own, and b (whose turn it now is) runs before it resumes.
+        q.requeue_front("a", yielded);
+        assert_eq!(q.queued_for("a"), 1);
+        assert_eq!(drain(&mut q), vec![10, 0]);
+    }
+
+    #[test]
+    fn restore_bypasses_quota_and_appends() {
+        let mut q = FairQueue::new(1);
+        q.restore("a", JobId(0));
+        q.restore("a", JobId(1));
+        q.restore("a", JobId(2));
+        assert_eq!(q.queued_for("a"), 3);
+        assert_eq!(drain(&mut q), vec![0, 1, 2]);
     }
 
     #[test]

@@ -5,13 +5,25 @@
 //!
 //! # Lifecycle of a job
 //!
-//! `submit` → `accepted` + `queued` → (dispatcher picks it, fair-share) →
-//! `running` → either a cache hit (`done` with `cached:true`, no
-//! simulation) or a fresh run (`metrics` snapshot, then `done` with
-//! `cached:false`) → counters updated. A `shutdown` request flips the
-//! server into draining: new submissions are refused with the `draining`
-//! error code, every admitted job still completes, and when the last one
-//! finishes a `drained` event is sent to whoever asked.
+//! `submit` → write-ahead journal record → `accepted` + `queued` →
+//! (dispatcher picks it, fair-share) → `running` → either a cache hit
+//! (`done` with `cached:true`, no simulation) or a simulation leg. A leg
+//! with a [`CheckpointPolicy`](pxl_flow::CheckpointPolicy) pauses at every
+//! epoch boundary, persists a [`Snapshot`], and — if another job is
+//! waiting for the worker — yields cooperatively (`preempted` event, back
+//! to the queue quota-exempt). The final leg ends in `metrics` + `done`
+//! carrying `resumed_from_cycle` when it was not the first leg.
+//!
+//! # Crash safety
+//!
+//! The job log doubles as a write-ahead journal (see [`crate::journal`]):
+//! submissions are journaled before they are acknowledged, checkpoints
+//! after they are durable, and the emitted `done`/`failed` events mark
+//! jobs terminal. On restart with the same `job_log`, admitted-but-
+//! unfinished jobs are rehydrated (detached from their vanished clients)
+//! and resume from their latest loadable checkpoint — or from cycle 0 if
+//! none survives. Completion is exactly-once: a job either reached its
+//! terminal event before the crash or it runs (once) after recovery.
 //!
 //! # Threads
 //!
@@ -24,14 +36,16 @@
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use pxl_dse::{Measurement, ResultCache};
-use pxl_flow::{FlowError, RunError, RunSpec};
+use pxl_flow::{FlowError, RunError, RunSpec, SessionStatus, SimSession};
 use pxl_sim::pool::WorkerPool;
+use pxl_sim::{Metrics, Snapshot};
 
+use crate::journal::{self, Journal};
 use crate::protocol::{ErrorCode, JobEvent, JobId, JobKind, Request};
 use crate::sched::FairQueue;
 
@@ -49,9 +63,17 @@ pub struct ServerConfig {
     pub tenant_quota: usize,
     /// Persist the result cache to this JSONL file (`None` = in-memory).
     pub cache_path: Option<PathBuf>,
-    /// Append every emitted [`JobEvent`] to this JSONL file (`None` = no
-    /// log). One event per line, in emission order — the CI artifact.
+    /// The job log *and* write-ahead journal: every emitted [`JobEvent`]
+    /// plus the journal records, one JSON line each, opened in append
+    /// mode so restarts recover from it (`None` = no log, no recovery).
     pub job_log: Option<PathBuf>,
+    /// Durable checkpoints land here as `job-<id>.ckpt.json` (`None` =
+    /// checkpoints stay in memory: preemption still works, but crash
+    /// recovery restarts jobs from cycle 0).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Fsync the journal after every record (the default). Turning it
+    /// off trades the power-loss guarantee for fewer syscalls.
+    pub flush_every_record: bool,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +83,8 @@ impl Default for ServerConfig {
             tenant_quota: 64,
             cache_path: None,
             job_log: None,
+            checkpoint_dir: None,
+            flush_every_record: true,
         }
     }
 }
@@ -76,15 +100,29 @@ pub struct ServeSummary {
     pub cache_hits: u64,
     /// Result-cache misses (jobs that ran a simulation).
     pub cache_misses: u64,
+    /// Jobs rehydrated from the journal at startup.
+    pub recovered: u64,
+    /// Simulation legs that resumed from a checkpoint.
+    pub resumed: u64,
+    /// Cooperative yields at checkpoint boundaries.
+    pub preempted: u64,
+    /// Unparseable journal lines tolerated at startup (the torn tail of
+    /// a crashed write).
+    pub journal_torn: u64,
 }
 
 type Writer = Arc<Mutex<TcpStream>>;
 
 struct Job {
     kind: JobKind,
+    tenant: String,
     spec: RunSpec,
     key: String,
-    client: Writer,
+    /// `None` for jobs rehydrated from the journal — their submitter is
+    /// gone, but every event still reaches the job log.
+    client: Option<Writer>,
+    /// The checkpoint the next leg resumes from: `(cycle, snapshot)`.
+    resume: Option<(u64, Snapshot)>,
 }
 
 struct Core {
@@ -98,14 +136,19 @@ struct Core {
     inflight: usize,
     completed: u64,
     failed: u64,
+    recovered: u64,
+    resumed: u64,
+    preempted: u64,
+    journal_torn: u64,
     drain_waiters: Vec<Writer>,
-    log: Option<std::fs::File>,
+    journal: Option<Journal>,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 impl Core {
     fn log_line(&mut self, line: &str) {
-        if let Some(f) = &mut self.log {
-            let _ = writeln!(f, "{line}");
+        if let Some(j) = &mut self.journal {
+            j.record(line);
         }
     }
 
@@ -134,6 +177,13 @@ fn send_line(writer: &Writer, line: &str) {
     let _ = stream.flush();
 }
 
+/// [`send_line`] for jobs that may have no client (journal-recovered).
+fn maybe_send(writer: &Option<Writer>, line: &str) {
+    if let Some(w) = writer {
+        send_line(w, line);
+    }
+}
+
 /// Logs (under the core lock) then sends each event, preserving order.
 fn emit(shared: &Shared, writer: &Writer, events: &[JobEvent]) {
     let lines: Vec<String> = events.iter().map(JobEvent::to_json).collect();
@@ -155,6 +205,19 @@ pub fn cache_key(kind: JobKind, spec: &RunSpec) -> String {
     format!("serve kind={} {}", kind.label(), spec.canonical())
 }
 
+/// The snapshot file name for a job inside the checkpoint directory.
+fn checkpoint_file_name(job: JobId) -> String {
+    format!("job-{}.ckpt.json", job.0)
+}
+
+/// Loads one snapshot file. Any failure — missing file, torn write,
+/// corrupted checksum, foreign format version — means the job restarts
+/// from cycle 0 rather than refusing recovery.
+fn load_checkpoint(dir: &Path, file: &str) -> Option<Snapshot> {
+    let text = std::fs::read_to_string(dir.join(file)).ok()?;
+    Snapshot::from_json(&text).ok()
+}
+
 /// A running job server bound to a loopback port.
 pub struct Server {
     addr: SocketAddr,
@@ -166,11 +229,15 @@ pub struct Server {
 impl Server {
     /// Binds `127.0.0.1:0` (an OS-assigned port — this is a local harness,
     /// not an internet-facing daemon) and starts the accept loop, the
-    /// dispatcher and the simulation pool.
+    /// dispatcher and the simulation pool. When `job_log` names an
+    /// existing journal, unfinished jobs from previous lifetimes are
+    /// re-queued first (in id order, quota-exempt) and resume from their
+    /// latest loadable checkpoint.
     ///
     /// # Errors
     ///
-    /// The bind failure or the cache-file failure, as a message.
+    /// The bind failure or a cache/journal/checkpoint-dir file failure,
+    /// as a message.
     pub fn start(config: ServerConfig) -> Result<Server, String> {
         let listener =
             TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind 127.0.0.1:0: {e}"))?;
@@ -179,28 +246,65 @@ impl Server {
             Some(path) => ResultCache::open(path)?,
             None => ResultCache::in_memory(),
         };
-        let log = match &config.job_log {
-            Some(path) => Some(
-                std::fs::File::create(path)
-                    .map_err(|e| format!("create {}: {e}", path.display()))?,
-            ),
-            None => None,
+        // Replay BEFORE opening for append, so recovery sees exactly the
+        // previous lifetimes' records.
+        let (journal, recovery) = match &config.job_log {
+            Some(path) => {
+                let recovery = journal::replay(path);
+                (
+                    Some(Journal::open(path, config.flush_every_record)?),
+                    recovery,
+                )
+            }
+            None => (None, journal::Recovery::default()),
         };
+        if let Some(dir) = &config.checkpoint_dir {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+
+        let mut queue = FairQueue::new(config.tenant_quota);
+        let mut jobs = HashMap::new();
+        let recovered = recovery.jobs.len() as u64;
+        for r in recovery.jobs {
+            let resume = r.checkpoint.as_ref().and_then(|(cycle, file)| {
+                let snap = load_checkpoint(config.checkpoint_dir.as_deref()?, file)?;
+                Some((*cycle, snap))
+            });
+            let key = cache_key(r.kind, &r.spec);
+            queue.restore(&r.tenant, JobId(r.job));
+            jobs.insert(
+                r.job,
+                Job {
+                    kind: r.kind,
+                    tenant: r.tenant,
+                    spec: r.spec,
+                    key,
+                    client: None,
+                    resume,
+                },
+            );
+        }
+
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             core: Mutex::new(Core {
-                queue: FairQueue::new(config.tenant_quota),
-                jobs: HashMap::new(),
+                queue,
+                jobs,
                 cache,
-                next_job: 1,
+                next_job: recovery.next_job.max(1),
                 paused: false,
                 draining: false,
                 stopped: false,
                 inflight: 0,
                 completed: 0,
                 failed: 0,
+                recovered,
+                resumed: 0,
+                preempted: 0,
+                journal_torn: recovery.torn_lines,
                 drain_waiters: Vec::new(),
-                log,
+                journal,
+                checkpoint_dir: config.checkpoint_dir.clone(),
             }),
             work: Condvar::new(),
         });
@@ -232,6 +336,19 @@ impl Server {
         self.addr
     }
 
+    /// Crash-safety counters as a metrics registry (name-ordered when
+    /// rendered): `server.journal_torn`, `server.preemptions`,
+    /// `server.recovered_jobs`, `server.resumed_legs`.
+    pub fn metrics(&self) -> Metrics {
+        let core = self.shared.core.lock().expect("core mutex");
+        let mut m = Metrics::new();
+        m.add("server.journal_torn", core.journal_torn);
+        m.add("server.preemptions", core.preempted);
+        m.add("server.recovered_jobs", core.recovered);
+        m.add("server.resumed_legs", core.resumed);
+        m
+    }
+
     /// Waits for a graceful drain (a client's `shutdown` request) to finish
     /// and returns the lifetime totals. Blocks until then.
     ///
@@ -247,6 +364,10 @@ impl Server {
             failed: core.failed,
             cache_hits: core.cache.hits() as u64,
             cache_misses: core.cache.misses() as u64,
+            recovered: core.recovered,
+            resumed: core.resumed,
+            preempted: core.preempted,
+            journal_torn: core.journal_torn,
         }
     }
 }
@@ -325,13 +446,19 @@ fn handle_request(shared: &Arc<Shared>, writer: &Writer, request: Request) {
                 }
                 Ok(position) => {
                     core.next_job += 1;
+                    // Write-ahead: the journal knows about the job before
+                    // the client does, so an ack implies recoverability.
+                    let record = journal::submit_line(id, &tenant, kind, &spec);
+                    core.log_line(&record);
                     core.jobs.insert(
                         id,
                         Job {
                             kind,
+                            tenant: tenant.clone(),
                             spec,
                             key: key.clone(),
-                            client: Arc::clone(writer),
+                            client: Some(Arc::clone(writer)),
+                            resume: None,
                         },
                     );
                     let events = [
@@ -409,17 +536,16 @@ fn dispatch_loop(shared: &Arc<Shared>, workers: usize, addr: SocketAddr) {
         if !core.paused && core.inflight < workers {
             if let Some(job_id) = core.queue.pop() {
                 core.inflight += 1;
-                let client = Arc::clone(
-                    &core
-                        .jobs
-                        .get(&job_id.0)
-                        .expect("queued job is registered")
-                        .client,
-                );
+                let client = core
+                    .jobs
+                    .get(&job_id.0)
+                    .expect("queued job is registered")
+                    .client
+                    .clone();
                 let running = JobEvent::Running { job: job_id };
                 core.log_line(&running.to_json());
                 drop(core);
-                send_line(&client, &running.to_json());
+                maybe_send(&client, &running.to_json());
                 let task_shared = Arc::clone(shared);
                 pool.submit(move || run_job(&task_shared, job_id));
                 core = shared.core.lock().expect("core mutex");
@@ -433,16 +559,38 @@ fn dispatch_loop(shared: &Arc<Shared>, workers: usize, addr: SocketAddr) {
     pool.shutdown();
 }
 
-/// What one finished job sends: the terminal event, preceded by a metrics
-/// snapshot for fresh (non-cached) successful runs.
+/// How one scheduling leg of a job ended.
+enum Verdict {
+    /// The simulation completed (or the cache answered).
+    Done {
+        result: Measurement,
+        trace_events: Option<u64>,
+        metrics: Option<JobEvent>,
+        resumed_from_cycle: Option<u64>,
+    },
+    /// The leg yielded at a checkpoint boundary because another job was
+    /// waiting for the worker.
+    Preempted {
+        cycle: u64,
+        snapshot: Snapshot,
+    },
+    Failed(String),
+}
+
+/// Runs one scheduling leg of a job and applies its outcome: terminal
+/// events for `Done`/`Failed`, re-queue + `preempted` event for a yield.
 fn run_job(shared: &Arc<Shared>, job_id: JobId) {
-    let (spec, kind, key, client, hit) = {
+    let (spec, kind, key, client, resume, hit) = {
         let mut core = shared.core.lock().expect("core mutex");
-        let job = core.jobs.get(&job_id.0).expect("running job is registered");
+        let job = core
+            .jobs
+            .get_mut(&job_id.0)
+            .expect("running job is registered");
         let spec = job.spec.clone();
         let kind = job.kind;
         let key = job.key.clone();
-        let client = Arc::clone(&job.client);
+        let client = job.client.clone();
+        let resume = job.resume.take();
         // Profile jobs always execute: their artifact is the trace, which
         // the measurement cache does not store.
         let hit = if kind == JobKind::Profile {
@@ -450,28 +598,63 @@ fn run_job(shared: &Arc<Shared>, job_id: JobId) {
         } else {
             core.cache.get(&key)
         };
-        (spec, kind, key, client, hit)
+        (spec, kind, key, client, resume, hit)
     };
 
-    let verdict = match hit {
-        Some(m) => Ok((m, None, None)),
-        None => execute_fresh(job_id, &spec, kind),
-    };
     let cached = hit.is_some();
+    let resumed_leg = resume.is_some();
+    let verdict = match hit {
+        Some(result) => Verdict::Done {
+            result,
+            trace_events: None,
+            metrics: None,
+            resumed_from_cycle: None,
+        },
+        None => execute_leg(shared, job_id, &spec, kind, resume),
+    };
 
-    let mut events: Vec<JobEvent> = Vec::new();
-    {
-        let mut core = shared.core.lock().expect("core mutex");
-        core.jobs.remove(&job_id.0);
-        core.inflight -= 1;
-        match verdict {
-            Ok((result, trace_events, metrics)) => {
+    match verdict {
+        Verdict::Preempted { cycle, snapshot } => {
+            let event = JobEvent::Preempted { job: job_id, cycle };
+            {
+                let mut core = shared.core.lock().expect("core mutex");
+                if resumed_leg {
+                    core.resumed += 1;
+                }
+                let job = core
+                    .jobs
+                    .get_mut(&job_id.0)
+                    .expect("preempted job is registered");
+                job.resume = Some((cycle, snapshot));
+                let tenant = job.tenant.clone();
+                core.queue.requeue_front(&tenant, job_id);
+                core.inflight -= 1;
+                core.preempted += 1;
+                core.log_line(&event.to_json());
+            }
+            maybe_send(&client, &event.to_json());
+            shared.work.notify_all();
+        }
+        Verdict::Done {
+            result,
+            trace_events,
+            metrics,
+            resumed_from_cycle,
+        } => {
+            let mut events: Vec<JobEvent> = Vec::new();
+            let ckpt_dir = {
+                let mut core = shared.core.lock().expect("core mutex");
+                core.jobs.remove(&job_id.0);
+                core.inflight -= 1;
                 if !cached && kind != JobKind::Profile {
                     // Ignore a cache-persistence failure: the job itself
                     // succeeded and the client still gets its result.
                     let _ = core.cache.insert(&key, result);
                 }
                 core.completed += 1;
+                if resumed_leg {
+                    core.resumed += 1;
+                }
                 if let Some(m) = metrics {
                     events.push(m);
                 }
@@ -480,61 +663,151 @@ fn run_job(shared: &Arc<Shared>, job_id: JobId) {
                     cached,
                     result,
                     trace_events,
+                    resumed_from_cycle,
                 });
+                for e in &events {
+                    core.log_line(&e.to_json());
+                }
+                core.checkpoint_dir.clone()
+            };
+            // The terminal event is journaled; the snapshot file is now
+            // dead weight.
+            if let Some(dir) = ckpt_dir {
+                let _ = std::fs::remove_file(dir.join(checkpoint_file_name(job_id)));
             }
-            Err(error) => {
+            for e in &events {
+                maybe_send(&client, &e.to_json());
+            }
+            shared.work.notify_all();
+        }
+        Verdict::Failed(error) => {
+            let event = JobEvent::Failed { job: job_id, error };
+            let ckpt_dir = {
+                let mut core = shared.core.lock().expect("core mutex");
+                core.jobs.remove(&job_id.0);
+                core.inflight -= 1;
                 core.failed += 1;
-                events.push(JobEvent::Failed { job: job_id, error });
+                if resumed_leg {
+                    core.resumed += 1;
+                }
+                core.log_line(&event.to_json());
+                core.checkpoint_dir.clone()
+            };
+            if let Some(dir) = ckpt_dir {
+                let _ = std::fs::remove_file(dir.join(checkpoint_file_name(job_id)));
             }
-        }
-        for e in &events {
-            core.log_line(&e.to_json());
+            maybe_send(&client, &event.to_json());
+            shared.work.notify_all();
         }
     }
-    for e in &events {
-        send_line(&client, &e.to_json());
-    }
-    shared.work.notify_all();
 }
 
-/// Runs the simulation for a cache miss. Returns the measurement, the trace
-/// size (profile jobs only) and the metrics snapshot event.
-#[allow(clippy::type_complexity)]
-fn execute_fresh(
+/// Runs one simulation leg: from the job's start (or its latest
+/// checkpoint) either to completion or to the first checkpoint boundary
+/// at which another job is waiting for the worker.
+fn execute_leg(
+    shared: &Arc<Shared>,
     job_id: JobId,
     spec: &RunSpec,
     kind: JobKind,
-) -> Result<(Measurement, Option<u64>, Option<JobEvent>), String> {
+    resume: Option<(u64, Snapshot)>,
+) -> Verdict {
     let run_spec = if kind == JobKind::Profile && spec.trace_capacity == 0 {
         spec.clone().with_trace(PROFILE_TRACE_CAPACITY)
     } else {
         spec.clone()
     };
-    let out = pxl_flow::execute(&run_spec)
-        .map_err(|e| e.to_string())?
-        .ok_or_else(|| {
-            RunError::Build(FlowError::NoLiteVariant(spec.benchmark.clone())).to_string()
-        })?;
-    // DSE jobs fold in the FPGA resource estimate; sim/profile jobs (and
-    // CPU-baseline points, which have no accelerator design) measure zero.
-    let resources = if kind == JobKind::Dse {
-        pxl_flow::design_for_point(&spec.benchmark, &spec.point)
-            .ok()
-            .and_then(|d| d.resources)
-    } else {
-        None
+    let resumed_from_cycle = resume.as_ref().map(|(c, _)| *c);
+    let session = match &resume {
+        Some((_, snap)) => SimSession::resume(&run_spec, snap),
+        None => SimSession::start(&run_spec),
     };
-    let result = pxl_flow::measurement_of(&run_spec, resources.as_ref(), &out);
-    let m = &out.metrics;
-    let snapshot = JobEvent::Metrics {
-        job: job_id,
-        kernel_ps: out.kernel.as_ps(),
-        steal_attempts: m.get("accel.steal_attempts") + m.get("cpu.steal_attempts"),
-        dram_bytes: m.get("mem.dram_bytes"),
-        trace_events: out.trace.len() as u64,
+    let mut session = match session {
+        Err(e) => return Verdict::Failed(e.to_string()),
+        Ok(None) => {
+            return Verdict::Failed(
+                RunError::Build(FlowError::NoLiteVariant(spec.benchmark.clone())).to_string(),
+            )
+        }
+        Ok(Some(s)) => s,
     };
-    let trace_events = (kind == JobKind::Profile).then(|| out.trace.len() as u64);
-    Ok((result, trace_events, Some(snapshot)))
+    let every = spec.checkpoint.map(|c| c.every_cycles);
+    let clock = session.clock();
+    // The next boundary: the first epoch multiple strictly beyond the
+    // resume point.
+    let mut boundary = every.map(|e| match resumed_from_cycle {
+        Some(c) => (c / e + 1) * e,
+        None => e,
+    });
+    loop {
+        let pause = boundary.map(|b| clock.cycles_to_time(b));
+        match session.advance(pause) {
+            Err(e) => return Verdict::Failed(e.to_string()),
+            Ok(SessionStatus::Finished(out)) => {
+                // DSE jobs fold in the FPGA resource estimate; sim/profile
+                // jobs (and CPU-baseline points, which have no accelerator
+                // design) measure zero.
+                let resources = if kind == JobKind::Dse {
+                    pxl_flow::design_for_point(&spec.benchmark, &spec.point)
+                        .ok()
+                        .and_then(|d| d.resources)
+                } else {
+                    None
+                };
+                let result = pxl_flow::measurement_of(&run_spec, resources.as_ref(), &out);
+                let m = &out.metrics;
+                let snapshot = JobEvent::Metrics {
+                    job: job_id,
+                    kernel_ps: out.kernel.as_ps(),
+                    steal_attempts: m.get("accel.steal_attempts") + m.get("cpu.steal_attempts"),
+                    dram_bytes: m.get("mem.dram_bytes"),
+                    trace_events: out.trace.len() as u64,
+                };
+                let trace_events = (kind == JobKind::Profile).then(|| out.trace.len() as u64);
+                return Verdict::Done {
+                    result,
+                    trace_events,
+                    metrics: Some(snapshot),
+                    resumed_from_cycle,
+                };
+            }
+            Ok(SessionStatus::Paused { .. }) => {
+                let cycle = boundary.expect("paused only at a requested boundary");
+                let snap = session.snapshot();
+                persist_checkpoint(shared, job_id, cycle, &snap);
+                let contended = {
+                    let core = shared.core.lock().expect("core mutex");
+                    !core.queue.is_empty()
+                };
+                if contended {
+                    return Verdict::Preempted {
+                        cycle,
+                        snapshot: snap,
+                    };
+                }
+                boundary = every.map(|e| cycle + e);
+            }
+        }
+    }
+}
+
+/// Writes the snapshot atomically (temp file + rename) and journals it.
+/// Failures degrade durability but never fail the running job.
+fn persist_checkpoint(shared: &Arc<Shared>, job_id: JobId, cycle: u64, snap: &Snapshot) {
+    let dir = {
+        let core = shared.core.lock().expect("core mutex");
+        core.checkpoint_dir.clone()
+    };
+    let Some(dir) = dir else { return };
+    let file = checkpoint_file_name(job_id);
+    let tmp = dir.join(format!("{file}.tmp"));
+    let durable = std::fs::write(&tmp, format!("{}\n", snap.to_json()))
+        .and_then(|()| std::fs::rename(&tmp, dir.join(&file)));
+    if durable.is_ok() {
+        let line = journal::checkpoint_line(job_id.0, cycle, &file);
+        let mut core = shared.core.lock().expect("core mutex");
+        core.log_line(&line);
+    }
 }
 
 #[cfg(test)]

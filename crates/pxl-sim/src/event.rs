@@ -114,6 +114,19 @@ impl<T> EventQueue<T> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Returns every pending event in the exact order `pop` would yield
+    /// them (time order, insertion order at equal times), without
+    /// consuming the queue.
+    ///
+    /// Snapshot/restore uses this: re-pushing the returned sequence into a
+    /// fresh queue reproduces the pop order exactly, because fresh
+    /// sequence numbers assigned in this order preserve every tie-break.
+    pub fn ordered(&self) -> Vec<(Time, &T)> {
+        let mut entries: Vec<&Entry<T>> = self.heap.iter().collect();
+        entries.sort_by(|a, b| a.when.cmp(&b.when).then_with(|| a.seq.cmp(&b.seq)));
+        entries.into_iter().map(|e| (e.when, &e.payload)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +163,24 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn ordered_matches_pop_order_and_preserves_ties() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(9), 'c');
+        q.push(Time::from_ps(4), 'a');
+        q.push(Time::from_ps(4), 'b');
+        let snap: Vec<(Time, char)> = q.ordered().into_iter().map(|(t, &p)| (t, p)).collect();
+        // Rebuilding from the snapshot must pop identically to the original.
+        let mut rebuilt = EventQueue::new();
+        for &(t, p) in &snap {
+            rebuilt.push(t, p);
+        }
+        let a: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| rebuilt.pop()).collect();
+        assert_eq!(a, b);
+        assert_eq!(snap, a);
     }
 
     #[test]

@@ -492,6 +492,33 @@ impl FaultScheduler {
         &self.specs[idx]
     }
 
+    /// The scheduler's position: the RNG state and the remaining budget of
+    /// every spec. Together with the plan this reconstructs the scheduler
+    /// exactly (see [`FaultScheduler::load_state`]).
+    pub fn save_state(&self) -> (u64, Vec<u32>) {
+        (self.rng.state(), self.remaining.clone())
+    }
+
+    /// Restores a position captured by [`FaultScheduler::save_state`] into
+    /// a scheduler freshly armed from the same plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `remaining` does not match the plan's spec
+    /// count.
+    pub fn load_state(&mut self, rng_state: u64, remaining: Vec<u32>) -> Result<(), String> {
+        if remaining.len() != self.specs.len() {
+            return Err(format!(
+                "fault scheduler: {} budgets for {} specs",
+                remaining.len(),
+                self.specs.len()
+            ));
+        }
+        self.rng = XorShift64::new(rng_state);
+        self.remaining = remaining;
+        Ok(())
+    }
+
     /// Decides the fate of one message sent on `net` at time `now`.
     ///
     /// Scans specs in plan order; the first drop/dup spec whose window,
@@ -614,6 +641,32 @@ mod tests {
             s.on_send(NetClass::Arg, Time::from_us(2)),
             SendVerdict::Deliver
         );
+    }
+
+    #[test]
+    fn scheduler_state_resumes_the_decision_stream() {
+        let plan = FaultPlan::new(99)
+            .drop_messages(NetClass::Arg, Time::ZERO, Time::MAX, 250, 5)
+            .duplicate_messages(NetClass::Task, Time::ZERO, Time::MAX, 250, 0);
+        let mut full = FaultScheduler::new(&plan);
+        let mut half = FaultScheduler::new(&plan);
+        for i in 0..100u64 {
+            half.on_send(NetClass::Arg, Time::from_ps(i));
+        }
+        let (rng, remaining) = half.save_state();
+        let mut resumed = FaultScheduler::new(&plan);
+        resumed.load_state(rng, remaining).unwrap();
+        for i in 0..100u64 {
+            full.on_send(NetClass::Arg, Time::from_ps(i));
+        }
+        for i in 100..300u64 {
+            assert_eq!(
+                full.on_send(NetClass::Arg, Time::from_ps(i)),
+                resumed.on_send(NetClass::Arg, Time::from_ps(i)),
+                "message {i} diverged after restore"
+            );
+        }
+        assert!(resumed.load_state(1, vec![0]).is_err(), "bad budget length");
     }
 
     #[test]

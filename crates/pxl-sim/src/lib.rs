@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod pool;
 pub mod qcheck;
 pub mod rng;
+pub mod snapshot;
 pub mod time;
 pub mod trace;
 
@@ -41,5 +42,6 @@ pub use hash::{fnv64, Fnv64};
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricKind, Metrics};
 pub use pool::parallel_map;
 pub use rng::{Lfsr16, XorShift64};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use time::{Clock, Time};
 pub use trace::{TraceEvent, TraceRecord, Tracer};

@@ -343,6 +343,56 @@ impl Metrics {
         out.push_str("}}");
         out
     }
+
+    /// Rebuilds a registry from [`Metrics::to_json`] output.
+    ///
+    /// The round trip is exact: counters and gauges recover their values,
+    /// histograms their `(count, sum, min, max)` summary (an exported
+    /// zero-count histogram comes back empty). Snapshot/restore merges the
+    /// result into a freshly registered registry, which reproduces the
+    /// original values because fresh slots are all zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json(text: &str) -> Result<Metrics, String> {
+        let value = json::JsonValue::parse(text).map_err(|e| format!("metrics: {e}"))?;
+        let section = |key: &str| {
+            value
+                .get(key)
+                .and_then(json::JsonValue::as_object)
+                .ok_or_else(|| format!("metrics: missing object {key:?}"))
+        };
+        let mut m = Metrics::new();
+        for (name, v) in section("counters")? {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| format!("metrics: counter {name:?} is not a u64"))?;
+            m.add(name, v);
+        }
+        for (name, v) in section("gauges")? {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| format!("metrics: gauge {name:?} is not a u64"))?;
+            m.max(name, v);
+        }
+        for (name, h) in section("histograms")? {
+            let field = |key: &str| {
+                h.get(key)
+                    .and_then(json::JsonValue::as_u64)
+                    .ok_or_else(|| format!("metrics: histogram {name:?} missing {key}"))
+            };
+            let count = field("count")?;
+            let id = m.register(name, MetricKind::Histogram);
+            m.slots[id as usize].histo = Histogram {
+                count,
+                sum: field("sum")?,
+                min: (count > 0).then(|| field("min")).transpose()?,
+                max: (count > 0).then(|| field("max")).transpose()?,
+            };
+        }
+        Ok(m)
+    }
 }
 
 impl PartialEq for Metrics {
@@ -594,6 +644,44 @@ mod tests {
         let a_pos = text.find("a = 1").unwrap();
         let b_pos = text.find("b = 2").unwrap();
         assert!(a_pos < b_pos, "counters must print in name order");
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut m = Metrics::new();
+        m.add("pe0.tasks", 42);
+        m.max("pe0.peak", 7);
+        m.sample("lat", 5);
+        m.sample("lat", 15);
+        m.register_histogram("empty");
+        let back = Metrics::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.to_json(), m.to_json());
+        assert!(back.histogram("empty").is_none());
+        // Merging the restored registry into a freshly registered (all-zero)
+        // one reproduces the original exactly — the restore path.
+        let mut fresh = Metrics::new();
+        fresh.add("pe0.tasks", 0);
+        fresh.max("pe0.peak", 0);
+        fresh.register_histogram("lat");
+        fresh.register_histogram("empty");
+        fresh.merge(&back);
+        assert_eq!(fresh.to_json(), m.to_json());
+    }
+
+    #[test]
+    fn from_json_names_the_problem() {
+        assert!(Metrics::from_json("{}").unwrap_err().contains("counters"));
+        assert!(
+            Metrics::from_json("{\"counters\":{\"x\":true},\"gauges\":{},\"histograms\":{}}")
+                .unwrap_err()
+                .contains("not a u64")
+        );
+        assert!(Metrics::from_json(
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":{\"count\":1}}}"
+        )
+        .unwrap_err()
+        .contains("missing sum"));
     }
 
     #[test]

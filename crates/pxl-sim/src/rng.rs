@@ -139,6 +139,15 @@ impl XorShift64 {
     pub fn split(&mut self) -> XorShift64 {
         XorShift64::new(self.next_u64() | 1)
     }
+
+    /// Returns the current internal state without advancing.
+    ///
+    /// The state is never zero, so feeding it back through
+    /// [`XorShift64::new`] reconstructs the generator exactly — the hook
+    /// snapshot/restore uses to checkpoint RNG streams mid-run.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,333 @@
+//! Versioned, checksummed snapshot envelopes for engine checkpoint/restore.
+//!
+//! A [`Snapshot`] wraps one engine's complete serialized state (the
+//! `payload`, an arbitrary [`JsonValue`] tree the engine itself builds) in
+//! an envelope carrying a format version, the engine kind, and an FNV-1a
+//! checksum of the canonical payload text:
+//!
+//! ```json
+//! {"snapshot_version":1,"engine":"flex","checksum":"9cf9109812c7fc2a","payload":{...}}
+//! ```
+//!
+//! The envelope is what makes restore *safe* rather than merely possible:
+//! [`Snapshot::from_json`] rejects a blob written by a different snapshot
+//! format version ([`SnapshotError::VersionMismatch`]) or corrupted in
+//! transit or on disk ([`SnapshotError::ChecksumMismatch`]) before any
+//! engine ever sees the payload, and [`Snapshot::expect_engine`] rejects a
+//! payload aimed at a different engine kind. The determinism contract —
+//! a run restored from any epoch-boundary snapshot is byte-identical to an
+//! uninterrupted run — is the engines' job; this module guarantees they
+//! only ever restore bytes that round-tripped intact.
+//!
+//! The free functions ([`obj`], [`num`], [`get_u64`], ...) are the small
+//! shared vocabulary engines use to build and pick apart payloads without
+//! repeating `JsonValue` plumbing.
+
+use std::fmt;
+
+use crate::hash;
+use crate::json::JsonValue;
+
+/// Version stamp written into every envelope. Bump when the payload
+/// schema of any engine changes incompatibly.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot blob was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The blob was written by a different snapshot format version.
+    VersionMismatch {
+        /// The version found in the envelope.
+        found: u64,
+    },
+    /// The payload does not hash to the checksum in the envelope.
+    ChecksumMismatch {
+        /// The checksum the envelope claims.
+        claimed: String,
+        /// The checksum the payload actually hashes to.
+        actual: String,
+    },
+    /// The payload belongs to a different engine kind.
+    EngineMismatch {
+        /// The engine kind doing the restore.
+        expected: String,
+        /// The engine kind in the envelope.
+        found: String,
+    },
+    /// The blob is not a well-formed envelope, or a payload field is
+    /// missing or has the wrong type.
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::VersionMismatch { found } => write!(
+                f,
+                "snapshot version {found} is not the supported version {SNAPSHOT_VERSION}"
+            ),
+            SnapshotError::ChecksumMismatch { claimed, actual } => write!(
+                f,
+                "snapshot checksum mismatch: envelope claims {claimed}, payload hashes to {actual}"
+            ),
+            SnapshotError::EngineMismatch { expected, found } => write!(
+                f,
+                "snapshot was taken from engine {found:?}, cannot restore into {expected:?}"
+            ),
+            SnapshotError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Builds a [`SnapshotError::Malformed`] from anything displayable.
+pub fn malformed(msg: impl fmt::Display) -> SnapshotError {
+    SnapshotError::Malformed(msg.to_string())
+}
+
+/// A complete engine state at an epoch boundary, ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The engine kind that produced the payload (`"flex"`, `"lite"`,
+    /// `"central"`, `"cpu"`).
+    pub engine: String,
+    /// The engine-defined state tree.
+    pub payload: JsonValue,
+}
+
+impl Snapshot {
+    /// Wraps `payload` for engine kind `engine`.
+    pub fn new(engine: impl Into<String>, payload: JsonValue) -> Snapshot {
+        Snapshot {
+            engine: engine.into(),
+            payload,
+        }
+    }
+
+    /// The FNV-1a 64 checksum of the canonical payload text, as 16
+    /// lower-case hex digits.
+    pub fn checksum(&self) -> String {
+        hash::content_address(hash::fnv64(self.payload.to_json().as_bytes()))
+    }
+
+    /// Renders the sealed envelope as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            (
+                "snapshot_version".to_owned(),
+                JsonValue::num_u64(SNAPSHOT_VERSION as u64),
+            ),
+            ("engine".to_owned(), JsonValue::Str(self.engine.clone())),
+            ("checksum".to_owned(), JsonValue::Str(self.checksum())),
+            ("payload".to_owned(), self.payload.clone()),
+        ])
+        .to_json()
+    }
+
+    /// Parses and verifies an envelope produced by [`Snapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::VersionMismatch`] for a foreign format version,
+    /// [`SnapshotError::ChecksumMismatch`] when the payload does not hash
+    /// to the envelope's checksum, [`SnapshotError::Malformed`] for
+    /// anything that does not parse as an envelope.
+    pub fn from_json(text: &str) -> Result<Snapshot, SnapshotError> {
+        let value = JsonValue::parse(text).map_err(malformed)?;
+        let version = get_u64(&value, "snapshot_version")?;
+        if version != SNAPSHOT_VERSION as u64 {
+            return Err(SnapshotError::VersionMismatch { found: version });
+        }
+        let engine = get_str(&value, "engine")?.to_owned();
+        let claimed = get_str(&value, "checksum")?.to_owned();
+        let payload = value
+            .get("payload")
+            .cloned()
+            .ok_or_else(|| malformed("missing payload"))?;
+        let snap = Snapshot { engine, payload };
+        let actual = snap.checksum();
+        if actual != claimed {
+            return Err(SnapshotError::ChecksumMismatch { claimed, actual });
+        }
+        Ok(snap)
+    }
+
+    /// Checks that the payload was taken from engine kind `kind`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::EngineMismatch`] otherwise.
+    pub fn expect_engine(&self, kind: &str) -> Result<(), SnapshotError> {
+        if self.engine == kind {
+            Ok(())
+        } else {
+            Err(SnapshotError::EngineMismatch {
+                expected: kind.to_owned(),
+                found: self.engine.clone(),
+            })
+        }
+    }
+}
+
+/// An object from `(key, value)` pairs, in the given order.
+pub fn obj(members: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+/// A `u64` rendered exactly (raw decimal token, no f64 round trip).
+pub fn num(value: u64) -> JsonValue {
+    JsonValue::num_u64(value)
+}
+
+/// An array of exact `u64`s.
+pub fn arr_u64(values: impl IntoIterator<Item = u64>) -> JsonValue {
+    JsonValue::Array(values.into_iter().map(JsonValue::num_u64).collect())
+}
+
+/// Member `key` of `value`.
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] naming the missing key.
+pub fn get<'a>(value: &'a JsonValue, key: &str) -> Result<&'a JsonValue, SnapshotError> {
+    value
+        .get(key)
+        .ok_or_else(|| malformed(format!("missing field {key:?}")))
+}
+
+/// Member `key` of `value` as an exact `u64`.
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] naming the missing or mistyped key.
+pub fn get_u64(value: &JsonValue, key: &str) -> Result<u64, SnapshotError> {
+    get(value, key)?
+        .as_u64()
+        .ok_or_else(|| malformed(format!("field {key:?} is not a u64")))
+}
+
+/// Member `key` of `value` as a string slice.
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] naming the missing or mistyped key.
+pub fn get_str<'a>(value: &'a JsonValue, key: &str) -> Result<&'a str, SnapshotError> {
+    get(value, key)?
+        .as_str()
+        .ok_or_else(|| malformed(format!("field {key:?} is not a string")))
+}
+
+/// Member `key` of `value` as an array slice.
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] naming the missing or mistyped key.
+pub fn get_arr<'a>(value: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], SnapshotError> {
+    get(value, key)?
+        .as_array()
+        .ok_or_else(|| malformed(format!("field {key:?} is not an array")))
+}
+
+/// Member `key` of `value` as a vector of exact `u64`s.
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] naming the missing or mistyped key.
+pub fn get_u64s(value: &JsonValue, key: &str) -> Result<Vec<u64>, SnapshotError> {
+    get_arr(value, key)?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| malformed(format!("array {key:?} holds a non-u64")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> JsonValue {
+        obj(vec![
+            ("now_ps", num(12_345)),
+            ("deque", arr_u64([1, u64::MAX, 3])),
+            ("name", JsonValue::Str("pe0".to_owned())),
+        ])
+    }
+
+    #[test]
+    fn seal_and_reopen_round_trips_exactly() {
+        let snap = Snapshot::new("flex", payload());
+        let text = snap.to_json();
+        let back = Snapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), text, "re-sealing is byte-stable");
+        assert!(back.expect_engine("flex").is_ok());
+        assert_eq!(
+            back.expect_engine("cpu"),
+            Err(SnapshotError::EngineMismatch {
+                expected: "cpu".to_owned(),
+                found: "flex".to_owned(),
+            })
+        );
+        // u64::MAX (beyond f64 precision) survives the round trip exactly.
+        assert_eq!(get_u64s(&back.payload, "deque").unwrap()[1], u64::MAX);
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let text = Snapshot::new("flex", payload())
+            .to_json()
+            .replace("\"snapshot_version\":1", "\"snapshot_version\":999");
+        let err = Snapshot::from_json(&text).unwrap_err();
+        assert_eq!(err, SnapshotError::VersionMismatch { found: 999 });
+        assert!(err.to_string().contains("999"));
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected_by_checksum() {
+        let text = Snapshot::new("flex", payload()).to_json();
+        // Flip one digit inside the payload without touching the envelope.
+        let corrupted = text.replace("12345", "12346");
+        assert_ne!(corrupted, text);
+        let err = Snapshot::from_json(&corrupted).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::ChecksumMismatch { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn malformed_envelopes_name_the_problem() {
+        assert!(matches!(
+            Snapshot::from_json("not json").unwrap_err(),
+            SnapshotError::Malformed(_)
+        ));
+        assert!(Snapshot::from_json("{}")
+            .unwrap_err()
+            .to_string()
+            .contains("snapshot_version"));
+        let no_payload = "{\"snapshot_version\":1,\"engine\":\"flex\",\"checksum\":\"00\"}";
+        assert!(Snapshot::from_json(no_payload)
+            .unwrap_err()
+            .to_string()
+            .contains("payload"));
+    }
+
+    #[test]
+    fn helper_errors_are_malformed() {
+        let v = payload();
+        assert!(get_u64(&v, "nope").is_err());
+        assert!(get_u64(&v, "name").is_err());
+        assert!(get_str(&v, "now_ps").is_err());
+        assert!(get_arr(&v, "now_ps").is_err());
+        let bad = obj(vec![("xs", JsonValue::Array(vec![JsonValue::Bool(true)]))]);
+        assert!(get_u64s(&bad, "xs").is_err());
+    }
+}

@@ -205,6 +205,99 @@ impl TraceEvent {
     }
 }
 
+impl TraceEvent {
+    /// Rebuilds an event from its JSONL `kind` and field map (the inverse
+    /// of [`TraceEvent::kind`] + `fields`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown kind or missing field.
+    pub fn from_kind_fields(
+        kind: &str,
+        field: &dyn Fn(&str) -> Option<u64>,
+    ) -> Result<TraceEvent, String> {
+        let get = |key: &str| field(key).ok_or_else(|| format!("trace {kind:?}: missing {key}"));
+        Ok(match kind {
+            "task_dispatch" => TraceEvent::TaskDispatch {
+                unit: get("unit")? as u32,
+                ty: get("ty")? as u8,
+                task: get("task")?,
+            },
+            "task_complete" => TraceEvent::TaskComplete {
+                unit: get("unit")? as u32,
+                ty: get("ty")? as u8,
+                busy_ps: get("busy_ps")?,
+                task: get("task")?,
+            },
+            "spawn" => TraceEvent::Spawn {
+                unit: get("unit")? as u32,
+                ty: get("ty")? as u8,
+                parent: get("parent")?,
+                child: get("child")?,
+            },
+            "steal_request" => TraceEvent::StealRequest {
+                thief: get("thief")? as u32,
+                victim: get("victim")? as u32,
+            },
+            "steal_grant" => TraceEvent::StealGrant {
+                thief: get("thief")? as u32,
+                victim: get("victim")? as u32,
+            },
+            "steal_fail" => TraceEvent::StealFail {
+                thief: get("thief")? as u32,
+                victim: get("victim")? as u32,
+            },
+            "pstore_alloc" => TraceEvent::PStoreAlloc {
+                tile: get("tile")? as u32,
+                occupancy: get("occupancy")? as u32,
+            },
+            "pstore_join" => TraceEvent::PStoreJoin {
+                tile: get("tile")? as u32,
+                slot: get("slot")? as u8,
+                task: get("task")?,
+                from: get("from")?,
+            },
+            "pstore_dealloc" => TraceEvent::PStoreDealloc {
+                tile: get("tile")? as u32,
+                occupancy: get("occupancy")? as u32,
+            },
+            "cache_hit" => TraceEvent::CacheHit {
+                port: get("port")? as u32,
+                level: get("level")? as u8,
+            },
+            "cache_miss" => TraceEvent::CacheMiss {
+                port: get("port")? as u32,
+                level: get("level")? as u8,
+            },
+            "cache_evict" => TraceEvent::CacheEvict {
+                port: get("port")? as u32,
+                level: get("level")? as u8,
+            },
+            "dram_saturated" => TraceEvent::DramSaturated {
+                epoch: get("epoch")?,
+                committed_ps: get("committed_ps")?,
+            },
+            "fault.injected" => TraceEvent::FaultInjected {
+                spec: get("spec")? as u32,
+                unit: get("unit")? as u32,
+            },
+            "fault.recovered" => TraceEvent::FaultRecovered {
+                spec: get("spec")? as u32,
+                unit: get("unit")? as u32,
+            },
+            "fault.unrecovered" => TraceEvent::FaultUnrecovered {
+                spec: get("spec")? as u32,
+                unit: get("unit")? as u32,
+            },
+            "watchdog.stall" => TraceEvent::WatchdogStall {
+                unit: get("unit")? as u32,
+                idle_ps: get("idle_ps")?,
+            },
+            other => return Err(format!("trace: unknown kind {other:?}")),
+        })
+    }
+}
+
 /// One recorded event with its timestamp and sequence number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
@@ -230,6 +323,27 @@ impl TraceRecord {
         }
         out.push('}');
         out
+    }
+
+    /// Rebuilds a record from a parsed [`TraceRecord::to_json`] object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_json_value(value: &json::JsonValue) -> Result<TraceRecord, String> {
+        let num = |key: &str| value.get(key).and_then(json::JsonValue::as_u64);
+        let at = num("t_ps").ok_or("trace record: missing t_ps")?;
+        let seq = num("seq").ok_or("trace record: missing seq")?;
+        let kind = value
+            .get("kind")
+            .and_then(json::JsonValue::as_str)
+            .ok_or("trace record: missing kind")?;
+        let event = TraceEvent::from_kind_fields(kind, &num)?;
+        Ok(TraceRecord {
+            at: Time::from_ps(at),
+            seq,
+            event,
+        })
     }
 }
 
@@ -339,6 +453,70 @@ impl Tracer {
         }
         out
     }
+
+    /// Serializes the complete tracer state — capacity, drop count,
+    /// sequence cursor and every buffered record — for snapshot/restore.
+    pub fn state_to_json_value(&self) -> json::JsonValue {
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                let mut members = vec![
+                    ("t_ps".to_owned(), json::JsonValue::num_u64(r.at.as_ps())),
+                    ("seq".to_owned(), json::JsonValue::num_u64(r.seq)),
+                    (
+                        "kind".to_owned(),
+                        json::JsonValue::Str(r.event.kind().to_owned()),
+                    ),
+                ];
+                for (k, v) in r.event.fields() {
+                    members.push((k.to_owned(), json::JsonValue::num_u64(v)));
+                }
+                json::JsonValue::Object(members)
+            })
+            .collect();
+        json::JsonValue::Object(vec![
+            (
+                "capacity".to_owned(),
+                json::JsonValue::num_u64(self.capacity as u64),
+            ),
+            ("dropped".to_owned(), json::JsonValue::num_u64(self.dropped)),
+            (
+                "next_seq".to_owned(),
+                json::JsonValue::num_u64(self.next_seq),
+            ),
+            ("records".to_owned(), json::JsonValue::Array(records)),
+        ])
+    }
+
+    /// Rebuilds a tracer from [`Tracer::state_to_json_value`] output. The
+    /// round trip is exact, so a restored run keeps emitting with the same
+    /// capacity bound, drop count and sequence numbering as the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn state_from_json_value(value: &json::JsonValue) -> Result<Tracer, String> {
+        let num = |key: &str| {
+            value
+                .get(key)
+                .and_then(json::JsonValue::as_u64)
+                .ok_or_else(|| format!("tracer state: missing {key}"))
+        };
+        let records = value
+            .get("records")
+            .and_then(json::JsonValue::as_array)
+            .ok_or("tracer state: missing records array")?
+            .iter()
+            .map(TraceRecord::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Tracer {
+            capacity: num("capacity")? as usize,
+            records,
+            dropped: num("dropped")?,
+            next_seq: num("next_seq")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +586,96 @@ mod tests {
         assert_eq!(a.dropped(), 1);
         a.finish();
         assert_eq!(a.records()[0].at, Time::from_ps(1));
+    }
+
+    #[test]
+    fn state_round_trip_is_exact_for_every_kind() {
+        let events = [
+            TraceEvent::TaskDispatch {
+                unit: 1,
+                ty: 2,
+                task: 3,
+            },
+            TraceEvent::TaskComplete {
+                unit: 1,
+                ty: 2,
+                busy_ps: 500,
+                task: 3,
+            },
+            spawn(4),
+            TraceEvent::StealRequest {
+                thief: 1,
+                victim: 2,
+            },
+            TraceEvent::StealGrant {
+                thief: 1,
+                victim: 2,
+            },
+            TraceEvent::StealFail {
+                thief: 1,
+                victim: 2,
+            },
+            TraceEvent::PStoreAlloc {
+                tile: 0,
+                occupancy: 3,
+            },
+            TraceEvent::PStoreJoin {
+                tile: 0,
+                slot: 1,
+                task: 9,
+                from: 8,
+            },
+            TraceEvent::PStoreDealloc {
+                tile: 0,
+                occupancy: 2,
+            },
+            TraceEvent::CacheHit { port: 0, level: 1 },
+            TraceEvent::CacheMiss { port: 0, level: 2 },
+            TraceEvent::CacheEvict { port: 0, level: 1 },
+            TraceEvent::DramSaturated {
+                epoch: 3,
+                committed_ps: 99_000,
+            },
+            TraceEvent::FaultInjected { spec: 0, unit: 1 },
+            TraceEvent::FaultRecovered { spec: 0, unit: 1 },
+            TraceEvent::FaultUnrecovered { spec: 0, unit: 1 },
+            TraceEvent::WatchdogStall {
+                unit: 1,
+                idle_ps: 77,
+            },
+        ];
+        let mut t = Tracer::bounded(64);
+        for (i, e) in events.iter().enumerate() {
+            t.emit(Time::from_ps(i as u64 * 10), *e);
+        }
+        t.emit(Time::from_ps(1), spawn(0));
+        let back = Tracer::state_from_json_value(&t.state_to_json_value()).unwrap();
+        assert_eq!(back, t);
+        // Continued emission behaves identically in both tracers.
+        let mut a = t.clone();
+        let mut b = back;
+        a.emit(Time::from_ps(5), spawn(9));
+        b.emit(Time::from_ps(5), spawn(9));
+        a.finish();
+        b.finish();
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+
+    #[test]
+    fn state_parse_errors_name_the_problem() {
+        use crate::json::JsonValue;
+        let v = JsonValue::parse("{\"capacity\":4,\"dropped\":0,\"next_seq\":0}").unwrap();
+        assert!(Tracer::state_from_json_value(&v)
+            .unwrap_err()
+            .contains("records"));
+        let v = JsonValue::parse(
+            "{\"capacity\":4,\"dropped\":0,\"next_seq\":0,\
+             \"records\":[{\"t_ps\":1,\"seq\":0,\"kind\":\"nope\"}]}",
+        )
+        .unwrap();
+        assert!(Tracer::state_from_json_value(&v)
+            .unwrap_err()
+            .contains("unknown kind"));
     }
 
     #[test]

@@ -112,6 +112,87 @@ impl SchedulingPolicy for RingPolicy {
         let sum: usize = self.deques.iter().map(TaskDeque::peak).sum();
         (max as u64, sum as u64)
     }
+
+    // Checkpoint/restore hooks. A demo policy keeps them minimal: the
+    // engine still snapshots everything it owns; this policy serializes its
+    // ring cursors and queue contents the same way FlexPolicy does.
+    fn state_to_json_value(&self) -> parallelxl::JsonValue {
+        use parallelxl::JsonValue;
+        JsonValue::Object(vec![
+            (
+                "deques".to_owned(),
+                JsonValue::Array(
+                    self.deques
+                        .iter()
+                        .map(TaskDeque::state_to_json_value)
+                        .collect(),
+                ),
+            ),
+            (
+                "cursor".to_owned(),
+                JsonValue::Array(
+                    self.cursor
+                        .iter()
+                        .map(|c| JsonValue::num_u64(*c as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "host_queue".to_owned(),
+                JsonValue::Array(
+                    self.host_queue
+                        .iter()
+                        .map(|t| {
+                            JsonValue::Array(
+                                t.to_words()
+                                    .iter()
+                                    .map(|w| JsonValue::num_u64(*w))
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn restore_state(&mut self, value: &parallelxl::JsonValue) -> Result<(), String> {
+        use parallelxl::JsonValue;
+        let deques = value
+            .get("deques")
+            .and_then(JsonValue::as_array)
+            .ok_or("ring state: missing deques")?;
+        if deques.len() != self.num_pes {
+            return Err("ring state: deque count mismatch".to_owned());
+        }
+        for (deque, state) in self.deques.iter_mut().zip(deques) {
+            deque.restore_state(state)?;
+        }
+        self.cursor = value
+            .get("cursor")
+            .and_then(JsonValue::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_u64())
+                    .map(|v| v as usize)
+                    .collect()
+            })
+            .ok_or("ring state: missing cursor")?;
+        self.host_queue = value
+            .get("host_queue")
+            .and_then(JsonValue::as_array)
+            .ok_or("ring state: missing host_queue")?
+            .iter()
+            .map(|entry| {
+                let words: Vec<u64> = entry
+                    .as_array()
+                    .map(|a| a.iter().filter_map(|v| v.as_u64()).collect())
+                    .ok_or("ring state: bad host task")?;
+                Task::from_words(&words)
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(())
+    }
 }
 
 const FIB: TaskTypeId = TaskTypeId(0);

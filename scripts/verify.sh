@@ -47,7 +47,11 @@ echo "==> serve smoke (pxl-bench --bin serve)"
 # tenant, byte-identical dedup with the second submission a pure cache
 # hit, quota refusal without collateral damage, profile-job trace
 # reporting, graceful drain with exact totals, and a well-formed
-# serve_jobs.jsonl event log.
+# serve_jobs.jsonl event log. Ends with the crash-recovery phase: a
+# child server with six checkpointed jobs in flight is SIGKILLed after
+# its first durable checkpoint, restarted on the same write-ahead
+# journal, and must complete every job exactly once from its latest
+# checkpoint (recovered journal kept under serve_crash/).
 cargo run --release --offline -p pxl-bench --bin serve > /dev/null
 
 echo "==> OK"

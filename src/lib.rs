@@ -131,9 +131,11 @@ pub use pxl_dse::{
 /// Design-flow entry points and structured errors, and the canonical
 /// serializable run API: a [`RunSpec`] names a run exactly (JSON
 /// round-trip, canonical string), [`execute`]/[`measure`] perform it.
+/// A [`SimSession`] is the pausable form: advance to a checkpoint
+/// boundary, [`Snapshot`] the engine, resume in another process.
 pub use pxl_flow::{
-    execute, measure, AcceleratorBuilder, AcceleratorDesign, FlowError, RunError, RunOutcome,
-    RunSpec, SimulationBuilder, SpecError,
+    execute, measure, AcceleratorBuilder, AcceleratorDesign, CheckpointPolicy, FlowError, RunError,
+    RunOutcome, RunSpec, SessionStatus, SimSession, SimulationBuilder, SpecError,
 };
 /// Functional memory, shared by every engine.
 pub use pxl_mem::Memory;
@@ -146,11 +148,15 @@ pub use pxl_profile::Profile;
 /// Simulation-as-a-service working set: start a [`Server`], connect a
 /// [`Client`], submit [`RunSpec`]s as jobs, stream [`JobEvent`]s.
 pub use pxl_serve::{Client, JobEvent, JobId, JobKind, JobStatus, Server, ServerConfig};
+/// Deterministic JSON and versioned, checksummed snapshot envelopes for
+/// checkpoint/restore.
+pub use pxl_sim::json::JsonValue;
 /// Deterministic fault injection: seeded plans armed via
 /// [`SimulationBuilder::with_faults`] or [`AccelConfig::fault_plan`].
 pub use pxl_sim::{FaultKind, FaultPlan, FaultSpec, NetClass};
 /// Typed metrics, bounded event tracing, and simulated time.
 pub use pxl_sim::{Histogram, MetricKind, Metrics, Time, TraceEvent, TraceRecord, Tracer};
+pub use pxl_sim::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 
 /// The ten Table II benchmarks, re-exported by name.
 ///

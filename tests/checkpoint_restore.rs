@@ -1,0 +1,148 @@
+//! Checkpoint/restore determinism gate: pausing a simulation at *any*
+//! cycle boundary, serializing the engine through the versioned snapshot
+//! envelope, and resuming in a fresh session must be invisible — the
+//! restored run's results, metrics and trace are byte-identical to an
+//! uninterrupted run of the same spec. Driven by the vendored
+//! `pxl_sim::qcheck` harness over random benchmarks, scales, engines,
+//! fault plans and checkpoint epochs.
+
+use parallelxl::apps::Scale;
+use parallelxl::sim::qcheck::{check, Gen};
+use parallelxl::{
+    execute, DesignPoint, FaultPlan, PointArch, RunSpec, SessionStatus, SimSession, Snapshot,
+    SnapshotError, Time, SNAPSHOT_VERSION,
+};
+
+/// A random design point: any of the four engines at small shapes.
+fn random_point(g: &mut Gen) -> DesignPoint {
+    match g.range(0, 4) {
+        0 => DesignPoint::accel(PointArch::Flex, g.usize_in(1, 2), g.usize_in(2, 4)),
+        1 => DesignPoint::accel(PointArch::Central, 1, g.usize_in(2, 4)),
+        2 => DesignPoint::accel(PointArch::Lite, 1, g.usize_in(2, 4)),
+        _ => DesignPoint::cpu(g.usize_in(1, 4)),
+    }
+}
+
+/// A random fault plan valid for `point` (accelerator engines only —
+/// seeded, so the plan is part of the deterministic run identity).
+fn random_faults(g: &mut Gen, point: &DesignPoint) -> Option<FaultPlan> {
+    let accel = point.accel_config()?;
+    if !matches!(point.arch, PointArch::Flex | PointArch::Central) || g.bool() {
+        return None;
+    }
+    let pes = accel.tiles * accel.pes_per_tile;
+    let pe = g.usize_in(0, pes - 1);
+    let at = Time::from_ns(g.range(100, 2_000));
+    let plan = FaultPlan::new(g.u64());
+    Some(if g.bool() {
+        plan.kill_pe(pe, at)
+    } else {
+        plan.stall_pe(pe, at, g.range(10, 500))
+    })
+}
+
+#[test]
+fn any_checkpoint_epoch_restores_byte_identically() {
+    check(10, "pause/snapshot/restore is invisible", |g: &mut Gen| {
+        let bench = *g.pick(&["uts", "queens", "nw"]);
+        let scale = if g.ratio(1, 8) {
+            Scale::Small
+        } else {
+            Scale::Tiny
+        };
+        let point = random_point(g);
+        let mut spec = RunSpec::new(bench, scale, point.clone()).with_trace(1 << 10);
+        if let Some(plan) = random_faults(g, &point) {
+            spec = spec.with_faults(plan);
+        }
+
+        // The uninterrupted run is the reference; a bench without a
+        // variant for this engine is a skip, not a failure.
+        let Some(reference) = execute(&spec).unwrap() else {
+            return;
+        };
+        let expected = reference.to_jsonl();
+
+        let mut session = SimSession::start(&spec).unwrap().expect("variant exists");
+        let clock = session.clock();
+        let total = clock.time_to_cycles(reference.kernel).max(2);
+        // Any epoch, including ones past the end (degenerate: the run
+        // finishes before its first checkpoint boundary).
+        let epoch = g.range(1, total + total / 4 + 2);
+
+        match session.advance(Some(clock.cycles_to_time(epoch))).unwrap() {
+            SessionStatus::Finished(out) => {
+                assert_eq!(
+                    out.to_jsonl(),
+                    expected,
+                    "{spec:?}: epoch {epoch} past the end must not change the run"
+                );
+            }
+            SessionStatus::Paused { .. } => {
+                // Round-trip the envelope exactly as a checkpoint file
+                // would, then finish in a brand-new session.
+                let text = session.snapshot().to_json();
+                let snap = Snapshot::from_json(&text).unwrap();
+                let mut restored = SimSession::resume(&spec, &snap).unwrap().unwrap();
+                let out = restored.finish().unwrap();
+                assert_eq!(
+                    out.to_jsonl(),
+                    expected,
+                    "{spec:?}: restore at cycle {epoch} of ~{total} must be invisible"
+                );
+            }
+        }
+    });
+}
+
+/// A snapshot from the current engine, as serialized text.
+fn sample_snapshot() -> String {
+    let spec = RunSpec::new(
+        "uts",
+        Scale::Tiny,
+        DesignPoint::accel(PointArch::Flex, 1, 2),
+    );
+    SimSession::start(&spec)
+        .unwrap()
+        .unwrap()
+        .snapshot()
+        .to_json()
+}
+
+#[test]
+fn foreign_snapshot_versions_are_rejected() {
+    let good = sample_snapshot();
+    assert!(Snapshot::from_json(&good).is_ok());
+    let needle = format!("\"snapshot_version\":{SNAPSHOT_VERSION}");
+    assert!(
+        good.contains(&needle),
+        "envelope must lead with its version"
+    );
+    let tampered = good.replace(&needle, "\"snapshot_version\":999");
+    match Snapshot::from_json(&tampered) {
+        Err(SnapshotError::VersionMismatch { found }) => assert_eq!(found, 999),
+        other => panic!("expected a version mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_snapshot_payloads_are_rejected() {
+    // A hand-built envelope keeps the corruption surgical: the payload
+    // changes, the claimed checksum goes stale.
+    let snap = Snapshot::new("flex", parallelxl::JsonValue::parse("{\"pc\":41}").unwrap());
+    let good = snap.to_json();
+    assert!(Snapshot::from_json(&good).is_ok());
+    let corrupted = good.replace("{\"pc\":41}", "{\"pc\":42}");
+    assert_ne!(good, corrupted, "corruption must have happened");
+    match Snapshot::from_json(&corrupted) {
+        Err(SnapshotError::ChecksumMismatch { claimed, actual }) => {
+            assert_ne!(claimed, actual);
+        }
+        other => panic!("expected a checksum mismatch, got {other:?}"),
+    }
+    // Structurally broken envelopes are malformed, not a crash.
+    assert!(matches!(
+        Snapshot::from_json("{\"snapshot_version\":1}"),
+        Err(SnapshotError::Malformed(_))
+    ));
+}

@@ -109,7 +109,7 @@ fn arb_event(g: &mut Gen) -> JobEvent {
         lut: g.range(0, 1 << 20),
         bram18: g.range(0, 1 << 10),
     };
-    match g.range(0, 9) {
+    match g.range(0, 10) {
         0 => JobEvent::Accepted {
             job,
             tenant: format!("tenant-{}", g.range(0, 100)),
@@ -132,6 +132,7 @@ fn arb_event(g: &mut Gen) -> JobEvent {
             cached: g.bool(),
             result,
             trace_events: g.bool().then(|| g.u64()),
+            resumed_from_cycle: g.bool().then(|| g.u64()),
         },
         5 => JobEvent::Failed {
             job,
@@ -155,6 +156,10 @@ fn arb_event(g: &mut Gen) -> JobEvent {
             failed: g.u64(),
             paused: g.bool(),
             draining: g.bool(),
+        },
+        8 => JobEvent::Preempted {
+            job,
+            cycle: g.u64(),
         },
         _ => JobEvent::Drained { completed: g.u64() },
     }
