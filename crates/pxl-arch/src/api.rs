@@ -33,6 +33,9 @@ pub enum EngineKind {
     Lite,
     /// The centralized shared-queue ablation of FlexArch.
     Central,
+    /// FlexArch with hierarchical (intra-chip-first) work stealing on a
+    /// multi-chip cluster.
+    Hier,
     /// The Cilk-style multicore software baseline.
     Cpu,
 }
@@ -44,6 +47,7 @@ impl EngineKind {
             EngineKind::Flex => "flex",
             EngineKind::Lite => "lite",
             EngineKind::Central => "central",
+            EngineKind::Hier => "hier",
             EngineKind::Cpu => "cpu",
         }
     }
@@ -410,6 +414,7 @@ mod tests {
         assert_eq!(EngineKind::Flex.label(), "flex");
         assert_eq!(EngineKind::Lite.to_string(), "lite");
         assert_eq!(EngineKind::Central.label(), "central");
+        assert_eq!(EngineKind::Hier.label(), "hier");
         assert_eq!(EngineKind::Cpu.label(), "cpu");
     }
 }

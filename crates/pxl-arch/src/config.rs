@@ -94,6 +94,19 @@ pub enum ConfigError {
     },
     /// A heterogeneous PE slot supports no task type at all.
     EmptyTypeMask,
+    /// A cluster with `chips == 0`.
+    NoChips,
+    /// The tile count does not split evenly across the cluster's chips.
+    ClusterTileSplit {
+        /// Tiles in the accelerator.
+        tiles: usize,
+        /// Chips in the cluster.
+        chips: usize,
+    },
+    /// A multi-chip cluster on an architecture without work stealing
+    /// (LiteArch's static rounds and CentralArch's single global queue
+    /// have no distributed scheduler to make topology-aware).
+    ClusterNeedsStealing,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -131,11 +144,139 @@ impl std::fmt::Display for ConfigError {
             ConfigError::EmptyTypeMask => {
                 write!(f, "every heterogeneous PE slot must support some task type")
             }
+            ConfigError::NoChips => write!(f, "a cluster needs at least one chip"),
+            ConfigError::ClusterTileSplit { tiles, chips } => {
+                write!(f, "{tiles} tiles do not split evenly across {chips} chips")
+            }
+            ConfigError::ClusterNeedsStealing => write!(
+                f,
+                "multi-chip clusters need a work-stealing architecture (FlexArch)"
+            ),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Shape of the inter-chip network joining the chips of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkTopology {
+    /// Every chip pair is one serdes hop apart (a full crossbar or switch).
+    AllToAll,
+    /// Chips form a bidirectional ring; messages pay one link latency per
+    /// ring hop along the shorter direction.
+    Ring,
+}
+
+impl LinkTopology {
+    /// Number of inter-chip link hops between `src` and `dst` on a cluster
+    /// of `chips` chips (zero when they are the same chip).
+    pub fn hops(self, src: usize, dst: usize, chips: usize) -> u64 {
+        if src == dst {
+            return 0;
+        }
+        match self {
+            LinkTopology::AllToAll => 1,
+            LinkTopology::Ring => {
+                let d = src.abs_diff(dst);
+                d.min(chips - d) as u64
+            }
+        }
+    }
+}
+
+/// How thieves treat the chip boundary when picking steal victims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealMode {
+    /// Topology-aware: steal intra-chip first, spill to inter-chip victims
+    /// only after `spill_threshold` consecutive failed attempts.
+    Hierarchical {
+        /// Consecutive failed acquisitions before a thief widens its victim
+        /// pool from its own chip to the whole cluster.
+        spill_threshold: u32,
+    },
+    /// Topology-blind baseline: uniform victim selection over every PE in
+    /// the cluster, paying the inter-chip link on every remote pick.
+    Flat,
+}
+
+/// Multi-chip cluster layered above one [`AccelConfig`]: the chip count,
+/// the tile-to-chip partition, and the modeled inter-chip link tier.
+///
+/// A cluster splits the accelerator's `tiles` into `chips` equal contiguous
+/// blocks (the partitioning pass — see [`ClusterConfig::partition`]). Tiles
+/// within a chip keep the single-chip crossbar costs; any message between
+/// chips (steal requests/replies, argument sends, routed tasks) additionally
+/// pays `link_latency_cycles` per topology hop and serializes on the
+/// directed link's bounded bandwidth (`link_occupancy_cycles` per message).
+/// A 1-chip cluster is exactly the stock single-chip accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of chips; the accelerator's tiles split evenly across them.
+    pub chips: usize,
+    /// One-way latency of one inter-chip link hop, in accelerator cycles.
+    pub link_latency_cycles: u64,
+    /// Serialization occupancy of one message on a directed link — the
+    /// inverse of link bandwidth. Messages queued behind a busy link wait;
+    /// zero models an infinitely wide link.
+    pub link_occupancy_cycles: u64,
+    /// Inter-chip network shape.
+    pub topology: LinkTopology,
+    /// Victim-selection strategy across the chip boundary.
+    pub stealing: StealMode,
+}
+
+impl ClusterConfig {
+    /// A cluster of `chips` chips with the default link model: an
+    /// all-to-all topology, a 32-cycle hop (a serdes crossing is an order
+    /// of magnitude above the 4-cycle on-chip crossbar hop), an 8-cycle
+    /// per-message serialization window, and hierarchical stealing that
+    /// spills after two failed intra-chip attempts.
+    pub fn new(chips: usize) -> Self {
+        ClusterConfig {
+            chips,
+            link_latency_cycles: 32,
+            link_occupancy_cycles: 8,
+            topology: LinkTopology::AllToAll,
+            stealing: StealMode::Hierarchical { spill_threshold: 2 },
+        }
+    }
+
+    /// Switches to the flat (topology-blind) stealing baseline.
+    pub fn flat(mut self) -> Self {
+        self.stealing = StealMode::Flat;
+        self
+    }
+
+    /// Switches to hierarchical stealing with the given spill threshold.
+    pub fn hierarchical(mut self, spill_threshold: u32) -> Self {
+        self.stealing = StealMode::Hierarchical { spill_threshold };
+        self
+    }
+
+    /// Overrides the link latency and per-message occupancy (both in
+    /// accelerator cycles).
+    pub fn with_link(mut self, latency_cycles: u64, occupancy_cycles: u64) -> Self {
+        self.link_latency_cycles = latency_cycles;
+        self.link_occupancy_cycles = occupancy_cycles;
+        self
+    }
+
+    /// Switches the inter-chip network to a bidirectional ring.
+    pub fn ring(mut self) -> Self {
+        self.topology = LinkTopology::Ring;
+        self
+    }
+
+    /// The partitioning pass: assigns each of `tiles` tiles to a chip in
+    /// equal contiguous blocks, returning the tile-indexed chip map.
+    /// Contiguous blocks keep a tile's intra-chip neighbours exactly the
+    /// tiles the single-chip crossbar already made cheap.
+    pub fn partition(&self, tiles: usize) -> Vec<usize> {
+        let per_chip = tiles / self.chips.max(1);
+        (0..tiles).map(|t| t / per_chip.max(1)).collect()
+    }
+}
 
 /// Which memory path backs the accelerator's PEs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,6 +443,10 @@ pub struct AccelConfig {
     /// argument delivery) before the quiescence watchdog declares the run
     /// stalled while work is still outstanding.
     pub watchdog_quiescence_cycles: u64,
+    /// Multi-chip cluster layered above this accelerator (`None` = one
+    /// chip, the paper's configuration). A present 1-chip cluster behaves
+    /// byte-identically to `None`.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl AccelConfig {
@@ -324,6 +469,7 @@ impl AccelConfig {
             trace_capacity: 0,
             fault_plan: None,
             watchdog_quiescence_cycles: 1_000_000,
+            cluster: None,
         }
     }
 
@@ -352,6 +498,26 @@ impl AccelConfig {
     /// Tile index that PE `pe` belongs to.
     pub fn tile_of_pe(&self, pe: usize) -> usize {
         pe / self.pes_per_tile
+    }
+
+    /// Number of chips in the cluster (1 without a cluster config).
+    pub fn chips(&self) -> usize {
+        self.cluster.map_or(1, |c| c.chips.max(1))
+    }
+
+    /// Tiles per chip under the cluster's contiguous partition.
+    pub fn tiles_per_chip(&self) -> usize {
+        self.tiles / self.chips()
+    }
+
+    /// Chip index that tile `tile` is partitioned onto.
+    pub fn chip_of_tile(&self, tile: usize) -> usize {
+        tile / self.tiles_per_chip().max(1)
+    }
+
+    /// Chip index that PE `pe` is partitioned onto.
+    pub fn chip_of_pe(&self, pe: usize) -> usize {
+        self.chip_of_tile(self.tile_of_pe(pe))
     }
 
     /// Whether PE `pe`'s worker can process task type `ty` (always true for
@@ -420,6 +586,20 @@ impl AccelConfig {
                 if unsupported {
                     return Err(ConfigError::LiteFaultVocabulary);
                 }
+            }
+        }
+        if let Some(cluster) = &self.cluster {
+            if cluster.chips == 0 {
+                return Err(ConfigError::NoChips);
+            }
+            if !self.tiles.is_multiple_of(cluster.chips) {
+                return Err(ConfigError::ClusterTileSplit {
+                    tiles: self.tiles,
+                    chips: cluster.chips,
+                });
+            }
+            if cluster.chips > 1 && self.arch != ArchKind::Flex {
+                return Err(ConfigError::ClusterNeedsStealing);
             }
         }
         if let Some(masks) = &self.pe_task_types {
@@ -526,6 +706,55 @@ mod tests {
             .to_string(),
             "heterogeneous config needs one type mask per PE slot (2 != 4)"
         );
+    }
+
+    #[test]
+    fn cluster_partition_is_contiguous_and_even() {
+        let cluster = ClusterConfig::new(4);
+        assert_eq!(cluster.partition(8), vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        let mut cfg = AccelConfig::flex(8, 4);
+        cfg.cluster = Some(cluster);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.chips(), 4);
+        assert_eq!(cfg.tiles_per_chip(), 2);
+        assert_eq!(cfg.chip_of_tile(0), 0);
+        assert_eq!(cfg.chip_of_tile(7), 3);
+        assert_eq!(cfg.chip_of_pe(0), 0);
+        assert_eq!(cfg.chip_of_pe(31), 3);
+        // Helpers agree with the explicit partition map.
+        for tile in 0..cfg.tiles {
+            assert_eq!(cfg.chip_of_tile(tile), cluster.partition(cfg.tiles)[tile]);
+        }
+    }
+
+    #[test]
+    fn link_topology_hop_counts() {
+        assert_eq!(LinkTopology::AllToAll.hops(0, 3, 4), 1);
+        assert_eq!(LinkTopology::AllToAll.hops(2, 2, 4), 0);
+        assert_eq!(LinkTopology::Ring.hops(0, 1, 4), 1);
+        assert_eq!(LinkTopology::Ring.hops(0, 3, 4), 1, "ring wraps");
+        assert_eq!(LinkTopology::Ring.hops(0, 2, 4), 2);
+        assert_eq!(LinkTopology::Ring.hops(1, 5, 8), 4);
+    }
+
+    #[test]
+    fn cluster_validation_catches_bad_shapes() {
+        let mut cfg = AccelConfig::flex(3, 4);
+        cfg.cluster = Some(ClusterConfig::new(2));
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ClusterTileSplit { tiles: 3, chips: 2 })
+        );
+        let mut cfg = AccelConfig::flex(4, 4);
+        cfg.cluster = Some(ClusterConfig::new(0));
+        assert_eq!(cfg.validate(), Err(ConfigError::NoChips));
+        let mut cfg = AccelConfig::lite(4, 4);
+        cfg.cluster = Some(ClusterConfig::new(2));
+        assert_eq!(cfg.validate(), Err(ConfigError::ClusterNeedsStealing));
+        // One chip of anything is the stock accelerator: always fine.
+        let mut cfg = AccelConfig::central(4, 4);
+        cfg.cluster = Some(ClusterConfig::new(1));
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

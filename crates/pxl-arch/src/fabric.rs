@@ -43,8 +43,8 @@ use pxl_sim::{
     SendVerdict, Time, TraceEvent, Tracer,
 };
 
-use crate::config::{AccelConfig, MemBackendKind};
-use crate::policy::{CentralPolicy, FlexPolicy, SchedulingPolicy};
+use crate::config::{AccelConfig, LinkTopology, MemBackendKind};
+use crate::policy::{CentralPolicy, FlexPolicy, HierPolicy, SchedulingPolicy};
 use crate::pstore::{PStore, PStoreError};
 
 /// How many times a dropped network message is retransmitted before the
@@ -700,6 +700,80 @@ pub type FlexEngine = FabricEngine<FlexPolicy>;
 /// distributed hardware work stealing buys.
 pub type CentralEngine = FabricEngine<CentralPolicy>;
 
+/// The multi-chip cluster simulator: the shared fabric driven by
+/// [`HierPolicy`]'s hierarchical (intra-chip-first, spill-on-starvation)
+/// work stealing over a [`crate::ClusterConfig`]'s partitioned tiles and
+/// modeled inter-chip link tier. On a 1-chip cluster it reproduces
+/// [`FlexEngine`] byte-for-byte.
+pub type HierEngine = FabricEngine<HierPolicy>;
+
+/// Inter-chip link traffic classes, stamped into
+/// [`TraceEvent::LinkXfer`] records.
+const LINK_STEAL_REQ: u8 = 0;
+const LINK_STEAL_REPLY: u8 = 1;
+const LINK_ARG: u8 = 2;
+const LINK_TASK: u8 = 3;
+
+/// Typed handles for the inter-chip link counters; registered only on
+/// multi-chip clusters so single-chip metric dumps stay byte-identical.
+#[derive(Debug, Clone, Copy)]
+struct LinkIds {
+    msgs: CounterId,
+    steal_msgs: CounterId,
+    arg_msgs: CounterId,
+    task_msgs: CounterId,
+    steal_hits: CounterId,
+    stall_ps: CounterId,
+}
+
+/// The modeled inter-chip link tier of a multi-chip cluster.
+///
+/// Each directed chip pair owns a bounded-bandwidth link: a message
+/// departing at `t` waits until the pair's `next_free`, occupies the link
+/// for `occupancy`, and arrives after `latency` per topology hop. The
+/// `next_free` horizon is the link's only mutable state and is carried
+/// through snapshots so a restored run replays in-flight serialization
+/// byte-identically.
+#[derive(Debug)]
+struct LinkState {
+    chips: usize,
+    /// One-way latency per topology hop.
+    latency: Time,
+    /// Serialization window one message holds a directed link for.
+    occupancy: Time,
+    topology: LinkTopology,
+    /// When each directed pair's link frees up (row-major `src * chips +
+    /// dst`).
+    next_free: Vec<Time>,
+    ids: LinkIds,
+}
+
+impl LinkState {
+    /// Builds the link tier for a multi-chip cluster, registering its
+    /// `link.*` counters; `None` for single-chip configurations.
+    fn for_config(cfg: &AccelConfig, metrics: &mut Metrics) -> Option<LinkState> {
+        let cluster = cfg.cluster?;
+        if cluster.chips <= 1 {
+            return None;
+        }
+        Some(LinkState {
+            chips: cluster.chips,
+            latency: cfg.clock.cycles_to_time(cluster.link_latency_cycles),
+            occupancy: cfg.clock.cycles_to_time(cluster.link_occupancy_cycles),
+            topology: cluster.topology,
+            next_free: vec![Time::ZERO; cluster.chips * cluster.chips],
+            ids: LinkIds {
+                msgs: metrics.register_counter("link.msgs"),
+                steal_msgs: metrics.register_counter("link.steal_msgs"),
+                arg_msgs: metrics.register_counter("link.arg_msgs"),
+                task_msgs: metrics.register_counter("link.task_msgs"),
+                steal_hits: metrics.register_counter("link.steal_hits"),
+                stall_ps: metrics.register_counter("link.stall_ps"),
+            },
+        })
+    }
+}
+
 /// The event-driven accelerator simulator, generic over a
 /// [`SchedulingPolicy`] that owns task placement and acquisition.
 ///
@@ -759,6 +833,9 @@ pub struct FabricEngine<P: SchedulingPolicy> {
     inflight_args: u64,
     last_useful: Time,
     faults: Option<FaultState>,
+    /// The inter-chip link tier; `None` on single-chip configurations
+    /// (including 1-chip clusters), keeping those byte-identical to stock.
+    link: Option<LinkState>,
     watchdog: Watchdog,
     metrics: Metrics,
     ids: FabricIds,
@@ -863,12 +940,14 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         let mut metrics = Metrics::new();
         let ids = FabricIds::register(&mut metrics, num_pes);
         register_fault_metrics(&mut metrics);
+        let link = LinkState::for_config(&cfg, &mut metrics);
         let faults = cfg
             .fault_plan
             .as_ref()
             .map(|plan| FaultState::new(plan, num_pes, cfg.tiles));
         Ok(FabricEngine {
             policy,
+            link,
             pstores: (0..cfg.tiles)
                 .map(|_| PStore::new(cfg.pstore_entries))
                 .collect(),
@@ -919,6 +998,57 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
 
     fn cycles(&self, n: u64) -> Time {
         self.cfg.clock.cycles_to_time(n)
+    }
+
+    /// Chip a unit is partitioned onto; the host interface block
+    /// (`unit == num_pes`) sits on chip 0 next to the platform's host port.
+    fn chip_of_unit(&self, unit: usize) -> usize {
+        if unit >= self.cfg.num_pes() {
+            0
+        } else {
+            self.cfg.chip_of_pe(unit)
+        }
+    }
+
+    /// Routes a message leaving chip `src` at `at` toward chip `dst`
+    /// through the inter-chip link tier, returning its arrival time.
+    ///
+    /// The directed pair's link serializes messages on its bounded
+    /// bandwidth: a message departs no earlier than the pair's `next_free`
+    /// horizon (the wait is counted in `link.stall_ps` and stamped into the
+    /// [`TraceEvent::LinkXfer`] record), occupies the link for the
+    /// occupancy window, and pays one link latency per topology hop. A
+    /// no-op on single-chip configurations or intra-chip traffic.
+    fn link_transit(&mut self, at: Time, src: usize, dst: usize, class: u8) -> Time {
+        let Some(link) = self.link.as_mut() else {
+            return at;
+        };
+        if src == dst {
+            return at;
+        }
+        let hops = link.topology.hops(src, dst, link.chips);
+        let pair = src * link.chips + dst;
+        let depart = at.max(link.next_free[pair]);
+        link.next_free[pair] = depart + link.occupancy;
+        let wait_ps = (depart - at).as_ps();
+        let (ids, latency) = (link.ids, link.latency);
+        self.metrics.inc(ids.msgs);
+        self.metrics.inc(match class {
+            LINK_STEAL_REQ | LINK_STEAL_REPLY => ids.steal_msgs,
+            LINK_ARG => ids.arg_msgs,
+            _ => ids.task_msgs,
+        });
+        self.metrics.add_to(ids.stall_ps, wait_ps);
+        self.trace.emit(
+            at,
+            TraceEvent::LinkXfer {
+                src_chip: src as u32,
+                dst_chip: dst as u32,
+                class,
+                wait_ps,
+            },
+        );
+        depart + Time::from_ps(latency.as_ps() * hops)
     }
 
     /// Hands out the next run-unique task instance id.
@@ -1158,6 +1288,12 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             ("backend", self.backend.state_to_json_value()),
             ("trace", self.trace.state_to_json_value()),
         ];
+        if let Some(link) = &self.link {
+            payload.push((
+                "link",
+                snapshot::arr_u64(link.next_free.iter().map(|t| t.as_ps())),
+            ));
+        }
         if let Some(faults) = &self.faults {
             let (rng, remaining) = faults.sched.save_state();
             payload.push((
@@ -1306,6 +1442,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         let mut metrics = Metrics::new();
         self.ids = FabricIds::register(&mut metrics, num_pes);
         register_fault_metrics(&mut metrics);
+        self.link = LinkState::for_config(&self.cfg, &mut metrics);
         metrics.merge(&saved);
         self.metrics = metrics;
 
@@ -1317,6 +1454,27 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             .map_err(malformed)?;
         self.trace =
             Tracer::state_from_json_value(snapshot::get(p, "trace")?).map_err(malformed)?;
+
+        match (&mut self.link, p.get("link")) {
+            (Some(link), Some(_)) => {
+                let next_free = snapshot::get_u64s(p, "link")?;
+                if next_free.len() != link.chips * link.chips {
+                    return Err(malformed("link state chip count mismatch"));
+                }
+                link.next_free = next_free.iter().map(|ps| Time::from_ps(*ps)).collect();
+            }
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(malformed(
+                    "this engine models an inter-chip link, the snapshot does not",
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(malformed(
+                    "the snapshot carries link state, this engine has no cluster",
+                ));
+            }
+        }
 
         match (&mut self.faults, p.get("faults")) {
             (Some(faults), Some(saved)) => {
@@ -1450,10 +1608,16 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 victim: victim as u32,
             },
         );
-        self.events.push(
+        // A cross-chip request pays the inter-chip link past the local
+        // crossbar hop (hierarchical policies make this the rare case).
+        let arrive = self.link_transit(
             now + self.cycles(self.cfg.costs.net_hop_cycles),
-            Event::StealArrive { thief: pe, victim },
+            self.chip_of_unit(pe),
+            self.chip_of_unit(victim),
+            LINK_STEAL_REQ,
         );
+        self.events
+            .push(arrive, Event::StealArrive { thief: pe, victim });
     }
 
     fn steal_arrive(&mut self, now: Time, thief: usize, victim: usize) {
@@ -1477,6 +1641,11 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                     victim: victim as u32,
                 },
             );
+            if let Some(link) = self.link.as_ref() {
+                if self.chip_of_unit(thief) != self.chip_of_unit(victim) {
+                    self.metrics.inc(link.ids.steal_hits);
+                }
+            }
             if victim < self.cfg.num_pes() && self.is_dead(victim) {
                 // Work stealing doubles as the rescue path for a dead PE's
                 // stranded deque.
@@ -1492,10 +1661,13 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 },
             );
         }
-        self.events.push(
+        let reply = self.link_transit(
             done + self.cycles(self.cfg.costs.net_hop_cycles),
-            Event::StealReply { thief, task },
+            self.chip_of_unit(victim),
+            self.chip_of_unit(thief),
+            LINK_STEAL_REPLY,
         );
+        self.events.push(reply, Event::StealReply { thief, task });
     }
 
     fn steal_reply<W: Worker + ?Sized>(
@@ -1945,7 +2117,13 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                             },
                         );
                     } else {
-                        self.send_task_msg(now, dest, ready, 0, 0);
+                        let at = self.link_transit(
+                            now,
+                            self.cfg.chip_of_tile(tile as usize),
+                            self.chip_of_unit(dest),
+                            LINK_TASK,
+                        );
+                        self.send_task_msg(at, dest, ready, 0, 0);
                     }
                 }
             }
@@ -1978,8 +2156,14 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 return;
             };
             self.metrics.incr("fault.rescued_tasks");
-            self.events.push(
+            let at = self.link_transit(
                 now + self.cycles(self.cfg.costs.net_hop_cycles),
+                self.chip_of_unit(pe),
+                self.chip_of_unit(dest),
+                LINK_TASK,
+            );
+            self.events.push(
+                at,
                 Event::TaskRun {
                     pe: dest,
                     task,
@@ -2067,6 +2251,12 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 )));
                 return;
             };
+            let at = self.link_transit(
+                at,
+                self.chip_of_unit(pe),
+                self.chip_of_unit(dest),
+                LINK_TASK,
+            );
             self.push_local(dest, task, at);
             self.events.push(at, Event::PeWake { pe: dest });
         }
@@ -2090,6 +2280,13 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             },
         );
         for (at, k, value) in out_args {
+            // The host interface block and chip 0 share a die; a P-Store
+            // continuation lives on its tile's chip.
+            let dst_chip = match k {
+                Continuation::Host { .. } => 0,
+                Continuation::PStore { tile, .. } => self.cfg.chip_of_tile(tile as usize),
+            };
+            let at = self.link_transit(at, self.chip_of_unit(pe), dst_chip, LINK_ARG);
             self.inflight_args += 1;
             self.send_arg_msg(at, k, value, pe, task.id, 0, 0);
         }
@@ -2209,10 +2406,18 @@ impl<P: SchedulingPolicy> TaskContext for FabricCtx<'_, P> {
         for &(slot, value) in preset {
             pending = pending.preset(slot, value);
         }
-        // Allocate locally; overflow to other tiles over the network.
+        // Allocate locally; overflow to other tiles over the network. On a
+        // cluster the probe order visits the same chip's tiles before
+        // spilling to remote chips (identical to the flat order at 1 chip).
         let tiles = self.pstores.len();
+        let tpc = self.cfg.tiles_per_chip().max(1);
+        let chip_base = (self.tile / tpc) * tpc;
         for probe in 0..tiles {
-            let t = (self.tile + probe) % tiles;
+            let t = if probe < tpc {
+                chip_base + (self.tile - chip_base + probe) % tpc
+            } else {
+                (chip_base + probe) % tiles
+            };
             match self.pstores[t].alloc(pending) {
                 Ok(Some(entry)) => {
                     if probe > 0 {
@@ -2248,7 +2453,7 @@ impl<P: SchedulingPolicy> TaskContext for FabricCtx<'_, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::AccelConfig;
+    use crate::config::{AccelConfig, ClusterConfig};
 
     const FIB: TaskTypeId = TaskTypeId(0);
     const SUM: TaskTypeId = TaskTypeId(1);
@@ -2517,15 +2722,15 @@ mod tests {
     /// engine, and finish both legs. The paused original, the restored
     /// engine, and an uninterrupted reference must agree byte-for-byte on
     /// result, elapsed time, metrics, and trace.
-    fn assert_resume_identical(mk_cfg: impl Fn() -> AccelConfig, n: u64) {
+    fn assert_resume_identical_on<P: SchedulingPolicy>(mk_cfg: impl Fn() -> AccelConfig, n: u64) {
         let root = || Task::new(FIB, Continuation::host(0), &[n]);
         let reference = {
-            let mut engine = FlexEngine::new(mk_cfg(), ExecProfile::scalar());
+            let mut engine = FabricEngine::<P>::new(mk_cfg(), ExecProfile::scalar());
             engine.run(&mut FibWorker, root()).expect("reference run")
         };
         let pause = Time::from_ps(reference.elapsed.as_ps() / 2);
 
-        let mut paused = FlexEngine::new(mk_cfg(), ExecProfile::scalar());
+        let mut paused = FabricEngine::<P>::new(mk_cfg(), ExecProfile::scalar());
         paused.launch(root());
         match paused.run_until(&mut FibWorker, Some(pause)).unwrap() {
             RunStatus::Paused { at } => assert_eq!(at, pause),
@@ -2534,12 +2739,12 @@ mod tests {
         let blob = paused.snapshot().to_json();
         let snap = Snapshot::from_json(&blob).expect("snapshot survives its wire format");
 
-        let mut restored = FlexEngine::new(mk_cfg(), ExecProfile::scalar());
+        let mut restored = FabricEngine::<P>::new(mk_cfg(), ExecProfile::scalar());
         restored
             .restore(&snap)
             .expect("restore into a fresh engine");
 
-        let finish = |engine: &mut FlexEngine| match engine.run_until(&mut FibWorker, None) {
+        let finish = |engine: &mut FabricEngine<P>| match engine.run_until(&mut FibWorker, None) {
             Ok(RunStatus::Finished(out)) => out,
             Ok(RunStatus::Paused { .. }) => unreachable!("no pause requested"),
             Err(e) => panic!("resumed leg failed: {e}"),
@@ -2560,6 +2765,10 @@ mod tests {
                 "{label} trace"
             );
         }
+    }
+
+    fn assert_resume_identical(mk_cfg: impl Fn() -> AccelConfig, n: u64) {
+        assert_resume_identical_on::<FlexPolicy>(mk_cfg, n);
     }
 
     #[test]
@@ -2603,5 +2812,136 @@ mod tests {
             matches!(err, SnapshotError::EngineMismatch { .. }),
             "got {err}"
         );
+    }
+
+    fn cluster_cfg(tiles: usize, pes: usize, chips: usize) -> AccelConfig {
+        let mut cfg = AccelConfig::flex(tiles, pes);
+        cfg.cluster = Some(ClusterConfig::new(chips));
+        cfg
+    }
+
+    #[test]
+    fn hier_engine_computes_fib_across_chips() {
+        let mut engine = HierEngine::new(cluster_cfg(4, 2, 2), ExecProfile::scalar());
+        let out = engine
+            .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[16]))
+            .expect("clustered fib must complete");
+        assert_eq!(out.result, fib(16));
+        // The cluster actually used the link: inter-chip traffic is
+        // metered, and both chips executed tasks.
+        assert!(out.metrics.get("link.msgs") > 0, "no link traffic");
+        let chip0: u64 = (0..4)
+            .map(|pe| out.metrics.get(&format!("pe{pe}.tasks")))
+            .sum();
+        let chip1: u64 = (4..8)
+            .map(|pe| out.metrics.get(&format!("pe{pe}.tasks")))
+            .sum();
+        assert!(chip0 > 0 && chip1 > 0, "both chips must run tasks");
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let run = || {
+            let mut cfg = cluster_cfg(4, 2, 2);
+            cfg.trace_capacity = 1 << 14;
+            let mut engine = HierEngine::new(cfg, ExecProfile::scalar());
+            engine
+                .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[15]))
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        assert_eq!(a.trace.to_jsonl(), b.trace.to_jsonl());
+    }
+
+    #[test]
+    fn hierarchical_stealing_crosses_the_link_less_than_flat() {
+        // Same 2-chip fabric, same workload: the hierarchical policy's
+        // intra-chip-first victim draws must move fewer steal messages over
+        // the inter-chip link than the naive flat baseline.
+        let flat = {
+            let mut cfg = cluster_cfg(4, 2, 2);
+            cfg.cluster = Some(ClusterConfig::new(2).flat());
+            let mut engine = FlexEngine::new(cfg, ExecProfile::scalar());
+            engine
+                .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[16]))
+                .unwrap()
+        };
+        let hier = {
+            let mut engine = HierEngine::new(cluster_cfg(4, 2, 2), ExecProfile::scalar());
+            engine
+                .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[16]))
+                .unwrap()
+        };
+        assert_eq!(flat.result, hier.result);
+        assert!(
+            hier.metrics.get("link.steal_msgs") < flat.metrics.get("link.steal_msgs"),
+            "hier {} vs flat {} cross-chip steal messages",
+            hier.metrics.get("link.steal_msgs"),
+            flat.metrics.get("link.steal_msgs"),
+        );
+    }
+
+    #[test]
+    fn link_occupancy_serializes_and_slows_the_run() {
+        let run = |occupancy_cycles: u64| {
+            let mut cfg = AccelConfig::flex(4, 2);
+            cfg.cluster = Some(ClusterConfig::new(2).flat().with_link(64, occupancy_cycles));
+            let mut engine = FlexEngine::new(cfg, ExecProfile::scalar());
+            engine
+                .run(&mut FibWorker, Task::new(FIB, Continuation::host(0), &[15]))
+                .unwrap()
+        };
+        let fast = run(1);
+        let slow = run(512);
+        assert_eq!(fast.result, slow.result);
+        assert!(
+            slow.elapsed > fast.elapsed,
+            "choking link bandwidth must cost time ({} vs {})",
+            slow.elapsed,
+            fast.elapsed
+        );
+        assert!(
+            slow.metrics.get("link.stall_ps") > fast.metrics.get("link.stall_ps"),
+            "bandwidth pressure must surface as link stall time"
+        );
+    }
+
+    #[test]
+    fn cluster_snapshot_restore_resumes_byte_identically() {
+        assert_resume_identical_on::<HierPolicy>(|| cluster_cfg(4, 2, 2), 15);
+        // The flat baseline on a cluster snapshots link state through the
+        // stock Flex policy path.
+        assert_resume_identical_on::<FlexPolicy>(
+            || {
+                let mut cfg = AccelConfig::flex(4, 2);
+                cfg.cluster = Some(ClusterConfig::new(2).flat());
+                cfg
+            },
+            15,
+        );
+    }
+
+    #[test]
+    fn cluster_snapshots_are_not_portable_to_single_chip_engines() {
+        let mut clustered = HierEngine::new(cluster_cfg(2, 2, 2), ExecProfile::scalar());
+        clustered.launch(Task::new(FIB, Continuation::host(0), &[10]));
+        let _ = clustered
+            .run_until(&mut FibWorker, Some(Time::from_ns(50)))
+            .unwrap();
+        let snap = clustered.snapshot();
+        // Same policy family, no cluster: the link payload must be refused.
+        let mut single = HierEngine::new(
+            {
+                let mut cfg = AccelConfig::flex(2, 2);
+                cfg.cluster = Some(ClusterConfig::new(1));
+                cfg
+            },
+            ExecProfile::scalar(),
+        );
+        let err = single.restore(&snap).expect_err("link state mismatch");
+        assert!(matches!(err, SnapshotError::Malformed(_)), "got {err}");
     }
 }

@@ -48,14 +48,16 @@ pub mod pstore;
 
 pub use api::{Engine, EngineKind, Workload};
 pub use config::{
-    AccelConfig, ArchCosts, ArchKind, ConfigError, LocalOrder, MemBackendKind, SchedPolicy,
-    StealEnd, VictimSelect,
+    AccelConfig, ArchCosts, ArchKind, ClusterConfig, ConfigError, LinkTopology, LocalOrder,
+    MemBackendKind, SchedPolicy, StealEnd, StealMode, VictimSelect,
 };
 pub use deque::TaskDeque;
 pub use fabric::{
     record_injected, record_recovered, register_fault_metrics, AccelError, AccelResult,
-    CentralEngine, FabricEngine, FlexEngine, RunStatus, Watchdog,
+    CentralEngine, FabricEngine, FlexEngine, HierEngine, RunStatus, Watchdog,
 };
 pub use lite::{LiteDriver, LiteEngine, RoundTasks};
-pub use policy::{CentralPolicy, FlexPolicy, RoundSlot, SchedulingPolicy, StaticRoundPolicy};
+pub use policy::{
+    CentralPolicy, FlexPolicy, HierPolicy, RoundSlot, SchedulingPolicy, StaticRoundPolicy,
+};
 pub use pstore::{FillOutcome, PStore, PStoreError};

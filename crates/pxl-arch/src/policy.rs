@@ -468,6 +468,190 @@ impl SchedulingPolicy for CentralPolicy {
     }
 }
 
+/// Topology-aware work stealing for multi-chip clusters
+/// ([`crate::config::ClusterConfig`]): FlexArch's TMU with a two-level
+/// victim space.
+///
+/// Placement, local pops, and victim-side service are exactly
+/// [`FlexPolicy`]'s. Victim *selection* is hierarchical: while a thief's
+/// consecutive-failure count sits below the cluster's spill threshold, the
+/// LFSR draws only among the thief's own chip's PEs (plus the host
+/// interface); past the threshold it widens to the whole cluster, accepting
+/// the inter-chip link charge for the chance of finding work. The failure
+/// count resets whenever local work appears (a successful pop or a push to
+/// the PE).
+///
+/// On a 1-chip cluster every draw delegates verbatim to [`FlexPolicy`], so
+/// the policy is byte-identical to stock FlexArch — the golden gate the
+/// cluster tests pin.
+#[derive(Debug)]
+pub struct HierPolicy {
+    inner: FlexPolicy,
+    chips: usize,
+    pes_per_chip: usize,
+    spill_threshold: u32,
+    /// Per-PE consecutive failed-acquisition count since local work last
+    /// appeared.
+    fails: Vec<u32>,
+}
+
+impl HierPolicy {
+    /// Intra-chip victim draw for `pe`: its own chip's other PEs plus the
+    /// host interface block, mirroring [`FlexPolicy::acquire_target`]'s
+    /// self-maps-to-host rule within the reduced span.
+    fn intra_chip_target(&mut self, pe: usize) -> usize {
+        let num_pes = self.inner.num_pes;
+        let per_chip = self.pes_per_chip;
+        let base = (pe / per_chip) * per_chip;
+        match self.inner.victim_select {
+            VictimSelect::Lfsr => {
+                let r = self.inner.lfsrs[pe].next_in_range(per_chip + 1);
+                let v = if r == per_chip { num_pes } else { base + r };
+                if v == pe {
+                    num_pes
+                } else {
+                    v
+                }
+            }
+            VictimSelect::RoundRobin => {
+                // The rotation cursor stores global victim indices; cycle it
+                // through the chip-local span (own PEs, then the host IF).
+                let cur = self.inner.rr_victim[pe];
+                let local = if cur >= base && cur < base + per_chip {
+                    cur - base
+                } else {
+                    per_chip
+                };
+                let mut next = (local + 1) % (per_chip + 1);
+                if base + next == pe {
+                    next = (next + 1) % (per_chip + 1);
+                }
+                let v = if next == per_chip {
+                    num_pes
+                } else {
+                    base + next
+                };
+                self.inner.rr_victim[pe] = v;
+                v
+            }
+        }
+    }
+}
+
+impl SchedulingPolicy for HierPolicy {
+    fn for_config(cfg: &AccelConfig) -> Self {
+        let inner = FlexPolicy::for_config(cfg);
+        let chips = cfg.chips();
+        let spill_threshold = match cfg.cluster.map(|c| c.stealing) {
+            Some(crate::config::StealMode::Hierarchical { spill_threshold }) => spill_threshold,
+            // Flat (or no) cluster stealing: always draw cluster-wide.
+            _ => 0,
+        };
+        HierPolicy {
+            pes_per_chip: inner.num_pes / chips,
+            fails: vec![0; inner.num_pes],
+            inner,
+            chips,
+            spill_threshold,
+        }
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Hier
+    }
+
+    fn arch(&self) -> ArchKind {
+        ArchKind::Flex
+    }
+
+    fn seed(&mut self, root: Task) {
+        self.inner.seed(root);
+    }
+
+    fn push(&mut self, pe: usize, task: Task, at: Time) -> Result<(), Task> {
+        let pushed = self.inner.push(pe, task, at);
+        if pushed.is_ok() {
+            self.fails[pe] = 0;
+        }
+        pushed
+    }
+
+    fn pop_local(&mut self, pe: usize, now: Time) -> Option<Task> {
+        let task = self.inner.pop_local(pe, now);
+        if task.is_some() {
+            self.fails[pe] = 0;
+        }
+        task
+    }
+
+    fn acquire_target(&mut self, pe: usize) -> usize {
+        let fails = self.fails[pe];
+        self.fails[pe] = fails.saturating_add(1);
+        if self.chips <= 1 || fails >= self.spill_threshold {
+            // Spill: the flat cluster-wide draw (identical LFSR math to
+            // stock FlexArch, so 1-chip clusters stay byte-identical).
+            self.inner.acquire_target(pe)
+        } else {
+            self.intra_chip_target(pe)
+        }
+    }
+
+    fn serve_acquire(
+        &mut self,
+        victim: usize,
+        now: Time,
+        service: Time,
+        pred: &dyn Fn(&Task) -> bool,
+    ) -> (Option<Task>, Time) {
+        self.inner.serve_acquire(victim, now, service, pred)
+    }
+
+    fn unit_queue_empty(&self, pe: usize) -> bool {
+        self.inner.unit_queue_empty(pe)
+    }
+
+    fn host_queue_empty(&self) -> bool {
+        self.inner.host_queue_empty()
+    }
+
+    fn queue_peaks(&self) -> (u64, u64) {
+        self.inner.queue_peaks()
+    }
+
+    fn state_to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("flex".to_owned(), self.inner.state_to_json_value()),
+            (
+                "fails".to_owned(),
+                JsonValue::Array(
+                    self.fails
+                        .iter()
+                        .map(|f| JsonValue::num_u64(u64::from(*f)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn restore_state(&mut self, value: &JsonValue) -> Result<(), String> {
+        self.inner.restore_state(
+            value
+                .get("flex")
+                .ok_or("policy state: missing flex object")?,
+        )?;
+        let fails: Vec<u64> = value
+            .get("fails")
+            .and_then(JsonValue::as_array)
+            .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+            .ok_or("policy state: missing fails array")?;
+        if fails.len() != self.inner.num_pes {
+            return Err("policy state: fails length mismatch".to_owned());
+        }
+        self.fails = fails.into_iter().map(|f| f as u32).collect();
+        Ok(())
+    }
+}
+
 /// Where LiteArch's interface block placed one task of a round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundSlot {
@@ -580,6 +764,68 @@ mod tests {
         assert!(p.pop_local(0, Time::from_us(1)).is_none());
         assert!(p.unit_queue_empty(0));
         assert!(!p.host_queue_empty());
+    }
+
+    #[test]
+    fn hier_policy_single_chip_draws_match_flex() {
+        // The golden gate at the policy level: with one chip the hierarchical
+        // draw must consume the LFSRs exactly like stock FlexArch.
+        let cfg = {
+            let mut c = AccelConfig::flex(2, 4);
+            c.cluster = Some(crate::config::ClusterConfig::new(1));
+            c
+        };
+        let mut flex = FlexPolicy::for_config(&cfg);
+        let mut hier = HierPolicy::for_config(&cfg);
+        for round in 0..64 {
+            for pe in 0..8 {
+                assert_eq!(
+                    flex.acquire_target(pe),
+                    hier.acquire_target(pe),
+                    "round {round} pe {pe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hier_policy_stays_intra_chip_until_spill() {
+        let cfg = {
+            let mut c = AccelConfig::flex(4, 4);
+            c.cluster = Some(crate::config::ClusterConfig::new(2).hierarchical(3));
+            c
+        };
+        let mut hier = HierPolicy::for_config(&cfg);
+        let num_pes = cfg.num_pes();
+        // PE 12 lives on chip 1 (PEs 8..16). Its first three draws must stay
+        // on its own chip or target the host interface.
+        for attempt in 0..3 {
+            let v = hier.acquire_target(12);
+            assert!(
+                (8..16).contains(&v) || v == num_pes,
+                "attempt {attempt} spilled early to {v}"
+            );
+            assert_ne!(v, 12, "never self-steals");
+        }
+        // Past the threshold the draw widens to the whole cluster; with the
+        // Lfsr stream some draw eventually lands off-chip.
+        let spilled = (0..64).any(|_| {
+            let v = hier.acquire_target(12);
+            v < 8
+        });
+        assert!(spilled, "spilled draws must reach the other chip");
+        // Local work resets the failure count: the next draw is gated again.
+        let task = Task::new(
+            pxl_model::TaskTypeId(0),
+            pxl_model::Continuation::host(0),
+            &[],
+        );
+        hier.push(12, task, Time::ZERO).unwrap();
+        assert!(hier.pop_local(12, Time::from_us(1)).is_some());
+        for _ in 0..3 {
+            let v = hier.acquire_target(12);
+            assert!((8..16).contains(&v) || v == num_pes);
+        }
     }
 
     #[test]

@@ -18,12 +18,14 @@
 //! Pass `--smoke` to run at `Scale::Tiny` (the CI smoke configuration).
 
 use pxl_apps::Scale;
+use pxl_arch::StealMode;
 use pxl_bench::BenchEvaluator;
 use pxl_cost::FpgaDevice;
 use pxl_dse::{Axis, Exploration, Explorer, PointArch, ResultCache, SearchSpace, Strategy};
 
 const CACHE_PATH: &str = "dse_cache.jsonl";
 const PARETO_PATH: &str = "dse_pareto.jsonl";
+const CLUSTER_PARETO_PATH: &str = "cluster_pareto.jsonl";
 
 /// The swept space: three architectures crossed with tile count, PEs per
 /// tile, and L1 size, pruned against the Artix-7 device. Covers all three
@@ -36,6 +38,28 @@ fn space(benches: &[&str]) -> SearchSpace {
         .tiles(Axis::list([1, 2]))
         .pes_per_tile(Axis::list([2, 4]))
         .cache_kb(Axis::list([16, 32, 48]))
+        .device(FpgaDevice::artix_7a75t())
+}
+
+/// The multi-chip sweep: a fixed 16-PE FlexArch fabric split across 1, 2
+/// and 4 chips, crossed with inter-chip link latency and both stealing
+/// hierarchies. The 1-chip row is the single-chip baseline the cluster
+/// points are judged against; each chip is fitted to the device
+/// independently, so 4×4 tiles that overflow one Artix-7 still sweep when
+/// split across chips.
+fn cluster_space(benches: &[&str]) -> SearchSpace {
+    SearchSpace::new()
+        .benchmarks(benches.iter().copied())
+        .archs([PointArch::Flex])
+        .tiles(Axis::list([4]))
+        .pes_per_tile(Axis::list([4]))
+        .cache_kb(Axis::list([32]))
+        .chips(Axis::list([1, 2, 4]))
+        .link_latency_cycles(Axis::list([16, 64]))
+        .steal_modes([
+            StealMode::Hierarchical { spill_threshold: 2 },
+            StealMode::Flat,
+        ])
         .device(FpgaDevice::artix_7a75t())
 }
 
@@ -121,7 +145,55 @@ fn main() {
         }
     }
 
+    // Pass 4: the cluster sweep — chips × link latency × stealing mode on
+    // the irregular workloads, sharing the same cache and determinism
+    // expectations as the main grid.
+    let cluster_benches: &[&str] = &["uts", "bfsqueue"];
+    let cspace = cluster_space(cluster_benches);
+    let cluster = Explorer::new(&evaluator)
+        .with_cache(open_cache(&mut failures))
+        .explore(&cspace);
+    summarize("cluster", &cluster);
+    for e in &cluster.io_errors {
+        failures.push(format!("cluster cache write failed: {e}"));
+    }
+    for f in &cluster.failed {
+        failures.push(format!("{} [{}]: {}", f.benchmark, f.spec, f.error));
+    }
+    let cluster_again = Explorer::new(&evaluator)
+        .with_cache(open_cache(&mut failures))
+        .explore(&cspace);
+    if cluster_again.cache_misses != 0 || cluster_again.fronts_jsonl() != cluster.fronts_jsonl() {
+        failures.push("determinism gate: cluster re-run diverged".to_owned());
+    }
+    // The headline claim the sweep exists to check: with the link made
+    // expensive, hierarchical stealing must beat flat stealing at the same
+    // geometry on at least one benchmark's front.
+    let hier_beats_flat = cluster.evaluated.iter().any(|a| {
+        a.point
+            .cluster
+            .is_some_and(|c| matches!(c.stealing, StealMode::Hierarchical { .. }))
+            && cluster.evaluated.iter().any(|b| {
+                b.benchmark == a.benchmark
+                    && b.point.tiles == a.point.tiles
+                    && b.point.cluster.is_some_and(|c| {
+                        c.stealing == StealMode::Flat
+                            && Some(c.chips) == a.point.cluster.map(|x| x.chips)
+                            && Some(c.link_latency_cycles)
+                                == a.point.cluster.map(|x| x.link_latency_cycles)
+                    })
+                    && a.measurement.whole_ps < b.measurement.whole_ps
+            })
+    });
+    if !hier_beats_flat {
+        failures.push(
+            "cluster sweep: hierarchical stealing never beat flat at any matched geometry"
+                .to_owned(),
+        );
+    }
+
     println!("{}", first.report_markdown());
+    println!("{}", cluster.report_markdown());
 
     let fronts = first.fronts_jsonl();
     match std::fs::write(PARETO_PATH, &fronts) {
@@ -130,6 +202,14 @@ fn main() {
             fronts.lines().count()
         ),
         Err(e) => failures.push(format!("failed to write {PARETO_PATH}: {e}")),
+    }
+    let cluster_fronts = cluster.fronts_jsonl();
+    match std::fs::write(CLUSTER_PARETO_PATH, &cluster_fronts) {
+        Ok(()) => eprintln!(
+            "[jsonl] wrote {} cluster front point(s) to {CLUSTER_PARETO_PATH}",
+            cluster_fronts.lines().count()
+        ),
+        Err(e) => failures.push(format!("failed to write {CLUSTER_PARETO_PATH}: {e}")),
     }
 
     if !failures.is_empty() {

@@ -17,11 +17,16 @@ use std::time::Instant;
 
 use pxl_apps::Scale;
 use pxl_arch::AccelConfig;
-use pxl_bench::{bench, render_table, run_central, run_cpu, run_flex, run_lite, RunOutcome};
+use pxl_bench::{
+    bench, render_table, run_central, run_cluster, run_cpu, run_flex, run_lite, RunOutcome,
+};
 use pxl_sim::config::CpuCoreParams;
 
 const PES: usize = 16;
 const BENCHES: [&str; 2] = ["uts", "queens"];
+/// The benchmarks the multi-chip rows run: one irregular-tree and one
+/// queue-driven workload, matching the cluster study in EXPERIMENTS.md.
+const CLUSTER_BENCHES: [&str; 2] = ["uts", "bfsqueue"];
 
 struct PerfRow {
     bench: &'static str,
@@ -30,6 +35,10 @@ struct PerfRow {
     wall_s: f64,
     sim_cycles: u64,
     tasks: u64,
+    /// `link.steal_hits / accel.steal_hits` for cluster rows: the fraction
+    /// of successful steals that crossed a chip boundary. `None` on
+    /// single-chip engines.
+    inter_chip_steals: Option<f64>,
 }
 
 impl PerfRow {
@@ -42,11 +51,15 @@ impl PerfRow {
     }
 
     fn to_jsonl(&self) -> String {
+        let cluster = self
+            .inter_chip_steals
+            .map(|r| format!(",\"inter_chip_steals\":{r:.4}"))
+            .unwrap_or_default();
         format!(
             concat!(
                 "{{\"perf\":true,\"bench\":\"{}\",\"engine\":\"{}\",",
                 "\"units\":{},\"wall_s\":{:.6},\"sim_cycles\":{},",
-                "\"tasks\":{},\"cycles_per_sec\":{:.1},\"tasks_per_sec\":{:.1}}}"
+                "\"tasks\":{},\"cycles_per_sec\":{:.1},\"tasks_per_sec\":{:.1}{}}}"
             ),
             self.bench,
             self.engine,
@@ -56,6 +69,7 @@ impl PerfRow {
             self.tasks,
             self.cycles_per_sec(),
             self.tasks_per_sec(),
+            cluster,
         )
     }
 }
@@ -73,6 +87,18 @@ fn measure(name: &'static str, engine: &'static str, run: impl FnOnce() -> RunOu
     let out = run();
     let wall_s = start.elapsed().as_secs_f64().max(1e-9);
     let tasks = out.metrics.get("accel.tasks") + out.metrics.get("cpu.tasks");
+    // `link.*` counters only exist on multi-chip fabrics, so their absence
+    // marks a single-chip row.
+    let inter_chip_steals = if out.metrics.get("link.msgs") > 0 {
+        let hits = out.metrics.get("accel.steal_hits");
+        Some(if hits == 0 {
+            0.0
+        } else {
+            out.metrics.get("link.steal_hits") as f64 / hits as f64
+        })
+    } else {
+        None
+    };
     PerfRow {
         bench: name,
         engine,
@@ -80,6 +106,7 @@ fn measure(name: &'static str, engine: &'static str, run: impl FnOnce() -> RunOu
         wall_s,
         sim_cycles: out.kernel.as_ps() / cycle_ps(engine),
         tasks,
+        inter_chip_steals,
     }
 }
 
@@ -100,6 +127,23 @@ fn main() {
         rows.push(measure(name, "cpu", || run_cpu(b.as_ref(), PES)));
     }
 
+    // Multi-chip fabrics: the same 16 PEs split across 2 and 4 chips,
+    // stealing hierarchically vs. flat across the inter-chip link.
+    for name in CLUSTER_BENCHES {
+        let b = bench(name, scale);
+        eprintln!("[perf] {name}: 2-chip and 4-chip clusters at {PES} PEs...");
+        for (chips, hier_label, flat_label) in [(2, "hier2", "flat2"), (4, "hier4", "flat4")]
+            as [(usize, &'static str, &'static str); 2]
+        {
+            rows.push(measure(name, hier_label, || {
+                run_cluster(b.as_ref(), PES, chips, true, hier_label)
+            }));
+            rows.push(measure(name, flat_label, || {
+                run_cluster(b.as_ref(), PES, chips, false, flat_label)
+            }));
+        }
+    }
+
     println!("## Host throughput ({:?})\n", scale);
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -110,13 +154,22 @@ fn main() {
                 format!("{:.1} ms", r.wall_s * 1e3),
                 format!("{:.3e}", r.cycles_per_sec()),
                 format!("{:.3e}", r.tasks_per_sec()),
+                r.inter_chip_steals
+                    .map_or("-".to_owned(), |x| format!("{:.1}%", x * 100.0)),
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["Benchmark", "Engine", "Wall", "Sim cycles/s", "Tasks/s"],
+            &[
+                "Benchmark",
+                "Engine",
+                "Wall",
+                "Sim cycles/s",
+                "Tasks/s",
+                "Inter-chip steals"
+            ],
             &table
         )
     );

@@ -22,7 +22,7 @@
 
 use pxl_apps::Scale;
 use pxl_bench::{render_table, RunOutcome, ALL_BENCHES};
-use pxl_dse::{DesignPoint, PointArch};
+use pxl_dse::{ClusterPoint, DesignPoint, PointArch};
 use pxl_flow::RunSpec;
 use pxl_profile::{to_perfetto_json, Layout, Profile};
 
@@ -31,14 +31,16 @@ use pxl_profile::{to_perfetto_json, Layout, Profile};
 const TRACE_CAPACITY: usize = 1 << 20;
 
 /// The engines the driver profiles. Accelerators run the paper's 8-PE
-/// (2 tiles × 4) geometry; the CPU baseline runs 4 cores as one tile.
-const ENGINES: [&str; 4] = ["flex", "central", "lite", "cpu"];
+/// (2 tiles × 4) geometry; the CPU baseline runs 4 cores as one tile; the
+/// hierarchical cluster splits the same 8 PEs across 2 chips of 2 tiles,
+/// exercising the per-chip rollups and link-bound analysis.
+const ENGINES: [&str; 5] = ["flex", "central", "lite", "cpu", "hier"];
 
 fn layout_for(label: &str) -> Layout {
-    if label == "cpu" {
-        Layout::new(4, 4)
-    } else {
-        Layout::new(8, 4)
+    match label {
+        "cpu" => Layout::new(4, 4),
+        "hier" => Layout::clustered(8, 2, 2),
+        _ => Layout::new(8, 4),
     }
 }
 
@@ -50,6 +52,7 @@ fn run_traced(name: &str, scale: Scale, label: &str) -> Option<RunOutcome> {
         "central" => DesignPoint::accel(PointArch::Central, 2, 4),
         "lite" => DesignPoint::accel(PointArch::Lite, 2, 4),
         "cpu" => DesignPoint::cpu(4),
+        "hier" => DesignPoint::accel(PointArch::Flex, 4, 2).clustered(ClusterPoint::new(2)),
         other => panic!("unknown engine label {other}"),
     };
     let spec = RunSpec::new(name, scale, point).with_trace(TRACE_CAPACITY);

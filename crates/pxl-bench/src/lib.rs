@@ -88,6 +88,32 @@ pub fn run_lite(
     run_on(engine.as_mut(), bench, "lite")
 }
 
+/// Runs `bench` on a multi-chip FlexArch cluster: `pes` PEs split evenly
+/// across `chips` chips, stealing hierarchically (intra-chip first) when
+/// `hierarchical`, or treating the whole fabric as flat otherwise. The
+/// inter-chip link runs the default [`pxl_arch::ClusterConfig`] timing.
+///
+/// # Panics
+///
+/// Panics if the geometry does not split across `chips`, the simulation
+/// fails, or the output does not validate.
+pub fn run_cluster(
+    bench: &dyn Benchmark,
+    pes: usize,
+    chips: usize,
+    hierarchical: bool,
+    label: &str,
+) -> RunOutcome {
+    let (tiles, per_tile) = geometry(pes);
+    let mut cfg = AccelConfig::flex(tiles, per_tile);
+    cfg.cluster = Some(if hierarchical {
+        pxl_arch::ClusterConfig::new(chips)
+    } else {
+        pxl_arch::ClusterConfig::new(chips).flat()
+    });
+    run_flex_with_config(bench, cfg, label)
+}
+
 /// Runs `bench` on the centralized shared-queue ablation with `pes` PEs —
 /// FlexArch's task model over one global ready queue, quantifying what
 /// distributed hardware work stealing buys.

@@ -26,6 +26,11 @@ pub struct EnergyModel {
     pub e_task_nj: f64,
     /// Energy per steal attempt (request + response messages).
     pub e_steal_nj: f64,
+    /// Energy per message crossing an inter-chip link (SerDes + board
+    /// trace; an order of magnitude above an on-chip crossbar hop).
+    /// Single-chip runs register no `link.msgs` counter, so the term
+    /// contributes exactly zero for them.
+    pub e_link_nj: f64,
     /// Energy per L1 hit.
     pub e_l1_hit_nj: f64,
     /// Energy per L1 miss serviced by L2 or a peer cache.
@@ -52,6 +57,7 @@ impl Default for EnergyModel {
             pe_idle_w: 0.004,
             e_task_nj: 0.5,
             e_steal_nj: 1.0,
+            e_link_nj: 10.0,
             e_l1_hit_nj: 0.2,
             e_l1_miss_nj: 2.5,
             e_dram_line_nj: 30.0,
@@ -113,7 +119,8 @@ impl EnergyModel {
         let busy = Self::busy_seconds(stats, ".busy_ps");
         let idle = (num_pes as f64 * t - busy).max(0.0);
         let events = (self.e_task_nj * stats.get("accel.tasks") as f64
-            + self.e_steal_nj * stats.get("accel.steal_attempts") as f64)
+            + self.e_steal_nj * stats.get("accel.steal_attempts") as f64
+            + self.e_link_nj * stats.get("link.msgs") as f64)
             * 1e-9;
         EnergyBreakdown {
             static_j: ((self.accel_static_w + self.accel_static_per_pe_w * num_pes as f64) * scale
@@ -201,6 +208,22 @@ mod tests {
             cpu / accel > 5.0,
             "expected a large power gap, got {:.2}x",
             cpu / accel
+        );
+    }
+
+    #[test]
+    fn inter_chip_link_traffic_shows_up_in_dynamic_energy() {
+        let m = EnergyModel::default();
+        let single = m.accel_energy(&fake_stats(&[100_000], 10, 1), Time::from_us(1), 1);
+        let clustered = {
+            let mut s = fake_stats(&[100_000], 10, 1);
+            s.add("link.msgs", 1_000);
+            m.accel_energy(&s, Time::from_us(1), 1)
+        };
+        let expected = m.e_link_nj * 1_000.0 * 1e-9;
+        assert!(
+            (clustered.dynamic_j - single.dynamic_j - expected).abs() < 1e-12,
+            "link messages must charge exactly e_link_nj each"
         );
     }
 

@@ -76,6 +76,6 @@ pub use cache::{Measurement, ResultCache};
 pub use explore::{Evaluate, Evaluated, Exploration, Explorer, FailedPoint, Fidelity, Strategy};
 pub use pareto::{dominates, FrontPoint, ParetoFront};
 pub use space::{
-    pe_geometry, Axis, Candidate, DesignPoint, Partition, PointArch, PruneReason, PrunedCandidate,
-    SearchSpace,
+    pe_geometry, Axis, Candidate, ClusterPoint, DesignPoint, Partition, PointArch, PruneReason,
+    PrunedCandidate, SearchSpace,
 };

@@ -174,6 +174,7 @@ mod tests {
             cache_kb: 32,
             task_queue_entries: 1024,
             pstore_entries: 4096,
+            cluster: None,
         }
     }
 

@@ -16,7 +16,7 @@
 //!   rejects points whose tiles do not fit
 //!   ([`PruneReason::DoesNotFit`]).
 
-use pxl_arch::{AccelConfig, ArchKind, ConfigError};
+use pxl_arch::{AccelConfig, ArchKind, ClusterConfig, ConfigError, StealMode};
 use pxl_cost::resources::{tile_resources, FpgaDevice, TileResources};
 
 /// The values one architectural knob ranges over.
@@ -132,6 +132,68 @@ impl From<ArchKind> for PointArch {
     }
 }
 
+/// The multi-chip shape of a clustered design point: how many chips the
+/// tiles split across, the inter-chip link's timing, and which stealing
+/// discipline spans the chip boundary. Single-chip points spell this as
+/// `None` on [`DesignPoint::cluster`] so their spec strings and cache keys
+/// are unchanged from before clusters existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterPoint {
+    /// Number of chips the tiles partition across (≥ 2; one chip is `None`).
+    pub chips: usize,
+    /// Inter-chip link latency per hop, in engine cycles.
+    pub link_latency_cycles: u64,
+    /// Link serialization (occupancy) per message, in engine cycles —
+    /// the inverse-bandwidth knob.
+    pub link_occupancy_cycles: u64,
+    /// Stealing discipline across the chip boundary.
+    pub stealing: StealMode,
+}
+
+impl ClusterPoint {
+    /// A `chips`-chip cluster with [`ClusterConfig::new`]'s default link
+    /// timing and hierarchical stealing.
+    pub fn new(chips: usize) -> Self {
+        let defaults = ClusterConfig::new(chips);
+        ClusterPoint {
+            chips,
+            link_latency_cycles: defaults.link_latency_cycles,
+            link_occupancy_cycles: defaults.link_occupancy_cycles,
+            stealing: defaults.stealing,
+        }
+    }
+
+    /// Switches the cross-chip stealing discipline to flat (the naive
+    /// baseline that ignores chip boundaries).
+    pub fn flat(mut self) -> Self {
+        self.stealing = StealMode::Flat;
+        self
+    }
+
+    /// Sets the link latency and occupancy, in engine cycles.
+    pub fn with_link(mut self, latency_cycles: u64, occupancy_cycles: u64) -> Self {
+        self.link_latency_cycles = latency_cycles;
+        self.link_occupancy_cycles = occupancy_cycles;
+        self
+    }
+
+    /// The `steal=` term of the spec string (`hier:<threshold>` / `flat`).
+    pub fn steal_label(&self) -> String {
+        match self.stealing {
+            StealMode::Hierarchical { spill_threshold } => format!("hier:{spill_threshold}"),
+            StealMode::Flat => "flat".to_owned(),
+        }
+    }
+
+    /// The [`ClusterConfig`] this point elaborates to (all-to-all topology).
+    pub fn cluster_config(&self) -> ClusterConfig {
+        let mut cfg = ClusterConfig::new(self.chips)
+            .with_link(self.link_latency_cycles, self.link_occupancy_cycles);
+        cfg.stealing = self.stealing;
+        cfg
+    }
+}
+
 /// One assignment of the template's knobs.
 ///
 /// CPU points carry only a core count (`tiles == 1`,
@@ -151,6 +213,8 @@ pub struct DesignPoint {
     pub task_queue_entries: usize,
     /// Per-tile P-Store entries (0 for CPU points).
     pub pstore_entries: usize,
+    /// Multi-chip cluster shape; `None` is the classic single-chip point.
+    pub cluster: Option<ClusterPoint>,
 }
 
 impl DesignPoint {
@@ -175,6 +239,7 @@ impl DesignPoint {
             cache_kb: 32,
             task_queue_entries: 1024,
             pstore_entries: 8192,
+            cluster: None,
         }
     }
 
@@ -187,7 +252,14 @@ impl DesignPoint {
             cache_kb: 0,
             task_queue_entries: 0,
             pstore_entries: 0,
+            cluster: None,
         }
+    }
+
+    /// Splits the point's tiles across a multi-chip cluster.
+    pub fn clustered(mut self, cluster: ClusterPoint) -> Self {
+        self.cluster = Some(cluster);
+        self
     }
 
     /// Total execution units: PEs for accelerators, cores for the CPU.
@@ -208,6 +280,7 @@ impl DesignPoint {
         cfg.task_queue_entries = self.task_queue_entries;
         cfg.pstore_entries = self.pstore_entries;
         cfg.memory.accel_l1 = cfg.memory.accel_l1.clone().with_size(self.cache_kb * 1024);
+        cfg.cluster = self.cluster.map(|c| c.cluster_config());
         Some(cfg)
     }
 
@@ -226,25 +299,47 @@ impl DesignPoint {
     ///     cache_kb: 32,
     ///     task_queue_entries: 1024,
     ///     pstore_entries: 4096,
+    ///     cluster: None,
     /// };
     /// assert_eq!(
     ///     p.spec(),
     ///     "arch=flex tiles=4 pes=4 cache_kb=32 queue=1024 pstore=4096"
     /// );
     /// assert_eq!(DesignPoint::cpu(8).spec(), "arch=cpu cores=8");
+    /// use pxl_dse::ClusterPoint;
+    /// assert_eq!(
+    ///     p.clustered(ClusterPoint::new(2)).spec(),
+    ///     "arch=flex tiles=4 pes=4 cache_kb=32 queue=1024 pstore=4096 \
+    ///      chips=2 link_lat=32 link_occ=8 steal=hier:2"
+    /// );
     /// ```
     pub fn spec(&self) -> String {
         match self.arch {
             PointArch::Cpu => format!("arch=cpu cores={}", self.units()),
-            _ => format!(
-                "arch={} tiles={} pes={} cache_kb={} queue={} pstore={}",
-                self.arch.label(),
-                self.tiles,
-                self.pes_per_tile,
-                self.cache_kb,
-                self.task_queue_entries,
-                self.pstore_entries
-            ),
+            _ => {
+                let mut out = format!(
+                    "arch={} tiles={} pes={} cache_kb={} queue={} pstore={}",
+                    self.arch.label(),
+                    self.tiles,
+                    self.pes_per_tile,
+                    self.cache_kb,
+                    self.task_queue_entries,
+                    self.pstore_entries
+                );
+                // Cluster terms append only when set, so every single-chip
+                // spec string (and the cache keys derived from it) is
+                // byte-identical to the pre-cluster format.
+                if let Some(c) = &self.cluster {
+                    out.push_str(&format!(
+                        " chips={} link_lat={} link_occ={} steal={}",
+                        c.chips,
+                        c.link_latency_cycles,
+                        c.link_occupancy_cycles,
+                        c.steal_label()
+                    ));
+                }
+                out
+            }
         }
     }
 }
@@ -336,6 +431,14 @@ pub struct SearchSpace {
     /// tiles × pes cross product (the scalability-sweep shape).
     geometry_pairs: Option<Vec<(usize, usize)>>,
     device: Option<FpgaDevice>,
+    /// Chip counts; values above 1 grow FlexArch points into clusters.
+    chips: Axis,
+    /// Inter-chip link latency axis (engine cycles per hop).
+    link_latency_cycles: Axis,
+    /// Inter-chip link occupancy axis (engine cycles per message).
+    link_occupancy_cycles: Axis,
+    /// Cross-chip stealing disciplines to enumerate for multi-chip points.
+    steal_modes: Vec<StealMode>,
 }
 
 impl Default for SearchSpace {
@@ -357,6 +460,10 @@ impl SearchSpace {
             pstore_entries: Axis::fixed(4096),
             geometry_pairs: None,
             device: None,
+            chips: Axis::fixed(1),
+            link_latency_cycles: Axis::fixed(32),
+            link_occupancy_cycles: Axis::fixed(8),
+            steal_modes: vec![StealMode::Hierarchical { spill_threshold: 2 }],
         }
     }
 
@@ -417,9 +524,43 @@ impl SearchSpace {
     }
 
     /// Constrains accelerator points to tiles that fit `device` (checked in
-    /// [`SearchSpace::partition`]).
+    /// [`SearchSpace::partition`]). On clustered points each *chip's* tile
+    /// share must fit: a 2-chip 8-tile point needs 4 tiles per device.
     pub fn device(mut self, device: FpgaDevice) -> Self {
         self.device = Some(device);
+        self
+    }
+
+    /// Sets the chip-count axis. Values above 1 turn FlexArch points into
+    /// multi-chip clusters; the value 1 keeps the classic single-chip point.
+    pub fn chips(mut self, axis: Axis) -> Self {
+        self.chips = axis;
+        self
+    }
+
+    /// Sets the inter-chip link latency axis (engine cycles per hop).
+    pub fn link_latency_cycles(mut self, axis: Axis) -> Self {
+        self.link_latency_cycles = axis;
+        self
+    }
+
+    /// Sets the inter-chip link occupancy axis (engine cycles per message;
+    /// the inverse-bandwidth knob).
+    pub fn link_occupancy_cycles(mut self, axis: Axis) -> Self {
+        self.link_occupancy_cycles = axis;
+        self
+    }
+
+    /// Sets the cross-chip stealing disciplines to enumerate (duplicates
+    /// dropped, order kept). Only multi-chip points expand over this list.
+    pub fn steal_modes(mut self, modes: impl IntoIterator<Item = StealMode>) -> Self {
+        let mut out: Vec<StealMode> = Vec::new();
+        for m in modes {
+            if !out.contains(&m) {
+                out.push(m);
+            }
+        }
+        self.steal_modes = out;
         self
     }
 
@@ -457,24 +598,67 @@ impl SearchSpace {
                 }
                 continue;
             }
+            let clusters = self.cluster_variants(arch);
             for &(tiles, pes_per_tile) in &pairs {
                 for &cache_kb in self.cache_kb.values() {
                     for &task_queue_entries in self.task_queue_entries.values() {
                         for &pstore_entries in self.pstore_entries.values() {
-                            points.push(DesignPoint {
-                                arch,
-                                tiles,
-                                pes_per_tile,
-                                cache_kb,
-                                task_queue_entries,
-                                pstore_entries,
-                            });
+                            for &cluster in &clusters {
+                                points.push(DesignPoint {
+                                    arch,
+                                    tiles,
+                                    pes_per_tile,
+                                    cache_kb,
+                                    task_queue_entries,
+                                    pstore_entries,
+                                    cluster,
+                                });
+                            }
                         }
                     }
                 }
             }
         }
         points
+    }
+
+    /// The cluster shapes one base point expands into: `None` for each
+    /// chips=1 value, the chips × link × stealing cross product otherwise.
+    /// Only FlexArch points cluster (the link tier needs work stealing);
+    /// with the default single-chip axes this is just `[None]`, so spaces
+    /// that never mention chips enumerate exactly as before.
+    fn cluster_variants(&self, arch: PointArch) -> Vec<Option<ClusterPoint>> {
+        let mut out: Vec<Option<ClusterPoint>> = Vec::new();
+        if arch != PointArch::Flex {
+            return vec![None];
+        }
+        for &chips in self.chips.values() {
+            if chips <= 1 {
+                if !out.contains(&None) {
+                    out.push(None);
+                }
+                continue;
+            }
+            for &lat in self.link_latency_cycles.values() {
+                for &occ in self.link_occupancy_cycles.values() {
+                    for &stealing in &self.steal_modes {
+                        let c = Some(ClusterPoint {
+                            chips,
+                            link_latency_cycles: lat as u64,
+                            link_occupancy_cycles: occ as u64,
+                            stealing,
+                        });
+                        if !out.contains(&c) {
+                            out.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push(None);
+        }
+        out
     }
 
     /// All (benchmark, point) candidates: benchmarks outermost, so one
@@ -543,7 +727,11 @@ impl SearchSpace {
         }
         if let (Some(device), Some(resources)) = (&self.device, &candidate.resources) {
             let max_tiles = device.max_tiles(&resources.tile);
-            if point.tiles as u32 > max_tiles {
+            // Each chip is its own device: fit the per-chip tile share, not
+            // the cluster total.
+            let chips = point.cluster.map_or(1, |c| c.chips.max(1));
+            let per_chip_tiles = point.tiles.div_ceil(chips);
+            if per_chip_tiles as u32 > max_tiles {
                 return Some(PruneReason::DoesNotFit {
                     device: device.name,
                     max_tiles,
@@ -589,6 +777,7 @@ mod tests {
                 cache_kb: 16,
                 task_queue_entries: 1024,
                 pstore_entries: 4096,
+                cluster: None,
             }
             .spec()
         );

@@ -50,7 +50,10 @@ pub use run::{
 pub use session::{SessionStatus, SimSession};
 pub use spec::{CheckpointPolicy, RunSpec, SpecError};
 
-use pxl_arch::{AccelConfig, ArchKind, CentralEngine, ConfigError, Engine, FlexEngine, LiteEngine};
+use pxl_arch::{
+    AccelConfig, ArchKind, CentralEngine, ConfigError, Engine, FlexEngine, HierEngine, LiteEngine,
+    StealMode,
+};
 use pxl_cost::resources::{tile_resources, FpgaDevice, TileResources};
 use pxl_cpu::{CpuEngine, SoftwareCosts};
 use pxl_dse::{Axis, DesignPoint, PointArch, SearchSpace};
@@ -627,7 +630,17 @@ impl SimulationBuilder {
                     pxl_arch::AccelError::InvalidConfig(msg) => FlowError::InvalidConfig(msg),
                     other => FlowError::InvalidConfig(other.to_string()),
                 };
+                // A multi-chip cluster with hierarchical stealing swaps in
+                // the HierPolicy engine; flat-stealing clusters and all
+                // single-chip configs run the stock engines (the link tier
+                // lives in the shared fabric, so flat clusters still pay it).
+                let hierarchical = config.cluster.is_some_and(|c| {
+                    c.chips > 1 && matches!(c.stealing, StealMode::Hierarchical { .. })
+                });
                 Ok(match config.arch {
+                    ArchKind::Flex if hierarchical => {
+                        Box::new(HierEngine::try_new(config, self.profile).map_err(lift)?)
+                    }
                     ArchKind::Flex => {
                         Box::new(FlexEngine::try_new(config, self.profile).map_err(lift)?)
                     }
@@ -743,6 +756,7 @@ mod tests {
             cache_kb: 8,
             task_queue_entries: 256,
             pstore_entries: 1024,
+            cluster: None,
         };
         let d = design_for_point("nw", &point).unwrap();
         assert_eq!(d.config.arch, ArchKind::Lite);
@@ -765,6 +779,7 @@ mod tests {
             cache_kb: 16,
             task_queue_entries: 64,
             pstore_entries: 512,
+            cluster: None,
         };
         let engine = SimulationBuilder::from_point(&point, ExecProfile::scalar())
             .build()

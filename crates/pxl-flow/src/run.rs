@@ -185,7 +185,7 @@ pub fn run_checked(
                 .map_err(|e| RunError::Sim(format!("{name} on {label}/{units}u failed: {e}")))?;
             (inst.footprint_bytes, out)
         }
-        EngineKind::Flex | EngineKind::Central | EngineKind::Cpu => {
+        EngineKind::Flex | EngineKind::Hier | EngineKind::Central | EngineKind::Cpu => {
             let inst = bench.flex(engine.mem_mut());
             let mut worker = inst.worker;
             let out = engine

@@ -130,7 +130,7 @@ impl SimSession {
                     inst.footprint_bytes,
                 )
             }
-            EngineKind::Flex | EngineKind::Central | EngineKind::Cpu => {
+            EngineKind::Flex | EngineKind::Hier | EngineKind::Central | EngineKind::Cpu => {
                 let inst = bench.flex(engine.mem_mut());
                 (
                     inst.worker,

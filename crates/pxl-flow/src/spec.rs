@@ -27,7 +27,8 @@
 //! ```
 
 use pxl_apps::Scale;
-use pxl_dse::{DesignPoint, PointArch};
+use pxl_arch::StealMode;
+use pxl_dse::{ClusterPoint, DesignPoint, PointArch};
 use pxl_model::ExecProfile;
 use pxl_sim::json::JsonValue;
 use pxl_sim::{fnv64, FaultPlan};
@@ -201,29 +202,64 @@ impl RunSpec {
                     JsonValue::num_u64(self.point.units() as u64),
                 ),
             ]),
-            arch => JsonValue::Object(vec![
-                ("arch".to_owned(), JsonValue::Str(arch.label().to_owned())),
-                (
-                    "tiles".to_owned(),
-                    JsonValue::num_u64(self.point.tiles as u64),
-                ),
-                (
-                    "pes_per_tile".to_owned(),
-                    JsonValue::num_u64(self.point.pes_per_tile as u64),
-                ),
-                (
-                    "cache_kb".to_owned(),
-                    JsonValue::num_u64(self.point.cache_kb as u64),
-                ),
-                (
-                    "task_queue_entries".to_owned(),
-                    JsonValue::num_u64(self.point.task_queue_entries as u64),
-                ),
-                (
-                    "pstore_entries".to_owned(),
-                    JsonValue::num_u64(self.point.pstore_entries as u64),
-                ),
-            ]),
+            arch => {
+                let mut members = vec![
+                    ("arch".to_owned(), JsonValue::Str(arch.label().to_owned())),
+                    (
+                        "tiles".to_owned(),
+                        JsonValue::num_u64(self.point.tiles as u64),
+                    ),
+                    (
+                        "pes_per_tile".to_owned(),
+                        JsonValue::num_u64(self.point.pes_per_tile as u64),
+                    ),
+                    (
+                        "cache_kb".to_owned(),
+                        JsonValue::num_u64(self.point.cache_kb as u64),
+                    ),
+                    (
+                        "task_queue_entries".to_owned(),
+                        JsonValue::num_u64(self.point.task_queue_entries as u64),
+                    ),
+                    (
+                        "pstore_entries".to_owned(),
+                        JsonValue::num_u64(self.point.pstore_entries as u64),
+                    ),
+                ];
+                // Optional member, omitted for single-chip points, so every
+                // pre-cluster spec's JSON rendering is byte-unchanged.
+                if let Some(c) = &self.point.cluster {
+                    members.push((
+                        "cluster".to_owned(),
+                        JsonValue::Object(vec![
+                            ("chips".to_owned(), JsonValue::num_u64(c.chips as u64)),
+                            (
+                                "link_latency_cycles".to_owned(),
+                                JsonValue::num_u64(c.link_latency_cycles),
+                            ),
+                            (
+                                "link_occupancy_cycles".to_owned(),
+                                JsonValue::num_u64(c.link_occupancy_cycles),
+                            ),
+                            (
+                                "stealing".to_owned(),
+                                JsonValue::Str(match c.stealing {
+                                    StealMode::Hierarchical { .. } => "hierarchical".to_owned(),
+                                    StealMode::Flat => "flat".to_owned(),
+                                }),
+                            ),
+                            (
+                                "spill_threshold".to_owned(),
+                                JsonValue::num_u64(u64::from(match c.stealing {
+                                    StealMode::Hierarchical { spill_threshold } => spill_threshold,
+                                    StealMode::Flat => 0,
+                                })),
+                            ),
+                        ]),
+                    ));
+                }
+                JsonValue::Object(members)
+            }
         };
         let mut members = vec![
             (
@@ -399,6 +435,11 @@ fn parse_point(value: &JsonValue) -> Result<DesignPoint, SpecError> {
                 "lite" => PointArch::Lite,
                 _ => PointArch::Central,
             };
+            let cluster = match value.get("cluster") {
+                None => None,
+                Some(c) if c.is_null() => None,
+                Some(c) => Some(parse_cluster(c)?),
+            };
             Ok(DesignPoint {
                 arch,
                 tiles: field("tiles")?,
@@ -406,6 +447,7 @@ fn parse_point(value: &JsonValue) -> Result<DesignPoint, SpecError> {
                 cache_kb: field("cache_kb")?,
                 task_queue_entries: field("task_queue_entries")?,
                 pstore_entries: field("pstore_entries")?,
+                cluster,
             })
         }
         other => Err(SpecError::Invalid {
@@ -413,6 +455,46 @@ fn parse_point(value: &JsonValue) -> Result<DesignPoint, SpecError> {
             message: format!("unknown arch {other:?} (flex|lite|central|cpu)"),
         }),
     }
+}
+
+fn parse_cluster(value: &JsonValue) -> Result<ClusterPoint, SpecError> {
+    let num = |key: &'static str| {
+        value
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or(SpecError::Missing(key))
+    };
+    let chips = num("chips")? as usize;
+    if chips < 2 {
+        return Err(SpecError::Invalid {
+            field: "cluster",
+            message: "a cluster needs at least 2 chips (omit the member for one chip)".to_owned(),
+        });
+    }
+    let stealing = match value.get("stealing").and_then(JsonValue::as_str) {
+        Some("flat") => StealMode::Flat,
+        Some("hierarchical") => StealMode::Hierarchical {
+            spill_threshold: u32::try_from(num("spill_threshold")?).map_err(|_| {
+                SpecError::Invalid {
+                    field: "spill_threshold",
+                    message: "spill threshold overflows u32".to_owned(),
+                }
+            })?,
+        },
+        Some(other) => {
+            return Err(SpecError::Invalid {
+                field: "stealing",
+                message: format!("unknown stealing mode {other:?} (hierarchical|flat)"),
+            });
+        }
+        None => return Err(SpecError::Missing("stealing")),
+    };
+    Ok(ClusterPoint {
+        chips,
+        link_latency_cycles: num("link_latency_cycles")?,
+        link_occupancy_cycles: num("link_occupancy_cycles")?,
+        stealing,
+    })
 }
 
 #[cfg(test)]

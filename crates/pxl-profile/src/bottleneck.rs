@@ -94,6 +94,119 @@ fn verdict(t: &TileBottleneck) -> &'static str {
     }
 }
 
+/// One chip's utilization rollup and verdict in a multi-chip cluster run.
+///
+/// The chip aggregates its tiles' busy time, and additionally owns the
+/// inter-chip link traffic it *sends*: every `link_xfer` trace event
+/// charges its serialization stall (`wait_ps`) to the source chip, since
+/// that is where messages queue when the link's bandwidth bound is the
+/// constraint. The verdict ladder:
+///
+/// 1. link stall > 10% of capacity → `link-bound` (the link is a single
+///    shared resource, so a much smaller fraction than a per-PE class
+///    already serializes the whole chip)
+/// 2. compute > 60% of capacity → `compute-bound`
+/// 3. otherwise → `underutilized`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipBottleneck {
+    /// Chip index.
+    pub chip: u32,
+    /// PEs on this chip.
+    pub pes: u32,
+    /// Capacity: `elapsed × pes` picoseconds.
+    pub capacity_ps: u64,
+    /// Task execution time summed over the chip's PEs.
+    pub busy_ps: u64,
+    /// Inter-chip messages this chip sent.
+    pub link_msgs: u64,
+    /// Of those, steal-protocol messages (requests + replies).
+    pub link_steal_msgs: u64,
+    /// Serialization stall accumulated by this chip's outbound messages.
+    pub link_wait_ps: u64,
+    /// The verdict from the ladder above.
+    pub verdict: &'static str,
+}
+
+impl ChipBottleneck {
+    /// Compute fraction of capacity.
+    pub fn busy_frac(&self) -> f64 {
+        frac(self.busy_ps, self.capacity_ps)
+    }
+
+    /// Outbound link-stall fraction of capacity.
+    pub fn link_frac(&self) -> f64 {
+        frac(self.link_wait_ps, self.capacity_ps)
+    }
+}
+
+fn chip_verdict(c: &ChipBottleneck) -> &'static str {
+    let cap = c.capacity_ps;
+    if c.link_wait_ps * 10 > cap {
+        "link-bound"
+    } else if c.busy_ps * 5 > cap * 3 {
+        "compute-bound"
+    } else {
+        "underutilized"
+    }
+}
+
+/// Rolls the run up per chip. Returns an empty vector for unclustered
+/// layouts (`chips() <= 1`), so single-chip reports carry no chip section
+/// and stay byte-identical to their pre-cluster form.
+pub fn attribute_chips(
+    records: &[TraceRecord],
+    layout: &Layout,
+    elapsed: Time,
+    units: &[UnitUtilization],
+) -> Vec<ChipBottleneck> {
+    let chips = layout.chips();
+    if chips <= 1 {
+        return Vec::new();
+    }
+    let mut out: Vec<ChipBottleneck> = (0..chips)
+        .map(|c| ChipBottleneck {
+            chip: c as u32,
+            pes: 0,
+            capacity_ps: 0,
+            busy_ps: 0,
+            link_msgs: 0,
+            link_steal_msgs: 0,
+            link_wait_ps: 0,
+            verdict: "underutilized",
+        })
+        .collect();
+    for unit in 0..layout.units as u32 {
+        out[layout.chip_of(unit)].pes += 1;
+    }
+    for c in &mut out {
+        c.capacity_ps = elapsed.as_ps() * c.pes as u64;
+    }
+    for u in units {
+        out[layout.chip_of(u.unit)].busy_ps += u.busy_ps;
+    }
+    for r in records {
+        if let TraceEvent::LinkXfer {
+            src_chip,
+            class,
+            wait_ps,
+            ..
+        } = r.event
+        {
+            let chip = &mut out[(src_chip as usize).min(chips - 1)];
+            chip.link_msgs += 1;
+            // Classes 0/1 are the steal request/reply protocol.
+            if class <= 1 {
+                chip.link_steal_msgs += 1;
+            }
+            chip.link_wait_ps += wait_ps;
+        }
+    }
+    for c in &mut out {
+        c.verdict = chip_verdict(c);
+    }
+    out
+}
+
 /// Attributes the run's time to bottleneck classes per tile.
 ///
 /// Steal waits come from per-thief FIFO request/response matching; fault
@@ -273,6 +386,68 @@ mod tests {
         let tiles = attribute_of(&mut t, Layout::new(1, 1), 100);
         assert!((tiles[0].miss_rate() - 0.6).abs() < 1e-12);
         assert_eq!(tiles[0].verdict, "memory-bound");
+    }
+
+    #[test]
+    fn unclustered_layouts_have_no_chip_rollup() {
+        let t = Tracer::bounded(1);
+        let layout = Layout::new(8, 4);
+        let chips = attribute_chips(
+            t.records(),
+            &layout,
+            Time::from_ps(100),
+            &latency::utilization(t.records(), &layout, Time::from_ps(100)),
+        );
+        assert!(chips.is_empty(), "no cluster, no chip section");
+    }
+
+    #[test]
+    fn link_stall_turns_a_chip_link_bound() {
+        let mut t = Tracer::bounded(16);
+        // Chip 0 sends two messages, one badly stalled; chip 1 computes.
+        t.emit(
+            Time::from_ps(10),
+            TraceEvent::LinkXfer {
+                src_chip: 0,
+                dst_chip: 1,
+                class: 0,
+                wait_ps: 50,
+            },
+        );
+        t.emit(
+            Time::from_ps(20),
+            TraceEvent::LinkXfer {
+                src_chip: 0,
+                dst_chip: 1,
+                class: 3,
+                wait_ps: 0,
+            },
+        );
+        t.emit(
+            Time::from_ps(100),
+            TraceEvent::TaskComplete {
+                unit: 2,
+                ty: 0,
+                busy_ps: 90,
+                task: 1,
+            },
+        );
+        t.finish();
+        // 4 units, 2 per tile, 1 tile per chip → 2 chips of 2 PEs each.
+        let layout = Layout::clustered(4, 2, 1);
+        let elapsed = Time::from_ps(100);
+        let units = latency::utilization(t.records(), &layout, elapsed);
+        let chips = attribute_chips(t.records(), &layout, elapsed, &units);
+        assert_eq!(chips.len(), 2);
+        assert_eq!(chips[0].link_msgs, 2);
+        assert_eq!(chips[0].link_steal_msgs, 1);
+        assert_eq!(chips[0].link_wait_ps, 50);
+        // 50 ps of link stall against 200 ps of capacity is 25% > 10%.
+        assert_eq!(chips[0].verdict, "link-bound");
+        // Chip 1 sent nothing and is 45% busy: under the compute bar.
+        assert_eq!(chips[1].link_msgs, 0);
+        assert_eq!(chips[1].busy_ps, 90);
+        assert_eq!(chips[1].verdict, "underutilized");
     }
 
     #[test]

@@ -55,15 +55,16 @@ pub mod report;
 
 use pxl_sim::{Metrics, Time, TraceRecord};
 
-pub use bottleneck::TileBottleneck;
+pub use bottleneck::{ChipBottleneck, TileBottleneck};
 pub use graph::{CriticalStep, GraphSummary, TaskNode};
 pub use latency::{LatencySummary, Percentiles, StealSummary, UnitUtilization};
 pub use parse::{parse_jsonl, parse_line};
 pub use perfetto::to_perfetto_json;
 
 /// The unit topology of the engine that produced a trace: how many PEs or
-/// cores there are and how they group into tiles (the CPU baseline is one
-/// tile of all its cores).
+/// cores there are, how they group into tiles (the CPU baseline is one
+/// tile of all its cores), and — for multi-chip cluster runs — how tiles
+/// group into chips.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Layout {
     /// Flat PE/core count.
@@ -71,6 +72,10 @@ pub struct Layout {
     /// PEs per tile; `units` that do not fill a whole number of tiles go to
     /// the last tile.
     pub pes_per_tile: usize,
+    /// Tiles per chip for multi-chip fabrics; zero means the run was not
+    /// clustered (all tiles on one chip) and every chip-level analysis is
+    /// skipped, keeping single-chip reports byte-identical.
+    pub tiles_per_chip: usize,
 }
 
 impl Layout {
@@ -84,6 +89,16 @@ impl Layout {
             } else {
                 pes_per_tile
             },
+            tiles_per_chip: 0,
+        }
+    }
+
+    /// The same layout with tiles grouped `tiles_per_chip` to a chip, as in
+    /// a multi-chip `ClusterConfig` run.
+    pub fn clustered(units: usize, pes_per_tile: usize, tiles_per_chip: usize) -> Self {
+        Layout {
+            tiles_per_chip,
+            ..Layout::new(units, pes_per_tile)
         }
     }
 
@@ -96,6 +111,29 @@ impl Layout {
     /// indices in a trace cannot push attribution out of bounds.
     pub fn tile_of(&self, unit: u32) -> usize {
         (unit as usize / self.pes_per_tile).min(self.tiles() - 1)
+    }
+
+    /// Number of chips; one unless the layout was built with
+    /// [`Layout::clustered`].
+    pub fn chips(&self) -> usize {
+        if self.tiles_per_chip == 0 {
+            1
+        } else {
+            self.tiles().div_ceil(self.tiles_per_chip).max(1)
+        }
+    }
+
+    /// The chip a tile belongs to (clamped, like [`Layout::tile_of`]).
+    pub fn chip_of_tile(&self, tile: usize) -> usize {
+        match tile.checked_div(self.tiles_per_chip) {
+            Some(chip) => chip.min(self.chips() - 1),
+            None => 0,
+        }
+    }
+
+    /// The chip a flat unit index belongs to.
+    pub fn chip_of(&self, unit: u32) -> usize {
+        self.chip_of_tile(self.tile_of(unit))
     }
 }
 
@@ -115,6 +153,9 @@ pub struct Profile {
     pub units: Vec<UnitUtilization>,
     /// Per-tile bottleneck attribution.
     pub tiles: Vec<TileBottleneck>,
+    /// Per-chip utilization rollups and link-bound verdicts; empty unless
+    /// the layout is a multi-chip cluster ([`Layout::clustered`]).
+    pub chips: Vec<ChipBottleneck>,
     /// Number of trace records analyzed.
     pub trace_events: usize,
     /// Events the tracer's capacity bound discarded (`trace.dropped`); when
@@ -141,6 +182,7 @@ impl Profile {
         let latency = latency::analyze(records, &graph);
         let units = latency::utilization(records, layout, elapsed);
         let tiles = bottleneck::attribute(records, layout, elapsed, &units);
+        let chips = bottleneck::attribute_chips(records, layout, elapsed, &units);
         Profile {
             layout: *layout,
             elapsed,
@@ -148,6 +190,7 @@ impl Profile {
             latency,
             units,
             tiles,
+            chips,
             trace_events: records.len(),
             trace_dropped: metrics.get("trace.dropped"),
             metric_task_ps_sum: metrics.histogram("accel.task_ps").map(|h| h.sum()),

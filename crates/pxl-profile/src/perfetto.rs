@@ -33,30 +33,70 @@ fn push_event(out: &mut String, first: &mut bool, body: &str) {
 
 /// Renders `records` as a complete Perfetto/Chrome `trace.json` document.
 /// `label` names the trace in the UI (typically `"bench/engine"`).
+///
+/// For single-chip layouts each tile is a process; for multi-chip cluster
+/// layouts each *chip* is a process and its tiles' PEs become threads
+/// named `tile{t}.pe{u}`, so the UI groups the fabric the way the hardware
+/// does, with inter-chip `link_xfer` markers pinned to the sending chip.
 pub fn to_perfetto_json(records: &[TraceRecord], layout: &Layout, label: &str) -> String {
+    let clustered = layout.chips() > 1;
+    // Process id of a unit's track: its chip when clustered, else its tile.
+    let pid_of = |unit: u32| {
+        if clustered {
+            layout.chip_of(unit)
+        } else {
+            layout.tile_of(unit)
+        }
+    };
+    let pid_of_tile = |tile: usize| {
+        if clustered {
+            layout.chip_of_tile(tile)
+        } else {
+            tile
+        }
+    };
+
     let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"otherData\":{\"run\":\"");
     out.push_str(label);
     out.push_str("\"},\"traceEvents\":[");
     let mut first = true;
 
-    for tile in 0..layout.tiles() {
-        push_event(
-            &mut out,
-            &mut first,
-            &format!(
-                "\"ph\":\"M\",\"pid\":{tile},\"name\":\"process_name\",\
-                 \"args\":{{\"name\":\"tile{tile}\"}}"
-            ),
-        );
+    if clustered {
+        for chip in 0..layout.chips() {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "\"ph\":\"M\",\"pid\":{chip},\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"chip{chip}\"}}"
+                ),
+            );
+        }
+    } else {
+        for tile in 0..layout.tiles() {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "\"ph\":\"M\",\"pid\":{tile},\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"tile{tile}\"}}"
+                ),
+            );
+        }
     }
     for unit in 0..layout.units as u32 {
-        let tile = layout.tile_of(unit);
+        let pid = pid_of(unit);
+        let name = if clustered {
+            format!("tile{}.pe{unit}", layout.tile_of(unit))
+        } else {
+            format!("pe{unit}")
+        };
         push_event(
             &mut out,
             &mut first,
             &format!(
-                "\"ph\":\"M\",\"pid\":{tile},\"tid\":{unit},\"name\":\"thread_name\",\
-                 \"args\":{{\"name\":\"pe{unit}\"}}"
+                "\"ph\":\"M\",\"pid\":{pid},\"tid\":{unit},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{name}\"}}"
             ),
         );
     }
@@ -70,7 +110,7 @@ pub fn to_perfetto_json(records: &[TraceRecord], layout: &Layout, label: &str) -
                 busy_ps,
                 task,
             } => {
-                let tile = layout.tile_of(unit);
+                let tile = pid_of(unit);
                 let start = t_ps.saturating_sub(busy_ps);
                 push_event(
                     &mut out,
@@ -84,7 +124,7 @@ pub fn to_perfetto_json(records: &[TraceRecord], layout: &Layout, label: &str) -
                 );
             }
             TraceEvent::StealGrant { thief, victim } => {
-                let tile = layout.tile_of(thief);
+                let tile = pid_of(thief);
                 push_event(
                     &mut out,
                     &mut first,
@@ -98,7 +138,7 @@ pub fn to_perfetto_json(records: &[TraceRecord], layout: &Layout, label: &str) -
             TraceEvent::FaultInjected { spec, unit }
             | TraceEvent::FaultRecovered { spec, unit }
             | TraceEvent::FaultUnrecovered { spec, unit } => {
-                let tile = layout.tile_of(unit);
+                let tile = pid_of(unit);
                 push_event(
                     &mut out,
                     &mut first,
@@ -111,7 +151,7 @@ pub fn to_perfetto_json(records: &[TraceRecord], layout: &Layout, label: &str) -
                 );
             }
             TraceEvent::WatchdogStall { unit, .. } => {
-                let tile = layout.tile_of(unit);
+                let tile = pid_of(unit);
                 push_event(
                     &mut out,
                     &mut first,
@@ -135,12 +175,37 @@ pub fn to_perfetto_json(records: &[TraceRecord], layout: &Layout, label: &str) -
             }
             TraceEvent::PStoreAlloc { tile, occupancy }
             | TraceEvent::PStoreDealloc { tile, occupancy } => {
+                let pid = pid_of_tile(tile as usize);
+                // Clustered runs keep one counter track per tile by naming
+                // the counter after the tile inside the chip's process.
+                let name = if clustered {
+                    format!("pstore.tile{tile}")
+                } else {
+                    "pstore".to_owned()
+                };
                 push_event(
                     &mut out,
                     &mut first,
                     &format!(
-                        "\"ph\":\"C\",\"pid\":{tile},\"ts\":{},\"name\":\"pstore\",\
+                        "\"ph\":\"C\",\"pid\":{pid},\"ts\":{},\"name\":\"{name}\",\
                          \"args\":{{\"occupancy\":{occupancy}}}",
+                        us(t_ps),
+                    ),
+                );
+            }
+            TraceEvent::LinkXfer {
+                src_chip,
+                dst_chip,
+                class,
+                wait_ps,
+            } => {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "\"ph\":\"i\",\"s\":\"p\",\"pid\":{src_chip},\"tid\":0,\"ts\":{},\
+                         \"cat\":\"link\",\"name\":\"link c{src_chip}-c{dst_chip}\",\
+                         \"args\":{{\"class\":{class},\"wait_ps\":{wait_ps}}}",
                         us(t_ps),
                     ),
                 );
@@ -201,6 +266,53 @@ mod tests {
             a.matches('}').count(),
             "unbalanced braces"
         );
+    }
+
+    #[test]
+    fn clustered_layout_groups_tiles_under_chip_processes() {
+        let mut t = Tracer::bounded(16);
+        t.emit(
+            Time::from_ps(1_000_000),
+            TraceEvent::TaskComplete {
+                unit: 5,
+                ty: 2,
+                busy_ps: 500_000,
+                task: 7,
+            },
+        );
+        t.emit(
+            Time::from_ps(2_000_000),
+            TraceEvent::LinkXfer {
+                src_chip: 1,
+                dst_chip: 0,
+                class: 0,
+                wait_ps: 42,
+            },
+        );
+        t.emit(
+            Time::from_ps(100),
+            TraceEvent::PStoreAlloc {
+                tile: 1,
+                occupancy: 3,
+            },
+        );
+        t.finish();
+        // 8 units, 2 per tile, 2 tiles per chip → 2 chips.
+        let layout = Layout::clustered(8, 2, 2);
+        let doc = to_perfetto_json(t.records(), &layout, "uts/hier");
+        // Processes are chips, not tiles; threads carry their tile name.
+        assert!(doc.contains("\"name\":\"chip0\""));
+        assert!(doc.contains("\"name\":\"chip1\""));
+        assert!(!doc.contains("\"name\":\"tile0\"}"));
+        assert!(doc.contains("\"name\":\"tile2.pe5\""));
+        // Unit 5 lives in tile 2, which is chip 1.
+        assert!(doc.contains("\"ph\":\"X\",\"pid\":1,\"tid\":5,"));
+        // The link marker pins to the sending chip with its stall attached.
+        assert!(doc.contains("\"cat\":\"link\",\"name\":\"link c1-c0\""));
+        assert!(doc.contains("\"wait_ps\":42"));
+        // The P-Store counter keeps one track per tile inside the chip.
+        assert!(doc.contains("\"name\":\"pstore.tile1\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 
     #[test]

@@ -223,6 +223,39 @@ impl Profile {
                 })
                 .collect::<Vec<_>>(),
         );
+
+        // Only multi-chip cluster runs carry a chip rollup; single-chip
+        // reports keep their exact pre-cluster bytes.
+        if !self.chips.is_empty() {
+            let _ = writeln!(out, "\n### Per-chip rollup\n");
+            table(
+                &mut out,
+                &[
+                    "chip",
+                    "pes",
+                    "busy",
+                    "link msgs",
+                    "steal msgs",
+                    "link stall",
+                    "verdict",
+                ],
+                &self
+                    .chips
+                    .iter()
+                    .map(|c| {
+                        vec![
+                            c.chip.to_string(),
+                            c.pes.to_string(),
+                            pct(c.busy_frac()),
+                            c.link_msgs.to_string(),
+                            c.link_steal_msgs.to_string(),
+                            pct(c.link_frac()),
+                            c.verdict.to_string(),
+                        ]
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
         out
     }
 
@@ -250,6 +283,30 @@ impl Profile {
                 )
             })
             .collect();
+        // The chips field only appears on cluster runs so that single-chip
+        // records keep their exact historical bytes.
+        let chips = if self.chips.is_empty() {
+            String::new()
+        } else {
+            let rows: Vec<String> = self
+                .chips
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"chip\":{},\"pes\":{},\"busy\":{:.4},\"link_msgs\":{},\
+                         \"link_steal_msgs\":{},\"link_stall\":{:.4},\"verdict\":\"{}\"}}",
+                        c.chip,
+                        c.pes,
+                        c.busy_frac(),
+                        c.link_msgs,
+                        c.link_steal_msgs,
+                        c.link_frac(),
+                        c.verdict
+                    )
+                })
+                .collect();
+            format!(",\"chips\":[{}]", rows.join(","))
+        };
         format!(
             concat!(
                 "{{\"bench\":\"{}\",\"engine\":\"{}\",\"units\":{},",
@@ -258,7 +315,7 @@ impl Profile {
                 "\"join_edges\":{},\"critical_len\":{},\"trace_events\":{},",
                 "\"trace_dropped\":{},\"busy\":{},\"queue\":{},",
                 "\"steal_requests\":{},\"steal_grant\":{},\"steal_fail\":{},",
-                "\"steal_hit_rate\":{:.4},\"util\":[{}],\"tiles\":[{}]}}"
+                "\"steal_hit_rate\":{:.4},\"util\":[{}],\"tiles\":[{}]{}}}"
             ),
             bench,
             engine,
@@ -281,6 +338,7 @@ impl Profile {
             s.hit_rate(),
             util.join(","),
             tiles.join(","),
+            chips,
         )
     }
 }
@@ -370,6 +428,50 @@ mod tests {
         assert!(line.contains("\"work_ps\":140"));
         assert!(line.contains("\"span_ps\":80"));
         assert!(line.contains("\"verdict\":"));
+        assert!(line.ends_with("]}"));
+        assert!(
+            !line.contains("\"chips\""),
+            "single-chip records must keep their historical shape"
+        );
+        assert!(!p.render_markdown("uts", "flex").contains("Per-chip rollup"));
+    }
+
+    #[test]
+    fn cluster_profiles_render_a_chip_section() {
+        let mut t = Tracer::bounded(32);
+        t.emit(
+            Time::from_ps(80),
+            TraceEvent::TaskComplete {
+                unit: 0,
+                ty: 0,
+                busy_ps: 80,
+                task: 1,
+            },
+        );
+        t.emit(
+            Time::from_ps(50),
+            TraceEvent::LinkXfer {
+                src_chip: 0,
+                dst_chip: 1,
+                class: 3,
+                wait_ps: 30,
+            },
+        );
+        t.finish();
+        // 4 units, 2 per tile, 1 tile per chip → 2 chips.
+        let p = Profile::analyze(
+            t.records(),
+            &Metrics::new(),
+            &Layout::clustered(4, 2, 1),
+            Time::from_ps(100),
+        );
+        assert_eq!(p.chips.len(), 2);
+        let md = p.render_markdown("uts", "hier");
+        assert!(md.contains("### Per-chip rollup"), "missing section:\n{md}");
+        assert!(md.contains("link-bound"), "30/200 ps stall is link-bound");
+        let line = p.render_jsonl("uts", "hier");
+        assert!(line.contains(",\"chips\":[{\"chip\":0,"));
+        assert!(line.contains("\"link_msgs\":1"));
         assert!(line.ends_with("]}"));
     }
 }

@@ -272,7 +272,7 @@ impl Client {
         self.send(&Request::Submit {
             tenant: tenant.to_owned(),
             kind,
-            spec: spec.clone(),
+            spec: Box::new(spec.clone()),
         })?;
         loop {
             let (event, raw) = self.read_event()?;

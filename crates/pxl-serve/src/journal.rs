@@ -136,7 +136,7 @@ pub fn replay(path: &Path) -> Recovery {
         match parse_line(line) {
             Some(Line::Submit(job)) => {
                 recovery.next_job = recovery.next_job.max(job.job + 1);
-                pending.push(job);
+                pending.push(*job);
             }
             Some(Line::Checkpoint { job, cycle, file }) => {
                 // Later records supersede earlier ones: the latest
@@ -156,7 +156,7 @@ pub fn replay(path: &Path) -> Recovery {
 }
 
 enum Line {
-    Submit(RecoveredJob),
+    Submit(Box<RecoveredJob>),
     Checkpoint {
         job: u64,
         cycle: u64,
@@ -177,13 +177,13 @@ fn parse_line(line: &str) -> Option<Line> {
                 let tenant = value.get("tenant").and_then(JsonValue::as_str)?.to_owned();
                 let kind = JobKind::from_label(value.get("kind").and_then(JsonValue::as_str)?)?;
                 let spec = RunSpec::from_json_value(value.get("spec")?).ok()?;
-                Some(Line::Submit(RecoveredJob {
+                Some(Line::Submit(Box::new(RecoveredJob {
                     job,
                     tenant,
                     kind,
                     spec,
                     checkpoint: None,
-                }))
+                })))
             }
             "checkpoint" => Some(Line::Checkpoint {
                 job,

@@ -153,7 +153,7 @@ pub enum Request {
         /// What the job produces.
         kind: JobKind,
         /// The run to perform.
-        spec: RunSpec,
+        spec: Box<RunSpec>,
     },
     /// Ask for queue/running/completed counters.
     Status,
@@ -247,7 +247,11 @@ impl Request {
                         code: ErrorCode::BadSpec,
                         message: e.to_string(),
                     })?;
-                Ok(Request::Submit { tenant, kind, spec })
+                Ok(Request::Submit {
+                    tenant,
+                    kind,
+                    spec: Box::new(spec),
+                })
             }
             "status" => Ok(Request::Status),
             "pause" => Ok(Request::Pause),
@@ -649,7 +653,7 @@ mod tests {
             Request::Submit {
                 tenant: "alice".to_owned(),
                 kind: JobKind::Dse,
-                spec: spec(),
+                spec: Box::new(spec()),
             },
             Request::Status,
             Request::Pause,

@@ -455,7 +455,7 @@ fn handle_request(shared: &Arc<Shared>, writer: &Writer, request: Request) {
                         Job {
                             kind,
                             tenant: tenant.clone(),
-                            spec,
+                            spec: *spec,
                             key: key.clone(),
                             client: Some(Arc::clone(writer)),
                             resume: None,

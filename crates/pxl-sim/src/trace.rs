@@ -105,6 +105,17 @@ pub enum TraceEvent {
     /// The quiescence watchdog declared the run stalled; `unit` is the
     /// unit that last made forward progress, `idle_ps` how long ago.
     WatchdogStall { unit: u32, idle_ps: u64 },
+    /// A message crossed the inter-chip link of a multi-chip cluster.
+    /// `class` tags the traffic type (0 = steal request, 1 = steal reply,
+    /// 2 = argument, 3 = routed task); `wait_ps` is how long the message
+    /// queued behind the directed link's bounded bandwidth before
+    /// departing.
+    LinkXfer {
+        src_chip: u32,
+        dst_chip: u32,
+        class: u8,
+        wait_ps: u64,
+    },
 }
 
 impl TraceEvent {
@@ -128,6 +139,7 @@ impl TraceEvent {
             TraceEvent::FaultRecovered { .. } => "fault.recovered",
             TraceEvent::FaultUnrecovered { .. } => "fault.unrecovered",
             TraceEvent::WatchdogStall { .. } => "watchdog.stall",
+            TraceEvent::LinkXfer { .. } => "link_xfer",
         }
     }
 
@@ -200,6 +212,19 @@ impl TraceEvent {
             }
             TraceEvent::WatchdogStall { unit, idle_ps } => {
                 vec![("unit", unit as u64), ("idle_ps", idle_ps)]
+            }
+            TraceEvent::LinkXfer {
+                src_chip,
+                dst_chip,
+                class,
+                wait_ps,
+            } => {
+                vec![
+                    ("src_chip", src_chip as u64),
+                    ("dst_chip", dst_chip as u64),
+                    ("class", class as u64),
+                    ("wait_ps", wait_ps),
+                ]
             }
         }
     }
@@ -292,6 +317,12 @@ impl TraceEvent {
             "watchdog.stall" => TraceEvent::WatchdogStall {
                 unit: get("unit")? as u32,
                 idle_ps: get("idle_ps")?,
+            },
+            "link_xfer" => TraceEvent::LinkXfer {
+                src_chip: get("src_chip")? as u32,
+                dst_chip: get("dst_chip")? as u32,
+                class: get("class")? as u8,
+                wait_ps: get("wait_ps")?,
             },
             other => return Err(format!("trace: unknown kind {other:?}")),
         })
@@ -642,6 +673,12 @@ mod tests {
             TraceEvent::WatchdogStall {
                 unit: 1,
                 idle_ps: 77,
+            },
+            TraceEvent::LinkXfer {
+                src_chip: 0,
+                dst_chip: 1,
+                class: 3,
+                wait_ps: 640,
             },
         ];
         let mut t = Tracer::bounded(64);

@@ -34,11 +34,14 @@ echo "==> profile smoke (pxl-bench --bin profile -- --smoke)"
 # profile_results.jsonl and profile_traces/.
 cargo run --release --offline -p pxl-bench --bin profile -- --smoke > /dev/null
 
-echo "==> DSE smoke sweep (pxl-bench --bin dse -- --smoke)"
+echo "==> DSE smoke sweep incl. clusters (pxl-bench --bin dse -- --smoke)"
 # Explores the smoke design space three times against a shared result
 # cache; exits nonzero if the cached re-run is not 100% hits with
 # byte-identical Pareto fronts, or if successive halving's best-runtime
-# point diverges from the exhaustive grid's.
+# point diverges from the exhaustive grid's. A fourth pass sweeps the
+# multi-chip cluster space (chips x link latency x stealing mode) into
+# cluster_pareto.jsonl and fails if hierarchical stealing never beats
+# flat at a matched geometry.
 cargo run --release --offline -p pxl-bench --bin dse -- --smoke > /dev/null
 
 echo "==> serve smoke (pxl-bench --bin serve)"

@@ -117,16 +117,18 @@ pub use pxl_sim as sim;
 /// execution fabric instantiated by a scheduling policy (FlexArch,
 /// LiteArch, and the centralized-queue ablation).
 pub use pxl_arch::{
-    AccelConfig, AccelError, AccelResult, ArchKind, CentralEngine, CentralPolicy, Engine,
-    EngineKind, FabricEngine, FlexEngine, FlexPolicy, LiteDriver, LiteEngine, MemBackendKind,
-    PStoreError, SchedulingPolicy, StaticRoundPolicy, Workload,
+    AccelConfig, AccelError, AccelResult, ArchKind, CentralEngine, CentralPolicy, ClusterConfig,
+    Engine, EngineKind, FabricEngine, FlexEngine, FlexPolicy, HierEngine, HierPolicy, LinkTopology,
+    LiteDriver, LiteEngine, MemBackendKind, PStoreError, SchedulingPolicy, StaticRoundPolicy,
+    StealMode, Workload,
 };
 /// The software baseline engine and its runtime cost knobs.
 pub use pxl_cpu::{CpuEngine, CpuResult, SoftwareCosts};
 /// Design-space exploration: declare a space, explore it in parallel,
 /// read the Pareto front.
 pub use pxl_dse::{
-    Axis, DesignPoint, Explorer, ParetoFront, PointArch, ResultCache, SearchSpace, Strategy,
+    Axis, ClusterPoint, DesignPoint, Explorer, ParetoFront, PointArch, ResultCache, SearchSpace,
+    Strategy,
 };
 /// Design-flow entry points and structured errors, and the canonical
 /// serializable run API: a [`RunSpec`] names a run exactly (JSON

@@ -9,16 +9,27 @@
 use parallelxl::apps::Scale;
 use parallelxl::sim::qcheck::{check, Gen};
 use parallelxl::{
-    execute, DesignPoint, FaultPlan, PointArch, RunSpec, SessionStatus, SimSession, Snapshot,
-    SnapshotError, Time, SNAPSHOT_VERSION,
+    execute, ClusterPoint, DesignPoint, FaultPlan, PointArch, RunSpec, SessionStatus, SimSession,
+    Snapshot, SnapshotError, Time, SNAPSHOT_VERSION,
 };
 
-/// A random design point: any of the four engines at small shapes.
+/// A random design point: any of the engines at small shapes, including
+/// multi-chip clusters (hierarchical and flat stealing) whose snapshots
+/// must carry the inter-chip link's in-flight serialization state.
 fn random_point(g: &mut Gen) -> DesignPoint {
-    match g.range(0, 4) {
+    match g.range(0, 5) {
         0 => DesignPoint::accel(PointArch::Flex, g.usize_in(1, 2), g.usize_in(2, 4)),
         1 => DesignPoint::accel(PointArch::Central, 1, g.usize_in(2, 4)),
         2 => DesignPoint::accel(PointArch::Lite, 1, g.usize_in(2, 4)),
+        3 => {
+            // A 2-chip cluster: chips must divide tiles, so 2 or 4 tiles.
+            let tiles = 2 * g.usize_in(1, 2);
+            let mut cluster = ClusterPoint::new(2).with_link(g.range(4, 64), g.range(1, 16));
+            if g.bool() {
+                cluster = cluster.flat();
+            }
+            DesignPoint::accel(PointArch::Flex, tiles, g.usize_in(2, 4)).clustered(cluster)
+        }
         _ => DesignPoint::cpu(g.usize_in(1, 4)),
     }
 }

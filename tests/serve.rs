@@ -29,6 +29,7 @@ fn arb_point(g: &mut Gen) -> DesignPoint {
         cache_kb: g.usize_in(1, 64),
         task_queue_entries: g.usize_in(1, 4096),
         pstore_entries: g.usize_in(1, 16384),
+        cluster: None,
     }
 }
 
