@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 
 use pxl_model::{Task, TASK_WORDS};
 use pxl_sim::json::JsonValue;
-use pxl_sim::Time;
+use pxl_sim::{EventSlab, Time};
 
 /// A bounded double-ended task queue with timestamped availability.
 ///
@@ -33,9 +33,22 @@ use pxl_sim::Time;
 /// assert!(q.steal_head(Time::from_ns(5)).is_none()); // not visible yet
 /// assert!(q.steal_head(Time::from_ns(10)).is_some());
 /// ```
+/// Ring entries are 16 bytes — an arena slot plus the availability
+/// timestamp — so head/tail churn never moves task payloads.
+#[derive(Debug, Clone, Copy)]
+struct DequeEntry {
+    slot: u32,
+    avail: Time,
+}
+
 #[derive(Debug, Clone)]
 pub struct TaskDeque {
-    items: VecDeque<(Task, Time)>,
+    /// Head/tail order over arena slots; the hot path touches only these
+    /// compact entries.
+    items: VecDeque<DequeEntry>,
+    /// Per-run task arena: payloads stay put between push and pop/steal,
+    /// and freed slots recycle so steady-state traffic never allocates.
+    arena: EventSlab<Task>,
     capacity: usize,
     peak: usize,
     total_pushed: u64,
@@ -46,6 +59,7 @@ impl TaskDeque {
     pub fn new(capacity: usize) -> Self {
         TaskDeque {
             items: VecDeque::new(),
+            arena: EventSlab::new(),
             capacity,
             peak: 0,
             total_pushed: 0,
@@ -82,7 +96,11 @@ impl TaskDeque {
         if self.items.len() >= self.capacity {
             return Err(task);
         }
-        self.items.push_back((task, available_at));
+        let slot = self.arena.insert(task);
+        self.items.push_back(DequeEntry {
+            slot,
+            avail: available_at,
+        });
         self.total_pushed += 1;
         self.peak = self.peak.max(self.items.len());
         Ok(())
@@ -92,7 +110,10 @@ impl TaskDeque {
     /// `now`.
     pub fn pop_tail(&mut self, now: Time) -> Option<Task> {
         match self.items.back() {
-            Some(&(_, avail)) if avail <= now => self.items.pop_back().map(|(t, _)| t),
+            Some(e) if e.avail <= now => {
+                let e = self.items.pop_back().expect("back exists");
+                Some(self.arena.take(e.slot))
+            }
             _ => None,
         }
     }
@@ -100,7 +121,10 @@ impl TaskDeque {
     /// Steals the oldest task (head), if one is visible at `now`.
     pub fn steal_head(&mut self, now: Time) -> Option<Task> {
         match self.items.front() {
-            Some(&(_, avail)) if avail <= now => self.items.pop_front().map(|(t, _)| t),
+            Some(e) if e.avail <= now => {
+                let e = self.items.pop_front().expect("front exists");
+                Some(self.arena.take(e.slot))
+            }
             _ => None,
         }
     }
@@ -116,8 +140,9 @@ impl TaskDeque {
     /// extension (a thief only takes tasks its worker can process).
     pub fn steal_head_if(&mut self, now: Time, pred: impl Fn(&Task) -> bool) -> Option<Task> {
         match self.items.front() {
-            Some(&(ref t, avail)) if avail <= now && pred(t) => {
-                self.items.pop_front().map(|(t, _)| t)
+            Some(e) if e.avail <= now && pred(self.arena.get(e.slot)) => {
+                let e = self.items.pop_front().expect("front exists");
+                Some(self.arena.take(e.slot))
             }
             _ => None,
         }
@@ -125,7 +150,7 @@ impl TaskDeque {
 
     /// Peeks at the head task without removing it.
     pub fn peek_head(&self) -> Option<&Task> {
-        self.items.front().map(|(t, _)| t)
+        self.items.front().map(|e| self.arena.get(e.slot))
     }
 
     /// Serializes contents and counters for engine snapshots. Each queued
@@ -135,9 +160,9 @@ impl TaskDeque {
         let items = self
             .items
             .iter()
-            .map(|(task, avail)| {
-                let mut words: Vec<u64> = task.to_words().to_vec();
-                words.push(avail.as_ps());
+            .map(|e| {
+                let mut words: Vec<u64> = self.arena.get(e.slot).to_words().to_vec();
+                words.push(e.avail.as_ps());
                 JsonValue::Array(words.into_iter().map(JsonValue::num_u64).collect())
             })
             .collect();
@@ -172,6 +197,7 @@ impl TaskDeque {
             ));
         }
         let mut items = VecDeque::with_capacity(entries.len());
+        let mut arena = EventSlab::new();
         for entry in entries {
             let words: Vec<u64> = entry
                 .as_array()
@@ -185,7 +211,10 @@ impl TaskDeque {
                 ));
             }
             let task = Task::from_words(&words[..TASK_WORDS])?;
-            items.push_back((task, Time::from_ps(words[TASK_WORDS])));
+            items.push_back(DequeEntry {
+                slot: arena.insert(task),
+                avail: Time::from_ps(words[TASK_WORDS]),
+            });
         }
         let peak = value
             .get("peak")
@@ -196,6 +225,7 @@ impl TaskDeque {
             .and_then(JsonValue::as_u64)
             .ok_or("deque state: missing total_pushed")?;
         self.items = items;
+        self.arena = arena;
         self.peak = peak as usize;
         self.total_pushed = total_pushed;
         Ok(())

@@ -39,8 +39,8 @@ use pxl_model::{
 use pxl_sim::json::JsonValue;
 use pxl_sim::snapshot::{self, malformed, Snapshot, SnapshotError};
 use pxl_sim::{
-    CounterId, EventQueue, FaultKind, FaultPlan, FaultScheduler, HistogramId, Metrics, NetClass,
-    SendVerdict, Time, TraceEvent, Tracer,
+    CounterId, EventQueue, EventSlab, FaultKind, FaultPlan, FaultScheduler, HistogramId, Metrics,
+    NetClass, SendVerdict, Time, TraceEvent, Tracer,
 };
 
 use crate::config::{AccelConfig, LinkTopology, MemBackendKind};
@@ -166,23 +166,22 @@ pub struct AccelResult {
 /// The memory path behind the PEs (coherent SoC caches or Zedboard stream
 /// buffers).
 #[derive(Debug)]
-// One instance per engine; the variant size gap is irrelevant.
-#[allow(clippy::large_enum_variant)]
 pub(crate) enum MemBackend {
-    Coherent(MemorySystem),
-    Zedboard(ZedboardMemory),
+    Coherent(Box<MemorySystem>),
+    Zedboard(Box<ZedboardMemory>),
 }
 
 impl MemBackend {
     pub(crate) fn for_config(cfg: &AccelConfig) -> Self {
         let mut backend = match cfg.mem_backend {
-            MemBackendKind::Coherent => MemBackend::Coherent(MemorySystem::new(
+            MemBackendKind::Coherent => MemBackend::Coherent(Box::new(MemorySystem::new(
                 vec![cfg.memory.accel_l1.clone(); cfg.tiles],
                 &cfg.memory,
-            )),
-            MemBackendKind::Zedboard => {
-                MemBackend::Zedboard(ZedboardMemory::new(cfg.num_pes(), AcpParams::default()))
-            }
+            ))),
+            MemBackendKind::Zedboard => MemBackend::Zedboard(Box::new(ZedboardMemory::new(
+                cfg.num_pes(),
+                AcpParams::default(),
+            ))),
         };
         if cfg.trace_capacity > 0 {
             backend.enable_trace(cfg.trace_capacity);
@@ -272,18 +271,21 @@ impl MemBackend {
     }
 }
 
-#[derive(Debug, Clone)]
-// Task-carrying variants dominate the event mix; boxing them would trade
-// the size disparity for an allocation per event.
-#[allow(clippy::large_enum_variant)]
+/// A scheduled fabric event. Task payloads live in the engine's task slab
+/// ([`FabricEngine::task_slab`]); the variants carry only `u32` slots, so
+/// every event is a few words and heap churn in the queue never copies a
+/// task body. A slot is claimed exactly once — at the push that created it
+/// — and released exactly once, by `handle()` at pop.
+#[derive(Debug, Clone, Copy)]
 enum Event {
     /// PE finished its previous activity; look for work.
     PeWake { pe: usize },
     /// A steal request reaches the victim's TMU (victim == num_pes means the
     /// host interface block).
     StealArrive { thief: usize, victim: usize },
-    /// The steal response reaches the thief.
-    StealReply { thief: usize, task: Option<Task> },
+    /// The steal response reaches the thief; the granted task (if any)
+    /// lives in the task slab.
+    StealReply { thief: usize, task: Option<u32> },
     /// An argument message reaches its destination P-Store or host register.
     /// `dup_of` marks an injected duplicate copy (the spec that duplicated
     /// it); the receiver discards it, modelling sequence-number dedup.
@@ -298,7 +300,7 @@ enum Event {
     /// [`Event::ArgArrive`].
     TaskRun {
         pe: usize,
-        task: Task,
+        task: u32,
         dup_of: Option<usize>,
     },
     /// A planned one-shot fault (PE death, PE stall, P-Store corruption)
@@ -316,7 +318,7 @@ enum Event {
     /// A dropped ready-task message is retransmitted after backoff.
     TaskResend {
         pe: usize,
-        task: Task,
+        task: u32,
         attempt: u8,
         spec: usize,
     },
@@ -324,17 +326,19 @@ enum Event {
 
 impl Event {
     /// Flat word encoding for snapshots: a tag word, then the variant's
-    /// fields. Tasks flatten via [`Task::to_words`]; `Option` indices
-    /// encode as the value plus one, with zero meaning `None`.
-    fn to_words(&self) -> Vec<u64> {
+    /// fields. Tasks are resolved through `slab` and flatten inline via
+    /// [`Task::to_words`], so the wire format is identical to the old
+    /// by-value event layout; `Option` indices encode as the value plus
+    /// one, with zero meaning `None`.
+    fn to_words(self, slab: &EventSlab<Task>) -> Vec<u64> {
         let opt = |o: Option<usize>| o.map_or(0, |s| s as u64 + 1);
         match self {
-            Event::PeWake { pe } => vec![0, *pe as u64],
-            Event::StealArrive { thief, victim } => vec![1, *thief as u64, *victim as u64],
+            Event::PeWake { pe } => vec![0, pe as u64],
+            Event::StealArrive { thief, victim } => vec![1, thief as u64, victim as u64],
             Event::StealReply { thief, task } => {
-                let mut w = vec![2, *thief as u64];
-                if let Some(t) = task {
-                    w.extend_from_slice(&t.to_words());
+                let mut w = vec![2, thief as u64];
+                if let Some(slot) = task {
+                    w.extend_from_slice(&slab.get(slot).to_words());
                 }
                 w
             }
@@ -344,20 +348,13 @@ impl Event {
                 from_pe,
                 from_task,
                 dup_of,
-            } => vec![
-                3,
-                k.encode(),
-                *value,
-                *from_pe as u64,
-                *from_task,
-                opt(*dup_of),
-            ],
+            } => vec![3, k.encode(), value, from_pe as u64, from_task, opt(dup_of)],
             Event::TaskRun { pe, task, dup_of } => {
-                let mut w = vec![4, *pe as u64, opt(*dup_of)];
-                w.extend_from_slice(&task.to_words());
+                let mut w = vec![4, pe as u64, opt(dup_of)];
+                w.extend_from_slice(&slab.get(task).to_words());
                 w
             }
-            Event::FaultFire { spec } => vec![5, *spec as u64],
+            Event::FaultFire { spec } => vec![5, spec as u64],
             Event::ArgResend {
                 k,
                 value,
@@ -368,11 +365,11 @@ impl Event {
             } => vec![
                 6,
                 k.encode(),
-                *value,
-                *from_pe as u64,
-                *from_task,
-                *attempt as u64,
-                *spec as u64,
+                value,
+                from_pe as u64,
+                from_task,
+                attempt as u64,
+                spec as u64,
             ],
             Event::TaskResend {
                 pe,
@@ -380,15 +377,16 @@ impl Event {
                 attempt,
                 spec,
             } => {
-                let mut w = vec![7, *pe as u64, *attempt as u64, *spec as u64];
-                w.extend_from_slice(&task.to_words());
+                let mut w = vec![7, pe as u64, attempt as u64, spec as u64];
+                w.extend_from_slice(&slab.get(task).to_words());
                 w
             }
         }
     }
 
-    /// Inverse of [`Event::to_words`].
-    fn from_words(words: &[u64]) -> Result<Event, String> {
+    /// Inverse of [`Event::to_words`]: inline task words are re-homed into
+    /// `slab` and the rebuilt event carries the fresh slot.
+    fn from_words(words: &[u64], slab: &mut EventSlab<Task>) -> Result<Event, String> {
         let tag = *words.first().ok_or("event encoding is empty")?;
         let expect = |n: usize| -> Result<(), String> {
             if words.len() == n {
@@ -418,7 +416,7 @@ impl Event {
             2 => {
                 let task = match words.len() {
                     2 => None,
-                    n if n == 2 + TASK_WORDS => Some(Task::from_words(&words[2..])?),
+                    n if n == 2 + TASK_WORDS => Some(slab.insert(Task::from_words(&words[2..])?)),
                     n => return Err(format!("event tag 2 holds {n} words")),
                 };
                 Ok(Event::StealReply {
@@ -441,7 +439,7 @@ impl Event {
                 Ok(Event::TaskRun {
                     pe: words[1] as usize,
                     dup_of: opt(words[2]),
-                    task: Task::from_words(&words[3..])?,
+                    task: slab.insert(Task::from_words(&words[3..])?),
                 })
             }
             5 => {
@@ -467,7 +465,7 @@ impl Event {
                     pe: words[1] as usize,
                     attempt: words[2] as u8,
                     spec: words[3] as usize,
-                    task: Task::from_words(&words[4..])?,
+                    task: slab.insert(Task::from_words(&words[4..])?),
                 })
             }
             t => Err(format!("unknown event tag {t}")),
@@ -824,11 +822,17 @@ pub struct FabricEngine<P: SchedulingPolicy> {
     /// by `policy.kind()`.
     pub(crate) policy: P,
     pstores: Vec<PStore>,
-    steal_fails: Vec<u32>,
+    /// Hot per-unit scheduling state (struct-of-arrays).
+    units: UnitState,
     hetero_rr: usize,
-    busy_until: Vec<Time>,
     host: [Option<u64>; HOST_SLOTS],
     events: EventQueue<Event>,
+    /// Payload store for task-carrying events; see [`Event`].
+    task_slab: EventSlab<Task>,
+    /// Reusable spill buffers for [`FabricCtx`] outputs, recycled across
+    /// task executions so the dispatch loop stops allocating per task.
+    scratch_args: Vec<(Time, Continuation, u64)>,
+    scratch_spawns: Vec<(Time, Task)>,
     outstanding: u64,
     inflight_args: u64,
     last_useful: Time,
@@ -869,6 +873,29 @@ pub enum RunStatus {
     },
 }
 
+/// Hot per-unit scheduling state as parallel dense arrays — the
+/// struct-of-arrays split of what used to be scattered per-PE fields. The
+/// dispatch loop reads `busy_until` on every wake and `steal_fails` on
+/// every steal outcome; cold per-unit state (death flags, pending rescues)
+/// stays in [`FaultState`] so these arrays hold only what every event
+/// touches.
+#[derive(Debug)]
+struct UnitState {
+    /// Completion horizon per PE: wakes before this instant are ignored.
+    busy_until: Vec<Time>,
+    /// Consecutive failed steals per PE, bounding the backoff shift.
+    steal_fails: Vec<u32>,
+}
+
+impl UnitState {
+    fn new(num_pes: usize) -> Self {
+        UnitState {
+            busy_until: vec![Time::ZERO; num_pes],
+            steal_fails: vec![0; num_pes],
+        }
+    }
+}
+
 /// Typed handles into the metrics registry for the engine's hot counters;
 /// registered once at construction so per-event updates skip string lookups.
 #[derive(Debug)]
@@ -882,6 +909,8 @@ struct FabricIds {
     tasks: CounterId,
     task_ps: HistogramId,
     trace_dropped: CounterId,
+    queue_peak_sum: CounterId,
+    pstore_peak_sum: CounterId,
     pe_tasks: Vec<CounterId>,
     pe_busy_ps: Vec<CounterId>,
 }
@@ -898,6 +927,8 @@ impl FabricIds {
             tasks: metrics.register_counter("accel.tasks"),
             task_ps: metrics.register_histogram("accel.task_ps"),
             trace_dropped: metrics.register_counter("trace.dropped"),
+            queue_peak_sum: metrics.register_counter("accel.queue_peak_sum"),
+            pstore_peak_sum: metrics.register_counter("accel.pstore_peak_sum"),
             pe_tasks: (0..num_pes)
                 .map(|pe| metrics.register_counter(&format!("pe{pe}.tasks")))
                 .collect(),
@@ -951,11 +982,13 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             pstores: (0..cfg.tiles)
                 .map(|_| PStore::new(cfg.pstore_entries))
                 .collect(),
-            steal_fails: vec![0; num_pes],
+            units: UnitState::new(num_pes),
             hetero_rr: 0,
-            busy_until: vec![Time::ZERO; num_pes],
             host: [None; HOST_SLOTS],
             events: EventQueue::new(),
+            task_slab: EventSlab::new(),
+            scratch_args: Vec::new(),
+            scratch_spawns: Vec::new(),
             outstanding: 0,
             inflight_args: 0,
             last_useful: Time::ZERO,
@@ -1225,7 +1258,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 .into_iter()
                 .map(|(when, event)| {
                     let mut words = vec![when.as_ps()];
-                    words.extend(event.to_words());
+                    words.extend(event.to_words(&self.task_slab));
                     snapshot::arr_u64(words)
                 })
                 .collect(),
@@ -1249,11 +1282,11 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             ("hetero_rr", snapshot::num(self.hetero_rr as u64)),
             (
                 "steal_fails",
-                snapshot::arr_u64(self.steal_fails.iter().map(|f| u64::from(*f))),
+                snapshot::arr_u64(self.units.steal_fails.iter().map(|f| u64::from(*f))),
             ),
             (
                 "busy_until_ps",
-                snapshot::arr_u64(self.busy_until.iter().map(|t| t.as_ps())),
+                snapshot::arr_u64(self.units.busy_until.iter().map(|t| t.as_ps())),
             ),
             ("host", host),
             ("events", events),
@@ -1373,11 +1406,11 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 steal_fails.len()
             )));
         }
-        self.steal_fails = steal_fails
+        self.units.steal_fails = steal_fails
             .iter()
             .map(|f| u32::try_from(*f).map_err(|_| malformed("steal_fails overflows u32")))
             .collect::<Result<_, _>>()?;
-        self.busy_until = busy_until.iter().map(|ps| Time::from_ps(*ps)).collect();
+        self.units.busy_until = busy_until.iter().map(|ps| Time::from_ps(*ps)).collect();
 
         let host = snapshot::get_arr(p, "host")?;
         if host.len() != HOST_SLOTS {
@@ -1398,6 +1431,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         }
 
         self.events.clear();
+        self.task_slab.clear();
         for entry in snapshot::get_arr(p, "events")? {
             let words: Vec<u64> = entry
                 .as_array()
@@ -1406,7 +1440,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             let (when, body) = words
                 .split_first()
                 .ok_or_else(|| malformed("empty event entry"))?;
-            let event = Event::from_words(body).map_err(malformed)?;
+            let event = Event::from_words(body, &mut self.task_slab).map_err(malformed)?;
             self.events.push(Time::from_ps(*when), event);
         }
 
@@ -1539,9 +1573,9 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         let (queue_peak, queue_peak_sum) = self.policy.queue_peaks();
         let pstore_peak_sum: usize = self.pstores.iter().map(PStore::peak).sum();
         self.metrics.max("accel.queue_peak", queue_peak);
-        self.metrics.add("accel.queue_peak_sum", queue_peak_sum);
+        self.metrics.add_to(self.ids.queue_peak_sum, queue_peak_sum);
         self.metrics
-            .add("accel.pstore_peak_sum", pstore_peak_sum as u64);
+            .add_to(self.ids.pstore_peak_sum, pstore_peak_sum as u64);
         let mem_stats = self.backend.take_stats();
         self.metrics.merge(&mem_stats);
     }
@@ -1550,7 +1584,10 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         match event {
             Event::PeWake { pe } => self.pe_wake(now, pe, worker),
             Event::StealArrive { thief, victim } => self.steal_arrive(now, thief, victim),
-            Event::StealReply { thief, task } => self.steal_reply(now, thief, task, worker),
+            Event::StealReply { thief, task } => {
+                let task = task.map(|slot| self.task_slab.take(slot));
+                self.steal_reply(now, thief, task, worker)
+            }
             Event::ArgArrive {
                 k,
                 value,
@@ -1558,7 +1595,10 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 from_task,
                 dup_of,
             } => self.arg_arrive(now, k, value, from_pe, from_task, dup_of),
-            Event::TaskRun { pe, task, dup_of } => self.task_run(now, pe, task, dup_of, worker),
+            Event::TaskRun { pe, task, dup_of } => {
+                let task = self.task_slab.take(task);
+                self.task_run(now, pe, task, dup_of, worker)
+            }
             Event::FaultFire { spec } => self.fault_fire(now, spec),
             Event::ArgResend {
                 k,
@@ -1573,12 +1613,15 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 task,
                 attempt,
                 spec,
-            } => self.send_task_msg(now, pe, task, attempt, spec),
+            } => {
+                let task = self.task_slab.take(task);
+                self.send_task_msg(now, pe, task, attempt, spec)
+            }
         }
     }
 
     fn is_busy(&self, pe: usize, now: Time) -> bool {
-        now < self.busy_until[pe]
+        now < self.units.busy_until[pe]
     }
 
     fn pe_wake<W: Worker + ?Sized>(&mut self, now: Time, pe: usize, worker: &mut W) {
@@ -1586,7 +1629,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             return;
         }
         if let Some(task) = self.policy.pop_local(pe, now) {
-            self.steal_fails[pe] = 0;
+            self.units.steal_fails[pe] = 0;
             self.execute_task(
                 now + self.cycles(self.cfg.costs.dispatch_cycles),
                 pe,
@@ -1667,6 +1710,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             self.chip_of_unit(thief),
             LINK_STEAL_REPLY,
         );
+        let task = task.map(|t| self.task_slab.insert(t));
         self.events.push(reply, Event::StealReply { thief, task });
     }
 
@@ -1694,7 +1738,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                     self.events.push(now, Event::PeWake { pe: dest });
                     return;
                 }
-                self.steal_fails[thief] = 0;
+                self.units.steal_fails[thief] = 0;
                 if self.is_busy(thief, now) {
                     // The thief picked up greedy-routed work meanwhile; bank
                     // the stolen task in its queue.
@@ -1711,8 +1755,8 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 // Exponential backoff caps event churn while the accelerator
                 // is starved for parallelism (e.g. quicksort's serial
                 // partition phases).
-                let fails = self.steal_fails[thief].min(6);
-                self.steal_fails[thief] = self.steal_fails[thief].saturating_add(1);
+                let fails = self.units.steal_fails[thief].min(6);
+                self.units.steal_fails[thief] = self.units.steal_fails[thief].saturating_add(1);
                 let backoff = self.cfg.costs.steal_backoff_cycles << fails;
                 self.events
                     .push(now + self.cycles(backoff), Event::PeWake { pe: thief });
@@ -1763,8 +1807,8 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                     self.metrics.incr("fault.skipped");
                     return;
                 }
-                let resume = self.busy_until[pe].max(now) + self.cycles(cycles);
-                self.busy_until[pe] = resume;
+                let resume = self.units.busy_until[pe].max(now) + self.cycles(cycles);
+                self.units.busy_until[pe] = resume;
                 self.trace_injected(now, spec, pe);
                 self.metrics.incr("fault.pe_stalls");
                 // A transient stall always clears itself; recovery is the
@@ -1927,7 +1971,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                     at + hop,
                     Event::TaskRun {
                         pe: dest,
-                        task,
+                        task: self.task_slab.insert(task),
                         dup_of: None,
                     },
                 );
@@ -1951,7 +1995,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                         at + self.cycles(backoff),
                         Event::TaskResend {
                             pe: dest,
-                            task,
+                            task: self.task_slab.insert(task),
                             attempt: attempt + 1,
                             spec: drop_spec,
                         },
@@ -1969,7 +2013,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                     at + hop,
                     Event::TaskRun {
                         pe: dest,
-                        task,
+                        task: self.task_slab.insert(task),
                         dup_of: None,
                     },
                 );
@@ -1977,7 +2021,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                     at + hop + hop,
                     Event::TaskRun {
                         pe: dest,
-                        task,
+                        task: self.task_slab.insert(task),
                         dup_of: Some(dup_spec),
                     },
                 );
@@ -2112,7 +2156,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                             now,
                             Event::TaskRun {
                                 pe: dest,
-                                task: ready,
+                                task: self.task_slab.insert(ready),
                                 dup_of: None,
                             },
                         );
@@ -2166,7 +2210,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 at,
                 Event::TaskRun {
                     pe: dest,
-                    task,
+                    task: self.task_slab.insert(task),
                     dup_of: None,
                 },
             );
@@ -2196,6 +2240,10 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 task: task.id,
             },
         );
+        // Recycle the context's spill buffers across executions; the
+        // capacity survives the round-trip so steady state never allocates.
+        let out_args = std::mem::take(&mut self.scratch_args);
+        let out_spawns = std::mem::take(&mut self.scratch_spawns);
         // Borrow the engine's pieces disjointly so the context can push
         // spawns straight into the policy with accurate visibility
         // timestamps.
@@ -2224,8 +2272,8 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             trace,
             cur_task: task.id,
             next_task_id,
-            out_args: Vec::new(),
-            out_spawns: Vec::new(),
+            out_args,
+            out_spawns,
             spawned: 0,
             successors: 0,
             args_sent: 0,
@@ -2243,7 +2291,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             self.error = Some(e);
             return;
         }
-        for (at, task) in out_spawns {
+        for &(at, task) in &out_spawns {
             let Some(dest) = self.supporter_for(pe, task.ty) else {
                 self.error = Some(AccelError::Unsupported(format!(
                     "no PE supports task type {}",
@@ -2279,7 +2327,7 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                 task: task.id,
             },
         );
-        for (at, k, value) in out_args {
+        for &(at, k, value) in &out_args {
             // The host interface block and chip 0 share a die; a P-Store
             // continuation lives on its tile's chip.
             let dst_chip = match k {
@@ -2293,9 +2341,13 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
         self.last_useful = self.last_useful.max(end);
         self.progress(end, pe);
         self.outstanding -= 1;
+        self.scratch_args = out_args;
+        self.scratch_args.clear();
+        self.scratch_spawns = out_spawns;
+        self.scratch_spawns.clear();
         // The PE stays busy (gating greedy routing and steal replies) until
         // its completion wake fires at `end`.
-        self.busy_until[pe] = end;
+        self.units.busy_until[pe] = end;
         self.events.push(end, Event::PeWake { pe });
     }
 }

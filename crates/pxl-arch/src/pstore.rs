@@ -94,13 +94,24 @@ pub struct FillOutcome {
 /// // Filling the freed entry again is an error, not a panic.
 /// assert!(ps.fill(entry, 0, 0).is_err());
 /// ```
+/// Storage is *lazy*: `entries`/`taint` only cover the high-water mark of
+/// slots ever allocated, so an engine with the default 8192-entry stores
+/// pays for the handful of slots a run actually touches, not megabytes of
+/// zeroed arrays at construction. The eager equivalent's free list is
+/// always `[capacity-1, ..., high_water]` (virgin slots, descending)
+/// followed by the recycled LIFO stack, so `recycled` plus the high-water
+/// mark represent it exactly — allocation order and snapshot bytes are
+/// identical to the eager layout.
 #[derive(Debug, Clone)]
 pub struct PStore {
     entries: Vec<Option<PendingTask>>,
     /// Outstanding corruption per entry: the XOR mask the scrubber must
     /// undo on next access (0 = clean).
     taint: Vec<u64>,
-    free: Vec<u32>,
+    /// Freed slots below the high-water mark, in dealloc order; allocation
+    /// pops its tail before touching a virgin slot.
+    recycled: Vec<u32>,
+    capacity: usize,
     peak: usize,
     total_allocs: u64,
     full_events: u64,
@@ -111,9 +122,10 @@ impl PStore {
     /// Creates a P-Store with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         PStore {
-            entries: vec![None; capacity],
-            taint: vec![0; capacity],
-            free: (0..capacity as u32).rev().collect(),
+            entries: Vec::new(),
+            taint: Vec::new(),
+            recycled: Vec::new(),
+            capacity,
             peak: 0,
             total_allocs: 0,
             full_events: 0,
@@ -123,7 +135,7 @@ impl PStore {
 
     /// Number of live pending tasks.
     pub fn occupancy(&self) -> usize {
-        self.entries.len() - self.free.len()
+        self.entries.len() - self.recycled.len()
     }
 
     /// Peak number of simultaneously pending tasks.
@@ -158,10 +170,21 @@ impl PStore {
         if pending.join == 0 || pending.join as usize > MAX_ARGS {
             return Err(PStoreError::BadJoin { join: pending.join });
         }
-        match self.free.pop() {
+        let slot = match self.recycled.pop() {
             Some(e) => {
                 self.entries[e as usize] = Some(pending);
                 self.taint[e as usize] = 0;
+                Some(e)
+            }
+            None if self.entries.len() < self.capacity => {
+                self.entries.push(Some(pending));
+                self.taint.push(0);
+                Some((self.entries.len() - 1) as u32)
+            }
+            None => None,
+        };
+        match slot {
+            Some(e) => {
                 self.total_allocs += 1;
                 self.peak = self.peak.max(self.occupancy());
                 Ok(Some(e))
@@ -182,13 +205,18 @@ impl PStore {
     /// [`PStoreError`] on any protocol violation: an out-of-bounds or dead
     /// entry (the argument outlived its join), or an out-of-range slot.
     pub fn fill(&mut self, entry: u32, slot: u8, value: u64) -> Result<FillOutcome, PStoreError> {
-        if entry as usize >= self.entries.len() {
+        if entry as usize >= self.capacity {
             return Err(PStoreError::OutOfBounds { entry });
         }
         if slot as usize >= MAX_ARGS {
             return Err(PStoreError::BadSlot { entry, slot });
         }
-        let taint = std::mem::take(&mut self.taint[entry as usize]);
+        // A slot past the high-water mark was never allocated — dead, like
+        // a freed one.
+        let taint = match self.taint.get_mut(entry as usize) {
+            Some(t) => std::mem::take(t),
+            None => return Err(PStoreError::DeadEntry { entry }),
+        };
         let cell = self.entries[entry as usize]
             .as_mut()
             .ok_or(PStoreError::DeadEntry { entry })?;
@@ -204,7 +232,7 @@ impl PStore {
         let ready = cell.fill(slot, value);
         if ready.is_some() {
             self.entries[entry as usize] = None;
-            self.free.push(entry);
+            self.recycled.push(entry);
         }
         Ok(FillOutcome { ready, repaired })
     }
@@ -243,12 +271,13 @@ impl PStore {
 
     /// Serializes entries (word-encoded, empty array = free slot), taint
     /// masks, the free list (order matters: allocation pops its tail) and
-    /// counters for engine snapshots.
+    /// counters for engine snapshots. The wire format is the *eager*
+    /// layout — `capacity`-length entry/taint arrays and a free list of
+    /// virgin slots (descending) followed by the recycled stack — so
+    /// snapshots are byte-identical to the pre-lazy encoding.
     pub fn state_to_json_value(&self) -> JsonValue {
-        let entries = self
-            .entries
-            .iter()
-            .map(|cell| match cell {
+        let entries = (0..self.capacity)
+            .map(|i| match self.entries.get(i).and_then(Option::as_ref) {
                 Some(p) => JsonValue::Array(
                     p.to_words()
                         .iter()
@@ -258,21 +287,23 @@ impl PStore {
                 None => JsonValue::Array(Vec::new()),
             })
             .collect();
+        let free = (self.entries.len()..self.capacity)
+            .rev()
+            .map(|e| e as u32)
+            .chain(self.recycled.iter().copied())
+            .map(|e| JsonValue::num_u64(e as u64))
+            .collect();
         JsonValue::Object(vec![
             ("entries".to_owned(), JsonValue::Array(entries)),
             (
                 "taint".to_owned(),
-                JsonValue::Array(self.taint.iter().map(|t| JsonValue::num_u64(*t)).collect()),
-            ),
-            (
-                "free".to_owned(),
                 JsonValue::Array(
-                    self.free
-                        .iter()
-                        .map(|e| JsonValue::num_u64(*e as u64))
+                    (0..self.capacity)
+                        .map(|i| JsonValue::num_u64(self.taint.get(i).copied().unwrap_or(0)))
                         .collect(),
                 ),
             ),
+            ("free".to_owned(), JsonValue::Array(free)),
             ("peak".to_owned(), JsonValue::num_u64(self.peak as u64)),
             (
                 "total_allocs".to_owned(),
@@ -312,11 +343,11 @@ impl PStore {
             .get("entries")
             .and_then(JsonValue::as_array)
             .ok_or("pstore state: missing entries array")?;
-        if cells.len() != self.entries.len() {
+        if cells.len() != self.capacity {
             return Err(format!(
                 "pstore state holds {} entries, this store has {}",
                 cells.len(),
-                self.entries.len()
+                self.capacity
             ));
         }
         let mut entries = Vec::with_capacity(cells.len());
@@ -331,7 +362,7 @@ impl PStore {
                 n => return Err(format!("pstore state: entry holds {n} words")),
             });
         }
-        let taint = u64s("taint")?;
+        let mut taint = u64s("taint")?;
         if taint.len() != entries.len() {
             return Err("pstore state: taint length mismatch".to_owned());
         }
@@ -344,13 +375,35 @@ impl PStore {
                     .ok_or_else(|| format!("pstore state: free entry {e} out of range"))
             })
             .collect::<Result<_, _>>()?;
+        // Split the wire-format free list back into its two halves: the
+        // descending virgin prefix `[capacity-1, ..., high_water]` and the
+        // recycled stack after it. A well-formed snapshot always has this
+        // shape (see `state_to_json_value`); anything else cannot have come
+        // from a real store.
+        let virgin = free
+            .iter()
+            .enumerate()
+            .take_while(|&(i, &e)| e as usize == self.capacity - 1 - i)
+            .count();
+        let high_water = self.capacity - virgin;
+        let recycled = free[virgin..].to_vec();
+        if recycled.iter().any(|&e| e as usize >= high_water)
+            || entries[high_water..].iter().any(Option::is_some)
+            || taint[high_water..].iter().any(|&t| t != 0)
+        {
+            return Err(
+                "pstore state: free list is not a virgin prefix + recycled stack".to_owned(),
+            );
+        }
+        entries.truncate(high_water);
+        taint.truncate(high_water);
         let peak = counter("peak")? as usize;
         let total_allocs = counter("total_allocs")?;
         let full_events = counter("full_events")?;
         let repairs = counter("repairs")?;
         self.entries = entries;
         self.taint = taint;
-        self.free = free;
+        self.recycled = recycled;
         self.peak = peak;
         self.total_allocs = total_allocs;
         self.full_events = full_events;

@@ -82,10 +82,25 @@ fn cycle_ps(engine: &str) -> u64 {
     }
 }
 
-fn measure(name: &'static str, engine: &'static str, run: impl FnOnce() -> RunOutcome) -> PerfRow {
-    let start = Instant::now();
-    let out = run();
-    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+/// How many times each row's run is repeated; the row reports the
+/// *fastest* repetition. Runs are deterministic, so repetitions differ
+/// only by host noise (scheduler preemption, frequency scaling), which is
+/// strictly additive — the minimum wall time is the least-contended
+/// sample and the most reproducible statistic on a shared machine.
+const REPS: usize = 5;
+
+fn measure(
+    name: &'static str,
+    engine: &'static str,
+    mut run: impl FnMut() -> RunOutcome,
+) -> PerfRow {
+    let mut out = run();
+    let mut wall_s = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        out = run();
+        wall_s = wall_s.min(start.elapsed().as_secs_f64().max(1e-9));
+    }
     let tasks = out.metrics.get("accel.tasks") + out.metrics.get("cpu.tasks");
     // `link.*` counters only exist on multi-chip fabrics, so their absence
     // marks a single-chip row.
@@ -173,6 +188,25 @@ fn main() {
             &table
         )
     );
+
+    // Smoke mode doubles as a coarse perf regression gate for CI: the flex
+    // fabric at Tiny sustains well over 10^6 simulated cycles/s on any
+    // machine this runs on, so a reading below the floor means the hot
+    // dispatch path itself regressed by an order of magnitude (the floor is
+    // ~10x below typical so host noise can never trip it).
+    if smoke {
+        const FLEX_SMOKE_FLOOR: f64 = 1.0e5;
+        for r in rows.iter().filter(|r| r.engine == "flex") {
+            assert!(
+                r.cycles_per_sec() > FLEX_SMOKE_FLOOR,
+                "perf smoke floor: {} flex sustained only {:.3e} sim cycles/s (floor {:.1e})",
+                r.bench,
+                r.cycles_per_sec(),
+                FLEX_SMOKE_FLOOR
+            );
+        }
+        eprintln!("[perf] smoke floor ok: flex rows above {FLEX_SMOKE_FLOOR:.1e} sim cycles/s");
+    }
 
     let path = std::path::Path::new("bench_results.jsonl");
     let appended = std::fs::OpenOptions::new()

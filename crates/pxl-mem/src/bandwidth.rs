@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use pxl_sim::hash::Mix64Build;
 use pxl_sim::json::JsonValue;
 use pxl_sim::Time;
 
@@ -38,7 +39,7 @@ use pxl_sim::Time;
 #[derive(Debug, Clone)]
 pub struct BandwidthMeter {
     epoch_ps: u64,
-    used: HashMap<u64, u64>,
+    used: HashMap<u64, u64, Mix64Build>,
 }
 
 impl BandwidthMeter {
@@ -51,7 +52,7 @@ impl BandwidthMeter {
         assert!(epoch_ps > 0, "epoch must be nonzero");
         BandwidthMeter {
             epoch_ps,
-            used: HashMap::new(),
+            used: HashMap::default(),
         }
     }
 
@@ -137,7 +138,8 @@ impl BandwidthMeter {
         let pairs = value
             .as_array()
             .ok_or("bandwidth state: not an array of pairs")?;
-        let mut used = HashMap::with_capacity(pairs.len());
+        let mut used: HashMap<_, _, Mix64Build> =
+            HashMap::with_capacity_and_hasher(pairs.len(), Mix64Build::default());
         for pair in pairs {
             let pair = pair
                 .as_array()

@@ -36,15 +36,6 @@ impl LineState {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Way {
-    /// Line address (byte address >> line_shift); `None` when invalid.
-    line: Option<u64>,
-    state: LineState,
-    /// LRU timestamp (monotone per-array counter).
-    last_use: u64,
-}
-
 /// The tag/state array of one set-associative cache with true-LRU
 /// replacement.
 ///
@@ -61,10 +52,44 @@ struct Way {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CacheArray {
-    sets: Vec<Vec<Way>>,
+    /// Tag of each way of each set, `assoc` consecutive entries per set:
+    /// `line + 1`, with 0 marking an invalid way. Struct-of-arrays so a set
+    /// probe compares `assoc` adjacent `u64`s (one or two cache lines)
+    /// instead of striding over wider records, and so construction is a
+    /// zeroed (lazily mapped) allocation rather than an eager pattern fill.
+    lines: Vec<u64>,
+    /// Coherence state per way, encoded so 0 = `Shared` (the all-zero
+    /// fresh array matches the eager initializer this replaced).
+    states: Vec<u8>,
+    /// LRU timestamp per way (monotone per-array counter).
+    last_use: Vec<u64>,
+    assoc: usize,
     line_shift: u32,
     set_mask: u64,
     use_counter: u64,
+}
+
+/// Internal `states` byte for a [`LineState`]; inverse of [`dec_state`].
+/// The snapshot wire value is `3 - enc_state(s)`, preserving the recorded
+/// encoding (Modified=0 … Shared=3) while keeping `Shared == 0` in memory.
+#[inline]
+fn enc_state(s: LineState) -> u8 {
+    match s {
+        LineState::Shared => 0,
+        LineState::Exclusive => 1,
+        LineState::Owned => 2,
+        LineState::Modified => 3,
+    }
+}
+
+#[inline]
+fn dec_state(b: u8) -> LineState {
+    match b {
+        0 => LineState::Shared,
+        1 => LineState::Exclusive,
+        2 => LineState::Owned,
+        _ => LineState::Modified,
+    }
 }
 
 impl CacheArray {
@@ -83,21 +108,32 @@ impl CacheArray {
             "line size must be a power of two"
         );
         CacheArray {
-            sets: vec![
-                vec![
-                    Way {
-                        line: None,
-                        state: LineState::Shared,
-                        last_use: 0,
-                    };
-                    params.ways
-                ];
-                num_sets
-            ],
+            lines: vec![0; num_sets * params.ways],
+            states: vec![0; num_sets * params.ways],
+            last_use: vec![0; num_sets * params.ways],
+            assoc: params.ways,
             line_shift,
             set_mask: (num_sets - 1) as u64,
             use_counter: 0,
         }
+    }
+
+    /// Index into the flat per-way arrays of way `way` of the set holding
+    /// `line`, or of the set's first way when searching.
+    #[inline]
+    fn base(&self, line: u64) -> usize {
+        self.set_index(line) * self.assoc
+    }
+
+    /// Way index (flat) of `line` if resident: a linear compare over the
+    /// set's `assoc` adjacent tags.
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        let base = self.base(line);
+        self.lines[base..base + self.assoc]
+            .iter()
+            .position(|&l| l == line + 1)
+            .map(|i| base + i)
     }
 
     /// Converts a byte address to a line address.
@@ -120,25 +156,16 @@ impl CacheArray {
     /// LRU.
     pub fn lookup(&mut self, addr: u64) -> Option<LineState> {
         let line = self.line_of(addr);
-        let idx = self.set_index(line);
         self.use_counter += 1;
-        let tick = self.use_counter;
-        self.sets[idx]
-            .iter_mut()
-            .find(|w| w.line == Some(line))
-            .map(|w| {
-                w.last_use = tick;
-                w.state
-            })
+        let w = self.find(line)?;
+        self.last_use[w] = self.use_counter;
+        Some(dec_state(self.states[w]))
     }
 
     /// Peeks at a line's state without touching LRU (for snoops).
     pub fn peek(&self, addr: u64) -> Option<LineState> {
-        let line = self.line_of(addr);
-        self.sets[self.set_index(line)]
-            .iter()
-            .find(|w| w.line == Some(line))
-            .map(|w| w.state)
+        self.find(self.line_of(addr))
+            .map(|w| dec_state(self.states[w]))
     }
 
     /// Sets the state of a resident line.
@@ -147,66 +174,59 @@ impl CacheArray {
     ///
     /// Panics if the line is not resident.
     pub fn set_state(&mut self, addr: u64, state: LineState) {
-        let line = self.line_of(addr);
-        let idx = self.set_index(line);
-        let w = self.sets[idx]
-            .iter_mut()
-            .find(|w| w.line == Some(line))
+        let w = self
+            .find(self.line_of(addr))
             .expect("set_state on a non-resident line");
-        w.state = state;
+        self.states[w] = enc_state(state);
     }
 
     /// Installs a line (choosing an LRU victim) and returns the evicted
     /// line's byte address and state, if a valid line was displaced.
     pub fn install(&mut self, addr: u64, state: LineState) -> Option<(u64, LineState)> {
         let line = self.line_of(addr);
-        let idx = self.set_index(line);
         self.use_counter += 1;
         let tick = self.use_counter;
-        let set = &mut self.sets[idx];
         // Re-installing an already-resident line just updates it.
-        if let Some(w) = set.iter_mut().find(|w| w.line == Some(line)) {
-            w.state = state;
-            w.last_use = tick;
+        if let Some(w) = self.find(line) {
+            self.states[w] = enc_state(state);
+            self.last_use[w] = tick;
             return None;
         }
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| if w.line.is_none() { 0 } else { w.last_use + 1 })
+        let base = self.base(line);
+        let victim = (base..base + self.assoc)
+            .min_by_key(|&w| {
+                if self.lines[w] == 0 {
+                    0
+                } else {
+                    self.last_use[w] + 1
+                }
+            })
             .expect("cache set has at least one way");
-        let evicted = victim.line.map(|l| (l << self.line_shift, victim.state));
-        victim.line = Some(line);
-        victim.state = state;
-        victim.last_use = tick;
+        let evicted = match self.lines[victim] {
+            0 => None,
+            l => Some(((l - 1) << self.line_shift, dec_state(self.states[victim]))),
+        };
+        self.lines[victim] = line + 1;
+        self.states[victim] = enc_state(state);
+        self.last_use[victim] = tick;
         evicted
     }
 
     /// Removes a line if resident, returning its state.
     pub fn invalidate(&mut self, addr: u64) -> Option<LineState> {
-        let line = self.line_of(addr);
-        let idx = self.set_index(line);
-        let w = self.sets[idx].iter_mut().find(|w| w.line == Some(line))?;
-        let s = w.state;
-        w.line = None;
-        Some(s)
+        let w = self.find(self.line_of(addr))?;
+        self.lines[w] = 0;
+        Some(dec_state(self.states[w]))
     }
 
     /// Number of valid lines currently resident (O(size); for tests/stats).
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|w| w.line.is_some())
-            .count()
+        self.lines.iter().filter(|&&l| l != 0).count()
     }
 
     /// Invalidates everything (e.g. between benchmark phases).
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            for w in set {
-                w.line = None;
-            }
-        }
+        self.lines.fill(0);
     }
 
     /// Serializes tag/state/LRU for snapshot/restore:
@@ -214,22 +234,15 @@ impl CacheArray {
     /// `line+1` is zero for an invalid way (line addresses fit u64-1
     /// comfortably since they are byte addresses shifted right).
     pub fn state_to_json_value(&self) -> JsonValue {
-        let sets = self
-            .sets
-            .iter()
-            .map(|set| {
+        let sets = (0..self.lines.len() / self.assoc)
+            .map(|si| {
                 JsonValue::Array(
-                    set.iter()
+                    (si * self.assoc..(si + 1) * self.assoc)
                         .map(|w| {
                             JsonValue::Array(vec![
-                                JsonValue::num_u64(w.line.map_or(0, |l| l + 1)),
-                                JsonValue::num_u64(match w.state {
-                                    LineState::Modified => 0,
-                                    LineState::Owned => 1,
-                                    LineState::Exclusive => 2,
-                                    LineState::Shared => 3,
-                                }),
-                                JsonValue::num_u64(w.last_use),
+                                JsonValue::num_u64(self.lines[w]),
+                                JsonValue::num_u64(3 - self.states[w] as u64),
+                                JsonValue::num_u64(self.last_use[w]),
                             ])
                         })
                         .collect(),
@@ -260,19 +273,19 @@ impl CacheArray {
             .get("sets")
             .and_then(JsonValue::as_array)
             .ok_or("cache state: missing sets")?;
-        if sets.len() != self.sets.len() {
+        let num_sets = self.lines.len() / self.assoc;
+        if sets.len() != num_sets {
             return Err(format!(
-                "cache state: {} sets for a {}-set array",
+                "cache state: {} sets for a {num_sets}-set array",
                 sets.len(),
-                self.sets.len()
             ));
         }
-        for (si, (set, into)) in sets.iter().zip(self.sets.iter_mut()).enumerate() {
+        for (si, set) in sets.iter().enumerate() {
             let ways = set
                 .as_array()
-                .filter(|w| w.len() == into.len())
+                .filter(|w| w.len() == self.assoc)
                 .ok_or_else(|| format!("cache state: set {si} has the wrong way count"))?;
-            for (way, slot) in ways.iter().zip(into.iter_mut()) {
+            for (wi, way) in ways.iter().enumerate() {
                 let triple = way
                     .as_array()
                     .filter(|t| t.len() == 3)
@@ -282,16 +295,13 @@ impl CacheArray {
                         .as_u64()
                         .ok_or_else(|| format!("cache state: set {si} holds a non-u64"))
                 };
-                let line = field(0)?;
-                slot.line = if line == 0 { None } else { Some(line - 1) };
-                slot.state = match field(1)? {
-                    0 => LineState::Modified,
-                    1 => LineState::Owned,
-                    2 => LineState::Exclusive,
-                    3 => LineState::Shared,
+                let w = si * self.assoc + wi;
+                self.lines[w] = field(0)?;
+                self.states[w] = match field(1)? {
+                    wire @ 0..=3 => 3 - wire as u8,
                     other => return Err(format!("cache state: unknown line state {other}")),
                 };
-                slot.last_use = field(2)?;
+                self.last_use[w] = field(2)?;
             }
         }
         Ok(())

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use pxl_sim::hash::Mix64Build;
 use pxl_sim::json::JsonValue;
 
 const PAGE_SHIFT: u32 = 12;
@@ -32,7 +33,7 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>, Mix64Build>,
 }
 
 impl Memory {
@@ -215,7 +216,8 @@ impl Memory {
         let members = value
             .as_object()
             .ok_or("memory state: not an object of pages")?;
-        let mut pages = HashMap::with_capacity(members.len());
+        let mut pages: HashMap<_, _, Mix64Build> =
+            HashMap::with_capacity_and_hasher(members.len(), Mix64Build::default());
         for (key, page) in members {
             let idx: u64 = key
                 .parse()

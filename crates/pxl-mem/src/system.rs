@@ -19,7 +19,7 @@
 
 use pxl_sim::config::{CacheParams, DramParams, MemoryConfig};
 use pxl_sim::json::JsonValue;
-use pxl_sim::{Metrics, Time, TraceEvent, Tracer};
+use pxl_sim::{CounterId, Metrics, Time, TraceEvent, Tracer};
 
 use crate::bandwidth::BandwidthMeter;
 use crate::cache::{CacheArray, LineState};
@@ -99,7 +99,57 @@ pub struct MemorySystem {
     l2_meter: BandwidthMeter,
     dram_meter: BandwidthMeter,
     stats: Metrics,
+    ids: MemIds,
     trace: Tracer,
+}
+
+/// Typed handles for the per-access counters. The cache path increments a
+/// counter on every lookup, so these skip the string lookup a name-keyed
+/// update would pay; they must be re-registered whenever `stats` is
+/// replaced (construction, [`MemorySystem::take_stats`],
+/// [`MemorySystem::restore_state`]) because the handles index the registry
+/// they were registered in.
+#[derive(Debug, Clone, Copy)]
+struct MemIds {
+    l1_hits: CounterId,
+    l1_misses: CounterId,
+    l1_writebacks: CounterId,
+    l2_hits: CounterId,
+    l2_misses: CounterId,
+    l2_evictions: CounterId,
+    l2_writebacks: CounterId,
+    bus_txns: CounterId,
+    upgrades: CounterId,
+    remote_invalidations: CounterId,
+    dirty_transfers: CounterId,
+    c2c_transfers: CounterId,
+    dram_lines: CounterId,
+    dram_bytes: CounterId,
+    dram_sat_events: CounterId,
+    prefetches: CounterId,
+}
+
+impl MemIds {
+    fn register(m: &mut Metrics) -> Self {
+        MemIds {
+            l1_hits: m.register_counter("mem.l1_hits"),
+            l1_misses: m.register_counter("mem.l1_misses"),
+            l1_writebacks: m.register_counter("mem.l1_writebacks"),
+            l2_hits: m.register_counter("mem.l2_hits"),
+            l2_misses: m.register_counter("mem.l2_misses"),
+            l2_evictions: m.register_counter("mem.l2_evictions"),
+            l2_writebacks: m.register_counter("mem.l2_writebacks"),
+            bus_txns: m.register_counter("mem.bus_txns"),
+            upgrades: m.register_counter("mem.upgrades"),
+            remote_invalidations: m.register_counter("mem.remote_invalidations"),
+            dirty_transfers: m.register_counter("mem.dirty_transfers"),
+            c2c_transfers: m.register_counter("mem.c2c_transfers"),
+            dram_lines: m.register_counter("mem.dram_lines"),
+            dram_bytes: m.register_counter("mem.dram_bytes"),
+            dram_sat_events: m.register_counter("mem.dram_sat_events"),
+            prefetches: m.register_counter("mem.prefetches"),
+        }
+    }
 }
 
 impl MemorySystem {
@@ -107,6 +157,8 @@ impl MemorySystem {
     /// sharing the L2/DRAM described by `config`.
     pub fn new(l1_params: Vec<CacheParams>, config: &MemoryConfig) -> Self {
         let l1s = l1_params.iter().map(CacheArray::new).collect();
+        let mut stats = Metrics::new();
+        let ids = MemIds::register(&mut stats);
         MemorySystem {
             l1s,
             l1_params,
@@ -117,7 +169,8 @@ impl MemorySystem {
             bus_meter: BandwidthMeter::default_epoch(),
             l2_meter: BandwidthMeter::default_epoch(),
             dram_meter: BandwidthMeter::default_epoch(),
-            stats: Metrics::new(),
+            stats,
+            ids,
             trace: Tracer::disabled(),
         }
     }
@@ -139,7 +192,9 @@ impl MemorySystem {
 
     /// Takes the statistics out, leaving an empty registry.
     pub fn take_stats(&mut self) -> Metrics {
-        std::mem::take(&mut self.stats)
+        let taken = std::mem::take(&mut self.stats);
+        self.ids = MemIds::register(&mut self.stats);
+        taken
     }
 
     /// Enables structured event tracing with a bounded buffer of `capacity`
@@ -214,6 +269,7 @@ impl MemorySystem {
         self.l2_meter.restore_state(field("l2_meter")?)?;
         self.dram_meter.restore_state(field("dram_meter")?)?;
         self.stats = Metrics::from_json(&field("stats")?.to_json())?;
+        self.ids = MemIds::register(&mut self.stats);
         self.trace = Tracer::state_from_json_value(field("trace")?)?;
         Ok(())
     }
@@ -231,7 +287,7 @@ impl MemorySystem {
 
     fn acquire_bus(&mut self, t: Time) -> Time {
         let start = self.bus_meter.acquire(t, self.bus.occupancy.as_ps());
-        self.stats.incr("mem.bus_txns");
+        self.stats.inc(self.ids.bus_txns);
         start + self.bus.latency
     }
 
@@ -244,12 +300,12 @@ impl MemorySystem {
         let line_bytes = self.line_bytes() as u64;
         let transfer_ps = self.dram.line_transfer_ps(self.line_bytes());
         let start = self.dram_meter.acquire(t, transfer_ps);
-        self.stats.add("mem.dram_lines", 1);
-        self.stats.add("mem.dram_bytes", line_bytes);
+        self.stats.inc(self.ids.dram_lines);
+        self.stats.add_to(self.ids.dram_bytes, line_bytes);
         // Starting in a later epoch than requested means the natural epoch
         // was already full: the channel is saturated.
         if self.dram_meter.epoch_of(start) > self.dram_meter.epoch_of(t) {
-            self.stats.incr("mem.dram_sat_events");
+            self.stats.inc(self.ids.dram_sat_events);
             self.trace.emit(
                 t,
                 TraceEvent::DramSaturated {
@@ -267,7 +323,7 @@ impl MemorySystem {
         let line_bytes = self.line_bytes() as u64;
         let transfer_ps = self.dram.line_transfer_ps(self.line_bytes());
         let _ = self.dram_meter.acquire(at, transfer_ps);
-        self.stats.add("mem.dram_bytes", line_bytes);
+        self.stats.add_to(self.ids.dram_bytes, line_bytes);
     }
 
     /// Finds a remote L1 (not `port`) holding the line in an owning state
@@ -303,11 +359,11 @@ impl MemorySystem {
                 continue;
             }
             if let Some(state) = self.l1s[i].invalidate(addr) {
-                self.stats.incr("mem.remote_invalidations");
+                self.stats.inc(self.ids.remote_invalidations);
                 if state.is_dirty() {
                     // Dirty data moves to the requester with the transfer;
                     // no extra DRAM traffic needed under MOESI.
-                    self.stats.incr("mem.dirty_transfers");
+                    self.stats.inc(self.ids.dirty_transfers);
                 }
             }
         }
@@ -331,7 +387,7 @@ impl MemorySystem {
     /// back-invalidation of L1 copies and dirty writebacks.
     fn install_l2(&mut self, port: usize, addr: u64, state: LineState, at: Time) {
         if let Some((victim_addr, victim_state)) = self.l2.install(addr, state) {
-            self.stats.incr("mem.l2_evictions");
+            self.stats.inc(self.ids.l2_evictions);
             self.trace.emit(
                 at,
                 TraceEvent::CacheEvict {
@@ -347,7 +403,7 @@ impl MemorySystem {
                 }
             }
             if dirty {
-                self.stats.incr("mem.l2_writebacks");
+                self.stats.inc(self.ids.l2_writebacks);
                 self.dram_background(at);
             }
         }
@@ -364,7 +420,7 @@ impl MemorySystem {
                 },
             );
             if victim_state.is_dirty() {
-                self.stats.incr("mem.l1_writebacks");
+                self.stats.inc(self.ids.l1_writebacks);
                 // Write back into L2 (data plane is functional memory; here
                 // we only ensure the L2 still tracks the line as dirty).
                 if self.l2.peek(victim_addr).is_some() {
@@ -387,7 +443,7 @@ impl MemorySystem {
         let install_state;
         if let Some(_owner) = self.snoop_owner(port, addr) {
             // Cache-to-cache transfer from the owning L1.
-            self.stats.incr("mem.c2c_transfers");
+            self.stats.inc(self.ids.c2c_transfers);
             t += self.bus.cache_to_cache;
             if kind.is_write() {
                 self.invalidate_remotes(port, addr);
@@ -405,7 +461,7 @@ impl MemorySystem {
             t = self.acquire_l2(t);
             let l2_hit = self.l2.lookup(addr).is_some();
             if l2_hit {
-                self.stats.incr("mem.l2_hits");
+                self.stats.inc(self.ids.l2_hits);
                 self.trace.emit(
                     t,
                     TraceEvent::CacheHit {
@@ -414,7 +470,7 @@ impl MemorySystem {
                     },
                 );
             } else {
-                self.stats.incr("mem.l2_misses");
+                self.stats.inc(self.ids.l2_misses);
                 self.trace.emit(
                     t,
                     TraceEvent::CacheMiss {
@@ -452,7 +508,7 @@ impl MemorySystem {
         if self.snoop_owner(port, next).is_some() {
             return;
         }
-        self.stats.incr("mem.prefetches");
+        self.stats.inc(self.ids.prefetches);
         if self.l2.lookup(next).is_none() {
             self.dram_background(at);
             self.install_l2(port, next, LineState::Shared, at);
@@ -481,7 +537,7 @@ impl MemorySystem {
         let t = now + self.l1_hit_time(p);
         match self.l1s[p].lookup(addr) {
             Some(state) => {
-                self.stats.incr("mem.l1_hits");
+                self.stats.inc(self.ids.l1_hits);
                 self.trace.emit(
                     now,
                     TraceEvent::CacheHit {
@@ -495,7 +551,7 @@ impl MemorySystem {
                         t
                     } else {
                         // S or O: upgrade via bus invalidation.
-                        self.stats.incr("mem.upgrades");
+                        self.stats.inc(self.ids.upgrades);
                         let t = self.acquire_bus(t);
                         self.invalidate_remotes(p, addr);
                         self.l1s[p].set_state(addr, LineState::Modified);
@@ -506,7 +562,7 @@ impl MemorySystem {
                 }
             }
             None => {
-                self.stats.incr("mem.l1_misses");
+                self.stats.inc(self.ids.l1_misses);
                 self.trace.emit(
                     now,
                     TraceEvent::CacheMiss {

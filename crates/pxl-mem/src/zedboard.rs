@@ -11,7 +11,7 @@
 
 use pxl_sim::config::{CacheParams, CpuCoreParams, DramParams, MemoryConfig};
 use pxl_sim::json::JsonValue;
-use pxl_sim::{Clock, Metrics, Time, TraceEvent, Tracer};
+use pxl_sim::{Clock, CounterId, Metrics, Time, TraceEvent, Tracer};
 
 use crate::bandwidth::BandwidthMeter;
 use crate::system::AccessKind;
@@ -75,20 +75,45 @@ pub struct ZedboardMemory {
     acp_meter: BandwidthMeter,
     tick: u64,
     stats: Metrics,
+    ids: ZedIds,
     trace: Tracer,
     accel_clock: Clock,
+}
+
+/// Typed handles for the stream-buffer hot counters; re-registered whenever
+/// `stats` is replaced, mirroring the coherent path's `MemIds`.
+#[derive(Debug, Clone, Copy)]
+struct ZedIds {
+    stream_hits: CounterId,
+    stream_misses: CounterId,
+    stream_seq: CounterId,
+    acp_lines: CounterId,
+}
+
+impl ZedIds {
+    fn register(m: &mut Metrics) -> Self {
+        ZedIds {
+            stream_hits: m.register_counter("zed.stream_hits"),
+            stream_misses: m.register_counter("zed.stream_misses"),
+            stream_seq: m.register_counter("zed.stream_seq"),
+            acp_lines: m.register_counter("zed.acp_lines"),
+        }
+    }
 }
 
 impl ZedboardMemory {
     /// Creates the memory path for `ports` PE ports.
     pub fn new(ports: usize, params: AcpParams) -> Self {
         let streams_per_port = params.streams_per_port;
+        let mut stats = Metrics::new();
+        let ids = ZedIds::register(&mut stats);
         ZedboardMemory {
             params,
             streams: vec![Vec::with_capacity(streams_per_port); ports],
             acp_meter: BandwidthMeter::default_epoch(),
             tick: 0,
-            stats: Metrics::new(),
+            stats,
+            ids,
             trace: Tracer::disabled(),
             accel_clock: Clock::new("zed_accel", 8_000), // 125 MHz fabric
         }
@@ -101,7 +126,9 @@ impl ZedboardMemory {
 
     /// Takes the statistics out, leaving an empty registry.
     pub fn take_stats(&mut self) -> Metrics {
-        std::mem::take(&mut self.stats)
+        let taken = std::mem::take(&mut self.stats);
+        self.ids = ZedIds::register(&mut self.stats);
+        taken
     }
 
     /// Enables structured event tracing with a bounded buffer of `capacity`
@@ -208,6 +235,7 @@ impl ZedboardMemory {
             .as_u64()
             .ok_or("zedboard state: tick is not a u64")?;
         self.stats = Metrics::from_json(&field("stats")?.to_json())?;
+        self.ids = ZedIds::register(&mut self.stats);
         self.trace = Tracer::state_from_json_value(field("trace")?)?;
         self.streams = streams;
         self.tick = tick;
@@ -235,7 +263,7 @@ impl ZedboardMemory {
         // Same-line hit in an existing stream buffer: fabric-local access.
         if let Some(s) = self.streams[port].iter_mut().find(|s| s.last_line == line) {
             s.last_use = tick;
-            self.stats.incr("zed.stream_hits");
+            self.stats.inc(self.ids.stream_hits);
             self.trace.emit(
                 now,
                 TraceEvent::CacheHit {
@@ -275,12 +303,12 @@ impl ZedboardMemory {
         }
 
         let start = self.acp_meter.acquire(now, transfer.as_ps());
-        self.stats.add("zed.acp_lines", 1);
+        self.stats.inc(self.ids.acp_lines);
         self.stats
             .add("zed.acp_bytes", self.params.line_bytes as u64);
         let mut done = start + transfer;
         if !is_seq {
-            self.stats.incr("zed.stream_misses");
+            self.stats.inc(self.ids.stream_misses);
             self.trace.emit(
                 now,
                 TraceEvent::CacheMiss {
@@ -290,7 +318,7 @@ impl ZedboardMemory {
             );
             done += self.params.latency;
         } else {
-            self.stats.incr("zed.stream_seq");
+            self.stats.inc(self.ids.stream_seq);
         }
         if matches!(kind, AccessKind::Amo) {
             done += self.params.latency; // locked round trip

@@ -64,6 +64,54 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// A `std::hash::Hasher` for integer-keyed hot-path maps (functional-memory
+/// pages, DRAM bandwidth epochs): one multiply plus a fold in place of the
+/// default SipHash, which dominates a `HashMap` probe for small keys.
+/// Deterministic (no per-process seed), which simulation reproducibility
+/// wants anyway; not DoS-hardened, which simulator-internal maps don't need.
+/// Byte-stream input falls back to FNV-1a so non-integer keys still hash
+/// sensibly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mix64Hasher(u64);
+
+/// `BuildHasher` plumbing for [`Mix64Hasher`]:
+/// `HashMap<u64, V, Mix64Build>`.
+pub type Mix64Build = std::hash::BuildHasherDefault<Mix64Hasher>;
+
+impl std::hash::Hasher for Mix64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { FNV64_OFFSET } else { self.0 };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV64_PRIME);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // Fibonacci multiplicative hash with a fold so both the low bits
+        // (hashbrown's bucket index) and high bits (its control tag) mix.
+        let h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
 /// Formats a hash as the fixed-width lower-hex content address used in
 /// cache files (16 hex digits).
 pub fn content_address(hash: u64) -> String {

@@ -36,7 +36,7 @@ pub mod time;
 pub mod trace;
 
 pub use config::{MemoryConfig, PlatformConfig};
-pub use event::EventQueue;
+pub use event::{EventQueue, EventSlab};
 pub use fault::{FaultKind, FaultPlan, FaultScheduler, FaultSpec, NetClass, SendVerdict};
 pub use hash::{fnv64, Fnv64};
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricKind, Metrics};

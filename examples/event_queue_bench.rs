@@ -1,0 +1,173 @@
+//! Micro-benchmark: the slab-backed two-lane [`EventQueue`] against the
+//! plain binary-heap event queue it replaced, at fabric-realistic push/pop
+//! mixes. The reference carries its payload inside each heap node — the old
+//! layout, where every sift moved the full event — while the new queue
+//! moves only 24-byte `(time, seq, slot)` index entries and parks payloads
+//! in a free-list slab.
+//!
+//! Hand-rolled timing loops (no external harness dependency, so the
+//! workspace builds offline): each case runs a warmup batch, then reports
+//! mean wall time per iteration, same idiom as `pxl-bench`'s microbench.
+//!
+//! Run with: `cargo run --release --example event_queue_bench`
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use parallelxl::sim::{EventQueue, Time, XorShift64};
+
+/// Stand-in for the fabric's event payload at its pre-refactor size: the
+/// old `Event` enum inlined a full task (`#[allow(clippy::large_enum_variant)]`
+/// marked the cost), so heap sifts moved this much with every swap.
+#[derive(Debug, Clone, Copy)]
+struct Payload([u64; 8]);
+
+/// The old layout: one `BinaryHeap` node per event, payload inline,
+/// `(time, seq)` min-order with FIFO tie-breaking — behaviourally identical
+/// to [`EventQueue`], kept here as the baseline.
+struct HeapNode {
+    when: Time,
+    seq: u64,
+    payload: Payload,
+}
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        (self.when, self.seq) == (other.when, other.seq)
+    }
+}
+impl Eq for HeapNode {}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.when, other.seq).cmp(&(self.when, self.seq))
+    }
+}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Default)]
+struct HeapQueue {
+    heap: BinaryHeap<HeapNode>,
+    next_seq: u64,
+}
+
+impl HeapQueue {
+    fn push(&mut self, when: Time, payload: Payload) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapNode { when, seq, payload });
+    }
+
+    fn pop(&mut self) -> Option<(Time, Payload)> {
+        self.heap.pop().map(|n| (n.when, n.payload))
+    }
+}
+
+/// Times `iters` calls of `f` after a warmup batch and prints ns/iter.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    println!(
+        "{name:<40} {:>12.1} ns/iter ({iters} iters)",
+        total.as_nanos() as f64 / iters as f64
+    );
+}
+
+/// The fabric's steady state: ~60 pending events (16 PEs plus in-flight
+/// memory and steal traffic), each pop scheduling a successor a few cycles
+/// out. Deltas stay inside the near-lane bucket window.
+fn dispatch_delta(rng: &mut XorShift64) -> u64 {
+    5_000 + (rng.next_u64() % 16) * 5_000 // 1..=16 cycles at 5000 ps/cycle
+}
+
+/// Occasional long-horizon event (watchdog, timed fault): far beyond the
+/// 256-bucket x 8192 ps near window, so it exercises the overflow heap lane.
+fn horizon_delta(rng: &mut XorShift64) -> u64 {
+    (256 << 13) + rng.next_u64() % (1 << 28)
+}
+
+fn main() {
+    const PENDING: usize = 60;
+    const MIXES: [(&str, u64); 2] = [("dispatch", 0), ("dispatch+horizon", 50)];
+
+    for (mix, horizon_every) in MIXES {
+        // New queue: slab payloads, index-only ordering.
+        let mut rng = XorShift64::new(0x5eed);
+        let mut q = EventQueue::new();
+        let mut now = Time::ZERO;
+        for i in 0..PENDING {
+            q.push(
+                now + Time::from_ps(dispatch_delta(&mut rng)),
+                Payload([i as u64; 8]),
+            );
+        }
+        let mut n = 0u64;
+        bench(&format!("event_queue/{mix}"), 2_000_000, || {
+            let (t, p) = q.pop().expect("steady state is non-empty");
+            now = t;
+            n += 1;
+            let delta = if horizon_every != 0 && n.is_multiple_of(horizon_every) {
+                horizon_delta(&mut rng)
+            } else {
+                dispatch_delta(&mut rng)
+            };
+            q.push(now + Time::from_ps(delta), black_box(p));
+        });
+
+        // Old layout: payloads ride the heap nodes.
+        let mut rng = XorShift64::new(0x5eed);
+        let mut q = HeapQueue::default();
+        let mut now = Time::ZERO;
+        for i in 0..PENDING {
+            q.push(
+                now + Time::from_ps(dispatch_delta(&mut rng)),
+                Payload([i as u64; 8]),
+            );
+        }
+        let mut n = 0u64;
+        bench(&format!("binary_heap/{mix}"), 2_000_000, || {
+            let (t, p) = q.pop().expect("steady state is non-empty");
+            now = t;
+            n += 1;
+            let delta = if horizon_every != 0 && n.is_multiple_of(horizon_every) {
+                horizon_delta(&mut rng)
+            } else {
+                dispatch_delta(&mut rng)
+            };
+            q.push(now + Time::from_ps(delta), black_box(p));
+        });
+    }
+
+    // Burst fill + drain: checkpoint restore and run teardown do this.
+    bench("event_queue/fill_drain_1k", 2_000, || {
+        let mut rng = XorShift64::new(1);
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.push(Time::from_ps(rng.next_u64() % (1 << 21)), Payload([i; 8]));
+        }
+        while let Some((_, p)) = q.pop() {
+            black_box(p.0);
+        }
+    });
+    bench("binary_heap/fill_drain_1k", 2_000, || {
+        let mut rng = XorShift64::new(1);
+        let mut q = HeapQueue::default();
+        for i in 0..1_000u64 {
+            q.push(Time::from_ps(rng.next_u64() % (1 << 21)), Payload([i; 8]));
+        }
+        while let Some((_, p)) = q.pop() {
+            black_box(p.0);
+        }
+    });
+}

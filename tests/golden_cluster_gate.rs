@@ -10,7 +10,9 @@
 //! perturbing every single-chip run ever recorded.
 
 use parallelxl::apps::{by_name, Scale};
-use parallelxl::arch::{AccelConfig, AccelResult, ClusterConfig, FlexEngine, HierEngine};
+use parallelxl::arch::{
+    AccelConfig, AccelResult, CentralEngine, ClusterConfig, FlexEngine, HierEngine,
+};
 use parallelxl::sim::metrics::MetricKind;
 use parallelxl::{FaultPlan, NetClass, Time};
 use std::fmt::Write as _;
@@ -172,4 +174,38 @@ fn one_chip_flat_cluster_is_also_invisible() {
     let mut cfg = flex_config(2, 4, None);
     cfg.cluster = Some(ClusterConfig::new(1).flat());
     assert_same_bytes("uts_flex_2x4", "flex-flat", &stock, &run_flex(cfg, "uts"));
+}
+
+fn run_central(cfg: AccelConfig, bench_name: &str) -> AccelResult {
+    let bench = by_name(bench_name, Scale::Tiny).unwrap();
+    let mut engine = CentralEngine::new(cfg, bench.profile());
+    let inst = bench.flex(engine.mem_mut());
+    let mut worker = inst.worker;
+    let out = engine
+        .run(worker.as_mut(), inst.root)
+        .expect("run completes");
+    bench
+        .check(engine.memory(), out.result)
+        .expect("run stays golden");
+    out
+}
+
+/// The centralized-queue ablation shares the fabric, so the 1-chip gate
+/// must hold for it too: wrapping a stock central run in a 1-chip cluster
+/// changes no trace or metric byte.
+#[test]
+fn one_chip_cluster_is_byte_identical_to_stock_central() {
+    for bench in ["uts", "queens"] {
+        let mut stock_cfg = AccelConfig::central(2, 4);
+        stock_cfg.trace_capacity = TRACE_CAPACITY;
+        let stock = run_central(stock_cfg.clone(), bench);
+        let mut clustered = stock_cfg;
+        clustered.cluster = Some(ClusterConfig::new(1));
+        assert_same_bytes(
+            &format!("{bench}_central_2x4"),
+            "central",
+            &stock,
+            &run_central(clustered, bench),
+        );
+    }
 }

@@ -120,7 +120,9 @@ fn single_pe_death_preserves_the_golden_result() {
 /// ```
 mod fixtures {
     use parallelxl::apps::{by_name, Scale};
-    use parallelxl::arch::{AccelConfig, AccelResult, FlexEngine, LiteEngine};
+    use parallelxl::arch::{
+        AccelConfig, AccelResult, CentralEngine, ClusterConfig, FlexEngine, HierEngine, LiteEngine,
+    };
     use parallelxl::sim::metrics::{MetricKind, Metrics};
     use parallelxl::{FaultPlan, NetClass, Time};
     use std::fmt::Write as _;
@@ -277,6 +279,52 @@ mod fixtures {
         out
     }
 
+    fn run_central_case(
+        bench_name: &str,
+        tiles: usize,
+        pes: usize,
+        plan: Option<FaultPlan>,
+    ) -> AccelResult {
+        let bench = by_name(bench_name, Scale::Tiny).unwrap();
+        let mut cfg = AccelConfig::central(tiles, pes);
+        cfg.trace_capacity = TRACE_CAPACITY;
+        cfg.fault_plan = plan;
+        let mut engine = CentralEngine::new(cfg, bench.profile());
+        let inst = bench.flex(engine.mem_mut());
+        let mut worker = inst.worker;
+        let out = engine
+            .run(worker.as_mut(), inst.root)
+            .expect("run completes");
+        bench
+            .check(engine.memory(), out.result)
+            .expect("run stays golden");
+        out
+    }
+
+    fn run_hier_case(
+        bench_name: &str,
+        tiles: usize,
+        pes: usize,
+        chips: usize,
+        plan: Option<FaultPlan>,
+    ) -> AccelResult {
+        let bench = by_name(bench_name, Scale::Tiny).unwrap();
+        let mut cfg = AccelConfig::flex(tiles, pes);
+        cfg.trace_capacity = TRACE_CAPACITY;
+        cfg.fault_plan = plan;
+        cfg.cluster = Some(ClusterConfig::new(chips));
+        let mut engine = HierEngine::new(cfg, bench.profile());
+        let inst = bench.flex(engine.mem_mut());
+        let mut worker = inst.worker;
+        let out = engine
+            .run(worker.as_mut(), inst.root)
+            .expect("run completes");
+        bench
+            .check(engine.memory(), out.result)
+            .expect("run stays golden");
+        out
+    }
+
     #[test]
     fn flex_fixtures_are_reproduced_byte_for_byte() {
         check_case("queens_flex_1x4", &run_flex_case("queens", 1, 4, None));
@@ -304,6 +352,40 @@ mod fixtures {
         check_case(
             "uts_lite_1x4_faults",
             &run_lite_case("uts", 1, 4, Some(plan)),
+        );
+    }
+
+    /// The centralized-queue ablation runs on the same fabric, so its trace
+    /// and metric bytes gate the shared hot paths from a second angle: one
+    /// contended queue instead of distributed stealing.
+    #[test]
+    fn central_fixtures_are_reproduced_byte_for_byte() {
+        check_case(
+            "queens_central_1x4",
+            &run_central_case("queens", 1, 4, None),
+        );
+        check_case("uts_central_2x4", &run_central_case("uts", 2, 4, None));
+        let plan = FaultPlan::new(0xCE_11)
+            .kill_pe(3, Time::from_us(2))
+            .stall_pe(0, Time::from_us(1), 400);
+        check_case(
+            "uts_central_2x4_faults",
+            &run_central_case("uts", 2, 4, Some(plan)),
+        );
+    }
+
+    /// A genuinely multi-chip hierarchical run: inter-chip link occupancy,
+    /// `link_xfer` trace events and the two-level steal policy all land in
+    /// the fixture bytes.
+    #[test]
+    fn hier_fixtures_are_reproduced_byte_for_byte() {
+        check_case("uts_hier_2x4_2chips", &run_hier_case("uts", 2, 4, 2, None));
+        let plan = FaultPlan::new(0x41E7)
+            .kill_pe(6, Time::from_us(2))
+            .drop_messages(NetClass::Task, Time::ZERO, Time::MAX, 400, 5);
+        check_case(
+            "queens_hier_2x4_2chips_faults",
+            &run_hier_case("queens", 2, 4, 2, Some(plan)),
         );
     }
 }

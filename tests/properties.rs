@@ -9,7 +9,7 @@ use parallelxl::model::{
     MAX_ARGS,
 };
 use parallelxl::sim::qcheck::{check, Gen};
-use parallelxl::sim::Time;
+use parallelxl::sim::{EventQueue, Time};
 
 /// The work-stealing deque behaves exactly like a double-ended queue: owner
 /// ops at the tail, thief ops at the head.
@@ -38,6 +38,82 @@ fn deque_matches_model() {
             }
             assert_eq!(dut.len(), model.len());
         }
+    });
+}
+
+/// The two-lane bucketed event queue pops in exactly the order of a plain
+/// binary-heap reference — time order, FIFO at equal times — over random
+/// push/pop interleavings that span both lanes (same-bucket ties, in-window
+/// deltas, far-future horizons), including a snapshot/restore mid-stream:
+/// `ordered()` + re-push into a fresh queue, exactly what checkpointing does.
+#[test]
+fn event_queue_matches_heap_reference() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Near-lane window span (NUM_BUCKETS << BUCKET_SHIFT in pxl-sim's
+    // event.rs); deltas beyond this overflow to the heap lane.
+    const WINDOW_PS: u64 = 256 << 13;
+
+    check(48, "event queue matches heap reference", |g: &mut Gen| {
+        let mut dut: EventQueue<u64> = EventQueue::new();
+        let mut model: BinaryHeap<Reverse<(Time, u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut payload = 0u64;
+        let mut now = 0u64; // last popped time (ps): the sim-clock lower bound
+        let mut last_when = 0u64;
+        let ops = g.usize_in(50, 300);
+        let restore_at = g.usize_in(0, ops);
+        for op in 0..ops {
+            if op == restore_at {
+                // Snapshot as checkpointing does and rebuild: fresh seqs
+                // assigned in `ordered()` order must preserve every
+                // tie-break, so the restored queue pops identically.
+                let snap: Vec<(Time, u64)> =
+                    dut.ordered().into_iter().map(|(t, &p)| (t, p)).collect();
+                let mut rebuilt = EventQueue::new();
+                for &(t, p) in &snap {
+                    rebuilt.push(t, p);
+                }
+                dut = rebuilt;
+                seq = 0;
+                let mut drained = Vec::new();
+                while let Some(Reverse((t, _, p))) = model.pop() {
+                    drained.push((t, p));
+                }
+                assert_eq!(snap, drained, "snapshot order diverged from model");
+                for (t, p) in drained {
+                    model.push(Reverse((t, seq, p)));
+                    seq += 1;
+                }
+            }
+            if g.ratio(3, 5) || dut.is_empty() {
+                let when = match g.range(0, 8) {
+                    0..=2 => now + g.range(0, 1 << 13),   // same/adjacent bucket
+                    3..=4 => now + g.range(0, WINDOW_PS), // anywhere in window
+                    5 => now + WINDOW_PS + g.range(0, 8 * WINDOW_PS), // far lane
+                    _ => last_when,                       // exact tie: exercises FIFO order
+                };
+                last_when = when;
+                dut.push(Time::from_ps(when), payload);
+                model.push(Reverse((Time::from_ps(when), seq, payload)));
+                seq += 1;
+                payload += 1;
+            } else {
+                let (t, p) = dut.pop().expect("queue is non-empty");
+                let Reverse((mt, _, mp)) = model.pop().expect("model is non-empty");
+                assert_eq!((t, p), (mt, mp), "pop diverged from heap reference");
+                now = t.as_ps();
+            }
+            assert_eq!(dut.len(), model.len());
+            assert_eq!(dut.peek_time(), model.peek().map(|Reverse((t, _, _))| *t));
+        }
+        // Drain: the full residual order must match.
+        while let Some((t, p)) = dut.pop() {
+            let Reverse((mt, _, mp)) = model.pop().expect("model drains with dut");
+            assert_eq!((t, p), (mt, mp));
+        }
+        assert!(model.is_empty());
     });
 }
 
