@@ -436,6 +436,9 @@ pub struct AccelConfig {
     /// Structured event-trace buffer capacity in records; zero (the
     /// default) disables tracing entirely.
     pub trace_capacity: usize,
+    /// Telemetry epoch width in accelerator cycles; zero (the default)
+    /// disables in-run telemetry sampling entirely.
+    pub telemetry_every_cycles: u64,
     /// Deterministic fault schedule to arm against this run (`None` = the
     /// happy path).
     pub fault_plan: Option<FaultPlan>,
@@ -467,6 +470,7 @@ impl AccelConfig {
             mem_backend: MemBackendKind::Coherent,
             max_sim_time_us: 2_000_000,
             trace_capacity: 0,
+            telemetry_every_cycles: 0,
             fault_plan: None,
             watchdog_quiescence_cycles: 1_000_000,
             cluster: None,

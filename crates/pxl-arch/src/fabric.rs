@@ -40,7 +40,7 @@ use pxl_sim::json::JsonValue;
 use pxl_sim::snapshot::{self, malformed, Snapshot, SnapshotError};
 use pxl_sim::{
     CounterId, EventQueue, EventSlab, FaultKind, FaultPlan, FaultScheduler, HistogramId, Metrics,
-    NetClass, SendVerdict, Time, TraceEvent, Tracer,
+    NetClass, SendVerdict, TelemetrySampler, Time, Timeline, TraceEvent, Tracer,
 };
 
 use crate::config::{AccelConfig, LinkTopology, MemBackendKind};
@@ -161,6 +161,9 @@ pub struct AccelResult {
     /// Structured event trace (empty unless tracing was enabled in the
     /// configuration).
     pub trace: Tracer,
+    /// In-run telemetry timeline (empty unless `telemetry_every_cycles`
+    /// was set in the configuration).
+    pub timeline: Timeline,
 }
 
 /// The memory path behind the PEs (coherent SoC caches or Zedboard stream
@@ -844,6 +847,9 @@ pub struct FabricEngine<P: SchedulingPolicy> {
     metrics: Metrics,
     ids: FabricIds,
     trace: Tracer,
+    /// In-run telemetry sampler; `None` when `telemetry_every_cycles` is
+    /// zero, keeping the hot loop's cost to one `Option` check per event.
+    telemetry: Option<TelemetrySampler>,
     /// Run-unique task instance ids, stamped at spawn/successor creation so
     /// trace consumers can reconstruct the task DAG. Id 0 is reserved for
     /// "no task" (e.g. host-originated messages); the root task gets id 1.
@@ -995,6 +1001,9 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             faults,
             watchdog: Watchdog::new(cfg.clock.cycles_to_time(cfg.watchdog_quiescence_cycles)),
             trace: Tracer::bounded(cfg.trace_capacity),
+            telemetry: (cfg.telemetry_every_cycles > 0).then(|| {
+                TelemetrySampler::new(cfg.clock.cycles_to_time(cfg.telemetry_every_cycles))
+            }),
             next_task_id: 1,
             metrics,
             ids,
@@ -1207,6 +1216,18 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             if self.watchdog.expired(now) {
                 return Err(self.watchdog_stall(now));
             }
+            if self.telemetry.as_ref().is_some_and(|t| t.due(now)) {
+                // Sample at the epoch boundary *before* handling the event
+                // that crossed it: the gauges describe the state every event
+                // up to the boundary produced, so a checkpointed run resumes
+                // with an identical timeline (the pause check above fires on
+                // the same peeked event).
+                let gauges = self.telemetry_gauges(now);
+                let metrics = &self.metrics;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.tick(now, metrics, &gauges);
+                }
+            }
             self.handle(now, event, worker);
             if let Some(err) = self.error.take() {
                 return Err(err);
@@ -1229,6 +1250,17 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             Some(slot) => self.host[slot as usize].ok_or(AccelError::NoResult { slot })?,
             None => 0,
         };
+        // Close the final (partial) telemetry window before the end-of-run
+        // rollups land, so the last sample's deltas cover only counters that
+        // moved during simulation, not the collect_stats aggregates.
+        let gauges = self.telemetry_gauges(self.last_useful);
+        let timeline = match self.telemetry.as_mut() {
+            Some(t) => {
+                t.flush(self.last_useful, &self.metrics, &gauges);
+                t.take_timeline()
+            }
+            None => Timeline::default(),
+        };
         self.collect_stats();
         let mut trace = std::mem::take(&mut self.trace);
         trace.absorb(self.backend.take_trace());
@@ -1239,7 +1271,24 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             elapsed: self.last_useful,
             metrics: std::mem::take(&mut self.metrics),
             trace,
+            timeline,
         }))
+    }
+
+    /// Instantaneous engine gauges for one telemetry sample: pending event
+    /// count, ready tasks across the policy's stores, inter-chip links
+    /// still serializing a message, and total P-Store occupancy.
+    fn telemetry_gauges(&self, now: Time) -> [(&'static str, u64); 4] {
+        let inflight_links = self.link.as_ref().map_or(0, |l| {
+            l.next_free.iter().filter(|free| **free > now).count() as u64
+        });
+        let pstore = self.pstores.iter().map(PStore::occupancy).sum::<usize>();
+        [
+            ("events", self.events.len() as u64),
+            ("ready_tasks", self.policy.ready_tasks()),
+            ("inflight_links", inflight_links),
+            ("pstore_occupancy", pstore as u64),
+        ]
     }
 
     /// Value delivered to a host result register, if any.
@@ -1366,6 +1415,9 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
                     ),
                 ]),
             ));
+        }
+        if let Some(telemetry) = &self.telemetry {
+            payload.push(("telemetry", telemetry.state_to_json_value()));
         }
         Snapshot::new(self.policy.kind().label(), snapshot::obj(payload))
     }
@@ -1561,6 +1613,27 @@ impl<P: SchedulingPolicy> FabricEngine<P> {
             (None, Some(_)) => {
                 return Err(malformed(
                     "the snapshot carries fault state, this engine has no fault plan",
+                ));
+            }
+        }
+
+        match (&mut self.telemetry, p.get("telemetry")) {
+            (Some(telemetry), Some(saved)) => {
+                let restored = TelemetrySampler::state_from_json_value(saved).map_err(malformed)?;
+                if restored.every() != telemetry.every() {
+                    return Err(malformed("telemetry epoch width mismatch"));
+                }
+                *telemetry = restored;
+            }
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(malformed(
+                    "this engine samples telemetry, the snapshot does not",
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(malformed(
+                    "the snapshot carries telemetry state, this engine has telemetry off",
                 ));
             }
         }

@@ -18,7 +18,7 @@ use pxl_model::serial::HOST_SLOTS;
 use pxl_model::{Continuation, ExecProfile, Task, TaskContext, TaskTypeId, Worker};
 use pxl_sim::json::JsonValue;
 use pxl_sim::snapshot::{self, malformed, Snapshot, SnapshotError};
-use pxl_sim::{FaultKind, Metrics, Time, TraceEvent, Tracer};
+use pxl_sim::{FaultKind, Metrics, TelemetrySampler, Time, Timeline, TraceEvent, Tracer};
 
 use crate::config::{AccelConfig, ArchKind};
 use crate::fabric::{
@@ -107,6 +107,9 @@ pub struct LiteEngine {
     /// Next task instance id (sequential in dispatch order; 0 reserved).
     next_task_id: u64,
     watchdog: Watchdog,
+    /// In-run telemetry sampler, ticked at round barriers; `None` when
+    /// `telemetry_every_cycles` is zero.
+    telemetry: Option<TelemetrySampler>,
 }
 
 impl LiteEngine {
@@ -148,6 +151,9 @@ impl LiteEngine {
             round: 0,
             next_task_id: 1,
             watchdog: Watchdog::new(cfg.clock.cycles_to_time(cfg.watchdog_quiescence_cycles)),
+            telemetry: (cfg.telemetry_every_cycles > 0).then(|| {
+                TelemetrySampler::new(cfg.clock.cycles_to_time(cfg.telemetry_every_cycles))
+            }),
             cfg,
         })
     }
@@ -308,8 +314,29 @@ impl LiteEngine {
             now = pe_time.into_iter().max().unwrap_or(now);
             self.now = now;
             self.round += 1;
+            // Sample at the round barrier: rounds are atomic and pauses only
+            // land between them, so a resumed leg replays the same barrier
+            // sequence and produces the identical timeline.
+            if self.telemetry.as_ref().is_some_and(|t| t.due(now)) {
+                let gauges = self.telemetry_gauges();
+                let metrics = &self.metrics;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.tick(now, metrics, &gauges);
+                }
+            }
         }
         let now = self.now;
+        // Close the final partial telemetry window before end-of-run fault
+        // accounting and memory-stat rollups land in the registry, so the
+        // last sample's deltas cover only in-run activity like every other.
+        let gauges = self.telemetry_gauges();
+        let timeline = match self.telemetry.as_mut() {
+            Some(t) => {
+                t.flush(now, &self.metrics, &gauges);
+                t.take_timeline()
+            }
+            None => Timeline::default(),
+        };
         // Account the plan's faults against the finished run: everything
         // that fired inside the simulated interval was absorbed by static
         // reassignment (deaths) or waiting out the window (stalls).
@@ -345,7 +372,21 @@ impl LiteEngine {
             elapsed: now,
             metrics: std::mem::take(&mut self.metrics),
             trace,
+            timeline,
         }))
+    }
+
+    /// Instantaneous LiteArch gauges recorded with every telemetry sample:
+    /// completed round count and host result slots written so far — the
+    /// static machine's equivalents of the fabric's queue-depth gauges.
+    fn telemetry_gauges(&self) -> [(&'static str, u64); 2] {
+        [
+            (
+                "host_written",
+                self.host_written.iter().filter(|w| **w).count() as u64,
+            ),
+            ("rounds", self.round as u64),
+        ]
     }
 
     /// Serializes the complete mutable state into a versioned, checksummed
@@ -354,7 +395,7 @@ impl LiteEngine {
     /// with an equivalent driver — continues byte-identically to an
     /// uninterrupted run.
     pub fn snapshot(&self) -> Snapshot {
-        let payload = snapshot::obj(vec![
+        let mut payload = vec![
             ("now_ps", snapshot::num(self.now.as_ps())),
             ("round", snapshot::num(self.round as u64)),
             ("next_task_id", snapshot::num(self.next_task_id)),
@@ -383,8 +424,11 @@ impl LiteEngine {
             ("mem", self.mem.state_to_json_value()),
             ("backend", self.backend.state_to_json_value()),
             ("trace", self.trace.state_to_json_value()),
-        ]);
-        Snapshot::new("lite", payload)
+        ];
+        if let Some(telemetry) = &self.telemetry {
+            payload.push(("telemetry", telemetry.state_to_json_value()));
+        }
+        Snapshot::new("lite", snapshot::obj(payload))
     }
 
     /// Overwrites this engine's mutable state with a [`Snapshot`] captured
@@ -431,6 +475,26 @@ impl LiteEngine {
             .map_err(malformed)?;
         self.trace =
             Tracer::state_from_json_value(snapshot::get(p, "trace")?).map_err(malformed)?;
+        match (&mut self.telemetry, p.get("telemetry")) {
+            (Some(telemetry), Some(saved)) => {
+                let restored = TelemetrySampler::state_from_json_value(saved).map_err(malformed)?;
+                if restored.every() != telemetry.every() {
+                    return Err(malformed("telemetry epoch width mismatch"));
+                }
+                *telemetry = restored;
+            }
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(malformed(
+                    "this engine samples telemetry, the snapshot does not",
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(malformed(
+                    "the snapshot carries telemetry state, this engine has telemetry off",
+                ));
+            }
+        }
         Ok(())
     }
 

@@ -93,6 +93,11 @@ pub trait SchedulingPolicy: std::fmt::Debug {
     /// statistics (`accel.queue_peak`, `accel.queue_peak_sum`).
     fn queue_peaks(&self) -> (u64, u64);
 
+    /// Total tasks currently queued across every store this policy owns
+    /// (per-PE deques plus the host interface) — the instantaneous
+    /// ready-task gauge the telemetry sampler records each epoch.
+    fn ready_tasks(&self) -> u64;
+
     /// Serializes the policy's mutable state (queue contents, RNG
     /// registers, rotation cursors) for engine snapshots. Configuration-
     /// derived fields are rebuilt by [`SchedulingPolicy::for_config`] on
@@ -282,6 +287,11 @@ impl SchedulingPolicy for FlexPolicy {
         (max as u64, sum as u64)
     }
 
+    fn ready_tasks(&self) -> u64 {
+        let queued: usize = self.deques.iter().map(TaskDeque::len).sum();
+        (queued + self.host_queue.len()) as u64
+    }
+
     fn state_to_json_value(&self) -> JsonValue {
         JsonValue::Object(vec![
             (
@@ -442,6 +452,10 @@ impl SchedulingPolicy for CentralPolicy {
     fn queue_peaks(&self) -> (u64, u64) {
         let peak = self.queue.peak() as u64;
         (peak, peak)
+    }
+
+    fn ready_tasks(&self) -> u64 {
+        self.queue.len() as u64
     }
 
     fn state_to_json_value(&self) -> JsonValue {
@@ -616,6 +630,10 @@ impl SchedulingPolicy for HierPolicy {
 
     fn queue_peaks(&self) -> (u64, u64) {
         self.inner.queue_peaks()
+    }
+
+    fn ready_tasks(&self) -> u64 {
+        self.inner.ready_tasks()
     }
 
     fn state_to_json_value(&self) -> JsonValue {

@@ -60,7 +60,7 @@ fn main() {
     println!("{}\n", ex::fig8(&results));
     let outcomes = ex::all_outcomes(&results);
     let jsonl = std::path::Path::new("bench_results.jsonl");
-    match pxl_bench::write_jsonl(jsonl, &outcomes) {
+    match pxl_bench::write_jsonl_stamped(jsonl, &outcomes, &pxl_bench::host_build_id()) {
         Ok(()) => eprintln!(
             "[jsonl] wrote {} records to {}",
             outcomes.len(),

@@ -50,17 +50,18 @@ impl PerfRow {
         self.tasks as f64 / self.wall_s
     }
 
-    fn to_jsonl(&self) -> String {
+    fn to_jsonl(&self, host: &str) -> String {
         let cluster = self
             .inter_chip_steals
             .map(|r| format!(",\"inter_chip_steals\":{r:.4}"))
             .unwrap_or_default();
         format!(
             concat!(
-                "{{\"perf\":true,\"bench\":\"{}\",\"engine\":\"{}\",",
+                "{{\"perf\":true,\"host\":\"{}\",\"bench\":\"{}\",\"engine\":\"{}\",",
                 "\"units\":{},\"wall_s\":{:.6},\"sim_cycles\":{},",
                 "\"tasks\":{},\"cycles_per_sec\":{:.1},\"tasks_per_sec\":{:.1}{}}}"
             ),
+            host,
             self.bench,
             self.engine,
             self.units,
@@ -209,6 +210,7 @@ fn main() {
     }
 
     let path = std::path::Path::new("bench_results.jsonl");
+    let host = pxl_bench::host_build_id();
     let appended = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -216,7 +218,7 @@ fn main() {
         .and_then(|f| {
             let mut w = std::io::BufWriter::new(f);
             for row in &rows {
-                writeln!(w, "{}", row.to_jsonl())?;
+                writeln!(w, "{}", row.to_jsonl(&host))?;
             }
             w.into_inner()?.flush()
         });

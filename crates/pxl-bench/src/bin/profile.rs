@@ -10,7 +10,10 @@
 //!   timelines, and per-tile bottleneck verdicts;
 //! - `profile_results.jsonl` — one machine-readable record per run;
 //! - `profile_traces/<bench>.<engine>.perfetto.json` — Chrome/Perfetto
-//!   traces that open directly in <https://ui.perfetto.dev>.
+//!   traces that open directly in <https://ui.perfetto.dev>;
+//! - `telemetry_timeline.jsonl` — the windowed counter/gauge timeline of a
+//!   telemetry-sampled run (see docs/metrics.md), plus a Perfetto export
+//!   with `telemetry.*` counter tracks alongside the slices.
 //!
 //! The driver doubles as a regression gate: it exits nonzero when any
 //! profile violates the structural invariants (span ≤ makespan, trace work
@@ -24,7 +27,7 @@ use pxl_apps::Scale;
 use pxl_bench::{render_table, RunOutcome, ALL_BENCHES};
 use pxl_dse::{ClusterPoint, DesignPoint, PointArch};
 use pxl_flow::RunSpec;
-use pxl_profile::{to_perfetto_json, Layout, Profile};
+use pxl_profile::{to_perfetto_json, to_perfetto_json_with_timeline, Layout, Profile};
 
 /// Trace buffer large enough that smoke/small runs never drop events (a
 /// dropped event weakens the work cross-check; the report warns if any).
@@ -152,6 +155,48 @@ fn main() {
             Ok(()) => eprintln!("[profile] wrote {path}"),
             Err(e) => failures.push(format!("failed to write {path}: {e}")),
         }
+    }
+
+    // Telemetry smoke: a traced run with an epoch sampler must produce a
+    // non-empty JSONL timeline, a second same-seed run must reproduce it
+    // byte-identically, and the Perfetto export must grow counter tracks
+    // alongside the slices.
+    let telemetry_spec = RunSpec::new("uts", scale, DesignPoint::accel(PointArch::Flex, 2, 4))
+        .with_trace(TRACE_CAPACITY)
+        .with_telemetry(500);
+    let traced = pxl_flow::execute(&telemetry_spec)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .expect("uts has a flex variant");
+    let timeline_jsonl = traced.timeline.to_jsonl();
+    if traced.timeline.samples().is_empty() {
+        failures.push("telemetry: a 500-cycle epoch must produce samples".to_owned());
+    }
+    let again = pxl_flow::execute(&telemetry_spec)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .expect("uts has a flex variant");
+    if again.timeline.to_jsonl() != timeline_jsonl {
+        failures
+            .push("telemetry: timeline not byte-deterministic across same-seed runs".to_owned());
+    }
+    match std::fs::write("telemetry_timeline.jsonl", &timeline_jsonl) {
+        Ok(()) => eprintln!(
+            "[profile] wrote telemetry_timeline.jsonl ({} sample(s))",
+            traced.timeline.samples().len()
+        ),
+        Err(e) => failures.push(format!("failed to write telemetry_timeline.jsonl: {e}")),
+    }
+    let counters = to_perfetto_json_with_timeline(
+        traced.trace.records(),
+        &layout_for("flex"),
+        "uts/flex+telemetry",
+        &traced.timeline,
+    );
+    if !counters.contains("\"ph\":\"C\"") {
+        failures.push("telemetry: perfetto export must contain counter tracks".to_owned());
+    }
+    let counter_path = trace_dir.join("uts.flex.telemetry.perfetto.json");
+    if let Err(e) = std::fs::write(&counter_path, &counters) {
+        failures.push(format!("failed to write {}: {e}", counter_path.display()));
     }
 
     if !failures.is_empty() {

@@ -11,9 +11,13 @@
 //!    `quota_exceeded` code while other tenants keep submitting.
 //! 4. **Profiling** — a `profile` job reports its trace size and never
 //!    hits the measurement cache.
-//! 5. **Graceful drain** — `shutdown` finishes every admitted job,
+//! 5. **Live introspection** — a checkpointed job streams `progress`
+//!    events (ascending epoch-boundary cycles, monotone task counts), and
+//!    the `stats` op answers with the full byte-stable health picture
+//!    (per-tenant depths, lifecycle counters, journal state).
+//! 6. **Graceful drain** — `shutdown` finishes every admitted job,
 //!    refuses new ones with the `draining` code, and reports the total.
-//! 6. **Crash recovery** — a child server process is SIGKILLed mid-run
+//! 7. **Crash recovery** — a child server process is SIGKILLed mid-run
 //!    with checkpointed jobs in flight, restarted on the same journal,
 //!    and must finish every admitted job exactly once, resuming from
 //!    durable checkpoints (`done` events with nonzero
@@ -204,7 +208,79 @@ fn main() {
         other => failures.push(format!("profile: expected done, got {other:?}")),
     }
 
-    // Phase 5: graceful drain. The in-flight submission finishes, new work
+    // Phase 5: live introspection. A checkpointed job streams progress
+    // beats at every epoch boundary, and the stats op reports the full
+    // health picture. The spec must be fresh (uncached) so a real
+    // simulation leg runs.
+    let watch_spec = RunSpec::new(
+        "uts",
+        Scale::Tiny,
+        DesignPoint::accel(PointArch::Flex, 1, 4),
+    );
+    let reference = pxl_flow::execute(&watch_spec)
+        .unwrap_or_else(|e| panic!("introspect reference: {e}"))
+        .expect("uts has a flex variant");
+    let session = pxl_flow::SimSession::start(&watch_spec)
+        .unwrap_or_else(|e| panic!("introspect session: {e}"))
+        .expect("uts has a flex variant");
+    let watch_epoch = session
+        .clock()
+        .time_to_cycles(pxl_sim::Time::from_ps(reference.kernel.as_ps() / 4))
+        .max(1);
+    let watched = client
+        .submit(
+            "watch",
+            JobKind::Sim,
+            &watch_spec.with_checkpoint(watch_epoch),
+        )
+        .unwrap();
+    let mut beats = Vec::new();
+    match client.wait_with_progress(watched, |p| beats.push(p)) {
+        Ok(JobEvent::Done { .. }) => {}
+        other => failures.push(format!("introspect: expected done, got {other:?}")),
+    }
+    if beats.is_empty() {
+        failures.push(format!(
+            "introspect: a {watch_epoch}-cycle epoch must yield progress beats"
+        ));
+    }
+    if beats.windows(2).any(|w| w[0].cycle >= w[1].cycle) {
+        failures.push(format!("introspect: cycles must ascend: {beats:?}"));
+    }
+    if beats.windows(2).any(|w| w[0].tasks > w[1].tasks) {
+        failures.push(format!("introspect: tasks must not regress: {beats:?}"));
+    }
+    if let Some(last) = beats.last() {
+        eprintln!(
+            "[serve] progress: {} beat(s), last at cycle {} with {} task(s)",
+            beats.len(),
+            last.cycle,
+            last.tasks
+        );
+    }
+    let stats = client.stats().unwrap_or_else(|e| panic!("stats: {e}"));
+    if !stats.journal {
+        failures.push("stats: the job log must register as a journal".to_owned());
+    }
+    if stats.completed != 14 || stats.failed != 0 {
+        failures.push(format!(
+            "stats: expected 14 completed / 0 failed so far, got {stats:?}"
+        ));
+    }
+    if !stats.tenants.iter().any(|(t, d)| t == "watch" && *d == 0) {
+        failures.push(format!(
+            "stats: the drained 'watch' tenant must appear at depth 0: {:?}",
+            stats.tenants
+        ));
+    }
+    eprintln!(
+        "[serve] stats: {} tenant(s), {} completed, journal={}",
+        stats.tenants.len(),
+        stats.completed,
+        stats.journal
+    );
+
+    // Phase 6: graceful drain. The in-flight submission finishes, new work
     // is refused with the draining code, and the totals add up.
     let last = client
         .submit("alice", JobKind::Sim, &flex_spec("queens"))
@@ -221,7 +297,7 @@ fn main() {
         other => failures.push(format!("drain: expected draining rejection, got {other:?}")),
     }
     let summary = server.join();
-    let jobs = 14u64; // 5 fair-share + 2 dedup + 5 quota + 1 profile + 1 drain
+    let jobs = 15u64; // 5 fair-share + 2 dedup + 5 quota + 1 profile + 1 introspect + 1 drain
     if completed != jobs || summary.completed != jobs || summary.failed != 0 {
         failures.push(format!(
             "drain: expected {jobs} completed / 0 failed, got drain={completed}, {summary:?}"
@@ -260,7 +336,7 @@ fn main() {
         log.lines().count()
     );
 
-    // Phase 6: kill-and-restart crash recovery (child server processes).
+    // Phase 7: kill-and-restart crash recovery (child server processes).
     let (crash_jobs, crash_resumed) = crash_recovery_phase(&mut failures);
 
     println!("# pxl-serve smoke\n");
@@ -275,6 +351,11 @@ fn main() {
     println!(
         "| cache hits / misses | {} / {} |",
         summary.cache_hits, summary.cache_misses
+    );
+    println!(
+        "| live introspection | {} progress beat(s), {} tenant(s) in stats |",
+        beats.len(),
+        stats.tenants.len()
     );
     println!(
         "| crash recovery | {crash_jobs} job(s) exactly once, {crash_resumed} resumed from checkpoint |"

@@ -24,6 +24,53 @@ use pxl_sim::Clock;
 /// re-exported so existing harness code keeps working.
 pub use pxl_flow::{run_on, try_run_on, write_jsonl, RunOutcome};
 
+/// A host/build identifier for stamping benchmark result rows, so
+/// longitudinal `bench_results.jsonl` files collected from different
+/// machines or builds can be told apart: `<host>/v<crate version>`. The
+/// host part comes from `PXL_HOST_ID` (explicit override), else
+/// `HOSTNAME`, else `unknown-host`, restricted to JSON-safe identifier
+/// characters.
+pub fn host_build_id() -> String {
+    let raw = std::env::var("PXL_HOST_ID")
+        .or_else(|_| std::env::var("HOSTNAME"))
+        .unwrap_or_default();
+    let host: String = raw
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        .collect();
+    let host = if host.is_empty() {
+        "unknown-host"
+    } else {
+        host.as_str()
+    };
+    format!("{host}/v{}", env!("CARGO_PKG_VERSION"))
+}
+
+/// Prefixes one `{...}` JSONL record with a `"host"` member without
+/// touching the (byte-stable) record format itself.
+pub fn stamp_host(record: &str, host: &str) -> String {
+    debug_assert!(record.starts_with('{'), "JSONL records are objects");
+    format!("{{\"host\":\"{host}\",{}", &record[1..])
+}
+
+/// [`write_jsonl`] with every record stamped by [`stamp_host`].
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_jsonl_stamped(
+    path: &std::path::Path,
+    outcomes: &[RunOutcome],
+    host: &str,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for out in outcomes {
+        writeln!(f, "{}", stamp_host(&out.to_jsonl(), host))?;
+    }
+    f.into_inner()?.flush()
+}
+
 /// Splits a PE count into the paper's geometry: up to 4 PEs in one tile,
 /// then 4-PE tiles.
 pub fn geometry(pes: usize) -> (usize, usize) {
@@ -294,6 +341,20 @@ mod tests {
     #[should_panic(expected = "multiples of 4")]
     fn odd_geometry_panics() {
         let _ = geometry(6);
+    }
+
+    #[test]
+    fn host_build_id_is_json_safe_and_versioned() {
+        let id = host_build_id();
+        assert!(id.ends_with(&format!("/v{}", env!("CARGO_PKG_VERSION"))));
+        assert!(
+            !id.contains('"') && !id.contains('\\'),
+            "must embed safely in a JSON string: {id:?}"
+        );
+        assert_eq!(
+            stamp_host("{\"bench\":\"uts\"}", "ci-runner/v0.1.0"),
+            "{\"host\":\"ci-runner/v0.1.0\",\"bench\":\"uts\"}"
+        );
     }
 
     #[test]

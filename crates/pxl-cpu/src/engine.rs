@@ -9,7 +9,9 @@ use pxl_model::{
 use pxl_sim::config::{CpuCoreParams, MemoryConfig};
 use pxl_sim::json::JsonValue;
 use pxl_sim::snapshot::{self, malformed, Snapshot, SnapshotError};
-use pxl_sim::{EventQueue, Metrics, Time, TraceEvent, Tracer, XorShift64};
+use pxl_sim::{
+    EventQueue, Metrics, TelemetrySampler, Time, Timeline, TraceEvent, Tracer, XorShift64,
+};
 
 use pxl_arch::deque::TaskDeque;
 use pxl_arch::fabric::{register_fault_metrics, AccelError, AccelResult, Watchdog};
@@ -194,6 +196,9 @@ pub struct CpuEngine {
     /// Whether the root task has been seeded. A restored engine is already
     /// launched; [`CpuEngine::run`] skips re-seeding.
     launched: bool,
+    /// In-run telemetry sampler, ticked at event-pop epoch boundaries;
+    /// `None` (the default) keeps the hot loop to a single Option check.
+    telemetry: Option<TelemetrySampler>,
 }
 
 impl CpuEngine {
@@ -255,6 +260,7 @@ impl CpuEngine {
             max_sim_time_us: 2_000_000,
             result_slot: None,
             launched: false,
+            telemetry: None,
         }
     }
 
@@ -288,6 +294,13 @@ impl CpuEngine {
     pub fn set_trace_capacity(&mut self, capacity: usize) {
         self.trace = Tracer::bounded(capacity);
         self.memsys.enable_trace(capacity);
+    }
+
+    /// Enables in-run telemetry sampling every `every_cycles` core cycles;
+    /// zero disables it. Configure before launching (or restoring) a run.
+    pub fn set_telemetry_every(&mut self, every_cycles: u64) {
+        self.telemetry = (every_cycles > 0)
+            .then(|| TelemetrySampler::new(self.core_params.clock.cycles_to_time(every_cycles)));
     }
 
     fn runtime_cycles(&self, instrs: u64) -> Time {
@@ -391,6 +404,16 @@ impl CpuEngine {
                     blocked_unit,
                 ));
             }
+            if self.telemetry.as_ref().is_some_and(|t| t.due(now)) {
+                // Sample at the epoch boundary *before* handling the event
+                // that crossed it: the pause check above fires on the peeked
+                // event, so a resumed leg replays this sample identically.
+                let gauges = self.telemetry_gauges();
+                let metrics = &self.metrics;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.tick(now, metrics, &gauges);
+                }
+            }
             self.handle(now, event, worker);
             if let Some(err) = self.error.take() {
                 return Err(err);
@@ -405,6 +428,17 @@ impl CpuEngine {
             Some(slot) => self.host[slot as usize].ok_or(AccelError::NoResult { slot })?,
             None => 0,
         };
+        // Close the final partial telemetry window before end-of-run rollups
+        // (queue peaks, memory-system stats) land in the registry, so the
+        // last sample's deltas cover only in-run activity like every other.
+        let gauges = self.telemetry_gauges();
+        let timeline = match self.telemetry.as_mut() {
+            Some(t) => {
+                t.flush(self.last_useful, &self.metrics, &gauges);
+                t.take_timeline()
+            }
+            None => Timeline::default(),
+        };
         let queue_peak: usize = self.deques.iter().map(TaskDeque::peak).sum();
         self.metrics.add("cpu.queue_peak_sum", queue_peak as u64);
         let mem_stats = self.memsys.take_stats();
@@ -418,7 +452,20 @@ impl CpuEngine {
             elapsed: self.last_useful,
             metrics: std::mem::take(&mut self.metrics),
             trace,
+            timeline,
         }))
+    }
+
+    /// Instantaneous software-runtime gauges recorded with every telemetry
+    /// sample — the CPU's equivalents of the fabric's queue-depth gauges.
+    fn telemetry_gauges(&self) -> [(&'static str, u64); 3] {
+        let ready: usize = self.deques.iter().map(TaskDeque::len).sum();
+        let pending = self.pending.iter().filter(|p| p.is_some()).count();
+        [
+            ("events", self.events.len() as u64),
+            ("ready_tasks", ready as u64),
+            ("pending_joins", pending as u64),
+        ]
     }
 
     /// Serializes the complete mutable runtime state — deques, pending
@@ -438,7 +485,7 @@ impl CpuEngine {
                 })
                 .collect(),
         );
-        let payload = snapshot::obj(vec![
+        let mut payload = vec![
             ("launched", snapshot::num(u64::from(self.launched))),
             (
                 "result_slot",
@@ -514,8 +561,11 @@ impl CpuEngine {
             ("mem", self.mem.state_to_json_value()),
             ("memsys", self.memsys.state_to_json_value()),
             ("trace", self.trace.state_to_json_value()),
-        ]);
-        Snapshot::new("cpu", payload)
+        ];
+        if let Some(telemetry) = &self.telemetry {
+            payload.push(("telemetry", telemetry.state_to_json_value()));
+        }
+        Snapshot::new("cpu", snapshot::obj(payload))
     }
 
     /// Overwrites this engine's mutable state with a [`Snapshot`] captured
@@ -634,6 +684,26 @@ impl CpuEngine {
             .map_err(malformed)?;
         self.trace =
             Tracer::state_from_json_value(snapshot::get(p, "trace")?).map_err(malformed)?;
+        match (&mut self.telemetry, p.get("telemetry")) {
+            (Some(telemetry), Some(saved)) => {
+                let restored = TelemetrySampler::state_from_json_value(saved).map_err(malformed)?;
+                if restored.every() != telemetry.every() {
+                    return Err(malformed("telemetry epoch width mismatch"));
+                }
+                *telemetry = restored;
+            }
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(malformed(
+                    "this engine samples telemetry, the snapshot does not",
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(malformed(
+                    "the snapshot carries telemetry state, this engine has telemetry off",
+                ));
+            }
+        }
         self.error = None;
         Ok(())
     }

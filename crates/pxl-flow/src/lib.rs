@@ -48,7 +48,7 @@ pub use run::{
     RunOutcome,
 };
 pub use session::{SessionStatus, SimSession};
-pub use spec::{CheckpointPolicy, RunSpec, SpecError};
+pub use spec::{CheckpointPolicy, RunSpec, SpecError, TelemetryPolicy};
 
 use pxl_arch::{
     AccelConfig, ArchKind, CentralEngine, ConfigError, Engine, FlexEngine, HierEngine, LiteEngine,
@@ -497,6 +497,7 @@ pub struct SimulationBuilder {
     target: Target,
     profile: ExecProfile,
     trace_capacity: usize,
+    telemetry_every: u64,
     faults: Option<FaultPlan>,
 }
 
@@ -513,6 +514,7 @@ impl SimulationBuilder {
             target: Target::Accel(config),
             profile,
             trace_capacity: 0,
+            telemetry_every: 0,
             faults: None,
         }
     }
@@ -571,6 +573,7 @@ impl SimulationBuilder {
             },
             profile,
             trace_capacity: 0,
+            telemetry_every: 0,
             faults: None,
         }
     }
@@ -585,6 +588,14 @@ impl SimulationBuilder {
     /// records per source (zero, the default, disables tracing).
     pub fn trace(&mut self, capacity: usize) -> &mut Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enables in-run telemetry sampling every `every_cycles` engine-clock
+    /// cycles (zero, the default, records no timeline). Telemetry is pure
+    /// observation: enabling it never changes results, metrics or traces.
+    pub fn telemetry(&mut self, every_cycles: u64) -> &mut Self {
+        self.telemetry_every = every_cycles;
         self
     }
 
@@ -618,6 +629,7 @@ impl SimulationBuilder {
             Target::Accel(config) => {
                 let mut config = config.clone();
                 config.trace_capacity = self.trace_capacity;
+                config.telemetry_every_cycles = self.telemetry_every;
                 if let Some(plan) = &self.faults {
                     config.fault_plan = Some(plan.clone());
                 }
@@ -679,6 +691,9 @@ impl SimulationBuilder {
                 );
                 if self.trace_capacity > 0 {
                     engine.set_trace_capacity(self.trace_capacity);
+                }
+                if self.telemetry_every > 0 {
+                    engine.set_telemetry_every(self.telemetry_every);
                 }
                 Ok(Box::new(engine))
             }

@@ -19,7 +19,7 @@ use pxl_arch::{Engine, EngineKind, Workload};
 use pxl_cost::resources::TileResources;
 use pxl_cost::EnergyModel;
 use pxl_dse::{Measurement, PointArch};
-use pxl_sim::{Metrics, Time, Tracer};
+use pxl_sim::{Metrics, Time, Timeline, Tracer};
 
 use crate::{FlowError, RunSpec, SimulationBuilder};
 
@@ -51,6 +51,10 @@ pub struct RunOutcome {
     pub metrics: Metrics,
     /// Structured event trace (empty unless tracing was enabled).
     pub trace: Tracer,
+    /// Windowed telemetry timeline (empty unless a telemetry policy was
+    /// set). Not part of [`RunOutcome::to_jsonl`] — export it separately
+    /// with [`pxl_sim::Timeline::to_jsonl`].
+    pub timeline: Timeline,
 }
 
 impl RunOutcome {
@@ -203,6 +207,7 @@ pub fn run_checked(
         whole: out.elapsed + init_time(footprint),
         metrics: out.metrics,
         trace: out.trace,
+        timeline: out.timeline,
     };
     if let Err(e) = check {
         return Err(RunError::WrongResult {
@@ -277,6 +282,9 @@ impl SimulationBuilder {
         }
         if let Some(plan) = &spec.faults {
             b.with_faults(plan.clone());
+        }
+        if let Some(tp) = &spec.telemetry {
+            b.telemetry(tp.every_cycles);
         }
         Ok(b)
     }

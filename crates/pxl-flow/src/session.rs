@@ -170,6 +170,13 @@ impl SimSession {
         self.engine.snapshot()
     }
 
+    /// The engine's live metrics registry — counters accumulated so far,
+    /// readable mid-run at a paused boundary (the job server's progress
+    /// events are built from this).
+    pub fn metrics(&self) -> &pxl_sim::Metrics {
+        self.engine.metrics()
+    }
+
     /// Runs one leg: to completion when `pause_at` is `None`, otherwise
     /// until the next schedulable step lies beyond `pause_at` (with work
     /// still outstanding). On completion the output is validated against
@@ -207,6 +214,7 @@ impl SimSession {
             whole: out.elapsed + init_time(self.footprint_bytes),
             metrics: out.metrics,
             trace: out.trace,
+            timeline: out.timeline,
         };
         if let Err(e) = check {
             return Err(RunError::WrongResult {

@@ -92,6 +92,34 @@ impl CheckpointPolicy {
     }
 }
 
+/// When a run should sample in-run telemetry.
+///
+/// The engine snapshots its metric counters and live gauges at every
+/// multiple of `every_cycles` engine-clock cycles of simulated time into a
+/// windowed timeline (see `docs/metrics.md`). Like checkpointing, telemetry
+/// is pure observation: a run with a telemetry policy produces
+/// byte-identical results, metrics and traces to the same run without one,
+/// which is why the policy is *excluded* from [`RunSpec::canonical`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryPolicy {
+    /// Sampling epoch width in engine-clock cycles of simulated time
+    /// (must be nonzero).
+    pub every_cycles: u64,
+}
+
+impl TelemetryPolicy {
+    /// A policy sampling every `every_cycles` simulated cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_cycles` is zero — "sample never" is spelled by
+    /// omitting the policy, not by a zero epoch.
+    pub fn every(every_cycles: u64) -> Self {
+        assert!(every_cycles > 0, "telemetry epoch must be nonzero");
+        TelemetryPolicy { every_cycles }
+    }
+}
+
 /// A serializable simulation request: one benchmark run on one design
 /// point. See the [module docs](self) for the role it plays.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +139,9 @@ pub struct RunSpec {
     /// Periodic checkpointing of simulation state; `None` never pauses.
     /// Not part of the run's [`RunSpec::canonical`] identity.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Periodic in-run telemetry sampling; `None` records no timeline.
+    /// Not part of the run's [`RunSpec::canonical`] identity.
+    pub telemetry: Option<TelemetryPolicy>,
 }
 
 impl RunSpec {
@@ -124,6 +155,7 @@ impl RunSpec {
             trace_capacity: 0,
             faults: None,
             checkpoint: None,
+            telemetry: None,
         }
     }
 
@@ -152,6 +184,16 @@ impl RunSpec {
     /// Panics if `every_cycles` is zero.
     pub fn with_checkpoint(mut self, every_cycles: u64) -> Self {
         self.checkpoint = Some(CheckpointPolicy::every(every_cycles));
+        self
+    }
+
+    /// Samples in-run telemetry every `every_cycles` simulated cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_cycles` is zero.
+    pub fn with_telemetry(mut self, every_cycles: u64) -> Self {
+        self.telemetry = Some(TelemetryPolicy::every(every_cycles));
         self
     }
 
@@ -305,6 +347,15 @@ impl RunSpec {
                 )]),
             ));
         }
+        if let Some(tp) = &self.telemetry {
+            members.push((
+                "telemetry".to_owned(),
+                JsonValue::Object(vec![(
+                    "every_cycles".to_owned(),
+                    JsonValue::num_u64(tp.every_cycles),
+                )]),
+            ));
+        }
         JsonValue::Object(members)
     }
 
@@ -393,6 +444,27 @@ impl RunSpec {
                 Some(CheckpointPolicy { every_cycles })
             }
         };
+        let telemetry = match value.get("telemetry") {
+            None => None,
+            Some(t) if t.is_null() => None,
+            Some(t) => {
+                let every_cycles = t.get("every_cycles").and_then(JsonValue::as_u64).ok_or(
+                    SpecError::Invalid {
+                        field: "telemetry",
+                        message: "expected {\"every_cycles\": <unsigned integer>}".to_owned(),
+                    },
+                )?;
+                if every_cycles == 0 {
+                    return Err(SpecError::Invalid {
+                        field: "telemetry",
+                        message: "telemetry epoch must be nonzero \
+                                  (omit the member to disable sampling)"
+                            .to_owned(),
+                    });
+                }
+                Some(TelemetryPolicy { every_cycles })
+            }
+        };
         Ok(RunSpec {
             benchmark,
             scale,
@@ -401,6 +473,7 @@ impl RunSpec {
             trace_capacity,
             faults,
             checkpoint,
+            telemetry,
         })
     }
 
@@ -516,6 +589,7 @@ mod tests {
                 .drop_messages(NetClass::Arg, Time::ZERO, Time::MAX, 500, 6),
         )
         .with_checkpoint(250_000)
+        .with_telemetry(50_000)
     }
 
     #[test]
@@ -645,6 +719,32 @@ mod tests {
             RunSpec::from_json(&zero).unwrap_err(),
             SpecError::Invalid {
                 field: "checkpoint",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn telemetry_policy_round_trips_but_never_changes_the_key() {
+        let base = RunSpec::new(
+            "uts",
+            Scale::Tiny,
+            DesignPoint::accel(PointArch::Flex, 2, 4),
+        );
+        let tl = base.clone().with_telemetry(25_000);
+        // Serialization distinguishes them...
+        assert_ne!(base.to_json(), tl.to_json());
+        let back = RunSpec::from_json(&tl.to_json()).unwrap();
+        assert_eq!(back.telemetry, Some(TelemetryPolicy::every(25_000)));
+        // ...but the cache identity does not: telemetry is observation.
+        assert_eq!(base.canonical(), tl.canonical());
+
+        // A zero epoch is rejected at parse time with a typed error.
+        let zero = tl.to_json().replace("25000", "0");
+        assert!(matches!(
+            RunSpec::from_json(&zero).unwrap_err(),
+            SpecError::Invalid {
+                field: "telemetry",
                 ..
             }
         ));

@@ -266,6 +266,33 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_empty_population_is_all_zeros() {
+        let p = Percentiles::of(vec![]);
+        assert_eq!(p, Percentiles::default());
+        assert_eq!(p.count, 0);
+        assert_eq!((p.p50, p.p90, p.p99, p.max, p.sum), (0, 0, 0, 0, 0));
+        assert!((p.mean() - 0.0).abs() < f64::EPSILON, "mean of empty is 0");
+    }
+
+    #[test]
+    fn percentiles_single_sample_is_every_rank() {
+        let p = Percentiles::of(vec![42]);
+        assert_eq!(p.count, 1);
+        assert_eq!((p.p50, p.p90, p.p99, p.max), (42, 42, 42, 42));
+        assert_eq!(p.sum, 42);
+        assert!((p.mean() - 42.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn percentiles_all_equal_population_collapses() {
+        let p = Percentiles::of(vec![7; 1000]);
+        assert_eq!(p.count, 1000);
+        assert_eq!((p.p50, p.p90, p.p99, p.max), (7, 7, 7, 7));
+        assert_eq!(p.sum, 7000);
+        assert!((p.mean() - 7.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
     fn steal_fifo_matches_per_thief() {
         let mut t = Tracer::bounded(16);
         t.emit(

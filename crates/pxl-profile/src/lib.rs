@@ -59,7 +59,7 @@ pub use bottleneck::{ChipBottleneck, TileBottleneck};
 pub use graph::{CriticalStep, GraphSummary, TaskNode};
 pub use latency::{LatencySummary, Percentiles, StealSummary, UnitUtilization};
 pub use parse::{parse_jsonl, parse_line};
-pub use perfetto::to_perfetto_json;
+pub use perfetto::{to_perfetto_json, to_perfetto_json_with_timeline};
 
 /// The unit topology of the engine that produced a trace: how many PEs or
 /// cores there are, how they group into tiles (the CPU baseline is one

@@ -11,7 +11,7 @@
 //! arithmetic (`ps / 10^6` and a six-digit fraction) instead of floating
 //! division, so the output is byte-deterministic.
 
-use pxl_sim::{TraceEvent, TraceRecord};
+use pxl_sim::{Timeline, TraceEvent, TraceRecord};
 
 use crate::Layout;
 
@@ -39,6 +39,29 @@ fn push_event(out: &mut String, first: &mut bool, body: &str) {
 /// named `tile{t}.pe{u}`, so the UI groups the fabric the way the hardware
 /// does, with inter-chip `link_xfer` markers pinned to the sending chip.
 pub fn to_perfetto_json(records: &[TraceRecord], layout: &Layout, label: &str) -> String {
+    render(records, layout, label, None)
+}
+
+/// [`to_perfetto_json`] plus the run's telemetry [`Timeline`] rendered as
+/// counter (`"C"`) tracks alongside the slices: one `telemetry.{gauge}`
+/// track per sampled gauge and one `telemetry.{counter}.rate` track per
+/// sampled counter (events per simulated second over the sample's window).
+/// An empty timeline produces the exact [`to_perfetto_json`] bytes.
+pub fn to_perfetto_json_with_timeline(
+    records: &[TraceRecord],
+    layout: &Layout,
+    label: &str,
+    timeline: &Timeline,
+) -> String {
+    render(records, layout, label, Some(timeline))
+}
+
+fn render(
+    records: &[TraceRecord],
+    layout: &Layout,
+    label: &str,
+    timeline: Option<&Timeline>,
+) -> String {
     let clustered = layout.chips() > 1;
     // Process id of a unit's track: its chip when clustered, else its tile.
     let pid_of = |unit: u32| {
@@ -214,6 +237,34 @@ pub fn to_perfetto_json(records: &[TraceRecord], layout: &Layout, label: &str) -
         }
     }
 
+    // Telemetry counter tracks ride on the host process (pid 0): the
+    // sampler records whole-fabric gauges and registry-wide rates, not
+    // per-unit ones, so they get their own tracks next to the slices.
+    for sample in timeline.map(Timeline::samples).unwrap_or_default() {
+        let ts = us(sample.at.as_ps());
+        for (name, value) in &sample.gauges {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"name\":\"telemetry.{name}\",\
+                     \"args\":{{\"value\":{value}}}"
+                ),
+            );
+        }
+        for c in &sample.counters {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"name\":\"telemetry.{}.rate\",\
+                     \"args\":{{\"per_sec\":{}}}",
+                    c.name, c.rate,
+                ),
+            );
+        }
+    }
+
     out.push_str("\n]}\n");
     out
 }
@@ -313,6 +364,49 @@ mod tests {
         // The P-Store counter keeps one track per tile inside the chip.
         assert!(doc.contains("\"name\":\"pstore.tile1\""));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn timeline_renders_as_counter_tracks() {
+        use pxl_sim::{CounterDelta, TelemetrySample, Timeline};
+        let mut t = Tracer::bounded(16);
+        t.emit(
+            Time::from_ps(1_500_000),
+            TraceEvent::TaskComplete {
+                unit: 0,
+                ty: 2,
+                busy_ps: 500_000,
+                task: 7,
+            },
+        );
+        t.finish();
+        let layout = Layout::new(2, 2);
+        let timeline = Timeline::new(vec![TelemetrySample {
+            epoch: 0,
+            at: Time::from_ps(1_000_000),
+            window: Time::from_ps(1_000_000),
+            gauges: vec![("events".to_owned(), 4)],
+            counters: vec![CounterDelta {
+                name: "accel.tasks".to_owned(),
+                delta: 10,
+                rate: 10_000_000_000,
+            }],
+        }]);
+        let doc = to_perfetto_json_with_timeline(t.records(), &layout, "uts/flex", &timeline);
+        assert!(doc.contains(
+            "\"ph\":\"C\",\"pid\":0,\"ts\":1.000000,\"name\":\"telemetry.events\",\
+             \"args\":{\"value\":4}"
+        ));
+        assert!(doc.contains(
+            "\"ph\":\"C\",\"pid\":0,\"ts\":1.000000,\"name\":\"telemetry.accel.tasks.rate\",\
+             \"args\":{\"per_sec\":10000000000}"
+        ));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        // An empty timeline produces the exact plain-export bytes.
+        let plain = to_perfetto_json(t.records(), &layout, "uts/flex");
+        let empty =
+            to_perfetto_json_with_timeline(t.records(), &layout, "uts/flex", &Timeline::default());
+        assert_eq!(plain, empty);
     }
 
     #[test]

@@ -142,6 +142,50 @@ pub struct StatusSnapshot {
     pub draining: bool,
 }
 
+/// The server-health picture a [`Client::stats`] round-trip returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Per-tenant queue depths, sorted by tenant name (drained tenants
+    /// appear at depth 0).
+    pub tenants: Vec<(String, u64)>,
+    /// Jobs waiting across all tenant queues.
+    pub queued: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs finished successfully since startup.
+    pub completed: u64,
+    /// Jobs failed since startup.
+    pub failed: u64,
+    /// Jobs re-admitted from the journal at startup.
+    pub recovered: u64,
+    /// Execution legs resumed from a persisted checkpoint.
+    pub resumed: u64,
+    /// Cooperative yields at checkpoint boundaries.
+    pub preempted: u64,
+    /// Torn trailing journal lines discarded at recovery.
+    pub journal_torn: u64,
+    /// Whether a journal is attached (crash-safe mode).
+    pub journal: bool,
+    /// Whether dispatch is paused.
+    pub paused: bool,
+    /// Whether the server is draining.
+    pub draining: bool,
+}
+
+/// One [`JobEvent::Progress`] beat, as handed to the
+/// [`Client::wait_with_progress`] callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// The reporting job.
+    pub job: JobId,
+    /// Simulated cycles completed so far.
+    pub cycle: u64,
+    /// Tasks executed so far (accelerator + CPU).
+    pub tasks: u64,
+    /// Task throughput in tasks per simulated second.
+    pub tasks_per_sec: u64,
+}
+
 /// A blocking connection to a [`crate::Server`].
 pub struct Client {
     writer: TcpStream,
@@ -336,6 +380,59 @@ impl Client {
         self.wait_raw(job).map(|(event, _)| event)
     }
 
+    /// [`Client::wait`] that hands `job`'s [`JobEvent::Progress`] beats to
+    /// `on_progress` as they arrive (buffered ones first, in order)
+    /// instead of burying them in the pending buffer. Events of other
+    /// jobs read past remain readable via [`Client::next_event`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::wait_raw`]. A failed job is not an `Err`: the
+    /// caller gets the [`JobEvent::Failed`] event.
+    pub fn wait_with_progress(
+        &mut self,
+        job: JobId,
+        mut on_progress: impl FnMut(Progress),
+    ) -> Result<JobEvent, ClientError> {
+        let mut kept: Vec<(JobEvent, String)> = Vec::new();
+        let terminal = loop {
+            let next = match self.pending.pop_front() {
+                Some(buffered) => buffered,
+                None => match self.read_event() {
+                    Ok(fresh) => fresh,
+                    Err(e) => {
+                        // Keep what was read past even on failure.
+                        for k in kept.into_iter().rev() {
+                            self.pending.push_front(k);
+                        }
+                        return Err(e);
+                    }
+                },
+            };
+            match &next.0 {
+                JobEvent::Progress {
+                    job: j,
+                    cycle,
+                    tasks,
+                    tasks_per_sec,
+                } if *j == job => on_progress(Progress {
+                    job,
+                    cycle: *cycle,
+                    tasks: *tasks,
+                    tasks_per_sec: *tasks_per_sec,
+                }),
+                JobEvent::Done { job: j, .. } | JobEvent::Failed { job: j, .. } if *j == job => {
+                    break next.0;
+                }
+                _ => kept.push(next),
+            }
+        };
+        for k in kept.into_iter().rev() {
+            self.pending.push_front(k);
+        }
+        Ok(terminal)
+    }
+
     fn await_status(&mut self) -> Result<StatusSnapshot, ClientError> {
         loop {
             let (event, raw) = self.read_event()?;
@@ -370,6 +467,52 @@ impl Client {
     pub fn status(&mut self) -> Result<StatusSnapshot, ClientError> {
         self.send(&Request::Status)?;
         self.await_status()
+    }
+
+    /// Asks for the full server-health picture: per-tenant queue depths,
+    /// lifecycle counters and journal state. Events of other jobs read
+    /// past are buffered.
+    ///
+    /// # Errors
+    ///
+    /// A transport or protocol failure.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        self.send(&Request::Stats)?;
+        loop {
+            let (event, raw) = self.read_event()?;
+            match event {
+                JobEvent::Stats {
+                    tenants,
+                    queued,
+                    running,
+                    completed,
+                    failed,
+                    recovered,
+                    resumed,
+                    preempted,
+                    journal_torn,
+                    journal,
+                    paused,
+                    draining,
+                } => {
+                    return Ok(StatsSnapshot {
+                        tenants,
+                        queued,
+                        running,
+                        completed,
+                        failed,
+                        recovered,
+                        resumed,
+                        preempted,
+                        journal_torn,
+                        journal,
+                        paused,
+                        draining,
+                    })
+                }
+                other => self.pending.push_back((other, raw)),
+            }
+        }
     }
 
     /// Pauses dispatch (running jobs finish; queued jobs wait). The

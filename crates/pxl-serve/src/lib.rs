@@ -48,7 +48,7 @@ pub mod protocol;
 pub mod sched;
 pub mod server;
 
-pub use client::{Client, ClientConfig, ClientError, StatusSnapshot};
+pub use client::{Client, ClientConfig, ClientError, Progress, StatsSnapshot, StatusSnapshot};
 pub use protocol::{
     measurement_from_json_value, measurement_to_json_value, ErrorCode, JobEvent, JobId, JobKind,
     JobStatus, Request, RequestError,

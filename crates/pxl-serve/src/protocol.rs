@@ -157,6 +157,9 @@ pub enum Request {
     },
     /// Ask for queue/running/completed counters.
     Status,
+    /// Ask for full server health: per-tenant queue depths, lifecycle
+    /// counters (recovered/resumed/preempted), and journal state.
+    Stats,
     /// Stop dispatching queued jobs (running jobs finish).
     Pause,
     /// Resume dispatching.
@@ -176,6 +179,7 @@ impl Request {
                 ("spec".to_owned(), spec.to_json_value()),
             ]),
             Request::Status => op_only("status"),
+            Request::Stats => op_only("stats"),
             Request::Pause => op_only("pause"),
             Request::Resume => op_only("resume"),
             Request::Shutdown => op_only("shutdown"),
@@ -254,6 +258,7 @@ impl Request {
                 })
             }
             "status" => Ok(Request::Status),
+            "stats" => Ok(Request::Stats),
             "pause" => Ok(Request::Pause),
             "resume" => Ok(Request::Resume),
             "shutdown" => Ok(Request::Shutdown),
@@ -362,6 +367,50 @@ pub enum JobEvent {
         paused: bool,
         /// Whether the server is draining.
         draining: bool,
+    },
+    /// Answer to [`Request::Stats`]: the full server-health picture.
+    /// Rendering is canonical (tenants name-sorted by the server), so two
+    /// identical states are byte-identical on the wire.
+    Stats {
+        /// Per-tenant queue depths, sorted by tenant name. Tenants whose
+        /// queues have drained still appear at depth 0.
+        tenants: Vec<(String, u64)>,
+        /// Jobs waiting across all tenant queues.
+        queued: u64,
+        /// Jobs currently executing.
+        running: u64,
+        /// Jobs finished successfully since startup.
+        completed: u64,
+        /// Jobs failed since startup.
+        failed: u64,
+        /// Jobs re-admitted from the journal at startup.
+        recovered: u64,
+        /// Execution legs resumed from a persisted checkpoint.
+        resumed: u64,
+        /// Cooperative yields at checkpoint boundaries.
+        preempted: u64,
+        /// Torn trailing journal lines discarded at recovery.
+        journal_torn: u64,
+        /// Whether a journal is attached (crash-safe mode).
+        journal: bool,
+        /// Whether dispatch is paused.
+        paused: bool,
+        /// Whether the server is draining.
+        draining: bool,
+    },
+    /// Periodic progress from a running checkpointed job, emitted each
+    /// time it reaches a checkpoint boundary: how far the simulation has
+    /// advanced and how fast it is spawning work.
+    Progress {
+        /// The running job.
+        job: JobId,
+        /// Simulated cycles completed so far.
+        cycle: u64,
+        /// Tasks executed so far (accelerator + CPU).
+        tasks: u64,
+        /// Task throughput over the simulated time so far, in tasks per
+        /// simulated second.
+        tasks_per_sec: u64,
     },
     /// Graceful shutdown finished: every admitted job completed.
     Drained {
@@ -514,6 +563,61 @@ impl JobEvent {
                     ("draining".to_owned(), JsonValue::Bool(*draining)),
                 ],
             ),
+            JobEvent::Stats {
+                tenants,
+                queued,
+                running,
+                completed,
+                failed,
+                recovered,
+                resumed,
+                preempted,
+                journal_torn,
+                journal,
+                paused,
+                draining,
+            } => ev(
+                "stats",
+                vec![
+                    (
+                        "tenants".to_owned(),
+                        JsonValue::Object(
+                            tenants
+                                .iter()
+                                .map(|(name, depth)| (name.clone(), JsonValue::num_u64(*depth)))
+                                .collect(),
+                        ),
+                    ),
+                    ("queued".to_owned(), JsonValue::num_u64(*queued)),
+                    ("running".to_owned(), JsonValue::num_u64(*running)),
+                    ("completed".to_owned(), JsonValue::num_u64(*completed)),
+                    ("failed".to_owned(), JsonValue::num_u64(*failed)),
+                    ("recovered".to_owned(), JsonValue::num_u64(*recovered)),
+                    ("resumed".to_owned(), JsonValue::num_u64(*resumed)),
+                    ("preempted".to_owned(), JsonValue::num_u64(*preempted)),
+                    ("journal_torn".to_owned(), JsonValue::num_u64(*journal_torn)),
+                    ("journal".to_owned(), JsonValue::Bool(*journal)),
+                    ("paused".to_owned(), JsonValue::Bool(*paused)),
+                    ("draining".to_owned(), JsonValue::Bool(*draining)),
+                ],
+            ),
+            JobEvent::Progress {
+                job,
+                cycle,
+                tasks,
+                tasks_per_sec,
+            } => ev(
+                "progress",
+                vec![
+                    ("job".to_owned(), JsonValue::num_u64(job.0)),
+                    ("cycle".to_owned(), JsonValue::num_u64(*cycle)),
+                    ("tasks".to_owned(), JsonValue::num_u64(*tasks)),
+                    (
+                        "tasks_per_sec".to_owned(),
+                        JsonValue::num_u64(*tasks_per_sec),
+                    ),
+                ],
+            ),
             JobEvent::Drained { completed } => ev(
                 "drained",
                 vec![("completed".to_owned(), JsonValue::num_u64(*completed))],
@@ -615,6 +719,40 @@ impl JobEvent {
                 paused: flag("paused")?,
                 draining: flag("draining")?,
             }),
+            "stats" => {
+                let tenants = value
+                    .get("tenants")
+                    .and_then(JsonValue::as_object)
+                    .ok_or_else(|| "stats: missing field tenants".to_owned())?
+                    .iter()
+                    .map(|(tenant, depth)| {
+                        depth
+                            .as_u64()
+                            .map(|d| (tenant.clone(), d))
+                            .ok_or_else(|| format!("stats: tenant {tenant:?} depth malformed"))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(JobEvent::Stats {
+                    tenants,
+                    queued: num("queued")?,
+                    running: num("running")?,
+                    completed: num("completed")?,
+                    failed: num("failed")?,
+                    recovered: num("recovered")?,
+                    resumed: num("resumed")?,
+                    preempted: num("preempted")?,
+                    journal_torn: num("journal_torn")?,
+                    journal: flag("journal")?,
+                    paused: flag("paused")?,
+                    draining: flag("draining")?,
+                })
+            }
+            "progress" => Ok(JobEvent::Progress {
+                job: job()?,
+                cycle: num("cycle")?,
+                tasks: num("tasks")?,
+                tasks_per_sec: num("tasks_per_sec")?,
+            }),
             "drained" => Ok(JobEvent::Drained {
                 completed: num("completed")?,
             }),
@@ -656,6 +794,7 @@ mod tests {
                 spec: Box::new(spec()),
             },
             Request::Status,
+            Request::Stats,
             Request::Pause,
             Request::Resume,
             Request::Shutdown,
@@ -698,6 +837,44 @@ mod tests {
             assert_eq!(err.code, code, "{line} → {err}");
             assert!(!err.message.is_empty());
         }
+    }
+
+    #[test]
+    fn unknown_op_rejection_names_the_op() {
+        for op in ["launch", "emit", "stat"] {
+            let err = Request::from_json(&format!("{{\"op\":\"{op}\"}}")).unwrap_err();
+            assert_eq!(err.code, ErrorCode::UnknownOp);
+            assert!(
+                err.message.contains(&format!("\"{op}\"")),
+                "message {:?} should quote the offending op {op:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn stats_rendering_is_canonical() {
+        let e = JobEvent::Stats {
+            tenants: vec![("a".to_owned(), 1), ("b".to_owned(), 0)],
+            queued: 1,
+            running: 0,
+            completed: 0,
+            failed: 0,
+            recovered: 0,
+            resumed: 0,
+            preempted: 0,
+            journal_torn: 0,
+            journal: false,
+            paused: false,
+            draining: false,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"stats\",\"tenants\":{\"a\":1,\"b\":0},\"queued\":1,\
+             \"running\":0,\"completed\":0,\"failed\":0,\"recovered\":0,\
+             \"resumed\":0,\"preempted\":0,\"journal_torn\":0,\
+             \"journal\":false,\"paused\":false,\"draining\":false}"
+        );
     }
 
     #[test]
@@ -760,6 +937,40 @@ mod tests {
                 failed: 0,
                 paused: false,
                 draining: true,
+            },
+            JobEvent::Stats {
+                tenants: vec![("alice".to_owned(), 2), ("bob".to_owned(), 0)],
+                queued: 2,
+                running: 1,
+                completed: 5,
+                failed: 1,
+                recovered: 3,
+                resumed: 2,
+                preempted: 4,
+                journal_torn: 1,
+                journal: true,
+                paused: false,
+                draining: false,
+            },
+            JobEvent::Stats {
+                tenants: Vec::new(),
+                queued: 0,
+                running: 0,
+                completed: 0,
+                failed: 0,
+                recovered: 0,
+                resumed: 0,
+                preempted: 0,
+                journal_torn: 0,
+                journal: false,
+                paused: true,
+                draining: true,
+            },
+            JobEvent::Progress {
+                job: JobId(7),
+                cycle: 100_000,
+                tasks: 4_096,
+                tasks_per_sec: 8_192_000,
             },
             JobEvent::Drained { completed: 9 },
         ];

@@ -141,6 +141,20 @@ impl FairQueue {
         self.tenants.iter().all(|t| t.queue.is_empty())
     }
 
+    /// Per-tenant queue depths, sorted by tenant name so the listing is
+    /// byte-stable regardless of submission order. Tenants whose queues
+    /// have drained still appear (with depth 0) — a tenant the server has
+    /// seen is part of its health picture.
+    pub fn depths(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .tenants
+            .iter()
+            .map(|t| (t.name.clone(), t.queue.len() as u64))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Queued jobs for one tenant (0 if unknown).
     pub fn queued_for(&self, tenant: &str) -> usize {
         self.tenants
@@ -244,6 +258,26 @@ mod tests {
         q.restore("a", JobId(2));
         assert_eq!(q.queued_for("a"), 3);
         assert_eq!(drain(&mut q), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn depths_are_name_sorted_and_keep_drained_tenants() {
+        let mut q = FairQueue::new(8);
+        q.enqueue("zeta", JobId(0)).unwrap();
+        q.enqueue("alpha", JobId(1)).unwrap();
+        q.enqueue("zeta", JobId(2)).unwrap();
+        assert_eq!(
+            q.depths(),
+            vec![("alpha".to_owned(), 1), ("zeta".to_owned(), 2)]
+        );
+        // Draining a tenant keeps it in the listing at depth 0.
+        q.pop();
+        q.pop();
+        q.pop();
+        assert_eq!(
+            q.depths(),
+            vec![("alpha".to_owned(), 0), ("zeta".to_owned(), 0)]
+        );
     }
 
     #[test]

@@ -162,6 +162,25 @@ impl Core {
             draining: self.draining,
         }
     }
+
+    /// The full health picture for [`Request::Stats`]: tenants come out of
+    /// the queue name-sorted, so identical states render byte-identically.
+    fn stats_event(&self) -> JobEvent {
+        JobEvent::Stats {
+            tenants: self.queue.depths(),
+            queued: self.queue.len() as u64,
+            running: self.inflight as u64,
+            completed: self.completed,
+            failed: self.failed,
+            recovered: self.recovered,
+            resumed: self.resumed,
+            preempted: self.preempted,
+            journal_torn: self.journal_torn,
+            journal: self.journal.is_some(),
+            paused: self.paused,
+            draining: self.draining,
+        }
+    }
 }
 
 struct Shared {
@@ -492,6 +511,15 @@ fn handle_request(shared: &Arc<Shared>, writer: &Writer, request: Request) {
             };
             send_line(writer, &event.to_json());
         }
+        Request::Stats => {
+            let event = {
+                let mut core = shared.core.lock().expect("core mutex");
+                let event = core.stats_event();
+                core.log_line(&event.to_json());
+                event
+            };
+            send_line(writer, &event.to_json());
+        }
         Request::Pause | Request::Resume => {
             let event = {
                 let mut core = shared.core.lock().expect("core mutex");
@@ -610,7 +638,7 @@ fn run_job(shared: &Arc<Shared>, job_id: JobId) {
             metrics: None,
             resumed_from_cycle: None,
         },
-        None => execute_leg(shared, job_id, &spec, kind, resume),
+        None => execute_leg(shared, job_id, &spec, kind, resume, &client),
     };
 
     match verdict {
@@ -704,13 +732,16 @@ fn run_job(shared: &Arc<Shared>, job_id: JobId) {
 
 /// Runs one simulation leg: from the job's start (or its latest
 /// checkpoint) either to completion or to the first checkpoint boundary
-/// at which another job is waiting for the worker.
+/// at which another job is waiting for the worker. Each boundary reached
+/// emits a [`JobEvent::Progress`] to the job's client (and the job log)
+/// before deciding whether to yield.
 fn execute_leg(
     shared: &Arc<Shared>,
     job_id: JobId,
     spec: &RunSpec,
     kind: JobKind,
     resume: Option<(u64, Snapshot)>,
+    client: &Option<Writer>,
 ) -> Verdict {
     let run_spec = if kind == JobKind::Profile && spec.trace_capacity == 0 {
         spec.clone().with_trace(PROFILE_TRACE_CAPACITY)
@@ -775,10 +806,26 @@ fn execute_leg(
                 let cycle = boundary.expect("paused only at a requested boundary");
                 let snap = session.snapshot();
                 persist_checkpoint(shared, job_id, cycle, &snap);
+                // Progress is derived from simulation state only (cycles
+                // and task counters), so a resumed leg reports the same
+                // numbers an uninterrupted run would.
+                let m = session.metrics();
+                let tasks = m.get("accel.tasks") + m.get("cpu.tasks");
+                let progress = JobEvent::Progress {
+                    job: job_id,
+                    cycle,
+                    tasks,
+                    tasks_per_sec: pxl_sim::rate_per_sec(
+                        tasks,
+                        clock.cycles_to_time(cycle).as_ps(),
+                    ),
+                };
                 let contended = {
-                    let core = shared.core.lock().expect("core mutex");
+                    let mut core = shared.core.lock().expect("core mutex");
+                    core.log_line(&progress.to_json());
                     !core.queue.is_empty()
                 };
+                maybe_send(client, &progress.to_json());
                 if contended {
                     return Verdict::Preempted {
                         cycle,

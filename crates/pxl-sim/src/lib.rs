@@ -32,6 +32,7 @@ pub mod pool;
 pub mod qcheck;
 pub mod rng;
 pub mod snapshot;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -43,5 +44,6 @@ pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricKind, Metric
 pub use pool::parallel_map;
 pub use rng::{Lfsr16, XorShift64};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use telemetry::{rate_per_sec, CounterDelta, TelemetrySample, TelemetrySampler, Timeline};
 pub use time::{Clock, Time};
 pub use trace::{TraceEvent, TraceRecord, Tracer};

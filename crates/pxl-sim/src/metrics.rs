@@ -529,6 +529,51 @@ mod tests {
     use super::*;
 
     #[test]
+    fn empty_histogram_has_no_extremes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!((h.mean() - 0.0).abs() < f64::EPSILON, "mean of empty is 0");
+        assert_eq!(h.to_json(), "{\"count\":0,\"sum\":0,\"min\":0,\"max\":0}");
+    }
+
+    #[test]
+    fn single_sample_histogram_is_degenerate() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 42);
+        assert_eq!((h.min(), h.max()), (Some(42), Some(42)));
+        assert!((h.mean() - 42.0).abs() < f64::EPSILON);
+        // Zero is a real sample, distinct from "no samples".
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!((z.min(), z.max()), (Some(0), Some(0)));
+        assert_eq!(z.count(), 1);
+    }
+
+    #[test]
+    fn all_equal_histogram_collapses_to_one_value() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(7);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 7000);
+        assert_eq!((h.min(), h.max()), (Some(7), Some(7)));
+        assert!((h.mean() - 7.0).abs() < f64::EPSILON);
+        // Merging an empty histogram changes nothing, either way around.
+        let before = h.to_json();
+        h.merge(&Histogram::new());
+        assert_eq!(h.to_json(), before);
+        let mut e = Histogram::new();
+        e.merge(&h);
+        assert_eq!(e.to_json(), before);
+    }
+
+    #[test]
     fn counters_accumulate() {
         let mut s = Metrics::new();
         s.incr("a");

@@ -113,6 +113,11 @@ impl SchedulingPolicy for RingPolicy {
         (max as u64, sum as u64)
     }
 
+    fn ready_tasks(&self) -> u64 {
+        let queued: usize = self.deques.iter().map(TaskDeque::len).sum();
+        (queued + self.host_queue.len()) as u64
+    }
+
     // Checkpoint/restore hooks. A demo policy keeps them minimal: the
     // engine still snapshots everything it owns; this policy serializes its
     // ring cursors and queue contents the same way FlexPolicy does.

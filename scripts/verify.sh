@@ -26,12 +26,16 @@ echo "==> perf smoke (pxl-bench --bin perf -- --smoke)"
 # engine (flex, lite, central, cpu); appends records to bench_results.jsonl.
 cargo run --release --offline -p pxl-bench --bin perf -- --smoke > /dev/null
 
-echo "==> profile smoke (pxl-bench --bin profile -- --smoke)"
+echo "==> profile smoke incl. telemetry (pxl-bench --bin profile -- --smoke)"
 # Traced run + full pxl-profile analysis per (benchmark, engine); exits
 # nonzero if any profile violates the structural invariants (span <=
 # makespan, trace work == accel.task_ps, utilization in [0,1]) or is not
 # byte-identical across two same-seed runs. Writes profile_report.md,
-# profile_results.jsonl and profile_traces/.
+# profile_results.jsonl and profile_traces/. Ends with the telemetry
+# smoke: a run sampled every 500 cycles must produce a non-empty
+# telemetry_timeline.jsonl that a second same-seed run reproduces
+# byte-identically, plus a Perfetto export with telemetry.* counter
+# tracks.
 cargo run --release --offline -p pxl-bench --bin profile -- --smoke > /dev/null
 
 echo "==> DSE smoke sweep incl. clusters (pxl-bench --bin dse -- --smoke)"
@@ -49,8 +53,9 @@ echo "==> serve smoke (pxl-bench --bin serve)"
 # service contract: deterministic fair-share ordering under a flooding
 # tenant, byte-identical dedup with the second submission a pure cache
 # hit, quota refusal without collateral damage, profile-job trace
-# reporting, graceful drain with exact totals, and a well-formed
-# serve_jobs.jsonl event log. Ends with the crash-recovery phase: a
+# reporting, live introspection (progress beats at checkpoint
+# boundaries and a byte-stable stats reply), graceful drain with exact
+# totals, and a well-formed serve_jobs.jsonl event log. Ends with the crash-recovery phase: a
 # child server with six checkpointed jobs in flight is SIGKILLed after
 # its first durable checkpoint, restarted on the same write-ahead
 # journal, and must complete every job exactly once from its latest

@@ -1,10 +1,10 @@
 //! Checkpoint/restore determinism gate: pausing a simulation at *any*
 //! cycle boundary, serializing the engine through the versioned snapshot
 //! envelope, and resuming in a fresh session must be invisible — the
-//! restored run's results, metrics and trace are byte-identical to an
-//! uninterrupted run of the same spec. Driven by the vendored
-//! `pxl_sim::qcheck` harness over random benchmarks, scales, engines,
-//! fault plans and checkpoint epochs.
+//! restored run's results, metrics, trace and telemetry timeline are
+//! byte-identical to an uninterrupted run of the same spec. Driven by the
+//! vendored `pxl_sim::qcheck` harness over random benchmarks, scales,
+//! engines, fault plans, telemetry epochs and checkpoint epochs.
 
 use parallelxl::apps::Scale;
 use parallelxl::sim::qcheck::{check, Gen};
@@ -66,6 +66,11 @@ fn any_checkpoint_epoch_restores_byte_identically() {
         if let Some(plan) = random_faults(g, &point) {
             spec = spec.with_faults(plan);
         }
+        // Half the runs also sample telemetry: the sampler state rides in
+        // the snapshot, so a restored run's timeline must match too.
+        if g.bool() {
+            spec = spec.with_telemetry(g.range(100, 5_000));
+        }
 
         // The uninterrupted run is the reference; a bench without a
         // variant for this engine is a skip, not a failure.
@@ -73,6 +78,7 @@ fn any_checkpoint_epoch_restores_byte_identically() {
             return;
         };
         let expected = reference.to_jsonl();
+        let expected_timeline = reference.timeline.to_jsonl();
 
         let mut session = SimSession::start(&spec).unwrap().expect("variant exists");
         let clock = session.clock();
@@ -88,6 +94,11 @@ fn any_checkpoint_epoch_restores_byte_identically() {
                     expected,
                     "{spec:?}: epoch {epoch} past the end must not change the run"
                 );
+                assert_eq!(
+                    out.timeline.to_jsonl(),
+                    expected_timeline,
+                    "{spec:?}: epoch {epoch} past the end must not change the timeline"
+                );
             }
             SessionStatus::Paused { .. } => {
                 // Round-trip the envelope exactly as a checkpoint file
@@ -100,6 +111,11 @@ fn any_checkpoint_epoch_restores_byte_identically() {
                     out.to_jsonl(),
                     expected,
                     "{spec:?}: restore at cycle {epoch} of ~{total} must be invisible"
+                );
+                assert_eq!(
+                    out.timeline.to_jsonl(),
+                    expected_timeline,
+                    "{spec:?}: restore at cycle {epoch} must preserve the telemetry timeline"
                 );
             }
         }

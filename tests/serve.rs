@@ -110,7 +110,7 @@ fn arb_event(g: &mut Gen) -> JobEvent {
         lut: g.range(0, 1 << 20),
         bram18: g.range(0, 1 << 10),
     };
-    match g.range(0, 10) {
+    match g.range(0, 12) {
         0 => JobEvent::Accepted {
             job,
             tenant: format!("tenant-{}", g.range(0, 100)),
@@ -162,6 +162,28 @@ fn arb_event(g: &mut Gen) -> JobEvent {
             job,
             cycle: g.u64(),
         },
+        9 => JobEvent::Stats {
+            tenants: (0..g.usize_in(0, 3))
+                .map(|i| (format!("tenant-{i}"), g.range(0, 100)))
+                .collect(),
+            queued: g.range(0, 1000),
+            running: g.range(0, 64),
+            completed: g.u64(),
+            failed: g.u64(),
+            recovered: g.u64(),
+            resumed: g.u64(),
+            preempted: g.u64(),
+            journal_torn: g.u64(),
+            journal: g.bool(),
+            paused: g.bool(),
+            draining: g.bool(),
+        },
+        10 => JobEvent::Progress {
+            job,
+            cycle: g.u64(),
+            tasks: g.u64(),
+            tasks_per_sec: g.u64(),
+        },
         _ => JobEvent::Drained { completed: g.u64() },
     }
 }
@@ -207,6 +229,12 @@ fn malformed_requests_are_rejected_with_typed_codes() {
             JobEvent::Error { code, message } => {
                 assert_eq!(code, expected, "{line} → {code:?}: {message}");
                 assert!(!message.is_empty());
+                if code == ErrorCode::UnknownOp {
+                    assert!(
+                        message.contains("\"emit\""),
+                        "an unknown-op rejection must name the op: {message:?}"
+                    );
+                }
             }
             other => panic!("{line}: expected a typed error, got {other:?}"),
         }
@@ -276,4 +304,105 @@ fn same_spec_twice_is_deterministic_and_cached() {
     let summary = server.join();
     assert_eq!(summary.cache_hits, 1);
     assert_eq!(summary.cache_misses, 1);
+}
+
+/// The `stats` op over a real socket: the reply is byte-stable (two asks
+/// against unchanged state are identical lines), and the typed
+/// `Client::stats()` reflects completed work and per-tenant depths.
+#[test]
+fn stats_round_trips_over_a_socket_and_is_byte_stable() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut lines = Vec::new();
+    for _ in 0..2 {
+        writeln!(writer, "{}", Request::Stats.to_json()).unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        lines.push(reply.trim_end().to_owned());
+    }
+    assert_eq!(
+        lines[0], lines[1],
+        "unchanged state must render identically"
+    );
+    match JobEvent::from_json(&lines[0]).unwrap() {
+        JobEvent::Stats {
+            tenants,
+            queued,
+            running,
+            completed,
+            journal,
+            ..
+        } => {
+            assert!(tenants.is_empty(), "no tenant has submitted yet");
+            assert_eq!((queued, running, completed), (0, 0, 0));
+            assert!(!journal, "no journal was configured");
+        }
+        other => panic!("expected a stats event, got {other:?}"),
+    }
+
+    // The typed client sees finished work and the (drained) tenant.
+    let mut client = Client::connect(server.addr()).unwrap();
+    let spec = RunSpec::new(
+        "queens",
+        Scale::Tiny,
+        DesignPoint::accel(PointArch::Flex, 1, 4),
+    );
+    let job = client.submit("carol", JobKind::Sim, &spec).unwrap();
+    match client.wait(job).unwrap() {
+        JobEvent::Done { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.tenants, vec![("carol".to_owned(), 0)]);
+    assert!(!stats.journal);
+    client.drain().unwrap();
+    server.join();
+}
+
+/// A checkpointed job reports `progress` at every epoch boundary: cycles
+/// are ascending epoch multiples and the task count never goes backwards.
+#[test]
+fn checkpointed_jobs_report_progress_beats() {
+    let base = RunSpec::new(
+        "uts",
+        Scale::Tiny,
+        DesignPoint::accel(PointArch::Flex, 1, 2),
+    );
+    let reference = parallelxl::flow::execute(&base).unwrap().unwrap();
+    let session = parallelxl::flow::SimSession::start(&base).unwrap().unwrap();
+    let epoch = session
+        .clock()
+        .time_to_cycles(Time::from_ps(reference.kernel.as_ps() / 4))
+        .max(1);
+
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let job = client
+        .submit("ci", JobKind::Sim, &base.with_checkpoint(epoch))
+        .unwrap();
+    let mut beats: Vec<parallelxl::serve::Progress> = Vec::new();
+    let terminal = client.wait_with_progress(job, |p| beats.push(p)).unwrap();
+    match terminal {
+        JobEvent::Done { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(
+        !beats.is_empty(),
+        "an epoch of {epoch} cycles must yield at least one boundary"
+    );
+    for pair in beats.windows(2) {
+        assert!(pair[0].cycle < pair[1].cycle, "cycles must ascend");
+        assert!(pair[0].tasks <= pair[1].tasks, "tasks must not regress");
+    }
+    for p in &beats {
+        assert_eq!(p.job, job);
+        assert_eq!(p.cycle % epoch, 0, "beats land on epoch boundaries");
+    }
+    client.drain().unwrap();
+    server.join();
 }

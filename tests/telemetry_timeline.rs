@@ -1,0 +1,128 @@
+//! Telemetry timeline gates: sampling is pure observation (off by
+//! default, and arming it never changes the run), deterministic (two
+//! same-seed runs serialize byte-identical timelines), wired into every
+//! engine, and invisible to checkpoint/restore (a resumed run's timeline
+//! matches an uninterrupted one exactly).
+
+use parallelxl::apps::Scale;
+use parallelxl::{execute, DesignPoint, PointArch, RunSpec, SessionStatus, SimSession, Snapshot};
+
+fn base_spec() -> RunSpec {
+    RunSpec::new(
+        "uts",
+        Scale::Tiny,
+        DesignPoint::accel(PointArch::Flex, 2, 4),
+    )
+}
+
+#[test]
+fn telemetry_off_records_nothing_and_arming_it_changes_nothing() {
+    let plain = execute(&base_spec()).unwrap().unwrap();
+    assert!(
+        plain.timeline.is_empty(),
+        "no policy, no timeline (and no JSONL bytes)"
+    );
+    assert_eq!(plain.timeline.to_jsonl(), "");
+
+    // Telemetry is observation: the armed run's measurement record is
+    // byte-identical to the plain run's — the same property the golden
+    // fixtures rely on with telemetry off.
+    let sampled = execute(&base_spec().with_telemetry(500)).unwrap().unwrap();
+    assert_eq!(sampled.to_jsonl(), plain.to_jsonl());
+    assert!(!sampled.timeline.is_empty());
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_timelines() {
+    let spec = base_spec().with_telemetry(500);
+    let a = execute(&spec).unwrap().unwrap();
+    let b = execute(&spec).unwrap().unwrap();
+    let jsonl = a.timeline.to_jsonl();
+    assert!(!jsonl.is_empty());
+    assert_eq!(jsonl, b.timeline.to_jsonl());
+
+    // Schema sanity: epochs count up from zero, windows tile the run, and
+    // the fabric's four gauges ride on every sample.
+    let samples = a.timeline.samples();
+    let mut edge = 0;
+    for (i, s) in samples.iter().enumerate() {
+        assert_eq!(s.epoch, i as u64);
+        assert_eq!(s.at.as_ps(), edge + s.window.as_ps(), "windows must tile");
+        edge = s.at.as_ps();
+        let names: Vec<&str> = s.gauges.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "events",
+                "ready_tasks",
+                "inflight_links",
+                "pstore_occupancy"
+            ]
+        );
+    }
+    let total_tasks: u64 = samples
+        .iter()
+        .flat_map(|s| &s.counters)
+        .filter(|c| c.name == "accel.tasks")
+        .map(|c| c.delta)
+        .sum();
+    assert_eq!(
+        total_tasks,
+        a.metrics.get("accel.tasks"),
+        "windowed deltas must sum to the end-of-run total"
+    );
+}
+
+#[test]
+fn every_engine_samples_its_own_gauges() {
+    for (point, gauge) in [
+        (DesignPoint::cpu(4), "pending_joins"),
+        (DesignPoint::accel(PointArch::Lite, 1, 4), "rounds"),
+        (
+            DesignPoint::accel(PointArch::Central, 1, 4),
+            "pstore_occupancy",
+        ),
+    ] {
+        let spec = RunSpec::new("uts", Scale::Tiny, point).with_telemetry(500);
+        let out = execute(&spec).unwrap().expect("uts maps to every engine");
+        assert!(!out.timeline.is_empty(), "{spec:?}: no samples");
+        assert!(
+            out.timeline
+                .samples()
+                .iter()
+                .all(|s| s.gauges.iter().any(|(n, _)| n == gauge)),
+            "{spec:?}: every sample must carry the {gauge} gauge"
+        );
+    }
+}
+
+#[test]
+fn restored_runs_keep_the_exact_timeline() {
+    let spec = base_spec().with_telemetry(300);
+    let reference = execute(&spec).unwrap().unwrap();
+    let expected = reference.timeline.to_jsonl();
+    assert!(!expected.is_empty());
+
+    let mut session = SimSession::start(&spec).unwrap().unwrap();
+    let clock = session.clock();
+    let half = clock.time_to_cycles(reference.kernel).max(2) / 2;
+    let SessionStatus::Paused { .. } = session
+        .advance(Some(clock.cycles_to_time(half.max(1))))
+        .unwrap()
+    else {
+        panic!("half the run must pause, not finish");
+    };
+    // Round-trip the envelope exactly as a checkpoint file would.
+    let snap = Snapshot::from_json(&session.snapshot().to_json()).unwrap();
+    let out = SimSession::resume(&spec, &snap)
+        .unwrap()
+        .unwrap()
+        .finish()
+        .unwrap();
+    assert_eq!(
+        out.timeline.to_jsonl(),
+        expected,
+        "a mid-run restore must not perturb the timeline"
+    );
+    assert_eq!(out.to_jsonl(), reference.to_jsonl());
+}
